@@ -1,0 +1,25 @@
+//! # dcs-baselines
+//!
+//! Baselines and exact reference solvers used to evaluate the density-contrast-subgraph
+//! algorithms:
+//!
+//! * [`exact`] — brute-force solvers for tiny instances (optimal DCSAD subset, maximum
+//!   clique).  They are exponential and guarded by size assertions; their only purpose is
+//!   to provide ground truth in tests and calibration experiments.
+//! * [`egoscan`] — a substitute for the EgoScan algorithm of Cadena et al. (ICDM 2016),
+//!   the closest related work the paper compares against in Tables VIII/IX.  EgoScan
+//!   maximises the **total** weight `W_D(S)` of a subgraph of the signed difference
+//!   graph.  The original uses a semidefinite-programming rounding inside every ego net;
+//!   we substitute an ego-net seeded greedy local search with the same objective, which
+//!   reproduces the qualitative behaviour the paper reports (EgoScan returns much larger
+//!   subgraphs with higher total weight but far lower density than the DCS algorithms).
+//!   The substitution is documented in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod egoscan;
+pub mod exact;
+
+pub use egoscan::{EgoScan, EgoScanConfig, EgoScanResult};
+pub use exact::{brute_force_dcsad, brute_force_max_clique};

@@ -1,0 +1,34 @@
+//! Benchmarks of the DCSAD pipeline (Algorithm 2) and its peeling sub-routine, across
+//! increasing graph sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_core::dcsad::DcsGreedy;
+use dcs_core::difference_graph;
+use dcs_datasets::CoauthorConfig;
+use dcs_densest::greedy_peeling;
+
+fn coauthor_gd(num_authors: usize, edges: usize) -> dcs_graph::SignedGraph {
+    let mut config = CoauthorConfig::for_scale(dcs_datasets::Scale::Tiny);
+    config.num_authors = num_authors;
+    config.background_edges = edges;
+    let pair = config.generate();
+    difference_graph(&pair.g2, &pair.g1).unwrap()
+}
+
+fn bench_dcsad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dcsad");
+    group.sample_size(15);
+    for &(n, m) in &[(1_000usize, 4_000usize), (4_000, 16_000), (12_000, 48_000)] {
+        let gd = coauthor_gd(n, m);
+        group.bench_with_input(BenchmarkId::new("greedy_peeling_gd", n), &gd, |b, gd| {
+            b.iter(|| greedy_peeling(gd))
+        });
+        group.bench_with_input(BenchmarkId::new("dcsgreedy_full", n), &gd, |b, gd| {
+            b.iter(|| DcsGreedy::default().solve(gd))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dcsad);
+criterion_main!(benches);

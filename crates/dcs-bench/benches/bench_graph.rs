@@ -1,0 +1,32 @@
+//! Micro-benchmarks of the graph substrate: difference-graph construction, positive-part
+//! extraction, core decomposition and connected components.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_core::difference_graph;
+use dcs_datasets::{CoauthorConfig, Scale};
+use dcs_graph::{connected_components, core_decomposition};
+
+fn bench_graph_substrate(c: &mut Criterion) {
+    let pair = CoauthorConfig::for_scale(Scale::Default).generate();
+    let gd = difference_graph(&pair.g2, &pair.g1).unwrap();
+
+    let mut group = c.benchmark_group("graph_substrate");
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::new("difference_graph", gd.num_edges()), |b| {
+        b.iter(|| difference_graph(&pair.g2, &pair.g1).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("positive_part", gd.num_edges()), |b| {
+        b.iter(|| gd.positive_part())
+    });
+    group.bench_function(BenchmarkId::new("core_decomposition", gd.num_edges()), |b| {
+        b.iter(|| core_decomposition(&gd))
+    });
+    group.bench_function(BenchmarkId::new("connected_components", gd.num_edges()), |b| {
+        b.iter(|| connected_components(&gd))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_substrate);
+criterion_main!(benches);

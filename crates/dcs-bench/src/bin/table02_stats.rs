@@ -1,0 +1,117 @@
+//! Table II — statistics of the difference graphs of every dataset/setting combination.
+//!
+//! ```text
+//! cargo run -p dcs-bench --release --bin table02_stats -- --scale default
+//! ```
+
+use dcs_bench::{ExpOptions, Table};
+use dcs_core::{clamp_weights, difference_graph_with, DiscreteRule, WeightScheme};
+use dcs_datasets::{
+    CoauthorConfig, CollabConfig, ConflictConfig, DiffStats, KeywordConfig, SocialInterestConfig,
+};
+use dcs_graph::SignedGraph;
+
+fn row(table: &mut Table, data: &str, setting: &str, gd_type: &str, gd: &SignedGraph) -> DiffStats {
+    let stats = DiffStats::compute(gd);
+    table.add_row(vec![
+        data.to_string(),
+        setting.to_string(),
+        gd_type.to_string(),
+        stats.n.to_string(),
+        stats.m_plus.to_string(),
+        stats.m_minus.to_string(),
+        format!("{:.3}", stats.max_weight),
+        format!("{:.3}", stats.min_weight),
+        format!("{:.4}", stats.average_weight),
+    ]);
+    stats
+}
+
+fn main() {
+    let options = ExpOptions::from_args();
+    let scale = options.scale;
+    let mut table = Table::new(
+        "Table II — statistics of difference graphs (synthetic stand-ins)",
+        &[
+            "Data", "Setting", "GD Type", "n", "m+", "m-", "Max w", "Min w", "Average w",
+        ],
+    );
+    let mut json_rows = Vec::new();
+
+    // DBLP co-author graphs: Weighted/Discrete x Emerging/Disappearing.
+    let dblp = CoauthorConfig::for_scale(scale).generate();
+    for (setting, scheme) in [
+        ("Weighted", WeightScheme::Weighted),
+        ("Discrete", WeightScheme::Discrete(DiscreteRule::default())),
+    ] {
+        let emerging = difference_graph_with(&dblp.g2, &dblp.g1, scheme).unwrap();
+        json_rows.push(("DBLP", setting, "Emerging", row(&mut table, "DBLP", setting, "Emerging", &emerging)));
+        let disappearing = difference_graph_with(&dblp.g1, &dblp.g2, scheme).unwrap();
+        json_rows.push(("DBLP", setting, "Disappearing", row(&mut table, "DBLP", setting, "Disappearing", &disappearing)));
+    }
+
+    // DM keyword association graphs.
+    let dm = KeywordConfig::for_scale(scale).generate();
+    let dm_emerging = difference_graph_with(&dm.g2, &dm.g1, WeightScheme::Weighted).unwrap();
+    json_rows.push(("DM", "—", "Emerging", row(&mut table, "DM", "—", "Emerging", &dm_emerging)));
+    let dm_disappearing = difference_graph_with(&dm.g1, &dm.g2, WeightScheme::Weighted).unwrap();
+    json_rows.push(("DM", "—", "Disappearing", row(&mut table, "DM", "—", "Disappearing", &dm_disappearing)));
+
+    // Wiki editor interactions.
+    let wiki = ConflictConfig::for_scale(scale).generate();
+    let consistent = difference_graph_with(&wiki.g1, &wiki.g2, WeightScheme::Weighted).unwrap();
+    json_rows.push(("Wiki", "—", "Consistent", row(&mut table, "Wiki", "—", "Consistent", &consistent)));
+    let conflicting = difference_graph_with(&wiki.g2, &wiki.g1, WeightScheme::Weighted).unwrap();
+    json_rows.push(("Wiki", "—", "Conflicting", row(&mut table, "Wiki", "—", "Conflicting", &conflicting)));
+
+    // Douban movie/book interest vs social graphs.
+    for (name, pair) in [
+        ("Movie", SocialInterestConfig::movie(scale).generate()),
+        ("Book", SocialInterestConfig::book(scale).generate()),
+    ] {
+        let interest_social = difference_graph_with(&pair.g2, &pair.g1, WeightScheme::Weighted).unwrap();
+        json_rows.push((
+            if name == "Movie" { "Movie" } else { "Book" },
+            "—",
+            "Interest-Social",
+            row(&mut table, name, "—", "Interest-Social", &interest_social),
+        ));
+        let social_interest = difference_graph_with(&pair.g1, &pair.g2, WeightScheme::Weighted).unwrap();
+        json_rows.push((
+            if name == "Movie" { "Movie" } else { "Book" },
+            "—",
+            "Social-Interest",
+            row(&mut table, name, "—", "Social-Interest", &social_interest),
+        ));
+    }
+
+    // DBLP-C timestamp-split pair.
+    let dblp_c = CollabConfig::dblp_c(scale).generate_pair();
+    for (setting, scheme) in [
+        ("Weighted", WeightScheme::Weighted),
+        ("Discrete", WeightScheme::Discrete(DiscreteRule::default())),
+    ] {
+        let gd = difference_graph_with(&dblp_c.g2, &dblp_c.g1, scheme).unwrap();
+        json_rows.push(("DBLP-C", setting, "—", row(&mut table, "DBLP-C", setting, "—", &gd)));
+    }
+
+    // Actor collaboration network used directly as a difference graph.
+    let (actor, _) = CollabConfig::actor(scale).generate_single();
+    json_rows.push(("Actor", "Weighted", "—", row(&mut table, "Actor", "Weighted", "—", &actor)));
+    let actor_clamped = clamp_weights(&actor, 10.0);
+    json_rows.push(("Actor", "Discrete", "—", row(&mut table, "Actor", "Discrete", "—", &actor_clamped)));
+
+    table.print();
+
+    if options.json {
+        let json: Vec<_> = json_rows
+            .iter()
+            .map(|(data, setting, gd_type, stats)| {
+                serde_json::json!({
+                    "data": data, "setting": setting, "gd_type": gd_type, "stats": stats,
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&json).unwrap());
+    }
+}

@@ -1,0 +1,88 @@
+//! Tables XII & XIII — DCS on the Douban-style social/interest data, both directions
+//! (Interest−Social and Social−Interest) and both density measures, for the Movie and
+//! Book interest profiles.
+//!
+//! ```text
+//! cargo run -p dcs-bench --release --bin table12_13_douban -- --scale default
+//! ```
+
+use dcs_bench::{f2, f3, yes_no, ExpOptions, Table};
+use dcs_core::dcsad::DcsGreedy;
+use dcs_core::dcsga::NewSea;
+use dcs_core::{difference_graph, ContrastReport};
+use dcs_datasets::SocialInterestConfig;
+
+fn main() {
+    let options = ExpOptions::from_args();
+
+    let mut table12 = Table::new(
+        "Table XII — DCS w.r.t. average degree on the Douban-style data",
+        &[
+            "Interest", "GD Type", "Variant", "#Users", "AvgDeg diff", "Approx ratio", "PosClique?",
+        ],
+    );
+    let mut table13 = Table::new(
+        "Table XIII — DCS w.r.t. graph affinity on the Douban-style data",
+        &["Interest", "GD Type", "#Users", "Affinity diff", "EdgeDensity diff"],
+    );
+    let mut json_rows = Vec::new();
+
+    for (interest, pair) in [
+        ("Movie", SocialInterestConfig::movie(options.scale).generate()),
+        ("Book", SocialInterestConfig::book(options.scale).generate()),
+    ] {
+        for (gd_type, gd) in [
+            ("Interest-Social", difference_graph(&pair.g2, &pair.g1).unwrap()),
+            ("Social-Interest", difference_graph(&pair.g1, &pair.g2).unwrap()),
+        ] {
+            let solver = DcsGreedy::default();
+            let full = solver.solve(&gd);
+            let gd_only = solver.solve_gd_only(&gd);
+            let plus_only = solver.solve_gd_plus_only(&gd);
+            for (variant, sol, ratio) in [
+                ("DCSGreedy", &full, Some(full.data_dependent_ratio)),
+                ("GD only", &gd_only, None),
+                ("GD+ only", &plus_only, None),
+            ] {
+                let report = ContrastReport::for_subset(&gd, &sol.subset);
+                table12.add_row(vec![
+                    interest.to_string(),
+                    gd_type.to_string(),
+                    variant.to_string(),
+                    report.size.to_string(),
+                    f3(report.average_degree_difference),
+                    ratio.map(f2).unwrap_or_else(|| "—".into()),
+                    yes_no(report.is_positive_clique),
+                ]);
+                json_rows.push(serde_json::json!({
+                    "table": "XII", "interest": interest, "gd_type": gd_type,
+                    "variant": variant, "size": report.size,
+                    "avg_degree_diff": report.average_degree_difference,
+                    "approx_ratio": ratio,
+                }));
+            }
+
+            let ga = NewSea::default().solve(&gd);
+            let report = ContrastReport::for_embedding(&gd, &ga.embedding);
+            table13.add_row(vec![
+                interest.to_string(),
+                gd_type.to_string(),
+                report.size.to_string(),
+                f3(report.affinity_difference),
+                f3(report.edge_density_difference),
+            ]);
+            json_rows.push(serde_json::json!({
+                "table": "XIII", "interest": interest, "gd_type": gd_type,
+                "size": report.size,
+                "affinity_diff": report.affinity_difference,
+                "edge_density_diff": report.edge_density_difference,
+            }));
+        }
+    }
+
+    table12.print();
+    table13.print();
+    if options.json {
+        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+    }
+}

@@ -1,0 +1,75 @@
+//! Table XIV — DCS w.r.t. graph affinity on the large DBLP-C and Actor collaboration
+//! graphs, Weighted and Discrete settings.
+//!
+//! ```text
+//! cargo run -p dcs-bench --release --bin table14_large -- --scale default
+//! ```
+
+use dcs_bench::{f3, seconds, time, ExpOptions, Table};
+use dcs_core::dcsga::NewSea;
+use dcs_core::{clamp_weights, difference_graph_with, ContrastReport, DiscreteRule, WeightScheme};
+use dcs_datasets::CollabConfig;
+use dcs_graph::SignedGraph;
+
+fn main() {
+    let options = ExpOptions::from_args();
+
+    let mut table = Table::new(
+        "Table XIV — DCS w.r.t. graph affinity on the large collaboration graphs",
+        &[
+            "Data", "Setting", "#Vertices", "Affinity diff", "EdgeDensity diff", "NewSEA time (s)",
+        ],
+    );
+    let mut json_rows = Vec::new();
+
+    let dblp_c = CollabConfig::dblp_c(options.scale).generate_pair();
+    let actor = CollabConfig::actor(options.scale).generate_single().0;
+
+    let cases: Vec<(&str, &str, SignedGraph)> = vec![
+        (
+            "DBLP-C",
+            "Weighted",
+            difference_graph_with(&dblp_c.g2, &dblp_c.g1, WeightScheme::Weighted).unwrap(),
+        ),
+        (
+            "DBLP-C",
+            "Discrete",
+            difference_graph_with(
+                &dblp_c.g2,
+                &dblp_c.g1,
+                WeightScheme::Discrete(DiscreteRule::default()),
+            )
+            .unwrap(),
+        ),
+        ("Actor", "Weighted", actor.clone()),
+        ("Actor", "Discrete", clamp_weights(&actor, 10.0)),
+    ];
+
+    for (data, setting, gd) in &cases {
+        let (sol, elapsed) = time(|| NewSea::default().solve(gd));
+        let report = ContrastReport::for_embedding(gd, &sol.embedding);
+        table.add_row(vec![
+            data.to_string(),
+            setting.to_string(),
+            report.size.to_string(),
+            f3(report.affinity_difference),
+            f3(report.edge_density_difference),
+            seconds(elapsed),
+        ]);
+        json_rows.push(serde_json::json!({
+            "data": data, "setting": setting,
+            "size": report.size,
+            "affinity_diff": report.affinity_difference,
+            "edge_density_diff": report.edge_density_difference,
+            "newsea_seconds": elapsed.as_secs_f64(),
+            "initializations_run": sol.stats.initializations_run,
+        }));
+    }
+
+    table.print();
+    println!("Shape check: the Weighted setting yields a tiny, extremely heavy clique; the Discrete");
+    println!("setting (weight clamping/discretisation) yields a noticeably larger group.");
+    if options.json {
+        println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
+    }
+}

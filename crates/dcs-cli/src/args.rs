@@ -1,0 +1,191 @@
+//! A small command-line argument parser.
+//!
+//! The tool has four subcommands with a handful of `--flag` / `--option value` arguments
+//! each; a hand-rolled parser keeps the dependency set to the workspace-approved crates.
+//! Parsed arguments are collected into [`ParsedArgs`]: positionals in order, options as
+//! the last value given, flags as booleans.
+
+use std::collections::BTreeMap;
+
+use crate::error::CliError;
+
+/// Parsed command-line arguments for one subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    /// Positional arguments in the order they appeared.
+    pub positionals: Vec<String>,
+    /// `--name value` options (last occurrence wins).
+    pub options: BTreeMap<String, String>,
+    /// `--name` flags.
+    pub flags: Vec<String>,
+}
+
+/// Declares which options take a value and which are boolean flags, so the parser can
+/// tell `--json` from `--alpha 0.5` without guessing.
+#[derive(Debug, Clone, Default)]
+pub struct ArgSpec {
+    /// Names (without the leading `--`) of options that take a value.
+    pub valued: &'static [&'static str],
+    /// Names (without the leading `--`) of boolean flags.
+    pub flags: &'static [&'static str],
+}
+
+impl ArgSpec {
+    /// Creates a spec from the valued-option and flag name lists.
+    pub fn new(valued: &'static [&'static str], flags: &'static [&'static str]) -> Self {
+        ArgSpec { valued, flags }
+    }
+}
+
+/// Parses raw arguments against a spec.
+pub fn parse_args(args: &[String], spec: &ArgSpec) -> Result<ParsedArgs, CliError> {
+    let mut parsed = ParsedArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(name) = arg.strip_prefix("--") {
+            // Allow `--name=value` as well as `--name value`.
+            if let Some((name, value)) = name.split_once('=') {
+                if spec.valued.contains(&name) {
+                    parsed.options.insert(name.to_string(), value.to_string());
+                } else {
+                    return Err(CliError::UnknownArgument(arg.clone()));
+                }
+            } else if spec.valued.contains(&name) {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or_else(|| CliError::MissingValue(name.to_string()))?;
+                parsed.options.insert(name.to_string(), value.clone());
+            } else if spec.flags.contains(&name) {
+                parsed.flags.push(name.to_string());
+            } else {
+                return Err(CliError::UnknownArgument(arg.clone()));
+            }
+        } else {
+            parsed.positionals.push(arg.clone());
+        }
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+impl ParsedArgs {
+    /// Returns the positional argument at `index` or an error naming what was expected.
+    pub fn positional(&self, index: usize, what: &str) -> Result<&str, CliError> {
+        self.positionals
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::MissingPositional(what.to_string()))
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw value of an option, if present.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Parses an option into a type, defaulting when absent.
+    pub fn parse_option<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        match self.option(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::InvalidValue {
+                    option: name.to_string(),
+                    value: raw.to_string(),
+                }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ArgSpec {
+        ArgSpec::new(&["alpha", "seed", "k"], &["json", "numeric"])
+    }
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_options_and_flags() {
+        let args = strings(&["g1.edges", "g2.edges", "--alpha", "0.5", "--json"]);
+        let parsed = parse_args(&args, &spec()).unwrap();
+        assert_eq!(parsed.positionals, vec!["g1.edges", "g2.edges"]);
+        assert_eq!(parsed.option("alpha"), Some("0.5"));
+        assert!(parsed.flag("json"));
+        assert!(!parsed.flag("numeric"));
+    }
+
+    #[test]
+    fn equals_form_is_accepted() {
+        let args = strings(&["--alpha=2.0", "--seed=7"]);
+        let parsed = parse_args(&args, &spec()).unwrap();
+        assert_eq!(parsed.option("alpha"), Some("2.0"));
+        assert_eq!(parsed.parse_option("seed", 0u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn unknown_argument_is_rejected() {
+        let args = strings(&["--bogus"]);
+        assert!(matches!(
+            parse_args(&args, &spec()),
+            Err(CliError::UnknownArgument(_))
+        ));
+        let args = strings(&["--bogus=3"]);
+        assert!(matches!(
+            parse_args(&args, &spec()),
+            Err(CliError::UnknownArgument(_))
+        ));
+    }
+
+    #[test]
+    fn missing_value_is_rejected() {
+        let args = strings(&["--alpha"]);
+        assert!(matches!(
+            parse_args(&args, &spec()),
+            Err(CliError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn last_option_occurrence_wins() {
+        let args = strings(&["--k", "3", "--k", "5"]);
+        let parsed = parse_args(&args, &spec()).unwrap();
+        assert_eq!(parsed.parse_option("k", 0usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn positional_and_parse_errors() {
+        let parsed = parse_args(&strings(&["only-one"]), &spec()).unwrap();
+        assert_eq!(parsed.positional(0, "G1").unwrap(), "only-one");
+        assert!(matches!(
+            parsed.positional(1, "G2"),
+            Err(CliError::MissingPositional(_))
+        ));
+        let parsed = parse_args(&strings(&["--alpha", "not-a-number"]), &spec()).unwrap();
+        assert!(matches!(
+            parsed.parse_option("alpha", 1.0f64),
+            Err(CliError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn defaults_apply_when_options_absent() {
+        let parsed = parse_args(&[], &spec()).unwrap();
+        assert_eq!(parsed.parse_option("k", 4usize).unwrap(), 4);
+        assert_eq!(parsed.parse_option("alpha", 1.0f64).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! `dcs generate` — write a synthetic benchmark graph pair to disk.
+//!
+//! The workspace's generators (see `dcs-datasets`) produce graph pairs with planted
+//! contrast groups.  This subcommand materialises one of them as two numeric edge-list
+//! files plus a ground-truth file, so the other subcommands (and external tools) can be
+//! exercised on data with a known answer.
+
+use std::path::{Path, PathBuf};
+
+use dcs_datasets::{
+    CoauthorConfig, CollabConfig, ConflictConfig, GraphPair, KeywordConfig, Scale,
+    SocialInterestConfig,
+};
+use dcs_graph::io::write_edge_list_file;
+
+use crate::args::{parse_args, ArgSpec};
+use crate::error::CliError;
+
+/// Usage string shown by `dcs help`.
+pub const USAGE: &str = "dcs generate <coauthor|keywords|conflict|movie|book|dblp-c|actor> \
+--out <DIR> [--scale tiny|default|full] [--seed N]";
+
+fn spec() -> ArgSpec {
+    ArgSpec::new(&["out", "scale", "seed"], &[])
+}
+
+/// Runs the subcommand and returns the text to print.
+pub fn run(raw_args: &[String]) -> Result<String, CliError> {
+    let args = parse_args(raw_args, &spec())?;
+    let dataset = args.positional(0, "dataset name")?.to_string();
+    let out_dir = PathBuf::from(
+        args.option("out")
+            .ok_or_else(|| CliError::MissingPositional("--out output directory".to_string()))?,
+    );
+    let scale = match args.option("scale") {
+        None => Scale::Tiny,
+        Some(raw) => Scale::parse(raw).ok_or_else(|| CliError::InvalidValue {
+            option: "scale".to_string(),
+            value: raw.to_string(),
+        })?,
+    };
+    let seed: u64 = args.parse_option("seed", 42)?;
+
+    let pair = generate_pair(&dataset, scale, seed)?;
+    write_pair(&pair, &out_dir)?;
+
+    Ok(format!(
+        "wrote {dataset} pair ({} vertices, {} + {} edges, {} planted groups) to {}\n",
+        pair.g1.num_vertices(),
+        pair.g1.num_edges(),
+        pair.g2.num_edges(),
+        pair.planted.len(),
+        out_dir.display()
+    ))
+}
+
+/// Builds the requested dataset at the requested scale and seed.
+fn generate_pair(dataset: &str, scale: Scale, seed: u64) -> Result<GraphPair, CliError> {
+    let pair = match dataset.to_ascii_lowercase().as_str() {
+        "coauthor" | "dblp" => {
+            let mut config = CoauthorConfig::for_scale(scale);
+            config.seed = seed;
+            config.generate()
+        }
+        "keywords" | "dm" => {
+            let mut config = KeywordConfig::for_scale(scale);
+            config.seed = seed;
+            config.generate()
+        }
+        "conflict" | "wiki" => {
+            let mut config = ConflictConfig::for_scale(scale);
+            config.seed = seed;
+            config.generate()
+        }
+        "movie" => {
+            let mut config = SocialInterestConfig::movie(scale);
+            config.seed = seed;
+            config.generate()
+        }
+        "book" => {
+            let mut config = SocialInterestConfig::book(scale);
+            config.seed = seed;
+            config.generate()
+        }
+        "dblp-c" => {
+            let mut config = CollabConfig::dblp_c(scale);
+            config.seed = seed;
+            config.generate_pair()
+        }
+        "actor" => {
+            let mut config = CollabConfig::actor(scale);
+            config.seed = seed;
+            config.generate_pair()
+        }
+        other => {
+            return Err(CliError::InvalidValue {
+                option: "dataset".to_string(),
+                value: other.to_string(),
+            })
+        }
+    };
+    Ok(pair)
+}
+
+/// Writes `g1.edges`, `g2.edges` and `planted.txt` into `out_dir`.
+fn write_pair(pair: &GraphPair, out_dir: &Path) -> Result<(), CliError> {
+    std::fs::create_dir_all(out_dir)?;
+    write_edge_list_file(&pair.g1, out_dir.join("g1.edges"))?;
+    write_edge_list_file(&pair.g2, out_dir.join("g2.edges"))?;
+    let mut ground_truth = String::from("# planted groups: name kind vertices...\n");
+    for group in &pair.planted {
+        let vertices: Vec<String> = group.vertices.iter().map(|v| v.to_string()).collect();
+        ground_truth.push_str(&format!(
+            "{} {:?} {}\n",
+            group.name,
+            group.kind,
+            vertices.join(" ")
+        ));
+    }
+    std::fs::write(out_dir.join("planted.txt"), ground_truth)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn generates_all_known_datasets_at_tiny_scale() {
+        for dataset in ["coauthor", "keywords", "conflict", "movie", "book", "dblp-c", "actor"] {
+            let pair = generate_pair(dataset, Scale::Tiny, 7).unwrap();
+            assert!(pair.g1.num_vertices() > 0, "{dataset} has vertices");
+            assert_eq!(pair.g1.num_vertices(), pair.g2.num_vertices());
+        }
+    }
+
+    #[test]
+    fn unknown_dataset_is_rejected() {
+        assert!(matches!(
+            generate_pair("bitcoin", Scale::Tiny, 1),
+            Err(CliError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn writes_the_three_files() {
+        let dir = std::env::temp_dir().join("dcs_cli_generate_files");
+        let out = run(&strings(&[
+            "coauthor",
+            "--out",
+            dir.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote coauthor pair"));
+        for file in ["g1.edges", "g2.edges", "planted.txt"] {
+            assert!(dir.join(file).exists(), "{file} exists");
+        }
+        let planted = std::fs::read_to_string(dir.join("planted.txt")).unwrap();
+        assert!(planted.lines().count() > 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn requires_dataset_and_out_dir() {
+        assert!(matches!(
+            run(&strings(&[])),
+            Err(CliError::MissingPositional(_))
+        ));
+        assert!(matches!(
+            run(&strings(&["coauthor"])),
+            Err(CliError::MissingPositional(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_scale() {
+        let dir = std::env::temp_dir().join("dcs_cli_generate_bad_scale");
+        assert!(matches!(
+            run(&strings(&[
+                "coauthor",
+                "--out",
+                dir.to_str().unwrap(),
+                "--scale",
+                "gigantic"
+            ])),
+            Err(CliError::InvalidValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,18 @@
+//! The subcommands of the `dcs` command-line tool.
+//!
+//! Each subcommand is a function from raw arguments to the text it prints, which keeps
+//! them directly unit-testable without spawning processes:
+//!
+//! * [`stats`] — difference-graph statistics of a graph pair (a Table II row),
+//! * [`mine`] — mine the DCS under average degree and/or graph affinity,
+//! * [`topk`] — mine up to `k` vertex-disjoint contrast subgraphs,
+//! * [`compare`] — DCS vs EgoScan vs quasi-clique side by side (Tables VIII/IX style),
+//! * [`census`] — positive-clique census of the difference graph (Table V / Fig. 3 style),
+//! * [`generate`] — write a synthetic benchmark graph pair (with ground truth) to disk.
+
+pub mod census;
+pub mod compare;
+pub mod generate;
+pub mod mine;
+pub mod stats;
+pub mod topk;

@@ -1,0 +1,127 @@
+//! `dcs stats` — difference-graph statistics for a pair of edge lists.
+
+use dcs_datasets::DiffStats;
+use serde_json::json;
+
+use crate::args::{parse_args, ArgSpec, ParsedArgs};
+use crate::error::CliError;
+use crate::input::{MiningOptions, PairInput};
+use crate::output::{json_to_string, render_block};
+
+/// Usage string shown by `dcs help`.
+pub const USAGE: &str = "dcs stats <G1.edges> <G2.edges> [--numeric] [--scheme weighted|discrete|scaled] \
+[--alpha X] [--direction emerging|disappearing|both] [--clamp X] [--json]";
+
+fn spec() -> ArgSpec {
+    ArgSpec::new(
+        &["scheme", "alpha", "direction", "clamp"],
+        &["numeric", "json"],
+    )
+}
+
+/// Runs the subcommand and returns the text to print.
+pub fn run(raw_args: &[String]) -> Result<String, CliError> {
+    let args = parse_args(raw_args, &spec())?;
+    let pair = load_pair(&args)?;
+    let options = MiningOptions::from_args(&args)?;
+
+    let mut out = String::new();
+    let mut json_sections = Vec::new();
+    for direction in options.direction.expand() {
+        let gd = options.difference_graph(&pair, direction)?;
+        let stats = DiffStats::compute(&gd);
+        out.push_str(&render_block(
+            &format!("Difference graph — {}", direction.name()),
+            &[
+                ("vertices (n)", stats.n.to_string()),
+                ("positive edges (m+)", stats.m_plus.to_string()),
+                ("negative edges (m-)", stats.m_minus.to_string()),
+                ("max weight", format!("{:.4}", stats.max_weight)),
+                ("min weight", format!("{:.4}", stats.min_weight)),
+                ("average weight", format!("{:.4}", stats.average_weight)),
+                ("m+/n", format!("{:.4}", stats.positive_density())),
+            ],
+        ));
+        out.push('\n');
+        json_sections.push(json!({
+            "direction": direction.name(),
+            "n": stats.n,
+            "m_plus": stats.m_plus,
+            "m_minus": stats.m_minus,
+            "max_weight": stats.max_weight,
+            "min_weight": stats.min_weight,
+            "average_weight": stats.average_weight,
+            "positive_density": stats.positive_density(),
+        }));
+    }
+    if args.flag("json") {
+        out.push_str(&json_to_string(&json!({ "stats": json_sections })));
+    }
+    Ok(out)
+}
+
+fn load_pair(args: &ParsedArgs) -> Result<PairInput, CliError> {
+    let g1 = args.positional(0, "G1 edge-list file")?;
+    let g2 = args.positional(1, "G2 edge-list file")?;
+    PairInput::load(g1, g2, args.flag("numeric"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_pair(dir_name: &str) -> (String, String) {
+        let dir = std::env::temp_dir().join(dir_name);
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("g1.edges");
+        let p2 = dir.join("g2.edges");
+        std::fs::write(&p1, "a b 1\nb c 5\n").unwrap();
+        std::fs::write(&p2, "a b 4\na c 2\nb c 1\n").unwrap();
+        (
+            p1.to_string_lossy().into_owned(),
+            p2.to_string_lossy().into_owned(),
+        )
+    }
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn reports_counts_for_one_direction() {
+        let (p1, p2) = write_pair("dcs_cli_stats_basic");
+        let out = run(&strings(&[&p1, &p2])).unwrap();
+        assert!(out.contains("Emerging"));
+        assert!(!out.contains("Disappearing"));
+        // a-b: +3, a-c: +2, b-c: -4 -> 2 positive, 1 negative.
+        assert!(out.contains("positive edges (m+)  2"));
+        assert!(out.contains("negative edges (m-)  1"));
+    }
+
+    #[test]
+    fn both_directions_and_json() {
+        let (p1, p2) = write_pair("dcs_cli_stats_both");
+        let out = run(&strings(&[&p1, &p2, "--direction", "both", "--json"])).unwrap();
+        assert!(out.contains("Emerging"));
+        assert!(out.contains("Disappearing"));
+        assert!(out.contains("\"stats\""));
+        let json_start = out.find('{').unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out[json_start..]).unwrap();
+        assert_eq!(value["stats"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn missing_file_argument_is_an_error() {
+        let (p1, _) = write_pair("dcs_cli_stats_missing");
+        assert!(matches!(
+            run(&strings(&[&p1])),
+            Err(CliError::MissingPositional(_))
+        ));
+    }
+
+    #[test]
+    fn unreadable_file_is_an_error() {
+        let out = run(&strings(&["/nonexistent/a.edges", "/nonexistent/b.edges"]));
+        assert!(matches!(out, Err(CliError::Graph(_))));
+    }
+}

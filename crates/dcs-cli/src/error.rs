@@ -1,0 +1,122 @@
+//! Error type of the command-line tool.
+
+use dcs_core::DcsError;
+use dcs_graph::io::IoError;
+
+/// Everything that can go wrong while handling a CLI invocation.
+#[derive(Debug)]
+pub enum CliError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// An unknown subcommand was given.
+    UnknownCommand(String),
+    /// An argument that is neither a known option nor a known flag.
+    UnknownArgument(String),
+    /// A `--option` that requires a value appeared last on the command line.
+    MissingValue(String),
+    /// A required positional argument (named in the payload) was not supplied.
+    MissingPositional(String),
+    /// An option value could not be parsed.
+    InvalidValue {
+        /// Option name (without `--`).
+        option: String,
+        /// The offending raw value.
+        value: String,
+    },
+    /// Reading or parsing an edge-list file failed.
+    Graph(IoError),
+    /// The DCS library rejected the input (mismatched vertex sets, negative weights, …).
+    Dcs(DcsError),
+    /// Writing an output file failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::MissingCommand => {
+                write!(f, "no command given; run `dcs --help` for usage")
+            }
+            CliError::UnknownCommand(cmd) => {
+                write!(f, "unknown command {cmd:?}; run `dcs --help` for usage")
+            }
+            CliError::UnknownArgument(arg) => write!(f, "unknown argument {arg:?}"),
+            CliError::MissingValue(name) => write!(f, "option --{name} expects a value"),
+            CliError::MissingPositional(what) => {
+                write!(f, "missing required argument: {what}")
+            }
+            CliError::InvalidValue { option, value } => {
+                write!(f, "invalid value {value:?} for --{option}")
+            }
+            CliError::Graph(e) => write!(f, "cannot load graph: {e}"),
+            CliError::Dcs(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Graph(e) => Some(e),
+            CliError::Dcs(e) => Some(e),
+            CliError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IoError> for CliError {
+    fn from(e: IoError) -> Self {
+        CliError::Graph(e)
+    }
+}
+
+impl From<DcsError> for CliError {
+    fn from(e: DcsError) -> Self {
+        CliError::Dcs(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CliError::MissingCommand.to_string().contains("--help"));
+        assert!(CliError::UnknownCommand("foo".into())
+            .to_string()
+            .contains("foo"));
+        assert!(CliError::MissingValue("alpha".into())
+            .to_string()
+            .contains("--alpha"));
+        assert!(CliError::InvalidValue {
+            option: "k".into(),
+            value: "x".into()
+        }
+        .to_string()
+        .contains("--k"));
+        assert!(CliError::MissingPositional("G1 edge list".into())
+            .to_string()
+            .contains("G1"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        use std::error::Error;
+        let io = CliError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(io.source().is_some());
+        let parse = CliError::from(IoError::Parse {
+            line_number: 1,
+            line: "x".into(),
+        });
+        assert!(parse.to_string().contains("cannot load graph"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Loading graph pairs and interpreting the shared mining options.
+//!
+//! Every mining subcommand takes the same inputs: two edge-list files over the same
+//! entities, an optional weight scheme (`--scheme weighted|discrete|scaled`), the mining
+//! direction (`--direction emerging|disappearing|both`) and an optional weight clamp.
+//! This module centralises the loading and option interpretation so the subcommands stay
+//! small.
+
+use std::path::Path;
+
+use dcs_core::{clamp_weights, difference_graph_with, DiscreteRule, WeightScheme};
+use dcs_graph::labels::{align_vertex_counts, read_labeled_graph_pair_files, VertexLabels};
+use dcs_graph::{io as graph_io, SignedGraph, VertexId};
+
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+
+/// A loaded pair of input graphs plus (when labelled input was used) the label table.
+#[derive(Debug, Clone)]
+pub struct PairInput {
+    /// The first ("early"/"expected") graph `G1`.
+    pub g1: SignedGraph,
+    /// The second ("recent"/"observed") graph `G2`.
+    pub g2: SignedGraph,
+    /// Label table; `None` when the files were loaded as numeric edge lists.
+    pub labels: Option<VertexLabels>,
+}
+
+impl PairInput {
+    /// Loads a pair of edge-list files.
+    ///
+    /// By default the endpoints are treated as string labels interned into a shared
+    /// table; with `numeric` they are parsed as integer vertex ids directly.
+    pub fn load<P: AsRef<Path>>(path1: P, path2: P, numeric: bool) -> Result<Self, CliError> {
+        if numeric {
+            let g1 = graph_io::read_edge_list_file(path1)?;
+            let g2 = graph_io::read_edge_list_file(path2)?;
+            let (g1, g2) = align_vertex_counts(&g1, &g2);
+            Ok(PairInput {
+                g1,
+                g2,
+                labels: None,
+            })
+        } else {
+            let (g1, g2, labels) = read_labeled_graph_pair_files(path1, path2)?;
+            Ok(PairInput {
+                g1,
+                g2,
+                labels: Some(labels),
+            })
+        }
+    }
+
+    /// Renders a vertex subset using labels when available, ids otherwise.
+    pub fn render_vertices(&self, vertices: &[VertexId]) -> Vec<String> {
+        match &self.labels {
+            Some(labels) => labels.labels_of(vertices),
+            None => vertices.iter().map(|v| v.to_string()).collect(),
+        }
+    }
+}
+
+/// Which difference graph(s) to mine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `G_D = G2 − G1` — subgraphs denser in the second graph.
+    Emerging,
+    /// `G_D = G1 − G2` — subgraphs denser in the first graph.
+    Disappearing,
+    /// Both directions, reported one after the other.
+    Both,
+}
+
+impl Direction {
+    /// Parses a `--direction` value.
+    pub fn parse(text: &str) -> Option<Direction> {
+        match text.to_ascii_lowercase().as_str() {
+            "emerging" => Some(Direction::Emerging),
+            "disappearing" => Some(Direction::Disappearing),
+            "both" => Some(Direction::Both),
+            _ => None,
+        }
+    }
+
+    /// The concrete directions to run.
+    pub fn expand(self) -> Vec<Direction> {
+        match self {
+            Direction::Both => vec![Direction::Emerging, Direction::Disappearing],
+            d => vec![d],
+        }
+    }
+
+    /// Human-readable name used in section headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::Emerging => "Emerging (G2 - G1)",
+            Direction::Disappearing => "Disappearing (G1 - G2)",
+            Direction::Both => "Both",
+        }
+    }
+}
+
+/// The shared mining options of the `stats`, `mine` and `topk` subcommands.
+#[derive(Debug, Clone, Copy)]
+pub struct MiningOptions {
+    /// The weight scheme used to build the difference graph.
+    pub scheme: WeightScheme,
+    /// The direction(s) to mine.
+    pub direction: Direction,
+    /// Optional symmetric clamp on difference-graph weights.
+    pub clamp: Option<f64>,
+}
+
+impl MiningOptions {
+    /// Interprets `--scheme`, `--alpha`, `--direction` and `--clamp`.
+    pub fn from_args(args: &ParsedArgs) -> Result<Self, CliError> {
+        let scheme = match args.option("scheme").unwrap_or("weighted") {
+            "weighted" => WeightScheme::Weighted,
+            "discrete" => WeightScheme::Discrete(DiscreteRule::default()),
+            "scaled" => WeightScheme::Scaled {
+                alpha: args.parse_option("alpha", 1.0)?,
+            },
+            other => {
+                return Err(CliError::InvalidValue {
+                    option: "scheme".to_string(),
+                    value: other.to_string(),
+                })
+            }
+        };
+        let direction = match args.option("direction") {
+            None => Direction::Emerging,
+            Some(raw) => Direction::parse(raw).ok_or_else(|| CliError::InvalidValue {
+                option: "direction".to_string(),
+                value: raw.to_string(),
+            })?,
+        };
+        let clamp = match args.option("clamp") {
+            None => None,
+            Some(raw) => Some(raw.parse().map_err(|_| CliError::InvalidValue {
+                option: "clamp".to_string(),
+                value: raw.to_string(),
+            })?),
+        };
+        Ok(MiningOptions {
+            scheme,
+            direction,
+            clamp,
+        })
+    }
+
+    /// Builds the difference graph for one direction, applying the scheme and clamp.
+    pub fn difference_graph(
+        &self,
+        pair: &PairInput,
+        direction: Direction,
+    ) -> Result<SignedGraph, CliError> {
+        let (g2, g1) = match direction {
+            Direction::Emerging | Direction::Both => (&pair.g2, &pair.g1),
+            Direction::Disappearing => (&pair.g1, &pair.g2),
+        };
+        let gd = difference_graph_with(g2, g1, self.scheme)?;
+        Ok(match self.clamp {
+            Some(max_abs) => clamp_weights(&gd, max_abs),
+            None => gd,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{parse_args, ArgSpec};
+
+    fn temp_pair_files(dir_name: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(dir_name);
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("g1.edges");
+        let p2 = dir.join("g2.edges");
+        std::fs::write(&p1, "alice bob 1\nbob carol 2\n").unwrap();
+        std::fs::write(&p2, "alice bob 4\nalice carol 3\nbob carol 3\n").unwrap();
+        (p1, p2)
+    }
+
+    fn mining_args(raw: &[&str]) -> ParsedArgs {
+        let spec = ArgSpec::new(&["scheme", "alpha", "direction", "clamp"], &["numeric"]);
+        let raw: Vec<String> = raw.iter().map(|s| s.to_string()).collect();
+        parse_args(&raw, &spec).unwrap()
+    }
+
+    #[test]
+    fn loads_labeled_pair() {
+        let (p1, p2) = temp_pair_files("dcs_cli_input_labeled");
+        let pair = PairInput::load(&p1, &p2, false).unwrap();
+        assert_eq!(pair.g1.num_vertices(), 3);
+        assert_eq!(pair.g2.num_vertices(), 3);
+        let rendered = pair.render_vertices(&[0, 1]);
+        assert_eq!(rendered, vec!["alice".to_string(), "bob".to_string()]);
+    }
+
+    #[test]
+    fn loads_numeric_pair() {
+        let dir = std::env::temp_dir().join("dcs_cli_input_numeric");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("g1.edges");
+        let p2 = dir.join("g2.edges");
+        std::fs::write(&p1, "0 1 1\n").unwrap();
+        std::fs::write(&p2, "0 1 2\n1 2 3\n").unwrap();
+        let pair = PairInput::load(&p1, &p2, true).unwrap();
+        assert!(pair.labels.is_none());
+        assert_eq!(pair.g1.num_vertices(), 3); // aligned to the larger graph
+        assert_eq!(pair.render_vertices(&[2]), vec!["2".to_string()]);
+    }
+
+    #[test]
+    fn direction_parsing_and_expansion() {
+        assert_eq!(Direction::parse("emerging"), Some(Direction::Emerging));
+        assert_eq!(Direction::parse("BOTH"), Some(Direction::Both));
+        assert_eq!(Direction::parse("sideways"), None);
+        assert_eq!(Direction::Both.expand().len(), 2);
+        assert_eq!(Direction::Emerging.expand(), vec![Direction::Emerging]);
+    }
+
+    #[test]
+    fn options_defaults_and_scaled_scheme() {
+        let options = MiningOptions::from_args(&mining_args(&[])).unwrap();
+        assert_eq!(options.scheme, WeightScheme::Weighted);
+        assert_eq!(options.direction, Direction::Emerging);
+        assert!(options.clamp.is_none());
+
+        let options = MiningOptions::from_args(&mining_args(&[
+            "--scheme", "scaled", "--alpha", "0.5", "--direction", "both", "--clamp", "10",
+        ]))
+        .unwrap();
+        assert_eq!(options.scheme, WeightScheme::Scaled { alpha: 0.5 });
+        assert_eq!(options.direction, Direction::Both);
+        assert_eq!(options.clamp, Some(10.0));
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        assert!(MiningOptions::from_args(&mining_args(&["--scheme", "wild"])).is_err());
+        assert!(MiningOptions::from_args(&mining_args(&["--direction", "up"])).is_err());
+        assert!(MiningOptions::from_args(&mining_args(&["--clamp", "big"])).is_err());
+    }
+
+    #[test]
+    fn difference_graph_respects_direction_and_clamp() {
+        let (p1, p2) = temp_pair_files("dcs_cli_input_diff");
+        let pair = PairInput::load(&p1, &p2, false).unwrap();
+        let mut options = MiningOptions::from_args(&mining_args(&[])).unwrap();
+
+        let emerging = options.difference_graph(&pair, Direction::Emerging).unwrap();
+        let disappearing = options
+            .difference_graph(&pair, Direction::Disappearing)
+            .unwrap();
+        // alice-bob went from 1 to 4: +3 emerging, -3 disappearing.
+        let (a, b) = (0, 1);
+        assert_eq!(emerging.edge_weight(a, b), Some(3.0));
+        assert_eq!(disappearing.edge_weight(a, b), Some(-3.0));
+
+        options.clamp = Some(1.5);
+        let clamped = options.difference_graph(&pair, Direction::Emerging).unwrap();
+        assert_eq!(clamped.edge_weight(a, b), Some(1.5));
+    }
+}

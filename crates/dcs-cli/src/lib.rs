@@ -1,0 +1,94 @@
+//! # dcs-cli
+//!
+//! The `dcs` command-line tool: mine density contrast subgraphs from plain edge-list
+//! files without writing any Rust.
+//!
+//! ```text
+//! dcs stats    <G1.edges> <G2.edges> ...   difference-graph statistics (Table II style)
+//! dcs mine     <G1.edges> <G2.edges> ...   the DCS under average degree / graph affinity
+//! dcs topk     <G1.edges> <G2.edges> ...   up to k vertex-disjoint contrast subgraphs
+//! dcs compare  <G1.edges> <G2.edges> ...   DCS vs EgoScan vs quasi-clique side by side
+//! dcs census   <G1.edges> <G2.edges> ...   positive-clique census of the difference graph
+//! dcs generate <dataset> --out <dir> ...   synthetic benchmark pairs with ground truth
+//! ```
+//!
+//! Edge lists are `label label [weight]` per line by default (`--numeric` switches to
+//! integer vertex ids); both graphs are interned into a shared vertex numbering so that
+//! the difference graph is well defined.  The library surface of this crate is
+//! [`run`], which maps raw arguments to the text a command prints — the binary in
+//! `main.rs` is a thin wrapper, and tests call [`run`] directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod error;
+pub mod input;
+pub mod output;
+
+pub use error::CliError;
+
+/// The overall usage text printed by `dcs help` / `dcs --help`.
+pub fn usage() -> String {
+    format!(
+        "dcs — density contrast subgraph mining\n\
+         \n\
+         Usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n\
+         \n\
+         Every command accepts exactly the options shown above.\n\
+         Edge lists are `label label [weight]` per line; `--numeric` reads integer vertex ids.\n",
+        commands::stats::USAGE,
+        commands::mine::USAGE,
+        commands::topk::USAGE,
+        commands::compare::USAGE,
+        commands::census::USAGE,
+        commands::generate::USAGE,
+    )
+}
+
+/// Dispatches a full argument list (excluding the program name) to the subcommands and
+/// returns the text to print on stdout.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (command, rest) = match args.split_first() {
+        None => return Err(CliError::MissingCommand),
+        Some((first, rest)) => (first.as_str(), rest),
+    };
+    match command {
+        "stats" => commands::stats::run(rest),
+        "mine" => commands::mine::run(rest),
+        "topk" => commands::topk::run(rest),
+        "compare" => commands::compare::run(rest),
+        "census" => commands::census::run(rest),
+        "generate" => commands::generate::run(rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_lists_every_command() {
+        let text = run(&strings(&["help"])).unwrap();
+        for command in ["stats", "mine", "topk", "compare", "census", "generate"] {
+            assert!(text.contains(command), "usage mentions {command}");
+        }
+        assert_eq!(run(&strings(&["--help"])).unwrap(), text);
+    }
+
+    #[test]
+    fn missing_and_unknown_commands() {
+        assert!(matches!(run(&[]), Err(CliError::MissingCommand)));
+        assert!(matches!(
+            run(&strings(&["compress"])),
+            Err(CliError::UnknownCommand(_))
+        ));
+    }
+}

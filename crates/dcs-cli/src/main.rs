@@ -1,0 +1,12 @@
+//! The `dcs` binary: a thin wrapper around [`dcs_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dcs_cli::run(&args) {
+        Ok(text) => print!("{text}"),
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Human-readable and JSON rendering of mining results.
+//!
+//! The mining subcommands produce [`ContrastReport`]s (the same statistics the paper's
+//! result tables show per mined group).  This module turns them into aligned text blocks
+//! for the terminal and `serde_json::Value`s for `--json` output.
+
+use dcs_core::ContrastReport;
+use serde_json::{json, Value};
+
+/// Renders a titled key/value block with aligned values.
+pub fn render_block(title: &str, entries: &[(&str, String)]) -> String {
+    let width = entries.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&"-".repeat(title.len()));
+    out.push('\n');
+    for (key, value) in entries {
+        out.push_str(&format!("{key:<width$}  {value}\n"));
+    }
+    out
+}
+
+/// Renders a [`ContrastReport`] (plus the rendered member names) as a text block.
+pub fn render_report(title: &str, report: &ContrastReport, members: &[String]) -> String {
+    let members_line = if members.is_empty() {
+        "(empty)".to_string()
+    } else {
+        members.join(", ")
+    };
+    render_block(
+        title,
+        &[
+            ("size", report.size.to_string()),
+            ("members", members_line),
+            (
+                "average-degree difference",
+                format!("{:.4}", report.average_degree_difference),
+            ),
+            (
+                "graph-affinity difference",
+                format!("{:.4}", report.affinity_difference),
+            ),
+            (
+                "edge-density difference",
+                format!("{:.4}", report.edge_density_difference),
+            ),
+            (
+                "total-degree difference",
+                format!("{:.4}", report.total_degree_difference),
+            ),
+            (
+                "positive clique",
+                if report.is_positive_clique { "yes" } else { "no" }.to_string(),
+            ),
+            (
+                "connected",
+                if report.is_connected { "yes" } else { "no" }.to_string(),
+            ),
+        ],
+    )
+}
+
+/// Converts a [`ContrastReport`] into a JSON value for `--json` output.
+pub fn report_to_json(report: &ContrastReport, members: &[String]) -> Value {
+    json!({
+        "size": report.size,
+        "vertices": report.subset,
+        "members": members,
+        "average_degree_difference": report.average_degree_difference,
+        "affinity_difference": report.affinity_difference,
+        "edge_density_difference": report.edge_density_difference,
+        "total_degree_difference": report.total_degree_difference,
+        "is_positive_clique": report.is_positive_clique,
+        "is_connected": report.is_connected,
+    })
+}
+
+/// Pretty-prints a JSON value with a trailing newline.
+pub fn json_to_string(value: &Value) -> String {
+    let mut text = serde_json::to_string_pretty(value).unwrap_or_else(|_| "{}".to_string());
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_graph::GraphBuilder;
+
+    fn report() -> ContrastReport {
+        let gd = GraphBuilder::from_edges(4, vec![(0, 1, 2.0), (1, 2, 2.0), (0, 2, 2.0)]);
+        ContrastReport::for_subset(&gd, &[0, 1, 2])
+    }
+
+    #[test]
+    fn block_is_aligned() {
+        let text = render_block("Title", &[("a", "1".into()), ("longer", "2".into())]);
+        assert!(text.starts_with("Title\n-----\n"));
+        assert!(text.contains("a       1"));
+        assert!(text.contains("longer  2"));
+    }
+
+    #[test]
+    fn report_rendering_mentions_all_measures() {
+        let r = report();
+        let text = render_report("Emerging", &r, &["x".into(), "y".into(), "z".into()]);
+        assert!(text.contains("size"));
+        assert!(text.contains("x, y, z"));
+        assert!(text.contains("average-degree difference"));
+        assert!(text.contains("positive clique"));
+        assert!(text.contains("yes"));
+    }
+
+    #[test]
+    fn empty_member_list_is_explicit() {
+        let r = report();
+        let text = render_report("t", &r, &[]);
+        assert!(text.contains("(empty)"));
+    }
+
+    #[test]
+    fn json_round_trips_the_numbers() {
+        let r = report();
+        let value = report_to_json(&r, &["a".into(), "b".into(), "c".into()]);
+        assert_eq!(value["size"], 3);
+        assert_eq!(value["members"].as_array().unwrap().len(), 3);
+        assert!(value["is_positive_clique"].as_bool().unwrap());
+        let text = json_to_string(&value);
+        assert!(text.ends_with('\n'));
+        assert!(text.contains("\"average_degree_difference\""));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the command-line argument parser: any well-formed argument
+//! sequence parses losslessly, and malformed input is rejected rather than misread.
+
+use dcs_cli::args::{parse_args, ArgSpec};
+use dcs_cli::error::CliError;
+use proptest::prelude::*;
+
+fn spec() -> ArgSpec {
+    ArgSpec::new(
+        &["scheme", "alpha", "direction", "clamp", "k", "seed", "out", "scale", "measure"],
+        &["json", "numeric"],
+    )
+}
+
+/// One well-formed argument fragment together with what it should parse to.
+#[derive(Debug, Clone)]
+enum Fragment {
+    Positional(String),
+    Valued { name: &'static str, value: String },
+    Flag(&'static str),
+}
+
+fn arb_fragment() -> impl Strategy<Value = Fragment> {
+    let positional = "[a-z][a-z0-9_./-]{0,12}".prop_map(Fragment::Positional);
+    let valued = (
+        prop::sample::select(vec!["scheme", "alpha", "k", "seed", "out", "measure"]),
+        "[a-zA-Z0-9_./-]{1,10}",
+    )
+        .prop_map(|(name, value)| Fragment::Valued { name, value });
+    let flag = prop::sample::select(vec!["json", "numeric"]).prop_map(Fragment::Flag);
+    prop_oneof![3 => positional, 3 => valued, 1 => flag]
+}
+
+proptest! {
+    /// Every well-formed sequence parses, and every fragment is recovered in the parse:
+    /// positionals in order, the last value of each option, and all flags.
+    #[test]
+    fn well_formed_sequences_round_trip(fragments in proptest::collection::vec(arb_fragment(), 0..12)) {
+        let mut raw: Vec<String> = Vec::new();
+        for fragment in &fragments {
+            match fragment {
+                Fragment::Positional(text) => raw.push(text.clone()),
+                Fragment::Valued { name, value } => {
+                    raw.push(format!("--{name}"));
+                    raw.push(value.clone());
+                }
+                Fragment::Flag(name) => raw.push(format!("--{name}")),
+            }
+        }
+        let parsed = parse_args(&raw, &spec()).unwrap();
+
+        let expected_positionals: Vec<&String> = fragments
+            .iter()
+            .filter_map(|f| match f {
+                Fragment::Positional(text) => Some(text),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(parsed.positionals.len(), expected_positionals.len());
+        for (got, want) in parsed.positionals.iter().zip(expected_positionals) {
+            prop_assert_eq!(got, want);
+        }
+
+        for fragment in &fragments {
+            match fragment {
+                Fragment::Valued { name, .. } => prop_assert!(parsed.option(name).is_some()),
+                Fragment::Flag(name) => prop_assert!(parsed.flag(name)),
+                Fragment::Positional(_) => {}
+            }
+        }
+        // The last occurrence of an option wins.
+        for fragment in fragments.iter().rev() {
+            if let Fragment::Valued { name, value } = fragment {
+                if let Some(found) = parsed.option(name) {
+                    prop_assert_eq!(found, value);
+                }
+                break;
+            }
+        }
+    }
+
+    /// Unknown `--options` are always rejected, never silently swallowed as positionals.
+    #[test]
+    fn unknown_options_are_rejected(name in "[a-z]{3,10}") {
+        prop_assume!(!spec().valued.contains(&name.as_str()) && !spec().flags.contains(&name.as_str()));
+        let raw = vec![format!("--{name}")];
+        prop_assert!(matches!(
+            parse_args(&raw, &spec()),
+            Err(CliError::UnknownArgument(_))
+        ));
+    }
+
+    /// A valued option at the end of the line (missing its value) is always an error.
+    #[test]
+    fn trailing_valued_option_is_rejected(
+        name in prop::sample::select(vec!["scheme", "alpha", "k", "out"]),
+        prefix in proptest::collection::vec("[a-z]{1,6}", 0..3),
+    ) {
+        let mut raw: Vec<String> = prefix;
+        raw.push(format!("--{name}"));
+        prop_assert!(matches!(
+            parse_args(&raw, &spec()),
+            Err(CliError::MissingValue(_))
+        ));
+    }
+}

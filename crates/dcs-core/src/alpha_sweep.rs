@@ -1,0 +1,173 @@
+//! Sweeping the α-scaled difference graph `D = A2 − α·A1` (Section III-D).
+//!
+//! The paper generalises the difference graph to `A2 − α·A1`: mining it finds subgraphs
+//! whose density in `G2` exceeds `α` times their density in `G1`, analogous to the
+//! optimal α-quasi-clique problem.  In practice the interesting question is *how the
+//! mined subgraph changes as α grows*: at `α = 0` the DCS is simply the densest subgraph
+//! of `G2`; as α increases, vertices whose connections did not actually strengthen are
+//! priced out and the DCS shrinks towards the genuinely contrasting core.
+//!
+//! [`alpha_sweep`] runs either DCS algorithm across a grid of α values and reports one
+//! [`AlphaPoint`] per value, so callers (and the `emerging_communities` example) can plot
+//! size and contrast against α and pick an operating point.
+
+use dcs_graph::{SignedGraph, VertexId, Weight};
+
+use crate::dcsad::DcsGreedy;
+use crate::dcsga::NewSea;
+use crate::diff::scaled_difference_graph;
+use crate::error::DcsError;
+use crate::solution::{ContrastReport, DensityMeasure};
+
+/// The mined subgraph at one value of α.
+#[derive(Debug, Clone)]
+pub struct AlphaPoint {
+    /// The α this point was mined at.
+    pub alpha: Weight,
+    /// The mined vertex set (support set under the affinity measure).
+    pub subset: Vec<VertexId>,
+    /// The objective value on the α-scaled difference graph (average-degree or affinity
+    /// difference, depending on the measure).
+    pub objective: Weight,
+    /// Full statistics of the subset, evaluated on the *plain* (α = 1) difference graph
+    /// so points are comparable across α.
+    pub report: ContrastReport,
+}
+
+/// Runs a DCS algorithm for every α in `alphas` and returns one point per value.
+///
+/// `measure` selects the solver: [`DensityMeasure::AverageDegree`] runs DCSGreedy,
+/// anything else runs NewSEA.  Both graphs must be valid DCS inputs (same vertex set,
+/// non-negative weights); α values must be non-negative.
+pub fn alpha_sweep(
+    g2: &SignedGraph,
+    g1: &SignedGraph,
+    alphas: &[Weight],
+    measure: DensityMeasure,
+) -> Result<Vec<AlphaPoint>, DcsError> {
+    let plain = scaled_difference_graph(g2, g1, 1.0)?;
+    let mut points = Vec::with_capacity(alphas.len());
+    for &alpha in alphas {
+        if alpha < 0.0 || !alpha.is_finite() {
+            return Err(DcsError::InvalidConfig(format!(
+                "alpha must be a non-negative finite number, got {alpha}"
+            )));
+        }
+        let gd = scaled_difference_graph(g2, g1, alpha)?;
+        let (subset, objective) = match measure {
+            DensityMeasure::AverageDegree | DensityMeasure::TotalDegree => {
+                let solution = DcsGreedy::default().solve(&gd);
+                (solution.subset, solution.density_difference)
+            }
+            DensityMeasure::GraphAffinity => {
+                let solution = NewSea::default().solve(&gd);
+                (solution.support(), solution.affinity_difference)
+            }
+        };
+        let report = ContrastReport::for_subset(&plain, &subset);
+        points.push(AlphaPoint {
+            alpha,
+            subset,
+            objective,
+            report,
+        });
+    }
+    Ok(points)
+}
+
+/// A convenient default grid: `0, 0.25, 0.5, …, 2.0`.
+pub fn default_alpha_grid() -> Vec<Weight> {
+    (0..=8).map(|i| i as Weight * 0.25).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_graph::GraphBuilder;
+
+    /// G2 strengthens the triangle {0,1,2}; the pair {3,4} is strong in both graphs;
+    /// {5,6} only exists in G1.
+    fn pair() -> (SignedGraph, SignedGraph) {
+        let g1 = GraphBuilder::from_edges(
+            7,
+            vec![(0, 1, 1.0), (3, 4, 10.0), (5, 6, 4.0)],
+        );
+        let g2 = GraphBuilder::from_edges(
+            7,
+            vec![
+                (0, 1, 5.0),
+                (0, 2, 5.0),
+                (1, 2, 5.0),
+                (3, 4, 11.0),
+                (5, 6, 1.0),
+            ],
+        );
+        (g1, g2)
+    }
+
+    #[test]
+    fn zero_alpha_is_plain_densest_subgraph_of_g2() {
+        let (g1, g2) = pair();
+        let points = alpha_sweep(&g2, &g1, &[0.0], DensityMeasure::AverageDegree).unwrap();
+        // With α = 0 the heavy stable pair {3,4} dominates (weight 11 ≈ degree 11 each).
+        assert_eq!(points[0].subset, vec![3, 4]);
+        assert!(points[0].objective > 10.0);
+    }
+
+    #[test]
+    fn growing_alpha_prices_out_stable_structure() {
+        let (g1, g2) = pair();
+        let alphas = [0.0, 1.0, 2.0];
+        let points = alpha_sweep(&g2, &g1, &alphas, DensityMeasure::GraphAffinity).unwrap();
+        assert_eq!(points.len(), 3);
+        // At α = 1 and above, the genuinely emerging triangle wins.
+        assert_eq!(points[1].subset, vec![0, 1, 2]);
+        assert_eq!(points[2].subset, vec![0, 1, 2]);
+        // The α-scaled objective is non-increasing in α (more of G1 is subtracted).
+        assert!(points[0].objective >= points[1].objective - 1e-9);
+        assert!(points[1].objective >= points[2].objective - 1e-9);
+        // Reports are evaluated on the plain difference graph, so the triangle's numbers
+        // are identical in both points.
+        assert!(
+            (points[1].report.average_degree_difference
+                - points[2].report.average_degree_difference)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn degree_measure_sweep_over_the_default_grid() {
+        let (g1, g2) = pair();
+        let grid = default_alpha_grid();
+        assert_eq!(grid.len(), 9);
+        assert_eq!(grid[0], 0.0);
+        assert_eq!(*grid.last().unwrap(), 2.0);
+        let points = alpha_sweep(&g2, &g1, &grid, DensityMeasure::AverageDegree).unwrap();
+        assert_eq!(points.len(), grid.len());
+        // The α-scaled objective is non-increasing in α and every point is non-empty.
+        for window in points.windows(2) {
+            assert!(window[0].objective >= window[1].objective - 1e-9);
+        }
+        assert!(points.iter().all(|p| !p.subset.is_empty()));
+        // At α = 0 the stable heavy pair wins; by α = 2 only the emerging triangle is
+        // left standing.
+        assert_eq!(points[0].subset, vec![3, 4]);
+        assert_eq!(points.last().unwrap().subset, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let (g1, g2) = pair();
+        assert!(matches!(
+            alpha_sweep(&g2, &g1, &[-0.5], DensityMeasure::AverageDegree),
+            Err(DcsError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            alpha_sweep(&g2, &g1, &[f64::NAN], DensityMeasure::GraphAffinity),
+            Err(DcsError::InvalidConfig(_))
+        ));
+        let mismatched = GraphBuilder::from_edges(3, vec![(0, 1, 1.0)]);
+        assert!(alpha_sweep(&g2, &mismatched, &[1.0], DensityMeasure::AverageDegree).is_err());
+    }
+}

@@ -1,0 +1,11 @@
+//! DCS with respect to **average degree** (DCSAD, Section IV of the paper).
+//!
+//! The optimisation problem is `max_{S ⊆ V} ρ_D(S) = W_D(S)/|S|` on the signed
+//! difference graph `G_D`.  Theorem 1 shows the problem is NP-hard and Corollary 1 shows
+//! it cannot be approximated within `O(n^{1-ε})`; the paper therefore settles for the
+//! `O(n)`-approximate [`DcsGreedy`] (Algorithm 2), which in practice also comes with the
+//! much stronger data-dependent ratio of Theorem 2.
+
+mod greedy;
+
+pub use greedy::{CandidateKind, DcsGreedy, DcsadSolution};

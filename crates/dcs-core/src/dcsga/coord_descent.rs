@@ -1,0 +1,294 @@
+//! The 2-coordinate-descent shrink stage (Section V-B of the paper).
+//!
+//! Each iteration picks the two coordinates with the largest KKT violation,
+//! `i = argmax_{k ∈ S, x_k < 1} ∇_k f_D(x)` and `j = argmin_{k ∈ S, x_k > 0} ∇_k f_D(x)`,
+//! and redistributes their joint mass `C = x_i + x_j` by solving the one-dimensional
+//! problem of Eq. 9 in closed form.  Unlike the replicator dynamics of the original SEA,
+//! this works for matrices with **negative** entries and is guaranteed to converge to a
+//! local KKT point on the working support `S` (the objective is non-decreasing and the
+//! iterate stays on the simplex).
+
+use dcs_densest::Embedding;
+use dcs_graph::{SignedGraph, VertexId, Weight};
+use rustc_hash::FxHashMap;
+
+/// Outcome of a 2-coordinate-descent run.
+#[derive(Debug, Clone)]
+pub struct CoordDescentOutcome {
+    /// The final embedding (a local KKT point on the working support, up to `epsilon`).
+    pub embedding: Embedding,
+    /// Final objective `f_D(x)`.
+    pub objective: Weight,
+    /// Number of coordinate updates performed.
+    pub iterations: usize,
+    /// Final KKT gap on the working support.
+    pub kkt_gap: f64,
+    /// Whether the gap criterion was met (as opposed to exhausting `max_iterations`).
+    pub converged: bool,
+}
+
+/// Runs 2-coordinate descent restricted to the working support `support` (the set `S` of
+/// the paper's *local* KKT conditions, Eq. 10).  Vertices outside `support` keep value 0;
+/// vertices inside `support` may gain or lose mass (including dropping to 0).
+///
+/// * `x0` — starting embedding; its support must be contained in `support`.
+/// * `epsilon` — stop when
+///   `max_{k∈S, x_k<1} ∇_k f − min_{k∈S, x_k>0} ∇_k f ≤ epsilon`.
+/// * `max_iterations` — hard iteration cap.
+pub fn descend_to_local_kkt(
+    g: &SignedGraph,
+    x0: &Embedding,
+    support: &[VertexId],
+    epsilon: f64,
+    max_iterations: usize,
+) -> CoordDescentOutcome {
+    let mut support: Vec<VertexId> = support.to_vec();
+    support.sort_unstable();
+    support.dedup();
+    debug_assert!(
+        x0.support().iter().all(|v| support.binary_search(v).is_ok()),
+        "the initial support must be contained in the working support"
+    );
+
+    // Working state: x values and the linear form (Dx)_k for every k in the support.
+    let mut x: FxHashMap<VertexId, f64> = FxHashMap::default();
+    for &v in &support {
+        x.insert(v, x0.get(v));
+    }
+    let mut dx: FxHashMap<VertexId, f64> = FxHashMap::default();
+    for &v in &support {
+        dx.insert(v, 0.0);
+    }
+    for (&u, &xu) in &x {
+        if xu == 0.0 {
+            continue;
+        }
+        for e in g.neighbors(u) {
+            if let Some(entry) = dx.get_mut(&e.neighbor) {
+                *entry += e.weight * xu;
+            }
+        }
+    }
+
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut kkt_gap = 0.0;
+
+    loop {
+        // Pick i = argmax over k ∈ S with x_k < 1, j = argmin over k ∈ S with x_k > 0.
+        let mut best_i: Option<(VertexId, f64)> = None;
+        let mut best_j: Option<(VertexId, f64)> = None;
+        for &k in &support {
+            let grad = 2.0 * dx[&k];
+            let xk = x[&k];
+            if xk < 1.0 {
+                match best_i {
+                    None => best_i = Some((k, grad)),
+                    Some((_, gi)) if grad > gi => best_i = Some((k, grad)),
+                    _ => {}
+                }
+            }
+            if xk > 0.0 {
+                match best_j {
+                    None => best_j = Some((k, grad)),
+                    Some((_, gj)) if grad < gj => best_j = Some((k, grad)),
+                    _ => {}
+                }
+            }
+        }
+        let (i, grad_i) = match best_i {
+            Some(v) => v,
+            None => {
+                // All mass sits on a single vertex and S contains nothing else: the local
+                // KKT conditions on S hold trivially.
+                converged = true;
+                break;
+            }
+        };
+        let (j, grad_j) = match best_j {
+            Some(v) => v,
+            None => {
+                // Empty embedding: nothing to move, trivially a fixed point.
+                converged = true;
+                break;
+            }
+        };
+        kkt_gap = (grad_i - grad_j).max(0.0);
+        if grad_i <= grad_j + epsilon || i == j {
+            converged = true;
+            break;
+        }
+        if iterations >= max_iterations {
+            break;
+        }
+        iterations += 1;
+
+        // Closed-form solution of Eq. 9 for the pair (i, j).
+        let xi = x[&i];
+        let xj = x[&j];
+        let c = xi + xj;
+        let dij = g.edge_weight(i, j).unwrap_or(0.0);
+        let bi = dx[&i] - dij * xj;
+        let bj = dx[&j] - dij * xi;
+
+        let new_xi = if dij == 0.0 {
+            // Linear in x_i: move all mass to the endpoint with the larger coefficient.
+            if bi > bj {
+                c
+            } else if bi < bj {
+                0.0
+            } else {
+                xi
+            }
+        } else {
+            // g(x_i) = −dij·x_i² + B·x_i + const with B = dij·C + b_i − b_j.
+            let b_coef = dij * c + bi - bj;
+            let r = b_coef / (2.0 * dij);
+            let eval = |t: f64| -dij * t * t + b_coef * t;
+            let mut candidates = vec![0.0, c];
+            if dij > 0.0 && r >= 0.0 && r <= c {
+                candidates.push(r);
+            }
+            candidates
+                .into_iter()
+                .max_by(|a, b| eval(*a).partial_cmp(&eval(*b)).unwrap_or(std::cmp::Ordering::Equal))
+                .unwrap_or(xi)
+        };
+        let new_xj = c - new_xi;
+        let delta_i = new_xi - xi;
+        let delta_j = new_xj - xj;
+        if delta_i == 0.0 && delta_j == 0.0 {
+            // No progress possible for this pair (can happen at ties); we are done.
+            converged = true;
+            break;
+        }
+        x.insert(i, new_xi);
+        x.insert(j, new_xj);
+        // Update the linear forms of the support neighbours of i and j.
+        if delta_i != 0.0 {
+            for e in g.neighbors(i) {
+                if let Some(entry) = dx.get_mut(&e.neighbor) {
+                    *entry += e.weight * delta_i;
+                }
+            }
+        }
+        if delta_j != 0.0 {
+            for e in g.neighbors(j) {
+                if let Some(entry) = dx.get_mut(&e.neighbor) {
+                    *entry += e.weight * delta_j;
+                }
+            }
+        }
+    }
+
+    // Assemble the outcome.  f(x) = Σ_k x_k (Dx)_k.
+    let objective: f64 = x.iter().map(|(k, &xk)| xk * dx[k]).sum();
+    let embedding = Embedding::from_weights(x.into_iter().filter(|&(_, v)| v > 0.0));
+    CoordDescentOutcome {
+        objective,
+        embedding,
+        iterations,
+        kkt_gap,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcsga::kkt::local_kkt_gap;
+    use dcs_graph::GraphBuilder;
+
+    fn k4() -> SignedGraph {
+        let mut b = GraphBuilder::new(4);
+        for u in 0..4u32 {
+            for v in (u + 1)..4u32 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn reaches_motzkin_straus_on_clique() {
+        let g = k4();
+        let support: Vec<u32> = vec![0, 1, 2, 3];
+        let out = descend_to_local_kkt(&g, &Embedding::singleton(0), &support, 1e-9, 100_000);
+        assert!(out.converged);
+        assert!((out.objective - 0.75).abs() < 1e-6, "objective {}", out.objective);
+        assert!(local_kkt_gap(&g, &out.embedding, &support) <= 1e-6);
+    }
+
+    #[test]
+    fn objective_non_decreasing_from_uniform() {
+        let g = GraphBuilder::from_edges(
+            5,
+            vec![
+                (0, 1, 3.0),
+                (1, 2, -2.0),
+                (2, 3, 4.0),
+                (3, 4, 1.0),
+                (0, 4, -1.0),
+                (1, 3, 2.0),
+            ],
+        );
+        let support: Vec<u32> = vec![0, 1, 2, 3, 4];
+        let x0 = Embedding::uniform(&support);
+        let f0 = x0.affinity(&g);
+        let out = descend_to_local_kkt(&g, &x0, &support, 1e-8, 100_000);
+        assert!(out.objective >= f0 - 1e-12);
+        assert!((out.embedding.affinity(&g) - out.objective).abs() < 1e-9);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn handles_negative_weights_by_dropping_vertices() {
+        // Heavy positive edge (0,1), vertex 2 attached only negatively: the optimum on
+        // the full support puts zero mass on 2.
+        let g = GraphBuilder::from_edges(3, vec![(0, 1, 4.0), (1, 2, -3.0), (0, 2, -3.0)]);
+        let out = descend_to_local_kkt(
+            &g,
+            &Embedding::uniform(&[0, 1, 2]),
+            &[0, 1, 2],
+            1e-10,
+            100_000,
+        );
+        assert!(out.converged);
+        assert_eq!(out.embedding.support(), vec![0, 1]);
+        assert!((out.objective - 2.0).abs() < 1e-6); // 2·(1/2)·(1/2)·4
+    }
+
+    #[test]
+    fn restricted_support_is_respected() {
+        let g = k4();
+        // Only {0, 1} are allowed: the optimum is the uniform edge with affinity 0.5.
+        let out = descend_to_local_kkt(&g, &Embedding::singleton(0), &[0, 1], 1e-10, 10_000);
+        assert_eq!(out.embedding.support(), vec![0, 1]);
+        assert!((out.objective - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_support_is_immediate_kkt() {
+        let g = k4();
+        let out = descend_to_local_kkt(&g, &Embedding::singleton(2), &[2], 1e-10, 10);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.objective, 0.0);
+        assert_eq!(out.embedding.support(), vec![2]);
+    }
+
+    #[test]
+    fn zero_mass_vertex_in_support_can_gain_mass() {
+        let g = k4();
+        // Start with mass only on 0 but allow {0, 1}: vertex 1 must receive mass.
+        let out = descend_to_local_kkt(&g, &Embedding::singleton(0), &[0, 1], 1e-10, 10_000);
+        assert!(out.embedding.get(1) > 0.4);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let g = k4();
+        let out = descend_to_local_kkt(&g, &Embedding::singleton(0), &[0, 1, 2, 3], 0.0, 3);
+        assert!(out.iterations <= 3);
+    }
+}

@@ -1,0 +1,284 @@
+//! Parallel initialisation sweeps for the DCSGA solvers.
+//!
+//! The SEACD/NewSEA initialisations are independent local searches, so they parallelise
+//! naturally: each worker repeatedly claims the next candidate vertex and runs
+//! SEACD + refinement from it.  Two entry points are provided:
+//!
+//! * [`parallel_sweep`] — the exhaustive one-initialisation-per-vertex sweep of the
+//!   `SEACD+Refine` comparator, fanned out over worker threads,
+//! * [`parallel_newsea`] — NewSEA's smart-initialisation sweep with a *shared* best
+//!   objective: workers claim candidates in descending `µ_u` order and stop as soon as
+//!   the next candidate's bound cannot beat the best solution any worker has found.
+//!
+//! Both produce the same best objective as their sequential counterparts (the set of
+//! initialisations that can win is identical); only the *number* of initialisations that
+//! NewSEA actually runs may differ slightly, because workers that are already in flight
+//! when the winning solution is found still finish their candidate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dcs_densest::Embedding;
+use dcs_graph::{SignedGraph, Weight};
+use parking_lot::Mutex;
+
+use super::newsea::{smart_initialization_order, SmartInitStats};
+use super::refine::refine;
+use super::seacd::{SeaCd, SeaCdSweep};
+use super::{DcsgaConfig, DcsgaSolution};
+
+/// Shared best-so-far state of a parallel sweep.
+struct SharedBest {
+    objective_and_embedding: Mutex<(Weight, Embedding)>,
+}
+
+impl SharedBest {
+    fn new() -> Self {
+        SharedBest {
+            objective_and_embedding: Mutex::new((0.0, Embedding::default())),
+        }
+    }
+
+    fn objective(&self) -> Weight {
+        self.objective_and_embedding.lock().0
+    }
+
+    fn offer(&self, objective: Weight, embedding: &Embedding) {
+        let mut guard = self.objective_and_embedding.lock();
+        if objective > guard.0 {
+            *guard = (objective, embedding.clone());
+        }
+    }
+
+    fn into_best(self) -> (Weight, Embedding) {
+        self.objective_and_embedding.into_inner()
+    }
+}
+
+/// Clamps a requested thread count to something sensible (`1..=available_parallelism`).
+fn effective_threads(requested: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    requested.clamp(1, available.max(1))
+}
+
+/// Runs the exhaustive SEACD+Refine sweep (one initialisation per non-isolated vertex of
+/// `gd_plus`) across `threads` worker threads.
+///
+/// Returns the same [`SeaCdSweep`] shape as [`SeaCd::sweep`]; `all_solutions` is only
+/// populated when `collect_all` is set, in vertex order (so the clique census is
+/// deterministic regardless of scheduling).
+pub fn parallel_sweep(
+    gd_plus: &SignedGraph,
+    config: DcsgaConfig,
+    threads: usize,
+    collect_all: bool,
+) -> SeaCdSweep {
+    let n = gd_plus.num_vertices();
+    let threads = effective_threads(threads);
+    if n == 0 || threads == 1 {
+        return SeaCd::new(config).sweep(gd_plus, None, collect_all, |g, x| refine(g, x, &config));
+    }
+
+    let candidates: Vec<u32> = (0..n as u32).filter(|&u| gd_plus.degree(u) > 0).collect();
+    let next = AtomicUsize::new(0);
+    let shared = SharedBest::new();
+    let errors = AtomicUsize::new(0);
+    let per_candidate: Vec<Mutex<Option<Embedding>>> =
+        (0..candidates.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let solver = SeaCd::new(config);
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&u) = candidates.get(index) else {
+                        break;
+                    };
+                    let run = solver.run_from_vertex(gd_plus, u);
+                    errors.fetch_add(run.expansion_errors, Ordering::Relaxed);
+                    let refined = refine(gd_plus, run.embedding, &config);
+                    let objective = refined.affinity(gd_plus);
+                    shared.offer(objective, &refined);
+                    if collect_all {
+                        *per_candidate[index].lock() = Some(refined);
+                    }
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let initializations = candidates.len();
+    let all_solutions = if collect_all {
+        per_candidate
+            .into_iter()
+            .filter_map(|slot| slot.into_inner())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let (best_objective, best) = shared.into_best();
+    SeaCdSweep {
+        best,
+        best_objective,
+        initializations,
+        expansion_errors: errors.load(Ordering::Relaxed),
+        all_solutions,
+    }
+}
+
+/// Runs NewSEA's smart-initialisation sweep across `threads` worker threads.
+///
+/// Candidates are claimed in descending `µ_u` order; a worker stops as soon as the bound
+/// of its next candidate is no better than the best objective found so far by *any*
+/// worker, which preserves NewSEA's early exit (Theorem 6 guarantees no skipped candidate
+/// could have produced a better solution).
+pub fn parallel_newsea(gd: &SignedGraph, config: DcsgaConfig, threads: usize) -> DcsgaSolution {
+    let gd_plus = gd.positive_part();
+    let threads = effective_threads(threads);
+    if gd_plus.num_edges() == 0 {
+        return DcsgaSolution {
+            embedding: Embedding::default(),
+            affinity_difference: 0.0,
+            stats: SmartInitStats::default(),
+        };
+    }
+    if threads == 1 {
+        return super::NewSea::new(config).solve_on_positive_part(&gd_plus);
+    }
+
+    let order = smart_initialization_order(&gd_plus);
+    let next = AtomicUsize::new(0);
+    let run_count = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let shared = SharedBest::new();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let solver = SeaCd::new(config);
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(u, mu)) = order.get(index) else {
+                        break;
+                    };
+                    if mu <= shared.objective() {
+                        // µ values are non-increasing, so every later candidate is also
+                        // dominated; put the index back is unnecessary — just stop.
+                        break;
+                    }
+                    run_count.fetch_add(1, Ordering::Relaxed);
+                    let run = solver.run_from_vertex(&gd_plus, u);
+                    errors.fetch_add(run.expansion_errors, Ordering::Relaxed);
+                    let refined = refine(&gd_plus, run.embedding, &config);
+                    shared.offer(refined.affinity(&gd_plus), &refined);
+                }
+            });
+        }
+    })
+    .expect("NewSEA worker panicked");
+
+    let initializations_run = run_count.load(Ordering::Relaxed);
+    let (best_objective, best) = shared.into_best();
+    DcsgaSolution {
+        embedding: best,
+        affinity_difference: best_objective,
+        stats: SmartInitStats {
+            initializations_run,
+            initializations_skipped: order.len().saturating_sub(initializations_run),
+            expansion_errors: errors.load(Ordering::Relaxed),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcsga::NewSea;
+    use crate::difference_graph;
+    use dcs_graph::GraphBuilder;
+
+    /// A heavy 4-clique, a medium 5-clique and background noise.
+    fn planted_graph() -> SignedGraph {
+        let mut b = GraphBuilder::new(40);
+        for u in 0..4u32 {
+            for v in (u + 1)..4u32 {
+                b.add_edge(u, v, 5.0);
+            }
+        }
+        for u in 10..15u32 {
+            for v in (u + 1)..15u32 {
+                b.add_edge(u, v, 2.0);
+            }
+        }
+        for i in 0..30u32 {
+            b.add_edge(i, (i * 7 + 3) % 40, 0.3);
+            b.add_edge((i * 5 + 1) % 40, (i * 11 + 2) % 40, -0.2);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_best() {
+        let gd = planted_graph();
+        let gd_plus = gd.positive_part();
+        let config = DcsgaConfig::default();
+        let sequential =
+            SeaCd::new(config).sweep(&gd_plus, None, false, |g, x| refine(g, x, &config));
+        let parallel = parallel_sweep(&gd_plus, config, 4, false);
+        assert!((sequential.best_objective - parallel.best_objective).abs() < 1e-9);
+        assert_eq!(sequential.initializations, parallel.initializations);
+        assert_eq!(parallel.expansion_errors, 0);
+        assert_eq!(sequential.best.support(), parallel.best.support());
+    }
+
+    #[test]
+    fn parallel_sweep_collects_one_solution_per_candidate() {
+        let gd = planted_graph();
+        let gd_plus = gd.positive_part();
+        let parallel = parallel_sweep(&gd_plus, DcsgaConfig::default(), 3, true);
+        assert_eq!(parallel.all_solutions.len(), parallel.initializations);
+    }
+
+    #[test]
+    fn parallel_newsea_matches_sequential_objective() {
+        let gd = planted_graph();
+        let config = DcsgaConfig::default();
+        let sequential = NewSea::new(config).solve(&gd);
+        let parallel = parallel_newsea(&gd, config, 4);
+        assert!(
+            (sequential.affinity_difference - parallel.affinity_difference).abs() < 1e-9,
+            "sequential {} vs parallel {}",
+            sequential.affinity_difference,
+            parallel.affinity_difference
+        );
+        assert_eq!(sequential.support(), parallel.support());
+        // The early exit still prunes most candidates.
+        assert!(
+            parallel.stats.initializations_skipped > 0,
+            "ran {} of {}",
+            parallel.stats.initializations_run,
+            parallel.stats.initializations_run + parallel.stats.initializations_skipped
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let config = DcsgaConfig::default();
+        // No positive edges: empty solution, no crash.
+        let negative = GraphBuilder::from_edges(3, vec![(0, 1, -1.0)]);
+        let solution = parallel_newsea(&negative, config, 4);
+        assert!(solution.embedding.is_empty());
+        // Empty graph through the sweep path.
+        let sweep = parallel_sweep(&SignedGraph::empty(0), config, 4, true);
+        assert_eq!(sweep.initializations, 0);
+        // Single-threaded request falls back to the sequential implementations.
+        let pair_g1 = GraphBuilder::from_edges(4, vec![(0, 1, 1.0)]);
+        let pair_g2 = GraphBuilder::from_edges(4, vec![(0, 1, 3.0), (1, 2, 2.0), (0, 2, 2.0)]);
+        let gd = difference_graph(&pair_g2, &pair_g1).unwrap();
+        let single = parallel_newsea(&gd, config, 1);
+        assert_eq!(single.support(), vec![0, 1, 2]);
+    }
+}

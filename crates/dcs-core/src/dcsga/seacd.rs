@@ -1,0 +1,256 @@
+//! SEACD — the Coordinate-Descent Shrink-and-Expansion algorithm (Algorithm 3).
+//!
+//! SEACD alternates two stages until no vertex can improve the solution:
+//!
+//! 1. **Shrink** — run the 2-coordinate descent of [`crate::dcsga::coord_descent`] on the
+//!    current working support `S` until a local KKT point is reached (the support may
+//!    shrink because coordinates can drop to 0),
+//! 2. **Expansion** — compute `Z = {i | ∇_i f_D(x) > λ = 2 f_D(x)}` and, if non-empty,
+//!    apply the SEA expansion step to pull those vertices into the support.
+//!
+//! Because the shrink stage really reaches a local KKT point (up to the configured
+//! tolerance), the expansion step is guaranteed not to decrease the objective — unlike
+//! the original SEA with its loose objective-improvement stopping rule.  Expansion errors
+//! are still counted defensively and reported.
+
+use dcs_densest::expansion::{expansion_candidates, expansion_step};
+use dcs_densest::Embedding;
+use dcs_graph::{SignedGraph, VertexId, Weight};
+
+use super::coord_descent::descend_to_local_kkt;
+use super::DcsgaConfig;
+
+/// Result of one SEACD run (a single initialisation).
+#[derive(Debug, Clone)]
+pub struct SeaCdRun {
+    /// Final embedding (a KKT point of Eq. 7 up to tolerance).
+    pub embedding: Embedding,
+    /// Final objective `f_D(x)`.
+    pub objective: Weight,
+    /// Number of shrink+expansion rounds.
+    pub rounds: usize,
+    /// Total 2-coordinate-descent iterations across all shrink stages.
+    pub cd_iterations: usize,
+    /// Number of expansion steps that decreased the objective (expected to stay 0).
+    pub expansion_errors: usize,
+}
+
+/// Result of a sweep of SEACD over many initialisations (the `SEACD+Refine` comparator
+/// runs one initialisation per vertex).
+#[derive(Debug, Clone)]
+pub struct SeaCdSweep {
+    /// The best embedding found.
+    pub best: Embedding,
+    /// Its objective.
+    pub best_objective: Weight,
+    /// Number of initialisations performed.
+    pub initializations: usize,
+    /// Total expansion errors (expected 0).
+    pub expansion_errors: usize,
+    /// Every per-initialisation solution, kept only when requested (clique census).
+    pub all_solutions: Vec<Embedding>,
+}
+
+/// The SEACD solver (Algorithm 3).
+#[derive(Debug, Clone, Default)]
+pub struct SeaCd {
+    config: DcsgaConfig,
+}
+
+impl SeaCd {
+    /// Creates a solver with an explicit configuration.
+    pub fn new(config: DcsgaConfig) -> Self {
+        SeaCd { config }
+    }
+
+    /// Access to the configuration.
+    pub fn config(&self) -> &DcsgaConfig {
+        &self.config
+    }
+
+    /// Runs SEACD from an initial embedding on graph `g` (usually `G_{D+}`, but any
+    /// signed graph is accepted — the shrink stage handles negative weights).
+    pub fn run_from(&self, g: &SignedGraph, init: Embedding) -> SeaCdRun {
+        let mut x = init;
+        let mut rounds = 0usize;
+        let mut cd_iterations = 0usize;
+        let mut expansion_errors = 0usize;
+
+        loop {
+            rounds += 1;
+            // Shrink: 2-coordinate descent to a local KKT point on the current support.
+            let support = x.support();
+            if support.is_empty() {
+                return SeaCdRun {
+                    embedding: x,
+                    objective: 0.0,
+                    rounds,
+                    cd_iterations,
+                    expansion_errors,
+                };
+            }
+            let eps = self.config.kkt_eps_factor / support.len() as f64;
+            let shrink = descend_to_local_kkt(g, &x, &support, eps, self.config.max_cd_iterations);
+            cd_iterations += shrink.iterations;
+            x = shrink.embedding;
+
+            // Expansion candidates Z = {i | ∇_i > λ}.
+            let z = expansion_candidates(g, &x, self.config.candidate_tolerance);
+            if z.is_empty() || rounds >= self.config.max_rounds {
+                let objective = x.affinity(g);
+                return SeaCdRun {
+                    embedding: x,
+                    objective,
+                    rounds,
+                    cd_iterations,
+                    expansion_errors,
+                };
+            }
+            let out = expansion_step(g, &x, &z);
+            if out.is_error() {
+                expansion_errors += 1;
+            }
+            x = out.embedding;
+            x.prune(1e-12);
+        }
+    }
+
+    /// Runs SEACD from the singleton embedding `e_u`.
+    pub fn run_from_vertex(&self, g: &SignedGraph, u: VertexId) -> SeaCdRun {
+        self.run_from(g, Embedding::singleton(u))
+    }
+
+    /// Runs one initialisation per vertex of `g` (skipping isolated vertices) and keeps
+    /// the best solution — the exhaustive sweep used by the `SEACD+Refine` comparator.
+    ///
+    /// `refine_with` is applied to every per-initialisation solution before it is scored
+    /// (pass the Algorithm-4 refinement, or the identity for raw SEACD).  `limit`
+    /// optionally caps the number of initialisations; `collect_all` retains all refined
+    /// solutions for clique-census analyses.
+    pub fn sweep<F>(
+        &self,
+        g: &SignedGraph,
+        limit: Option<usize>,
+        collect_all: bool,
+        mut refine_with: F,
+    ) -> SeaCdSweep
+    where
+        F: FnMut(&SignedGraph, Embedding) -> Embedding,
+    {
+        let n = g.num_vertices();
+        let limit = limit.unwrap_or(n).min(n);
+        let mut best = Embedding::default();
+        let mut best_objective = 0.0;
+        let mut expansion_errors = 0usize;
+        let mut initializations = 0usize;
+        let mut all_solutions = Vec::new();
+        for u in 0..limit as VertexId {
+            if g.degree(u) == 0 {
+                continue;
+            }
+            initializations += 1;
+            let run = self.run_from_vertex(g, u);
+            expansion_errors += run.expansion_errors;
+            let refined = refine_with(g, run.embedding);
+            let objective = refined.affinity(g);
+            if objective > best_objective {
+                best_objective = objective;
+                best = refined.clone();
+            }
+            if collect_all {
+                all_solutions.push(refined);
+            }
+        }
+        SeaCdSweep {
+            best,
+            best_objective,
+            initializations,
+            expansion_errors,
+            all_solutions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcsga::kkt::is_kkt_point;
+    use dcs_graph::GraphBuilder;
+
+    /// K5 (weight 1) plus a pendant path — affinity optimum 0.8 on the clique.
+    fn k5_with_path() -> SignedGraph {
+        let mut b = GraphBuilder::new(9);
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        b.add_edge(4, 5, 0.4);
+        b.add_edge(5, 6, 0.4);
+        b.add_edge(6, 7, 0.4);
+        b.add_edge(7, 8, 0.4);
+        b.build()
+    }
+
+    #[test]
+    fn finds_the_clique_from_inside() {
+        let g = k5_with_path();
+        let run = SeaCd::default().run_from_vertex(&g, 0);
+        assert!((run.objective - 0.8).abs() < 1e-3, "objective {}", run.objective);
+        assert_eq!(run.embedding.support(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(run.expansion_errors, 0);
+    }
+
+    #[test]
+    fn output_is_a_kkt_point() {
+        let g = k5_with_path();
+        for u in [0u32, 4, 6, 8] {
+            let run = SeaCd::default().run_from_vertex(&g, u);
+            // The tolerance of the check mirrors the shrink tolerance.
+            assert!(
+                is_kkt_point(&g, &run.embedding, 0.05),
+                "init {u} gave a non-KKT output"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_finds_global_best() {
+        let g = k5_with_path();
+        let sweep = SeaCd::default().sweep(&g, None, true, |_, x| x);
+        assert!((sweep.best_objective - 0.8).abs() < 1e-3);
+        assert_eq!(sweep.expansion_errors, 0);
+        assert_eq!(sweep.all_solutions.len(), sweep.initializations);
+        assert!(sweep.initializations <= g.num_vertices());
+    }
+
+    #[test]
+    fn works_on_signed_graphs() {
+        // Positive triangle and a negative edge dangling off it; SEACD on the signed
+        // graph itself must not put mass on the negative edge's far endpoint.
+        let g = GraphBuilder::from_edges(
+            4,
+            vec![(0, 1, 2.0), (1, 2, 2.0), (0, 2, 2.0), (2, 3, -5.0)],
+        );
+        let run = SeaCd::default().run_from_vertex(&g, 2);
+        assert_eq!(run.embedding.support(), vec![0, 1, 2]);
+        assert!((run.objective - 4.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isolated_vertex_initialisation() {
+        let g = GraphBuilder::from_edges(3, vec![(0, 1, 1.0)]);
+        let run = SeaCd::default().run_from_vertex(&g, 2);
+        assert_eq!(run.objective, 0.0);
+        assert_eq!(run.embedding.support(), vec![2]);
+    }
+
+    #[test]
+    fn sweep_limit_and_isolated_skip() {
+        let g = GraphBuilder::from_edges(5, vec![(0, 1, 1.0), (2, 3, 2.0)]);
+        let sweep = SeaCd::default().sweep(&g, Some(3), false, |_, x| x);
+        // vertex 4 is isolated and outside the limit anyway; vertices 0..3 minus none.
+        assert_eq!(sweep.initializations, 3);
+        assert!(sweep.best_objective > 0.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Construction of the difference graph `G_D` from a pair of graphs (Section III-B/III-D).
+//!
+//! The standard difference graph has affinity matrix `D = A2 − A1`; the paper also uses
+//! two practically important generalisations which are implemented here:
+//!
+//! * the **α-scaled** difference `D = A2 − α·A1` (Section III-D), which mines subgraphs
+//!   whose density in `G2` exceeds `α` times their density in `G1`, and
+//! * the **Discrete** setting (Section VI-B), which maps raw weight differences to small
+//!   integers so that a handful of extremely heavy edges cannot dominate the DCS, plus
+//!   the weight-clamping variant used for the Actor dataset.
+
+use dcs_graph::{GraphBuilder, SignedGraph, Weight};
+
+use crate::error::DcsError;
+
+/// How raw weight differences are turned into difference-graph weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightScheme {
+    /// `D(u,v) = A2(u,v) − A1(u,v)` (the paper's "Weighted" setting).
+    Weighted,
+    /// `D(u,v) = A2(u,v) − α·A1(u,v)`.
+    Scaled {
+        /// The scaling factor `α` applied to `G1`.
+        alpha: Weight,
+    },
+    /// Discretised differences (the paper's "Discrete" setting); see [`DiscreteRule`].
+    Discrete(DiscreteRule),
+}
+
+/// The discretisation rule of Section VI-B.
+///
+/// With the paper's DBLP defaults (`strong = 5`, `weak = 2`, `negative_strong = 4`):
+///
+/// | raw difference `d = A2 − A1` | discrete weight |
+/// |------------------------------|-----------------|
+/// | `d ≥ 5`                      | `+2`            |
+/// | `2 ≤ d < 5`                  | `+1`            |
+/// | `−4 < d < 0`                 | `−1`            |
+/// | `d ≤ −4`                     | `−2`            |
+/// | otherwise (`0 ≤ d < 2`)      | `0` (no edge)   |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscreteRule {
+    /// Differences at or above this become `+2`.
+    pub strong: Weight,
+    /// Differences at or above this (but below `strong`) become `+1`.
+    pub weak: Weight,
+    /// Differences at or below `−negative_strong` become `−2`; negative differences
+    /// above that become `−1`.
+    pub negative_strong: Weight,
+}
+
+impl Default for DiscreteRule {
+    fn default() -> Self {
+        DiscreteRule {
+            strong: 5.0,
+            weak: 2.0,
+            negative_strong: 4.0,
+        }
+    }
+}
+
+impl DiscreteRule {
+    /// Maps a raw difference to its discrete weight.
+    pub fn apply(&self, d: Weight) -> Weight {
+        if d >= self.strong {
+            2.0
+        } else if d >= self.weak {
+            1.0
+        } else if d <= -self.negative_strong {
+            -2.0
+        } else if d < 0.0 {
+            -1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Builds the standard difference graph `G_D` with `D = A2 − A1`.
+///
+/// Both inputs must be non-negatively weighted graphs over the same vertex set; the
+/// result may have edges of either sign.  Edges where the difference is exactly zero are
+/// dropped (they are not in `E_D` by definition).
+pub fn difference_graph(g2: &SignedGraph, g1: &SignedGraph) -> Result<SignedGraph, DcsError> {
+    difference_graph_with(g2, g1, WeightScheme::Weighted)
+}
+
+/// Builds the α-scaled difference graph `D = A2 − α·A1`.
+pub fn scaled_difference_graph(
+    g2: &SignedGraph,
+    g1: &SignedGraph,
+    alpha: Weight,
+) -> Result<SignedGraph, DcsError> {
+    difference_graph_with(g2, g1, WeightScheme::Scaled { alpha })
+}
+
+/// Builds a difference graph under an explicit [`WeightScheme`].
+pub fn difference_graph_with(
+    g2: &SignedGraph,
+    g1: &SignedGraph,
+    scheme: WeightScheme,
+) -> Result<SignedGraph, DcsError> {
+    if g1.num_vertices() != g2.num_vertices() {
+        return Err(DcsError::VertexCountMismatch {
+            g1_vertices: g1.num_vertices(),
+            g2_vertices: g2.num_vertices(),
+        });
+    }
+    if g1.min_edge_weight().unwrap_or(0.0) < 0.0 {
+        return Err(DcsError::NegativeInputWeight { which: "G1" });
+    }
+    if g2.min_edge_weight().unwrap_or(0.0) < 0.0 {
+        return Err(DcsError::NegativeInputWeight { which: "G2" });
+    }
+
+    let n = g1.num_vertices();
+    let mut builder = GraphBuilder::new(n);
+    // Raw differences, accumulated per edge: start from A2 then subtract A1.
+    // Using the Sum policy means adding (u,v,+a2) and (u,v,-a1) merges correctly.
+    for (u, v, w) in g2.edges() {
+        builder.add_edge(u, v, w);
+    }
+    let alpha = match scheme {
+        WeightScheme::Scaled { alpha } => alpha,
+        _ => 1.0,
+    };
+    for (u, v, w) in g1.edges() {
+        builder.add_edge(u, v, -alpha * w);
+    }
+    let raw = builder.build();
+
+    let gd = match scheme {
+        WeightScheme::Weighted | WeightScheme::Scaled { .. } => raw,
+        WeightScheme::Discrete(rule) => raw.map_weights(|d| rule.apply(d)),
+    };
+    Ok(gd)
+}
+
+/// Clamps every edge weight of a (difference) graph to `[-max_abs, max_abs]`.
+///
+/// Section III-D recommends down-weighting extremely heavy edges so that a single edge
+/// does not dominate the DCS; the paper's Actor "Discrete" setting caps weights at 10.
+pub fn clamp_weights(gd: &SignedGraph, max_abs: Weight) -> SignedGraph {
+    gd.map_weights(|w| w.clamp(-max_abs, max_abs))
+}
+
+/// Logarithmically damps edge weights beyond `pivot`: weights with `|w| ≤ pivot` are kept
+/// as they are, heavier ones become `sign(w)·(pivot + ln(1 + |w| − pivot))`.
+///
+/// This is the softer alternative to [`clamp_weights`] for the Section III-D adjustment:
+/// a single extremely heavy edge no longer dominates the DCS, but the ordering among
+/// heavy edges is preserved (clamping makes them all indistinguishable).
+pub fn damp_heavy_weights(gd: &SignedGraph, pivot: Weight) -> SignedGraph {
+    assert!(pivot > 0.0, "the damping pivot must be positive");
+    gd.map_weights(|w| {
+        if w.abs() <= pivot {
+            w
+        } else {
+            w.signum() * (pivot + (1.0 + (w.abs() - pivot)).ln())
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_graph::GraphBuilder;
+
+    /// The example of Fig. 1: G1 and G2 over 5 vertices (0-indexed).
+    /// G1: (v1,v4)=2, (v2,v3)... we use the figure's edge weights:
+    ///   G1: (0,3)=2, (2,3)=2, (2,4)=3, (3,4)=1,  (0,1) missing, ...
+    ///   G2: (0,1)=1, (2,3)=5, (2,4)=2, (3,4)=3, (0,3) missing...
+    /// chosen so that GD matches Fig. 1: (0,1)=1, (0,3)=-2, (2,3)=3, (2,4)=-1, (3,4)=2.
+    fn fig1_pair() -> (SignedGraph, SignedGraph) {
+        let g1 = GraphBuilder::from_edges(
+            5,
+            vec![(0, 3, 2.0), (2, 3, 2.0), (2, 4, 3.0), (3, 4, 1.0)],
+        );
+        let g2 = GraphBuilder::from_edges(
+            5,
+            vec![(0, 1, 1.0), (2, 3, 5.0), (2, 4, 2.0), (3, 4, 3.0)],
+        );
+        (g1, g2)
+    }
+
+    #[test]
+    fn weighted_difference_matches_fig1() {
+        let (g1, g2) = fig1_pair();
+        let gd = difference_graph(&g2, &g1).unwrap();
+        assert_eq!(gd.num_vertices(), 5);
+        assert_eq!(gd.num_edges(), 5);
+        assert_eq!(gd.edge_weight(0, 1), Some(1.0));
+        assert_eq!(gd.edge_weight(0, 3), Some(-2.0));
+        assert_eq!(gd.edge_weight(2, 3), Some(3.0));
+        assert_eq!(gd.edge_weight(2, 4), Some(-1.0));
+        assert_eq!(gd.edge_weight(3, 4), Some(2.0));
+        assert_eq!(gd.num_positive_edges(), 3);
+        assert_eq!(gd.num_negative_edges(), 2);
+    }
+
+    #[test]
+    fn identical_graphs_give_empty_difference() {
+        let g = GraphBuilder::from_edges(3, vec![(0, 1, 2.0), (1, 2, 3.0)]);
+        let gd = difference_graph(&g, &g).unwrap();
+        assert_eq!(gd.num_edges(), 0);
+    }
+
+    #[test]
+    fn scaled_difference() {
+        let g1 = GraphBuilder::from_edges(2, vec![(0, 1, 2.0)]);
+        let g2 = GraphBuilder::from_edges(2, vec![(0, 1, 3.0)]);
+        let gd = scaled_difference_graph(&g2, &g1, 2.0).unwrap();
+        assert_eq!(gd.edge_weight(0, 1), Some(-1.0)); // 3 - 2*2
+        let gd = scaled_difference_graph(&g2, &g1, 0.5).unwrap();
+        assert_eq!(gd.edge_weight(0, 1), Some(2.0)); // 3 - 0.5*2
+    }
+
+    #[test]
+    fn discrete_rule_paper_defaults() {
+        let rule = DiscreteRule::default();
+        assert_eq!(rule.apply(7.0), 2.0);
+        assert_eq!(rule.apply(5.0), 2.0);
+        assert_eq!(rule.apply(4.9), 1.0);
+        assert_eq!(rule.apply(2.0), 1.0);
+        assert_eq!(rule.apply(1.0), 0.0);
+        assert_eq!(rule.apply(0.0), 0.0);
+        assert_eq!(rule.apply(-1.0), -1.0);
+        assert_eq!(rule.apply(-3.9), -1.0);
+        assert_eq!(rule.apply(-4.0), -2.0);
+        assert_eq!(rule.apply(-10.0), -2.0);
+    }
+
+    #[test]
+    fn discrete_difference_graph() {
+        let g1 = GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (1, 2, 10.0), (2, 3, 3.0)]);
+        let g2 = GraphBuilder::from_edges(4, vec![(0, 1, 7.0), (1, 2, 1.0), (2, 3, 4.0)]);
+        let gd = difference_graph_with(
+            &g2,
+            &g1,
+            WeightScheme::Discrete(DiscreteRule::default()),
+        )
+        .unwrap();
+        assert_eq!(gd.edge_weight(0, 1), Some(2.0)); // diff 6 -> +2
+        assert_eq!(gd.edge_weight(1, 2), Some(-2.0)); // diff -9 -> -2
+        assert_eq!(gd.edge_weight(2, 3), None); // diff 1 -> dropped
+    }
+
+    #[test]
+    fn clamping() {
+        let g1 = SignedGraph::empty(3);
+        let g2 = GraphBuilder::from_edges(3, vec![(0, 1, 100.0), (1, 2, 3.0)]);
+        let gd = difference_graph(&g2, &g1).unwrap();
+        let clamped = clamp_weights(&gd, 10.0);
+        assert_eq!(clamped.edge_weight(0, 1), Some(10.0));
+        assert_eq!(clamped.edge_weight(1, 2), Some(3.0));
+    }
+
+    #[test]
+    fn damping_preserves_light_edges_and_orders_heavy_ones() {
+        let g1 = SignedGraph::empty(4);
+        let g2 = GraphBuilder::from_edges(4, vec![(0, 1, 3.0), (1, 2, 50.0), (2, 3, 200.0)]);
+        let gd = difference_graph(&g2, &g1).unwrap();
+        let damped = damp_heavy_weights(&gd, 10.0);
+        // Light edges unchanged.
+        assert_eq!(damped.edge_weight(0, 1), Some(3.0));
+        // Heavy edges shrink but keep their relative order and stay above the pivot.
+        let w50 = damped.edge_weight(1, 2).unwrap();
+        let w200 = damped.edge_weight(2, 3).unwrap();
+        assert!(w50 > 10.0 && w50 < 50.0);
+        assert!(w200 > w50 && w200 < 200.0);
+        // Negative heavy edges are damped symmetrically.
+        let negated = damp_heavy_weights(&gd.negated(), 10.0);
+        assert_eq!(negated.edge_weight(1, 2), Some(-w50));
+    }
+
+    #[test]
+    #[should_panic(expected = "pivot must be positive")]
+    fn damping_rejects_non_positive_pivot() {
+        let gd = GraphBuilder::from_edges(2, vec![(0, 1, 5.0)]);
+        damp_heavy_weights(&gd, 0.0);
+    }
+
+    #[test]
+    fn error_cases() {
+        let g1 = GraphBuilder::from_edges(3, vec![(0, 1, 1.0)]);
+        let g2 = GraphBuilder::from_edges(4, vec![(0, 1, 1.0)]);
+        assert!(matches!(
+            difference_graph(&g2, &g1),
+            Err(DcsError::VertexCountMismatch { .. })
+        ));
+        let neg = GraphBuilder::from_edges(3, vec![(0, 1, -1.0)]);
+        let ok = GraphBuilder::from_edges(3, vec![(0, 1, 1.0)]);
+        assert!(matches!(
+            difference_graph(&ok, &neg),
+            Err(DcsError::NegativeInputWeight { which: "G1" })
+        ));
+        assert!(matches!(
+            difference_graph(&neg, &ok),
+            Err(DcsError::NegativeInputWeight { which: "G2" })
+        ));
+    }
+
+    #[test]
+    fn emerging_vs_disappearing_are_negations() {
+        let (g1, g2) = fig1_pair();
+        let emerging = difference_graph(&g2, &g1).unwrap();
+        let disappearing = difference_graph(&g1, &g2).unwrap();
+        for (u, v, w) in emerging.edges() {
+            assert_eq!(disappearing.edge_weight(u, v), Some(-w));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types of the DCS mining crate.
+
+/// Errors reported by the density-contrast mining API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DcsError {
+    /// The two input graphs do not share the same vertex set size.
+    VertexCountMismatch {
+        /// Number of vertices of `G1`.
+        g1_vertices: usize,
+        /// Number of vertices of `G2`.
+        g2_vertices: usize,
+    },
+    /// An input graph that must be non-negatively weighted (e.g. `G1`/`G2` themselves,
+    /// which are ordinary weighted graphs in the paper) contains a negative weight.
+    NegativeInputWeight {
+        /// Which input graph violated the requirement ("G1" or "G2").
+        which: &'static str,
+    },
+    /// A configuration parameter was invalid (e.g. a non-positive tolerance).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for DcsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DcsError::VertexCountMismatch {
+                g1_vertices,
+                g2_vertices,
+            } => write!(
+                f,
+                "G1 and G2 must share the same vertex set: G1 has {g1_vertices} vertices, G2 has {g2_vertices}"
+            ),
+            DcsError::NegativeInputWeight { which } => {
+                write!(f, "input graph {which} must have non-negative edge weights")
+            }
+            DcsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DcsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DcsError::VertexCountMismatch {
+            g1_vertices: 3,
+            g2_vertices: 4,
+        };
+        assert!(format!("{e}").contains("G1 has 3"));
+        let e = DcsError::NegativeInputWeight { which: "G1" };
+        assert!(format!("{e}").contains("G1"));
+        let e = DcsError::InvalidConfig("epsilon must be positive".into());
+        assert!(format!("{e}").contains("epsilon"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Synthetic keyword-association graph pairs (the data-mining-topics experiment,
+//! Section VI-C).
+//!
+//! Following Angel et al. (the paper's reference [1]) the paper builds a keyword
+//! association graph per time period: vertices are title keywords and the weight of an
+//! edge is `100 ×` the fraction of titles containing both keywords.  Emerging topics are
+//! keyword sets that co-occur much more frequently in the recent period.
+//!
+//! The generator simulates paper titles directly: each title draws a topic according to
+//! per-period popularity and pads it with Zipf-distributed background words, then the two
+//! co-occurrence graphs are assembled exactly like the paper describes.  Topics popular
+//! only in the recent period are the planted *emerging* ground truth (e.g. "social
+//! networks"), topics popular only in the early period are *disappearing* ("association
+//! rules"), and topics popular in both periods ("time series") are planted as distractors
+//! to demonstrate why single-graph mining fails — they dominate both graphs but not the
+//! difference graph.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashMap;
+
+use dcs_graph::{GraphBuilder, SignedGraph, VertexId};
+
+use crate::random::zipf_rank;
+use crate::{GraphPair, GroupKind, PlantedGroup, Scale};
+
+/// One synthetic topic: a set of keywords plus its popularity in each period.
+#[derive(Debug, Clone)]
+pub struct TopicSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// The topic's keyword ids.
+    pub keywords: Vec<VertexId>,
+    /// Probability that a period-1 title is about this topic.
+    pub popularity_g1: f64,
+    /// Probability that a period-2 title is about this topic.
+    pub popularity_g2: f64,
+}
+
+/// Configuration of the keyword-association pair generator.
+#[derive(Debug, Clone)]
+pub struct KeywordConfig {
+    /// Vocabulary size (number of keyword vertices).
+    pub vocabulary: usize,
+    /// Number of titles simulated per period.
+    pub titles_per_period: usize,
+    /// Number of background (non-topic) words added to every title.
+    pub background_words_per_title: usize,
+    /// Zipf exponent of background word popularity.
+    pub zipf_exponent: f64,
+    /// The planted topics.
+    pub topics: Vec<TopicSpec>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KeywordConfig {
+    /// Preset configuration for the given scale, with topic structure mirroring
+    /// Tables V/VI (emerging: "social networks", "matrix factorization", …;
+    /// disappearing: "association rules", "support vector machines"; stable distractors:
+    /// "time series", "feature selection").
+    pub fn for_scale(scale: Scale) -> Self {
+        let (vocabulary, titles) = match scale {
+            Scale::Tiny => (400, 1_500),
+            Scale::Default => (3_000, 8_000),
+            Scale::Full => (9_890, 40_000),
+        };
+        // Reserve the last ids of the vocabulary for topic keywords so they do not clash
+        // with frequent background words (low ids are the most popular under Zipf).
+        let mut next_kw = (vocabulary as VertexId) - 40;
+        let mut take = |k: usize| -> Vec<VertexId> {
+            let v: Vec<VertexId> = (next_kw..next_kw + k as VertexId).collect();
+            next_kw += k as VertexId;
+            v
+        };
+        let topics = vec![
+            TopicSpec {
+                name: "social networks".into(),
+                keywords: take(2),
+                popularity_g1: 0.005,
+                popularity_g2: 0.09,
+            },
+            TopicSpec {
+                name: "matrix factorization".into(),
+                keywords: take(2),
+                popularity_g1: 0.004,
+                popularity_g2: 0.05,
+            },
+            TopicSpec {
+                name: "unsupervised feature selection".into(),
+                keywords: take(3),
+                popularity_g1: 0.002,
+                popularity_g2: 0.03,
+            },
+            TopicSpec {
+                name: "association rules".into(),
+                keywords: take(3),
+                popularity_g1: 0.09,
+                popularity_g2: 0.006,
+            },
+            TopicSpec {
+                name: "support vector machines".into(),
+                keywords: take(3),
+                popularity_g1: 0.05,
+                popularity_g2: 0.005,
+            },
+            TopicSpec {
+                name: "time series".into(),
+                keywords: take(2),
+                popularity_g1: 0.08,
+                popularity_g2: 0.07,
+            },
+            TopicSpec {
+                name: "feature selection".into(),
+                keywords: take(2),
+                popularity_g1: 0.05,
+                popularity_g2: 0.05,
+            },
+        ];
+        KeywordConfig {
+            vocabulary,
+            titles_per_period: titles,
+            background_words_per_title: 6,
+            zipf_exponent: 1.1,
+            topics,
+            seed: 0xBEEF,
+        }
+    }
+
+    /// Generates the keyword-association graph pair.
+    pub fn generate(&self) -> GraphPair {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let g1 = self.generate_period(&mut rng, |t| t.popularity_g1);
+        let g2 = self.generate_period(&mut rng, |t| t.popularity_g2);
+
+        let mut planted = Vec::new();
+        for topic in &self.topics {
+            let kind = if topic.popularity_g2 > 2.0 * topic.popularity_g1 {
+                Some(GroupKind::Emerging)
+            } else if topic.popularity_g1 > 2.0 * topic.popularity_g2 {
+                Some(GroupKind::Disappearing)
+            } else {
+                None // stable distractor topics are not ground truth for DCS
+            };
+            if let Some(kind) = kind {
+                planted.push(PlantedGroup {
+                    name: topic.name.clone(),
+                    vertices: topic.keywords.clone(),
+                    kind,
+                });
+            }
+        }
+        GraphPair { g1, g2, planted }
+    }
+
+    /// Simulates one period's titles and builds its co-occurrence graph.
+    fn generate_period<F: Fn(&TopicSpec) -> f64>(
+        &self,
+        rng: &mut StdRng,
+        popularity: F,
+    ) -> SignedGraph {
+        let mut pair_counts: FxHashMap<(VertexId, VertexId), u32> = FxHashMap::default();
+        let mut title_words: Vec<VertexId> = Vec::new();
+        for _ in 0..self.titles_per_period {
+            title_words.clear();
+            // Topic keywords.
+            for topic in &self.topics {
+                if rng.gen::<f64>() < popularity(topic) {
+                    title_words.extend_from_slice(&topic.keywords);
+                }
+            }
+            // Background words (Zipf ranks map to low keyword ids = frequent words).
+            for _ in 0..self.background_words_per_title {
+                let w = (zipf_rank(rng, self.vocabulary, self.zipf_exponent) - 1) as VertexId;
+                title_words.push(w);
+            }
+            title_words.sort_unstable();
+            title_words.dedup();
+            for i in 0..title_words.len() {
+                for j in (i + 1)..title_words.len() {
+                    *pair_counts
+                        .entry((title_words[i], title_words[j]))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        let mut builder = GraphBuilder::new(self.vocabulary);
+        let scale = 100.0 / self.titles_per_period as f64;
+        for ((u, v), count) in pair_counts {
+            builder.add_edge(u, v, count as f64 * scale);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::difference_graph;
+
+    #[test]
+    fn generates_two_graphs_over_the_vocabulary() {
+        let pair = KeywordConfig::for_scale(Scale::Tiny).generate();
+        assert_eq!(pair.g1.num_vertices(), 400);
+        assert_eq!(pair.g2.num_vertices(), 400);
+        assert!(pair.g1.num_edges() > 500);
+        assert!(pair.g2.num_edges() > 500);
+        // Ground truth contains emerging and disappearing topics but not the stable ones.
+        assert!(pair.planted.iter().any(|g| g.kind == GroupKind::Emerging));
+        assert!(pair.planted.iter().any(|g| g.kind == GroupKind::Disappearing));
+        assert!(pair.planted.iter().all(|g| g.name != "time series"));
+    }
+
+    #[test]
+    fn emerging_topic_is_dense_in_difference_graph() {
+        let cfg = KeywordConfig::for_scale(Scale::Tiny);
+        let pair = cfg.generate();
+        let gd = difference_graph(&pair.g2, &pair.g1).unwrap();
+        let social = pair
+            .planted
+            .iter()
+            .find(|g| g.name == "social networks")
+            .unwrap();
+        let rules = pair
+            .planted
+            .iter()
+            .find(|g| g.name == "association rules")
+            .unwrap();
+        assert!(gd.average_degree(&social.vertices) > 1.0);
+        assert!(gd.average_degree(&rules.vertices) < -1.0);
+    }
+
+    #[test]
+    fn stable_topics_dominate_single_period_graphs_but_not_the_difference() {
+        let cfg = KeywordConfig::for_scale(Scale::Tiny);
+        let pair = cfg.generate();
+        let time_series = cfg
+            .topics
+            .iter()
+            .find(|t| t.name == "time series")
+            .unwrap()
+            .keywords
+            .clone();
+        let social = cfg
+            .topics
+            .iter()
+            .find(|t| t.name == "social networks")
+            .unwrap()
+            .keywords
+            .clone();
+        // In G2 alone the stable topic is still (roughly) comparable to the emerging one…
+        let g2_ts = pair.g2.average_degree(&time_series);
+        assert!(g2_ts > 1.0);
+        // …but in the difference graph the emerging topic clearly wins.
+        let gd = difference_graph(&pair.g2, &pair.g1).unwrap();
+        assert!(gd.average_degree(&social) > gd.average_degree(&time_series) + 1.0);
+    }
+
+    #[test]
+    fn weights_are_percentages() {
+        let pair = KeywordConfig::for_scale(Scale::Tiny).generate();
+        // Edge weights are 100 * fraction of titles, hence within (0, 100].
+        for (_, _, w) in pair.g1.edges() {
+            assert!(w > 0.0 && w <= 100.0);
+        }
+    }
+}

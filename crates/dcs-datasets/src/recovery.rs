@@ -1,0 +1,123 @@
+//! Recovery metrics: how well a mined subgraph matches the planted ground truth.
+//!
+//! The paper validates effectiveness qualitatively (the mined author groups/topics "make
+//! sense").  With planted ground truth we can quantify the same claim: the Jaccard
+//! similarity between the mined vertex set and its best-matching planted group.
+
+use dcs_graph::VertexId;
+
+use crate::PlantedGroup;
+
+/// Jaccard similarity of two vertex sets.
+pub fn jaccard(a: &[VertexId], b: &[VertexId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: std::collections::BTreeSet<_> = a.iter().copied().collect();
+    let sb: std::collections::BTreeSet<_> = b.iter().copied().collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// The result of matching a mined subgraph against the planted groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Name of the best-matching planted group (empty if there is none).
+    pub best_group: String,
+    /// Jaccard similarity with that group.
+    pub jaccard: f64,
+    /// Precision: fraction of mined vertices that belong to the best-matching group.
+    pub precision: f64,
+    /// Recall: fraction of the best-matching group that was mined.
+    pub recall: f64,
+}
+
+/// Matches a mined vertex set against a collection of planted groups and reports the
+/// best match by Jaccard similarity.
+pub fn best_match(found: &[VertexId], planted: &[&PlantedGroup]) -> RecoveryReport {
+    let mut best = RecoveryReport {
+        best_group: String::new(),
+        jaccard: 0.0,
+        precision: 0.0,
+        recall: 0.0,
+    };
+    let found_set: std::collections::BTreeSet<_> = found.iter().copied().collect();
+    for group in planted {
+        let j = jaccard(found, &group.vertices);
+        if j > best.jaccard || best.best_group.is_empty() {
+            let group_set: std::collections::BTreeSet<_> =
+                group.vertices.iter().copied().collect();
+            let inter = found_set.intersection(&group_set).count();
+            best = RecoveryReport {
+                best_group: group.name.clone(),
+                jaccard: j,
+                precision: if found.is_empty() {
+                    0.0
+                } else {
+                    inter as f64 / found.len() as f64
+                },
+                recall: if group.vertices.is_empty() {
+                    0.0
+                } else {
+                    inter as f64 / group.vertices.len() as f64
+                },
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GroupKind;
+
+    fn group(name: &str, vertices: Vec<VertexId>) -> PlantedGroup {
+        PlantedGroup {
+            name: name.into(),
+            vertices,
+            kind: GroupKind::Emerging,
+        }
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        assert_eq!(jaccard(&[1], &[]), 0.0);
+    }
+
+    #[test]
+    fn best_match_picks_the_right_group() {
+        let g1 = group("alpha", vec![0, 1, 2, 3]);
+        let g2 = group("beta", vec![10, 11, 12]);
+        let report = best_match(&[1, 2, 3, 10], &[&g1, &g2]);
+        assert_eq!(report.best_group, "alpha");
+        assert!((report.jaccard - 3.0 / 5.0).abs() < 1e-12);
+        assert!((report.precision - 0.75).abs() < 1e-12);
+        assert!((report.recall - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_recovery() {
+        let g = group("alpha", vec![5, 6, 7]);
+        let report = best_match(&[5, 6, 7], &[&g]);
+        assert_eq!(report.jaccard, 1.0);
+        assert_eq!(report.precision, 1.0);
+        assert_eq!(report.recall, 1.0);
+    }
+
+    #[test]
+    fn no_planted_groups() {
+        let report = best_match(&[1, 2], &[]);
+        assert!(report.best_group.is_empty());
+        assert_eq!(report.jaccard, 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Synthetic social/interest graph pairs (the Douban experiment, Appendix B-2).
+//!
+//! The Douban dataset pairs a user **social** graph `G1` with an **interest-similarity**
+//! graph `G2` (an edge when two users' rated movie/book lists have Jaccard similarity
+//! above a threshold; only pairs within two social hops are considered).  Both graphs are
+//! uniformly weighted (all weights 1).  Mining the `Interest − Social` difference graph
+//! finds groups of users with strongly overlapping tastes who are *not* socially
+//! connected; `Social − Interest` finds tight social circles with unrelated tastes.
+//!
+//! The generator mirrors that construction: a power-law social background with planted
+//! social circles, interest communities defined independently of the social structure,
+//! and an interest graph built from 2-hop social pairs plus interest-community pairs —
+//! matching the paper's setup where the interest graph is constructed around the social
+//! neighbourhood.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashSet;
+
+use dcs_graph::{traversal::k_hop_neighborhood, GraphBuilder, VertexId};
+
+use crate::planted::allocate_groups;
+use crate::random::{chung_lu_edges, power_law_weights};
+use crate::{GraphPair, GroupKind, PlantedGroup, Scale};
+
+/// Configuration of the social/interest pair generator.
+#[derive(Debug, Clone)]
+pub struct SocialInterestConfig {
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of background social edges.
+    pub social_edges: usize,
+    /// Power-law exponent of social activity.
+    pub gamma: f64,
+    /// Probability that a 2-hop social pair shares enough ratings to get an interest edge
+    /// (background interest noise).
+    pub background_interest_probability: f64,
+    /// Planted interest communities (dense in the interest graph, sparse socially):
+    /// `(size, within-community interest-edge probability)`.
+    pub interest_communities: Vec<(usize, f64)>,
+    /// Planted social circles (dense socially, low interest overlap):
+    /// `(size, within-circle social-edge probability)`.
+    pub social_circles: Vec<(usize, f64)>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SocialInterestConfig {
+    /// Preset mimicking the **Movie** interest profile: interest edges are plentiful, so
+    /// the Interest−Social contrast groups are large and strong.
+    pub fn movie(scale: Scale) -> Self {
+        let (num_users, social_edges) = match scale {
+            Scale::Tiny => (500, 2_500),
+            Scale::Default => (6_000, 35_000),
+            Scale::Full => (55_710, 330_000),
+        };
+        SocialInterestConfig {
+            num_users,
+            social_edges,
+            gamma: 2.2,
+            background_interest_probability: 0.20,
+            interest_communities: vec![(32, 0.95), (18, 0.9)],
+            social_circles: vec![(24, 0.9), (14, 0.85)],
+            seed: 0xD0BA_0001,
+        }
+    }
+
+    /// Preset mimicking the **Book** interest profile: interest ratings are sparser
+    /// (lower background probability and smaller planted interest communities), so the
+    /// contrast goes the other way than for movies.
+    pub fn book(scale: Scale) -> Self {
+        let mut cfg = Self::movie(scale);
+        cfg.background_interest_probability = 0.06;
+        cfg.interest_communities = vec![(14, 0.85), (10, 0.8)];
+        cfg.social_circles = vec![(26, 0.92), (20, 0.9)];
+        cfg.seed = 0xD0BA_0002;
+        cfg
+    }
+
+    /// Generates the pair: `g1` = social graph, `g2` = interest graph (both uniformly
+    /// weighted with weight 1, like the Douban graphs in the paper).
+    pub fn generate(&self) -> GraphPair {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.num_users;
+        let planted_sizes: Vec<usize> = self
+            .interest_communities
+            .iter()
+            .chain(self.social_circles.iter())
+            .map(|(s, _)| *s)
+            .collect();
+        let planted_total: usize = planted_sizes.iter().sum();
+        assert!(planted_total < n / 2, "planted groups must fit");
+        let planted_start = (n - planted_total) as u32;
+        let groups = allocate_groups(planted_start, &planted_sizes);
+        let (interest_groups, social_groups) = groups.split_at(self.interest_communities.len());
+
+        // ---- Social graph ----------------------------------------------------------
+        let mut b_social = GraphBuilder::new(n);
+        let weights = power_law_weights(planted_start as usize, self.gamma);
+        for (u, v) in chung_lu_edges(&weights, self.social_edges, &mut rng) {
+            b_social.add_edge(u, v, 1.0);
+        }
+        // Planted social circles are densely connected socially.
+        for (group, &(_, p)) in social_groups.iter().zip(&self.social_circles) {
+            plant_uniform(&mut b_social, group, p, &mut rng);
+        }
+        // Members of interest communities get a couple of random social ties so they are
+        // within 2 hops of the rest of the network (the Douban construction only links
+        // users within 2 social hops), but they are NOT socially dense.
+        for group in interest_groups {
+            for &u in group {
+                let v = rng.gen_range(0..planted_start);
+                b_social.add_edge(u, v, 1.0);
+            }
+        }
+        let social = b_social.build();
+
+        // ---- Interest graph ---------------------------------------------------------
+        let mut b_interest = GraphBuilder::new(n);
+        // Background: 2-hop social pairs share interests with a base probability.
+        let mut seen_pairs: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+        for u in 0..n as VertexId {
+            if social.degree(u) == 0 {
+                continue;
+            }
+            for v in k_hop_neighborhood(&social, u, 2) {
+                if v <= u {
+                    continue;
+                }
+                if !seen_pairs.insert((u, v)) {
+                    continue;
+                }
+                if rng.gen::<f64>() < self.background_interest_probability {
+                    b_interest.add_edge(u, v, 1.0);
+                }
+            }
+        }
+        // Planted interest communities: high pairwise similarity regardless of social
+        // distance.
+        for (group, &(_, p)) in interest_groups.iter().zip(&self.interest_communities) {
+            plant_uniform(&mut b_interest, group, p, &mut rng);
+        }
+        // Planted social circles have *low* interest overlap: no extra edges added.
+        let interest = b_interest.build();
+
+        // ---- Ground truth -----------------------------------------------------------
+        let mut planted = Vec::new();
+        for (idx, group) in interest_groups.iter().enumerate() {
+            planted.push(PlantedGroup {
+                name: format!("interest-community-{idx}"),
+                vertices: group.clone(),
+                // Dense in G2 (interest) ⇒ found in Interest − Social.
+                kind: GroupKind::Emerging,
+            });
+        }
+        for (idx, group) in social_groups.iter().enumerate() {
+            planted.push(PlantedGroup {
+                name: format!("social-circle-{idx}"),
+                vertices: group.clone(),
+                kind: GroupKind::Disappearing,
+            });
+        }
+
+        GraphPair {
+            g1: social,
+            g2: interest,
+            planted,
+        }
+    }
+}
+
+/// Adds unit-weight edges between all pairs of `group` independently with probability `p`.
+fn plant_uniform<R: Rng>(builder: &mut GraphBuilder, group: &[VertexId], p: f64, rng: &mut R) {
+    for (i, &u) in group.iter().enumerate() {
+        for &v in &group[i + 1..] {
+            if rng.gen::<f64>() < p {
+                builder.add_edge(u, v, 1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::difference_graph;
+
+    #[test]
+    fn uniform_weights() {
+        let pair = SocialInterestConfig::movie(Scale::Tiny).generate();
+        for (_, _, w) in pair.g1.edges().take(200) {
+            assert_eq!(w, 1.0);
+        }
+        for (_, _, w) in pair.g2.edges().take(200) {
+            assert_eq!(w, 1.0);
+        }
+    }
+
+    #[test]
+    fn interest_minus_social_contains_interest_communities() {
+        let pair = SocialInterestConfig::movie(Scale::Tiny).generate();
+        let interest_minus_social = difference_graph(&pair.g2, &pair.g1).unwrap();
+        let social_minus_interest = difference_graph(&pair.g1, &pair.g2).unwrap();
+        for group in &pair.planted {
+            match group.kind {
+                GroupKind::Emerging => {
+                    assert!(
+                        interest_minus_social.average_degree(&group.vertices) > 1.0,
+                        "{}",
+                        group.name
+                    );
+                }
+                GroupKind::Disappearing => {
+                    assert!(
+                        social_minus_interest.average_degree(&group.vertices) > 1.0,
+                        "{}",
+                        group.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn movie_has_more_interest_edges_than_book() {
+        let movie = SocialInterestConfig::movie(Scale::Tiny).generate();
+        let book = SocialInterestConfig::book(Scale::Tiny).generate();
+        // Matching the statistics pattern of Table II: the Book interest graph is much
+        // sparser than the Movie interest graph.
+        assert!(movie.g2.num_edges() > book.g2.num_edges());
+    }
+
+    #[test]
+    fn both_directions_have_positive_and_negative_edges() {
+        let pair = SocialInterestConfig::movie(Scale::Tiny).generate();
+        let gd = difference_graph(&pair.g2, &pair.g1).unwrap();
+        assert!(gd.num_positive_edges() > 50);
+        assert!(gd.num_negative_edges() > 50);
+    }
+}

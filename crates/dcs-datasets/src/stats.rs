@@ -1,0 +1,91 @@
+//! Difference-graph statistics (the rows of Table II).
+
+use dcs_graph::{SignedGraph, Weight};
+
+/// The statistics the paper reports per difference graph in Table II.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct DiffStats {
+    /// Number of vertices `n`.
+    pub n: usize,
+    /// Number of edges with positive weight `m+`.
+    pub m_plus: usize,
+    /// Number of edges with negative weight `m−`.
+    pub m_minus: usize,
+    /// Maximum edge weight.
+    pub max_weight: Weight,
+    /// Minimum edge weight.
+    pub min_weight: Weight,
+    /// Average edge weight.
+    pub average_weight: Weight,
+}
+
+impl DiffStats {
+    /// Computes the statistics of a difference graph.
+    pub fn compute(gd: &SignedGraph) -> Self {
+        DiffStats {
+            n: gd.num_vertices(),
+            m_plus: gd.num_positive_edges(),
+            m_minus: gd.num_negative_edges(),
+            max_weight: gd.max_edge_weight().unwrap_or(0.0),
+            min_weight: gd.min_edge_weight().unwrap_or(0.0),
+            average_weight: gd.average_edge_weight(),
+        }
+    }
+
+    /// The density measure `m+/n` used on the x-axis of Fig. 2.
+    pub fn positive_density(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m_plus as f64 / self.n as f64
+        }
+    }
+
+    /// Formats the statistics as a table row
+    /// (`n  m+  m−  max w  min w  average w`).
+    pub fn as_row(&self) -> String {
+        format!(
+            "{:>9} {:>10} {:>10} {:>10.3} {:>10.3} {:>10.4}",
+            self.n, self.m_plus, self.m_minus, self.max_weight, self.min_weight, self.average_weight
+        )
+    }
+}
+
+impl std::fmt::Display for DiffStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_graph::GraphBuilder;
+
+    #[test]
+    fn computes_table2_style_row() {
+        let gd = GraphBuilder::from_edges(
+            5,
+            vec![(0, 1, 2.0), (1, 2, -4.0), (2, 3, 1.0), (3, 4, -1.0)],
+        );
+        let stats = DiffStats::compute(&gd);
+        assert_eq!(stats.n, 5);
+        assert_eq!(stats.m_plus, 2);
+        assert_eq!(stats.m_minus, 2);
+        assert_eq!(stats.max_weight, 2.0);
+        assert_eq!(stats.min_weight, -4.0);
+        assert!((stats.average_weight - (-0.5)).abs() < 1e-12);
+        assert!((stats.positive_density() - 0.4).abs() < 1e-12);
+        let row = stats.as_row();
+        assert!(row.contains('5'));
+        assert!(format!("{stats}").contains("-4"));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let stats = DiffStats::compute(&SignedGraph::empty(3));
+        assert_eq!(stats.m_plus, 0);
+        assert_eq!(stats.max_weight, 0.0);
+        assert_eq!(stats.positive_density(), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the synthetic graph-pair generators: whatever the seed and
+//! (reasonable) configuration, the generated pairs must satisfy the structural contract
+//! that the mining algorithms and the experiment harness rely on.
+
+use dcs_core::difference_graph;
+use dcs_datasets::{
+    CoauthorConfig, CollabConfig, ConflictConfig, GraphPair, GroupKind, KeywordConfig, Scale,
+    SocialInterestConfig, TrafficConfig, TransactionConfig,
+};
+use proptest::prelude::*;
+
+/// The contract every generated pair must satisfy.
+fn check_pair_contract(pair: &GraphPair) {
+    // Same vertex set, non-negative input weights (they are ordinary weighted graphs).
+    assert_eq!(pair.g1.num_vertices(), pair.g2.num_vertices());
+    assert!(pair.g1.min_edge_weight().unwrap_or(0.0) >= 0.0);
+    assert!(pair.g2.min_edge_weight().unwrap_or(0.0) >= 0.0);
+
+    // Planted groups: in range, non-trivial, sorted and pairwise disjoint.
+    let n = pair.g1.num_vertices();
+    for group in &pair.planted {
+        assert!(group.vertices.len() >= 2, "{} too small", group.name);
+        assert!(group.vertices.iter().all(|&v| (v as usize) < n));
+        assert!(group.vertices.windows(2).all(|w| w[0] < w[1]));
+    }
+    for (i, a) in pair.planted.iter().enumerate() {
+        for b in &pair.planted[i + 1..] {
+            assert!(
+                a.vertices.iter().all(|v| !b.vertices.contains(v)),
+                "{} and {} overlap",
+                a.name,
+                b.name
+            );
+        }
+    }
+
+    // Planted contrast has the right sign in the difference graph.
+    let gd = difference_graph(&pair.g2, &pair.g1).unwrap();
+    for group in &pair.planted {
+        let density = gd.average_degree(&group.vertices);
+        match group.kind {
+            GroupKind::Emerging => assert!(density > 0.0, "{}: {density}", group.name),
+            GroupKind::Disappearing => assert!(density < 0.0, "{}: {density}", group.name),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn coauthor_pairs_satisfy_the_contract(seed in 0u64..1_000_000) {
+        let mut config = CoauthorConfig::for_scale(Scale::Tiny);
+        config.seed = seed;
+        let pair = config.generate();
+        check_pair_contract(&pair);
+        // Determinism: the same seed yields the same pair.
+        let again = config.generate();
+        prop_assert_eq!(pair.g1, again.g1);
+        prop_assert_eq!(pair.g2, again.g2);
+    }
+
+    #[test]
+    fn keyword_pairs_satisfy_the_contract(seed in 0u64..1_000_000) {
+        let mut config = KeywordConfig::for_scale(Scale::Tiny);
+        config.seed = seed;
+        check_pair_contract(&config.generate());
+    }
+
+    #[test]
+    fn conflict_pairs_satisfy_the_contract(seed in 0u64..1_000_000) {
+        let mut config = ConflictConfig::for_scale(Scale::Tiny);
+        config.seed = seed;
+        check_pair_contract(&config.generate());
+    }
+
+    #[test]
+    fn social_interest_pairs_satisfy_the_contract(seed in 0u64..1_000_000, book in any::<bool>()) {
+        let mut config = if book {
+            SocialInterestConfig::book(Scale::Tiny)
+        } else {
+            SocialInterestConfig::movie(Scale::Tiny)
+        };
+        config.seed = seed;
+        check_pair_contract(&config.generate());
+    }
+
+    #[test]
+    fn collab_pairs_satisfy_the_contract(seed in 0u64..1_000_000, actor in any::<bool>()) {
+        let mut config = if actor {
+            CollabConfig::actor(Scale::Tiny)
+        } else {
+            CollabConfig::dblp_c(Scale::Tiny)
+        };
+        config.seed = seed;
+        check_pair_contract(&config.generate_pair());
+    }
+
+    #[test]
+    fn traffic_pairs_satisfy_the_contract(seed in 0u64..1_000_000) {
+        let mut config = TrafficConfig::for_scale(Scale::Tiny);
+        config.seed = seed;
+        let pair = config.generate();
+        check_pair_contract(&pair);
+        // Grid topology: both periods observe every road segment.
+        let expected_edges = config.rows * (config.cols - 1) + config.cols * (config.rows - 1);
+        prop_assert_eq!(pair.g1.num_edges(), expected_edges);
+        prop_assert_eq!(pair.g2.num_edges(), expected_edges);
+    }
+
+    #[test]
+    fn transaction_pairs_satisfy_the_contract(seed in 0u64..1_000_000) {
+        let mut config = TransactionConfig::for_scale(Scale::Tiny);
+        config.seed = seed;
+        check_pair_contract(&config.generate());
+    }
+}

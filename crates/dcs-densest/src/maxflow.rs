@@ -1,0 +1,244 @@
+//! Dinic's maximum-flow algorithm on floating-point capacities.
+//!
+//! Used by [`crate::goldberg`] to solve the exact maximum-density-subgraph problem via a
+//! sequence of min-cut computations.  The implementation is a standard level-graph /
+//! blocking-flow Dinic with an epsilon guard for floating-point capacities.
+
+/// Numerical tolerance below which a residual capacity is considered saturated.
+const EPS: f64 = 1e-12;
+
+#[derive(Debug, Clone)]
+struct Arc {
+    to: usize,
+    /// Residual capacity.
+    cap: f64,
+    /// Index of the reverse arc in `graph[to]`.
+    rev: usize,
+}
+
+/// A flow network with float capacities supporting max-flow / min-cut queries.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<Arc>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Adds a directed arc `from -> to` with capacity `cap` (and a zero-capacity reverse
+    /// arc).  Negative capacities are clamped to zero.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: f64) {
+        let cap = cap.max(0.0);
+        let from_len = self.graph[from].len();
+        let to_len = self.graph[to].len();
+        self.graph[from].push(Arc {
+            to,
+            cap,
+            rev: to_len,
+        });
+        self.graph[to].push(Arc {
+            to: from,
+            cap: 0.0,
+            rev: from_len,
+        });
+    }
+
+    /// Adds an undirected edge with capacity `cap` in both directions.
+    pub fn add_undirected_edge(&mut self, a: usize, b: usize, cap: f64) {
+        let cap = cap.max(0.0);
+        let a_len = self.graph[a].len();
+        let b_len = self.graph[b].len();
+        self.graph[a].push(Arc {
+            to: b,
+            cap,
+            rev: b_len,
+        });
+        self.graph[b].push(Arc {
+            to: a,
+            cap,
+            rev: a_len,
+        });
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for arc in &self.graph[v] {
+                if arc.cap > EPS && self.level[arc.to] < 0 {
+                    self.level[arc.to] = self.level[v] + 1;
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, pushed: f64) -> f64 {
+        if v == t {
+            return pushed;
+        }
+        while self.iter[v] < self.graph[v].len() {
+            let i = self.iter[v];
+            let (to, cap) = {
+                let arc = &self.graph[v][i];
+                (arc.to, arc.cap)
+            };
+            if cap > EPS && self.level[v] < self.level[to] {
+                let d = self.dfs(to, t, pushed.min(cap));
+                if d > EPS {
+                    let rev = self.graph[v][i].rev;
+                    self.graph[v][i].cap -= d;
+                    self.graph[to][rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum flow from `s` to `t`; the residual capacities are left in
+    /// place so that [`Self::min_cut_source_side`] can be called afterwards.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        let mut flow = 0.0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, f64::INFINITY);
+                if f <= EPS {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// After [`Self::max_flow`], returns the set of nodes reachable from `s` in the
+    /// residual graph — the source side of a minimum cut.
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<usize> {
+        let n = self.num_nodes();
+        let mut seen = vec![false; n];
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(v) = stack.pop() {
+            for arc in &self.graph[v] {
+                if arc.cap > EPS && !seen[arc.to] {
+                    seen[arc.to] = true;
+                    stack.push(arc.to);
+                }
+            }
+        }
+        (0..n).filter(|&v| seen[v]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path() {
+        // s -> a -> t with bottleneck 3
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5.0);
+        net.add_edge(1, 2, 3.0);
+        assert!((net.max_flow(0, 2) - 3.0).abs() < 1e-9);
+        let cut = net.min_cut_source_side(0);
+        assert_eq!(cut, vec![0, 1]);
+    }
+
+    #[test]
+    fn parallel_paths() {
+        // Two disjoint s->t paths of capacity 2 and 4.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 3, 2.0);
+        net.add_edge(0, 2, 4.0);
+        net.add_edge(2, 3, 4.0);
+        assert!((net.max_flow(0, 3) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // Classic example with a cross edge; max flow 19.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10.0);
+        net.add_edge(0, 2, 10.0);
+        net.add_edge(1, 2, 1.0);
+        net.add_edge(1, 3, 9.0);
+        net.add_edge(2, 3, 10.0);
+        assert!((net.max_flow(0, 3) - 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_sink() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 4.0);
+        assert_eq!(net.max_flow(0, 2), 0.0);
+        let cut = net.min_cut_source_side(0);
+        assert_eq!(cut, vec![0, 1]);
+    }
+
+    #[test]
+    fn undirected_edge_flow() {
+        // s - a = b - t where a=b is undirected with capacity 2.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10.0);
+        net.add_undirected_edge(1, 2, 2.0);
+        net.add_edge(2, 3, 10.0);
+        assert!((net.max_flow(0, 3) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_capacity_clamped() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, -5.0);
+        assert_eq!(net.max_flow(0, 1), 0.0);
+    }
+
+    #[test]
+    fn min_cut_value_matches_flow() {
+        // Random-ish small network: check max-flow equals the capacity across the cut.
+        let mut net = FlowNetwork::new(6);
+        let arcs = [
+            (0, 1, 3.0),
+            (0, 2, 2.0),
+            (1, 3, 2.5),
+            (2, 3, 1.0),
+            (1, 4, 1.0),
+            (2, 4, 2.0),
+            (3, 5, 4.0),
+            (4, 5, 2.0),
+        ];
+        for (u, v, c) in arcs {
+            net.add_edge(u, v, c);
+        }
+        let flow = net.max_flow(0, 5);
+        let source_side = net.min_cut_source_side(0);
+        let in_source = |v: usize| source_side.contains(&v);
+        let cut_value: f64 = arcs
+            .iter()
+            .filter(|(u, v, _)| in_source(*u) && !in_source(*v))
+            .map(|(_, _, c)| *c)
+            .sum();
+        assert!((flow - cut_value).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,246 @@
+//! Replicator dynamics — the shrink-stage iteration of the original SEA algorithm.
+//!
+//! For a **non-negative** symmetric affinity matrix `A`, the replicator equation
+//!
+//! ```text
+//!   x_i(t+1) = x_i(t) · (Ax)_i / (xᵀAx)
+//! ```
+//!
+//! keeps `x` on the simplex and never decreases `f(x) = xᵀAx` (it is a special case of
+//! the Baum–Eagon inequality).  The iteration is only defined when `xᵀAx > 0` and only
+//! converges for non-negative matrices — this is exactly why the paper replaces it with
+//! the 2-coordinate-descent shrink when the difference graph carries negative weights.
+
+use dcs_graph::{SignedGraph, VertexId, Weight};
+
+use crate::simplex::Embedding;
+
+/// Stopping rule for [`replicator_dynamics`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplicatorStop {
+    /// Stop when the objective improves by less than `eps` in one iteration.
+    ///
+    /// This is the (loose) rule used by the original SEA implementation; the paper shows
+    /// it may stop before a local KKT point is reached, causing errors in the following
+    /// expansion stage.
+    ObjectiveImprovement {
+        /// Minimum objective improvement per iteration.
+        eps: f64,
+    },
+    /// Stop when the local KKT gap
+    /// `max_{k∈S, x_k<1} ∇_k f(x) − min_{k∈S, x_k>0} ∇_k f(x)` drops below `eps`.
+    KktGap {
+        /// Maximum allowed KKT gap.
+        eps: f64,
+    },
+}
+
+/// Outcome of a replicator-dynamics run.
+#[derive(Debug, Clone)]
+pub struct ReplicatorOutcome {
+    /// Final embedding.
+    pub embedding: Embedding,
+    /// Final objective `f(x)`.
+    pub objective: Weight,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the stopping rule was satisfied (as opposed to hitting `max_iters`).
+    pub converged: bool,
+}
+
+/// Runs replicator dynamics on the support of `x0`, restricted to graph `g`.
+///
+/// `g` must have non-negative weights on the support of `x0` (weights outside the support
+/// are never touched).  Vertices never enter the support: if `x_i(0) = 0` then
+/// `x_i(t) = 0` forever, which is why SEA needs an expansion stage at all.
+pub fn replicator_dynamics(
+    g: &SignedGraph,
+    x0: &Embedding,
+    stop: ReplicatorStop,
+    max_iters: usize,
+) -> ReplicatorOutcome {
+    let mut x = x0.clone();
+    let support: Vec<VertexId> = x.support();
+    debug_assert!(
+        support.iter().all(|&u| {
+            g.neighbors(u)
+                .all(|e| e.weight >= 0.0 || x.get(e.neighbor) == 0.0)
+        }),
+        "replicator dynamics requires non-negative weights on the support"
+    );
+
+    let mut objective = x.affinity(g);
+    if objective <= 0.0 || support.len() <= 1 {
+        // Fixed point (or undefined update); a singleton support is always a local KKT
+        // point on its own support.
+        return ReplicatorOutcome {
+            embedding: x,
+            objective: objective.max(0.0),
+            iterations: 0,
+            converged: true,
+        };
+    }
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < max_iters {
+        iterations += 1;
+        // Compute (Ax)_i for i in support.
+        let mut ax: Vec<(VertexId, f64)> = Vec::with_capacity(support.len());
+        for &u in &support {
+            if x.get(u) == 0.0 {
+                continue;
+            }
+            ax.push((u, x.weighted_sum_at(g, u)));
+        }
+        let f = objective;
+        // Update.
+        for &(u, axu) in &ax {
+            let xu = x.get(u);
+            if xu > 0.0 {
+                x.set(u, xu * axu / f);
+            }
+        }
+        // Numerical safety: renormalise drift.
+        x.normalize();
+        let new_objective = x.affinity(g);
+
+        let stop_now = match stop {
+            ReplicatorStop::ObjectiveImprovement { eps } => new_objective - objective <= eps,
+            ReplicatorStop::KktGap { eps } => kkt_gap_on_support(g, &x) <= eps,
+        };
+        objective = new_objective;
+        if stop_now {
+            converged = true;
+            break;
+        }
+    }
+
+    ReplicatorOutcome {
+        embedding: x,
+        objective,
+        iterations,
+        converged,
+    }
+}
+
+/// The local KKT gap on the support of `x`:
+/// `max_{k ∈ S_x} ∇_k f(x) − min_{k ∈ S_x, x_k > 0} ∇_k f(x)` (0 if the support has at
+/// most one vertex).
+pub fn kkt_gap_on_support(g: &SignedGraph, x: &Embedding) -> f64 {
+    let support = x.support();
+    if support.len() <= 1 {
+        return 0.0;
+    }
+    let mut max_grad = f64::NEG_INFINITY;
+    let mut min_grad_pos = f64::INFINITY;
+    for &u in &support {
+        let grad = x.gradient_at(g, u);
+        let xu = x.get(u);
+        if xu < 1.0 {
+            max_grad = max_grad.max(grad);
+        }
+        if xu > 0.0 {
+            min_grad_pos = min_grad_pos.min(grad);
+        }
+    }
+    if max_grad == f64::NEG_INFINITY || min_grad_pos == f64::INFINITY {
+        0.0
+    } else {
+        (max_grad - min_grad_pos).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_graph::GraphBuilder;
+
+    fn k4() -> SignedGraph {
+        let mut b = GraphBuilder::new(4);
+        for u in 0..4u32 {
+            for v in (u + 1)..4u32 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn converges_to_motzkin_straus_on_clique() {
+        // On K4 the maximiser is the uniform vector with value 1 - 1/4 = 0.75; starting
+        // from a skewed interior point the replicator converges there.
+        let g = k4();
+        let x0 = Embedding::from_weights(vec![(0, 0.4), (1, 0.3), (2, 0.2), (3, 0.1)]);
+        let out = replicator_dynamics(&g, &x0, ReplicatorStop::KktGap { eps: 1e-10 }, 10_000);
+        assert!(out.converged);
+        assert!((out.objective - 0.75).abs() < 1e-6);
+        for v in 0..4u32 {
+            assert!((out.embedding.get(v) - 0.25).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn objective_never_decreases() {
+        let g = GraphBuilder::from_edges(
+            5,
+            vec![
+                (0, 1, 2.0),
+                (1, 2, 1.0),
+                (2, 3, 3.0),
+                (3, 4, 1.0),
+                (0, 2, 1.5),
+                (1, 3, 0.5),
+            ],
+        );
+        let x0 = Embedding::uniform(&[0, 1, 2, 3, 4]);
+        let mut prev = x0.affinity(&g);
+        let mut x = x0;
+        for _ in 0..50 {
+            let out = replicator_dynamics(
+                &g,
+                &x,
+                ReplicatorStop::ObjectiveImprovement { eps: -1.0 }, // force exactly 1 step
+                1,
+            );
+            assert!(out.objective >= prev - 1e-12);
+            prev = out.objective;
+            x = out.embedding;
+        }
+    }
+
+    #[test]
+    fn zero_objective_is_fixed_point() {
+        let g = GraphBuilder::from_edges(3, vec![(0, 1, 1.0)]);
+        let x0 = Embedding::singleton(2);
+        let out = replicator_dynamics(&g, &x0, ReplicatorStop::KktGap { eps: 1e-9 }, 100);
+        assert_eq!(out.iterations, 0);
+        assert!(out.converged);
+        assert_eq!(out.objective, 0.0);
+    }
+
+    #[test]
+    fn loose_stop_may_miss_kkt() {
+        // A path graph: start from a point where the objective improves very slowly; the
+        // objective-improvement rule stops early, leaving a positive KKT gap.
+        let g = GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let x0 = Embedding::from_weights(vec![(0, 0.49), (1, 0.02), (2, 0.49)]);
+        let loose = replicator_dynamics(
+            &g,
+            &x0,
+            ReplicatorStop::ObjectiveImprovement { eps: 1e-6 },
+            10_000,
+        );
+        let strict = replicator_dynamics(&g, &x0, ReplicatorStop::KktGap { eps: 1e-9 }, 100_000);
+        assert!(strict.objective >= loose.objective - 1e-12);
+        // The strict rule actually reaches a local KKT point.
+        assert!(strict.converged);
+        assert!(kkt_gap_on_support(&g, &strict.embedding) <= 1e-9);
+    }
+
+    #[test]
+    fn kkt_gap_zero_on_singleton() {
+        let g = k4();
+        assert_eq!(kkt_gap_on_support(&g, &Embedding::singleton(1)), 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! The original SEA algorithm (Liu et al., TPAMI 2013): Shrink-and-ExpAnsion for the
+//! graph-affinity maximisation `max_{x∈Δn} xᵀAx` on non-negatively weighted graphs.
+//!
+//! This is the `SEA` part of the paper's `SEA+Refine` comparator (Tables VII, Fig. 2):
+//!
+//! * **Shrink** — replicator dynamics on the current support, stopped with the *loose*
+//!   objective-improvement rule `f(x) − f(x_old) ≤ ε` used by the original
+//!   implementation (configurable; the paper shows this rule may stop short of a local
+//!   KKT point).
+//! * **Expansion** — the step of [`crate::expansion`], adding every vertex whose gradient
+//!   exceeds `λ = 2f(x)`.
+//! * The outer loop repeats until no candidate remains; the algorithm is run once per
+//!   initial vertex (`x = e_u` for every `u ∈ V`), exactly as in the original paper.
+//!
+//! Expansion errors (objective decreasing after an expansion because the shrink had not
+//! reached a local KKT point) are counted and reported; this is the quantity plotted in
+//! Fig. 2(b).
+
+use dcs_graph::{SignedGraph, VertexId, Weight};
+
+use crate::expansion::{expansion_candidates, expansion_step};
+use crate::replicator::{replicator_dynamics, ReplicatorStop};
+use crate::simplex::Embedding;
+
+/// Configuration of the original SEA algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct SeaConfig {
+    /// Stopping rule of the shrink stage.  The original implementation (and the paper's
+    /// `SEA+Refine` runs) use `ObjectiveImprovement { eps: 1e-6 }`.
+    pub shrink_stop: ReplicatorStop,
+    /// Maximum replicator iterations per shrink stage.
+    pub shrink_max_iters: usize,
+    /// Tolerance when selecting expansion candidates (`∇_i > λ + tol`).
+    pub candidate_tolerance: f64,
+    /// Maximum number of shrink+expansion rounds per initialisation.
+    pub max_rounds: usize,
+}
+
+impl Default for SeaConfig {
+    fn default() -> Self {
+        SeaConfig {
+            shrink_stop: ReplicatorStop::ObjectiveImprovement { eps: 1e-6 },
+            shrink_max_iters: 10_000,
+            candidate_tolerance: 1e-9,
+            max_rounds: 1_000,
+        }
+    }
+}
+
+/// Result of one SEA run (a single initialisation).
+#[derive(Debug, Clone)]
+pub struct SeaRun {
+    /// Final embedding.
+    pub embedding: Embedding,
+    /// Final objective `f(x)`.
+    pub objective: Weight,
+    /// Number of shrink+expansion rounds.
+    pub rounds: usize,
+    /// Number of expansion steps that decreased the objective.
+    pub expansion_errors: usize,
+}
+
+/// Result of a full SEA sweep over many initialisations.
+#[derive(Debug, Clone)]
+pub struct SeaResult {
+    /// The best embedding found over all initialisations.
+    pub best: Embedding,
+    /// Its objective.
+    pub best_objective: Weight,
+    /// Total number of expansion errors over all initialisations.
+    pub expansion_errors: usize,
+    /// Number of initialisations performed.
+    pub initializations: usize,
+    /// Every distinct local solution found (one per initialisation), useful for the
+    /// all-cliques analyses (Fig. 3); kept only when `collect_all` is requested.
+    pub all_solutions: Vec<Embedding>,
+}
+
+/// The original SEA solver.
+#[derive(Debug, Clone, Default)]
+pub struct OriginalSea {
+    config: SeaConfig,
+}
+
+impl OriginalSea {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SeaConfig) -> Self {
+        OriginalSea { config }
+    }
+
+    /// Access to the configuration.
+    pub fn config(&self) -> &SeaConfig {
+        &self.config
+    }
+
+    /// Runs SEA from a single initial embedding.
+    ///
+    /// `g` must be non-negatively weighted (the replicator dynamic requires it); in the
+    /// DCS pipeline SEA is always run on `G_{D+}`.
+    pub fn run_from(&self, g: &SignedGraph, init: Embedding) -> SeaRun {
+        assert_eq!(
+            g.num_negative_edges(),
+            0,
+            "the original SEA requires non-negative edge weights (run it on G_D+)"
+        );
+        let mut x = init;
+        let mut rounds = 0usize;
+        let mut expansion_errors = 0usize;
+        loop {
+            rounds += 1;
+            // Shrink.
+            let shrink = replicator_dynamics(g, &x, self.config.shrink_stop, self.config.shrink_max_iters);
+            x = shrink.embedding;
+            x.prune(1e-12);
+            // Expansion candidates.
+            let z = expansion_candidates(g, &x, self.config.candidate_tolerance);
+            if z.is_empty() || rounds >= self.config.max_rounds {
+                let objective = x.affinity(g);
+                return SeaRun {
+                    embedding: x,
+                    objective,
+                    rounds,
+                    expansion_errors,
+                };
+            }
+            let out = expansion_step(g, &x, &z);
+            if out.is_error() {
+                expansion_errors += 1;
+            }
+            x = out.embedding;
+            x.prune(1e-12);
+        }
+    }
+
+    /// Runs SEA once per vertex of `g` (the original initialisation scheme) and returns
+    /// the best solution.  Set `collect_all` to keep every per-initialisation solution
+    /// (needed by the clique-census experiments).
+    ///
+    /// `limit` optionally caps the number of initialisations (in vertex-id order); the
+    /// paper's comparator uses all `n`, which is exactly why it is slow on large graphs.
+    pub fn run_all_vertices(
+        &self,
+        g: &SignedGraph,
+        limit: Option<usize>,
+        collect_all: bool,
+    ) -> SeaResult {
+        let n = g.num_vertices();
+        let limit = limit.unwrap_or(n).min(n);
+        let mut best = Embedding::default();
+        let mut best_objective = 0.0;
+        let mut expansion_errors = 0;
+        let mut all_solutions = Vec::new();
+        let mut initializations = 0;
+        for u in 0..limit as VertexId {
+            // Isolated vertices (in G_D+) can never seed anything better than 0.
+            if g.degree(u) == 0 {
+                continue;
+            }
+            initializations += 1;
+            let run = self.run_from(g, Embedding::singleton(u));
+            expansion_errors += run.expansion_errors;
+            if run.objective > best_objective {
+                best_objective = run.objective;
+                best = run.embedding.clone();
+            }
+            if collect_all {
+                all_solutions.push(run.embedding);
+            }
+        }
+        SeaResult {
+            best,
+            best_objective,
+            expansion_errors,
+            initializations,
+            all_solutions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_graph::GraphBuilder;
+
+    /// K5 with unit weights plus a pendant path; the affinity optimum is the uniform
+    /// embedding on the K5 with value 1 - 1/5 = 0.8 (Motzkin–Straus).
+    fn k5_with_path() -> SignedGraph {
+        let mut b = GraphBuilder::new(9);
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        b.add_edge(4, 5, 0.4);
+        b.add_edge(5, 6, 0.4);
+        b.add_edge(6, 7, 0.4);
+        b.add_edge(7, 8, 0.4);
+        b.build()
+    }
+
+    #[test]
+    fn finds_the_clique() {
+        let g = k5_with_path();
+        let sea = OriginalSea::default();
+        let res = sea.run_all_vertices(&g, None, false);
+        assert!(
+            (res.best_objective - 0.8).abs() < 1e-3,
+            "objective {}",
+            res.best_objective
+        );
+        let support = res.best.support();
+        assert_eq!(support, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_init_from_clique_vertex() {
+        let g = k5_with_path();
+        let sea = OriginalSea::default();
+        let run = sea.run_from(&g, Embedding::singleton(0));
+        assert!(run.objective >= 0.8 - 1e-3);
+        assert!(run.rounds >= 1);
+    }
+
+    #[test]
+    fn collects_all_solutions() {
+        let g = k5_with_path();
+        let sea = OriginalSea::default();
+        let res = sea.run_all_vertices(&g, None, true);
+        assert_eq!(res.all_solutions.len(), res.initializations);
+        assert!(res.initializations <= g.num_vertices());
+    }
+
+    #[test]
+    fn limit_caps_initializations() {
+        let g = k5_with_path();
+        let sea = OriginalSea::default();
+        let res = sea.run_all_vertices(&g, Some(2), false);
+        assert!(res.initializations <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weights() {
+        let g = GraphBuilder::from_edges(2, vec![(0, 1, -1.0)]);
+        OriginalSea::default().run_from(&g, Embedding::singleton(0));
+    }
+
+    #[test]
+    fn strict_shrink_never_errors() {
+        // With the KKT-gap shrink rule the expansion should never decrease the objective.
+        let g = k5_with_path();
+        let sea = OriginalSea::new(SeaConfig {
+            shrink_stop: ReplicatorStop::KktGap { eps: 1e-10 },
+            shrink_max_iters: 100_000,
+            ..SeaConfig::default()
+        });
+        let res = sea.run_all_vertices(&g, None, false);
+        assert_eq!(res.expansion_errors, 0);
+        assert!((res.best_objective - 0.8).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the classical densest-subgraph substrate.
+
+use dcs_densest::charikar::{
+    greedy_peeling, greedy_peeling_rescan, greedy_peeling_segment_tree,
+};
+use dcs_densest::replicator::{kkt_gap_on_support, replicator_dynamics, ReplicatorStop};
+use dcs_densest::{densest_subgraph_exact, Embedding, OriginalSea};
+use dcs_graph::{GraphBuilder, SignedGraph};
+use proptest::prelude::*;
+
+/// Random non-negatively weighted graph on up to 14 vertices.
+fn arb_positive_graph() -> impl Strategy<Value = SignedGraph> {
+    (3usize..14).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.1f64..6.0f64);
+        (Just(n), proptest::collection::vec(edge, 0..60)).prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// Random signed graph on up to 14 vertices.
+fn arb_signed_graph() -> impl Strategy<Value = SignedGraph> {
+    (3usize..14).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, -5.0f64..5.0f64);
+        (Just(n), proptest::collection::vec(edge, 0..60)).prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                if u != v && w != 0.0 {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn brute_force_densest(g: &SignedGraph) -> f64 {
+    let n = g.num_vertices();
+    let mut best = 0.0f64;
+    for mask in 1u32..(1 << n) {
+        let subset: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+        best = best.max(g.average_degree(&subset));
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Goldberg's exact solver matches brute force on non-negative graphs, and Charikar's
+    /// greedy is within a factor 2 of it.
+    #[test]
+    fn goldberg_is_exact_and_charikar_within_two(g in arb_positive_graph()) {
+        let optimum = brute_force_densest(&g);
+        let exact = densest_subgraph_exact(&g);
+        prop_assert!((exact.average_degree - optimum).abs() < 1e-6,
+            "goldberg {} vs brute force {}", exact.average_degree, optimum);
+        let greedy = greedy_peeling(&g);
+        prop_assert!(greedy.average_degree <= optimum + 1e-9);
+        prop_assert!(2.0 * greedy.average_degree + 1e-9 >= optimum);
+    }
+
+    /// The three peeling priority structures produce identical densities (the subsets may
+    /// differ on ties, but never the achieved objective) on signed graphs.
+    #[test]
+    fn peeling_structures_agree(g in arb_signed_graph()) {
+        let heap = greedy_peeling(&g);
+        let rescan = greedy_peeling_rescan(&g);
+        let segtree = greedy_peeling_segment_tree(&g);
+        prop_assert!((heap.average_degree - g.average_degree(&heap.subset)).abs() < 1e-9);
+        prop_assert!((heap.average_degree - rescan.average_degree).abs() < 1e-9);
+        prop_assert!((heap.average_degree - segtree.average_degree).abs() < 1e-9);
+        prop_assert!(heap.average_degree >= 0.0);
+    }
+
+    /// Replicator dynamics never decreases the objective and ends (with the strict rule)
+    /// at a local KKT point; the final objective never exceeds the Motzkin–Straus-style
+    /// upper bound given by the densest subgraph (affinity ≤ max average degree).
+    #[test]
+    fn replicator_monotone_and_kkt(g in arb_positive_graph()) {
+        if g.num_edges() == 0 {
+            return Ok(());
+        }
+        let support: Vec<u32> = g
+            .vertices()
+            .filter(|&v| g.degree(v) > 0)
+            .collect();
+        let x0 = Embedding::uniform(&support);
+        let before = x0.affinity(&g);
+        let out = replicator_dynamics(&g, &x0, ReplicatorStop::KktGap { eps: 1e-8 }, 200_000);
+        prop_assert!(out.objective >= before - 1e-9);
+        if out.converged {
+            prop_assert!(kkt_gap_on_support(&g, &out.embedding) <= 1e-6);
+        }
+        // xᵀAx ≤ max degree of the induced support ≤ exact densest average degree … a
+        // loose sanity bound: affinity can never exceed the maximum weighted degree.
+        let max_degree = g.vertices().map(|v| g.weighted_degree(v)).fold(0.0, f64::max);
+        prop_assert!(out.objective <= max_degree + 1e-9);
+    }
+
+    /// The original SEA (with the strict KKT shrink rule) commits no expansion errors and
+    /// never returns a worse objective than its best single-edge initialisation bound.
+    #[test]
+    fn original_sea_with_strict_shrink_is_error_free(g in arb_positive_graph()) {
+        if g.num_edges() == 0 {
+            return Ok(());
+        }
+        let sea = OriginalSea::new(dcs_densest::SeaConfig {
+            shrink_stop: ReplicatorStop::KktGap { eps: 1e-9 },
+            shrink_max_iters: 100_000,
+            ..dcs_densest::SeaConfig::default()
+        });
+        let result = sea.run_all_vertices(&g, None, false);
+        prop_assert_eq!(result.expansion_errors, 0);
+        let wmax = g.max_edge_weight().unwrap_or(0.0);
+        prop_assert!(result.best_objective + 1e-6 >= wmax / 2.0);
+        // And the embedding really attains the reported objective.
+        prop_assert!((result.best.affinity(&g) - result.best_objective).abs() < 1e-9);
+    }
+
+    /// Embeddings stay on the simplex through the SEA pipeline.
+    #[test]
+    fn sea_outputs_stay_on_the_simplex(g in arb_positive_graph(), seed in 0u32..14) {
+        if g.num_edges() == 0 || seed as usize >= g.num_vertices() || g.degree(seed) == 0 {
+            return Ok(());
+        }
+        let run = OriginalSea::default().run_from(&g, Embedding::singleton(seed));
+        prop_assert!((run.embedding.mass() - 1.0).abs() < 1e-6);
+        for (_, x) in run.embedding.iter() {
+            prop_assert!(x > 0.0 && x <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Incremental construction of [`SignedGraph`]s from edge lists.
+
+use rustc_hash::FxHashMap;
+
+use crate::{EdgeTriple, SignedGraph, VertexId, Weight};
+
+/// What to do when the same undirected edge `(u, v)` is added more than once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicatePolicy {
+    /// Sum the weights of duplicate insertions (the natural policy for co-occurrence /
+    /// collaboration counts; this is the default).
+    #[default]
+    Sum,
+    /// Keep the weight of the last insertion.
+    Overwrite,
+    /// Keep the maximum weight seen.
+    Max,
+    /// Keep the minimum weight seen.
+    Min,
+}
+
+/// Builder that accumulates an undirected edge list and packs it into CSR form.
+///
+/// * Self-loops are ignored.
+/// * Edges whose final (merged) weight is exactly `0.0` are dropped — the paper defines
+///   the edge set of the difference graph as `{(u,v) | D(u,v) ≠ 0}`.
+/// * Adding an edge with an endpoint `>= n` grows the vertex set automatically.
+///
+/// ```
+/// use dcs_graph::{GraphBuilder, DuplicatePolicy};
+/// let mut b = GraphBuilder::with_policy(3, DuplicatePolicy::Sum);
+/// b.add_edge(0, 1, 1.0);
+/// b.add_edge(1, 0, 2.0);   // merged with the previous insertion
+/// b.add_edge(1, 2, -3.0);
+/// b.add_edge(2, 2, 9.0);   // self loop: ignored
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.edge_weight(0, 1), Some(3.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    policy: DuplicatePolicy,
+    /// Map keyed by (min(u,v), max(u,v)).
+    edges: FxHashMap<(VertexId, VertexId), Weight>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` vertices and the default
+    /// [`DuplicatePolicy::Sum`] policy.
+    pub fn new(n: usize) -> Self {
+        Self::with_policy(n, DuplicatePolicy::Sum)
+    }
+
+    /// Creates a builder with an explicit duplicate-merging policy.
+    pub fn with_policy(n: usize, policy: DuplicatePolicy) -> Self {
+        GraphBuilder {
+            n,
+            policy,
+            edges: FxHashMap::default(),
+        }
+    }
+
+    /// Number of vertices the built graph will have (grows as edges are added).
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct undirected edges currently accumulated (including edges whose
+    /// merged weight is zero, which will be dropped at [`Self::build`] time).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Ensures the vertex set covers `0..n`.
+    pub fn grow_to(&mut self, n: usize) {
+        self.n = self.n.max(n);
+    }
+
+    /// Adds (or merges) the undirected edge `(u, v)` with weight `w`.
+    ///
+    /// Self-loops (`u == v`) are silently ignored.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        if u == v {
+            return;
+        }
+        self.grow_to(u.max(v) as usize + 1);
+        let key = if u < v { (u, v) } else { (v, u) };
+        use DuplicatePolicy::*;
+        self.edges
+            .entry(key)
+            .and_modify(|cur| match self.policy {
+                Sum => *cur += w,
+                Overwrite => *cur = w,
+                Max => *cur = cur.max(w),
+                Min => *cur = cur.min(w),
+            })
+            .or_insert(w);
+    }
+
+    /// Adds every edge of an iterator of `(u, v, w)` triples.
+    pub fn add_edges<I: IntoIterator<Item = EdgeTriple>>(&mut self, edges: I) {
+        for (u, v, w) in edges {
+            self.add_edge(u, v, w);
+        }
+    }
+
+    /// Current merged weight of edge `(u, v)`, if it has been added.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.get(&key).copied()
+    }
+
+    /// Finalises the builder into a CSR [`SignedGraph`].
+    ///
+    /// Adjacency lists are sorted by neighbor id, which enables binary-search edge
+    /// lookups on high-degree vertices.
+    pub fn build(self) -> SignedGraph {
+        let n = self.n;
+        let mut degrees = vec![0usize; n];
+        let mut kept: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(self.edges.len());
+        for (&(u, v), &w) in &self.edges {
+            if w != 0.0 {
+                kept.push((u, v, w));
+                degrees[u as usize] += 1;
+                degrees[v as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degrees[v];
+        }
+        let total = offsets[n];
+        let mut neighbors = vec![0 as VertexId; total];
+        let mut weights = vec![0.0 as Weight; total];
+        let mut cursor = offsets.clone();
+        for (u, v, w) in kept {
+            let cu = cursor[u as usize];
+            neighbors[cu] = v;
+            weights[cu] = w;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize];
+            neighbors[cv] = u;
+            weights[cv] = w;
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency list by neighbor id (insertion order from a hash map is
+        // arbitrary).
+        for v in 0..n {
+            let range = offsets[v]..offsets[v + 1];
+            let mut pairs: Vec<(VertexId, Weight)> = neighbors[range.clone()]
+                .iter()
+                .copied()
+                .zip(weights[range.clone()].iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|p| p.0);
+            for (i, (nb, w)) in pairs.into_iter().enumerate() {
+                neighbors[offsets[v] + i] = nb;
+                weights[offsets[v] + i] = w;
+            }
+        }
+        SignedGraph::from_csr(offsets, neighbors, weights)
+    }
+
+    /// Convenience: build a graph directly from an edge list.
+    pub fn from_edges<I: IntoIterator<Item = EdgeTriple>>(n: usize, edges: I) -> SignedGraph {
+        let mut b = GraphBuilder::new(n);
+        b.add_edges(edges);
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_policies() {
+        for (policy, expect) in [
+            (DuplicatePolicy::Sum, 3.0),
+            (DuplicatePolicy::Overwrite, 2.0),
+            (DuplicatePolicy::Max, 2.0),
+            (DuplicatePolicy::Min, 1.0),
+        ] {
+            let mut b = GraphBuilder::with_policy(2, policy);
+            b.add_edge(0, 1, 1.0);
+            b.add_edge(1, 0, 2.0);
+            let g = b.build();
+            assert_eq!(g.edge_weight(0, 1), Some(expect), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_edges_are_dropped() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 1, -1.0); // sums to zero → dropped
+        b.add_edge(1, 2, 0.0); // exactly zero → dropped
+        let g = b.build();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn grows_vertex_set() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(4, 2, 1.5);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.edge_weight(2, 4), Some(1.5));
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1, 7.0);
+        assert_eq!(b.num_edges(), 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 4, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(0, 3, 1.0);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let (nbrs, _) = g.neighbor_slices(0);
+        assert_eq!(nbrs, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_edges_convenience() {
+        let g = GraphBuilder::from_edges(3, vec![(0, 1, 1.0), (1, 2, -2.0)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_negative_edges(), 1);
+    }
+}

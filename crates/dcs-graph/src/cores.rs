@@ -1,0 +1,207 @@
+//! k-core decomposition (core numbers) of the *unweighted* skeleton of a graph.
+//!
+//! The NewSEA smart-initialisation bound (Theorem 6 and the discussion that follows it)
+//! needs, for every vertex `u`, an upper bound `τ_u + 1` on the size of the largest clique
+//! of `G_{D+}` containing `u`, where `τ_u` is the core number of `u`.  Core numbers are
+//! computed with the classical O(n + m) bucket peeling algorithm of Batagelj–Zaveršnik.
+
+use crate::{SignedGraph, VertexId};
+
+/// Result of a core decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    /// `core[v]` is the core number of vertex `v`: the largest `k` such that `v` belongs
+    /// to a subgraph in which every vertex has (unweighted) degree at least `k`.
+    pub core: Vec<u32>,
+    /// The degeneracy of the graph (the maximum core number; 0 for an edgeless graph).
+    pub degeneracy: u32,
+    /// Vertices in the order they were peeled (non-decreasing core number); this is a
+    /// degeneracy ordering of the graph.
+    pub peel_order: Vec<VertexId>,
+}
+
+impl CoreDecomposition {
+    /// Core number of a single vertex.
+    pub fn core_of(&self, v: VertexId) -> u32 {
+        self.core[v as usize]
+    }
+
+    /// The vertices of the `k`-core (every vertex with core number >= `k`).
+    pub fn k_core(&self, k: u32) -> Vec<VertexId> {
+        self.core
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c >= k)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+}
+
+/// Computes core numbers of the unweighted skeleton of `g` (edge weights and signs are
+/// ignored; every edge counts as 1).
+///
+/// Runs in O(n + m) time using bucket sort over degrees.
+pub fn core_decomposition(g: &SignedGraph) -> CoreDecomposition {
+    let n = g.num_vertices();
+    if n == 0 {
+        return CoreDecomposition {
+            core: Vec::new(),
+            degeneracy: 0,
+            peel_order: Vec::new(),
+        };
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bin[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    // pos[v] = position of v in vert; vert is sorted by current degree.
+    let mut vert = vec![0 as VertexId; n];
+    let mut pos = vec![0usize; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            let d = degree[v];
+            pos[v] = cursor[d];
+            vert[cursor[d]] = v as VertexId;
+            cursor[d] += 1;
+        }
+    }
+
+    let mut core: Vec<u32> = degree.iter().map(|&d| d as u32).collect();
+    let mut peel_order = Vec::with_capacity(n);
+
+    for i in 0..n {
+        let v = vert[i];
+        peel_order.push(v);
+        core[v as usize] = degree[v as usize] as u32;
+        for e in g.neighbors(v) {
+            let u = e.neighbor as usize;
+            if degree[u] > degree[v as usize] {
+                // Move u one bucket down: swap it with the first vertex of its bucket.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u as VertexId != w {
+                    vert.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w as usize] = pu;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+
+    // Core numbers must be non-decreasing along the peel order; enforce the classical
+    // post-condition core[v_i] = max(core[v_i], core[v_{i-1}]) is NOT needed because the
+    // bucket algorithm already guarantees it; keep the maximum as degeneracy.
+    let degeneracy = core.iter().copied().max().unwrap_or(0);
+    CoreDecomposition {
+        core,
+        degeneracy,
+        peel_order,
+    }
+}
+
+/// Convenience: the degeneracy of `g` (maximum core number).
+pub fn degeneracy(g: &SignedGraph) -> u32 {
+    core_decomposition(g).degeneracy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn triangle_with_tail() {
+        // Triangle {0,1,2} plus path 2-3-4.
+        let g = GraphBuilder::from_edges(
+            5,
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+            ],
+        );
+        let cd = core_decomposition(&g);
+        assert_eq!(cd.core, vec![2, 2, 2, 1, 1]);
+        assert_eq!(cd.degeneracy, 2);
+        assert_eq!(cd.k_core(2), vec![0, 1, 2]);
+        assert_eq!(cd.k_core(1).len(), 5);
+        assert_eq!(cd.peel_order.len(), 5);
+    }
+
+    #[test]
+    fn clique_core_numbers() {
+        // K5: every vertex has core number 4.
+        let mut b = GraphBuilder::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        let cd = core_decomposition(&b.build());
+        assert!(cd.core.iter().all(|&c| c == 4));
+        assert_eq!(cd.degeneracy, 4);
+    }
+
+    #[test]
+    fn signs_are_ignored() {
+        let pos = GraphBuilder::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
+        let neg = GraphBuilder::from_edges(3, vec![(0, 1, -1.0), (1, 2, -5.0), (0, 2, 2.0)]);
+        assert_eq!(core_decomposition(&pos).core, core_decomposition(&neg).core);
+    }
+
+    #[test]
+    fn star_graph() {
+        let g = GraphBuilder::from_edges(
+            5,
+            vec![(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)],
+        );
+        let cd = core_decomposition(&g);
+        assert_eq!(cd.core, vec![1, 1, 1, 1, 1]);
+        assert_eq!(cd.degeneracy, 1);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let cd = core_decomposition(&crate::SignedGraph::empty(0));
+        assert_eq!(cd.degeneracy, 0);
+        let cd = core_decomposition(&crate::SignedGraph::empty(3));
+        assert_eq!(cd.core, vec![0, 0, 0]);
+        assert_eq!(degeneracy(&crate::SignedGraph::empty(3)), 0);
+    }
+
+    #[test]
+    fn clique_upper_bound_property() {
+        // For every vertex u of the max clique K of size k, core(u) >= k - 1.
+        // Build a K4 {0..3} plus some pendant edges.
+        let mut b = GraphBuilder::new(8);
+        for u in 0..4u32 {
+            for v in (u + 1)..4u32 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        b.add_edge(0, 4, 1.0);
+        b.add_edge(4, 5, 1.0);
+        b.add_edge(6, 7, 1.0);
+        let cd = core_decomposition(&b.build());
+        for u in 0..4 {
+            assert!(cd.core[u] >= 3);
+        }
+    }
+}

@@ -1,0 +1,628 @@
+//! Compressed-sparse-row storage for signed, weighted, undirected graphs.
+
+use crate::{VertexId, VertexSubset, Weight};
+
+/// A reference to one endpoint of an undirected edge, as seen from a fixed source vertex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRef {
+    /// The other endpoint of the edge.
+    pub neighbor: VertexId,
+    /// The (signed) weight of the edge.
+    pub weight: Weight,
+}
+
+/// An immutable, undirected, signed-weight graph in CSR (compressed sparse row) form.
+///
+/// Every undirected edge `(u, v)` with weight `w` is stored twice, once in the adjacency
+/// list of `u` and once in that of `v`.  Self-loops are not allowed.  Edge weights are
+/// non-zero; zero-weight edges are dropped by [`crate::GraphBuilder`].
+///
+/// The type plays two roles in the workspace:
+///
+/// * an ordinary weighted graph (`G1`, `G2`, `G_{D+}`) when all weights are positive, and
+/// * the *difference graph* `G_D` of the paper, whose weights may be negative.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SignedGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors`/`weights` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Flattened adjacency: neighbor ids.
+    neighbors: Vec<VertexId>,
+    /// Flattened adjacency: edge weights, parallel to `neighbors`.
+    weights: Vec<Weight>,
+    /// Number of undirected edges (each counted once).
+    num_edges: usize,
+    /// Number of undirected edges with strictly positive weight.
+    num_positive_edges: usize,
+    /// Number of undirected edges with strictly negative weight.
+    num_negative_edges: usize,
+}
+
+impl SignedGraph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// This is an internal constructor used by [`crate::GraphBuilder`]; the arrays must
+    /// already be consistent (symmetrical adjacency, sorted or unsorted neighbor order).
+    pub(crate) fn from_csr(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        weights: Vec<Weight>,
+    ) -> Self {
+        debug_assert_eq!(neighbors.len(), weights.len());
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), neighbors.len());
+        let num_pos = weights.iter().filter(|w| **w > 0.0).count();
+        let num_neg = weights.iter().filter(|w| **w < 0.0).count();
+        debug_assert!(neighbors.len() % 2 == 0, "undirected edges stored twice");
+        SignedGraph {
+            offsets,
+            neighbors,
+            weights,
+            num_edges: (num_pos + num_neg) / 2,
+            num_positive_edges: num_pos / 2,
+            num_negative_edges: num_neg / 2,
+        }
+    }
+
+    /// Creates an empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        SignedGraph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+            weights: Vec::new(),
+            num_edges: 0,
+            num_positive_edges: 0,
+            num_negative_edges: 0,
+        }
+    }
+
+    /// Number of vertices `n = |V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m = |E|` (each edge counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of undirected edges with strictly positive weight (`m+` in the paper).
+    #[inline]
+    pub fn num_positive_edges(&self) -> usize {
+        self.num_positive_edges
+    }
+
+    /// Number of undirected edges with strictly negative weight (`m−` in the paper).
+    #[inline]
+    pub fn num_negative_edges(&self) -> usize {
+        self.num_negative_edges
+    }
+
+    /// Returns `true` if the graph has no edges.
+    #[inline]
+    pub fn is_edgeless(&self) -> bool {
+        self.num_edges == 0
+    }
+
+    /// Degree (number of incident edges) of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Weighted degree of `v` in the full graph: `W(v; G) = Σ_{(v,u) ∈ E} A(v,u)`.
+    #[inline]
+    pub fn weighted_degree(&self, v: VertexId) -> Weight {
+        self.neighbor_slices(v).1.iter().sum()
+    }
+
+    /// Iterates over all vertices `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterates over the neighbors of `v` together with edge weights.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> NeighborIter<'_> {
+        let (nbrs, ws) = self.neighbor_slices(v);
+        NeighborIter {
+            neighbors: nbrs.iter(),
+            weights: ws.iter(),
+        }
+    }
+
+    /// Raw neighbor / weight slices of vertex `v` (parallel arrays).
+    #[inline]
+    pub fn neighbor_slices(&self, v: VertexId) -> (&[VertexId], &[Weight]) {
+        let v = v as usize;
+        let range = self.offsets[v]..self.offsets[v + 1];
+        (&self.neighbors[range.clone()], &self.weights[range])
+    }
+
+    /// Iterates every undirected edge `(u, v, w)` exactly once, with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |e| u < e.neighbor)
+                .map(move |e| (u, e.neighbor, e.weight))
+        })
+    }
+
+    /// Looks up the weight of the edge `(u, v)`, or `None` if the edge does not exist.
+    ///
+    /// Linear scan of the smaller adjacency list; adjacency lists are sorted by the
+    /// builder so a binary search is used when the list is long.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        if u == v {
+            return None;
+        }
+        let (from, to) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let (nbrs, ws) = self.neighbor_slices(from);
+        if nbrs.len() >= 16 {
+            match nbrs.binary_search(&to) {
+                Ok(i) => Some(ws[i]),
+                Err(_) => None,
+            }
+        } else {
+            nbrs.iter().position(|&x| x == to).map(|i| ws[i])
+        }
+    }
+
+    /// Returns `true` if vertices `u` and `v` are adjacent.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// Total weight of all edges of the graph, `W(V) = Σ_{(u,v) ∈ E} A(u,v)`.
+    pub fn total_weight(&self) -> Weight {
+        self.weights.iter().sum::<Weight>() / 2.0
+    }
+
+    /// Maximum edge weight, or `None` for an edgeless graph.
+    pub fn max_edge_weight(&self) -> Option<Weight> {
+        self.weights.iter().copied().fold(None, |acc, w| match acc {
+            None => Some(w),
+            Some(a) => Some(a.max(w)),
+        })
+    }
+
+    /// Minimum edge weight, or `None` for an edgeless graph.
+    pub fn min_edge_weight(&self) -> Option<Weight> {
+        self.weights.iter().copied().fold(None, |acc, w| match acc {
+            None => Some(w),
+            Some(a) => Some(a.min(w)),
+        })
+    }
+
+    /// The edge with the maximum weight, `(u, v, w)`, or `None` for an edgeless graph.
+    pub fn max_weight_edge(&self) -> Option<(VertexId, VertexId, Weight)> {
+        let mut best: Option<(VertexId, VertexId, Weight)> = None;
+        for (u, v, w) in self.edges() {
+            match best {
+                None => best = Some((u, v, w)),
+                Some((_, _, bw)) if w > bw => best = Some((u, v, w)),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Average edge weight over all edges, 0.0 for an edgeless graph.
+    pub fn average_edge_weight(&self) -> Weight {
+        if self.num_edges == 0 {
+            0.0
+        } else {
+            self.total_weight() / self.num_edges as Weight
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Induced-subgraph metrics
+    //
+    // The paper's notation (Table I) defines the total degree of a subset as
+    //   W(S) = Σ_{(u,v) ∈ E(S)} A(u,v) = Σ_{u ∈ S} W(u; G(S)),
+    // where E(S) contains *both orientations* of every undirected edge, i.e. every edge
+    // inside S contributes twice.  We follow that convention so the reported numbers
+    // (average degree ρ(S) = W(S)/|S|, edge density W(S)/|S|²) match the paper's tables.
+    // ------------------------------------------------------------------
+
+    /// Total degree of the induced subgraph `G(S)`:
+    /// `W(S) = Σ_{u ∈ S} W(u; G(S))` — every edge inside `S` counted **twice**, exactly
+    /// as in the paper.
+    pub fn total_degree(&self, subset: &[VertexId]) -> Weight {
+        let marks = VertexSubset::from_slice(self.num_vertices(), subset);
+        self.total_degree_marked(&marks)
+    }
+
+    /// [`Self::total_degree`] with a pre-built membership set (avoids re-allocation in
+    /// hot loops).
+    pub fn total_degree_marked(&self, subset: &VertexSubset) -> Weight {
+        let mut sum = 0.0;
+        for &u in subset.iter() {
+            let (nbrs, ws) = self.neighbor_slices(u);
+            for (&v, &w) in nbrs.iter().zip(ws) {
+                if subset.contains(v) {
+                    sum += w;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Sum of edge weights inside `G(S)` with every edge counted **once**
+    /// (i.e. `W(S)/2`).  Provided for callers that want the "number of collaborations"
+    /// style total rather than the degree-sum.
+    pub fn total_edge_weight(&self, subset: &[VertexId]) -> Weight {
+        self.total_degree(subset) / 2.0
+    }
+
+    /// Average degree of the induced subgraph `ρ(S) = W(S)/|S|`.
+    ///
+    /// Returns 0.0 for an empty subset (consistent with the paper's convention that a
+    /// single vertex has density 0).
+    pub fn average_degree(&self, subset: &[VertexId]) -> Weight {
+        if subset.is_empty() {
+            return 0.0;
+        }
+        self.total_degree(subset) / subset.len() as Weight
+    }
+
+    /// Edge density of the induced subgraph `W(S)/|S|²`, the discrete analogue of graph
+    /// affinity used in the paper's result tables.
+    pub fn edge_density(&self, subset: &[VertexId]) -> Weight {
+        if subset.is_empty() {
+            return 0.0;
+        }
+        self.total_degree(subset) / (subset.len() as Weight * subset.len() as Weight)
+    }
+
+    /// Weighted degree of `v` restricted to the induced subgraph `G(S)`:
+    /// `W(v; G(S)) = Σ_{(v,u) ∈ E(S)} A(v,u)`.
+    pub fn weighted_degree_in(&self, v: VertexId, subset: &VertexSubset) -> Weight {
+        let (nbrs, ws) = self.neighbor_slices(v);
+        nbrs.iter()
+            .zip(ws)
+            .filter(|(n, _)| subset.contains(**n))
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    /// Number of edges inside the induced subgraph `G(S)`.
+    pub fn induced_edge_count(&self, subset: &[VertexId]) -> usize {
+        let marks = VertexSubset::from_slice(self.num_vertices(), subset);
+        let mut cnt = 0usize;
+        for &u in subset {
+            let (nbrs, _) = self.neighbor_slices(u);
+            cnt += nbrs.iter().filter(|&&v| marks.contains(v)).count();
+        }
+        cnt / 2
+    }
+
+    /// Returns `true` if the induced subgraph `G(S)` is a clique whose edges all have
+    /// strictly positive weight ("positive clique" in the paper's terminology).
+    ///
+    /// A subset of size 0 or 1 is considered a positive clique (it trivially has no
+    /// negative edge and no missing edge).
+    pub fn is_positive_clique(&self, subset: &[VertexId]) -> bool {
+        if subset.len() <= 1 {
+            return true;
+        }
+        let marks = VertexSubset::from_slice(self.num_vertices(), subset);
+        let k = subset.len();
+        for &u in subset {
+            let (nbrs, ws) = self.neighbor_slices(u);
+            let mut pos_inside = 0usize;
+            for (&v, &w) in nbrs.iter().zip(ws) {
+                if marks.contains(v) {
+                    if w <= 0.0 {
+                        return false;
+                    }
+                    pos_inside += 1;
+                }
+            }
+            if pos_inside != k - 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if the induced subgraph `G(S)` is a clique (ignoring weights).
+    pub fn is_clique(&self, subset: &[VertexId]) -> bool {
+        if subset.len() <= 1 {
+            return true;
+        }
+        let marks = VertexSubset::from_slice(self.num_vertices(), subset);
+        let k = subset.len();
+        subset.iter().all(|&u| {
+            let (nbrs, _) = self.neighbor_slices(u);
+            nbrs.iter().filter(|&&v| marks.contains(v)).count() == k - 1
+        })
+    }
+
+    /// Extracts the induced subgraph on `subset` as a standalone [`SignedGraph`].
+    ///
+    /// Returns the new graph together with the mapping `new id -> original id`
+    /// (the i-th entry is the original id of new vertex `i`).
+    pub fn induced_subgraph(&self, subset: &[VertexId]) -> (SignedGraph, Vec<VertexId>) {
+        let mut order: Vec<VertexId> = subset.to_vec();
+        order.sort_unstable();
+        order.dedup();
+        let mut remap = vec![VertexId::MAX; self.num_vertices()];
+        for (new, &old) in order.iter().enumerate() {
+            remap[old as usize] = new as VertexId;
+        }
+        let mut builder = crate::GraphBuilder::new(order.len());
+        for &old_u in &order {
+            let (nbrs, ws) = self.neighbor_slices(old_u);
+            for (&old_v, &w) in nbrs.iter().zip(ws) {
+                if old_u < old_v && remap[old_v as usize] != VertexId::MAX {
+                    builder.add_edge(remap[old_u as usize], remap[old_v as usize], w);
+                }
+            }
+        }
+        (builder.build(), order)
+    }
+
+    /// Builds `G_{D+}`: the subgraph of this graph containing only the edges with
+    /// strictly positive weight (all vertices are kept).
+    pub fn positive_part(&self) -> SignedGraph {
+        self.filter_edges(|w| w > 0.0)
+    }
+
+    /// Builds the graph containing only edges with strictly negative weight, with the
+    /// weights negated (so the result has positive weights).  Useful for mining the
+    /// "opposite direction" contrast.
+    pub fn negated_negative_part(&self) -> SignedGraph {
+        let mut builder = crate::GraphBuilder::new(self.num_vertices());
+        for (u, v, w) in self.edges() {
+            if w < 0.0 {
+                builder.add_edge(u, v, -w);
+            }
+        }
+        builder.build()
+    }
+
+    /// Returns a copy of the graph with every edge weight negated (turns the Emerging
+    /// difference graph into the Disappearing one and vice versa).
+    pub fn negated(&self) -> SignedGraph {
+        let mut g = self.clone();
+        for w in &mut g.weights {
+            *w = -*w;
+        }
+        std::mem::swap(&mut g.num_positive_edges, &mut g.num_negative_edges);
+        g
+    }
+
+    /// Returns a copy of the graph with all edges incident to `vertices` removed (the
+    /// vertex set itself is unchanged, so vertex ids stay stable).  Used by the top-k
+    /// contrast-subgraph miner to exclude already-reported subgraphs.
+    pub fn without_vertices(&self, vertices: &[VertexId]) -> SignedGraph {
+        let exclude = VertexSubset::from_slice(self.num_vertices(), vertices);
+        let mut builder = crate::GraphBuilder::new(self.num_vertices());
+        for (u, v, w) in self.edges() {
+            if !exclude.contains(u) && !exclude.contains(v) {
+                builder.add_edge(u, v, w);
+            }
+        }
+        builder.build()
+    }
+
+    /// Returns the subgraph keeping only edges whose weight satisfies `keep`.
+    pub fn filter_edges<F: Fn(Weight) -> bool>(&self, keep: F) -> SignedGraph {
+        let mut builder = crate::GraphBuilder::new(self.num_vertices());
+        for (u, v, w) in self.edges() {
+            if keep(w) {
+                builder.add_edge(u, v, w);
+            }
+        }
+        builder.build()
+    }
+
+    /// Returns a copy of the graph with every edge weight transformed by `f`; edges whose
+    /// transformed weight is zero are dropped.
+    pub fn map_weights<F: Fn(Weight) -> Weight>(&self, f: F) -> SignedGraph {
+        let mut builder = crate::GraphBuilder::new(self.num_vertices());
+        for (u, v, w) in self.edges() {
+            let new_w = f(w);
+            if new_w != 0.0 {
+                builder.add_edge(u, v, new_w);
+            }
+        }
+        builder.build()
+    }
+
+    /// The set `T_u` of the paper: `u` together with all of its neighbors ("ego net").
+    pub fn ego_net(&self, u: VertexId) -> Vec<VertexId> {
+        let mut t: Vec<VertexId> = Vec::with_capacity(self.degree(u) + 1);
+        t.push(u);
+        t.extend(self.neighbors(u).map(|e| e.neighbor));
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+}
+
+/// Iterator over `(neighbor, weight)` pairs of a vertex, yielding [`EdgeRef`]s.
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a> {
+    neighbors: std::slice::Iter<'a, VertexId>,
+    weights: std::slice::Iter<'a, Weight>,
+}
+
+impl<'a> Iterator for NeighborIter<'a> {
+    type Item = EdgeRef;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        match (self.neighbors.next(), self.weights.next()) {
+            (Some(&n), Some(&w)) => Some(EdgeRef {
+                neighbor: n,
+                weight: w,
+            }),
+            _ => None,
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.neighbors.size_hint()
+    }
+}
+
+impl<'a> ExactSizeIterator for NeighborIter<'a> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// The example difference graph of Fig. 1 in the paper:
+    /// G1 edges: (1,2)=?, ... we use the GD from the figure directly:
+    /// GD: (v1,v2)=1, (v1,v4)=-2, (v3,v4)=3, (v3,v5)=-1, (v4,v5)=2  (0-indexed below)
+    fn fig1_gd() -> SignedGraph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 3, -2.0);
+        b.add_edge(2, 3, 3.0);
+        b.add_edge(2, 4, -1.0);
+        b.add_edge(3, 4, 2.0);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = fig1_gd();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.num_positive_edges(), 3);
+        assert_eq!(g.num_negative_edges(), 2);
+        assert_eq!(g.degree(3), 3);
+        assert!((g.weighted_degree(3) - 3.0).abs() < 1e-12); // -2 + 3 + 2
+        assert!((g.weighted_degree(0) - (-1.0)).abs() < 1e-12); // 1 - 2
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = fig1_gd();
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(1, 0), Some(1.0));
+        assert_eq!(g.edge_weight(0, 3), Some(-2.0));
+        assert_eq!(g.edge_weight(1, 2), None);
+        assert_eq!(g.edge_weight(2, 2), None);
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(1, 4));
+    }
+
+    #[test]
+    fn totals() {
+        let g = fig1_gd();
+        assert!((g.total_weight() - 3.0).abs() < 1e-12);
+        assert_eq!(g.max_edge_weight(), Some(3.0));
+        assert_eq!(g.min_edge_weight(), Some(-2.0));
+        let (u, v, w) = g.max_weight_edge().unwrap();
+        assert_eq!((u, v), (2, 3));
+        assert!((w - 3.0).abs() < 1e-12);
+        assert!((g.average_edge_weight() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_metrics() {
+        let g = fig1_gd();
+        // S = {v3, v4, v5} = {2, 3, 4}: edges (2,3)=3, (2,4)=-1, (3,4)=2
+        // W(S) (degree-sum convention) = 2 * (3 - 1 + 2) = 8
+        let s = vec![2, 3, 4];
+        assert!((g.total_degree(&s) - 8.0).abs() < 1e-12);
+        assert!((g.total_edge_weight(&s) - 4.0).abs() < 1e-12);
+        assert!((g.average_degree(&s) - 8.0 / 3.0).abs() < 1e-12);
+        assert!((g.edge_density(&s) - 8.0 / 9.0).abs() < 1e-12);
+        assert_eq!(g.induced_edge_count(&s), 3);
+        // S = {2, 3}: single positive edge → positive clique
+        assert!(g.is_positive_clique(&[2, 3]));
+        assert!(!g.is_positive_clique(&s)); // contains a negative edge
+        assert!(g.is_clique(&s));
+        assert!(!g.is_clique(&[0, 1, 2]));
+        // empty / singleton conventions
+        assert_eq!(g.average_degree(&[]), 0.0);
+        assert_eq!(g.average_degree(&[1]), 0.0);
+        assert!(g.is_positive_clique(&[1]));
+    }
+
+    #[test]
+    fn positive_part_and_negation() {
+        let g = fig1_gd();
+        let gp = g.positive_part();
+        assert_eq!(gp.num_vertices(), 5);
+        assert_eq!(gp.num_edges(), 3);
+        assert_eq!(gp.num_negative_edges(), 0);
+        assert_eq!(gp.edge_weight(0, 3), None);
+
+        let gn = g.negated();
+        assert_eq!(gn.num_positive_edges(), 2);
+        assert_eq!(gn.num_negative_edges(), 3);
+        assert_eq!(gn.edge_weight(2, 3), Some(-3.0));
+
+        let gneg = g.negated_negative_part();
+        assert_eq!(gneg.num_edges(), 2);
+        assert_eq!(gneg.edge_weight(0, 3), Some(2.0));
+    }
+
+    #[test]
+    fn induced_subgraph_extraction() {
+        let g = fig1_gd();
+        let (sub, map) = g.induced_subgraph(&[2, 3, 4]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(map, vec![2, 3, 4]);
+        // old (2,3)=3 → new (0,1)=3
+        assert_eq!(sub.edge_weight(0, 1), Some(3.0));
+    }
+
+    #[test]
+    fn ego_net() {
+        let g = fig1_gd();
+        assert_eq!(g.ego_net(3), vec![0, 2, 3, 4]);
+        assert_eq!(g.ego_net(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SignedGraph::empty(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_edgeless());
+        assert_eq!(g.max_edge_weight(), None);
+        assert_eq!(g.average_edge_weight(), 0.0);
+        assert_eq!(g.max_weight_edge(), None);
+    }
+
+    #[test]
+    fn without_vertices_drops_incident_edges() {
+        let g = fig1_gd();
+        let pruned = g.without_vertices(&[3]);
+        assert_eq!(pruned.num_vertices(), 5);
+        assert_eq!(pruned.num_edges(), 2); // only (0,1) and (2,4) survive
+        assert_eq!(pruned.edge_weight(2, 3), None);
+        assert_eq!(pruned.edge_weight(0, 1), Some(1.0));
+        // Removing nothing is the identity on the edge set.
+        let same = g.without_vertices(&[]);
+        assert_eq!(same.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn map_and_filter() {
+        let g = fig1_gd();
+        let doubled = g.map_weights(|w| 2.0 * w);
+        assert_eq!(doubled.edge_weight(2, 3), Some(6.0));
+        let clamped = g.map_weights(|w| if w > 2.0 { 2.0 } else { w });
+        assert_eq!(clamped.edge_weight(2, 3), Some(2.0));
+        let only_big = g.filter_edges(|w| w.abs() >= 2.0);
+        assert_eq!(only_big.num_edges(), 3);
+    }
+}

@@ -1,0 +1,181 @@
+//! Breadth-first and depth-first traversal utilities.
+
+use std::collections::VecDeque;
+
+use crate::{SignedGraph, VertexId, VertexSubset};
+
+/// Breadth-first search order starting from `start`, optionally restricted to the
+/// subgraph induced by `within` (pass `None` to traverse the whole graph).
+pub fn bfs_order(g: &SignedGraph, start: VertexId, within: Option<&VertexSubset>) -> Vec<VertexId> {
+    if let Some(w) = within {
+        if !w.contains(start) {
+            return Vec::new();
+        }
+    }
+    let n = g.num_vertices();
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start as usize] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for e in g.neighbors(u) {
+            let v = e.neighbor;
+            if visited[v as usize] {
+                continue;
+            }
+            if let Some(w) = within {
+                if !w.contains(v) {
+                    continue;
+                }
+            }
+            visited[v as usize] = true;
+            queue.push_back(v);
+        }
+    }
+    order
+}
+
+/// Iterative depth-first search order starting from `start`, optionally restricted to
+/// the subgraph induced by `within`.
+pub fn dfs_order(g: &SignedGraph, start: VertexId, within: Option<&VertexSubset>) -> Vec<VertexId> {
+    if let Some(w) = within {
+        if !w.contains(start) {
+            return Vec::new();
+        }
+    }
+    let n = g.num_vertices();
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        if visited[u as usize] {
+            continue;
+        }
+        visited[u as usize] = true;
+        order.push(u);
+        // Push in reverse so that lower-numbered neighbors are visited first.
+        let (nbrs, _) = g.neighbor_slices(u);
+        for &v in nbrs.iter().rev() {
+            if visited[v as usize] {
+                continue;
+            }
+            if let Some(w) = within {
+                if !w.contains(v) {
+                    continue;
+                }
+            }
+            stack.push(v);
+        }
+    }
+    order
+}
+
+/// Unweighted shortest-path distances (hop counts) from `start`; unreachable vertices get
+/// `u32::MAX`.
+pub fn bfs_distances(g: &SignedGraph, start: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[start as usize] = 0;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for e in g.neighbors(u) {
+            let v = e.neighbor as usize;
+            if dist[v] == u32::MAX {
+                dist[v] = du + 1;
+                queue.push_back(e.neighbor);
+            }
+        }
+    }
+    dist
+}
+
+/// All vertices within `hops` hops of `start` (including `start` itself).
+///
+/// Used by the Douban-style generators, which connect users by interest similarity only
+/// when they are within 2 hops in the social graph, and by the EgoScan-substitute
+/// baseline when growing candidate sets around a seed.
+pub fn k_hop_neighborhood(g: &SignedGraph, start: VertexId, hops: u32) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    let mut out = Vec::new();
+    dist[start as usize] = 0;
+    queue.push_back(start);
+    out.push(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du == hops {
+            continue;
+        }
+        for e in g.neighbors(u) {
+            let v = e.neighbor;
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                out.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path_graph(n: usize) -> SignedGraph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..(n - 1) as u32 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        assert_eq!(bfs_order(&g, 0, None), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_order(&g, 2, None), vec![2, 1, 3, 0, 4]);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dfs_on_path() {
+        let g = path_graph(4);
+        assert_eq!(dfs_order(&g, 0, None), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn restricted_traversal() {
+        let g = path_graph(5);
+        let within = VertexSubset::from_slice(5, &[0, 1, 3, 4]);
+        // vertex 2 is missing, so 3 and 4 are unreachable from 0
+        assert_eq!(bfs_order(&g, 0, Some(&within)), vec![0, 1]);
+        assert_eq!(dfs_order(&g, 0, Some(&within)), vec![0, 1]);
+        // starting outside the subset yields nothing
+        assert!(bfs_order(&g, 2, Some(&within)).is_empty());
+        assert!(dfs_order(&g, 2, Some(&within)).is_empty());
+    }
+
+    #[test]
+    fn unreachable_distances() {
+        let g = GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (2, 3, 1.0)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn k_hop() {
+        let g = path_graph(6);
+        assert_eq!(k_hop_neighborhood(&g, 0, 2), vec![0, 1, 2]);
+        assert_eq!(k_hop_neighborhood(&g, 3, 1), vec![2, 3, 4]);
+        assert_eq!(k_hop_neighborhood(&g, 3, 0), vec![3]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the graph substrate.
+
+use dcs_graph::{connected_components, core_decomposition, GraphBuilder, SignedGraph};
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over `n <= 24` vertices with signed weights.
+fn arb_graph() -> impl Strategy<Value = SignedGraph> {
+    (2usize..24).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, -5.0f64..5.0f64);
+        (Just(n), proptest::collection::vec(edge, 0..80)).prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                if u != v && w != 0.0 {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    /// Adjacency is symmetric: the weight of (u, v) equals the weight of (v, u), and
+    /// every stored neighbor relation exists in both directions.
+    #[test]
+    fn adjacency_is_symmetric(g in arb_graph()) {
+        for u in g.vertices() {
+            for e in g.neighbors(u) {
+                prop_assert_eq!(g.edge_weight(e.neighbor, u), Some(e.weight));
+            }
+        }
+    }
+
+    /// The positive part contains exactly the positive edges and no vertex is lost.
+    #[test]
+    fn positive_part_keeps_positive_edges(g in arb_graph()) {
+        let gp = g.positive_part();
+        prop_assert_eq!(gp.num_vertices(), g.num_vertices());
+        prop_assert_eq!(gp.num_edges(), g.num_positive_edges());
+        prop_assert_eq!(gp.num_negative_edges(), 0);
+        for (u, v, w) in g.edges() {
+            if w > 0.0 {
+                prop_assert_eq!(gp.edge_weight(u, v), Some(w));
+            } else {
+                prop_assert_eq!(gp.edge_weight(u, v), None);
+            }
+        }
+    }
+
+    /// Negating twice is the identity (up to edge order).
+    #[test]
+    fn double_negation_is_identity(g in arb_graph()) {
+        let gg = g.negated().negated();
+        prop_assert_eq!(gg.num_edges(), g.num_edges());
+        for (u, v, w) in g.edges() {
+            prop_assert_eq!(gg.edge_weight(u, v), Some(w));
+        }
+    }
+
+    /// The sum of weighted degrees equals twice the total weight.
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let degree_sum: f64 = g.vertices().map(|v| g.weighted_degree(v)).sum();
+        prop_assert!((degree_sum - 2.0 * g.total_weight()).abs() < 1e-9);
+    }
+
+    /// total_degree over the full vertex set equals the degree sum, and average degree
+    /// of the full set equals degree-sum / n.
+    #[test]
+    fn full_set_metrics(g in arb_graph()) {
+        let all: Vec<u32> = g.vertices().collect();
+        let w = g.total_degree(&all);
+        let degree_sum: f64 = g.vertices().map(|v| g.weighted_degree(v)).sum();
+        prop_assert!((w - degree_sum).abs() < 1e-9);
+        prop_assert!((g.average_degree(&all) - degree_sum / all.len() as f64).abs() < 1e-9);
+    }
+
+    /// Core numbers are upper-bounded by degree and the k-core is non-empty for k <=
+    /// degeneracy.
+    #[test]
+    fn core_numbers_are_sane(g in arb_graph()) {
+        let cd = core_decomposition(&g);
+        for v in g.vertices() {
+            prop_assert!(cd.core[v as usize] as usize <= g.degree(v));
+        }
+        prop_assert!(!cd.k_core(cd.degeneracy).is_empty() || g.num_vertices() == 0);
+        // Within the degeneracy-core, every vertex has induced degree >= degeneracy.
+        let kcore = cd.k_core(cd.degeneracy);
+        let marks = dcs_graph::VertexSubset::from_slice(g.num_vertices(), &kcore);
+        for &v in &kcore {
+            let deg_in = g
+                .neighbors(v)
+                .filter(|e| marks.contains(e.neighbor))
+                .count() as u32;
+            prop_assert!(deg_in >= cd.degeneracy);
+        }
+    }
+
+    /// Every connected component is indeed connected and components partition the
+    /// vertex set.
+    #[test]
+    fn components_partition(g in arb_graph()) {
+        let cc = connected_components(&g);
+        let groups = cc.groups();
+        let total: usize = groups.iter().map(|grp| grp.len()).sum();
+        prop_assert_eq!(total, g.num_vertices());
+        for grp in &groups {
+            prop_assert!(dcs_graph::components::is_connected(&g, grp));
+        }
+        // No edge crosses two components.
+        for (u, v, _) in g.edges() {
+            prop_assert_eq!(cc.labels[u as usize], cc.labels[v as usize]);
+        }
+    }
+
+    /// Extracting an induced subgraph preserves induced metrics.
+    #[test]
+    fn induced_subgraph_preserves_metrics(g in arb_graph(), bits in proptest::collection::vec(any::<bool>(), 24)) {
+        let subset: Vec<u32> = g
+            .vertices()
+            .filter(|&v| bits.get(v as usize).copied().unwrap_or(false))
+            .collect();
+        let (sub, map) = g.induced_subgraph(&subset);
+        let all_new: Vec<u32> = sub.vertices().collect();
+        prop_assert_eq!(map.len(), sub.num_vertices());
+        prop_assert!((sub.total_degree(&all_new) - g.total_degree(&subset)).abs() < 1e-9);
+        prop_assert_eq!(sub.induced_edge_count(&all_new), g.induced_edge_count(&subset));
+    }
+
+    /// Edge-list IO round-trips.
+    #[test]
+    fn io_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        dcs_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = dcs_graph::io::read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, v, w) in g.edges() {
+            let w2 = g2.edge_weight(u, v).unwrap();
+            prop_assert!((w - w2).abs() < 1e-9);
+        }
+    }
+}

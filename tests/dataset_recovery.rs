@@ -1,0 +1,117 @@
+//! Cross-dataset recovery test: every synthetic generator in the workspace, mined with
+//! both DCS algorithms in both directions, must point back at its planted ground truth.
+//!
+//! The assertions are deliberately conservative (they must hold for every generator, from
+//! clique-like laundering rings to grid-shaped traffic hotspots):
+//!
+//! * the graph-affinity DCS is a positive clique whose support lies mostly inside the
+//!   planted groups of the mined direction (precision ≥ 0.5), and
+//! * the average-degree DCS has strictly positive contrast and touches at least one
+//!   planted group of the mined direction.
+
+use dcs::core::dcsad::DcsGreedy;
+use dcs::core::dcsga::NewSea;
+use dcs::core::difference_graph;
+use dcs::datasets::{
+    CoauthorConfig, CollabConfig, ConflictConfig, GraphPair, GroupKind, KeywordConfig, Scale,
+    SocialInterestConfig, TrafficConfig, TransactionConfig,
+};
+use dcs::graph::VertexId;
+
+fn all_tiny_pairs() -> Vec<(&'static str, GraphPair)> {
+    vec![
+        ("coauthor", CoauthorConfig::for_scale(Scale::Tiny).generate()),
+        ("keywords", KeywordConfig::for_scale(Scale::Tiny).generate()),
+        ("conflict", ConflictConfig::for_scale(Scale::Tiny).generate()),
+        ("movie", SocialInterestConfig::movie(Scale::Tiny).generate()),
+        ("book", SocialInterestConfig::book(Scale::Tiny).generate()),
+        ("dblp-c", CollabConfig::dblp_c(Scale::Tiny).generate_pair()),
+        ("traffic", TrafficConfig::for_scale(Scale::Tiny).generate()),
+        ("transactions", TransactionConfig::for_scale(Scale::Tiny).generate()),
+    ]
+}
+
+/// Fraction of `found` that lies inside any planted group of `kind`.
+fn precision_against_planted(found: &[VertexId], pair: &GraphPair, kind: GroupKind) -> f64 {
+    if found.is_empty() {
+        return 0.0;
+    }
+    let planted = pair.planted_of_kind(kind);
+    let hits = found
+        .iter()
+        .filter(|v| planted.iter().any(|group| group.vertices.contains(v)))
+        .count();
+    hits as f64 / found.len() as f64
+}
+
+#[test]
+fn every_generator_is_recovered_by_both_measures_in_both_directions() {
+    for (name, pair) in all_tiny_pairs() {
+        for (kind, gd) in [
+            (
+                GroupKind::Emerging,
+                difference_graph(&pair.g2, &pair.g1).unwrap(),
+            ),
+            (
+                GroupKind::Disappearing,
+                difference_graph(&pair.g1, &pair.g2).unwrap(),
+            ),
+        ] {
+            if pair.planted_of_kind(kind).is_empty() {
+                continue; // some generators plant only one direction
+            }
+
+            // Graph affinity: a positive clique mostly inside the planted groups.
+            let affinity = NewSea::default().solve(&gd);
+            let support = affinity.support();
+            assert!(
+                !support.is_empty(),
+                "{name}/{kind:?}: affinity DCS must not be empty"
+            );
+            assert!(
+                gd.is_positive_clique(&support),
+                "{name}/{kind:?}: affinity DCS must be a positive clique"
+            );
+            let precision = precision_against_planted(&support, &pair, kind);
+            assert!(
+                precision >= 0.5,
+                "{name}/{kind:?}: affinity DCS {support:?} has precision {precision:.2}"
+            );
+
+            // Average degree: positive contrast that touches the planted structure.
+            let degree = DcsGreedy::default().solve(&gd);
+            assert!(
+                degree.density_difference > 0.0,
+                "{name}/{kind:?}: average-degree DCS must have positive contrast"
+            );
+            assert!(
+                precision_against_planted(&degree.subset, &pair, kind) > 0.0,
+                "{name}/{kind:?}: average-degree DCS must touch a planted group"
+            );
+        }
+    }
+}
+
+#[test]
+fn directions_are_symmetric_on_every_generator() {
+    // Mining the disappearing direction of (G1, G2) is exactly mining the emerging
+    // direction of (G2, G1): the two difference graphs are negations of each other.
+    for (name, pair) in all_tiny_pairs() {
+        let forward = difference_graph(&pair.g2, &pair.g1).unwrap();
+        let backward = difference_graph(&pair.g1, &pair.g2).unwrap();
+        assert_eq!(
+            forward.num_positive_edges(),
+            backward.num_negative_edges(),
+            "{name}: positive/negative edge counts must swap"
+        );
+        assert_eq!(
+            forward.num_negative_edges(),
+            backward.num_positive_edges(),
+            "{name}: negative/positive edge counts must swap"
+        );
+        assert!(
+            (forward.total_weight() + backward.total_weight()).abs() < 1e-6,
+            "{name}: total weights must cancel"
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based tests for the library extensions that go beyond the paper's core
+//! algorithms: weight schemes, top-k mining, streaming maintenance, quasi-clique
+//! extraction, parallel sweeps and labelled IO.
+
+use dcs::core::dcsga::{parallel_newsea, DcsgaConfig};
+use dcs::core::streaming::{StreamingConfig, StreamingDcs};
+use dcs::core::{
+    clamp_weights, difference_graph, difference_graph_with, scaled_difference_graph,
+    top_k_affinity, top_k_average_degree, DensityMeasure, DiscreteRule, WeightScheme,
+};
+use dcs::densest::{greedy_quasi_clique, local_search_quasi_clique};
+use dcs::graph::labels::{read_labeled_edge_list, write_labeled_edge_list, VertexLabels};
+use dcs::graph::labels::LabeledGraphBuilder;
+use dcs::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random signed graph over at most 16 vertices.
+fn arb_signed_graph() -> impl Strategy<Value = SignedGraph> {
+    (4usize..16).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, -4.0f64..4.0f64);
+        (Just(n), proptest::collection::vec(edge, 0..60)).prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                if u != v && w.abs() > 0.05 {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// Strategy: a random pair of non-negatively weighted graphs over the same vertex set.
+fn arb_graph_pair() -> impl Strategy<Value = (SignedGraph, SignedGraph)> {
+    (4usize..14).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.1f64..8.0f64);
+        (
+            Just(n),
+            proptest::collection::vec(edge.clone(), 0..40),
+            proptest::collection::vec(edge, 0..40),
+        )
+            .prop_map(|(n, e1, e2)| {
+                let build = |edges: Vec<(u32, u32, f64)>| {
+                    let mut b = GraphBuilder::new(n);
+                    for (u, v, w) in edges {
+                        if u != v {
+                            b.add_edge(u, v, w);
+                        }
+                    }
+                    b.build()
+                };
+                (build(e1), build(e2))
+            })
+    })
+}
+
+/// Strategy: a random list of labelled edges drawn from a small label alphabet.
+fn arb_labeled_edges() -> impl Strategy<Value = Vec<(String, String, f64)>> {
+    let label = prop::sample::select(vec![
+        "ada", "bob", "cat", "dan", "eve", "fay", "gil", "hal",
+    ]);
+    proptest::collection::vec((label.clone(), label, -5.0f64..5.0), 1..30)
+        .prop_map(|edges| {
+            edges
+                .into_iter()
+                .filter(|(u, v, w)| u != v && w.abs() > 0.05)
+                .map(|(u, v, w)| (u.to_string(), v.to_string(), w))
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ----------------------------------------------------------------- weight schemes
+
+    /// The Discrete scheme only emits weights in {−2, −1, +1, +2} and never creates an
+    /// edge where the raw difference graph has none.
+    #[test]
+    fn discrete_scheme_bounds_weights((g1, g2) in arb_graph_pair()) {
+        let raw = difference_graph(&g2, &g1).unwrap();
+        let discrete = difference_graph_with(
+            &g2, &g1, WeightScheme::Discrete(DiscreteRule::default())).unwrap();
+        for (u, v, w) in discrete.edges() {
+            prop_assert!([-2.0, -1.0, 1.0, 2.0].contains(&w), "unexpected weight {w}");
+            prop_assert!(raw.edge_weight(u, v).is_some());
+        }
+    }
+
+    /// α = 0 removes G1's influence entirely; α = 1 matches the plain difference; larger
+    /// α never increases any edge weight.
+    #[test]
+    fn scaled_scheme_is_monotone_in_alpha((g1, g2) in arb_graph_pair()) {
+        let alpha0 = scaled_difference_graph(&g2, &g1, 0.0).unwrap();
+        let alpha1 = scaled_difference_graph(&g2, &g1, 1.0).unwrap();
+        let alpha2 = scaled_difference_graph(&g2, &g1, 2.0).unwrap();
+        let plain = difference_graph(&g2, &g1).unwrap();
+        for (u, v, w) in g2.edges() {
+            prop_assert!((alpha0.edge_weight(u, v).unwrap_or(0.0) - w).abs() < 1e-9);
+            let w1 = alpha1.edge_weight(u, v).unwrap_or(0.0);
+            prop_assert!((w1 - plain.edge_weight(u, v).unwrap_or(0.0)).abs() < 1e-9);
+            prop_assert!(alpha2.edge_weight(u, v).unwrap_or(0.0) <= w1 + 1e-9);
+        }
+    }
+
+    /// Clamping bounds every weight and is idempotent.
+    #[test]
+    fn clamping_is_idempotent(gd in arb_signed_graph(), max_abs in 0.5f64..3.0) {
+        let clamped = clamp_weights(&gd, max_abs);
+        for (_, _, w) in clamped.edges() {
+            prop_assert!(w.abs() <= max_abs + 1e-12);
+        }
+        let twice = clamp_weights(&clamped, max_abs);
+        prop_assert_eq!(clamped, twice);
+    }
+
+    // ----------------------------------------------------------------------- top-k
+
+    /// Top-k subgraphs are pairwise vertex-disjoint, reported in non-increasing order of
+    /// contrast, and each one has positive contrast.
+    #[test]
+    fn top_k_mining_invariants(gd in arb_signed_graph(), k in 1usize..5) {
+        let by_degree = top_k_average_degree(&gd, k);
+        prop_assert!(by_degree.len() <= k);
+        for (i, sol) in by_degree.iter().enumerate() {
+            prop_assert!(sol.density_difference > 0.0);
+            for later in &by_degree[i + 1..] {
+                prop_assert!(sol.density_difference >= later.density_difference - 1e-9);
+                prop_assert!(sol.subset.iter().all(|v| !later.subset.contains(v)));
+            }
+        }
+
+        let by_affinity = top_k_affinity(&gd, k, DcsgaConfig::default());
+        prop_assert!(by_affinity.len() <= k);
+        for (i, sol) in by_affinity.iter().enumerate() {
+            prop_assert!(sol.affinity_difference > 0.0);
+            prop_assert!(gd.is_positive_clique(&sol.support()));
+            for later in &by_affinity[i + 1..] {
+                prop_assert!(sol.support().iter().all(|v| !later.support().contains(v)));
+            }
+        }
+    }
+
+    // -------------------------------------------------------------------- streaming
+
+    /// Replaying G2's edges through the streaming monitor reproduces exactly the batch
+    /// difference graph, and the monitor's mined contrast matches batch mining.
+    #[test]
+    fn streaming_replay_matches_batch((g1, g2) in arb_graph_pair()) {
+        let config = StreamingConfig {
+            remine_every: 0,
+            alert_threshold: 0.0,
+            measure: DensityMeasure::AverageDegree,
+        };
+        let mut monitor = StreamingDcs::new(g1.clone(), config).unwrap();
+        for (u, v, w) in g2.edges() {
+            monitor.observe(u, v, w);
+        }
+        let streamed = monitor.difference_snapshot();
+        let batch = difference_graph(&g2, &g1).unwrap();
+        prop_assert_eq!(streamed.num_edges(), batch.num_edges());
+        for (u, v, w) in batch.edges() {
+            prop_assert!((streamed.edge_weight(u, v).unwrap() - w).abs() < 1e-9);
+        }
+
+        let alert = monitor.mine_now();
+        let batch_solution = DcsGreedy::default().solve(&batch);
+        prop_assert!((alert.density_difference - batch_solution.density_difference).abs() < 1e-9);
+    }
+
+    // ----------------------------------------------------------------- quasi-cliques
+
+    /// The greedy quasi-clique surplus is never negative, matches a recomputation from
+    /// its subset, and local search never falls below the seed it was given.
+    #[test]
+    fn quasi_clique_invariants(gd in arb_signed_graph(), alpha in 0.05f64..1.0) {
+        let greedy = greedy_quasi_clique(&gd, alpha);
+        prop_assert!(greedy.edge_surplus >= -1e-9);
+        let pairs = greedy.subset.len() as f64 * (greedy.subset.len() as f64 - 1.0) / 2.0;
+        let recomputed = gd.total_edge_weight(&greedy.subset) - alpha * pairs;
+        prop_assert!((greedy.edge_surplus - recomputed).abs() < 1e-9);
+
+        let refined = local_search_quasi_clique(&gd, alpha, &greedy.subset, 30);
+        prop_assert!(refined.edge_surplus >= greedy.edge_surplus - 1e-9);
+    }
+
+    // ------------------------------------------------------------------- parallelism
+
+    /// The parallel NewSEA sweep returns exactly the sequential objective.
+    #[test]
+    fn parallel_newsea_equals_sequential(gd in arb_signed_graph()) {
+        let config = DcsgaConfig::default();
+        let sequential = NewSea::new(config).solve(&gd);
+        let parallel = parallel_newsea(&gd, config, 4);
+        prop_assert!((sequential.affinity_difference - parallel.affinity_difference).abs() < 1e-9);
+    }
+
+    // ------------------------------------------------------------------- labelled IO
+
+    /// Building a labelled graph and writing/re-reading it preserves every edge weight
+    /// (modulo the duplicate-merging that happens at build time).
+    #[test]
+    fn labeled_io_round_trip(edges in arb_labeled_edges()) {
+        let mut builder = LabeledGraphBuilder::new();
+        for (u, v, w) in &edges {
+            builder.add_edge(u, v, *w);
+        }
+        let (graph, labels) = builder.build();
+
+        let mut buffer = Vec::new();
+        write_labeled_edge_list(&graph, &labels, &mut buffer).unwrap();
+        let mut relabels = VertexLabels::new();
+        let reread = read_labeled_edge_list(buffer.as_slice(), &mut relabels).unwrap();
+
+        prop_assert_eq!(reread.num_edges(), graph.num_edges());
+        for (u, v, w) in graph.edges() {
+            let lu = labels.label_of(u).unwrap();
+            let lv = labels.label_of(v).unwrap();
+            let ru = relabels.id_of(lu).unwrap();
+            let rv = relabels.id_of(lv).unwrap();
+            prop_assert!((reread.edge_weight(ru, rv).unwrap() - w).abs() < 1e-9);
+        }
+    }
+}
+
+/// Non-property checks of the extension seams that do not need random inputs.
+#[test]
+fn streaming_rejects_mismatched_snapshot() {
+    let baseline = GraphBuilder::from_edges(4, vec![(0, 1, 1.0)]);
+    let wrong_size = SignedGraph::empty(6);
+    assert!(StreamingDcs::with_initial_observation(
+        baseline,
+        &wrong_size,
+        StreamingConfig::default()
+    )
+    .is_err());
+}
+
+#[test]
+fn top_k_with_zero_k_is_empty() {
+    let gd = GraphBuilder::from_edges(4, vec![(0, 1, 2.0), (2, 3, 1.0)]);
+    assert!(top_k_average_degree(&gd, 0).is_empty());
+    assert!(top_k_affinity(&gd, 0, DcsgaConfig::default()).is_empty());
+}
