@@ -1,0 +1,234 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses:
+//! strategies built from ranges, tuples, `Just`, `any::<T>()`, simple
+//! regex-like string patterns, `prop::sample::select`, `prop_oneof!`,
+//! `proptest::collection::vec`, `.prop_map` / `.prop_flat_map`, and the
+//! `proptest!` / `prop_assert*!` / `prop_assume!` macros.
+//!
+//! Differences from the real crate: inputs are generated from a deterministic
+//! per-test RNG (seeded from the test name), there is **no shrinking** — a
+//! failing case reports the generated inputs as-is — and rejected cases
+//! (`prop_assume!`) simply retry up to a bounded number of attempts.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::any;
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    /// Module alias so `prop::sample::select(..)`, `prop::collection::vec(..)`
+    /// etc. work after a glob import, as with the real crate.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(pattern in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body for many generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(16).max(64);
+                while accepted < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    let values = ( $( $crate::strategy::Strategy::generate(&($strat), &mut rng), )+ );
+                    let rendered = format!("{:?}", values);
+                    let ( $($pat,)+ ) = values;
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed on case {}: {}\ninputs: {}",
+                                stringify!($name), accepted + 1, msg, rendered
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the current case (without
+/// panicking past the runner) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                );
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "assertion failed: {} != {} (both {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                );
+            }
+        }
+    };
+}
+
+/// Rejects the current case (it is retried with fresh inputs, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Picks one of several strategies, optionally weighted
+/// (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let mut union = $crate::strategy::Union::empty();
+        $( union.push($weight as u32, $strat); )+
+        union
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![ $(1 => $strat),+ ]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Token {
+        Word(String),
+        Number(u32),
+    }
+
+    fn arb_token() -> impl Strategy<Value = Token> {
+        let word = "[a-z]{1,6}".prop_map(Token::Word);
+        let number = (0u32..100).prop_map(Token::Number);
+        prop_oneof![2 => word, 1 => number]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, 5u32..15), x in -2.0f64..2.0) {
+            prop_assert!(a < 10);
+            prop_assert!((5..15).contains(&b));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_and_flat_map(xs in (1usize..6).prop_flat_map(|n| prop::collection::vec(0u32..(n as u32 + 1), n))) {
+            prop_assert!(!xs.is_empty() && xs.len() < 6);
+        }
+
+        #[test]
+        fn exact_size_vec(bits in prop::collection::vec(any::<bool>(), 24)) {
+            prop_assert_eq!(bits.len(), 24);
+        }
+
+        #[test]
+        fn select_and_oneof(token in arb_token(), name in prop::sample::select(vec!["a", "b"])) {
+            match &token {
+                Token::Word(w) => prop_assert!((1..=6).contains(&w.len())),
+                Token::Number(n) => prop_assert!(*n < 100),
+            }
+            prop_assert!(name == "a" || name == "b");
+            prop_assert_ne!(name, "c");
+        }
+
+        #[test]
+        fn patterns_match_their_alphabet(s in "[a-z][a-z0-9_./-]{0,12}") {
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            prop_assert!(first.is_ascii_lowercase());
+            prop_assert!(s.len() <= 13);
+            for c in chars {
+                prop_assert!(c.is_ascii_lowercase() || c.is_ascii_digit() || "_./-".contains(c), "bad char {c:?}");
+            }
+        }
+
+        #[test]
+        fn assume_retries(n in 0u32..20) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            fn inner(n in 0u32..10) {
+                prop_assert!(n < 10_000);
+                prop_assert!(n == 10_000, "n was {}", n);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,27 @@
+//! Sampling strategies (`proptest::sample::select`).
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Picks uniformly from a fixed list of options.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone + Debug> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].clone()
+    }
+}

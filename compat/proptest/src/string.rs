@@ -1,0 +1,153 @@
+//! String generation from simplified regex patterns.
+//!
+//! Supports the pattern subset the workspace's property tests use: literal
+//! characters, `\`-escapes, character classes (`[a-z0-9_./-]` with ranges and
+//! literal symbols) and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+//! (unbounded quantifiers cap at 8 repetitions).  Unsupported syntax panics,
+//! so a silently wrong generator cannot masquerade as coverage.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Literal(char),
+    /// A character class: the expanded list of candidate characters.
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = (piece.max - piece.min + 1) as u64;
+        let count = piece.min + rng.below(span) as usize;
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(chars) => {
+                    let idx = rng.below(chars.len() as u64) as usize;
+                    out.push(chars[idx]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(class)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Atom::Literal(c)
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!(
+                    "unsupported regex syntax {:?} in pattern {pattern:?}",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut class = Vec::new();
+    if chars.get(i) == Some(&'^') {
+        panic!("negated character classes are not supported in pattern {pattern:?}");
+    }
+    while let Some(&c) = chars.get(i) {
+        match c {
+            ']' => return (class, i + 1),
+            '\\' => {
+                let escaped = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                class.push(escaped);
+                i += 2;
+            }
+            _ => {
+                // A range `a-z` (the `-` must not be the last class member).
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                    let (lo, hi) = (c, chars[i + 2]);
+                    assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pattern:?}");
+                    for code in lo as u32..=hi as u32 {
+                        if let Some(ch) = char::from_u32(code) {
+                            class.push(ch);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    class.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    panic!("unterminated character class in pattern {pattern:?}");
+}
+
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = body
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in {pattern:?}"));
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let lo = lo
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in {pattern:?}"));
+                    let hi = if hi.is_empty() {
+                        lo + 8
+                    } else {
+                        hi.parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in {pattern:?}"))
+                    };
+                    (lo, hi)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline shim for the `rand_distr` crate (0.4 API subset).
+//!
+//! Implements the three distributions the dataset generators use — geometric,
+//! Poisson and Zipf — behind the same constructor/`sample` signatures as the
+//! real crate.  Sampling algorithms are textbook (inversion for geometric,
+//! Knuth / normal approximation for Poisson, CDF inversion for Zipf); the
+//! streams differ from the real crate but have the same distributions.
+
+use rand::{Rng, RngCore};
+
+/// Types that sample values of `T` from a distribution.
+pub trait Distribution<T> {
+    /// Draws one value using `rng` as the source of randomness.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[inline]
+fn unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Geometric distribution: number of failures before the first success of a
+/// Bernoulli(`p`) trial.  `sample` returns a `u64` like the real crate.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates the distribution; `p` must lie in `(0, 1]`.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        if p > 0.0 && p <= 1.0 && p.is_finite() {
+            Ok(Geometric { p })
+        } else {
+            Err(ParamError(
+                "geometric success probability must be in (0, 1]",
+            ))
+        }
+    }
+}
+
+impl Distribution<u64> for Geometric {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        // Inversion: floor(ln(1-U) / ln(1-p)).
+        let u = unit(rng);
+        let k = ((1.0 - u).ln() / (1.0 - self.p).ln()).floor();
+        if k.is_finite() && k >= 0.0 {
+            k as u64
+        } else {
+            0
+        }
+    }
+}
+
+/// Poisson distribution with the given mean; `sample` returns an `f64` count
+/// like the real crate.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    mean: f64,
+}
+
+impl Poisson {
+    /// Creates the distribution; the mean must be positive and finite.
+    pub fn new(mean: f64) -> Result<Self, ParamError> {
+        if mean > 0.0 && mean.is_finite() {
+            Ok(Poisson { mean })
+        } else {
+            Err(ParamError("poisson mean must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.mean < 64.0 {
+            // Knuth's product-of-uniforms method: exact, O(mean).
+            let limit = (-self.mean).exp();
+            let mut product = unit(rng);
+            let mut count = 0u64;
+            while product > limit {
+                product *= unit(rng);
+                count += 1;
+            }
+            count as f64
+        } else {
+            // Normal approximation for large means (error is negligible for
+            // the generator workloads this shim serves).
+            let (u1, u2) = (unit(rng).max(f64::MIN_POSITIVE), unit(rng));
+            let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            (self.mean + self.mean.sqrt() * gauss).round().max(0.0)
+        }
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`; `sample` returns
+/// the rank as `f64` like the real crate.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates the distribution; `n ≥ 1` and `s > 0` are required.
+    pub fn new(n: u64, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError("zipf needs at least one element"));
+        }
+        if !(s > 0.0 && s.is_finite()) {
+            return Err(ParamError("zipf exponent must be positive and finite"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = unit(rng);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_validate_parameters() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(1.5).is_err());
+        assert!(Geometric::new(0.5).is_ok());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(3.0).is_ok());
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, 1.2).is_ok());
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Geometric::new(0.25).unwrap();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| g.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        // Expected failures before success: (1-p)/p = 3.
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for target in [1.5, 20.0, 200.0] {
+            let p = Poisson::new(target).unwrap();
+            let n = 20_000;
+            let total: f64 = (0..n).map(|_| p.sample(&mut rng)).sum();
+            let mean = total / n as f64;
+            assert!(
+                (mean - target).abs() < target.sqrt() * 0.1 + 0.1,
+                "target {target}, mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_in_range_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Zipf::new(50, 1.2).unwrap();
+        let mut counts = [0usize; 50];
+        for _ in 0..20_000 {
+            let r = z.sample(&mut rng);
+            assert!((1.0..=50.0).contains(&r));
+            counts[r as usize - 1] += 1;
+        }
+        assert!(counts[0] > counts[9] && counts[9] > counts[49]);
+    }
+}

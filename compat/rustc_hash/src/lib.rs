@@ -1,0 +1,104 @@
+//! Offline shim for the `rustc-hash` crate.
+//!
+//! Provides [`FxHasher`] (the multiply-rotate hash used by rustc) and the
+//! [`FxHashMap`]/[`FxHashSet`] aliases the workspace uses.  The hash function
+//! follows the published FxHash algorithm, so behaviour matches the real crate
+//! for all practical purposes (it is not a drop-in bit-for-bit guarantee and
+//! carries no DoS resistance, exactly like the original).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash hasher: fast, deterministic, not hash-flood resistant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut map: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+        map.insert((1, 2), 0.5);
+        map.insert((3, 4), 1.5);
+        assert_eq!(map.get(&(1, 2)), Some(&0.5));
+        let mut set: FxHashSet<Vec<u32>> = FxHashSet::default();
+        assert!(set.insert(vec![1, 2, 3]));
+        assert!(!set.insert(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let hash = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b"abcdefgh12"), hash(b"abcdefgh12"));
+        assert_ne!(hash(b"abcdefgh12"), hash(b"abcdefgh13"));
+    }
+}

@@ -95,10 +95,8 @@ mod tests {
 
     #[test]
     fn dcsad_on_signed_triangle() {
-        let gd = GraphBuilder::from_edges(
-            4,
-            vec![(0, 1, 2.0), (1, 2, 2.0), (0, 2, 2.0), (2, 3, -5.0)],
-        );
+        let gd =
+            GraphBuilder::from_edges(4, vec![(0, 1, 2.0), (1, 2, 2.0), (0, 2, 2.0), (2, 3, -5.0)]);
         let (subset, density) = brute_force_dcsad(&gd);
         assert_eq!(subset, vec![0, 1, 2]);
         assert!((density - 4.0).abs() < 1e-12);

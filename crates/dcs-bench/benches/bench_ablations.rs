@@ -30,21 +30,25 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| NewSea::new(config).solve_on_positive_part(&gd_plus))
     });
     group.bench_function("seacd_refine_sweep_capped", |b| {
-        b.iter(|| {
-            SeaCd::new(config).sweep(&gd_plus, Some(50), false, |g, x| refine(g, x, &config))
-        })
+        b.iter(|| SeaCd::new(config).sweep(&gd_plus, Some(50), false, |g, x| refine(g, x, &config)))
     });
 
     // 2. Shrink strategy: 2-coordinate descent vs replicator dynamics, from the same
     // uniform start on a planted clique's neighbourhood.
     let seed_vertices: Vec<u32> = gd_plus.ego_net(gd_plus.num_vertices() as u32 - 2);
     let x0 = Embedding::uniform(&seed_vertices);
-    group.bench_function(BenchmarkId::new("shrink_coordinate_descent", seed_vertices.len()), |b| {
-        b.iter(|| descend_to_local_kkt(&gd_plus, &x0, &seed_vertices, 1e-4, 100_000))
-    });
-    group.bench_function(BenchmarkId::new("shrink_replicator_dynamics", seed_vertices.len()), |b| {
-        b.iter(|| replicator_dynamics(&gd_plus, &x0, ReplicatorStop::KktGap { eps: 1e-4 }, 100_000))
-    });
+    group.bench_function(
+        BenchmarkId::new("shrink_coordinate_descent", seed_vertices.len()),
+        |b| b.iter(|| descend_to_local_kkt(&gd_plus, &x0, &seed_vertices, 1e-4, 100_000)),
+    );
+    group.bench_function(
+        BenchmarkId::new("shrink_replicator_dynamics", seed_vertices.len()),
+        |b| {
+            b.iter(|| {
+                replicator_dynamics(&gd_plus, &x0, ReplicatorStop::KktGap { eps: 1e-4 }, 100_000)
+            })
+        },
+    );
 
     // 3. Peeling structure.
     group.bench_function("peeling_lazy_heap", |b| b.iter(|| greedy_peeling(&gd)));

@@ -17,15 +17,19 @@ fn bench_dcsga(c: &mut Criterion) {
     let mut group = c.benchmark_group("dcsga");
     group.sample_size(15);
 
-    group.bench_function(BenchmarkId::new("seacd_single_run", gd_plus.num_edges()), |b| {
-        b.iter(|| SeaCd::new(config).run_from_vertex(&gd_plus, best_seed))
-    });
-    group.bench_function(BenchmarkId::new("seacd_plus_refine", gd_plus.num_edges()), |b| {
-        b.iter(|| {
-            let run = SeaCd::new(config).run_from_vertex(&gd_plus, best_seed);
-            refine(&gd_plus, run.embedding, &config)
-        })
-    });
+    group.bench_function(
+        BenchmarkId::new("seacd_single_run", gd_plus.num_edges()),
+        |b| b.iter(|| SeaCd::new(config).run_from_vertex(&gd_plus, best_seed)),
+    );
+    group.bench_function(
+        BenchmarkId::new("seacd_plus_refine", gd_plus.num_edges()),
+        |b| {
+            b.iter(|| {
+                let run = SeaCd::new(config).run_from_vertex(&gd_plus, best_seed);
+                refine(&gd_plus, run.embedding, &config)
+            })
+        },
+    );
     group.bench_function(BenchmarkId::new("newsea_full", gd_plus.num_edges()), |b| {
         b.iter(|| NewSea::new(config).solve_on_positive_part(&gd_plus))
     });

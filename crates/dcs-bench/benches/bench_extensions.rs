@@ -57,7 +57,9 @@ fn bench_topk_and_quasi_clique(c: &mut Criterion) {
     group.bench_function("greedy_quasi_clique", |b| {
         b.iter(|| greedy_quasi_clique(&gd, 0.5))
     });
-    group.bench_function("charikar_on_gd_plus", |b| b.iter(|| greedy_peeling(&gd_plus)));
+    group.bench_function("charikar_on_gd_plus", |b| {
+        b.iter(|| greedy_peeling(&gd_plus))
+    });
     group.finish();
 }
 

@@ -19,12 +19,14 @@ fn bench_graph_substrate(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("positive_part", gd.num_edges()), |b| {
         b.iter(|| gd.positive_part())
     });
-    group.bench_function(BenchmarkId::new("core_decomposition", gd.num_edges()), |b| {
-        b.iter(|| core_decomposition(&gd))
-    });
-    group.bench_function(BenchmarkId::new("connected_components", gd.num_edges()), |b| {
-        b.iter(|| connected_components(&gd))
-    });
+    group.bench_function(
+        BenchmarkId::new("core_decomposition", gd.num_edges()),
+        |b| b.iter(|| core_decomposition(&gd)),
+    );
+    group.bench_function(
+        BenchmarkId::new("connected_components", gd.num_edges()),
+        |b| b.iter(|| connected_components(&gd)),
+    );
     group.finish();
 }
 

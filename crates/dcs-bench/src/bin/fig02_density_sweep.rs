@@ -25,8 +25,14 @@ fn main() {
     let mut table = Table::new(
         "Fig. 2 — SEACD+Refine speed-up over SEA+Refine and SEA expansion-error rate vs m+/n",
         &[
-            "m+/n", "n", "m+", "SEACD+Refine (s)", "SEA+Refine (s)", "SpeedUp",
-            "#Errors in SEA", "Error rate (#Errors/n)",
+            "m+/n",
+            "n",
+            "m+",
+            "SEACD+Refine (s)",
+            "SEA+Refine (s)",
+            "SpeedUp",
+            "#Errors in SEA",
+            "Error rate (#Errors/n)",
         ],
     );
     let mut json_rows = Vec::new();
@@ -45,9 +51,8 @@ fn main() {
         let gd_plus = gd.positive_part();
         let m_plus = gd_plus.num_edges();
 
-        let (seacd, seacd_t) = time(|| {
-            SeaCd::new(config).sweep(&gd_plus, limit, false, |g, x| refine(g, x, &config))
-        });
+        let (seacd, seacd_t) =
+            time(|| SeaCd::new(config).sweep(&gd_plus, limit, false, |g, x| refine(g, x, &config)));
         let (sea, sea_t) = time(|| {
             OriginalSea::new(SeaConfig::default()).run_all_vertices(&gd_plus, limit, false)
         });
@@ -77,7 +82,9 @@ fn main() {
     }
 
     table.print();
-    println!("(Fig. 2a plots the SpeedUp column, Fig. 2b the error-rate column, both against m+/n.)");
+    println!(
+        "(Fig. 2a plots the SpeedUp column, Fig. 2b the error-rate column, both against m+/n.)"
+    );
     if options.json {
         println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
     }

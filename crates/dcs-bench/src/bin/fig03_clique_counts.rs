@@ -36,12 +36,26 @@ fn main() {
     let mut json = serde_json::Map::new();
 
     for (interest, pair, min_size) in [
-        ("Movie", SocialInterestConfig::movie(options.scale).generate(), 4usize),
-        ("Book", SocialInterestConfig::book(options.scale).generate(), 3usize),
+        (
+            "Movie",
+            SocialInterestConfig::movie(options.scale).generate(),
+            4usize,
+        ),
+        (
+            "Book",
+            SocialInterestConfig::book(options.scale).generate(),
+            3usize,
+        ),
     ] {
         let directions = [
-            ("Interest-Social", difference_graph(&pair.g2, &pair.g1).unwrap()),
-            ("Social-Interest", difference_graph(&pair.g1, &pair.g2).unwrap()),
+            (
+                "Interest-Social",
+                difference_graph(&pair.g2, &pair.g1).unwrap(),
+            ),
+            (
+                "Social-Interest",
+                difference_graph(&pair.g1, &pair.g2).unwrap(),
+            ),
         ];
         let histograms: Vec<(String, BTreeMap<usize, usize>)> = directions
             .iter()
@@ -69,7 +83,12 @@ fn main() {
 
         let totals: Vec<usize> = histograms
             .iter()
-            .map(|(_, h)| h.iter().filter(|(s, _)| **s >= min_size).map(|(_, c)| c).sum())
+            .map(|(_, h)| {
+                h.iter()
+                    .filter(|(s, _)| **s >= min_size)
+                    .map(|(_, c)| c)
+                    .sum()
+            })
             .collect();
         println!(
             "{interest}: total cliques ≥ {min_size}: Interest-Social = {}, Social-Interest = {}\n",

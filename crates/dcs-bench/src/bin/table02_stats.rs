@@ -33,7 +33,15 @@ fn main() {
     let mut table = Table::new(
         "Table II — statistics of difference graphs (synthetic stand-ins)",
         &[
-            "Data", "Setting", "GD Type", "n", "m+", "m-", "Max w", "Min w", "Average w",
+            "Data",
+            "Setting",
+            "GD Type",
+            "n",
+            "m+",
+            "m-",
+            "Max w",
+            "Min w",
+            "Average w",
         ],
     );
     let mut json_rows = Vec::new();
@@ -45,38 +53,70 @@ fn main() {
         ("Discrete", WeightScheme::Discrete(DiscreteRule::default())),
     ] {
         let emerging = difference_graph_with(&dblp.g2, &dblp.g1, scheme).unwrap();
-        json_rows.push(("DBLP", setting, "Emerging", row(&mut table, "DBLP", setting, "Emerging", &emerging)));
+        json_rows.push((
+            "DBLP",
+            setting,
+            "Emerging",
+            row(&mut table, "DBLP", setting, "Emerging", &emerging),
+        ));
         let disappearing = difference_graph_with(&dblp.g1, &dblp.g2, scheme).unwrap();
-        json_rows.push(("DBLP", setting, "Disappearing", row(&mut table, "DBLP", setting, "Disappearing", &disappearing)));
+        json_rows.push((
+            "DBLP",
+            setting,
+            "Disappearing",
+            row(&mut table, "DBLP", setting, "Disappearing", &disappearing),
+        ));
     }
 
     // DM keyword association graphs.
     let dm = KeywordConfig::for_scale(scale).generate();
     let dm_emerging = difference_graph_with(&dm.g2, &dm.g1, WeightScheme::Weighted).unwrap();
-    json_rows.push(("DM", "—", "Emerging", row(&mut table, "DM", "—", "Emerging", &dm_emerging)));
+    json_rows.push((
+        "DM",
+        "—",
+        "Emerging",
+        row(&mut table, "DM", "—", "Emerging", &dm_emerging),
+    ));
     let dm_disappearing = difference_graph_with(&dm.g1, &dm.g2, WeightScheme::Weighted).unwrap();
-    json_rows.push(("DM", "—", "Disappearing", row(&mut table, "DM", "—", "Disappearing", &dm_disappearing)));
+    json_rows.push((
+        "DM",
+        "—",
+        "Disappearing",
+        row(&mut table, "DM", "—", "Disappearing", &dm_disappearing),
+    ));
 
     // Wiki editor interactions.
     let wiki = ConflictConfig::for_scale(scale).generate();
     let consistent = difference_graph_with(&wiki.g1, &wiki.g2, WeightScheme::Weighted).unwrap();
-    json_rows.push(("Wiki", "—", "Consistent", row(&mut table, "Wiki", "—", "Consistent", &consistent)));
+    json_rows.push((
+        "Wiki",
+        "—",
+        "Consistent",
+        row(&mut table, "Wiki", "—", "Consistent", &consistent),
+    ));
     let conflicting = difference_graph_with(&wiki.g2, &wiki.g1, WeightScheme::Weighted).unwrap();
-    json_rows.push(("Wiki", "—", "Conflicting", row(&mut table, "Wiki", "—", "Conflicting", &conflicting)));
+    json_rows.push((
+        "Wiki",
+        "—",
+        "Conflicting",
+        row(&mut table, "Wiki", "—", "Conflicting", &conflicting),
+    ));
 
     // Douban movie/book interest vs social graphs.
     for (name, pair) in [
         ("Movie", SocialInterestConfig::movie(scale).generate()),
         ("Book", SocialInterestConfig::book(scale).generate()),
     ] {
-        let interest_social = difference_graph_with(&pair.g2, &pair.g1, WeightScheme::Weighted).unwrap();
+        let interest_social =
+            difference_graph_with(&pair.g2, &pair.g1, WeightScheme::Weighted).unwrap();
         json_rows.push((
             if name == "Movie" { "Movie" } else { "Book" },
             "—",
             "Interest-Social",
             row(&mut table, name, "—", "Interest-Social", &interest_social),
         ));
-        let social_interest = difference_graph_with(&pair.g1, &pair.g2, WeightScheme::Weighted).unwrap();
+        let social_interest =
+            difference_graph_with(&pair.g1, &pair.g2, WeightScheme::Weighted).unwrap();
         json_rows.push((
             if name == "Movie" { "Movie" } else { "Book" },
             "—",
@@ -92,14 +132,29 @@ fn main() {
         ("Discrete", WeightScheme::Discrete(DiscreteRule::default())),
     ] {
         let gd = difference_graph_with(&dblp_c.g2, &dblp_c.g1, scheme).unwrap();
-        json_rows.push(("DBLP-C", setting, "—", row(&mut table, "DBLP-C", setting, "—", &gd)));
+        json_rows.push((
+            "DBLP-C",
+            setting,
+            "—",
+            row(&mut table, "DBLP-C", setting, "—", &gd),
+        ));
     }
 
     // Actor collaboration network used directly as a difference graph.
     let (actor, _) = CollabConfig::actor(scale).generate_single();
-    json_rows.push(("Actor", "Weighted", "—", row(&mut table, "Actor", "Weighted", "—", &actor)));
+    json_rows.push((
+        "Actor",
+        "Weighted",
+        "—",
+        row(&mut table, "Actor", "Weighted", "—", &actor),
+    ));
     let actor_clamped = clamp_weights(&actor, 10.0);
-    json_rows.push(("Actor", "Discrete", "—", row(&mut table, "Actor", "Discrete", "—", &actor_clamped)));
+    json_rows.push((
+        "Actor",
+        "Discrete",
+        "—",
+        row(&mut table, "Actor", "Discrete", "—", &actor_clamped),
+    ));
 
     table.print();
 

@@ -18,8 +18,17 @@ fn main() {
     let mut table = Table::new(
         "Table IV — co-author groups found per setting / direction / density measure",
         &[
-            "Setting", "GD Type", "Density", "Group", "Jaccard", "#Authors", "PosClique?",
-            "AvgDeg diff", "Approx ratio", "Affinity diff", "EdgeDensity diff",
+            "Setting",
+            "GD Type",
+            "Density",
+            "Group",
+            "Jaccard",
+            "#Authors",
+            "PosClique?",
+            "AvgDeg diff",
+            "Approx ratio",
+            "Affinity diff",
+            "EdgeDensity diff",
         ],
     );
     let mut json_rows = Vec::new();
@@ -95,7 +104,9 @@ fn main() {
     }
 
     table.print();
-    println!("(Table III counterpart: the members of each recovered group are the planted vertex ids;");
+    println!(
+        "(Table III counterpart: the members of each recovered group are the planted vertex ids;"
+    );
     println!(" with synthetic data the interesting quantity is the Jaccard overlap with the planted group.)");
 
     if options.json {

@@ -27,11 +27,7 @@ fn top_cliques(graph: &SignedGraph, k: usize, limit: Option<usize>) -> Vec<(Vec<
 fn print_ranked(title: &str, cliques: &[(Vec<u32>, f64)], label: impl Fn(&[u32]) -> String) {
     let mut table = Table::new(title, &["Rank", "Keyword set", "Affinity"]);
     for (rank, (support, affinity)) in cliques.iter().enumerate() {
-        table.add_row(vec![
-            (rank + 1).to_string(),
-            label(support),
-            f3(*affinity),
-        ]);
+        table.add_row(vec![(rank + 1).to_string(), label(support), f3(*affinity)]);
     }
     table.print();
 }

@@ -36,9 +36,8 @@ fn run_dataset(name: &str, gd_type: &str, gd: &SignedGraph, limit: Option<usize>
     let gd_plus = gd.positive_part();
 
     let (newsea, newsea_t) = time(|| NewSea::new(config).solve_on_positive_part(&gd_plus));
-    let (seacd, seacd_t) = time(|| {
-        SeaCd::new(config).sweep(&gd_plus, limit, false, |g, x| refine(g, x, &config))
-    });
+    let (seacd, seacd_t) =
+        time(|| SeaCd::new(config).sweep(&gd_plus, limit, false, |g, x| refine(g, x, &config)));
     let (sea, sea_t) = time(|| {
         let sea = OriginalSea::new(SeaConfig::default());
         let result = sea.run_all_vertices(&gd_plus, limit, false);
@@ -82,34 +81,87 @@ fn main() {
     }
 
     let dm = KeywordConfig::for_scale(scale).generate();
-    rows.push(run_dataset("DM", "Emerging", &difference_graph_with(&dm.g2, &dm.g1, weighted).unwrap(), limit));
-    rows.push(run_dataset("DM", "Disappearing", &difference_graph_with(&dm.g1, &dm.g2, weighted).unwrap(), limit));
+    rows.push(run_dataset(
+        "DM",
+        "Emerging",
+        &difference_graph_with(&dm.g2, &dm.g1, weighted).unwrap(),
+        limit,
+    ));
+    rows.push(run_dataset(
+        "DM",
+        "Disappearing",
+        &difference_graph_with(&dm.g1, &dm.g2, weighted).unwrap(),
+        limit,
+    ));
 
     let wiki = ConflictConfig::for_scale(scale).generate();
-    rows.push(run_dataset("Wiki", "Consistent", &difference_graph_with(&wiki.g1, &wiki.g2, weighted).unwrap(), limit));
-    rows.push(run_dataset("Wiki", "Conflicting", &difference_graph_with(&wiki.g2, &wiki.g1, weighted).unwrap(), limit));
+    rows.push(run_dataset(
+        "Wiki",
+        "Consistent",
+        &difference_graph_with(&wiki.g1, &wiki.g2, weighted).unwrap(),
+        limit,
+    ));
+    rows.push(run_dataset(
+        "Wiki",
+        "Conflicting",
+        &difference_graph_with(&wiki.g2, &wiki.g1, weighted).unwrap(),
+        limit,
+    ));
 
     for (name, pair) in [
         ("Movie", SocialInterestConfig::movie(scale).generate()),
         ("Book", SocialInterestConfig::book(scale).generate()),
     ] {
-        rows.push(run_dataset(name, "Interest-Social", &difference_graph_with(&pair.g2, &pair.g1, weighted).unwrap(), limit));
-        rows.push(run_dataset(name, "Social-Interest", &difference_graph_with(&pair.g1, &pair.g2, weighted).unwrap(), limit));
+        rows.push(run_dataset(
+            name,
+            "Interest-Social",
+            &difference_graph_with(&pair.g2, &pair.g1, weighted).unwrap(),
+            limit,
+        ));
+        rows.push(run_dataset(
+            name,
+            "Social-Interest",
+            &difference_graph_with(&pair.g1, &pair.g2, weighted).unwrap(),
+            limit,
+        ));
     }
 
     let dblp_c = CollabConfig::dblp_c(scale).generate_pair();
-    rows.push(run_dataset("DBLP-C Weighted", "—", &difference_graph_with(&dblp_c.g2, &dblp_c.g1, weighted).unwrap(), limit));
-    rows.push(run_dataset("DBLP-C Discrete", "—", &difference_graph_with(&dblp_c.g2, &dblp_c.g1, discrete).unwrap(), limit));
+    rows.push(run_dataset(
+        "DBLP-C Weighted",
+        "—",
+        &difference_graph_with(&dblp_c.g2, &dblp_c.g1, weighted).unwrap(),
+        limit,
+    ));
+    rows.push(run_dataset(
+        "DBLP-C Discrete",
+        "—",
+        &difference_graph_with(&dblp_c.g2, &dblp_c.g1, discrete).unwrap(),
+        limit,
+    ));
 
     let (actor, _) = CollabConfig::actor(scale).generate_single();
     rows.push(run_dataset("Actor Weighted", "—", &actor, limit));
-    rows.push(run_dataset("Actor Discrete", "—", &dcs_core::clamp_weights(&actor, 10.0), limit));
+    rows.push(run_dataset(
+        "Actor Discrete",
+        "—",
+        &dcs_core::clamp_weights(&actor, 10.0),
+        limit,
+    ));
 
     let mut table = Table::new(
         "Table VII — running time (seconds) and SEA expansion errors",
         &[
-            "Data", "GD Type", "NewSEA", "SEACD+Refine", "SEA+Refine", "#Errors in SEA",
-            "Speedup (SEACD/NewSEA)", "Obj NewSEA", "Obj SEACD", "Obj SEA",
+            "Data",
+            "GD Type",
+            "NewSEA",
+            "SEACD+Refine",
+            "SEA+Refine",
+            "#Errors in SEA",
+            "Speedup (SEACD/NewSEA)",
+            "Obj NewSEA",
+            "Obj SEACD",
+            "Obj SEA",
         ],
     );
     for r in &rows {

@@ -19,8 +19,14 @@ fn main() {
     let mut table8 = Table::new(
         "Table VIII — subgraphs found by EgoScan (substitute) on the co-author difference graphs",
         &[
-            "Setting", "GD Type", "#Authors", "#Edges", "PosClique?", "AvgDeg diff",
-            "EdgeDensity diff", "Time (s)",
+            "Setting",
+            "GD Type",
+            "#Authors",
+            "#Edges",
+            "PosClique?",
+            "AvgDeg diff",
+            "EdgeDensity diff",
+            "Time (s)",
         ],
     );
     let mut table9 = Table::new(

@@ -20,12 +20,23 @@ fn main() {
     let mut table10 = Table::new(
         "Table X — DCS w.r.t. average degree on the Wiki-style data",
         &[
-            "GD Type", "Variant", "#Users", "AvgDeg diff", "Approx ratio", "PosClique?",
+            "GD Type",
+            "Variant",
+            "#Users",
+            "AvgDeg diff",
+            "Approx ratio",
+            "PosClique?",
         ],
     );
     let mut table11 = Table::new(
         "Table XI — DCS w.r.t. graph affinity on the Wiki-style data",
-        &["GD Type", "#Users", "Affinity diff", "EdgeDensity diff", "PosClique?"],
+        &[
+            "GD Type",
+            "#Users",
+            "Affinity diff",
+            "EdgeDensity diff",
+            "PosClique?",
+        ],
     );
     let mut json_rows = Vec::new();
 

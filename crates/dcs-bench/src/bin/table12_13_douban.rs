@@ -18,22 +18,43 @@ fn main() {
     let mut table12 = Table::new(
         "Table XII — DCS w.r.t. average degree on the Douban-style data",
         &[
-            "Interest", "GD Type", "Variant", "#Users", "AvgDeg diff", "Approx ratio", "PosClique?",
+            "Interest",
+            "GD Type",
+            "Variant",
+            "#Users",
+            "AvgDeg diff",
+            "Approx ratio",
+            "PosClique?",
         ],
     );
     let mut table13 = Table::new(
         "Table XIII — DCS w.r.t. graph affinity on the Douban-style data",
-        &["Interest", "GD Type", "#Users", "Affinity diff", "EdgeDensity diff"],
+        &[
+            "Interest",
+            "GD Type",
+            "#Users",
+            "Affinity diff",
+            "EdgeDensity diff",
+        ],
     );
     let mut json_rows = Vec::new();
 
     for (interest, pair) in [
-        ("Movie", SocialInterestConfig::movie(options.scale).generate()),
+        (
+            "Movie",
+            SocialInterestConfig::movie(options.scale).generate(),
+        ),
         ("Book", SocialInterestConfig::book(options.scale).generate()),
     ] {
         for (gd_type, gd) in [
-            ("Interest-Social", difference_graph(&pair.g2, &pair.g1).unwrap()),
-            ("Social-Interest", difference_graph(&pair.g1, &pair.g2).unwrap()),
+            (
+                "Interest-Social",
+                difference_graph(&pair.g2, &pair.g1).unwrap(),
+            ),
+            (
+                "Social-Interest",
+                difference_graph(&pair.g1, &pair.g2).unwrap(),
+            ),
         ] {
             let solver = DcsGreedy::default();
             let full = solver.solve(&gd);

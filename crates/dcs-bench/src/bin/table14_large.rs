@@ -17,7 +17,12 @@ fn main() {
     let mut table = Table::new(
         "Table XIV — DCS w.r.t. graph affinity on the large collaboration graphs",
         &[
-            "Data", "Setting", "#Vertices", "Affinity diff", "EdgeDensity diff", "NewSEA time (s)",
+            "Data",
+            "Setting",
+            "#Vertices",
+            "Affinity diff",
+            "EdgeDensity diff",
+            "NewSEA time (s)",
         ],
     );
     let mut json_rows = Vec::new();
@@ -67,7 +72,9 @@ fn main() {
     }
 
     table.print();
-    println!("Shape check: the Weighted setting yields a tiny, extremely heavy clique; the Discrete");
+    println!(
+        "Shape check: the Weighted setting yields a tiny, extremely heavy clique; the Discrete"
+    );
     println!("setting (weight clamping/discretisation) yields a noticeably larger group.");
     if options.json {
         println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());

@@ -52,13 +52,10 @@ impl ExpOptions {
                 }
                 "--seed" => {
                     i += 1;
-                    options.seed = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| {
-                            eprintln!("--seed expects an integer");
-                            std::process::exit(2);
-                        });
+                    options.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--seed expects an integer");
+                        std::process::exit(2);
+                    });
                 }
                 "--json" => options.json = true,
                 "--help" | "-h" => {
@@ -113,9 +110,10 @@ impl Table {
 
     /// Renders the table to a string.
     pub fn render(&self) -> String {
-        let columns = self.header.len().max(
-            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
-        );
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         for (i, cell) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(cell.len());
@@ -165,7 +163,11 @@ pub fn f2(x: f64) -> String {
 
 /// Formats a boolean as Yes/No (the paper's "Positive Clique?" columns).
 pub fn yes_no(b: bool) -> String {
-    if b { "Yes".to_string() } else { "No".to_string() }
+    if b {
+        "Yes".to_string()
+    } else {
+        "No".to_string()
+    }
 }
 
 #[cfg(test)]

@@ -97,12 +97,10 @@ impl ParsedArgs {
     ) -> Result<T, CliError> {
         match self.option(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| CliError::InvalidValue {
-                    option: name.to_string(),
-                    value: raw.to_string(),
-                }),
+            Some(raw) => raw.parse().map_err(|_| CliError::InvalidValue {
+                option: name.to_string(),
+                value: raw.to_string(),
+            }),
         }
     }
 }

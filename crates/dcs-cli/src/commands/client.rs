@@ -1,0 +1,129 @@
+//! `dcs client` — send NDJSON requests to a running `dcs serve` instance.
+
+use dcs_server::Client;
+use serde_json::Value;
+
+use crate::args::{parse_args, ArgSpec};
+use crate::error::CliError;
+
+/// Usage string shown by `dcs help`.
+pub const USAGE: &str = "dcs client <HOST:PORT> [REQUEST-JSON] [--file requests.ndjson]";
+
+fn spec() -> ArgSpec {
+    ArgSpec::new(&["file"], &[])
+}
+
+/// Runs the subcommand: sends the inline request and/or every line of
+/// `--file` to the server, printing one response per line.
+pub fn run(raw_args: &[String]) -> Result<String, CliError> {
+    let args = parse_args(raw_args, &spec())?;
+    let addr = args.positional(0, "server address (HOST:PORT)")?;
+
+    let mut requests: Vec<String> = Vec::new();
+    if let Some(inline) = args.positionals.get(1) {
+        requests.push(inline.clone());
+    }
+    if let Some(path) = args.option("file") {
+        let text = std::fs::read_to_string(path)?;
+        requests.extend(
+            text.lines()
+                .filter(|line| !line.trim().is_empty())
+                .map(str::to_string),
+        );
+    }
+    if requests.is_empty() {
+        return Err(CliError::MissingPositional(
+            "a request (inline JSON or --file)".to_string(),
+        ));
+    }
+
+    let mut client = Client::connect(addr).map_err(|e| {
+        let reason = match e {
+            dcs_server::ServerError::Io(io) => io.to_string(),
+            other => other.to_string(),
+        };
+        CliError::Io(std::io::Error::other(format!(
+            "cannot connect to {addr}: {reason}"
+        )))
+    })?;
+    let mut out = String::new();
+    for raw in requests {
+        let request: Value = serde_json::from_str(&raw).map_err(|e| CliError::InvalidValue {
+            option: "request".to_string(),
+            value: format!("{raw} ({e})"),
+        })?;
+        // Print failed responses too (they are responses, not client errors).
+        let response = match client.request(request) {
+            Ok(value) => value,
+            Err(dcs_server::ServerError::Remote(message)) => {
+                serde_json::json!({ "ok": false, "error": message })
+            }
+            Err(e) => {
+                return Err(CliError::Io(std::io::Error::other(format!(
+                    "connection failed: {e}"
+                ))))
+            }
+        };
+        out.push_str(&serde_json::to_string(&response).unwrap_or_else(|_| "{}".into()));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_server::{Server, ServerConfig};
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn requires_address_and_request() {
+        assert!(matches!(run(&[]), Err(CliError::MissingPositional(_))));
+        assert!(matches!(
+            run(&strings(&["127.0.0.1:1"])),
+            Err(CliError::MissingPositional(_))
+        ));
+    }
+
+    #[test]
+    fn drives_a_live_server_inline_and_from_file() {
+        let handle = Server::bind("127.0.0.1:0", ServerConfig::default())
+            .unwrap()
+            .start();
+        let addr = handle.local_addr().to_string();
+
+        let pong = run(&strings(&[&addr, r#"{"cmd":"ping"}"#])).unwrap();
+        assert!(pong.contains("\"pong\":true"));
+
+        let dir = std::env::temp_dir().join("dcs_cli_client_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("requests.ndjson");
+        std::fs::write(
+            &script,
+            concat!(
+                "{\"cmd\":\"create_session\",\"session\":\"s\",\"vertices\":4}\n",
+                "{\"cmd\":\"observe\",\"session\":\"s\",\"updates\":[[0,1,3.0],[1,2,2.0]]}\n",
+                "{\"cmd\":\"mine\",\"session\":\"s\"}\n",
+                "{\"cmd\":\"mine\",\"session\":\"nope\"}\n",
+            ),
+        )
+        .unwrap();
+
+        let out = run(&strings(&[&addr, "--file", script.to_str().unwrap()])).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("\"subset\":[0,1]"));
+        assert!(lines[3].contains("\"ok\":false"));
+
+        // Malformed inline request.
+        assert!(matches!(
+            run(&strings(&[&addr, "not json"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+
+        handle.join();
+    }
+}

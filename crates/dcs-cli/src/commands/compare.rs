@@ -85,7 +85,11 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
                 row.report.average_degree_difference,
                 row.report.affinity_difference,
                 row.report.total_degree_difference,
-                if row.report.is_positive_clique { "yes" } else { "no" },
+                if row.report.is_positive_clique {
+                    "yes"
+                } else {
+                    "no"
+                },
             ));
             let mut value = report_to_json(&row.report, &pair.render_vertices(&row.report.subset));
             value["method"] = json!(row.method);

@@ -131,7 +131,9 @@ mod tests {
 
     #[test]
     fn generates_all_known_datasets_at_tiny_scale() {
-        for dataset in ["coauthor", "keywords", "conflict", "movie", "book", "dblp-c", "actor"] {
+        for dataset in [
+            "coauthor", "keywords", "conflict", "movie", "book", "dblp-c", "actor",
+        ] {
             let pair = generate_pair(dataset, Scale::Tiny, 7).unwrap();
             assert!(pair.g1.num_vertices() > 0, "{dataset} has vertices");
             assert_eq!(pair.g1.num_vertices(), pair.g2.num_vertices());

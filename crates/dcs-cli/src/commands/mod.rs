@@ -8,11 +8,15 @@
 //! * [`topk`] — mine up to `k` vertex-disjoint contrast subgraphs,
 //! * [`compare`] — DCS vs EgoScan vs quasi-clique side by side (Tables VIII/IX style),
 //! * [`census`] — positive-clique census of the difference graph (Table V / Fig. 3 style),
-//! * [`generate`] — write a synthetic benchmark graph pair (with ground truth) to disk.
+//! * [`generate`] — write a synthetic benchmark graph pair (with ground truth) to disk,
+//! * [`serve`] — run the long-lived NDJSON contrast-mining server (`dcs-server`),
+//! * [`client`] — send requests to a running server.
 
 pub mod census;
+pub mod client;
 pub mod compare;
 pub mod generate;
 pub mod mine;
+pub mod serve;
 pub mod stats;
 pub mod topk;

@@ -1,0 +1,123 @@
+//! `dcs serve` — run the NDJSON contrast-mining server.
+
+use dcs_server::{Server, ServerConfig};
+
+use crate::args::{parse_args, ArgSpec};
+use crate::error::CliError;
+
+/// Usage string shown by `dcs help`.
+pub const USAGE: &str =
+    "dcs serve [--addr HOST:PORT] [--threads N] [--queue N] (runs until a shutdown command)";
+
+fn spec() -> ArgSpec {
+    ArgSpec::new(&["addr", "threads", "queue"], &[])
+}
+
+/// Parses the options, binds the listener and starts the accept loop.
+/// Split from [`run`] so tests can start on an ephemeral port and read the
+/// bound address from the handle instead of racing for a free port.
+fn start_server(raw_args: &[String]) -> Result<(dcs_server::ServerHandle, ServerConfig), CliError> {
+    let args = parse_args(raw_args, &spec())?;
+    let addr = args.option("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        worker_threads: args.parse_option("threads", defaults.worker_threads)?,
+        queue_capacity: args.parse_option("queue", defaults.queue_capacity)?,
+        ..defaults
+    };
+    if config.worker_threads == 0 || config.queue_capacity == 0 {
+        return Err(CliError::InvalidValue {
+            option: "threads/queue".to_string(),
+            value: "0".to_string(),
+        });
+    }
+    let server = Server::bind(addr.as_str(), config.clone())
+        .map_err(|e| CliError::Io(std::io::Error::other(format!("cannot bind {addr}: {e}"))))?;
+    Ok((server.start(), config))
+}
+
+/// Blocks until a client sends `shutdown`, then returns the summary line.
+fn serve_until_shutdown(handle: dcs_server::ServerHandle) -> String {
+    let bound = handle.local_addr();
+    // ServerHandle::join also wakes the accept loop if the flag was set over
+    // the wire.
+    while !handle.is_shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    handle.join();
+    format!("dcs-server on {bound} shut down\n")
+}
+
+/// Runs the subcommand: binds, serves until a protocol `shutdown` arrives,
+/// then returns a summary line.  The bound address is printed immediately so
+/// scripts using an ephemeral port (`--addr 127.0.0.1:0`) can discover it.
+pub fn run(raw_args: &[String]) -> Result<String, CliError> {
+    let (handle, config) = start_server(raw_args)?;
+    println!(
+        "dcs-server listening on {} ({} worker threads, queue {})",
+        handle.local_addr(),
+        config.worker_threads,
+        config.queue_capacity
+    );
+    Ok(serve_until_shutdown(handle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_server::Client;
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        assert!(matches!(
+            run(&strings(&["--threads", "zero"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            run(&strings(&["--threads", "0"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            run(&strings(&["--bogus"])),
+            Err(CliError::UnknownArgument(_))
+        ));
+        // Unbindable address.
+        assert!(run(&strings(&["--addr", "256.256.256.256:1"])).is_err());
+    }
+
+    #[test]
+    fn serves_until_shutdown() {
+        // Ephemeral port: the handle reports the bound address, so there is
+        // no probe-then-rebind race.
+        let (handle, config) = start_server(&strings(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--queue",
+            "4",
+        ]))
+        .expect("bind ephemeral port");
+        assert_eq!(config.worker_threads, 2);
+        assert_eq!(config.queue_capacity, 4);
+        let addr = handle.local_addr();
+        let server_thread = std::thread::spawn(move || serve_until_shutdown(handle));
+
+        let mut client = Client::connect(addr).expect("server is up");
+        client.ping().unwrap();
+        client
+            .create_session("s", 4, serde_json::json!({}))
+            .unwrap();
+        client.observe("s", &[(0, 1, 2.0)]).unwrap();
+        let mined = client.mine("s").unwrap();
+        assert_eq!(mined["result"]["subset"], serde_json::json!([0, 1]));
+        client.shutdown().unwrap();
+
+        let summary = server_thread.join().unwrap();
+        assert!(summary.contains("shut down"));
+    }
+}

@@ -9,7 +9,8 @@ use crate::input::{MiningOptions, PairInput};
 use crate::output::{json_to_string, render_block};
 
 /// Usage string shown by `dcs help`.
-pub const USAGE: &str = "dcs stats <G1.edges> <G2.edges> [--numeric] [--scheme weighted|discrete|scaled] \
+pub const USAGE: &str =
+    "dcs stats <G1.edges> <G2.edges> [--numeric] [--scheme weighted|discrete|scaled] \
 [--alpha X] [--direction emerging|disappearing|both] [--clamp X] [--json]";
 
 fn spec() -> ArgSpec {

@@ -4,8 +4,8 @@
 //! the library implements the peeling strategy in `dcs-core::topk` and this subcommand
 //! exposes it on edge-list inputs.
 
-use dcs_core::{top_k_affinity, top_k_average_degree, ContrastReport};
 use dcs_core::dcsga::DcsgaConfig;
+use dcs_core::{top_k_affinity, top_k_average_degree, ContrastReport};
 use serde_json::json;
 
 use crate::args::{parse_args, ArgSpec, ParsedArgs};
@@ -62,7 +62,11 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
             direction.name(),
             reports.len(),
             k,
-            if use_affinity { "graph affinity" } else { "average degree" },
+            if use_affinity {
+                "graph affinity"
+            } else {
+                "average degree"
+            },
         ));
         for (rank, report) in reports.iter().enumerate() {
             let members = pair.render_vertices(&report.subset);
@@ -124,7 +128,16 @@ mod tests {
     #[test]
     fn degree_measure_and_json() {
         let (p1, p2) = write_pair("dcs_cli_topk_degree");
-        let out = run(&strings(&[&p1, &p2, "--measure", "degree", "--k", "2", "--json"])).unwrap();
+        let out = run(&strings(&[
+            &p1,
+            &p2,
+            "--measure",
+            "degree",
+            "--k",
+            "2",
+            "--json",
+        ]))
+        .unwrap();
         assert!(out.contains("average degree"));
         let json_start = out.find("{\n").unwrap();
         let value: serde_json::Value = serde_json::from_str(&out[json_start..]).unwrap();

@@ -111,7 +111,7 @@ mod tests {
     #[test]
     fn conversions_preserve_sources() {
         use std::error::Error;
-        let io = CliError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = CliError::from(std::io::Error::other("boom"));
         assert!(io.source().is_some());
         let parse = CliError::from(IoError::Parse {
             line_number: 1,

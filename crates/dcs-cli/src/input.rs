@@ -228,7 +228,14 @@ mod tests {
         assert!(options.clamp.is_none());
 
         let options = MiningOptions::from_args(&mining_args(&[
-            "--scheme", "scaled", "--alpha", "0.5", "--direction", "both", "--clamp", "10",
+            "--scheme",
+            "scaled",
+            "--alpha",
+            "0.5",
+            "--direction",
+            "both",
+            "--clamp",
+            "10",
         ]))
         .unwrap();
         assert_eq!(options.scheme, WeightScheme::Scaled { alpha: 0.5 });
@@ -249,7 +256,9 @@ mod tests {
         let pair = PairInput::load(&p1, &p2, false).unwrap();
         let mut options = MiningOptions::from_args(&mining_args(&[])).unwrap();
 
-        let emerging = options.difference_graph(&pair, Direction::Emerging).unwrap();
+        let emerging = options
+            .difference_graph(&pair, Direction::Emerging)
+            .unwrap();
         let disappearing = options
             .difference_graph(&pair, Direction::Disappearing)
             .unwrap();
@@ -259,7 +268,9 @@ mod tests {
         assert_eq!(disappearing.edge_weight(a, b), Some(-3.0));
 
         options.clamp = Some(1.5);
-        let clamped = options.difference_graph(&pair, Direction::Emerging).unwrap();
+        let clamped = options
+            .difference_graph(&pair, Direction::Emerging)
+            .unwrap();
         assert_eq!(clamped.edge_weight(a, b), Some(1.5));
     }
 }

@@ -10,6 +10,8 @@
 //! dcs compare  <G1.edges> <G2.edges> ...   DCS vs EgoScan vs quasi-clique side by side
 //! dcs census   <G1.edges> <G2.edges> ...   positive-clique census of the difference graph
 //! dcs generate <dataset> --out <dir> ...   synthetic benchmark pairs with ground truth
+//! dcs serve    [--addr H:P] ...            run the NDJSON contrast-mining server
+//! dcs client   <H:P> [REQUEST] ...         send requests to a running server
 //! ```
 //!
 //! Edge lists are `label label [weight]` per line by default (`--numeric` switches to
@@ -34,16 +36,19 @@ pub fn usage() -> String {
     format!(
         "dcs — density contrast subgraph mining\n\
          \n\
-         Usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n\
+         Usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n\
          \n\
          Every command accepts exactly the options shown above.\n\
-         Edge lists are `label label [weight]` per line; `--numeric` reads integer vertex ids.\n",
+         Edge lists are `label label [weight]` per line; `--numeric` reads integer vertex ids.\n\
+         The serve/client protocol is documented in the `dcs-server` crate docs.\n",
         commands::stats::USAGE,
         commands::mine::USAGE,
         commands::topk::USAGE,
         commands::compare::USAGE,
         commands::census::USAGE,
         commands::generate::USAGE,
+        commands::serve::USAGE,
+        commands::client::USAGE,
     )
 }
 
@@ -61,6 +66,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "compare" => commands::compare::run(rest),
         "census" => commands::census::run(rest),
         "generate" => commands::generate::run(rest),
+        "serve" => commands::serve::run(rest),
+        "client" => commands::client::run(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -77,7 +84,9 @@ mod tests {
     #[test]
     fn help_lists_every_command() {
         let text = run(&strings(&["help"])).unwrap();
-        for command in ["stats", "mine", "topk", "compare", "census", "generate"] {
+        for command in [
+            "stats", "mine", "topk", "compare", "census", "generate", "serve", "client",
+        ] {
             assert!(text.contains(command), "usage mentions {command}");
         }
         assert_eq!(run(&strings(&["--help"])).unwrap(), text);

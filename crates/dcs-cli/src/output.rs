@@ -51,7 +51,12 @@ pub fn render_report(title: &str, report: &ContrastReport, members: &[String]) -
             ),
             (
                 "positive clique",
-                if report.is_positive_clique { "yes" } else { "no" }.to_string(),
+                if report.is_positive_clique {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ),
             (
                 "connected",

@@ -2,7 +2,7 @@
 //! ground truth, then run the mining subcommands on the files it wrote and check that the
 //! planted contrast group is reported.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn strings(raw: &[&str]) -> Vec<String> {
     raw.iter().map(|s| s.to_string()).collect()
@@ -16,7 +16,7 @@ fn temp_dir(name: &str) -> PathBuf {
 
 /// Writes a hand-crafted labelled pair with one emerging clique (the "lab" of ada, bob,
 /// cat, dan) and one disappearing pair (old1, old2) on top of a stable background.
-fn write_labeled_pair(dir: &PathBuf) -> (String, String) {
+fn write_labeled_pair(dir: &Path) -> (String, String) {
     let g1 = "\
 # early period
 ada bob 1
@@ -54,7 +54,13 @@ fn mine_recovers_emerging_and_disappearing_groups() {
     let (p1, p2) = write_labeled_pair(&dir);
 
     let out = dcs_cli::run(&strings(&[
-        "mine", &p1, &p2, "--direction", "both", "--measure", "both",
+        "mine",
+        &p1,
+        &p2,
+        "--direction",
+        "both",
+        "--measure",
+        "both",
     ]))
     .unwrap();
 

@@ -7,7 +7,17 @@ use proptest::prelude::*;
 
 fn spec() -> ArgSpec {
     ArgSpec::new(
-        &["scheme", "alpha", "direction", "clamp", "k", "seed", "out", "scale", "measure"],
+        &[
+            "scheme",
+            "alpha",
+            "direction",
+            "clamp",
+            "k",
+            "seed",
+            "out",
+            "scale",
+            "measure",
+        ],
         &["json", "numeric"],
     )
 }

@@ -88,10 +88,7 @@ mod tests {
     /// G2 strengthens the triangle {0,1,2}; the pair {3,4} is strong in both graphs;
     /// {5,6} only exists in G1.
     fn pair() -> (SignedGraph, SignedGraph) {
-        let g1 = GraphBuilder::from_edges(
-            7,
-            vec![(0, 1, 1.0), (3, 4, 10.0), (5, 6, 4.0)],
-        );
+        let g1 = GraphBuilder::from_edges(7, vec![(0, 1, 1.0), (3, 4, 10.0), (5, 6, 4.0)]);
         let g2 = GraphBuilder::from_edges(
             7,
             vec![

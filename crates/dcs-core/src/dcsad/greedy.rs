@@ -216,8 +216,7 @@ mod tests {
         assert!(n <= 16);
         let mut best: (Vec<VertexId>, Weight) = (vec![0], 0.0);
         for mask in 1u32..(1 << n) {
-            let subset: Vec<VertexId> =
-                (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+            let subset: Vec<VertexId> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
             let d = gd.average_degree(&subset);
             if d > best.1 {
                 best = (subset, d);
@@ -307,7 +306,9 @@ mod tests {
         // data-dependent ratio of the optimum and never exceed it.
         let mut seed = 12345u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as f64 / (u32::MAX as f64 / 2.0) - 1.0
         };
         for case in 0..20 {

@@ -46,7 +46,9 @@ pub fn descend_to_local_kkt(
     support.sort_unstable();
     support.dedup();
     debug_assert!(
-        x0.support().iter().all(|v| support.binary_search(v).is_ok()),
+        x0.support()
+            .iter()
+            .all(|v| support.binary_search(v).is_ok()),
         "the initial support must be contained in the working support"
     );
 
@@ -151,7 +153,11 @@ pub fn descend_to_local_kkt(
             }
             candidates
                 .into_iter()
-                .max_by(|a, b| eval(*a).partial_cmp(&eval(*b)).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|a, b| {
+                    eval(*a)
+                        .partial_cmp(&eval(*b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
                 .unwrap_or(xi)
         };
         let new_xj = c - new_xi;
@@ -215,7 +221,11 @@ mod tests {
         let support: Vec<u32> = vec![0, 1, 2, 3];
         let out = descend_to_local_kkt(&g, &Embedding::singleton(0), &support, 1e-9, 100_000);
         assert!(out.converged);
-        assert!((out.objective - 0.75).abs() < 1e-6, "objective {}", out.objective);
+        assert!(
+            (out.objective - 0.75).abs() < 1e-6,
+            "objective {}",
+            out.objective
+        );
         assert!(local_kkt_gap(&g, &out.embedding, &support) <= 1e-6);
     }
 

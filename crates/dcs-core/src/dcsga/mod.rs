@@ -130,7 +130,11 @@ pub fn clique_census(gd: &SignedGraph, solutions: &[Embedding]) -> Vec<CliqueSol
         .zip(keep)
         .filter_map(|(c, k)| k.then_some(c))
         .collect();
-    out.sort_by(|a, b| b.affinity.partial_cmp(&a.affinity).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.affinity
+            .partial_cmp(&a.affinity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 
@@ -166,10 +170,8 @@ mod tests {
 
     #[test]
     fn census_dedups_and_drops_subsets() {
-        let gd = GraphBuilder::from_edges(
-            5,
-            vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (3, 4, 5.0)],
-        );
+        let gd =
+            GraphBuilder::from_edges(5, vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (3, 4, 5.0)]);
         let solutions = vec![
             Embedding::uniform(&[0, 1, 2]),
             Embedding::uniform(&[0, 1]), // subset of the triangle → dropped

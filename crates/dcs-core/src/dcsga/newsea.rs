@@ -170,7 +170,11 @@ mod tests {
         let gd = two_cliques();
         let sol = NewSea::default().solve(&gd);
         // Uniform on the heavy 4-clique: affinity 3·(1 − 1/4) = 2.25.
-        assert!((sol.affinity_difference - 2.25).abs() < 1e-4, "{}", sol.affinity_difference);
+        assert!(
+            (sol.affinity_difference - 2.25).abs() < 1e-4,
+            "{}",
+            sol.affinity_difference
+        );
         assert_eq!(sol.support(), vec![0, 1, 2, 3]);
         assert!(gd.is_positive_clique(&sol.support()));
         assert_eq!(sol.stats.expansion_errors, 0);

@@ -131,10 +131,8 @@ mod tests {
         // Star: centre 0 with leaves 1..4, leaf edges have different weights.  No pair of
         // leaves is adjacent, so refinement must end with the centre plus one leaf — and
         // picking greedily by objective keeps a heavy one.
-        let g = GraphBuilder::from_edges(
-            5,
-            vec![(0, 1, 1.0), (0, 2, 5.0), (0, 3, 2.0), (0, 4, 1.0)],
-        );
+        let g =
+            GraphBuilder::from_edges(5, vec![(0, 1, 1.0), (0, 2, 5.0), (0, 3, 2.0), (0, 4, 1.0)]);
         let x = Embedding::uniform(&[0, 1, 2, 3, 4]);
         let y = refine(&g, x, &config());
         let support = y.support();

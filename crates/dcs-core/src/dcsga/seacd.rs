@@ -196,7 +196,11 @@ mod tests {
     fn finds_the_clique_from_inside() {
         let g = k5_with_path();
         let run = SeaCd::default().run_from_vertex(&g, 0);
-        assert!((run.objective - 0.8).abs() < 1e-3, "objective {}", run.objective);
+        assert!(
+            (run.objective - 0.8).abs() < 1e-3,
+            "objective {}",
+            run.objective
+        );
         assert_eq!(run.embedding.support(), vec![0, 1, 2, 3, 4]);
         assert_eq!(run.expansion_errors, 0);
     }
@@ -228,10 +232,8 @@ mod tests {
     fn works_on_signed_graphs() {
         // Positive triangle and a negative edge dangling off it; SEACD on the signed
         // graph itself must not put mass on the negative edge's far endpoint.
-        let g = GraphBuilder::from_edges(
-            4,
-            vec![(0, 1, 2.0), (1, 2, 2.0), (0, 2, 2.0), (2, 3, -5.0)],
-        );
+        let g =
+            GraphBuilder::from_edges(4, vec![(0, 1, 2.0), (1, 2, 2.0), (0, 2, 2.0), (2, 3, -5.0)]);
         let run = SeaCd::default().run_from_vertex(&g, 2);
         assert_eq!(run.embedding.support(), vec![0, 1, 2]);
         assert!((run.objective - 4.0 / 3.0).abs() < 1e-6);

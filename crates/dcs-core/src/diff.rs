@@ -172,14 +172,10 @@ mod tests {
     ///   G2: (0,1)=1, (2,3)=5, (2,4)=2, (3,4)=3, (0,3) missing...
     /// chosen so that GD matches Fig. 1: (0,1)=1, (0,3)=-2, (2,3)=3, (2,4)=-1, (3,4)=2.
     fn fig1_pair() -> (SignedGraph, SignedGraph) {
-        let g1 = GraphBuilder::from_edges(
-            5,
-            vec![(0, 3, 2.0), (2, 3, 2.0), (2, 4, 3.0), (3, 4, 1.0)],
-        );
-        let g2 = GraphBuilder::from_edges(
-            5,
-            vec![(0, 1, 1.0), (2, 3, 5.0), (2, 4, 2.0), (3, 4, 3.0)],
-        );
+        let g1 =
+            GraphBuilder::from_edges(5, vec![(0, 3, 2.0), (2, 3, 2.0), (2, 4, 3.0), (3, 4, 1.0)]);
+        let g2 =
+            GraphBuilder::from_edges(5, vec![(0, 1, 1.0), (2, 3, 5.0), (2, 4, 2.0), (3, 4, 3.0)]);
         (g1, g2)
     }
 
@@ -234,12 +230,8 @@ mod tests {
     fn discrete_difference_graph() {
         let g1 = GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (1, 2, 10.0), (2, 3, 3.0)]);
         let g2 = GraphBuilder::from_edges(4, vec![(0, 1, 7.0), (1, 2, 1.0), (2, 3, 4.0)]);
-        let gd = difference_graph_with(
-            &g2,
-            &g1,
-            WeightScheme::Discrete(DiscreteRule::default()),
-        )
-        .unwrap();
+        let gd = difference_graph_with(&g2, &g1, WeightScheme::Discrete(DiscreteRule::default()))
+            .unwrap();
         assert_eq!(gd.edge_weight(0, 1), Some(2.0)); // diff 6 -> +2
         assert_eq!(gd.edge_weight(1, 2), Some(-2.0)); // diff -9 -> -2
         assert_eq!(gd.edge_weight(2, 3), None); // diff 1 -> dropped

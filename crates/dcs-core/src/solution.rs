@@ -91,10 +91,7 @@ mod tests {
 
     fn gd() -> SignedGraph {
         // Positive triangle {0,1,2} (weights 2), negative edge (2,3), isolated 4.
-        GraphBuilder::from_edges(
-            5,
-            vec![(0, 1, 2.0), (1, 2, 2.0), (0, 2, 2.0), (2, 3, -1.0)],
-        )
+        GraphBuilder::from_edges(5, vec![(0, 1, 2.0), (1, 2, 2.0), (0, 2, 2.0), (2, 3, -1.0)])
     }
 
     #[test]

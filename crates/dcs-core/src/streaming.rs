@@ -76,6 +76,22 @@ pub struct StreamingDcs {
     config: StreamingConfig,
     observations: usize,
     updates_since_mine: usize,
+    /// Monotone counter bumped on every observation that changed the observed
+    /// graph.  Consumers (e.g. the mining server's result cache) use it to
+    /// detect whether the graph moved between two queries.
+    version: u64,
+}
+
+/// Outcome of a batched observation ([`StreamingDcs::observe_batch`] /
+/// [`StreamingDcs::apply_batch`]).
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// Number of updates that were applied (in-range, non-self-loop).
+    pub applied: usize,
+    /// Number of updates that were ignored (self-loops, out-of-range endpoints).
+    pub ignored: usize,
+    /// Every alert raised by re-mining periods completed during the batch.
+    pub alerts: Vec<ContrastAlert>,
 }
 
 impl StreamingDcs {
@@ -93,6 +109,7 @@ impl StreamingDcs {
             config,
             observations: 0,
             updates_since_mine: 0,
+            version: 0,
         })
     }
 
@@ -125,6 +142,29 @@ impl StreamingDcs {
         self.observations
     }
 
+    /// Version of the observed graph: bumped once per applied observation,
+    /// stable across queries that do not change the graph.  Together with a
+    /// job description this uniquely identifies a mining result, which is how
+    /// the serving layer keys its per-session cache.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &StreamingConfig {
+        &self.config
+    }
+
+    /// The historical baseline graph `G1`.
+    pub fn baseline(&self) -> &SignedGraph {
+        &self.baseline
+    }
+
+    /// Number of edges currently present in the observed graph.
+    pub fn observed_edge_count(&self) -> usize {
+        self.observed.len()
+    }
+
     /// Adds `delta` to the observed weight of the edge `(u, v)`.
     ///
     /// Observed weights are clamped at zero from below — `G2` is an ordinary
@@ -142,6 +182,7 @@ impl StreamingDcs {
         }
         self.observations += 1;
         self.updates_since_mine += 1;
+        self.version += 1;
         if self.config.remine_every > 0 && self.updates_since_mine >= self.config.remine_every {
             Some(self.mine_now())
         } else {
@@ -154,10 +195,29 @@ impl StreamingDcs {
         &mut self,
         updates: I,
     ) -> Vec<ContrastAlert> {
-        updates
-            .into_iter()
-            .filter_map(|(u, v, delta)| self.observe(u, v, delta))
-            .collect()
+        self.apply_batch(updates).alerts
+    }
+
+    /// Applies a batch of observations and reports how many were applied vs
+    /// ignored alongside the raised alerts — the accounting the serving layer
+    /// returns to remote clients.
+    pub fn apply_batch<I: IntoIterator<Item = (VertexId, VertexId, Weight)>>(
+        &mut self,
+        updates: I,
+    ) -> BatchOutcome {
+        let mut outcome = BatchOutcome::default();
+        for (u, v, delta) in updates {
+            let before = self.observations;
+            if let Some(alert) = self.observe(u, v, delta) {
+                outcome.alerts.push(alert)
+            }
+            if self.observations > before {
+                outcome.applied += 1;
+            } else {
+                outcome.ignored += 1;
+            }
+        }
+        outcome
     }
 
     /// The current observed graph `G2` as a [`SignedGraph`].
@@ -186,24 +246,38 @@ impl StreamingDcs {
     pub fn mine_now(&mut self) -> ContrastAlert {
         self.updates_since_mine = 0;
         let gd = self.difference_snapshot();
-        let (report, density_difference) = match self.config.measure {
-            DensityMeasure::GraphAffinity => {
-                let solution = NewSea::default().solve(&gd);
-                let report = ContrastReport::for_embedding(&gd, &solution.embedding);
-                (report, solution.affinity_difference)
-            }
-            DensityMeasure::AverageDegree | DensityMeasure::TotalDegree => {
-                let solution = DcsGreedy::default().solve(&gd);
-                let report = ContrastReport::for_subset(&gd, &solution.subset);
-                (report, solution.density_difference)
-            }
-        };
-        ContrastAlert {
-            triggered: density_difference >= self.config.alert_threshold,
-            density_difference,
-            observations: self.observations,
-            report,
+        mine_difference(&gd, &self.config, self.observations)
+    }
+}
+
+/// Mines an already-materialised difference graph under `config`, producing the
+/// same [`ContrastAlert`] shape as [`StreamingDcs::mine_now`].
+///
+/// Exposed so callers that snapshot the difference graph themselves (the
+/// mining server's worker pool, which must not hold a session lock while
+/// solving) share one implementation with the in-process monitor.
+pub fn mine_difference(
+    gd: &SignedGraph,
+    config: &StreamingConfig,
+    observations: usize,
+) -> ContrastAlert {
+    let (report, density_difference) = match config.measure {
+        DensityMeasure::GraphAffinity => {
+            let solution = NewSea::default().solve(gd);
+            let report = ContrastReport::for_embedding(gd, &solution.embedding);
+            (report, solution.affinity_difference)
         }
+        DensityMeasure::AverageDegree | DensityMeasure::TotalDegree => {
+            let solution = DcsGreedy::default().solve(gd);
+            let report = ContrastReport::for_subset(gd, &solution.subset);
+            (report, solution.density_difference)
+        }
+    };
+    ContrastAlert {
+        triggered: density_difference >= config.alert_threshold,
+        density_difference,
+        observations,
+        report,
     }
 }
 
@@ -292,14 +366,14 @@ mod tests {
         assert_eq!(alert.observations, 3);
 
         // Now a dense anomalous triangle forms among {0,1,2}.
-        let alerts = monitor.observe_batch(vec![
-            (0, 1, 9.0),
-            (0, 2, 9.0),
-            (1, 2, 9.0),
-        ]);
+        let alerts = monitor.observe_batch(vec![(0, 1, 9.0), (0, 2, 9.0), (1, 2, 9.0)]);
         assert_eq!(alerts.len(), 1);
         let alert = &alerts[0];
-        assert!(alert.triggered, "affinity difference {}", alert.density_difference);
+        assert!(
+            alert.triggered,
+            "affinity difference {}",
+            alert.density_difference
+        );
         assert_eq!(alert.report.subset, vec![0, 1, 2]);
         assert!(alert.report.is_positive_clique);
     }
@@ -330,6 +404,78 @@ mod tests {
         assert_eq!(alert.report.subset, vec![0, 1, 2, 3]);
         // Degree-sum convention: each of the 4 vertices gains 3 edges of ~+3..4.
         assert!(alert.density_difference > 2.0);
+    }
+
+    #[test]
+    fn version_counts_applied_observations_only() {
+        let mut monitor = StreamingDcs::new(baseline(6), affinity_config(0, 0.0)).unwrap();
+        assert_eq!(monitor.version(), 0);
+        monitor.observe(0, 1, 2.0);
+        assert_eq!(monitor.version(), 1);
+        // Ignored updates (self-loop, out of range) do not move the version.
+        monitor.observe(3, 3, 1.0);
+        monitor.observe(0, 42, 1.0);
+        assert_eq!(monitor.version(), 1);
+        // Mining does not move the version either: same graph, same version.
+        let _ = monitor.mine_now();
+        assert_eq!(monitor.version(), 1);
+        monitor.observe(0, 1, -5.0);
+        assert_eq!(monitor.version(), 2);
+    }
+
+    #[test]
+    fn apply_batch_reports_applied_ignored_and_alerts() {
+        let mut monitor = StreamingDcs::new(baseline(8), affinity_config(2, 0.5)).unwrap();
+        let outcome = monitor.apply_batch(vec![
+            (0, 1, 6.0),
+            (2, 2, 1.0),  // self-loop: ignored
+            (0, 2, 6.0),  // completes the first period
+            (0, 99, 1.0), // out of range: ignored
+            (1, 2, 6.0),
+            (3, 4, 0.1), // completes the second period
+        ]);
+        assert_eq!(outcome.applied, 4);
+        assert_eq!(outcome.ignored, 2);
+        assert_eq!(outcome.alerts.len(), 2);
+        assert!(outcome.alerts[0].triggered);
+        assert_eq!(monitor.version(), 4);
+        assert_eq!(monitor.observations(), 4);
+    }
+
+    #[test]
+    fn accessors_expose_config_baseline_and_edges() {
+        let base = baseline(5);
+        let config = affinity_config(7, 1.25);
+        let mut monitor = StreamingDcs::new(base.clone(), config).unwrap();
+        assert_eq!(monitor.config().remine_every, 7);
+        assert_eq!(monitor.config().alert_threshold, 1.25);
+        assert_eq!(monitor.baseline(), &base);
+        assert_eq!(monitor.observed_edge_count(), 0);
+        monitor.observe(0, 1, 1.0);
+        monitor.observe(1, 2, 1.0);
+        assert_eq!(monitor.observed_edge_count(), 2);
+        monitor.observe(0, 1, -1.0); // drops the edge again
+        assert_eq!(monitor.observed_edge_count(), 1);
+    }
+
+    #[test]
+    fn alert_threshold_separates_quiet_from_anomalous_batches() {
+        let mut monitor = StreamingDcs::new(baseline(10), affinity_config(0, 3.0)).unwrap();
+        // Quiet traffic close to the baseline: mined alert must not trigger.
+        for v in 0..9u32 {
+            monitor.observe(v, v + 1, 1.05);
+        }
+        let quiet = monitor.mine_now();
+        assert!(
+            !quiet.triggered,
+            "quiet contrast {}",
+            quiet.density_difference
+        );
+        // A hot clique forms: the same threshold now triggers.
+        monitor.apply_batch(vec![(0, 1, 9.0), (0, 2, 9.0), (1, 2, 9.0)]);
+        let hot = monitor.mine_now();
+        assert!(hot.triggered);
+        assert_eq!(hot.report.subset, vec![0, 1, 2]);
     }
 
     #[test]

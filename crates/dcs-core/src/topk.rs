@@ -16,6 +16,8 @@ use crate::dcsga::{DcsgaConfig, DcsgaSolution, NewSea};
 /// [`DcsGreedy`] on the difference graph with previously reported vertices removed.
 ///
 /// Mining stops early when the best remaining density difference is no longer positive.
+/// Peeling is done in place on a single working copy
+/// ([`SignedGraph::remove_vertices_in_place`]) — no per-round graph clone.
 pub fn top_k_average_degree(gd: &SignedGraph, k: usize) -> Vec<DcsadSolution> {
     let mut remaining = gd.clone();
     let mut results = Vec::new();
@@ -28,7 +30,7 @@ pub fn top_k_average_degree(gd: &SignedGraph, k: usize) -> Vec<DcsadSolution> {
         if solution.density_difference <= 0.0 {
             break;
         }
-        remaining = remaining.without_vertices(&solution.subset);
+        remaining.remove_vertices_in_place(&solution.subset);
         results.push(solution);
     }
     // DCSGreedy is a heuristic, so a later (smaller) instance can occasionally yield a
@@ -44,6 +46,9 @@ pub fn top_k_average_degree(gd: &SignedGraph, k: usize) -> Vec<DcsadSolution> {
 
 /// Mines up to `k` vertex-disjoint DCS with respect to **graph affinity**, by iterating
 /// [`NewSea`] on the difference graph with previously reported supports removed.
+///
+/// The positive part is materialised once and then peeled in place
+/// ([`SignedGraph::remove_vertices_in_place`]) — no per-round graph clone.
 pub fn top_k_affinity(gd: &SignedGraph, k: usize, config: DcsgaConfig) -> Vec<DcsgaSolution> {
     let mut remaining = gd.positive_part();
     let mut results = Vec::new();
@@ -57,7 +62,7 @@ pub fn top_k_affinity(gd: &SignedGraph, k: usize, config: DcsgaConfig) -> Vec<Dc
             break;
         }
         let support: Vec<VertexId> = solution.support();
-        remaining = remaining.without_vertices(&support);
+        remaining.remove_vertices_in_place(&support);
         results.push(solution);
     }
     results.sort_by(|a, b| {

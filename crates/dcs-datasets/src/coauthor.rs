@@ -79,7 +79,10 @@ impl CoauthorConfig {
             .map(|(s, _)| *s)
             .collect();
         let total_planted: usize = sizes.iter().sum();
-        assert!(total_planted < n / 2, "planted groups must fit in the vertex set");
+        assert!(
+            total_planted < n / 2,
+            "planted groups must fit in the vertex set"
+        );
         let planted_start = (n - total_planted) as u32;
         let groups = allocate_groups(planted_start, &sizes);
 
@@ -89,8 +92,16 @@ impl CoauthorConfig {
         // Background collaborations: same topology, independent per-period counts.
         let weights = power_law_weights(planted_start as usize, self.gamma);
         for (u, v) in chung_lu_edges(&weights, self.background_edges, &mut rng) {
-            b1.add_edge(u, v, collaboration_weight(&mut rng, self.background_mean_weight));
-            b2.add_edge(u, v, collaboration_weight(&mut rng, self.background_mean_weight));
+            b1.add_edge(
+                u,
+                v,
+                collaboration_weight(&mut rng, self.background_mean_weight),
+            );
+            b2.add_edge(
+                u,
+                v,
+                collaboration_weight(&mut rng, self.background_mean_weight),
+            );
         }
 
         // Planted groups.

@@ -50,7 +50,11 @@ impl CollabConfig {
             num_edges,
             gamma: 2.1,
             mean_weight: 2.0,
-            planted_groups: vec![(2, 200.0), (26, 4.0)],
+            // The disappearing 26-group must stay the affinity optimum of its
+            // direction: a pair of background edges with geometric weight gap w
+            // has affinity w/2, so the group strength must clear the geometric
+            // tail (P(gap ≥ 2·strength) ≈ m·2^{-2·strength} must be small).
+            planted_groups: vec![(2, 200.0), (26, 12.0)],
             seed: 0xDB1C,
         }
     }

@@ -95,11 +95,23 @@ impl ConflictConfig {
 
         // Planted consistent group: heavy cooperation, little conflict.
         let consistent = groups[0].clone();
-        plant_dense_group(&mut b_pos, &consistent, self.consistent_group.1, 0.9, &mut rng);
+        plant_dense_group(
+            &mut b_pos,
+            &consistent,
+            self.consistent_group.1,
+            0.9,
+            &mut rng,
+        );
         plant_dense_group(&mut b_neg, &consistent, 0.5, 0.15, &mut rng);
         // Planted conflicting group: heavy conflict, little cooperation.
         let conflicting = groups[1].clone();
-        plant_dense_group(&mut b_neg, &conflicting, self.conflicting_group.1, 0.9, &mut rng);
+        plant_dense_group(
+            &mut b_neg,
+            &conflicting,
+            self.conflicting_group.1,
+            0.9,
+            &mut rng,
+        );
         plant_dense_group(&mut b_pos, &conflicting, 0.5, 0.15, &mut rng);
 
         GraphPair {

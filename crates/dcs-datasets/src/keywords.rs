@@ -207,7 +207,10 @@ mod tests {
         assert!(pair.g2.num_edges() > 500);
         // Ground truth contains emerging and disappearing topics but not the stable ones.
         assert!(pair.planted.iter().any(|g| g.kind == GroupKind::Emerging));
-        assert!(pair.planted.iter().any(|g| g.kind == GroupKind::Disappearing));
+        assert!(pair
+            .planted
+            .iter()
+            .any(|g| g.kind == GroupKind::Disappearing));
         assert!(pair.planted.iter().all(|g| g.name != "time series"));
     }
 

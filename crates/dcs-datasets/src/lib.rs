@@ -32,9 +32,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coauthor;
 pub mod collab;
 pub mod conflict;
-pub mod coauthor;
 pub mod keywords;
 pub mod planted;
 pub mod random;
@@ -57,7 +57,7 @@ pub use transactions::TransactionConfig;
 use dcs_graph::{SignedGraph, VertexId};
 
 /// Whether a planted group is denser in `G2` (emerging) or in `G1` (disappearing).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GroupKind {
     /// Denser in `G2` than in `G1` — found by mining `G_D = G2 − G1`.
     Emerging,

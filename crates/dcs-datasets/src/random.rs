@@ -19,9 +19,7 @@ pub fn power_law_weights(n: usize, gamma: f64) -> Vec<f64> {
     assert!(gamma > 1.0, "power-law exponent must exceed 1");
     let alpha = 1.0 / (gamma - 1.0);
     let offset = 1.0;
-    (0..n)
-        .map(|i| (i as f64 + offset).powf(-alpha))
-        .collect()
+    (0..n).map(|i| (i as f64 + offset).powf(-alpha)).collect()
 }
 
 /// Samples approximately `m_target` distinct undirected edges of a Chung–Lu graph with

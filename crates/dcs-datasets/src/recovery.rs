@@ -50,8 +50,7 @@ pub fn best_match(found: &[VertexId], planted: &[&PlantedGroup]) -> RecoveryRepo
     for group in planted {
         let j = jaccard(found, &group.vertices);
         if j > best.jaccard || best.best_group.is_empty() {
-            let group_set: std::collections::BTreeSet<_> =
-                group.vertices.iter().copied().collect();
+            let group_set: std::collections::BTreeSet<_> = group.vertices.iter().copied().collect();
             let inter = found_set.intersection(&group_set).count();
             best = RecoveryReport {
                 best_group: group.name.clone(),

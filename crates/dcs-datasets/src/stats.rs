@@ -3,7 +3,7 @@
 use dcs_graph::{SignedGraph, Weight};
 
 /// The statistics the paper reports per difference graph in Table II.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiffStats {
     /// Number of vertices `n`.
     pub n: usize,
@@ -46,7 +46,12 @@ impl DiffStats {
     pub fn as_row(&self) -> String {
         format!(
             "{:>9} {:>10} {:>10} {:>10.3} {:>10.3} {:>10.4}",
-            self.n, self.m_plus, self.m_minus, self.max_weight, self.min_weight, self.average_weight
+            self.n,
+            self.m_plus,
+            self.m_minus,
+            self.max_weight,
+            self.min_weight,
+            self.average_weight
         )
     }
 }
@@ -54,6 +59,19 @@ impl DiffStats {
 impl std::fmt::Display for DiffStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.as_row())
+    }
+}
+
+impl serde_json::Serialize for DiffStats {
+    fn to_json_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "n": self.n,
+            "m_plus": self.m_plus,
+            "m_minus": self.m_minus,
+            "max_weight": self.max_weight,
+            "min_weight": self.min_weight,
+            "average_weight": self.average_weight,
+        })
     }
 }
 

@@ -120,8 +120,14 @@ impl TrafficConfig {
 
     /// Generates the pair.
     pub fn generate(&self) -> GraphPair {
-        assert!(self.rows >= 4 && self.cols >= 4, "grid must be at least 4x4");
-        assert!(self.noise >= 0.0 && self.noise < 1.0, "noise must be in [0, 1)");
+        assert!(
+            self.rows >= 4 && self.cols >= 4,
+            "grid must be at least 4x4"
+        );
+        assert!(
+            self.noise >= 0.0 && self.noise < 1.0,
+            "noise must be in [0, 1)"
+        );
         for (window, _) in self.hotspots.iter().chain(self.cooled.iter()) {
             assert!(
                 window.row + window.height <= self.rows && window.col + window.width <= self.cols,
@@ -210,7 +216,10 @@ impl TrafficConfig {
 impl GridWindow {
     /// Whether the window contains the cell `(row, col)`.
     pub fn contains(&self, (row, col): (usize, usize)) -> bool {
-        row >= self.row && row < self.row + self.height && col >= self.col && col < self.col + self.width
+        row >= self.row
+            && row < self.row + self.height
+            && col >= self.col
+            && col < self.col + self.width
     }
 }
 

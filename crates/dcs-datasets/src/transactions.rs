@@ -71,7 +71,10 @@ impl TransactionConfig {
 
     /// Generates the pair.
     pub fn generate(&self) -> GraphPair {
-        assert!(self.num_accounts >= 64, "need a reasonably sized account set");
+        assert!(
+            self.num_accounts >= 64,
+            "need a reasonably sized account set"
+        );
         assert!(
             (0.0..1.0).contains(&self.background_fluctuation),
             "fluctuation must be in [0, 1)"
@@ -86,7 +89,10 @@ impl TransactionConfig {
             .map(|(s, _)| *s)
             .collect();
         let total_planted: usize = sizes.iter().sum();
-        assert!(total_planted < n / 2, "planted groups must fit in the account set");
+        assert!(
+            total_planted < n / 2,
+            "planted groups must fit in the account set"
+        );
         let planted_start = (n - total_planted) as u32;
         let groups = allocate_groups(planted_start, &sizes);
 
@@ -111,7 +117,13 @@ impl TransactionConfig {
             debug_assert_eq!(vertices.len(), size);
             // Dark networks keep a thin legitimate footprint in G1 (they do not appear
             // out of nowhere) and transact heavily in G2.
-            plant_dense_group(&mut b1, &vertices, self.background_mean_volume * 0.1, 0.3, &mut rng);
+            plant_dense_group(
+                &mut b1,
+                &vertices,
+                self.background_mean_volume * 0.1,
+                0.3,
+                &mut rng,
+            );
             plant_dense_group(&mut b2, &vertices, volume, 0.95, &mut rng);
             planted.push(PlantedGroup {
                 name: format!("dark-network-{idx}"),
@@ -123,7 +135,13 @@ impl TransactionConfig {
             let vertices = group_iter.next().expect("allocated");
             debug_assert_eq!(vertices.len(), size);
             plant_dense_group(&mut b1, &vertices, volume, 0.95, &mut rng);
-            plant_dense_group(&mut b2, &vertices, self.background_mean_volume * 0.1, 0.3, &mut rng);
+            plant_dense_group(
+                &mut b2,
+                &vertices,
+                self.background_mean_volume * 0.1,
+                0.3,
+                &mut rng,
+            );
             planted.push(PlantedGroup {
                 name: format!("dissolved-ring-{idx}"),
                 vertices,

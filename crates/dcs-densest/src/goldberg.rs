@@ -80,11 +80,7 @@ pub fn densest_subgraph_exact(g: &SignedGraph) -> DensestSubgraph {
         match candidate {
             Some(subset) if !subset.is_empty() => {
                 let density = g.average_degree(&subset);
-                if best
-                    .as_ref()
-                    .map(|(_, d)| density > *d)
-                    .unwrap_or(true)
-                {
+                if best.as_ref().map(|(_, d)| density > *d).unwrap_or(true) {
                     best = Some((subset, density));
                 }
                 lo = guess;
@@ -165,8 +161,7 @@ mod tests {
         assert!(n <= 16);
         let mut best: (Vec<VertexId>, Weight) = (vec![0], 0.0);
         for mask in 1u32..(1 << n) {
-            let subset: Vec<VertexId> =
-                (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+            let subset: Vec<VertexId> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
             let d = g.average_degree(&subset);
             if d > best.1 {
                 best = (subset, d);

@@ -228,7 +228,10 @@ impl MinDegreeQueue for SegmentTreeQueue {
             return None;
         }
         let (degree, vertex) = self.tree[1];
-        debug_assert!(degree.is_finite(), "alive vertices must have finite degrees");
+        debug_assert!(
+            degree.is_finite(),
+            "alive vertices must have finite degrees"
+        );
         self.alive[vertex as usize] = false;
         self.alive_count -= 1;
         self.update_leaf(vertex as usize, Weight::INFINITY);
@@ -287,8 +290,8 @@ mod tests {
         // pairs and the sortedness by degree must match.
         let mut a_sorted = a.clone();
         let mut c_sorted = c.clone();
-        a_sorted.sort_by(|x, y| x.0.cmp(&y.0));
-        c_sorted.sort_by(|x, y| x.0.cmp(&y.0));
+        a_sorted.sort_by_key(|x| x.0);
+        c_sorted.sort_by_key(|x| x.0);
         assert_eq!(a_sorted, c_sorted);
         for pair in c.windows(2) {
             assert!(pair[0].1 <= pair[1].1 + 1e-12);

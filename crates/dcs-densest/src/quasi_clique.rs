@@ -119,8 +119,7 @@ pub fn greedy_quasi_clique(g: &SignedGraph, alpha: Weight) -> QuasiCliqueResult 
 
     // Reconstruct the best prefix: all vertices except the first `n - best_size` removed.
     let mut subset: Vec<VertexId> = (0..n as VertexId).collect();
-    let removed: VertexSubset =
-        VertexSubset::from_slice(n, &removal_order[..n - best_size]);
+    let removed: VertexSubset = VertexSubset::from_slice(n, &removal_order[..n - best_size]);
     subset.retain(|&v| !removed.contains(v));
     QuasiCliqueResult::for_subset(g, subset, alpha)
 }

@@ -109,7 +109,8 @@ impl OriginalSea {
         loop {
             rounds += 1;
             // Shrink.
-            let shrink = replicator_dynamics(g, &x, self.config.shrink_stop, self.config.shrink_max_iters);
+            let shrink =
+                replicator_dynamics(g, &x, self.config.shrink_stop, self.config.shrink_max_iters);
             x = shrink.embedding;
             x.prune(1e-12);
             // Expansion candidates.

@@ -1,8 +1,6 @@
 //! Property-based tests of the classical densest-subgraph substrate.
 
-use dcs_densest::charikar::{
-    greedy_peeling, greedy_peeling_rescan, greedy_peeling_segment_tree,
-};
+use dcs_densest::charikar::{greedy_peeling, greedy_peeling_rescan, greedy_peeling_segment_tree};
 use dcs_densest::replicator::{kkt_gap_on_support, replicator_dynamics, ReplicatorStop};
 use dcs_densest::{densest_subgraph_exact, Embedding, OriginalSea};
 use dcs_graph::{GraphBuilder, SignedGraph};

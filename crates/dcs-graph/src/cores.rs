@@ -168,10 +168,8 @@ mod tests {
 
     #[test]
     fn star_graph() {
-        let g = GraphBuilder::from_edges(
-            5,
-            vec![(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)],
-        );
+        let g =
+            GraphBuilder::from_edges(5, vec![(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)]);
         let cd = core_decomposition(&g);
         assert_eq!(cd.core, vec![1, 1, 1, 1, 1]);
         assert_eq!(cd.degeneracy, 1);

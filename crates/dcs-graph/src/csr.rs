@@ -22,7 +22,6 @@ pub struct EdgeRef {
 /// * an ordinary weighted graph (`G1`, `G2`, `G_{D+}`) when all weights are positive, and
 /// * the *difference graph* `G_D` of the paper, whose weights may be negative.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SignedGraph {
     /// `offsets[v]..offsets[v+1]` indexes `neighbors`/`weights` for vertex `v`.
     offsets: Vec<usize>,
@@ -52,7 +51,10 @@ impl SignedGraph {
         debug_assert_eq!(*offsets.last().unwrap_or(&0), neighbors.len());
         let num_pos = weights.iter().filter(|w| **w > 0.0).count();
         let num_neg = weights.iter().filter(|w| **w < 0.0).count();
-        debug_assert!(neighbors.len() % 2 == 0, "undirected edges stored twice");
+        debug_assert!(
+            neighbors.len().is_multiple_of(2),
+            "undirected edges stored twice"
+        );
         SignedGraph {
             offsets,
             neighbors,
@@ -415,6 +417,49 @@ impl SignedGraph {
         builder.build()
     }
 
+    /// Removes all edges incident to `vertices` **in place**, compacting the
+    /// CSR arrays without allocating a new graph (the vertex set itself is
+    /// unchanged, so vertex ids stay stable — same contract as
+    /// [`Self::without_vertices`]).
+    ///
+    /// This is the peeling primitive of the top-k miners: peeling `k`
+    /// subgraphs out of one difference graph touches each remaining adjacency
+    /// entry once per round instead of rebuilding (re-bucketing, re-sorting)
+    /// a fresh graph per round.
+    pub fn remove_vertices_in_place(&mut self, vertices: &[VertexId]) {
+        if vertices.is_empty() {
+            return;
+        }
+        let exclude = VertexSubset::from_slice(self.num_vertices(), vertices);
+        let n = self.num_vertices();
+        let mut old_start = self.offsets[0];
+        let mut write = 0usize;
+        for v in 0..n {
+            let old_end = self.offsets[v + 1];
+            if !exclude.contains(v as VertexId) {
+                // `write` never overtakes the read cursor, so rows can be
+                // compacted front-to-back within the same buffers.
+                for read in old_start..old_end {
+                    let neighbor = self.neighbors[read];
+                    if !exclude.contains(neighbor) {
+                        self.neighbors[write] = neighbor;
+                        self.weights[write] = self.weights[read];
+                        write += 1;
+                    }
+                }
+            }
+            self.offsets[v + 1] = write;
+            old_start = old_end;
+        }
+        self.neighbors.truncate(write);
+        self.weights.truncate(write);
+        let num_pos = self.weights.iter().filter(|w| **w > 0.0).count();
+        let num_neg = self.weights.len() - num_pos;
+        self.num_positive_edges = num_pos / 2;
+        self.num_negative_edges = num_neg / 2;
+        self.num_edges = self.num_positive_edges + self.num_negative_edges;
+    }
+
     /// Returns the subgraph keeping only edges whose weight satisfies `keep`.
     pub fn filter_edges<F: Fn(Weight) -> bool>(&self, keep: F) -> SignedGraph {
         let mut builder = crate::GraphBuilder::new(self.num_vertices());
@@ -506,6 +551,67 @@ mod tests {
         assert_eq!(g.degree(3), 3);
         assert!((g.weighted_degree(3) - 3.0).abs() < 1e-12); // -2 + 3 + 2
         assert!((g.weighted_degree(0) - (-1.0)).abs() < 1e-12); // 1 - 2
+    }
+
+    #[test]
+    fn remove_vertices_in_place_matches_without_vertices() {
+        // Deterministic pseudo-random signed graph.
+        let mut state = 0x5eed_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (u32::MAX as f64 / 2.0) - 1.0
+        };
+        let n = 30;
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                let r = next();
+                if r.abs() > 0.6 {
+                    b.add_edge(u, v, r * 4.0);
+                }
+            }
+        }
+        let g = b.build();
+        for removal in [
+            vec![],
+            vec![0],
+            vec![3, 7, 11, 29],
+            (0..15).collect::<Vec<_>>(),
+        ] {
+            let copied = g.without_vertices(&removal);
+            let mut in_place = g.clone();
+            in_place.remove_vertices_in_place(&removal);
+            assert_eq!(in_place.num_edges(), copied.num_edges());
+            assert_eq!(in_place.num_positive_edges(), copied.num_positive_edges());
+            assert_eq!(in_place.num_negative_edges(), copied.num_negative_edges());
+            assert_eq!(in_place.num_vertices(), g.num_vertices());
+            for (u, v, w) in copied.edges() {
+                assert_eq!(in_place.edge_weight(u, v), Some(w));
+            }
+            for (u, v, _) in in_place.edges() {
+                assert!(copied.edge_weight(u, v).is_some(), "extra edge ({u},{v})");
+            }
+            for &v in &removal {
+                assert_eq!(in_place.degree(v), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_vertices_in_place_is_idempotent() {
+        let mut g = fig1_gd();
+        g.remove_vertices_in_place(&[3]);
+        assert_eq!(g.num_edges(), 2); // (0,1) and (2,4) survive
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(2, 4), Some(-1.0));
+        let before = g.clone();
+        g.remove_vertices_in_place(&[3]);
+        assert_eq!(g, before);
+        g.remove_vertices_in_place(&[0, 1, 2, 4]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_vertices(), 5);
     }
 
     #[test]

@@ -101,7 +101,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<SignedGraph, IoErr
 /// Writes the graph as an edge list (`u v w` per line, each undirected edge once).
 pub fn write_edge_list<W: Write>(g: &SignedGraph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v, weight) in g.edges() {
         writeln!(w, "{u} {v} {weight}")?;
     }
@@ -146,10 +151,7 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let g = crate::GraphBuilder::from_edges(
-            4,
-            vec![(0, 1, 1.5), (1, 2, -2.0), (0, 3, 4.0)],
-        );
+        let g = crate::GraphBuilder::from_edges(4, vec![(0, 1, 1.5), (1, 2, -2.0), (0, 3, 4.0)]);
         let mut buf = Vec::new();
         write_edge_list(&g, &mut buf).unwrap();
         let g2 = read_edge_list(buf.as_slice()).unwrap();

@@ -258,7 +258,12 @@ pub fn write_labeled_edge_list<W: Write>(
     writer: W,
 ) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v, weight) in g.edges() {
         let lu = labels
             .label_of(u)
@@ -297,7 +302,10 @@ mod tests {
     fn labels_of_falls_back_to_numeric_names() {
         let mut labels = VertexLabels::new();
         labels.intern("alice");
-        assert_eq!(labels.labels_of(&[0, 3]), vec!["alice".to_owned(), "v3".to_owned()]);
+        assert_eq!(
+            labels.labels_of(&[0, 3]),
+            vec!["alice".to_owned(), "v3".to_owned()]
+        );
     }
 
     #[test]

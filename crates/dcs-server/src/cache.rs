@@ -1,0 +1,149 @@
+//! Per-session memoization of mining results.
+
+use std::collections::HashMap;
+
+use serde_json::Value;
+
+/// Memoizes mining results per `(graph version, job key)`.
+///
+/// A cached entry is valid only while the session's graph version equals the
+/// version it was computed at; stale entries are overwritten on store.  The
+/// cache is bounded: when full, storing a new key clears entries computed at
+/// older versions first and falls back to clearing everything (mining results
+/// are cheap to recompute relative to unbounded memory growth).
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: HashMap<String, (u64, Value)>,
+    hits: u64,
+    misses: u64,
+    capacity: usize,
+}
+
+const DEFAULT_CAPACITY: usize = 128;
+
+impl ResultCache {
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache bounded to `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ResultCache {
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up `key` at the given graph version, counting a hit or miss.
+    pub fn lookup(&mut self, key: &str, version: u64) -> Option<Value> {
+        match self.entries.get(key) {
+            Some((v, value)) if *v == version => {
+                self.hits += 1;
+                Some(value.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a result computed at `version` under `key`.
+    pub fn store(&mut self, key: String, version: u64, value: Value) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // Evict entries stale relative to the version being stored.
+            self.entries.retain(|_, (v, _)| *v == version);
+            if self.entries.len() >= self.capacity {
+                self.entries.clear();
+            }
+        }
+        self.entries.insert(key, (version, value));
+    }
+
+    /// Drops everything (used when the baseline is replaced).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total lookups that were answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total lookups that required computing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn hit_only_on_matching_version() {
+        let mut cache = ResultCache::new();
+        assert!(cache.lookup("mine|affinity", 3).is_none());
+        cache.store("mine|affinity".into(), 3, json!({"x": 1}));
+        assert_eq!(cache.lookup("mine|affinity", 3), Some(json!({"x": 1})));
+        // The graph moved: the entry no longer applies.
+        assert!(cache.lookup("mine|affinity", 4).is_none());
+        // Different job key at the same version: miss.
+        assert!(cache.lookup("topk|3|affinity", 3).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn store_overwrites_stale_entry() {
+        let mut cache = ResultCache::new();
+        cache.store("k".into(), 1, json!(1));
+        cache.store("k".into(), 2, json!(2));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup("k", 1).is_none());
+        assert_eq!(cache.lookup("k", 2), Some(json!(2)));
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut cache = ResultCache::with_capacity(4);
+        for i in 0..4 {
+            cache.store(format!("old-{i}"), 1, json!(i));
+        }
+        assert_eq!(cache.len(), 4);
+        // Storing at a newer version evicts the stale generation.
+        cache.store("new".into(), 2, json!("fresh"));
+        assert!(cache.len() <= 4);
+        assert_eq!(cache.lookup("new", 2), Some(json!("fresh")));
+        // Same-version overflow falls back to a full clear but still stores.
+        let mut same = ResultCache::with_capacity(2);
+        same.store("a".into(), 7, json!(1));
+        same.store("b".into(), 7, json!(2));
+        same.store("c".into(), 7, json!(3));
+        assert!(same.len() <= 2);
+        assert_eq!(same.lookup("c", 7), Some(json!(3)));
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let mut cache = ResultCache::new();
+        cache.store("k".into(), 1, json!(1));
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

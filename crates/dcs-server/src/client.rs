@@ -1,0 +1,161 @@
+//! A blocking NDJSON client for the mining server.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use dcs_graph::{VertexId, Weight};
+use serde_json::{json, Value};
+
+use crate::error::ServerError;
+
+/// A blocking client speaking the server's NDJSON protocol over one TCP
+/// connection.  All helpers return the full response object after checking
+/// `ok`; protocol failures surface as [`ServerError::Remote`].
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServerError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request object and waits for its response line.
+    pub fn request(&mut self, request: Value) -> Result<Value, ServerError> {
+        let mut text = serde_json::to_string(&request)
+            .map_err(|e| ServerError::BadRequest(format!("unserializable request: {e}")))?;
+        text.push('\n');
+        self.writer.write_all(text.as_bytes())?;
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Err(ServerError::ConnectionClosed);
+        }
+        let response: Value = serde_json::from_str(line.trim_end())
+            .map_err(|e| ServerError::Remote(format!("unparseable response: {e}")))?;
+        if response["ok"] == true {
+            Ok(response)
+        } else {
+            Err(ServerError::Remote(
+                response["error"]
+                    .as_str()
+                    .unwrap_or("unknown error")
+                    .to_string(),
+            ))
+        }
+    }
+
+    /// `ping` round trip.
+    pub fn ping(&mut self) -> Result<Value, ServerError> {
+        self.request(json!({ "cmd": "ping" }))
+    }
+
+    /// Creates a session; `options` may carry `remine_every`,
+    /// `alert_threshold` and `measure` (any other fields are ignored by the
+    /// server).
+    pub fn create_session(
+        &mut self,
+        name: &str,
+        vertices: usize,
+        options: Value,
+    ) -> Result<Value, ServerError> {
+        let mut request = options;
+        if !matches!(request, Value::Object(_)) {
+            request = json!({});
+        }
+        request["cmd"] = json!("create_session");
+        request["session"] = json!(name);
+        request["vertices"] = json!(vertices);
+        self.request(request)
+    }
+
+    /// Replaces the session's baseline graph.
+    pub fn load_baseline(
+        &mut self,
+        name: &str,
+        edges: &[(VertexId, VertexId, Weight)],
+    ) -> Result<Value, ServerError> {
+        self.request(json!({
+            "cmd": "load_baseline",
+            "session": name,
+            "edges": triples_to_json(edges),
+        }))
+    }
+
+    /// Streams a batch of weight updates into the observed graph.
+    pub fn observe(
+        &mut self,
+        name: &str,
+        updates: &[(VertexId, VertexId, Weight)],
+    ) -> Result<Value, ServerError> {
+        self.request(json!({
+            "cmd": "observe",
+            "session": name,
+            "updates": triples_to_json(updates),
+        }))
+    }
+
+    /// Mines the current DCS under the session's configured measure.
+    pub fn mine(&mut self, name: &str) -> Result<Value, ServerError> {
+        self.request(json!({ "cmd": "mine", "session": name }))
+    }
+
+    /// Mines the current DCS under an explicit measure (`"affinity"` or
+    /// `"degree"`).
+    pub fn mine_with_measure(&mut self, name: &str, measure: &str) -> Result<Value, ServerError> {
+        self.request(json!({ "cmd": "mine", "session": name, "measure": measure }))
+    }
+
+    /// Mines up to `k` vertex-disjoint contrast subgraphs.
+    pub fn topk(&mut self, name: &str, k: usize) -> Result<Value, ServerError> {
+        self.request(json!({ "cmd": "topk", "session": name, "k": k }))
+    }
+
+    /// Runs an α-sweep; `alphas = None` uses the server's default grid.
+    pub fn sweep(&mut self, name: &str, alphas: Option<&[f64]>) -> Result<Value, ServerError> {
+        match alphas {
+            None => self.request(json!({ "cmd": "sweep", "session": name })),
+            Some(grid) => self.request(json!({
+                "cmd": "sweep",
+                "session": name,
+                "alphas": grid.to_vec(),
+            })),
+        }
+    }
+
+    /// Session counters.
+    pub fn stats(&mut self, name: &str) -> Result<Value, ServerError> {
+        self.request(json!({ "cmd": "stats", "session": name }))
+    }
+
+    /// Names of live sessions.
+    pub fn list_sessions(&mut self) -> Result<Value, ServerError> {
+        self.request(json!({ "cmd": "list_sessions" }))
+    }
+
+    /// Drops a session.
+    pub fn drop_session(&mut self, name: &str) -> Result<Value, ServerError> {
+        self.request(json!({ "cmd": "drop_session", "session": name }))
+    }
+
+    /// Server-wide counters.
+    pub fn server_stats(&mut self) -> Result<Value, ServerError> {
+        self.request(json!({ "cmd": "server_stats" }))
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown(&mut self) -> Result<Value, ServerError> {
+        self.request(json!({ "cmd": "shutdown" }))
+    }
+}
+
+fn triples_to_json(triples: &[(VertexId, VertexId, Weight)]) -> Value {
+    Value::Array(triples.iter().map(|&(u, v, w)| json!([u, v, w])).collect())
+}

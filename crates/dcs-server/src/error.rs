@@ -1,0 +1,76 @@
+//! Error type of the mining service.
+
+/// Everything that can go wrong while serving or speaking the protocol.
+#[derive(Debug)]
+pub enum ServerError {
+    /// A request was not a JSON object or lacked required fields.
+    BadRequest(String),
+    /// The named session does not exist.
+    UnknownSession(String),
+    /// A session with the name already exists.
+    SessionExists(String),
+    /// The mining-job queue is full.
+    Busy,
+    /// The underlying mining library rejected the input.
+    Dcs(dcs_core::DcsError),
+    /// A socket-level failure.
+    Io(std::io::Error),
+    /// The peer answered with `ok: false` (client side).
+    Remote(String),
+    /// The connection closed before a response arrived (client side).
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServerError::UnknownSession(name) => write!(f, "unknown session {name:?}"),
+            ServerError::SessionExists(name) => write!(f, "session {name:?} already exists"),
+            ServerError::Busy => write!(f, "server busy: job queue full"),
+            ServerError::Dcs(e) => write!(f, "{e}"),
+            ServerError::Io(e) => write!(f, "I/O error: {e}"),
+            ServerError::Remote(msg) => write!(f, "server error: {msg}"),
+            ServerError::ConnectionClosed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Dcs(e) => Some(e),
+            ServerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dcs_core::DcsError> for ServerError {
+    fn from(e: dcs_core::DcsError) -> Self {
+        ServerError::Dcs(e)
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ServerError::BadRequest("no cmd".into())
+            .to_string()
+            .contains("no cmd"));
+        assert!(ServerError::UnknownSession("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(ServerError::Busy.to_string().contains("busy"));
+        assert!(ServerError::ConnectionClosed.to_string().contains("closed"));
+    }
+}

@@ -1,0 +1,481 @@
+//! Mining jobs and the fixed worker-thread pool that executes them.
+//!
+//! Mining is CPU-bound, so connection threads never solve anything themselves:
+//! they submit a [`JobSpec`] and block on the job's reply channel.  The pool
+//! has a fixed number of workers and a **bounded** queue — when the queue is
+//! full, submission fails immediately with [`ServerError::Busy`] and the
+//! client sees a `busy` error instead of unbounded latency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use dcs_core::dcsga::DcsgaConfig;
+use dcs_core::{
+    alpha_sweep, default_alpha_grid, mine_difference, top_k_affinity, top_k_average_degree,
+    ContrastReport, DensityMeasure,
+};
+use serde_json::{json, Value};
+
+use crate::error::ServerError;
+use crate::protocol::{alert_to_json, measure_token, report_to_json};
+use crate::session::SharedSession;
+
+/// Description of one mining job; doubles as the cache key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// Mine the current DCS (the `mine` command).
+    Mine {
+        /// Measure override; `None` uses the session's configured measure.
+        measure: Option<DensityMeasure>,
+    },
+    /// Mine up to `k` vertex-disjoint contrast subgraphs (the `topk` command).
+    TopK {
+        /// Maximum number of subgraphs.
+        k: usize,
+        /// Measure override.
+        measure: Option<DensityMeasure>,
+    },
+    /// α-sweep of the scaled difference graph (the `sweep` command).
+    Sweep {
+        /// α grid; `None` uses [`default_alpha_grid`].
+        alphas: Option<Vec<f64>>,
+        /// Measure override.
+        measure: Option<DensityMeasure>,
+    },
+}
+
+impl JobSpec {
+    /// The cache key of this job given the session's default measure.  Two
+    /// requests with the same key against the same graph version are
+    /// interchangeable.
+    pub fn cache_key(&self, default_measure: DensityMeasure) -> String {
+        let resolved = |m: &Option<DensityMeasure>| measure_token(m.unwrap_or(default_measure));
+        match self {
+            JobSpec::Mine { measure } => format!("mine|{}", resolved(measure)),
+            JobSpec::TopK { k, measure } => format!("topk|{k}|{}", resolved(measure)),
+            JobSpec::Sweep { alphas, measure } => {
+                let grid = match alphas {
+                    None => "default".to_string(),
+                    Some(values) => values
+                        .iter()
+                        .map(|a| format!("{a}"))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                };
+                format!("sweep|{grid}|{}", resolved(measure))
+            }
+        }
+    }
+
+    /// Executes the job against a session.
+    ///
+    /// The session lock is held only while snapshotting inputs and while
+    /// storing the result — never while solving — so observers keep streaming
+    /// into the session during long mines.
+    pub fn execute(&self, session: &SharedSession) -> Result<Value, ServerError> {
+        // Snapshot under the lock.
+        let (key, version, body) = {
+            let mut guard = session.lock().unwrap_or_else(PoisonError::into_inner);
+            let default_measure = guard.monitor().config().measure;
+            let key = self.cache_key(default_measure);
+            let version = guard.version();
+            if let Some(mut hit) = guard.cache_mut().lookup(&key, version) {
+                hit["cached"] = json!(true);
+                return Ok(hit);
+            }
+            let snapshot = self.snapshot(&guard);
+            drop(guard);
+
+            // Solve without holding the session lock.
+            let body = self.solve(snapshot, version)?;
+            (key, version, body)
+        };
+
+        // Store for future identical queries at this version.
+        let mut guard = session.lock().unwrap_or_else(PoisonError::into_inner);
+        if guard.version() == version {
+            guard.cache_mut().store(key, version, body.clone());
+        }
+        drop(guard);
+
+        let mut response = body;
+        response["cached"] = json!(false);
+        Ok(response)
+    }
+
+    fn snapshot(&self, session: &crate::session::Session) -> Snapshot {
+        let monitor = session.monitor();
+        match self {
+            JobSpec::Mine { measure } => {
+                let mut config = *monitor.config();
+                if let Some(m) = measure {
+                    config.measure = *m;
+                }
+                Snapshot::Mine {
+                    gd: monitor.difference_snapshot(),
+                    config,
+                    observations: monitor.observations(),
+                }
+            }
+            JobSpec::TopK { k, measure } => Snapshot::TopK {
+                gd: monitor.difference_snapshot(),
+                k: *k,
+                measure: measure.unwrap_or(monitor.config().measure),
+            },
+            JobSpec::Sweep { alphas, measure } => Snapshot::Sweep {
+                g2: monitor.observed_graph(),
+                g1: monitor.baseline().clone(),
+                alphas: alphas.clone().unwrap_or_else(default_alpha_grid),
+                measure: measure.unwrap_or(monitor.config().measure),
+            },
+        }
+    }
+
+    fn solve(&self, snapshot: Snapshot, version: u64) -> Result<Value, ServerError> {
+        match snapshot {
+            Snapshot::Mine {
+                gd,
+                config,
+                observations,
+            } => {
+                let alert = mine_difference(&gd, &config, observations);
+                Ok(json!({ "version": version, "result": alert_to_json(&alert) }))
+            }
+            Snapshot::TopK { gd, k, measure } => {
+                let mut results = Vec::new();
+                match measure {
+                    DensityMeasure::GraphAffinity => {
+                        for (rank, solution) in top_k_affinity(&gd, k, DcsgaConfig::default())
+                            .iter()
+                            .enumerate()
+                        {
+                            let report = ContrastReport::for_embedding(&gd, &solution.embedding);
+                            let mut value = report_to_json(&report);
+                            value["rank"] = json!(rank + 1);
+                            value["objective"] = json!(solution.affinity_difference);
+                            results.push(value);
+                        }
+                    }
+                    DensityMeasure::AverageDegree | DensityMeasure::TotalDegree => {
+                        for (rank, solution) in top_k_average_degree(&gd, k).iter().enumerate() {
+                            let report = ContrastReport::for_subset(&gd, &solution.subset);
+                            let mut value = report_to_json(&report);
+                            value["rank"] = json!(rank + 1);
+                            value["objective"] = json!(solution.density_difference);
+                            results.push(value);
+                        }
+                    }
+                }
+                Ok(json!({ "version": version, "results": results }))
+            }
+            Snapshot::Sweep {
+                g2,
+                g1,
+                alphas,
+                measure,
+            } => {
+                let points = alpha_sweep(&g2, &g1, &alphas, measure)?;
+                let rendered: Vec<Value> = points
+                    .iter()
+                    .map(|point| {
+                        let mut value = report_to_json(&point.report);
+                        value["alpha"] = json!(point.alpha);
+                        value["objective"] = json!(point.objective);
+                        value
+                    })
+                    .collect();
+                Ok(json!({ "version": version, "points": rendered }))
+            }
+        }
+    }
+}
+
+/// Inputs captured under the session lock, solved outside it.
+enum Snapshot {
+    Mine {
+        gd: dcs_graph::SignedGraph,
+        config: dcs_core::StreamingConfig,
+        observations: usize,
+    },
+    TopK {
+        gd: dcs_graph::SignedGraph,
+        k: usize,
+        measure: DensityMeasure,
+    },
+    Sweep {
+        g2: dcs_graph::SignedGraph,
+        g1: dcs_graph::SignedGraph,
+        alphas: Vec<f64>,
+        measure: DensityMeasure,
+    },
+}
+
+/// Any unit of work the pool can run (mining queries, cadence observes).
+pub type Task = Box<dyn FnOnce() -> Result<Value, ServerError> + Send + 'static>;
+
+struct Job {
+    task: Task,
+    reply: SyncSender<Result<Value, ServerError>>,
+}
+
+/// A fixed set of worker threads draining a bounded job queue.
+pub struct WorkerPool {
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    executed: Arc<AtomicU64>,
+    rejected: AtomicU64,
+    threads: usize,
+    capacity: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers behind a queue of `capacity` pending jobs.
+    pub fn new(threads: usize, capacity: usize) -> Self {
+        let threads = threads.max(1);
+        let capacity = capacity.max(1);
+        let (sender, receiver) = sync_channel::<Job>(capacity);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let executed = Arc::new(AtomicU64::new(0));
+        let workers = (0..threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let executed = Arc::clone(&executed);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let guard = receiver.lock().unwrap_or_else(PoisonError::into_inner);
+                        guard.recv()
+                    };
+                    let Ok(job) = job else {
+                        break; // queue closed: pool is shutting down
+                    };
+                    let outcome = (job.task)();
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    // A dropped reply receiver (client went away) is fine.
+                    let _ = job.reply.send(outcome);
+                })
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+            executed,
+            rejected: AtomicU64::new(0),
+            threads,
+            capacity,
+        }
+    }
+
+    /// Submits a mining job; fails with [`ServerError::Busy`] when the queue
+    /// is full.  On success, the returned receiver yields the job's result
+    /// exactly once.
+    pub fn submit(
+        &self,
+        session: SharedSession,
+        spec: JobSpec,
+    ) -> Result<Receiver<Result<Value, ServerError>>, ServerError> {
+        self.submit_task(Box::new(move || spec.execute(&session)))
+    }
+
+    /// Submits an arbitrary task (used for observes on cadence-mining
+    /// sessions, which can trigger a solve and therefore must not run on
+    /// connection threads).  Same bounded-queue semantics as [`Self::submit`].
+    pub fn submit_task(
+        &self,
+        task: Task,
+    ) -> Result<Receiver<Result<Value, ServerError>>, ServerError> {
+        let (reply, receiver) = sync_channel(1);
+        let job = Job { task, reply };
+        let sender = self.sender.as_ref().ok_or(ServerError::Busy)?;
+        match sender.try_send(job) {
+            Ok(()) => Ok(receiver),
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServerError::Busy)
+            }
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs rejected because the queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Closes the queue and joins every worker.
+    pub fn shutdown(&mut self) {
+        self.sender = None; // dropping the sender unblocks recv()
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use dcs_core::StreamingConfig;
+
+    fn shared_session(vertices: usize) -> SharedSession {
+        let config = StreamingConfig {
+            remine_every: 0,
+            alert_threshold: 1.0,
+            measure: DensityMeasure::GraphAffinity,
+        };
+        Arc::new(Mutex::new(Session::new(vertices, config).unwrap()))
+    }
+
+    fn seed_triangle(session: &SharedSession) {
+        session
+            .lock()
+            .unwrap()
+            .observe(&[(0, 1, 4.0), (0, 2, 4.0), (1, 2, 4.0), (3, 4, 0.5)]);
+    }
+
+    #[test]
+    fn mine_job_finds_the_triangle_and_caches() {
+        let session = shared_session(6);
+        seed_triangle(&session);
+        let spec = JobSpec::Mine { measure: None };
+        let first = spec.execute(&session).unwrap();
+        assert_eq!(first["cached"], false);
+        assert_eq!(first["result"]["subset"], serde_json::json!([0, 1, 2]));
+        assert_eq!(first["result"]["triggered"], true);
+        let second = spec.execute(&session).unwrap();
+        assert_eq!(second["cached"], true);
+        assert_eq!(second["result"]["subset"], serde_json::json!([0, 1, 2]));
+        // New observations invalidate the cache.
+        session.lock().unwrap().observe(&[(3, 4, 1.0)]);
+        let third = spec.execute(&session).unwrap();
+        assert_eq!(third["cached"], false);
+    }
+
+    #[test]
+    fn distinct_specs_do_not_share_cache_entries() {
+        let session = shared_session(6);
+        seed_triangle(&session);
+        let mine = JobSpec::Mine { measure: None };
+        let mine_degree = JobSpec::Mine {
+            measure: Some(DensityMeasure::AverageDegree),
+        };
+        assert_ne!(
+            mine.cache_key(DensityMeasure::GraphAffinity),
+            mine_degree.cache_key(DensityMeasure::GraphAffinity)
+        );
+        mine.execute(&session).unwrap();
+        let degree = mine_degree.execute(&session).unwrap();
+        assert_eq!(degree["cached"], false);
+        // But an explicit measure equal to the default shares the key.
+        let explicit = JobSpec::Mine {
+            measure: Some(DensityMeasure::GraphAffinity),
+        };
+        assert_eq!(explicit.execute(&session).unwrap()["cached"], true);
+    }
+
+    #[test]
+    fn topk_and_sweep_jobs_produce_ranked_output() {
+        let session = shared_session(8);
+        session
+            .lock()
+            .unwrap()
+            .observe(&[(0, 1, 6.0), (0, 2, 6.0), (1, 2, 6.0), (4, 5, 3.0)]);
+        let topk = JobSpec::TopK {
+            k: 3,
+            measure: None,
+        }
+        .execute(&session)
+        .unwrap();
+        let results = topk["results"].as_array().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0]["rank"], 1);
+        assert_eq!(results[0]["subset"], serde_json::json!([0, 1, 2]));
+        assert_eq!(results[1]["subset"], serde_json::json!([4, 5]));
+
+        let sweep = JobSpec::Sweep {
+            alphas: Some(vec![0.0, 1.0]),
+            measure: None,
+        }
+        .execute(&session)
+        .unwrap();
+        let points = sweep["points"].as_array().unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0]["alpha"], 0);
+        assert_eq!(points[1]["alpha"], 1);
+    }
+
+    #[test]
+    fn pool_executes_submitted_jobs() {
+        let pool = WorkerPool::new(2, 8);
+        let session = shared_session(6);
+        seed_triangle(&session);
+        let receivers: Vec<_> = (0..6)
+            .map(|_| {
+                pool.submit(Arc::clone(&session), JobSpec::Mine { measure: None })
+                    .unwrap()
+            })
+            .collect();
+        let mut cached = 0;
+        for receiver in receivers {
+            let value = receiver.recv().unwrap().unwrap();
+            assert_eq!(value["result"]["subset"], serde_json::json!([0, 1, 2]));
+            if value["cached"] == true {
+                cached += 1;
+            }
+        }
+        assert!(cached >= 4, "later identical jobs come from the cache");
+        assert_eq!(pool.executed(), 6);
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.capacity(), 8);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        // One worker, capacity-1 queue, and jobs that block on the session
+        // lock held by the test.  At most one job can sit in the worker's
+        // hands (blocked on the lock) and one in the queue, so among three
+        // submissions at least one must bounce with Busy — independent of
+        // how the worker thread is scheduled.
+        let pool = WorkerPool::new(1, 1);
+        let session = shared_session(6);
+        seed_triangle(&session);
+        let guard = session.lock().unwrap();
+        let mut receivers = Vec::new();
+        let mut busy = 0usize;
+        for _ in 0..3 {
+            match pool.submit(Arc::clone(&session), JobSpec::Mine { measure: None }) {
+                Ok(receiver) => receivers.push(receiver),
+                Err(ServerError::Busy) => busy += 1,
+                Err(other) => panic!("unexpected submit error: {other}"),
+            }
+        }
+        assert!(busy >= 1, "bounded queue must reject overload");
+        assert!(pool.rejected() >= 1);
+        // Unblock the session: every accepted job completes successfully.
+        drop(guard);
+        for receiver in receivers {
+            assert!(receiver.recv().unwrap().is_ok());
+        }
+    }
+}

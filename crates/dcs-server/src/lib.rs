@@ -1,0 +1,127 @@
+//! # dcs-server — a long-running density-contrast mining service
+//!
+//! The paper motivates DCS mining with always-on workloads: traffic-anomaly
+//! detection, emerging-community discovery, dark-network monitoring.  In all
+//! of them the historical baseline `G1` is fixed while the observed graph `G2`
+//! arrives as a stream.  This crate turns the batch algorithms of `dcs-core`
+//! into a service:
+//!
+//! * a [`SessionRegistry`] of named **sessions**, each holding a baseline
+//!   graph, a live observed graph fed by incremental weight updates
+//!   (a [`dcs_core::StreamingDcs`]), and a monotone **graph version**;
+//! * a fixed-size [`WorkerPool`] with a bounded job queue, so many clients
+//!   can mine concurrently without oversubscribing cores (excess load is
+//!   rejected with a `busy` error instead of piling up);
+//! * a per-session **result cache** keyed by `(graph version, job spec)` —
+//!   repeated queries against an unchanged graph are answered without
+//!   re-mining and marked `"cached": true`;
+//! * a **newline-delimited JSON protocol over TCP** served by [`Server`],
+//!   with a matching blocking [`Client`].
+//!
+//! ## Wire protocol
+//!
+//! One request per line, one response per line, both JSON objects (NDJSON).
+//! Every request carries a `"cmd"` field; every response carries
+//! `"ok": true|false`, and failed responses carry `"error": "<message>"`.
+//! If a request has an `"id"` field it is echoed verbatim in the response so
+//! pipelined clients can match responses to requests.
+//!
+//! | `cmd`            | request fields                                             | response fields (besides `ok`) |
+//! |------------------|------------------------------------------------------------|--------------------------------|
+//! | `ping`           | —                                                          | `pong: true`                   |
+//! | `create_session` | `session`, `vertices`, opt. `remine_every` (default 0), `alert_threshold` (default 0), `measure` (`"affinity"` \| `"degree"`, default affinity) | `session`, `vertices` |
+//! | `load_baseline`  | `session`, `edges: [[u, v, w], …]` — replaces the baseline and resets observations (the version advances, never resets) | `baseline_edges`, `version` |
+//! | `observe`        | `session`, `updates: [[u, v, delta], …]` — batched weight updates to the observed graph | `applied`, `ignored`, `version`, `alerts: [alert…]` |
+//! | `mine`           | `session`, opt. `measure` — mine the current DCS (runs on the worker pool) | `cached`, `version`, `result: alert` |
+//! | `topk`           | `session`, `k`, opt. `measure` — up to `k` vertex-disjoint contrast subgraphs | `cached`, `version`, `results: [group…]` |
+//! | `sweep`          | `session`, opt. `alphas: [f…]` (default grid), `measure` — α-sweep of `A2 − α·A1` | `cached`, `version`, `points: [point…]` |
+//! | `stats`          | `session`                                                  | `vertices`, `observations`, `version`, `observed_edges`, `baseline_edges`, `cache: {entries, hits, misses}` |
+//! | `list_sessions`  | —                                                          | `sessions: [name…]`            |
+//! | `drop_session`   | `session`                                                  | `dropped: true`                |
+//! | `server_stats`   | —                                                          | `sessions`, `worker_threads`, `queue_capacity`, `jobs_executed`, `jobs_rejected` |
+//! | `shutdown`       | —                                                          | `shutting_down: true`          |
+//!
+//! An **alert** object is
+//! `{"triggered": bool, "density_difference": f, "observations": n,
+//!   "subset": [v…], "size": n, "average_degree_difference": f,
+//!   "affinity_difference": f, "edge_density_difference": f,
+//!   "total_degree_difference": f, "is_positive_clique": bool,
+//!   "is_connected": bool}`;
+//! a **group** (top-k) is the same report shape plus `"rank"` and
+//! `"objective"`; a **point** (sweep) is the report shape plus `"alpha"` and
+//! `"objective"`.
+//!
+//! The mining commands (`mine`, `topk`, `sweep`) — and `observe` on sessions
+//! with `remine_every > 0`, since completing a period triggers a solve — are
+//! executed by the worker pool; when the bounded queue is full the server
+//! answers `{"ok": false, "error": "server busy: job queue full"}`
+//! immediately rather than queueing unboundedly.  All other commands are
+//! handled inline by the connection thread.
+//!
+//! ## Example
+//!
+//! ```
+//! use dcs_server::{Client, Server, ServerConfig};
+//! use serde_json::json;
+//!
+//! let handle = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap().start();
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//!
+//! client.create_session("demo", 5, json!({"alert_threshold": 1.0})).unwrap();
+//! client.load_baseline("demo", &[(0, 1, 1.0)]).unwrap();
+//! client.observe("demo", &[(0, 1, 4.0), (0, 2, 3.0), (1, 2, 3.0)]).unwrap();
+//!
+//! let mined = client.mine("demo").unwrap();
+//! assert_eq!(mined["result"]["subset"], serde_json::json!([0, 1, 2]));
+//! assert_eq!(mined["cached"], false);
+//! // Same graph version, same job: served from the session cache.
+//! assert_eq!(client.mine("demo").unwrap()["cached"], true);
+//!
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod client;
+mod error;
+mod jobs;
+mod protocol;
+mod server;
+mod session;
+
+pub use cache::ResultCache;
+pub use client::Client;
+pub use error::ServerError;
+pub use jobs::{JobSpec, WorkerPool};
+pub use protocol::{alert_to_json, parse_measure, report_to_json};
+pub use server::{Server, ServerHandle};
+pub use session::{Session, SessionRegistry, SessionStats};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of mining worker threads (clamped to at least 1).  Defaults to
+    /// the machine's available parallelism.
+    pub worker_threads: usize,
+    /// Capacity of the bounded mining-job queue; a full queue rejects further
+    /// mining requests with a `busy` error.
+    pub queue_capacity: usize,
+    /// Maximum vertices accepted by `create_session` (guards the server
+    /// against a single request allocating unbounded memory).
+    pub max_vertices: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            worker_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            queue_capacity: 64,
+            max_vertices: 50_000_000,
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Wire-format helpers: request field extraction and response rendering.
+//!
+//! The schema itself is documented in the crate-level docs ([`crate`]).
+
+use dcs_core::{ContrastAlert, ContrastReport, DensityMeasure};
+use dcs_graph::{VertexId, Weight};
+use serde_json::{json, Value};
+
+use crate::error::ServerError;
+
+/// Parses a `measure` string (`"affinity"` / `"degree"` plus the aliases the
+/// CLI accepts); `None` input falls back to the session's configured measure.
+pub fn parse_measure(raw: Option<&str>) -> Result<Option<DensityMeasure>, ServerError> {
+    match raw {
+        None => Ok(None),
+        Some(text) => match text.to_ascii_lowercase().as_str() {
+            "affinity" | "graph-affinity" | "ga" => Ok(Some(DensityMeasure::GraphAffinity)),
+            "degree" | "average-degree" | "ad" => Ok(Some(DensityMeasure::AverageDegree)),
+            other => Err(ServerError::BadRequest(format!(
+                "unknown measure {other:?} (expected \"affinity\" or \"degree\")"
+            ))),
+        },
+    }
+}
+
+/// Short job-key token for a measure (stable across requests — cache keys
+/// depend on it).
+pub fn measure_token(measure: DensityMeasure) -> &'static str {
+    match measure {
+        DensityMeasure::GraphAffinity => "affinity",
+        DensityMeasure::AverageDegree | DensityMeasure::TotalDegree => "degree",
+    }
+}
+
+/// Renders a [`ContrastReport`] as the protocol's report shape.
+pub fn report_to_json(report: &ContrastReport) -> Value {
+    json!({
+        "subset": report.subset,
+        "size": report.size,
+        "average_degree_difference": report.average_degree_difference,
+        "affinity_difference": report.affinity_difference,
+        "edge_density_difference": report.edge_density_difference,
+        "total_degree_difference": report.total_degree_difference,
+        "is_positive_clique": report.is_positive_clique,
+        "is_connected": report.is_connected,
+    })
+}
+
+/// Renders a [`ContrastAlert`] as the protocol's alert shape.
+pub fn alert_to_json(alert: &ContrastAlert) -> Value {
+    let mut value = report_to_json(&alert.report);
+    value["triggered"] = json!(alert.triggered);
+    value["density_difference"] = json!(alert.density_difference);
+    value["observations"] = json!(alert.observations);
+    value
+}
+
+/// Extracts the required string field `name` from a request object.
+pub fn required_str<'a>(request: &'a Value, name: &str) -> Result<&'a str, ServerError> {
+    request[name]
+        .as_str()
+        .ok_or_else(|| ServerError::BadRequest(format!("missing string field {name:?}")))
+}
+
+/// Extracts the required non-negative integer field `name`.
+pub fn required_u64(request: &Value, name: &str) -> Result<u64, ServerError> {
+    request[name]
+        .as_u64()
+        .ok_or_else(|| ServerError::BadRequest(format!("missing integer field {name:?}")))
+}
+
+/// Extracts an optional `f64` field, substituting `default` when absent.
+pub fn optional_f64(request: &Value, name: &str, default: f64) -> Result<f64, ServerError> {
+    match &request[name] {
+        Value::Null => Ok(default),
+        value => value
+            .as_f64()
+            .ok_or_else(|| ServerError::BadRequest(format!("field {name:?} must be a number"))),
+    }
+}
+
+/// Extracts an optional non-negative integer field.
+pub fn optional_u64(request: &Value, name: &str, default: u64) -> Result<u64, ServerError> {
+    match &request[name] {
+        Value::Null => Ok(default),
+        value => value.as_u64().ok_or_else(|| {
+            ServerError::BadRequest(format!("field {name:?} must be a non-negative integer"))
+        }),
+    }
+}
+
+/// Parses an `[[u, v, w], …]` triple list (edges or weight updates).
+pub fn parse_triples(
+    request: &Value,
+    name: &str,
+) -> Result<Vec<(VertexId, VertexId, Weight)>, ServerError> {
+    let raw = request[name]
+        .as_array()
+        .ok_or_else(|| ServerError::BadRequest(format!("missing array field {name:?}")))?;
+    let mut triples = Vec::with_capacity(raw.len());
+    for (index, entry) in raw.iter().enumerate() {
+        let triple = entry
+            .as_array()
+            .filter(|t| t.len() == 2 || t.len() == 3)
+            .ok_or_else(|| {
+                ServerError::BadRequest(format!(
+                    "{name}[{index}] must be a [u, v] or [u, v, weight] array"
+                ))
+            })?;
+        let endpoint = |slot: usize| -> Result<VertexId, ServerError> {
+            triple[slot]
+                .as_u64()
+                .and_then(|v| VertexId::try_from(v).ok())
+                .ok_or_else(|| {
+                    ServerError::BadRequest(format!("{name}[{index}][{slot}] must be a vertex id"))
+                })
+        };
+        let weight = if triple.len() == 3 {
+            triple[2].as_f64().ok_or_else(|| {
+                ServerError::BadRequest(format!("{name}[{index}][2] must be a number"))
+            })?
+        } else {
+            1.0
+        };
+        triples.push((endpoint(0)?, endpoint(1)?, weight));
+    }
+    Ok(triples)
+}
+
+/// Parses an optional `alphas` array.
+pub fn parse_alphas(request: &Value) -> Result<Option<Vec<f64>>, ServerError> {
+    match &request["alphas"] {
+        Value::Null => Ok(None),
+        value => {
+            let raw = value.as_array().ok_or_else(|| {
+                ServerError::BadRequest("field \"alphas\" must be an array".into())
+            })?;
+            let mut alphas = Vec::with_capacity(raw.len());
+            for (index, entry) in raw.iter().enumerate() {
+                alphas.push(entry.as_f64().ok_or_else(|| {
+                    ServerError::BadRequest(format!("alphas[{index}] must be a number"))
+                })?);
+            }
+            Ok(Some(alphas))
+        }
+    }
+}
+
+/// Builds a success response, echoing the request's `id` when present.
+pub fn ok_response(request: &Value, mut body: Value) -> Value {
+    body["ok"] = json!(true);
+    echo_id(request, &mut body);
+    body
+}
+
+/// Builds a failure response from an error, echoing the request's `id`.
+pub fn error_response(request: &Value, error: &ServerError) -> Value {
+    let mut body = json!({ "ok": false, "error": error.to_string() });
+    echo_id(request, &mut body);
+    body
+}
+
+fn echo_id(request: &Value, body: &mut Value) {
+    let id = &request["id"];
+    if !id.is_null() {
+        body["id"] = id.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_parse_with_aliases() {
+        assert_eq!(parse_measure(None).unwrap(), None);
+        assert_eq!(
+            parse_measure(Some("GA")).unwrap(),
+            Some(DensityMeasure::GraphAffinity)
+        );
+        assert_eq!(
+            parse_measure(Some("average-degree")).unwrap(),
+            Some(DensityMeasure::AverageDegree)
+        );
+        assert!(parse_measure(Some("entropy")).is_err());
+        assert_eq!(measure_token(DensityMeasure::GraphAffinity), "affinity");
+        assert_eq!(measure_token(DensityMeasure::TotalDegree), "degree");
+    }
+
+    #[test]
+    fn triples_accept_pairs_and_triples() {
+        let request = json!({ "edges": [[0, 1], [2, 3, -1.5]] });
+        let triples = parse_triples(&request, "edges").unwrap();
+        assert_eq!(triples, vec![(0, 1, 1.0), (2, 3, -1.5)]);
+        assert!(parse_triples(&json!({}), "edges").is_err());
+        assert!(parse_triples(&json!({"edges": [[0]]}), "edges").is_err());
+        assert!(parse_triples(&json!({"edges": [[0, "x"]]}), "edges").is_err());
+    }
+
+    #[test]
+    fn field_extractors_validate() {
+        let request = json!({"session": "s", "k": 3, "threshold": 1.5});
+        assert_eq!(required_str(&request, "session").unwrap(), "s");
+        assert!(required_str(&request, "missing").is_err());
+        assert_eq!(required_u64(&request, "k").unwrap(), 3);
+        assert_eq!(optional_u64(&request, "k", 9).unwrap(), 3);
+        assert_eq!(optional_u64(&request, "absent", 9).unwrap(), 9);
+        assert_eq!(optional_f64(&request, "threshold", 0.0).unwrap(), 1.5);
+        assert_eq!(optional_f64(&request, "absent", 2.5).unwrap(), 2.5);
+        assert!(optional_f64(&request, "session", 0.0).is_err());
+    }
+
+    #[test]
+    fn alphas_are_optional() {
+        assert_eq!(parse_alphas(&json!({})).unwrap(), None);
+        assert_eq!(
+            parse_alphas(&json!({"alphas": [0.0, 1.5]})).unwrap(),
+            Some(vec![0.0, 1.5])
+        );
+        assert!(parse_alphas(&json!({"alphas": "x"})).is_err());
+    }
+
+    #[test]
+    fn responses_echo_the_request_id() {
+        let request = json!({"cmd": "ping", "id": 42});
+        let ok = ok_response(&request, json!({"pong": true}));
+        assert_eq!(ok["ok"], true);
+        assert_eq!(ok["id"], 42);
+        let err = error_response(&request, &ServerError::Busy);
+        assert_eq!(err["ok"], false);
+        assert_eq!(err["id"], 42);
+        assert!(err["error"].as_str().unwrap().contains("busy"));
+        // Without an id nothing is echoed.
+        let quiet = ok_response(&json!({"cmd": "ping"}), json!({}));
+        assert!(quiet["id"].is_null());
+    }
+}

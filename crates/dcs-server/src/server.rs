@@ -1,0 +1,330 @@
+//! The TCP server: accept loop, per-connection NDJSON handling, dispatch.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dcs_core::{DensityMeasure, StreamingConfig};
+use serde_json::{json, Value};
+
+use crate::error::ServerError;
+use crate::jobs::{JobSpec, WorkerPool};
+use crate::protocol::{
+    alert_to_json, error_response, ok_response, optional_f64, optional_u64, parse_alphas,
+    parse_measure, parse_triples, required_str, required_u64,
+};
+use crate::session::SessionRegistry;
+use crate::ServerConfig;
+
+/// A bound but not yet running mining server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+}
+
+/// Shared state of a running server.
+struct Shared {
+    registry: SessionRegistry,
+    pool: WorkerPool,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+}
+
+/// Handle to a running server: address, shutdown, join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener (use port 0 for an ephemeral port).
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> Result<Self, ServerError> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            config,
+        })
+    }
+
+    /// The bound address (useful before [`Self::start`] with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// Starts the accept loop on a background thread and returns the handle.
+    pub fn start(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let shared = Arc::new(Shared {
+            registry: SessionRegistry::new(),
+            pool: WorkerPool::new(self.config.worker_threads, self.config.queue_capacity),
+            config: self.config,
+            shutting_down: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let listener = self.listener;
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let connection_shared = Arc::clone(&accept_shared);
+                std::thread::spawn(move || handle_connection(stream, connection_shared));
+            }
+        });
+        ServerHandle {
+            addr,
+            accept_thread: Some(accept_thread),
+            shared,
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a `shutdown` command has been received.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown from the handle side (equivalent to the protocol's
+    /// `shutdown` command) and wakes the accept loop.
+    pub fn shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Waits for the accept loop to exit.  Connections that are mid-request
+    /// drain naturally; idle keep-alive connections are not force-closed.
+    pub fn join(mut self) {
+        // Always wake the acceptor: the shutdown flag may have been set by a
+        // protocol `shutdown` command while the loop is blocked in accept().
+        self.shutdown();
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let Ok(peer) = stream.peer_addr() else { return };
+    let _ = peer; // kept for symmetry; per-connection logging hooks go here
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request: Value = match serde_json::from_str(&line) {
+            Ok(value) => value,
+            Err(e) => {
+                let response = error_response(
+                    &Value::Null,
+                    &ServerError::BadRequest(format!("invalid JSON: {e}")),
+                );
+                if write_line(&mut writer, &response).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let response = match dispatch(&request, &shared) {
+            Ok(body) => ok_response(&request, body),
+            Err(error) => error_response(&request, &error),
+        };
+        if write_line(&mut writer, &response).is_err() {
+            break;
+        }
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, value: &Value) -> std::io::Result<()> {
+    let mut text = serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string());
+    text.push('\n');
+    writer.write_all(text.as_bytes())
+}
+
+fn dispatch(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
+    let cmd = required_str(request, "cmd")?;
+    match cmd {
+        "ping" => Ok(json!({ "pong": true })),
+        "create_session" => create_session(request, shared),
+        "load_baseline" => load_baseline(request, shared),
+        "observe" => observe(request, shared),
+        "mine" => run_job(
+            request,
+            shared,
+            JobSpec::Mine {
+                measure: parse_measure(request["measure"].as_str())?,
+            },
+        ),
+        "topk" => run_job(
+            request,
+            shared,
+            JobSpec::TopK {
+                k: required_u64(request, "k")? as usize,
+                measure: parse_measure(request["measure"].as_str())?,
+            },
+        ),
+        "sweep" => run_job(
+            request,
+            shared,
+            JobSpec::Sweep {
+                alphas: parse_alphas(request)?,
+                measure: parse_measure(request["measure"].as_str())?,
+            },
+        ),
+        "stats" => stats(request, shared),
+        "list_sessions" => Ok(json!({ "sessions": shared.registry.names() })),
+        "drop_session" => {
+            let name = required_str(request, "session")?;
+            shared.registry.drop_session(name)?;
+            Ok(json!({ "dropped": true }))
+        }
+        "server_stats" => Ok(json!({
+            "sessions": shared.registry.len(),
+            "worker_threads": shared.pool.threads(),
+            "queue_capacity": shared.pool.capacity(),
+            "jobs_executed": shared.pool.executed(),
+            "jobs_rejected": shared.pool.rejected(),
+        })),
+        "shutdown" => {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            Ok(json!({ "shutting_down": true }))
+        }
+        other => Err(ServerError::BadRequest(format!("unknown cmd {other:?}"))),
+    }
+}
+
+fn create_session(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
+    let name = required_str(request, "session")?;
+    let vertices = required_u64(request, "vertices")? as usize;
+    if vertices == 0 || vertices > shared.config.max_vertices {
+        return Err(ServerError::BadRequest(format!(
+            "vertices must be in 1..={}",
+            shared.config.max_vertices
+        )));
+    }
+    let measure =
+        parse_measure(request["measure"].as_str())?.unwrap_or(DensityMeasure::GraphAffinity);
+    let config = StreamingConfig {
+        remine_every: optional_u64(request, "remine_every", 0)? as usize,
+        alert_threshold: optional_f64(request, "alert_threshold", 0.0)?,
+        measure,
+    };
+    shared.registry.create(name, vertices, config)?;
+    Ok(json!({ "session": name, "vertices": vertices }))
+}
+
+fn load_baseline(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
+    let name = required_str(request, "session")?;
+    let edges = parse_triples(request, "edges")?;
+    let session = shared.registry.get(name)?;
+    let mut guard = session
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let loaded = guard.load_baseline(&edges)?;
+    Ok(json!({ "baseline_edges": loaded, "version": guard.version() }))
+}
+
+fn observe(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
+    let name = required_str(request, "session")?;
+    let updates = parse_triples(request, "updates")?;
+    let session = shared.registry.get(name)?;
+    let cadence_mining = {
+        let guard = session
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.monitor().config().remine_every > 0
+    };
+    if cadence_mining {
+        // Completing a re-mining period solves inside `Session::observe`, so
+        // this observe is CPU-bound: run it on the worker pool like any other
+        // mining job (bounded queue → `busy` under overload) instead of on
+        // the connection thread.
+        let receiver = shared
+            .pool
+            .submit_task(Box::new(move || Ok(apply_observe(&session, &updates))))?;
+        receiver
+            .recv()
+            .map_err(|_| ServerError::Remote("worker pool shut down mid-observe".into()))?
+    } else {
+        // No mining can trigger: apply inline, keeping streaming cheap.
+        Ok(apply_observe(&session, &updates))
+    }
+}
+
+fn apply_observe(
+    session: &crate::session::SharedSession,
+    updates: &[(dcs_graph::VertexId, dcs_graph::VertexId, dcs_graph::Weight)],
+) -> Value {
+    let mut guard = session
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let outcome = guard.observe(updates);
+    let version = guard.version();
+    drop(guard);
+    let alerts: Vec<Value> = outcome.alerts.iter().map(alert_to_json).collect();
+    json!({
+        "applied": outcome.applied,
+        "ignored": outcome.ignored,
+        "version": version,
+        "alerts": alerts,
+    })
+}
+
+fn stats(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
+    let name = required_str(request, "session")?;
+    let session = shared.registry.get(name)?;
+    let guard = session
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let stats = guard.stats();
+    Ok(json!({
+        "vertices": stats.vertices,
+        "observations": stats.observations,
+        "version": stats.version,
+        "observed_edges": stats.observed_edges,
+        "baseline_edges": stats.baseline_edges,
+        "cache": {
+            "entries": stats.cache_entries,
+            "hits": stats.cache_hits,
+            "misses": stats.cache_misses,
+        },
+    }))
+}
+
+fn run_job(request: &Value, shared: &Shared, spec: JobSpec) -> Result<Value, ServerError> {
+    let name = required_str(request, "session")?;
+    let session = shared.registry.get(name)?;
+    let receiver = shared.pool.submit(session, spec)?;
+    receiver
+        .recv()
+        .map_err(|_| ServerError::Remote("worker pool shut down mid-job".into()))?
+}

@@ -1,0 +1,267 @@
+//! Named mining sessions and the registry that owns them.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use dcs_core::{BatchOutcome, StreamingConfig, StreamingDcs};
+use dcs_graph::{GraphBuilder, SignedGraph, VertexId, Weight};
+
+use crate::cache::ResultCache;
+use crate::error::ServerError;
+
+/// One monitored baseline/observed graph pair plus its result cache.
+#[derive(Debug)]
+pub struct Session {
+    monitor: StreamingDcs,
+    cache: ResultCache,
+    /// Added to the monitor's per-observation counter so the session version
+    /// stays **monotone across baseline reloads** (the rebuilt monitor starts
+    /// again at 0).  Without this, a mining job snapshotted before a
+    /// `load_baseline` could match versions with the fresh graph and poison
+    /// the result cache.
+    version_base: u64,
+}
+
+/// A snapshot of a session's counters (the `stats` command).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// Number of vertices of the monitored pair.
+    pub vertices: usize,
+    /// Observations applied so far.
+    pub observations: usize,
+    /// Current graph version.
+    pub version: u64,
+    /// Edges currently present in the observed graph.
+    pub observed_edges: usize,
+    /// Edges of the baseline graph.
+    pub baseline_edges: usize,
+    /// Live cache entries.
+    pub cache_entries: usize,
+    /// Cache hits so far.
+    pub cache_hits: u64,
+    /// Cache misses so far.
+    pub cache_misses: u64,
+}
+
+impl Session {
+    /// Creates a session over an empty baseline with `vertices` vertices.
+    pub fn new(vertices: usize, config: StreamingConfig) -> Result<Self, ServerError> {
+        let monitor = StreamingDcs::new(SignedGraph::empty(vertices), config)?;
+        Ok(Session {
+            monitor,
+            cache: ResultCache::new(),
+            version_base: 0,
+        })
+    }
+
+    /// Replaces the baseline graph, resetting observations and clearing the
+    /// cache.  The session version **advances** (never resets), so results
+    /// computed against the old baseline can never be mistaken for current.
+    pub fn load_baseline(
+        &mut self,
+        edges: &[(VertexId, VertexId, Weight)],
+    ) -> Result<usize, ServerError> {
+        let vertices = self.monitor.num_vertices();
+        let mut builder = GraphBuilder::new(vertices);
+        for &(u, v, w) in edges {
+            if u != v && (u as usize) < vertices && (v as usize) < vertices {
+                builder.add_edge(u, v, w);
+            }
+        }
+        let baseline = builder.build();
+        let loaded = baseline.num_edges();
+        let next_base = self.version() + 1;
+        self.monitor = StreamingDcs::new(baseline, *self.monitor.config())?;
+        self.version_base = next_base;
+        self.cache.clear();
+        Ok(loaded)
+    }
+
+    /// Applies a batch of observations.
+    pub fn observe(&mut self, updates: &[(VertexId, VertexId, Weight)]) -> BatchOutcome {
+        self.monitor.apply_batch(updates.iter().copied())
+    }
+
+    /// The session's graph version: monotone over both observations and
+    /// baseline reloads.  This is the version mining results are cached
+    /// under.
+    pub fn version(&self) -> u64 {
+        self.version_base + self.monitor.version()
+    }
+
+    /// The streaming monitor (mining snapshots, version, config).
+    pub fn monitor(&self) -> &StreamingDcs {
+        &self.monitor
+    }
+
+    /// The session's result cache.
+    pub fn cache_mut(&mut self) -> &mut ResultCache {
+        &mut self.cache
+    }
+
+    /// Counter snapshot for the `stats` command.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            vertices: self.monitor.num_vertices(),
+            observations: self.monitor.observations(),
+            version: self.version(),
+            observed_edges: self.monitor.observed_edge_count(),
+            baseline_edges: self.monitor.baseline().num_edges(),
+            cache_entries: self.cache.len(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+        }
+    }
+}
+
+/// A shared handle to one session.
+pub type SharedSession = Arc<Mutex<Session>>;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Thread-safe registry of named sessions.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    sessions: Mutex<BTreeMap<String, SharedSession>>,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SessionRegistry::default()
+    }
+
+    /// Creates a session; fails if the name is taken.
+    pub fn create(
+        &self,
+        name: &str,
+        vertices: usize,
+        config: StreamingConfig,
+    ) -> Result<(), ServerError> {
+        let session = Session::new(vertices, config)?;
+        let mut sessions = lock(&self.sessions);
+        if sessions.contains_key(name) {
+            return Err(ServerError::SessionExists(name.to_string()));
+        }
+        sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
+        Ok(())
+    }
+
+    /// Looks up a session by name.
+    pub fn get(&self, name: &str) -> Result<SharedSession, ServerError> {
+        lock(&self.sessions)
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServerError::UnknownSession(name.to_string()))
+    }
+
+    /// Removes a session by name.
+    pub fn drop_session(&self, name: &str) -> Result<(), ServerError> {
+        lock(&self.sessions)
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| ServerError::UnknownSession(name.to_string()))
+    }
+
+    /// The session names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        lock(&self.sessions).keys().cloned().collect()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        lock(&self.sessions).len()
+    }
+
+    /// Whether the registry has no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::DensityMeasure;
+
+    fn config() -> StreamingConfig {
+        StreamingConfig {
+            remine_every: 0,
+            alert_threshold: 0.5,
+            measure: DensityMeasure::GraphAffinity,
+        }
+    }
+
+    #[test]
+    fn registry_create_get_drop() {
+        let registry = SessionRegistry::new();
+        assert!(registry.is_empty());
+        registry.create("a", 10, config()).unwrap();
+        registry.create("b", 5, config()).unwrap();
+        assert!(matches!(
+            registry.create("a", 3, config()),
+            Err(ServerError::SessionExists(_))
+        ));
+        assert_eq!(registry.names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(registry.len(), 2);
+        registry.get("a").unwrap();
+        assert!(matches!(
+            registry.get("zzz"),
+            Err(ServerError::UnknownSession(_))
+        ));
+        registry.drop_session("a").unwrap();
+        assert!(matches!(
+            registry.drop_session("a"),
+            Err(ServerError::UnknownSession(_))
+        ));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn session_lifecycle_and_stats() {
+        let mut session = Session::new(6, config()).unwrap();
+        let loaded = session
+            .load_baseline(&[(0, 1, 1.0), (2, 3, 2.0), (4, 4, 9.0), (0, 99, 1.0)])
+            .unwrap();
+        assert_eq!(loaded, 2); // self-loop and out-of-range edges are dropped
+
+        let outcome = session.observe(&[(0, 1, 3.0), (1, 2, 2.0), (7, 8, 1.0)]);
+        assert_eq!(outcome.applied, 2);
+        assert_eq!(outcome.ignored, 1);
+
+        let stats = session.stats();
+        assert_eq!(stats.vertices, 6);
+        assert_eq!(stats.observations, 2);
+        // Baseline load advanced the version to 1; two observations on top.
+        assert_eq!(stats.version, 3);
+        assert_eq!(stats.observed_edges, 2);
+        assert_eq!(stats.baseline_edges, 2);
+        assert_eq!(stats.cache_entries, 0);
+    }
+
+    #[test]
+    fn load_baseline_advances_version_and_clears_cache() {
+        let mut session = Session::new(4, config()).unwrap();
+        session.observe(&[(0, 1, 2.0)]);
+        session.cache_mut().store(
+            "mine|affinity".into(),
+            1,
+            serde_json::json!({"stale": true}),
+        );
+        assert_eq!(session.version(), 1);
+        session.load_baseline(&[(0, 1, 1.0)]).unwrap();
+        // Monotone across the reload: a job snapshotted at version 1 can
+        // never collide with the fresh graph's version.
+        assert_eq!(session.version(), 2);
+        assert!(session.cache_mut().lookup("mine|affinity", 1).is_none());
+        assert!(session.cache_mut().lookup("mine|affinity", 2).is_none());
+        assert_eq!(session.monitor().observations(), 0);
+        // Another reload keeps advancing.
+        session.load_baseline(&[]).unwrap();
+        assert_eq!(session.version(), 3);
+        session.observe(&[(0, 1, 1.0)]);
+        assert_eq!(session.version(), 4);
+    }
+}

@@ -1,0 +1,227 @@
+//! End-to-end tests of the mining service: a real server on an ephemeral
+//! port, concurrent clients streaming observation batches, and a full
+//! observe → mine → alert round trip with cache semantics.
+
+use dcs_server::{Client, Server, ServerConfig, ServerError};
+use serde_json::json;
+
+fn start_server() -> dcs_server::ServerHandle {
+    Server::bind("127.0.0.1:0", ServerConfig::default())
+        .expect("bind ephemeral port")
+        .start()
+}
+
+/// The acceptance scenario: create a session, load a baseline, stream ≥ 100
+/// observation batches from two concurrent clients, mine the correct DCS,
+/// observe a triggered alert, and get the repeat mine served from the cache.
+#[test]
+fn concurrent_observe_mine_alert_round_trip() {
+    let handle = start_server();
+    let addr = handle.local_addr();
+
+    let mut control = Client::connect(addr).expect("connect control client");
+    control
+        .create_session(
+            "traffic",
+            64,
+            json!({ "alert_threshold": 5.0, "measure": "affinity" }),
+        )
+        .unwrap();
+
+    // Baseline: a ring of expected strength 1 over all 64 vertices.
+    let ring: Vec<(u32, u32, f64)> = (0..64u32).map(|v| (v, (v + 1) % 64, 1.0)).collect();
+    let loaded = control.load_baseline("traffic", &ring).unwrap();
+    assert_eq!(loaded["baseline_edges"], 64);
+
+    // Two concurrent clients each stream 60 observation batches (120 total):
+    // client A replays quiet ring traffic, client B grows a hot triangle
+    // among {3, 4, 5}.
+    let writer = |role: usize| {
+        let mut client = Client::connect(addr).expect("connect writer");
+        let mut applied = 0u64;
+        for batch in 0..60u32 {
+            let updates: Vec<(u32, u32, f64)> = if role == 0 {
+                let v = batch % 64;
+                vec![(v, (v + 1) % 64, 0.02), ((v + 7) % 64, (v + 8) % 64, 0.015)]
+            } else {
+                vec![(3, 4, 0.35), (4, 5, 0.35), (3, 5, 0.35)]
+            };
+            let response = client.observe("traffic", &updates).unwrap();
+            assert_eq!(response["ok"], true);
+            applied += response["applied"].as_u64().unwrap();
+            assert_eq!(response["ignored"], 0);
+        }
+        applied
+    };
+    let totals: Vec<u64> = std::thread::scope(|scope| {
+        let a = scope.spawn(|| writer(0));
+        let b = scope.spawn(|| writer(1));
+        vec![a.join().unwrap(), b.join().unwrap()]
+    });
+    assert_eq!(totals[0], 120);
+    assert_eq!(totals[1], 180);
+
+    let stats = control.stats("traffic").unwrap();
+    assert_eq!(stats["observations"], 300);
+    // 300 observations on top of version 1 (the baseline load advanced the
+    // session version from 0).
+    assert_eq!(stats["version"], 301);
+
+    // Mine: the hot triangle must be the DCS, and with weights ~0.35·60 = 21
+    // per edge against a baseline of ~1, the affinity contrast (~14) clears
+    // the alert threshold of 5.
+    let mined = control.mine("traffic").unwrap();
+    assert_eq!(mined["cached"], false);
+    assert_eq!(mined["result"]["subset"], json!([3, 4, 5]));
+    assert_eq!(mined["result"]["triggered"], true);
+    assert_eq!(mined["result"]["is_positive_clique"], true);
+    assert!(mined["result"]["density_difference"].as_f64().unwrap() > 5.0);
+
+    // Unchanged session: the repeat mine is served from the cache — also for
+    // a different client connection (the cache is per session, not per
+    // connection).
+    let again = control.mine("traffic").unwrap();
+    assert_eq!(again["cached"], true);
+    assert_eq!(again["result"]["subset"], json!([3, 4, 5]));
+    let mut other = Client::connect(addr).unwrap();
+    assert_eq!(other.mine("traffic").unwrap()["cached"], true);
+
+    // One more observation invalidates the cache.
+    control.observe("traffic", &[(10, 11, 0.2)]).unwrap();
+    let after = control.mine("traffic").unwrap();
+    assert_eq!(after["cached"], false);
+    assert_eq!(after["result"]["subset"], json!([3, 4, 5]));
+
+    let cache_stats = control.stats("traffic").unwrap();
+    assert!(cache_stats["cache"]["hits"].as_u64().unwrap() >= 2);
+
+    control.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn topk_sweep_and_stats_over_the_wire() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    client
+        .create_session("s", 12, json!({ "measure": "affinity" }))
+        .unwrap();
+    client.load_baseline("s", &[(0, 1, 1.0)]).unwrap();
+    // Two disjoint hot groups of different strength.
+    client
+        .observe(
+            "s",
+            &[
+                (0, 1, 9.0),
+                (0, 2, 8.0),
+                (1, 2, 8.0),
+                (5, 6, 4.0),
+                (6, 7, 4.0),
+                (5, 7, 4.0),
+            ],
+        )
+        .unwrap();
+
+    let topk = client.topk("s", 3).unwrap();
+    let results = topk["results"].as_array().unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0]["rank"], 1);
+    assert_eq!(results[0]["subset"], json!([0, 1, 2]));
+    assert_eq!(results[1]["subset"], json!([5, 6, 7]));
+    assert!(results[0]["objective"].as_f64().unwrap() >= results[1]["objective"].as_f64().unwrap());
+    // Identical top-k: cached.
+    assert_eq!(client.topk("s", 3).unwrap()["cached"], true);
+    // Different k: its own cache entry.
+    assert_eq!(client.topk("s", 1).unwrap()["cached"], false);
+
+    let sweep = client.sweep("s", Some(&[0.0, 1.0, 2.0])).unwrap();
+    let points = sweep["points"].as_array().unwrap();
+    assert_eq!(points.len(), 3);
+    assert_eq!(points[0]["alpha"], 0);
+    // The α-scaled objective is non-increasing in α.
+    let objectives: Vec<f64> = points
+        .iter()
+        .map(|p| p["objective"].as_f64().unwrap())
+        .collect();
+    assert!(objectives[0] >= objectives[1] - 1e-9);
+    assert!(objectives[1] >= objectives[2] - 1e-9);
+
+    let server_stats = client.server_stats().unwrap();
+    assert_eq!(server_stats["sessions"], 1);
+    assert!(server_stats["jobs_executed"].as_u64().unwrap() >= 3);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn observe_with_cadence_raises_alerts_over_the_wire() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client
+        .create_session(
+            "cadence",
+            16,
+            json!({ "remine_every": 3, "alert_threshold": 2.0 }),
+        )
+        .unwrap();
+
+    // Three strong updates complete one re-mining period: the response
+    // carries a triggered alert inline, without an explicit mine command.
+    let response = client
+        .observe("cadence", &[(0, 1, 9.0), (0, 2, 9.0), (1, 2, 9.0)])
+        .unwrap();
+    let alerts = response["alerts"].as_array().unwrap();
+    assert_eq!(alerts.len(), 1);
+    assert_eq!(alerts[0]["triggered"], true);
+    assert_eq!(alerts[0]["subset"], json!([0, 1, 2]));
+    assert_eq!(alerts[0]["observations"], 3);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn session_management_and_errors_over_the_wire() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // Unknown session and bad requests surface as remote errors.
+    assert!(matches!(client.mine("nope"), Err(ServerError::Remote(_))));
+    assert!(matches!(
+        client.request(json!({ "cmd": "frobnicate" })),
+        Err(ServerError::Remote(_))
+    ));
+    assert!(matches!(
+        client.request(json!({ "cmd": "create_session", "session": "x" })),
+        Err(ServerError::Remote(_))
+    ));
+
+    client.create_session("a", 4, json!({})).unwrap();
+    client.create_session("b", 4, json!({})).unwrap();
+    assert!(matches!(
+        client.create_session("a", 4, json!({})),
+        Err(ServerError::Remote(_))
+    ));
+    assert_eq!(
+        client.list_sessions().unwrap()["sessions"],
+        json!(["a", "b"])
+    );
+    client.drop_session("a").unwrap();
+    assert_eq!(client.list_sessions().unwrap()["sessions"], json!(["b"]));
+
+    // Request ids are echoed.
+    let response = client
+        .request(json!({ "cmd": "ping", "id": "req-7" }))
+        .unwrap();
+    assert_eq!(response["id"], "req-7");
+
+    // Malformed JSON gets an error line back instead of a dropped connection.
+    let err = client.request(json!({ "cmd": "stats" }));
+    assert!(err.is_err(), "stats without session must fail");
+    assert!(client.ping().is_ok(), "connection survives errors");
+
+    client.shutdown().unwrap();
+    handle.join();
+}

@@ -9,7 +9,9 @@
 //!   (`dcs-core`),
 //! * [`baselines`] — EgoScan substitute and exact reference solvers (`dcs-baselines`),
 //! * [`datasets`] — synthetic graph-pair generators and recovery metrics
-//!   (`dcs-datasets`).
+//!   (`dcs-datasets`),
+//! * [`server`] — the long-running contrast-mining service: session registry,
+//!   worker pool and NDJSON-over-TCP protocol (`dcs-server`).
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -37,6 +39,7 @@ pub use dcs_core as core;
 pub use dcs_datasets as datasets;
 pub use dcs_densest as densest;
 pub use dcs_graph as graph;
+pub use dcs_server as server;
 
 /// The most commonly used items of the whole workspace.
 pub mod prelude {
@@ -47,9 +50,11 @@ pub mod prelude {
         difference_graph, difference_graph_with, mine_affinity_dcs, mine_average_degree_dcs,
         ContrastReport, DcsError, DiscreteRule, Embedding, WeightScheme,
     };
+    pub use dcs_core::{StreamingConfig, StreamingDcs};
     pub use dcs_datasets::{GraphPair, Scale};
     pub use dcs_densest::{densest_subgraph_exact, greedy_peeling};
     pub use dcs_graph::{GraphBuilder, SignedGraph, VertexId, Weight};
+    pub use dcs_server::{Client as DcsClient, Server as DcsServer, ServerConfig};
 }
 
 #[cfg(test)]
@@ -62,5 +67,6 @@ mod tests {
         let _ = DcsGreedy::default();
         let _ = NewSea::default();
         let _ = EgoScan::default();
+        let _ = ServerConfig::default();
     }
 }

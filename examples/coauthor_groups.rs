@@ -26,7 +26,14 @@ fn main() {
 
     println!(
         "\n{:<10} {:<13} {:<15} {:>8} {:>9} {:>12} {:>12} {:>10}  Recovered group",
-        "Setting", "GD type", "Measure", "#Authors", "Clique?", "AvgDeg diff", "Affin. diff", "EdgeDens"
+        "Setting",
+        "GD type",
+        "Measure",
+        "#Authors",
+        "Clique?",
+        "AvgDeg diff",
+        "Affin. diff",
+        "EdgeDens"
     );
 
     for (setting_name, scheme) in [

@@ -73,7 +73,10 @@ fn main() {
             recovered += 1;
         }
     }
-    assert!(recovered >= 1, "at least one planted dark network must be recovered");
+    assert!(
+        recovered >= 1,
+        "at least one planted dark network must be recovered"
+    );
 
     // The EgoScan-style total-weight objective, in contrast, lumps far more accounts
     // together — the comparison the paper draws in Tables VIII/IX.

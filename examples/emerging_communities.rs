@@ -67,9 +67,17 @@ fn main() {
     // (Section III-D; `alpha_sweep` evaluates every point on the plain α = 1 graph so the
     // rows are comparable).
     println!("\nα-sweep (average degree):");
-    println!("{:>6} {:>6} {:>16} {:>16}", "alpha", "size", "scaled objective", "plain avg-degree");
-    let points = alpha_sweep(&pair.g2, &pair.g1, &default_alpha_grid(), DensityMeasure::AverageDegree)
-        .expect("valid inputs");
+    println!(
+        "{:>6} {:>6} {:>16} {:>16}",
+        "alpha", "size", "scaled objective", "plain avg-degree"
+    );
+    let points = alpha_sweep(
+        &pair.g2,
+        &pair.g1,
+        &default_alpha_grid(),
+        DensityMeasure::AverageDegree,
+    )
+    .expect("valid inputs");
     for point in &points {
         println!(
             "{:>6.2} {:>6} {:>16.2} {:>16.2}",

@@ -82,6 +82,12 @@ fn main() {
         overlap,
         hotspot.vertices.len()
     );
-    assert!(final_alert.triggered, "the planted hotspot must trigger an alert");
-    assert!(overlap * 2 >= hotspot.vertices.len(), "alert should cover most of the hotspot");
+    assert!(
+        final_alert.triggered,
+        "the planted hotspot must trigger an alert"
+    );
+    assert!(
+        overlap * 2 >= hotspot.vertices.len(),
+        "alert should cover most of the hotspot"
+    );
 }

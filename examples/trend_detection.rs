@@ -41,13 +41,21 @@ fn main() {
     );
 
     // Mining only the recent graph returns evergreen topics…
-    top_topics(&pair.g2, "recent period only — includes evergreen topics", 3);
+    top_topics(
+        &pair.g2,
+        "recent period only — includes evergreen topics",
+        3,
+    );
 
     // …while the difference graph isolates the emerging trends.
     let emerging_gd = difference_graph(&pair.g2, &pair.g1).expect("same vocabulary");
     let disappearing_gd = difference_graph(&pair.g1, &pair.g2).expect("same vocabulary");
     top_topics(&emerging_gd.positive_part(), "emerging trends (G2 − G1)", 3);
-    top_topics(&disappearing_gd.positive_part(), "disappearing topics (G1 − G2)", 3);
+    top_topics(
+        &disappearing_gd.positive_part(),
+        "disappearing topics (G1 − G2)",
+        3,
+    );
 
     // Check the planted ground truth was recovered by the top emerging result.
     let newsea = NewSea::default().solve(&emerging_gd);
@@ -57,5 +65,8 @@ fn main() {
         "\nbest emerging DCS matches planted topic {:?} with Jaccard {:.2}",
         report.best_group, report.jaccard
     );
-    assert!(report.jaccard > 0.5, "the emerging trend should be recovered");
+    assert!(
+        report.jaccard > 0.5,
+        "the emerging trend should be recovered"
+    );
 }

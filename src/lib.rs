@@ -1,0 +1,11 @@
+//! Workspace root of the density-contrast reproduction.
+//!
+//! This package exists to host the workspace-wide integration tests (`tests/`)
+//! and the runnable examples (`examples/`); the library surface lives in the
+//! [`dcs`] facade crate and the crates it re-exports.  See `README.md` for the
+//! workspace map.
+
+#![forbid(unsafe_code)]
+
+pub use dcs;
+pub use dcs_server;

@@ -20,14 +20,23 @@ use dcs::graph::VertexId;
 
 fn all_tiny_pairs() -> Vec<(&'static str, GraphPair)> {
     vec![
-        ("coauthor", CoauthorConfig::for_scale(Scale::Tiny).generate()),
+        (
+            "coauthor",
+            CoauthorConfig::for_scale(Scale::Tiny).generate(),
+        ),
         ("keywords", KeywordConfig::for_scale(Scale::Tiny).generate()),
-        ("conflict", ConflictConfig::for_scale(Scale::Tiny).generate()),
+        (
+            "conflict",
+            ConflictConfig::for_scale(Scale::Tiny).generate(),
+        ),
         ("movie", SocialInterestConfig::movie(Scale::Tiny).generate()),
         ("book", SocialInterestConfig::book(Scale::Tiny).generate()),
         ("dblp-c", CollabConfig::dblp_c(Scale::Tiny).generate_pair()),
         ("traffic", TrafficConfig::for_scale(Scale::Tiny).generate()),
-        ("transactions", TransactionConfig::for_scale(Scale::Tiny).generate()),
+        (
+            "transactions",
+            TransactionConfig::for_scale(Scale::Tiny).generate(),
+        ),
     ]
 }
 

@@ -9,8 +9,8 @@ use dcs::core::{
     top_k_affinity, top_k_average_degree, DensityMeasure, DiscreteRule, WeightScheme,
 };
 use dcs::densest::{greedy_quasi_clique, local_search_quasi_clique};
-use dcs::graph::labels::{read_labeled_edge_list, write_labeled_edge_list, VertexLabels};
 use dcs::graph::labels::LabeledGraphBuilder;
+use dcs::graph::labels::{read_labeled_edge_list, write_labeled_edge_list, VertexLabels};
 use dcs::prelude::*;
 use proptest::prelude::*;
 
@@ -56,17 +56,14 @@ fn arb_graph_pair() -> impl Strategy<Value = (SignedGraph, SignedGraph)> {
 
 /// Strategy: a random list of labelled edges drawn from a small label alphabet.
 fn arb_labeled_edges() -> impl Strategy<Value = Vec<(String, String, f64)>> {
-    let label = prop::sample::select(vec![
-        "ada", "bob", "cat", "dan", "eve", "fay", "gil", "hal",
-    ]);
-    proptest::collection::vec((label.clone(), label, -5.0f64..5.0), 1..30)
-        .prop_map(|edges| {
-            edges
-                .into_iter()
-                .filter(|(u, v, w)| u != v && w.abs() > 0.05)
-                .map(|(u, v, w)| (u.to_string(), v.to_string(), w))
-                .collect()
-        })
+    let label = prop::sample::select(vec!["ada", "bob", "cat", "dan", "eve", "fay", "gil", "hal"]);
+    proptest::collection::vec((label.clone(), label, -5.0f64..5.0), 1..30).prop_map(|edges| {
+        edges
+            .into_iter()
+            .filter(|(u, v, w)| u != v && w.abs() > 0.05)
+            .map(|(u, v, w)| (u.to_string(), v.to_string(), w))
+            .collect()
+    })
 }
 
 proptest! {

@@ -4,9 +4,7 @@
 
 use dcs::core::dcsga::{refine, DcsgaConfig, NewSea, SeaCd};
 use dcs::core::difference_graph;
-use dcs::datasets::{
-    CoauthorConfig, ConflictConfig, Scale, SocialInterestConfig,
-};
+use dcs::datasets::{CoauthorConfig, ConflictConfig, Scale, SocialInterestConfig};
 use dcs::densest::{OriginalSea, ReplicatorStop, SeaConfig};
 use dcs::prelude::*;
 

@@ -95,8 +95,16 @@ fn conflict_groups_are_separated_by_direction() {
     let consistent = DcsGreedy::default().solve(&consistent_gd);
     let conflicting = DcsGreedy::default().solve(&conflicting_gd);
 
-    let coop = pair.planted.iter().find(|g| g.name == "consistent").unwrap();
-    let fight = pair.planted.iter().find(|g| g.name == "conflicting").unwrap();
+    let coop = pair
+        .planted
+        .iter()
+        .find(|g| g.name == "consistent")
+        .unwrap();
+    let fight = pair
+        .planted
+        .iter()
+        .find(|g| g.name == "conflicting")
+        .unwrap();
 
     assert!(dcs::datasets::jaccard(&consistent.subset, &coop.vertices) > 0.5);
     assert!(dcs::datasets::jaccard(&conflicting.subset, &fight.vertices) > 0.5);
