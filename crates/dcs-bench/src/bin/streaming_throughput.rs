@@ -1,0 +1,180 @@
+//! Streaming-throughput microbenchmark of the incremental difference-graph engine.
+//!
+//! Simulates the always-on serving workload: a fixed baseline `G1`, a stream of
+//! sparse weight updates (each batch touches ≤1% of the edges), and a difference
+//! snapshot taken after every batch — the exact shape of the mining server's
+//! `observe`/`mine` cadence.  Three snapshot paths are timed against each other:
+//!
+//! * **scratch** — the pre-delta-engine path: rebuild `G_D` from the observed map
+//!   plus every baseline edge through `GraphBuilder`
+//!   ([`StreamingDcs::rebuild_difference_snapshot`]),
+//! * **delta** — the incremental path: rebuild only the adjacency rows dirtied by
+//!   the batch ([`StreamingDcs::difference_snapshot`]),
+//! * **cached** — the same call on an unchanged version: returns the previous
+//!   `Arc` pointer-equal, which is what repeated mining jobs at one version pay.
+//!
+//! Output is a single JSON object, so CI can run it as a smoke step and archive
+//! the numbers.
+//!
+//! ```text
+//! cargo run --release -p dcs-bench --bin streaming_throughput -- [--smoke]
+//! ```
+
+use std::time::Instant;
+
+use dcs_core::{DensityMeasure, StreamingConfig, StreamingDcs};
+use dcs_graph::{GraphBuilder, SignedGraph, VertexId};
+use serde_json::json;
+
+struct BenchConfig {
+    vertices: usize,
+    baseline_edges: usize,
+    batches: usize,
+    batch_size: usize,
+}
+
+/// Deterministic splitmix64 — keeps the workload identical across runs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn weight(&mut self) -> f64 {
+        1.0 + (self.next() % 1000) as f64 / 250.0
+    }
+}
+
+fn build_baseline(config: &BenchConfig, rng: &mut Rng) -> SignedGraph {
+    let n = config.vertices;
+    let mut builder = GraphBuilder::new(n);
+    // A ring keeps the graph connected; random chords bring it up to size.
+    for v in 0..n {
+        builder.add_edge(v as VertexId, ((v + 1) % n) as VertexId, rng.weight());
+    }
+    while builder.num_edges() < config.baseline_edges {
+        let u = rng.below(n);
+        let v = rng.below(n);
+        if u != v {
+            builder.add_edge(u as VertexId, v as VertexId, rng.weight());
+        }
+    }
+    builder.build()
+}
+
+fn mean_ms(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if args.iter().any(|a| a == "--help") {
+        println!("usage: streaming_throughput [--smoke]");
+        return;
+    }
+    let config = if smoke {
+        BenchConfig {
+            vertices: 2_000,
+            baseline_edges: 20_000,
+            batches: 5,
+            batch_size: 200, // 1% of the baseline edges
+        }
+    } else {
+        BenchConfig {
+            vertices: 20_000,
+            baseline_edges: 200_000,
+            batches: 10,
+            batch_size: 2_000, // 1% of the baseline edges
+        }
+    };
+
+    let mut rng = Rng(0x5eed);
+    let baseline = build_baseline(&config, &mut rng);
+    let streaming_config = StreamingConfig {
+        remine_every: 0,
+        alert_threshold: 0.0,
+        measure: DensityMeasure::AverageDegree,
+    };
+    let mut monitor = StreamingDcs::new(baseline.clone(), streaming_config).unwrap();
+
+    // Warm-up: observe every baseline edge once so the observed graph is at
+    // production density, then take the first (full) snapshot outside timing.
+    let baseline_edges: Vec<(VertexId, VertexId)> =
+        baseline.edges().map(|(u, v, _)| (u, v)).collect();
+    let warmup = Instant::now();
+    for &(u, v) in &baseline_edges {
+        monitor.observe(u, v, rng.weight());
+    }
+    let warmup_secs = warmup.elapsed().as_secs_f64();
+    let observes_per_sec = baseline_edges.len() as f64 / warmup_secs;
+    let _ = monitor.difference_snapshot();
+
+    // Steady state: sparse batches (≤1% of edges), one snapshot per batch.
+    let mut delta_ms = Vec::with_capacity(config.batches);
+    let mut scratch_ms = Vec::with_capacity(config.batches);
+    let mut cached_ms = Vec::with_capacity(config.batches);
+    for _ in 0..config.batches {
+        for _ in 0..config.batch_size {
+            let &(u, v) = &baseline_edges[rng.below(baseline_edges.len())];
+            monitor.observe(u, v, rng.weight() - 2.0);
+        }
+
+        let start = Instant::now();
+        let snapshot = monitor.difference_snapshot();
+        delta_ms.push(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let scratch = monitor.rebuild_difference_snapshot();
+        scratch_ms.push(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let again = monitor.difference_snapshot();
+        cached_ms.push(start.elapsed().as_secs_f64() * 1e3);
+
+        // Sanity: the delta snapshot must be exactly the scratch rebuild, and the
+        // unchanged-version re-snapshot must be pointer-equal (no rebuild at all).
+        assert_eq!(*snapshot, scratch, "delta snapshot diverged from rebuild");
+        assert!(
+            std::sync::Arc::ptr_eq(&snapshot, &again),
+            "unchanged version must return the cached Arc"
+        );
+    }
+
+    let delta = mean_ms(&delta_ms);
+    let scratch = mean_ms(&scratch_ms);
+    let cached = mean_ms(&cached_ms);
+    let speedup = if delta > 0.0 { scratch / delta } else { 0.0 };
+    let report = json!({
+        "bench": "streaming_throughput",
+        "mode": if smoke { "smoke" } else { "full" },
+        "vertices": config.vertices,
+        "baseline_edges": baseline.num_edges(),
+        "batches": config.batches,
+        "batch_size": config.batch_size,
+        "batch_edge_fraction": config.batch_size as f64 / baseline.num_edges() as f64,
+        "observes_per_sec": observes_per_sec,
+        "snapshot_ms": { "delta": delta, "scratch": scratch, "cached": cached },
+        "speedup_delta_vs_scratch": speedup,
+    });
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+
+    // The smoke step's contract: sparse batches must snapshot measurably faster
+    // through the delta engine than through a from-scratch rebuild.
+    if speedup < 1.0 {
+        eprintln!("warning: delta path not faster than scratch rebuild (speedup {speedup:.2}x)");
+        std::process::exit(1);
+    }
+}

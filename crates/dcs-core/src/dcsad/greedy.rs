@@ -26,6 +26,9 @@ pub enum CandidateKind {
     GreedyOnGdPlus,
     /// A single vertex (only when `G_D` has no positively weighted edge).
     SingleVertex,
+    /// The warm-start seed passed to [`DcsGreedy::solve_seeded`] (the support of a
+    /// previous mine on a slightly different graph).
+    WarmStart,
 }
 
 /// Solution of the DCSAD problem returned by [`DcsGreedy`].
@@ -64,6 +67,15 @@ impl DcsGreedy {
 
     /// Runs DCSGreedy on a difference graph `G_D` (any signed graph is accepted).
     pub fn solve(&self, gd: &SignedGraph) -> DcsadSolution {
+        self.solve_seeded(gd, &[])
+    }
+
+    /// Runs DCSGreedy with a **warm-start seed**: the seed subset (typically the
+    /// support of the previous mine on a slightly-changed graph) competes as an
+    /// extra candidate, so the returned contrast is never worse than re-evaluating
+    /// the previous solution on the current graph.  Out-of-range seed vertices are
+    /// dropped; an empty (or fully dropped) seed reduces to [`Self::solve`].
+    pub fn solve_seeded(&self, gd: &SignedGraph, seed: &[VertexId]) -> DcsadSolution {
         let n = gd.num_vertices();
         assert!(n > 0, "the difference graph must have at least one vertex");
 
@@ -98,6 +110,14 @@ impl DcsGreedy {
         let s2 = peel_plus.subset;
         let rho_gd_plus = peel_plus.average_degree;
 
+        // Candidate D (warm start): the seed support from a previous mine.
+        let seed_candidate: Vec<VertexId> = {
+            let mut s: Vec<VertexId> = seed.iter().copied().filter(|&u| (u as usize) < n).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+
         // Pick the candidate with the best density *in G_D*.
         let mut best_subset = edge_candidate.clone();
         let mut best_density = gd.average_degree(&edge_candidate);
@@ -105,6 +125,7 @@ impl DcsGreedy {
         for (cand, kind) in [
             (&s1, CandidateKind::GreedyOnGd),
             (&s2, CandidateKind::GreedyOnGdPlus),
+            (&seed_candidate, CandidateKind::WarmStart),
         ] {
             if cand.is_empty() {
                 continue;
@@ -335,6 +356,25 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn seeded_solve_never_loses_to_its_seed() {
+        let gd = fig1_gd();
+        let cold = DcsGreedy::new().solve(&gd);
+        // Any seed: the result is at least as dense as the seed itself (the seed
+        // competes as a candidate and refinement never decreases density), and
+        // never worse than the cold solve.
+        for seed in [vec![2, 3], vec![0, 1, 2, 3, 4], vec![1, 4], vec![3, 99]] {
+            let warm = DcsGreedy::new().solve_seeded(&gd, &seed);
+            let in_range: Vec<_> = seed.iter().copied().filter(|&v| v < 5).collect();
+            assert!(warm.density_difference >= gd.average_degree(&in_range) - 1e-9);
+            assert!(warm.density_difference >= cold.density_difference - 1e-9);
+        }
+        // An empty seed is exactly the cold solve.
+        let empty = DcsGreedy::new().solve_seeded(&gd, &[]);
+        assert_eq!(empty.subset, cold.subset);
+        assert_eq!(empty.winner, cold.winner);
     }
 
     #[test]

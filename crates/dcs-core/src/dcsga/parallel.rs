@@ -189,6 +189,7 @@ pub fn parallel_newsea(gd: &SignedGraph, config: DcsgaConfig, threads: usize) ->
             initializations_run,
             initializations_skipped: order.len().saturating_sub(initializations_run),
             expansion_errors: errors.load(Ordering::Relaxed),
+            seeded_runs: 0,
         },
     }
 }

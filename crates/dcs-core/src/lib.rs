@@ -62,7 +62,10 @@ pub use diff::{
 };
 pub use error::DcsError;
 pub use solution::{ContrastReport, DensityMeasure};
-pub use streaming::{mine_difference, BatchOutcome, ContrastAlert, StreamingConfig, StreamingDcs};
+pub use streaming::{
+    mine_difference, mine_difference_seeded, BatchOutcome, ContrastAlert, StreamingConfig,
+    StreamingDcs,
+};
 pub use topk::{top_k_affinity, top_k_average_degree};
 
 // Re-export the embedding type: it is part of this crate's public API surface

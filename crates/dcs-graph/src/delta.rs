@@ -1,0 +1,351 @@
+//! Incrementally maintained signed graphs with cheap CSR snapshots.
+//!
+//! [`SignedGraph`] is immutable by design: the mining algorithms want packed,
+//! cache-friendly CSR adjacency.  Streaming workloads, however, apply millions
+//! of single-edge weight updates between mines, and rebuilding a CSR graph
+//! from scratch for every snapshot is `O(m)` hashing and sorting regardless of
+//! how few edges actually changed.
+//!
+//! [`DeltaGraph`] bridges the two worlds:
+//!
+//! * mutation is **O(1) amortized** per update — per-vertex adjacency hash
+//!   maps ([`DeltaGraph::set_weight`], [`DeltaGraph::add_weight`]),
+//! * every mutation that changes the edge set bumps a monotone
+//!   [`DeltaGraph::version`] and marks both endpoints **dirty**,
+//! * [`DeltaGraph::snapshot`] packs the current state into an
+//!   `Arc<SignedGraph>`.  When the version is unchanged since the last
+//!   snapshot the cached `Arc` is returned as-is (pointer-equal, zero work);
+//!   otherwise only the dirty adjacency rows are re-collected and re-sorted —
+//!   clean rows are copied verbatim from the previous snapshot's CSR arrays.
+//!
+//! Consumers hold the returned `Arc<SignedGraph>` for as long as they need it
+//! (e.g. a mining worker solving outside a session lock) without blocking
+//! further mutation.
+
+use std::sync::Arc;
+
+use rustc_hash::FxHashMap;
+
+use crate::{SignedGraph, VertexId, Weight};
+
+/// A mutable, undirected, signed-weight graph optimised for incremental
+/// updates and repeated CSR snapshots.
+///
+/// The vertex set is fixed at construction; self-loops are rejected and
+/// weights of exactly `0.0` mean "no edge" (matching [`crate::GraphBuilder`]'s
+/// convention that the difference graph only contains edges with `D(u,v) ≠ 0`).
+#[derive(Debug, Clone, Default)]
+pub struct DeltaGraph {
+    /// Per-vertex adjacency: `rows[u][v]` is the weight of edge `(u, v)`.
+    /// Symmetric (every edge is stored in both endpoint rows); zero weights
+    /// are never stored.
+    rows: Vec<FxHashMap<VertexId, Weight>>,
+    /// Number of undirected edges (each counted once).
+    num_edges: usize,
+    /// Monotone counter, bumped on every mutation that changed a weight.
+    version: u64,
+    /// Vertices whose adjacency row changed since the last snapshot.
+    dirty: Vec<bool>,
+    dirty_list: Vec<VertexId>,
+    /// The last snapshot and the version it was taken at.
+    cached: Option<(u64, Arc<SignedGraph>)>,
+}
+
+impl DeltaGraph {
+    /// Creates an edgeless delta graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DeltaGraph {
+            rows: vec![FxHashMap::default(); n],
+            num_edges: 0,
+            version: 0,
+            dirty: vec![false; n],
+            dirty_list: Vec::new(),
+            cached: None,
+        }
+    }
+
+    /// Creates a delta graph holding the same edges as `g`.
+    pub fn from_graph(g: &SignedGraph) -> Self {
+        let n = g.num_vertices();
+        let mut rows: Vec<FxHashMap<VertexId, Weight>> = vec![FxHashMap::default(); n];
+        for v in 0..n as VertexId {
+            let (nbrs, ws) = g.neighbor_slices(v);
+            let row = &mut rows[v as usize];
+            row.reserve(nbrs.len());
+            for (&nb, &w) in nbrs.iter().zip(ws) {
+                row.insert(nb, w);
+            }
+        }
+        DeltaGraph {
+            rows,
+            num_edges: g.num_edges(),
+            version: 0,
+            dirty: vec![false; n],
+            dirty_list: Vec::new(),
+            cached: None,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of undirected edges (each counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Monotone version counter: bumped once per mutation that actually
+    /// changed an edge weight.  Two equal versions imply an identical edge
+    /// set, which is what makes [`Self::snapshot`] cacheable.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Degree (number of incident edges) of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.rows[v as usize].len()
+    }
+
+    /// Current weight of edge `(u, v)`, or `None` if absent.
+    pub fn weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        if u == v {
+            return None;
+        }
+        self.rows.get(u as usize)?.get(&v).copied()
+    }
+
+    /// Sets the weight of edge `(u, v)` to exactly `w` (`0.0` removes the
+    /// edge).  Returns `true` if the graph changed — setting an edge to the
+    /// weight it already has (or removing an absent edge) is a no-op that
+    /// does **not** bump the version.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops and out-of-range endpoints; callers validate
+    /// their input (the streaming layer drops such updates before they reach
+    /// the graph).
+    pub fn set_weight(&mut self, u: VertexId, v: VertexId, w: Weight) -> bool {
+        assert!(u != v, "self-loops are not allowed");
+        let n = self.num_vertices();
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of range for {n} vertices"
+        );
+        let old = self.rows[u as usize].get(&v).copied();
+        if w == 0.0 {
+            if old.is_none() {
+                return false;
+            }
+            self.rows[u as usize].remove(&v);
+            self.rows[v as usize].remove(&u);
+            self.num_edges -= 1;
+        } else {
+            if old == Some(w) {
+                return false;
+            }
+            self.rows[u as usize].insert(v, w);
+            self.rows[v as usize].insert(u, w);
+            if old.is_none() {
+                self.num_edges += 1;
+            }
+        }
+        self.mark_dirty(u);
+        self.mark_dirty(v);
+        self.version += 1;
+        true
+    }
+
+    /// Adds `delta` to the weight of edge `(u, v)`; a resulting weight of
+    /// exactly `0.0` removes the edge.  Returns the new weight.  Same panics
+    /// and no-op semantics as [`Self::set_weight`].
+    pub fn add_weight(&mut self, u: VertexId, v: VertexId, delta: Weight) -> Weight {
+        let new = self.weight(u, v).unwrap_or(0.0) + delta;
+        self.set_weight(u, v, new);
+        new
+    }
+
+    /// Iterates every undirected edge `(u, v, w)` exactly once, with `u < v`.
+    ///
+    /// Iteration order within a row is arbitrary (hash order); use
+    /// [`Self::snapshot`] when a deterministic, sorted view is needed.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        self.rows.iter().enumerate().flat_map(|(u, row)| {
+            let u = u as VertexId;
+            row.iter()
+                .filter(move |(&v, _)| u < v)
+                .map(move |(&v, &w)| (u, v, w))
+        })
+    }
+
+    /// Packs the current state into an immutable CSR [`SignedGraph`].
+    ///
+    /// * If nothing changed since the last snapshot, the cached `Arc` is
+    ///   returned — **pointer-equal** to the previous one, no allocation.
+    /// * Otherwise a new CSR graph is assembled: adjacency rows of vertices
+    ///   untouched since the last snapshot are copied verbatim from its
+    ///   arrays, and only dirty rows are re-collected from the hash maps and
+    ///   re-sorted.  For a batch touching `k` of `n` vertices this costs
+    ///   `O(n + m)` in memcpy but only `O(Σ_{dirty v} deg(v) · log deg(v))`
+    ///   in hashing/sorting — the dominant cost of a from-scratch rebuild.
+    pub fn snapshot(&mut self) -> Arc<SignedGraph> {
+        if let Some((version, snap)) = &self.cached {
+            if *version == self.version {
+                return Arc::clone(snap);
+            }
+        }
+        let n = self.num_vertices();
+        let prev = self.cached.take().map(|(_, snap)| snap);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for row in &self.rows {
+            total += row.len();
+            offsets.push(total);
+        }
+        let mut neighbors: Vec<VertexId> = Vec::with_capacity(total);
+        let mut weights: Vec<Weight> = Vec::with_capacity(total);
+        let mut scratch: Vec<(VertexId, Weight)> = Vec::new();
+        for v in 0..n {
+            match prev.as_deref().filter(|_| !self.dirty[v]) {
+                Some(prev) => {
+                    // Clean row: bytewise identical to the previous snapshot.
+                    let (nbrs, ws) = prev.neighbor_slices(v as VertexId);
+                    neighbors.extend_from_slice(nbrs);
+                    weights.extend_from_slice(ws);
+                }
+                None => {
+                    scratch.clear();
+                    scratch.extend(self.rows[v].iter().map(|(&nb, &w)| (nb, w)));
+                    scratch.sort_unstable_by_key(|pair| pair.0);
+                    for &(nb, w) in &scratch {
+                        neighbors.push(nb);
+                        weights.push(w);
+                    }
+                }
+            }
+        }
+        for v in self.dirty_list.drain(..) {
+            self.dirty[v as usize] = false;
+        }
+        let snap = Arc::new(SignedGraph::from_csr(offsets, neighbors, weights));
+        self.cached = Some((self.version, Arc::clone(&snap)));
+        snap
+    }
+
+    /// Number of vertices currently marked dirty (changed since the last
+    /// snapshot).  Exposed for diagnostics and benchmarks.
+    pub fn dirty_vertices(&self) -> usize {
+        self.dirty_list.len()
+    }
+
+    fn mark_dirty(&mut self, v: VertexId) {
+        let flag = &mut self.dirty[v as usize];
+        if !*flag {
+            *flag = true;
+            self.dirty_list.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn set_add_and_remove() {
+        let mut d = DeltaGraph::new(4);
+        assert!(d.set_weight(0, 1, 2.0));
+        assert!(d.set_weight(1, 2, -1.5));
+        assert_eq!(d.num_edges(), 2);
+        assert_eq!(d.weight(1, 0), Some(2.0));
+        // No-op updates do not move the version.
+        let version = d.version();
+        assert!(!d.set_weight(0, 1, 2.0));
+        assert!(!d.set_weight(2, 3, 0.0));
+        assert_eq!(d.version(), version);
+        // Removing and re-adding.
+        assert!(d.set_weight(0, 1, 0.0));
+        assert_eq!(d.num_edges(), 1);
+        assert_eq!(d.weight(0, 1), None);
+        assert_eq!(d.add_weight(0, 1, 3.0), 3.0);
+        assert_eq!(d.add_weight(0, 1, -3.0), 0.0);
+        assert_eq!(d.weight(0, 1), None);
+        assert_eq!(d.num_edges(), 1);
+    }
+
+    #[test]
+    fn snapshot_matches_builder_and_is_cached() {
+        let mut d = DeltaGraph::new(5);
+        d.set_weight(0, 1, 1.0);
+        d.set_weight(0, 3, -2.0);
+        d.set_weight(2, 3, 3.0);
+        let expected = GraphBuilder::from_edges(5, vec![(0, 1, 1.0), (0, 3, -2.0), (2, 3, 3.0)]);
+        let snap = d.snapshot();
+        assert_eq!(*snap, expected);
+        // Unchanged version: the exact same Arc comes back.
+        let again = d.snapshot();
+        assert!(Arc::ptr_eq(&snap, &again));
+        // A mutation invalidates the cache; the incremental rebuild only
+        // touches the dirty rows but the result is a complete graph.
+        d.set_weight(2, 4, -1.0);
+        d.set_weight(3, 4, 2.0);
+        let expected = GraphBuilder::from_edges(
+            5,
+            vec![
+                (0, 1, 1.0),
+                (0, 3, -2.0),
+                (2, 3, 3.0),
+                (2, 4, -1.0),
+                (3, 4, 2.0),
+            ],
+        );
+        let next = d.snapshot();
+        assert!(!Arc::ptr_eq(&snap, &next));
+        assert_eq!(*next, expected);
+        // No-op mutations keep the cache valid.
+        d.set_weight(3, 4, 2.0);
+        assert!(Arc::ptr_eq(&next, &d.snapshot()));
+    }
+
+    #[test]
+    fn from_graph_round_trips() {
+        let g = GraphBuilder::from_edges(6, vec![(0, 1, 1.0), (1, 2, -4.0), (4, 5, 0.5)]);
+        let mut d = DeltaGraph::from_graph(&g);
+        assert_eq!(d.num_edges(), g.num_edges());
+        assert_eq!(*d.snapshot(), g);
+        let mut edges: Vec<_> = d.edges().collect();
+        edges.sort_by_key(|&(u, v, _)| (u, v));
+        assert_eq!(edges, vec![(0, 1, 1.0), (1, 2, -4.0), (4, 5, 0.5)]);
+    }
+
+    #[test]
+    fn dirty_tracking_resets_after_snapshot() {
+        let mut d = DeltaGraph::new(4);
+        d.set_weight(0, 1, 1.0);
+        assert_eq!(d.dirty_vertices(), 2);
+        let _ = d.snapshot();
+        assert_eq!(d.dirty_vertices(), 0);
+        d.set_weight(0, 1, 2.0);
+        d.set_weight(0, 2, 1.0);
+        assert_eq!(d.dirty_vertices(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loops() {
+        DeltaGraph::new(3).set_weight(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        DeltaGraph::new(3).set_weight(0, 7, 1.0);
+    }
+}

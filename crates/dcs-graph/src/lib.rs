@@ -13,6 +13,9 @@
 //!
 //! * [`GraphBuilder`] — accumulate an edge list (with duplicate merging) and pack it into
 //!   CSR form,
+//! * [`DeltaGraph`] — an incrementally maintained graph with O(1) weight updates,
+//!   dirty-vertex tracking and cheap versioned `Arc<SignedGraph>` CSR snapshots
+//!   ([`delta`]), the substrate of the streaming difference-graph engine,
 //! * induced-subgraph metrics over vertex subsets ([`SignedGraph::total_degree`],
 //!   [`SignedGraph::average_degree`], [`SignedGraph::edge_density`], …),
 //! * [`SignedGraph::positive_part`] — the graph `G_{D+}` containing only positive edges,
@@ -52,6 +55,7 @@ pub mod builder;
 pub mod components;
 pub mod cores;
 pub mod csr;
+pub mod delta;
 pub mod io;
 pub mod labels;
 pub mod subset;
@@ -61,6 +65,7 @@ pub use builder::{DuplicatePolicy, GraphBuilder};
 pub use components::{connected_components, connected_components_of, ComponentLabels};
 pub use cores::{core_decomposition, degeneracy, CoreDecomposition};
 pub use csr::{EdgeRef, NeighborIter, SignedGraph};
+pub use delta::DeltaGraph;
 pub use labels::{LabeledGraphBuilder, VertexLabels};
 pub use subset::VertexSubset;
 
@@ -82,6 +87,7 @@ pub mod prelude {
     pub use crate::components::{connected_components, connected_components_of};
     pub use crate::cores::core_decomposition;
     pub use crate::csr::SignedGraph;
+    pub use crate::delta::DeltaGraph;
     pub use crate::subset::VertexSubset;
     pub use crate::{EdgeTriple, VertexId, Weight};
 }

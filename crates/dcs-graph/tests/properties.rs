@@ -1,6 +1,6 @@
 //! Property-based tests for the graph substrate.
 
-use dcs_graph::{connected_components, core_decomposition, GraphBuilder, SignedGraph};
+use dcs_graph::{connected_components, core_decomposition, DeltaGraph, GraphBuilder, SignedGraph};
 use proptest::prelude::*;
 
 /// Strategy: a random edge list over `n <= 24` vertices with signed weights.
@@ -138,5 +138,54 @@ proptest! {
             let w2 = g2.edge_weight(u, v).unwrap();
             prop_assert!((w - w2).abs() < 1e-9);
         }
+    }
+
+    /// A DeltaGraph driven by an arbitrary mutation sequence (absolute sets,
+    /// relative adds, removals via zero, repeated touches of the same edge)
+    /// always snapshots to exactly the graph a from-scratch build produces —
+    /// including across interleaved snapshots, where clean rows are copied
+    /// from the previous snapshot instead of rebuilt.
+    #[test]
+    fn delta_snapshots_equal_scratch_builds(
+        n in 2usize..20,
+        ops in proptest::collection::vec((0u32..20, 0u32..20, -4.0f64..4.0, any::<bool>(), any::<bool>()), 0..120),
+    ) {
+        let mut delta = DeltaGraph::new(n);
+        let mut reference: std::collections::BTreeMap<(u32, u32), f64> = std::collections::BTreeMap::new();
+        for (i, (u, v, w, absolute, snapshot_now)) in ops.into_iter().enumerate() {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            let value = if absolute {
+                delta.set_weight(u, v, w);
+                w
+            } else {
+                delta.add_weight(u, v, w)
+            };
+            if value == 0.0 {
+                reference.remove(&key);
+            } else {
+                reference.insert(key, value);
+            }
+            // Snapshot mid-sequence on roughly a third of the operations so the
+            // incremental (partially-dirty) rebuild path is exercised.
+            if snapshot_now || i % 3 == 0 {
+                let snap = delta.snapshot();
+                let scratch = GraphBuilder::from_edges(
+                    n,
+                    reference.iter().map(|(&(a, b), &wt)| (a, b, wt)),
+                );
+                prop_assert_eq!(&*snap, &scratch);
+            }
+        }
+        let snap = delta.snapshot();
+        let scratch = GraphBuilder::from_edges(n, reference.iter().map(|(&(a, b), &wt)| (a, b, wt)));
+        prop_assert_eq!(&*snap, &scratch);
+        prop_assert_eq!(snap.num_edges(), delta.num_edges());
+        // An unchanged version returns the cached snapshot, pointer-equal.
+        let again = delta.snapshot();
+        prop_assert!(std::sync::Arc::ptr_eq(&snap, &again));
     }
 }

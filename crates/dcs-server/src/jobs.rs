@@ -13,9 +13,10 @@ use std::thread::JoinHandle;
 
 use dcs_core::dcsga::DcsgaConfig;
 use dcs_core::{
-    alpha_sweep, default_alpha_grid, mine_difference, top_k_affinity, top_k_average_degree,
+    alpha_sweep, default_alpha_grid, mine_difference_seeded, top_k_affinity, top_k_average_degree,
     ContrastReport, DensityMeasure,
 };
+use dcs_graph::VertexId;
 use serde_json::{json, Value};
 
 use crate::error::ServerError;
@@ -73,7 +74,10 @@ impl JobSpec {
     ///
     /// The session lock is held only while snapshotting inputs and while
     /// storing the result — never while solving — so observers keep streaming
-    /// into the session during long mines.
+    /// into the session during long mines.  Snapshots are `Arc` handles to the
+    /// session's incrementally maintained difference graph: an unchanged
+    /// session hands out the same graph pointer to every worker, and even a
+    /// changed one only rebuilds the adjacency rows its updates dirtied.
     pub fn execute(&self, session: &SharedSession) -> Result<Value, ServerError> {
         // Snapshot under the lock.
         let (key, version, body) = {
@@ -85,7 +89,7 @@ impl JobSpec {
                 hit["cached"] = json!(true);
                 return Ok(hit);
             }
-            let snapshot = self.snapshot(&guard);
+            let snapshot = self.snapshot(&mut guard);
             drop(guard);
 
             // Solve without holding the session lock.
@@ -105,8 +109,8 @@ impl JobSpec {
         Ok(response)
     }
 
-    fn snapshot(&self, session: &crate::session::Session) -> Snapshot {
-        let monitor = session.monitor();
+    fn snapshot(&self, session: &mut crate::session::Session) -> Snapshot {
+        let monitor = session.monitor_mut();
         match self {
             JobSpec::Mine { measure } => {
                 let mut config = *monitor.config();
@@ -114,19 +118,20 @@ impl JobSpec {
                     config.measure = *m;
                 }
                 Snapshot::Mine {
+                    seed: monitor.last_support().map(<[VertexId]>::to_vec),
+                    observations: monitor.observations(),
                     gd: monitor.difference_snapshot(),
                     config,
-                    observations: monitor.observations(),
                 }
             }
             JobSpec::TopK { k, measure } => Snapshot::TopK {
-                gd: monitor.difference_snapshot(),
                 k: *k,
                 measure: measure.unwrap_or(monitor.config().measure),
+                gd: monitor.difference_snapshot(),
             },
             JobSpec::Sweep { alphas, measure } => Snapshot::Sweep {
                 g2: monitor.observed_graph(),
-                g1: monitor.baseline().clone(),
+                g1: monitor.baseline_arc(),
                 alphas: alphas.clone().unwrap_or_else(default_alpha_grid),
                 measure: measure.unwrap_or(monitor.config().measure),
             },
@@ -139,8 +144,9 @@ impl JobSpec {
                 gd,
                 config,
                 observations,
+                seed,
             } => {
-                let alert = mine_difference(&gd, &config, observations);
+                let alert = mine_difference_seeded(&gd, &config, observations, seed.as_deref());
                 Ok(json!({ "version": version, "result": alert_to_json(&alert) }))
             }
             Snapshot::TopK { gd, k, measure } => {
@@ -193,20 +199,27 @@ impl JobSpec {
 }
 
 /// Inputs captured under the session lock, solved outside it.
+///
+/// Graphs are `Arc` handles into the session's delta engine (and baseline) —
+/// capturing a snapshot clones pointers, not adjacency arrays.  Only the
+/// observed graph of a sweep is materialised, because the sweep re-scales the
+/// raw `(G2, G1)` pair rather than consuming `G_D`.
 enum Snapshot {
     Mine {
-        gd: dcs_graph::SignedGraph,
+        gd: Arc<dcs_graph::SignedGraph>,
         config: dcs_core::StreamingConfig,
         observations: usize,
+        /// Warm-start seed: the support of the session's last cadence mine.
+        seed: Option<Vec<VertexId>>,
     },
     TopK {
-        gd: dcs_graph::SignedGraph,
+        gd: Arc<dcs_graph::SignedGraph>,
         k: usize,
         measure: DensityMeasure,
     },
     Sweep {
         g2: dcs_graph::SignedGraph,
-        g1: dcs_graph::SignedGraph,
+        g1: Arc<dcs_graph::SignedGraph>,
         alphas: Vec<f64>,
         measure: DensityMeasure,
     },

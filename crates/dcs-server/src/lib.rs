@@ -8,7 +8,11 @@
 //!
 //! * a [`SessionRegistry`] of named **sessions**, each holding a baseline
 //!   graph, a live observed graph fed by incremental weight updates
-//!   (a [`dcs_core::StreamingDcs`]), and a monotone **graph version**;
+//!   (a [`dcs_core::StreamingDcs`] over an incrementally maintained
+//!   difference graph), and a monotone **graph version** bumped only by
+//!   updates that actually change the graph; mining jobs receive
+//!   `Arc<SignedGraph>` snapshot handles — no per-job graph clones, and an
+//!   unchanged session hands every worker the same pointer-equal snapshot;
 //! * a fixed-size [`WorkerPool`] with a bounded job queue, so many clients
 //!   can mine concurrently without oversubscribing cores (excess load is
 //!   rejected with a `busy` error instead of piling up);

@@ -94,6 +94,14 @@ impl Session {
         &self.monitor
     }
 
+    /// Mutable access to the streaming monitor.  Mining jobs need this to take
+    /// difference snapshots: the snapshot cache lives inside the monitor's
+    /// delta engine, so snapshotting an unchanged session is a pointer-equal
+    /// `Arc` clone rather than a rebuild.
+    pub fn monitor_mut(&mut self) -> &mut StreamingDcs {
+        &mut self.monitor
+    }
+
     /// The session's result cache.
     pub fn cache_mut(&mut self) -> &mut ResultCache {
         &mut self.cache
@@ -239,6 +247,30 @@ mod tests {
         assert_eq!(stats.observed_edges, 2);
         assert_eq!(stats.baseline_edges, 2);
         assert_eq!(stats.cache_entries, 0);
+    }
+
+    #[test]
+    fn snapshots_at_an_unchanged_version_share_one_graph() {
+        let mut session = Session::new(8, config()).unwrap();
+        session.load_baseline(&[(0, 1, 1.0), (2, 3, 2.0)]).unwrap();
+        session.observe(&[(0, 1, 3.0), (4, 5, 1.0)]);
+        // Two jobs snapshotting the same version receive the same Arc — the
+        // serving layer never materialises a graph copy per job.
+        let first = session.monitor_mut().difference_snapshot();
+        let second = session.monitor_mut().difference_snapshot();
+        assert!(Arc::ptr_eq(&first, &second));
+        // An applied observation moves the version and the snapshot.
+        session.observe(&[(4, 5, 1.0)]);
+        let third = session.monitor_mut().difference_snapshot();
+        assert!(!Arc::ptr_eq(&first, &third));
+        // An ignored batch (no-ops only) does not.
+        let outcome = session.observe(&[(4, 5, 0.0), (6, 6, 1.0)]);
+        assert_eq!(outcome.applied, 0);
+        assert_eq!(outcome.ignored, 2);
+        assert!(Arc::ptr_eq(
+            &third,
+            &session.monitor_mut().difference_snapshot()
+        ));
     }
 
     #[test]

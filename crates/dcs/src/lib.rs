@@ -53,7 +53,7 @@ pub mod prelude {
     pub use dcs_core::{StreamingConfig, StreamingDcs};
     pub use dcs_datasets::{GraphPair, Scale};
     pub use dcs_densest::{densest_subgraph_exact, greedy_peeling};
-    pub use dcs_graph::{GraphBuilder, SignedGraph, VertexId, Weight};
+    pub use dcs_graph::{DeltaGraph, GraphBuilder, SignedGraph, VertexId, Weight};
     pub use dcs_server::{Client as DcsClient, Server as DcsServer, ServerConfig};
 }
 

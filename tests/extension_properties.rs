@@ -140,6 +140,41 @@ proptest! {
 
     // -------------------------------------------------------------------- streaming
 
+    /// After an arbitrary observe sequence — repeated touches of the same edge,
+    /// deletions via clamping to zero, no-op updates — the incremental difference
+    /// snapshot is *identical* (same CSR content) to a from-scratch rebuild, and an
+    /// unchanged version returns the same pointer-equal Arc.
+    #[test]
+    fn incremental_snapshot_equals_scratch_rebuild(
+        (g1, _) in arb_graph_pair(),
+        updates in proptest::collection::vec((0u32..16, 0u32..16, -5.0f64..5.0), 0..80),
+    ) {
+        let config = StreamingConfig {
+            remine_every: 0,
+            alert_threshold: 0.0,
+            measure: DensityMeasure::AverageDegree,
+        };
+        let n = g1.num_vertices() as u32;
+        let mut monitor = StreamingDcs::new(g1, config).unwrap();
+        for (i, (u, v, delta)) in updates.into_iter().enumerate() {
+            // Fold endpoints into range; keep a few out-of-range/self-loop updates
+            // as-is to exercise the ignored path.
+            let (u, v) = if i % 7 == 0 { (u, v) } else { (u % n, v % n) };
+            monitor.observe(u, v, delta);
+            if i % 5 == 0 {
+                prop_assert_eq!(
+                    &*monitor.difference_snapshot(),
+                    &monitor.rebuild_difference_snapshot()
+                );
+            }
+        }
+        let snapshot = monitor.difference_snapshot();
+        prop_assert_eq!(&*snapshot, &monitor.rebuild_difference_snapshot());
+        // Unchanged version: pointer-equal snapshot, no rebuild.
+        let again = monitor.difference_snapshot();
+        prop_assert!(std::sync::Arc::ptr_eq(&snapshot, &again));
+    }
+
     /// Replaying G2's edges through the streaming monitor reproduces exactly the batch
     /// difference graph, and the monitor's mined contrast matches batch mining.
     #[test]
