@@ -6,7 +6,7 @@ use std::ops::Range;
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// A length specification for [`vec`]: an exact size or a half-open range.
+/// A length specification for [`vec()`]: an exact size or a half-open range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     min: usize,
@@ -42,7 +42,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -17,6 +17,7 @@
 //! much lower density than the DCS algorithms produce — exactly the qualitative contrast
 //! of Tables VIII/IX.
 
+use dcs_core::engine::{ContrastSolver, EngineSolution, SolveContext, SolveStats, SolverDetail};
 use dcs_graph::{SignedGraph, VertexId, VertexSubset, Weight};
 
 /// Configuration of the EgoScan substitute.
@@ -60,12 +61,28 @@ impl EgoScan {
 
     /// Mines a subgraph with (locally) maximal total weight from the signed graph `gd`.
     pub fn solve(&self, gd: &SignedGraph) -> EgoScanResult {
+        self.solve_bounded(gd, &SolveContext::unbounded()).0
+    }
+
+    /// [`Self::solve`] under a [`SolveContext`]: the context is checked once per
+    /// local-search sweep and once per ego-net seed, so a deadline, cancellation or
+    /// exhausted budget returns the best (valid, locally improved) candidate found so
+    /// far together with [`SolveStats`] telemetry.
+    pub fn solve_bounded(
+        &self,
+        gd: &SignedGraph,
+        cx: &SolveContext,
+    ) -> (EgoScanResult, SolveStats) {
+        let mut meter = cx.meter();
         let n = gd.num_vertices();
         if n == 0 || gd.num_positive_edges() == 0 {
-            return EgoScanResult {
-                subset: Vec::new(),
-                total_degree: 0.0,
-            };
+            return (
+                EgoScanResult {
+                    subset: Vec::new(),
+                    total_degree: 0.0,
+                },
+                meter.finish(),
+            );
         }
 
         // Seed 1: global "drop negative contributors" candidate starting from all
@@ -74,7 +91,8 @@ impl EgoScan {
             .vertices()
             .filter(|&v| gd.neighbors(v).any(|e| e.weight > 0.0))
             .collect();
-        let mut best = self.local_search(gd, &positive_touched);
+        meter.note_candidates(1);
+        let mut best = self.local_search(gd, &positive_touched, &mut meter);
 
         // Seed 2: ego nets of the highest positive-degree vertices.
         let mut by_pos_degree: Vec<(VertexId, Weight)> = gd
@@ -89,23 +107,37 @@ impl EgoScan {
             })
             .filter(|(_, w)| *w > 0.0)
             .collect();
-        by_pos_degree.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        by_pos_degree.sort_by(|a, b| b.1.total_cmp(&a.1));
         for &(seed, _) in by_pos_degree.iter().take(self.config.max_seeds) {
+            if meter.stopped() {
+                break;
+            }
+            meter.note_candidates(1);
             let ego = gd.ego_net(seed);
-            let candidate = self.local_search(gd, &ego);
+            let candidate = self.local_search(gd, &ego, &mut meter);
             if candidate.total_degree > best.total_degree {
                 best = candidate;
             }
         }
-        best
+        (best, meter.finish())
     }
 
-    /// Add/remove local search maximising `W_D(S)` starting from `initial`.
-    fn local_search(&self, gd: &SignedGraph, initial: &[VertexId]) -> EgoScanResult {
+    /// Add/remove local search maximising `W_D(S)` starting from `initial`.  One
+    /// meter unit per sweep; an interrupted search returns its current members (every
+    /// completed pass only ever improved `W_D(S)`).
+    fn local_search(
+        &self,
+        gd: &SignedGraph,
+        initial: &[VertexId],
+        meter: &mut dcs_core::engine::WorkMeter,
+    ) -> EgoScanResult {
         let n = gd.num_vertices();
         let mut members = VertexSubset::from_slice(n, initial);
 
         for _ in 0..self.config.max_sweeps {
+            if !meter.tick(1) {
+                break;
+            }
             let mut changed = false;
 
             // Removal pass: drop every vertex whose internal weighted degree is negative
@@ -161,6 +193,22 @@ impl EgoScan {
         EgoScanResult {
             subset,
             total_degree,
+        }
+    }
+}
+
+impl ContrastSolver for EgoScan {
+    fn name(&self) -> &'static str {
+        "egoscan"
+    }
+
+    fn solve_in(&self, gd: &SignedGraph, cx: &SolveContext) -> EngineSolution {
+        let (result, stats) = self.solve_bounded(gd, cx);
+        EngineSolution {
+            subset: result.subset,
+            objective: result.total_degree,
+            detail: SolverDetail::Subset,
+            stats,
         }
     }
 }
@@ -241,6 +289,41 @@ mod tests {
         let res = EgoScan::default().solve(&gd);
         assert!(res.subset.is_empty());
         assert_eq!(res.total_degree, 0.0);
+    }
+
+    #[test]
+    fn engine_solver_matches_direct_solve_and_respects_cancellation() {
+        let gd = GraphBuilder::from_edges(
+            6,
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (2, 3, 0.5),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+            ],
+        );
+        let direct = EgoScan::default().solve(&gd);
+        let engine = EgoScan::default().solve_in(&gd, &SolveContext::unbounded());
+        assert_eq!(engine.subset, direct.subset);
+        assert_eq!(engine.objective, direct.total_degree);
+        assert!(engine.stats.termination.is_converged());
+        assert!(engine.stats.candidates > 0);
+
+        let token = dcs_core::engine::CancelToken::new();
+        token.cancel();
+        let cancelled =
+            EgoScan::default().solve_in(&gd, &SolveContext::unbounded().with_cancel(&token));
+        assert_eq!(
+            cancelled.stats.termination,
+            dcs_core::engine::Termination::Cancelled
+        );
+        assert!(cancelled
+            .subset
+            .iter()
+            .all(|&v| (v as usize) < gd.num_vertices()));
     }
 
     #[test]

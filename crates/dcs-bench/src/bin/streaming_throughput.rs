@@ -22,7 +22,8 @@
 
 use std::time::Instant;
 
-use dcs_core::{DensityMeasure, StreamingConfig, StreamingDcs};
+use dcs_core::dcsad::DcsGreedy;
+use dcs_core::{ContrastSolver, DensityMeasure, SolveContext, StreamingConfig, StreamingDcs};
 use dcs_graph::{GraphBuilder, SignedGraph, VertexId};
 use serde_json::json;
 
@@ -76,6 +77,14 @@ fn mean_ms(samples: &[f64]) -> f64 {
         return 0.0;
     }
     samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
 fn main() {
@@ -153,6 +162,41 @@ fn main() {
         );
     }
 
+    // --- Engine-wrapper overhead: the unified `ContrastSolver` interface must be
+    // free when unbounded.  Interleave direct `solve()` calls with trait-dispatched
+    // `solve_in(unbounded)` calls on the final difference snapshot and compare
+    // medians; the engine path additionally reports `SolveStats`.
+    let gd = monitor.difference_snapshot();
+    let solver = DcsGreedy::default();
+    let cx = SolveContext::unbounded();
+    let rounds = 15;
+    let mut direct_ms = Vec::with_capacity(rounds);
+    let mut engine_ms = Vec::with_capacity(rounds);
+    let mut engine_stats = None;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let direct = solver.solve(&gd);
+        direct_ms.push(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let engine = ContrastSolver::solve_in(&solver, &gd, &cx);
+        engine_ms.push(start.elapsed().as_secs_f64() * 1e3);
+
+        assert_eq!(
+            engine.subset, direct.subset,
+            "engine wrapper changed the unbounded result"
+        );
+        engine_stats = Some(engine.stats);
+    }
+    let direct_median = median_ms(&mut direct_ms);
+    let engine_median = median_ms(&mut engine_ms);
+    let overhead = if direct_median > 0.0 {
+        engine_median / direct_median - 1.0
+    } else {
+        0.0
+    };
+    let engine_stats = engine_stats.expect("at least one engine round");
+
     let delta = mean_ms(&delta_ms);
     let scratch = mean_ms(&scratch_ms);
     let cached = mean_ms(&cached_ms);
@@ -168,6 +212,19 @@ fn main() {
         "observes_per_sec": observes_per_sec,
         "snapshot_ms": { "delta": delta, "scratch": scratch, "cached": cached },
         "speedup_delta_vs_scratch": speedup,
+        "engine_wrapper": {
+            "solver": "dcs-greedy",
+            "direct_ms_median": direct_median,
+            "engine_ms_median": engine_median,
+            "overhead_fraction": overhead,
+            "stats": {
+                "iterations": engine_stats.iterations,
+                "candidates": engine_stats.candidates,
+                "prunes": engine_stats.prunes,
+                "wall_ms": engine_stats.wall.as_secs_f64() * 1e3,
+                "termination": engine_stats.termination.as_str(),
+            },
+        },
     });
     println!("{}", serde_json::to_string_pretty(&report).unwrap());
 
@@ -175,6 +232,17 @@ fn main() {
     // through the delta engine than through a from-scratch rebuild.
     if speedup < 1.0 {
         eprintln!("warning: delta path not faster than scratch rebuild (speedup {speedup:.2}x)");
+        std::process::exit(1);
+    }
+    // ... and in the CI smoke mode the engine wrapper must stay within 5% of the
+    // direct solver call (absolute slack of 0.2 ms absorbs sub-millisecond timer
+    // noise).  Interactive full runs report the overhead without gating on it.
+    if smoke && overhead > 0.05 && engine_median - direct_median > 0.2 {
+        eprintln!(
+            "warning: engine wrapper overhead {:.1}% exceeds the 5% bound \
+             (direct {direct_median:.3} ms, engine {engine_median:.3} ms)",
+            overhead * 100.0
+        );
         std::process::exit(1);
     }
 }

@@ -2,7 +2,9 @@
 
 use dcs_core::dcsad::DcsGreedy;
 use dcs_core::dcsga::NewSea;
-use dcs_core::ContrastReport;
+use dcs_core::{ContrastReport, SolveStats};
+// The stats shape is the same wire contract the server speaks — one serializer.
+use dcs_server::stats_to_json;
 use serde_json::json;
 
 use crate::args::{parse_args, ArgSpec, ParsedArgs};
@@ -12,7 +14,8 @@ use crate::output::{json_to_string, render_report, report_to_json};
 
 /// Usage string shown by `dcs help`.
 pub const USAGE: &str = "dcs mine <G1.edges> <G2.edges> [--measure degree|affinity|both] [--numeric] \
-[--scheme weighted|discrete|scaled] [--alpha X] [--direction emerging|disappearing|both] [--clamp X] [--json]";
+[--scheme weighted|discrete|scaled] [--alpha X] [--direction emerging|disappearing|both] [--clamp X] \
+[--timeout SECS] [--budget N] [--json]";
 
 /// Which density measure(s) to mine under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,9 +46,30 @@ impl Measure {
 
 fn spec() -> ArgSpec {
     ArgSpec::new(
-        &["measure", "scheme", "alpha", "direction", "clamp"],
+        &[
+            "measure",
+            "scheme",
+            "alpha",
+            "direction",
+            "clamp",
+            "timeout",
+            "budget",
+        ],
         &["numeric", "json"],
     )
+}
+
+fn termination_line(stats: &SolveStats) -> String {
+    if stats.termination.is_converged() {
+        String::new()
+    } else {
+        format!(
+            "termination  {} (best-so-far after {} iterations, {:.1} ms)\n",
+            stats.termination,
+            stats.iterations,
+            stats.wall.as_secs_f64() * 1e3
+        )
+    }
 }
 
 /// Runs the subcommand and returns the text to print.
@@ -53,6 +77,7 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
     let args = parse_args(raw_args, &spec())?;
     let pair = load_pair(&args)?;
     let options = MiningOptions::from_args(&args)?;
+    let cx = MiningOptions::solve_context(&args)?;
     let measure = match args.option("measure") {
         None => Measure::Both,
         Some(raw) => Measure::parse(raw).ok_or_else(|| CliError::InvalidValue {
@@ -63,28 +88,38 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
 
     let mut out = String::new();
     let mut json_results = Vec::new();
+    // The deadline is naturally job-wide (absolute instant); splitting the budget
+    // via `after_work` makes `--budget` job-wide too, across measures × directions.
+    let mut job_used = 0u64;
     for direction in options.direction.expand() {
         let gd = options.difference_graph(&pair, direction)?;
 
         if measure.wants_degree() {
-            let solution = DcsGreedy::default().solve(&gd);
+            let (solution, stats) =
+                DcsGreedy::default().solve_bounded(&gd, &[], &cx.after_work(job_used));
+            job_used += stats.iterations;
             let report = ContrastReport::for_subset(&gd, &solution.subset);
             let members = pair.render_vertices(&report.subset);
             let title = format!("DCS by average degree — {}", direction.name());
             out.push_str(&render_report(&title, &report, &members));
             out.push_str(&format!(
-                "data-dependent approximation ratio  {:.3}\n\n",
+                "data-dependent approximation ratio  {:.3}\n",
                 solution.data_dependent_ratio
             ));
+            out.push_str(&termination_line(&stats));
+            out.push('\n');
             let mut value = report_to_json(&report, &members);
             value["measure"] = json!("average-degree");
             value["direction"] = json!(direction.name());
             value["data_dependent_ratio"] = json!(solution.data_dependent_ratio);
+            value["stats"] = stats_to_json(&stats);
             json_results.push(value);
         }
 
         if measure.wants_affinity() {
-            let solution = NewSea::default().solve(&gd);
+            let (solution, stats) =
+                NewSea::default().solve_bounded(&gd, &[], &cx.after_work(job_used));
+            job_used += stats.iterations;
             let report = ContrastReport::for_embedding(&gd, &solution.embedding);
             let members = pair.render_vertices(&report.subset);
             let title = format!("DCS by graph affinity — {}", direction.name());
@@ -95,7 +130,9 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
                 .zip(&members)
                 .map(|(&v, name)| format!("{name} ({:.3})", solution.embedding.get(v)))
                 .collect();
-            out.push_str(&format!("embedding  {}\n\n", weights.join(", ")));
+            out.push_str(&format!("embedding  {}\n", weights.join(", ")));
+            out.push_str(&termination_line(&stats));
+            out.push('\n');
             let mut value = report_to_json(&report, &members);
             value["measure"] = json!("graph-affinity");
             value["direction"] = json!(direction.name());
@@ -104,6 +141,7 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
                 .iter()
                 .map(|&v| solution.embedding.get(v))
                 .collect::<Vec<f64>>());
+            value["stats"] = stats_to_json(&stats);
             json_results.push(value);
         }
     }
@@ -194,6 +232,33 @@ mod tests {
         // 2 directions × 2 measures.
         assert_eq!(value["results"].as_array().unwrap().len(), 4);
         assert!(value["results"][0]["size"].as_u64().unwrap() >= 2);
+    }
+
+    #[test]
+    fn timeout_and_budget_flags_bound_the_solve() {
+        let (p1, p2) = write_pair("dcs_cli_mine_bounds");
+        // A generous timeout converges normally (no termination banner).
+        let out = run(&strings(&[&p1, &p2, "--timeout", "30"])).unwrap();
+        assert!(!out.contains("termination"));
+        // A one-unit budget truncates: the banner names the termination and the
+        // result is still a valid report.
+        let out = run(&strings(&[&p1, &p2, "--budget", "1", "--json"])).unwrap();
+        assert!(out.contains("termination  budget_exhausted"));
+        let json_start = out.find("{\n").unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out[json_start..]).unwrap();
+        assert_eq!(
+            value["results"][0]["stats"]["termination"],
+            "budget_exhausted"
+        );
+        // Invalid values are rejected.
+        assert!(matches!(
+            run(&strings(&[&p1, &p2, "--timeout", "-1"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            run(&strings(&[&p1, &p2, "--budget", "lots"])),
+            Err(CliError::InvalidValue { .. })
+        ));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! * [`stats`] — difference-graph statistics of a graph pair (a Table II row),
 //! * [`mine`] — mine the DCS under average degree and/or graph affinity,
 //! * [`topk`] — mine up to `k` vertex-disjoint contrast subgraphs,
+//! * [`sweep`] — α-sweep of the scaled difference graph `A2 − α·A1` (Section III-D),
 //! * [`compare`] — DCS vs EgoScan vs quasi-clique side by side (Tables VIII/IX style),
 //! * [`census`] — positive-clique census of the difference graph (Table V / Fig. 3 style),
 //! * [`generate`] — write a synthetic benchmark graph pair (with ground truth) to disk,
@@ -19,4 +20,5 @@ pub mod generate;
 pub mod mine;
 pub mod serve;
 pub mod stats;
+pub mod sweep;
 pub mod topk;

@@ -5,7 +5,8 @@
 //! exposes it on edge-list inputs.
 
 use dcs_core::dcsga::DcsgaConfig;
-use dcs_core::{top_k_affinity, top_k_average_degree, ContrastReport};
+use dcs_core::{top_k_in, DensityMeasure, SolveStats};
+use dcs_server::stats_to_json;
 use serde_json::json;
 
 use crate::args::{parse_args, ArgSpec, ParsedArgs};
@@ -15,11 +16,21 @@ use crate::output::{json_to_string, render_report, report_to_json};
 
 /// Usage string shown by `dcs help`.
 pub const USAGE: &str = "dcs topk <G1.edges> <G2.edges> [--k N] [--measure degree|affinity] [--numeric] \
-[--scheme weighted|discrete|scaled] [--alpha X] [--direction emerging|disappearing|both] [--clamp X] [--json]";
+[--scheme weighted|discrete|scaled] [--alpha X] [--direction emerging|disappearing|both] [--clamp X] \
+[--timeout SECS] [--budget N] [--json]";
 
 fn spec() -> ArgSpec {
     ArgSpec::new(
-        &["k", "measure", "scheme", "alpha", "direction", "clamp"],
+        &[
+            "k",
+            "measure",
+            "scheme",
+            "alpha",
+            "direction",
+            "clamp",
+            "timeout",
+            "budget",
+        ],
         &["numeric", "json"],
     )
 }
@@ -29,10 +40,11 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
     let args = parse_args(raw_args, &spec())?;
     let pair = load_pair(&args)?;
     let options = MiningOptions::from_args(&args)?;
+    let cx = MiningOptions::solve_context(&args)?;
     let k: usize = args.parse_option("k", 5)?;
-    let use_affinity = match args.option("measure").unwrap_or("affinity") {
-        "affinity" | "graph-affinity" | "ga" => true,
-        "degree" | "average-degree" | "ad" => false,
+    let measure = match args.option("measure").unwrap_or("affinity") {
+        "affinity" | "graph-affinity" | "ga" => DensityMeasure::GraphAffinity,
+        "degree" | "average-degree" | "ad" => DensityMeasure::AverageDegree,
         other => {
             return Err(CliError::InvalidValue {
                 option: "measure".to_string(),
@@ -43,36 +55,42 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
 
     let mut out = String::new();
     let mut json_results = Vec::new();
+    let mut job_stats = SolveStats::default();
     for direction in options.direction.expand() {
         let gd = options.difference_graph(&pair, direction)?;
-        let reports: Vec<ContrastReport> = if use_affinity {
-            top_k_affinity(&gd, k, DcsgaConfig::default())
-                .iter()
-                .map(|s| ContrastReport::for_embedding(&gd, &s.embedding))
-                .collect()
-        } else {
-            top_k_average_degree(&gd, k)
-                .iter()
-                .map(|s| ContrastReport::for_subset(&gd, &s.subset))
-                .collect()
-        };
+        // Solver dispatch lives in the engine: `top_k_in` drives the measure's
+        // solver under the shared deadline/budget context; `after_work` makes the
+        // budget job-wide across directions.
+        let outcome = top_k_in(
+            &gd,
+            k,
+            measure,
+            DcsgaConfig::default(),
+            &cx.after_work(job_stats.iterations),
+        );
 
         out.push_str(&format!(
-            "{} — top {} of {} requested ({})\n\n",
+            "{} — top {} of {} requested ({measure})\n",
             direction.name(),
-            reports.len(),
+            outcome.solutions.len(),
             k,
-            if use_affinity {
-                "graph affinity"
-            } else {
-                "average degree"
-            },
         ));
-        for (rank, report) in reports.iter().enumerate() {
+        if !outcome.termination.is_converged() {
+            out.push_str(&format!(
+                "termination  {} (best-so-far after {} iterations, {:.1} ms)\n",
+                outcome.termination,
+                outcome.stats.iterations,
+                outcome.stats.wall.as_secs_f64() * 1e3
+            ));
+        }
+        out.push('\n');
+        job_stats.absorb(&outcome.stats);
+        for (rank, solution) in outcome.solutions.iter().enumerate() {
+            let report = solution.report(&gd);
             let members = pair.render_vertices(&report.subset);
-            out.push_str(&render_report(&format!("#{}", rank + 1), report, &members));
+            out.push_str(&render_report(&format!("#{}", rank + 1), &report, &members));
             out.push('\n');
-            let mut value = report_to_json(report, &members);
+            let mut value = report_to_json(&report, &members);
             value["rank"] = json!(rank + 1);
             value["direction"] = json!(direction.name());
             json_results.push(value);
@@ -80,7 +98,11 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
     }
 
     if args.flag("json") {
-        out.push_str(&json_to_string(&json!({ "results": json_results })));
+        out.push_str(&json_to_string(&json!({
+            "results": json_results,
+            "termination": job_stats.termination.as_str(),
+            "stats": stats_to_json(&job_stats),
+        })));
     }
     Ok(out)
 }
@@ -143,6 +165,22 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&out[json_start..]).unwrap();
         assert_eq!(value["results"].as_array().unwrap().len(), 2);
         assert_eq!(value["results"][0]["rank"], 1);
+    }
+
+    #[test]
+    fn json_reports_termination_and_stats() {
+        let (p1, p2) = write_pair("dcs_cli_topk_termination");
+        let out = run(&strings(&[&p1, &p2, "--json"])).unwrap();
+        let json_start = out.find("{\n").unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out[json_start..]).unwrap();
+        assert_eq!(value["termination"], "converged");
+        assert!(value["stats"]["iterations"].as_u64().unwrap() > 0);
+
+        // A truncated job is machine-distinguishable from a converged one.
+        let out = run(&strings(&[&p1, &p2, "--budget", "1", "--json"])).unwrap();
+        let json_start = out.find("{\n").unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out[json_start..]).unwrap();
+        assert_eq!(value["termination"], "budget_exhausted");
     }
 
     #[test]

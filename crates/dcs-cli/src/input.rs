@@ -7,8 +7,9 @@
 //! small.
 
 use std::path::Path;
+use std::time::Duration;
 
-use dcs_core::{clamp_weights, difference_graph_with, DiscreteRule, WeightScheme};
+use dcs_core::{clamp_weights, difference_graph_with, DiscreteRule, SolveContext, WeightScheme};
 use dcs_graph::labels::{align_vertex_counts, read_labeled_graph_pair_files, VertexLabels};
 use dcs_graph::{io as graph_io, SignedGraph, VertexId};
 
@@ -146,6 +147,35 @@ impl MiningOptions {
             direction,
             clamp,
         })
+    }
+
+    /// Interprets the shared solver-bound options `--timeout SECONDS` (wall-clock
+    /// deadline) and `--budget UNITS` (solver-specific work budget) into a
+    /// [`SolveContext`].  With neither flag the context is unbounded.
+    pub fn solve_context(args: &ParsedArgs) -> Result<SolveContext, CliError> {
+        let mut cx = SolveContext::unbounded();
+        if let Some(raw) = args.option("timeout") {
+            let seconds: f64 = raw.parse().map_err(|_| CliError::InvalidValue {
+                option: "timeout".to_string(),
+                value: raw.to_string(),
+            })?;
+            // try_from_secs_f64 rejects NaN, negatives and values past u64 seconds
+            // (a plain from_secs_f64 would panic on e.g. `--timeout 1e20`).
+            let after =
+                Duration::try_from_secs_f64(seconds).map_err(|_| CliError::InvalidValue {
+                    option: "timeout".to_string(),
+                    value: raw.to_string(),
+                })?;
+            cx = cx.with_deadline(after);
+        }
+        if let Some(raw) = args.option("budget") {
+            let units: u64 = raw.parse().map_err(|_| CliError::InvalidValue {
+                option: "budget".to_string(),
+                value: raw.to_string(),
+            })?;
+            cx = cx.with_budget(units);
+        }
+        Ok(cx)
     }
 
     /// Builds the difference graph for one direction, applying the scheme and clamp.

@@ -7,6 +7,7 @@
 //! dcs stats    <G1.edges> <G2.edges> ...   difference-graph statistics (Table II style)
 //! dcs mine     <G1.edges> <G2.edges> ...   the DCS under average degree / graph affinity
 //! dcs topk     <G1.edges> <G2.edges> ...   up to k vertex-disjoint contrast subgraphs
+//! dcs sweep    <G1.edges> <G2.edges> ...   α-sweep of the scaled difference graph
 //! dcs compare  <G1.edges> <G2.edges> ...   DCS vs EgoScan vs quasi-clique side by side
 //! dcs census   <G1.edges> <G2.edges> ...   positive-clique census of the difference graph
 //! dcs generate <dataset> --out <dir> ...   synthetic benchmark pairs with ground truth
@@ -36,14 +37,17 @@ pub fn usage() -> String {
     format!(
         "dcs — density contrast subgraph mining\n\
          \n\
-         Usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n\
+         Usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n\
          \n\
          Every command accepts exactly the options shown above.\n\
          Edge lists are `label label [weight]` per line; `--numeric` reads integer vertex ids.\n\
+         Mining commands accept `--timeout SECS` and `--budget N`: a tripped bound returns\n\
+         the best result found so far instead of running to convergence.\n\
          The serve/client protocol is documented in the `dcs-server` crate docs.\n",
         commands::stats::USAGE,
         commands::mine::USAGE,
         commands::topk::USAGE,
+        commands::sweep::USAGE,
         commands::compare::USAGE,
         commands::census::USAGE,
         commands::generate::USAGE,
@@ -63,6 +67,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "stats" => commands::stats::run(rest),
         "mine" => commands::mine::run(rest),
         "topk" => commands::topk::run(rest),
+        "sweep" => commands::sweep::run(rest),
         "compare" => commands::compare::run(rest),
         "census" => commands::census::run(rest),
         "generate" => commands::generate::run(rest),
@@ -85,7 +90,7 @@ mod tests {
     fn help_lists_every_command() {
         let text = run(&strings(&["help"])).unwrap();
         for command in [
-            "stats", "mine", "topk", "compare", "census", "generate", "serve", "client",
+            "stats", "mine", "topk", "sweep", "compare", "census", "generate", "serve", "client",
         ] {
             assert!(text.contains(command), "usage mentions {command}");
         }

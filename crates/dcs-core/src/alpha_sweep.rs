@@ -10,12 +10,19 @@
 //! [`alpha_sweep`] runs either DCS algorithm across a grid of α values and reports one
 //! [`AlphaPoint`] per value, so callers (and the `emerging_communities` example) can plot
 //! size and contrast against α and pick an operating point.
+//!
+//! The sweep is an **engine driver**: solver choice goes through
+//! [`MeasureSolver`], every grid point runs under the caller's [`SolveContext`]
+//! (shared budget, job-wide deadline and cancellation), and each solve is
+//! **warm-started** from the previous α's support — neighbouring grid points usually
+//! mine almost the same subgraph, so the previous support is a strong incumbent that
+//! lets the Theorem-6 early-exit bound prune most initialisations instead of mining
+//! every α from scratch.
 
 use dcs_graph::{SignedGraph, VertexId, Weight};
 
-use crate::dcsad::DcsGreedy;
-use crate::dcsga::NewSea;
 use crate::diff::scaled_difference_graph;
+use crate::engine::{ContrastSolver, MeasureSolver, SolveContext, SolveStats, Termination};
 use crate::error::DcsError;
 use crate::solution::{ContrastReport, DensityMeasure};
 
@@ -34,19 +41,38 @@ pub struct AlphaPoint {
     pub report: ContrastReport,
 }
 
-/// Runs a DCS algorithm for every α in `alphas` and returns one point per value.
+/// The result of a bounded α-sweep: the mined grid points plus job-level telemetry.
+#[derive(Debug, Clone)]
+pub struct AlphaSweep {
+    /// One point per completed α value, in grid order.  A truncated sweep holds the
+    /// points completed before the bound tripped (the truncated point's best-so-far
+    /// included).
+    pub points: Vec<AlphaPoint>,
+    /// Aggregated stats across all grid points.
+    pub stats: SolveStats,
+    /// [`Termination::Converged`] when every grid point ran to completion.
+    pub termination: Termination,
+}
+
+/// Runs a DCS algorithm for every α in `alphas` under a [`SolveContext`].
 ///
-/// `measure` selects the solver: [`DensityMeasure::AverageDegree`] runs DCSGreedy,
-/// anything else runs NewSEA.  Both graphs must be valid DCS inputs (same vertex set,
-/// non-negative weights); α values must be non-negative.
-pub fn alpha_sweep(
+/// `measure` selects the solver through [`MeasureSolver`]:
+/// [`DensityMeasure::AverageDegree`] runs DCSGreedy, anything else runs NewSEA.  Both
+/// graphs must be valid DCS inputs (same vertex set, non-negative weights); α values
+/// must be non-negative.  Each grid point's solve is warm-started from the previous
+/// point's support.
+pub fn alpha_sweep_in(
     g2: &SignedGraph,
     g1: &SignedGraph,
     alphas: &[Weight],
     measure: DensityMeasure,
-) -> Result<Vec<AlphaPoint>, DcsError> {
+    cx: &SolveContext,
+) -> Result<AlphaSweep, DcsError> {
+    let solver = MeasureSolver::for_measure(measure);
     let plain = scaled_difference_graph(g2, g1, 1.0)?;
     let mut points = Vec::with_capacity(alphas.len());
+    let mut stats = SolveStats::default();
+    let mut seed: Vec<VertexId> = Vec::new();
     for &alpha in alphas {
         if alpha < 0.0 || !alpha.is_finite() {
             return Err(DcsError::InvalidConfig(format!(
@@ -54,25 +80,39 @@ pub fn alpha_sweep(
             )));
         }
         let gd = scaled_difference_graph(g2, g1, alpha)?;
-        let (subset, objective) = match measure {
-            DensityMeasure::AverageDegree | DensityMeasure::TotalDegree => {
-                let solution = DcsGreedy::default().solve(&gd);
-                (solution.subset, solution.density_difference)
-            }
-            DensityMeasure::GraphAffinity => {
-                let solution = NewSea::default().solve(&gd);
-                (solution.support(), solution.affinity_difference)
-            }
-        };
-        let report = ContrastReport::for_subset(&plain, &subset);
+        let point_cx = cx.after_work(stats.iterations);
+        let solution = solver.solve_seeded_in(&gd, &seed, &point_cx);
+        let truncated = !solution.termination().is_converged();
+        stats.absorb(&solution.stats);
+        seed = solution.subset.clone();
+        let report = ContrastReport::for_subset(&plain, &solution.subset);
         points.push(AlphaPoint {
             alpha,
-            subset,
-            objective,
+            subset: solution.subset,
+            objective: solution.objective,
             report,
         });
+        if truncated {
+            break;
+        }
     }
-    Ok(points)
+    let termination = stats.termination;
+    Ok(AlphaSweep {
+        points,
+        stats,
+        termination,
+    })
+}
+
+/// Runs a DCS algorithm for every α in `alphas` and returns one point per value —
+/// a thin [`SolveContext::unbounded`] wrapper over [`alpha_sweep_in`].
+pub fn alpha_sweep(
+    g2: &SignedGraph,
+    g1: &SignedGraph,
+    alphas: &[Weight],
+    measure: DensityMeasure,
+) -> Result<Vec<AlphaPoint>, DcsError> {
+    alpha_sweep_in(g2, g1, alphas, measure, &SolveContext::unbounded()).map(|sweep| sweep.points)
 }
 
 /// A convenient default grid: `0, 0.25, 0.5, …, 2.0`.
@@ -83,6 +123,7 @@ pub fn default_alpha_grid() -> Vec<Weight> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::CancelToken;
     use dcs_graph::GraphBuilder;
 
     /// G2 strengthens the triangle {0,1,2}; the pair {3,4} is strong in both graphs;
@@ -151,6 +192,49 @@ mod tests {
         // left standing.
         assert_eq!(points[0].subset, vec![3, 4]);
         assert_eq!(points.last().unwrap().subset, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn warm_started_sweep_matches_the_cold_grid_and_reports_stats() {
+        let (g1, g2) = pair();
+        let grid = default_alpha_grid();
+        let sweep = alpha_sweep_in(
+            &g2,
+            &g1,
+            &grid,
+            DensityMeasure::GraphAffinity,
+            &SolveContext::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(sweep.termination, Termination::Converged);
+        assert_eq!(sweep.points.len(), grid.len());
+        assert!(sweep.stats.iterations > 0);
+        // Every point matches a from-scratch solve of the same α (warm starting never
+        // changes the answer on this instance, only the work done).
+        for point in &sweep.points {
+            let cold = alpha_sweep(&g2, &g1, &[point.alpha], DensityMeasure::GraphAffinity)
+                .unwrap()
+                .remove(0);
+            assert_eq!(point.subset, cold.subset);
+        }
+    }
+
+    #[test]
+    fn cancelled_sweep_stops_early_with_partial_points() {
+        let (g1, g2) = pair();
+        let token = CancelToken::new();
+        token.cancel();
+        let sweep = alpha_sweep_in(
+            &g2,
+            &g1,
+            &default_alpha_grid(),
+            DensityMeasure::AverageDegree,
+            &SolveContext::unbounded().with_cancel(&token),
+        )
+        .unwrap();
+        assert_eq!(sweep.termination, Termination::Cancelled);
+        // The first point's truncated best-so-far is still reported, nothing more.
+        assert!(sweep.points.len() <= 1);
     }
 
     #[test]

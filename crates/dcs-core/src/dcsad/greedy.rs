@@ -12,8 +12,10 @@
 //! If the winning candidate is disconnected in `G_D`, it is replaced by its best
 //! connected component (justified by Property 1).
 
-use dcs_densest::charikar::greedy_peeling;
+use dcs_densest::charikar::{greedy_peeling, greedy_peeling_until};
 use dcs_graph::{components, SignedGraph, VertexId, Weight};
+
+use crate::engine::{SolveContext, SolveStats};
 
 /// Which of the DCSGreedy candidates produced the final answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,21 +78,41 @@ impl DcsGreedy {
     /// the previous solution on the current graph.  Out-of-range seed vertices are
     /// dropped; an empty (or fully dropped) seed reduces to [`Self::solve`].
     pub fn solve_seeded(&self, gd: &SignedGraph, seed: &[VertexId]) -> DcsadSolution {
+        self.solve_bounded(gd, seed, &SolveContext::unbounded()).0
+    }
+
+    /// [`Self::solve_seeded`] under a [`SolveContext`]: the candidate peels check the
+    /// context's cancellation token / deadline / budget once per vertex removal and
+    /// return best-so-far when a bound trips.
+    ///
+    /// The returned subset is always valid; on a non-converged termination the
+    /// data-dependent ratio of Theorem 2 is not a certificate (the `G_{D+}` peel may
+    /// have been truncated) — check [`SolveStats::termination`] before trusting it.
+    pub fn solve_bounded(
+        &self,
+        gd: &SignedGraph,
+        seed: &[VertexId],
+        cx: &SolveContext,
+    ) -> (DcsadSolution, SolveStats) {
         let n = gd.num_vertices();
         assert!(n > 0, "the difference graph must have at least one vertex");
+        let mut meter = cx.meter();
 
         // Case 1: no positive edges — any single vertex is optimal (density 0).
         let max_edge = gd.max_weight_edge();
         let has_positive = matches!(max_edge, Some((_, _, w)) if w > 0.0);
         if !has_positive {
-            return DcsadSolution {
-                subset: vec![0],
-                density_difference: 0.0,
-                data_dependent_ratio: 1.0,
-                winner: CandidateKind::SingleVertex,
-                rho_gd_plus: 0.0,
-                refined_to_component: false,
-            };
+            return (
+                DcsadSolution {
+                    subset: vec![0],
+                    density_difference: 0.0,
+                    data_dependent_ratio: 1.0,
+                    winner: CandidateKind::SingleVertex,
+                    rho_gd_plus: 0.0,
+                    refined_to_component: false,
+                },
+                meter.finish(),
+            );
         }
         let (eu, ev, _) = max_edge.expect("checked above");
 
@@ -100,15 +122,24 @@ impl DcsGreedy {
             s.sort_unstable();
             s
         };
+        meter.note_candidates(1);
 
-        // Candidate B: greedy peel of G_D.
-        let s1 = greedy_peeling(gd).subset;
+        // Candidate B: greedy peel of G_D (interruptible; best prefix so far).
+        let s1 = {
+            let (peel, _) = greedy_peeling_until(gd, |units| !meter.tick(units));
+            meter.note_candidates(1);
+            peel.subset
+        };
 
-        // Candidate C: greedy peel of G_{D+}.
-        let gd_plus = gd.positive_part();
-        let peel_plus = greedy_peeling(&gd_plus);
-        let s2 = peel_plus.subset;
-        let rho_gd_plus = peel_plus.average_degree;
+        // Candidate C: greedy peel of G_{D+}; skipped entirely once a bound tripped.
+        let (s2, rho_gd_plus) = if meter.stopped() {
+            (Vec::new(), 0.0)
+        } else {
+            let gd_plus = gd.positive_part();
+            let (peel_plus, _) = greedy_peeling_until(&gd_plus, |units| !meter.tick(units));
+            meter.note_candidates(1);
+            (peel_plus.subset, peel_plus.average_degree)
+        };
 
         // Candidate D (warm start): the seed support from a previous mine.
         let seed_candidate: Vec<VertexId> = {
@@ -117,6 +148,9 @@ impl DcsGreedy {
             s.dedup();
             s
         };
+        if !seed_candidate.is_empty() {
+            meter.note_candidates(1);
+        }
 
         // Pick the candidate with the best density *in G_D*.
         let mut best_subset = edge_candidate.clone();
@@ -165,14 +199,17 @@ impl DcsGreedy {
             Weight::INFINITY
         };
 
-        DcsadSolution {
-            subset: best_subset,
-            density_difference: best_density,
-            data_dependent_ratio,
-            winner,
-            rho_gd_plus,
-            refined_to_component,
-        }
+        (
+            DcsadSolution {
+                subset: best_subset,
+                density_difference: best_density,
+                data_dependent_ratio,
+                winner,
+                rho_gd_plus,
+                refined_to_component,
+            },
+            meter.finish(),
+        )
     }
 
     /// Runs only the greedy peel of `G_D` and evaluates it in `G_D` (the "GD only"

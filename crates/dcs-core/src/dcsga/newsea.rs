@@ -20,6 +20,7 @@ use dcs_graph::{core_decomposition, SignedGraph, VertexId, Weight};
 use super::refine::refine;
 use super::seacd::SeaCd;
 use super::{DcsgaConfig, DcsgaSolution};
+use crate::engine::{SolveContext, SolveStats};
 
 /// Statistics of a smart-initialisation sweep.
 #[derive(Debug, Clone, Default)]
@@ -85,14 +86,45 @@ impl NewSea {
         gd_plus: &SignedGraph,
         seed: &[VertexId],
     ) -> DcsgaSolution {
+        self.solve_on_positive_part_bounded(gd_plus, seed, &SolveContext::unbounded())
+            .0
+    }
+
+    /// [`Self::solve_seeded`] under a [`SolveContext`]: builds `G_{D+}` and runs the
+    /// bounded sweep.
+    pub fn solve_bounded(
+        &self,
+        gd: &SignedGraph,
+        seed: &[VertexId],
+        cx: &SolveContext,
+    ) -> (DcsgaSolution, SolveStats) {
+        let gd_plus = gd.positive_part();
+        self.solve_on_positive_part_bounded(&gd_plus, seed, cx)
+    }
+
+    /// The µ_u-ordered sweep under a [`SolveContext`]: the context is checked before
+    /// every initialisation and after every SEACD shrink round (work units are
+    /// coordinate-descent iterations), so a deadline, cancellation or exhausted
+    /// budget returns the best incumbent found so far.  Theorem-6 early-exit prunes
+    /// are reported through both [`SmartInitStats`] and [`SolveStats::prunes`].
+    pub fn solve_on_positive_part_bounded(
+        &self,
+        gd_plus: &SignedGraph,
+        seed: &[VertexId],
+        cx: &SolveContext,
+    ) -> (DcsgaSolution, SolveStats) {
         let n = gd_plus.num_vertices();
+        let mut meter = cx.meter();
         let mut stats = SmartInitStats::default();
         if n == 0 || gd_plus.num_edges() == 0 {
-            return DcsgaSolution {
-                embedding: Embedding::default(),
-                affinity_difference: 0.0,
-                stats,
-            };
+            return (
+                DcsgaSolution {
+                    embedding: Embedding::default(),
+                    affinity_difference: 0.0,
+                    stats,
+                },
+                meter.finish(),
+            );
         }
 
         // --- Smart-initialisation upper bounds (Theorem 6). -------------------------
@@ -107,9 +139,12 @@ impl NewSea {
             .copied()
             .filter(|&u| (u as usize) < n && gd_plus.degree(u) > 0)
             .collect();
-        if !seed_support.is_empty() {
+        if !seed_support.is_empty() && !meter.stopped() {
             stats.seeded_runs += 1;
-            let run = seacd.run_from(gd_plus, Embedding::uniform(&seed_support));
+            meter.note_candidates(1);
+            let run = seacd.run_from_until(gd_plus, Embedding::uniform(&seed_support), |units| {
+                !meter.tick(units)
+            });
             stats.expansion_errors += run.expansion_errors;
             let refined = refine(gd_plus, run.embedding, &self.config);
             let objective = refined.affinity(gd_plus);
@@ -122,11 +157,18 @@ impl NewSea {
         // --- Sweep in descending µ_u order with the early-exit bound. ----------------
         for &(u, mu) in &order {
             if mu <= best_objective {
-                stats.initializations_skipped += order.len() - stats.initializations_run;
+                let skipped = order.len() - stats.initializations_run;
+                stats.initializations_skipped += skipped;
+                meter.note_prunes(skipped as u64);
+                break;
+            }
+            if meter.stopped() {
                 break;
             }
             stats.initializations_run += 1;
-            let run = seacd.run_from_vertex(gd_plus, u);
+            meter.note_candidates(1);
+            let run =
+                seacd.run_from_until(gd_plus, Embedding::singleton(u), |units| !meter.tick(units));
             stats.expansion_errors += run.expansion_errors;
             let refined = refine(gd_plus, run.embedding, &self.config);
             let objective = refined.affinity(gd_plus);
@@ -136,11 +178,14 @@ impl NewSea {
             }
         }
 
-        DcsgaSolution {
-            embedding: best,
-            affinity_difference: best_objective,
-            stats,
-        }
+        (
+            DcsgaSolution {
+                embedding: best,
+                affinity_difference: best_objective,
+                stats,
+            },
+            meter.finish(),
+        )
     }
 }
 

@@ -18,7 +18,9 @@ use dcs_densest::Embedding;
 use dcs_graph::{SignedGraph, VertexId, Weight};
 
 use super::coord_descent::descend_to_local_kkt;
-use super::DcsgaConfig;
+use super::refine::refine;
+use super::{DcsgaConfig, DcsgaSolution, SmartInitStats};
+use crate::engine::{SolveContext, SolveStats};
 
 /// Result of one SEACD run (a single initialisation).
 #[derive(Debug, Clone)]
@@ -71,6 +73,20 @@ impl SeaCd {
     /// Runs SEACD from an initial embedding on graph `g` (usually `G_{D+}`, but any
     /// signed graph is accepted — the shrink stage handles negative weights).
     pub fn run_from(&self, g: &SignedGraph, init: Embedding) -> SeaCdRun {
+        self.run_from_until(g, init, |_| false)
+    }
+
+    /// [`Self::run_from`] with a **stop callback**: after every shrink stage,
+    /// `stop(units)` is invoked with the coordinate-descent iterations just performed
+    /// (plus one for the round itself) and the run returns its current KKT point as
+    /// soon as the callback says stop.  The returned embedding is always a valid
+    /// simplex point — just not necessarily a converged one.
+    pub fn run_from_until<F: FnMut(u64) -> bool>(
+        &self,
+        g: &SignedGraph,
+        init: Embedding,
+        mut stop: F,
+    ) -> SeaCdRun {
         let mut x = init;
         let mut rounds = 0usize;
         let mut cd_iterations = 0usize;
@@ -93,10 +109,11 @@ impl SeaCd {
             let shrink = descend_to_local_kkt(g, &x, &support, eps, self.config.max_cd_iterations);
             cd_iterations += shrink.iterations;
             x = shrink.embedding;
+            let interrupted = stop(shrink.iterations as u64 + 1);
 
             // Expansion candidates Z = {i | ∇_i > λ}.
             let z = expansion_candidates(g, &x, self.config.candidate_tolerance);
-            if z.is_empty() || rounds >= self.config.max_rounds {
+            if interrupted || z.is_empty() || rounds >= self.config.max_rounds {
                 let objective = x.affinity(g);
                 return SeaCdRun {
                     embedding: x,
@@ -113,6 +130,49 @@ impl SeaCd {
             x = out.embedding;
             x.prune(1e-12);
         }
+    }
+
+    /// The `SEACD+Refine` comparator under a [`SolveContext`]: one initialisation per
+    /// non-isolated vertex of `G_{D+}` (no smart-initialisation pruning), each refined
+    /// by Algorithm 4, returning the best and stopping early when a bound trips.
+    pub fn solve_bounded(
+        &self,
+        gd: &SignedGraph,
+        cx: &SolveContext,
+    ) -> (DcsgaSolution, SolveStats) {
+        let gd_plus = gd.positive_part();
+        let mut meter = cx.meter();
+        let mut stats = SmartInitStats::default();
+        let mut best = Embedding::default();
+        let mut best_objective = 0.0;
+        for u in 0..gd_plus.num_vertices() as VertexId {
+            if gd_plus.degree(u) == 0 {
+                continue;
+            }
+            if meter.stopped() {
+                break;
+            }
+            stats.initializations_run += 1;
+            meter.note_candidates(1);
+            let run = self.run_from_until(&gd_plus, Embedding::singleton(u), |units| {
+                !meter.tick(units)
+            });
+            stats.expansion_errors += run.expansion_errors;
+            let refined = refine(&gd_plus, run.embedding, &self.config);
+            let objective = refined.affinity(&gd_plus);
+            if objective > best_objective {
+                best_objective = objective;
+                best = refined;
+            }
+        }
+        (
+            DcsgaSolution {
+                embedding: best,
+                affinity_difference: best_objective,
+                stats,
+            },
+            meter.finish(),
+        )
     }
 
     /// Runs SEACD from the singleton embedding `e_u`.

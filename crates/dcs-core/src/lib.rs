@@ -18,6 +18,12 @@
 //!   Theorem 5) and [`dcsga::NewSea`] (Algorithm 5: SEACD + refinement + the
 //!   smart-initialisation upper bound of Theorem 6).
 //!
+//! Every solver also implements the unified [`engine::ContrastSolver`] trait: a solve
+//! under an [`engine::SolveContext`] can be cancelled, deadlined or budgeted and
+//! returns best-so-far with [`engine::SolveStats`] telemetry.  The drivers layered on
+//! top ([`top_k_in`], [`alpha_sweep_in`], [`streaming`]) all dispatch through
+//! [`engine::MeasureSolver`].
+//!
 //! ## Quick start
 //!
 //! ```
@@ -50,23 +56,28 @@ pub mod alpha_sweep;
 pub mod dcsad;
 pub mod dcsga;
 pub mod diff;
+pub mod engine;
 pub mod error;
 pub mod solution;
 pub mod streaming;
 pub mod topk;
 
-pub use alpha_sweep::{alpha_sweep, default_alpha_grid, AlphaPoint};
+pub use alpha_sweep::{alpha_sweep, alpha_sweep_in, default_alpha_grid, AlphaPoint, AlphaSweep};
 pub use diff::{
     clamp_weights, damp_heavy_weights, difference_graph, difference_graph_with,
     scaled_difference_graph, DiscreteRule, WeightScheme,
 };
+pub use engine::{
+    CancelToken, ContrastSolver, EngineSolution, MeasureSolver, SolveContext, SolveStats,
+    Termination,
+};
 pub use error::DcsError;
 pub use solution::{ContrastReport, DensityMeasure};
 pub use streaming::{
-    mine_difference, mine_difference_seeded, BatchOutcome, ContrastAlert, StreamingConfig,
-    StreamingDcs,
+    mine_difference, mine_difference_in, mine_difference_seeded, BatchOutcome, ContrastAlert,
+    StreamingConfig, StreamingDcs,
 };
-pub use topk::{top_k_affinity, top_k_average_degree};
+pub use topk::{top_k_affinity, top_k_average_degree, top_k_in, TopKOutcome};
 
 // Re-export the embedding type: it is part of this crate's public API surface
 // (DCSGA solutions are embeddings).

@@ -42,8 +42,7 @@ use std::sync::Arc;
 use dcs_graph::{DeltaGraph, GraphBuilder, SignedGraph, VertexId, Weight};
 use rustc_hash::FxHashMap;
 
-use crate::dcsad::DcsGreedy;
-use crate::dcsga::NewSea;
+use crate::engine::{ContrastSolver, MeasureSolver, SolveContext, SolveStats};
 use crate::error::DcsError;
 use crate::solution::{ContrastReport, DensityMeasure};
 
@@ -81,6 +80,9 @@ pub struct ContrastAlert {
     pub density_difference: Weight,
     /// How many observations have been applied in total when this alert was produced.
     pub observations: usize,
+    /// Solver telemetry of the mine that produced this alert, including the
+    /// [`crate::engine::Termination`] status (best-so-far when not converged).
+    pub stats: SolveStats,
 }
 
 /// Maintains an observed graph against a fixed historical baseline and periodically mines
@@ -364,7 +366,8 @@ pub fn mine_difference(
 
 /// [`mine_difference`] with an optional **warm-start seed**: the support of a
 /// previous mine on a slightly-changed graph.  The seed is handed to the solver
-/// ([`NewSea::solve_seeded`] / [`DcsGreedy::solve_seeded`]); a good seed makes
+/// ([`crate::dcsga::NewSea::solve_seeded`] / [`crate::dcsad::DcsGreedy::solve_seeded`]);
+/// a good seed makes
 /// re-mines converge faster, a stale one costs a single extra candidate.
 pub fn mine_difference_seeded(
     gd: &SignedGraph,
@@ -372,24 +375,29 @@ pub fn mine_difference_seeded(
     observations: usize,
     seed: Option<&[VertexId]>,
 ) -> ContrastAlert {
-    let seed = seed.unwrap_or(&[]);
-    let (report, density_difference) = match config.measure {
-        DensityMeasure::GraphAffinity => {
-            let solution = NewSea::default().solve_seeded(gd, seed);
-            let report = ContrastReport::for_embedding(gd, &solution.embedding);
-            (report, solution.affinity_difference)
-        }
-        DensityMeasure::AverageDegree | DensityMeasure::TotalDegree => {
-            let solution = DcsGreedy::default().solve_seeded(gd, seed);
-            let report = ContrastReport::for_subset(gd, &solution.subset);
-            (report, solution.density_difference)
-        }
-    };
+    mine_difference_in(gd, config, observations, seed, &SolveContext::unbounded())
+}
+
+/// [`mine_difference_seeded`] under a [`SolveContext`]: the solve observes the
+/// context's cancellation token / deadline / budget and the returned alert carries
+/// best-so-far results plus [`SolveStats`] telemetry when a bound trips.  Solver
+/// dispatch goes through [`MeasureSolver`] — the single measure-to-solver mapping.
+pub fn mine_difference_in(
+    gd: &SignedGraph,
+    config: &StreamingConfig,
+    observations: usize,
+    seed: Option<&[VertexId]>,
+    cx: &SolveContext,
+) -> ContrastAlert {
+    let solver = MeasureSolver::for_measure(config.measure);
+    let solution = solver.solve_seeded_in(gd, seed.unwrap_or(&[]), cx);
+    let report = solution.report(gd);
     ContrastAlert {
-        triggered: density_difference >= config.alert_threshold,
-        density_difference,
+        triggered: solution.objective >= config.alert_threshold,
+        density_difference: solution.objective,
         observations,
         report,
+        stats: solution.stats,
     }
 }
 

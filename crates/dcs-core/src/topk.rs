@@ -6,76 +6,135 @@
 //! incident edges), and repeat until `k` subgraphs have been reported or no positive
 //! contrast remains.  The returned subgraphs are therefore vertex-disjoint and reported
 //! in non-increasing order of their density difference.
+//!
+//! The peeling loop is an **engine driver**: solver choice comes from
+//! [`MeasureSolver`], every round runs under the caller's [`SolveContext`] (a shared
+//! budget is split across rounds, the deadline and cancellation token apply to the
+//! whole job), and the outcome carries aggregated [`SolveStats`] plus a
+//! [`Termination`] saying whether all `k` rounds completed.  The measure-specific
+//! entry points remain as thin unbounded wrappers.
 
-use dcs_graph::{SignedGraph, VertexId};
+use dcs_graph::SignedGraph;
 
-use crate::dcsad::{DcsGreedy, DcsadSolution};
-use crate::dcsga::{DcsgaConfig, DcsgaSolution, NewSea};
+use crate::dcsad::DcsadSolution;
+use crate::dcsga::{DcsgaConfig, DcsgaSolution};
+use crate::engine::{
+    EngineSolution, MeasureSolver, SolveContext, SolveStats, SolverDetail, Termination,
+};
+use crate::solution::DensityMeasure;
+
+/// The result of a bounded top-k mine: per-rank solutions plus job-level telemetry.
+#[derive(Debug, Clone)]
+pub struct TopKOutcome {
+    /// The mined solutions, sorted by non-increasing objective.  On a truncated job
+    /// this holds every round that finished (including the truncated round's
+    /// best-so-far, when it found positive contrast).
+    pub solutions: Vec<EngineSolution>,
+    /// Aggregated stats across all rounds (iterations, candidates, prunes, wall).
+    pub stats: SolveStats,
+    /// [`Termination::Converged`] when every round ran to completion.
+    pub termination: Termination,
+}
+
+/// Mines up to `k` vertex-disjoint contrast subgraphs under `measure`, bounded by
+/// `cx`.
+///
+/// Solver dispatch goes through [`MeasureSolver`]; the working graph is peeled in
+/// place ([`SignedGraph::remove_vertices_in_place`]) — no per-round graph clone
+/// beyond the initial working copy.  Mining stops early when the remaining contrast
+/// is no longer positive, when `k` rounds have run, or when a bound of `cx` trips
+/// (the truncated round's best-so-far still counts when it has positive contrast).
+pub fn top_k_in(
+    gd: &SignedGraph,
+    k: usize,
+    measure: DensityMeasure,
+    config: DcsgaConfig,
+    cx: &SolveContext,
+) -> TopKOutcome {
+    let solver = MeasureSolver::with_config(measure, config);
+    let mut remaining = solver.prepare_working_graph(gd);
+    let mut solutions: Vec<EngineSolution> = Vec::new();
+    let mut stats = SolveStats::default();
+    for _ in 0..k {
+        if solver.working_graph_exhausted(&remaining) {
+            break;
+        }
+        let round_cx = cx.after_work(stats.iterations);
+        let solution = solver.solve_working_seeded_in(&remaining, &[], &round_cx);
+        let round_termination = solution.termination();
+        let keep = solution.objective > 0.0 && !solution.subset.is_empty();
+        stats.absorb(&solution.stats);
+        if keep {
+            remaining.remove_vertices_in_place(&solution.subset);
+            solutions.push(solution);
+        }
+        if !round_termination.is_converged() || !keep {
+            break;
+        }
+    }
+    // The solvers are heuristics, so a later (smaller) instance can occasionally
+    // yield a denser subgraph than an earlier one; sort so the reported order matches
+    // the documented non-increasing contract.  `total_cmp` keeps the comparator total
+    // even for a pathological (NaN) objective.
+    solutions.sort_by(|a, b| b.objective.total_cmp(&a.objective));
+    let termination = stats.termination;
+    TopKOutcome {
+        solutions,
+        stats,
+        termination,
+    }
+}
 
 /// Mines up to `k` vertex-disjoint DCS with respect to **average degree**, by iterating
-/// [`DcsGreedy`] on the difference graph with previously reported vertices removed.
+/// [`crate::dcsad::DcsGreedy`] on the difference graph with previously reported
+/// vertices removed.
 ///
-/// Mining stops early when the best remaining density difference is no longer positive.
-/// Peeling is done in place on a single working copy
-/// ([`SignedGraph::remove_vertices_in_place`]) — no per-round graph clone.
+/// Thin [`SolveContext::unbounded`] wrapper over [`top_k_in`]; mining stops early when
+/// the best remaining density difference is no longer positive.
 pub fn top_k_average_degree(gd: &SignedGraph, k: usize) -> Vec<DcsadSolution> {
-    let mut remaining = gd.clone();
-    let mut results = Vec::new();
-    let solver = DcsGreedy::default();
-    for _ in 0..k {
-        if remaining.num_positive_edges() == 0 {
-            break;
-        }
-        let solution = solver.solve(&remaining);
-        if solution.density_difference <= 0.0 {
-            break;
-        }
-        remaining.remove_vertices_in_place(&solution.subset);
-        results.push(solution);
-    }
-    // DCSGreedy is a heuristic, so a later (smaller) instance can occasionally yield a
-    // denser subgraph than an earlier one; sort so the reported order matches the
-    // documented non-increasing contract.
-    results.sort_by(|a, b| {
-        b.density_difference
-            .partial_cmp(&a.density_difference)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    results
+    top_k_in(
+        gd,
+        k,
+        DensityMeasure::AverageDegree,
+        DcsgaConfig::default(),
+        &SolveContext::unbounded(),
+    )
+    .solutions
+    .into_iter()
+    .map(|solution| match solution.detail {
+        SolverDetail::Dcsad(typed) => typed,
+        _ => unreachable!("the average-degree solver produces DCSAD solutions"),
+    })
+    .collect()
 }
 
 /// Mines up to `k` vertex-disjoint DCS with respect to **graph affinity**, by iterating
-/// [`NewSea`] on the difference graph with previously reported supports removed.
+/// [`crate::dcsga::NewSea`] on the difference graph with previously reported supports
+/// removed.
 ///
-/// The positive part is materialised once and then peeled in place
-/// ([`SignedGraph::remove_vertices_in_place`]) — no per-round graph clone.
+/// Thin [`SolveContext::unbounded`] wrapper over [`top_k_in`]; the positive part is
+/// materialised once and then peeled in place.
 pub fn top_k_affinity(gd: &SignedGraph, k: usize, config: DcsgaConfig) -> Vec<DcsgaSolution> {
-    let mut remaining = gd.positive_part();
-    let mut results = Vec::new();
-    let solver = NewSea::new(config);
-    for _ in 0..k {
-        if remaining.num_edges() == 0 {
-            break;
-        }
-        let solution = solver.solve_on_positive_part(&remaining);
-        if solution.affinity_difference <= 0.0 || solution.embedding.is_empty() {
-            break;
-        }
-        let support: Vec<VertexId> = solution.support();
-        remaining.remove_vertices_in_place(&support);
-        results.push(solution);
-    }
-    results.sort_by(|a, b| {
-        b.affinity_difference
-            .partial_cmp(&a.affinity_difference)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    results
+    top_k_in(
+        gd,
+        k,
+        DensityMeasure::GraphAffinity,
+        config,
+        &SolveContext::unbounded(),
+    )
+    .solutions
+    .into_iter()
+    .map(|solution| match solution.detail {
+        SolverDetail::Dcsga(typed) => typed,
+        _ => unreachable!("the affinity solver produces DCSGA solutions"),
+    })
+    .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::CancelToken;
     use dcs_graph::GraphBuilder;
 
     /// Three planted positive cliques of decreasing strength plus a negative bridge.
@@ -151,5 +210,40 @@ mod tests {
         let gd = three_cliques();
         assert!(top_k_average_degree(&gd, 0).is_empty());
         assert!(top_k_affinity(&gd, 0, DcsgaConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn bounded_top_k_reports_outcome_and_disjointness() {
+        let gd = three_cliques();
+        let outcome = top_k_in(
+            &gd,
+            3,
+            DensityMeasure::GraphAffinity,
+            DcsgaConfig::default(),
+            &SolveContext::unbounded(),
+        );
+        assert_eq!(outcome.termination, Termination::Converged);
+        assert_eq!(outcome.solutions.len(), 3);
+        assert!(outcome.stats.candidates > 0);
+        assert!(outcome.stats.iterations > 0);
+
+        // A cancelled job stops between rounds and still returns disjoint, in-range
+        // subsets for whatever it mined.
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = top_k_in(
+            &gd,
+            3,
+            DensityMeasure::AverageDegree,
+            DcsgaConfig::default(),
+            &SolveContext::unbounded().with_cancel(&token),
+        );
+        assert_eq!(cancelled.termination, Termination::Cancelled);
+        for solution in &cancelled.solutions {
+            assert!(solution
+                .subset
+                .iter()
+                .all(|&v| (v as usize) < gd.num_vertices()));
+        }
     }
 }

@@ -1,0 +1,136 @@
+//! Property-based tests of the unified solver engine: bounded solves always return
+//! valid best-so-far results with the correct termination, and an unbounded engine
+//! solve is identical to the pre-refactor `solve()` entry points.
+
+use std::time::Duration;
+
+use dcs_core::dcsad::DcsGreedy;
+use dcs_core::dcsga::NewSea;
+use dcs_core::engine::{
+    CancelToken, ContrastSolver, EngineSolution, MeasureSolver, SolveContext, Termination,
+};
+use dcs_core::DensityMeasure;
+use dcs_graph::{GraphBuilder, SignedGraph};
+use proptest::prelude::*;
+
+/// Strategy: a random signed graph over `n <= 20` vertices.
+fn arb_graph() -> impl Strategy<Value = SignedGraph> {
+    (2usize..20).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, -5.0f64..5.0f64);
+        (Just(n), proptest::collection::vec(edge, 0..60)).prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                if u != v && w != 0.0 {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// A bounded solve's result must be a valid subset of `gd`: in-range, sorted,
+/// deduplicated, and consistent with the claimed objective where checkable.
+fn assert_valid(solution: &EngineSolution, gd: &SignedGraph) {
+    let n = gd.num_vertices();
+    assert!(solution.subset.iter().all(|&v| (v as usize) < n));
+    assert!(solution.subset.windows(2).all(|w| w[0] < w[1]));
+    if let Some(embedding) = solution.embedding() {
+        assert_eq!(embedding.support(), solution.subset);
+        assert!((embedding.affinity(gd) - solution.objective).abs() < 1e-6);
+    }
+}
+
+proptest! {
+    /// A solve under a pre-cancelled token returns a valid subset and reports
+    /// `Cancelled` — unless the solver converged before its first checkpoint
+    /// (trivial instances), in which case the result must equal the unbounded one.
+    #[test]
+    fn cancelled_solves_return_valid_best_so_far(gd in arb_graph()) {
+        let token = CancelToken::new();
+        token.cancel();
+        let cx = SolveContext::unbounded().with_cancel(&token);
+        for measure in [DensityMeasure::AverageDegree, DensityMeasure::GraphAffinity] {
+            let solver = MeasureSolver::for_measure(measure);
+            let bounded = solver.solve_in(&gd, &cx);
+            assert_valid(&bounded, &gd);
+            match bounded.termination() {
+                Termination::Cancelled => {}
+                Termination::Converged => {
+                    let unbounded = solver.solve_in(&gd, &SolveContext::unbounded());
+                    prop_assert_eq!(bounded.subset, unbounded.subset);
+                }
+                other => prop_assert!(false, "unexpected termination {:?}", other),
+            }
+        }
+    }
+
+    /// An already-expired deadline behaves like a cancellation with `Deadline`.
+    #[test]
+    fn expired_deadline_solves_return_valid_best_so_far(gd in arb_graph()) {
+        let cx = SolveContext::unbounded().with_deadline(Duration::ZERO);
+        for measure in [DensityMeasure::AverageDegree, DensityMeasure::GraphAffinity] {
+            let solver = MeasureSolver::for_measure(measure);
+            let bounded = solver.solve_in(&gd, &cx);
+            assert_valid(&bounded, &gd);
+            prop_assert!(matches!(
+                bounded.termination(),
+                Termination::Deadline | Termination::Converged
+            ));
+        }
+    }
+
+    /// A one-unit budget truncates any non-trivial solve with `BudgetExhausted`,
+    /// still yielding a valid subset, and never reports more than a couple of units.
+    #[test]
+    fn tiny_budget_solves_are_truncated_but_valid(gd in arb_graph()) {
+        let cx = SolveContext::unbounded().with_budget(1);
+        for measure in [DensityMeasure::AverageDegree, DensityMeasure::GraphAffinity] {
+            let solver = MeasureSolver::for_measure(measure);
+            let bounded = solver.solve_in(&gd, &cx);
+            assert_valid(&bounded, &gd);
+            prop_assert!(matches!(
+                bounded.termination(),
+                Termination::BudgetExhausted | Termination::Converged
+            ));
+        }
+    }
+
+    /// `SolveContext::unbounded()` through the engine is *identical* to the
+    /// pre-refactor `solve()` entry points: same subset, same objective, and the
+    /// termination is always `Converged`.
+    #[test]
+    fn unbounded_engine_equals_legacy_solve(gd in arb_graph()) {
+        let cx = SolveContext::unbounded();
+
+        let legacy = DcsGreedy::default().solve(&gd);
+        let engine = DcsGreedy::default().solve_in(&gd, &cx);
+        prop_assert_eq!(engine.termination(), Termination::Converged);
+        prop_assert_eq!(&engine.subset, &legacy.subset);
+        prop_assert_eq!(engine.objective, legacy.density_difference);
+
+        let legacy = NewSea::default().solve(&gd);
+        let engine = NewSea::default().solve_in(&gd, &cx);
+        prop_assert_eq!(engine.termination(), Termination::Converged);
+        prop_assert_eq!(engine.subset, legacy.support());
+        prop_assert!((engine.objective - legacy.affinity_difference).abs() < 1e-12);
+    }
+
+    /// An affinity solve's bounded result never *beats* the converged solve: the
+    /// bounded sweep runs a subset of the initialisations, each refined identically.
+    /// (No such guarantee exists for DCSAD — component refinement of a truncated
+    /// peel's candidate can occasionally exceed the converged pick — so only the
+    /// validity of its bounded result is asserted.)
+    #[test]
+    fn bounded_objective_never_exceeds_converged(gd in arb_graph()) {
+        let affinity = MeasureSolver::for_measure(DensityMeasure::GraphAffinity);
+        let converged = affinity.solve_in(&gd, &SolveContext::unbounded());
+        let bounded = affinity.solve_in(&gd, &SolveContext::unbounded().with_budget(5));
+        prop_assert!(bounded.objective <= converged.objective + 1e-9);
+        prop_assert!(converged.stats.termination.is_converged());
+
+        let degree = MeasureSolver::for_measure(DensityMeasure::AverageDegree);
+        let bounded = degree.solve_in(&gd, &SolveContext::unbounded().with_budget(5));
+        assert_valid(&bounded, &gd);
+    }
+}

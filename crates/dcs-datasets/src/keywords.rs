@@ -1,7 +1,7 @@
 //! Synthetic keyword-association graph pairs (the data-mining-topics experiment,
 //! Section VI-C).
 //!
-//! Following Angel et al. (the paper's reference [1]) the paper builds a keyword
+//! Following Angel et al. (the paper's reference \[1\]) the paper builds a keyword
 //! association graph per time period: vertices are title keywords and the weight of an
 //! edge is `100 ×` the fraction of titles containing both keywords.  Emerging topics are
 //! keyword sets that co-occur much more frequently in the recent period.

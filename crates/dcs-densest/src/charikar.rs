@@ -34,29 +34,45 @@ pub struct PeelingProfile {
 
 /// Runs greedy peeling with the lazy-heap priority structure.
 pub fn greedy_peeling(g: &SignedGraph) -> PeelingResult {
-    peel_impl::<LazyHeapQueue>(g, false).0
+    peel_impl::<LazyHeapQueue, _>(g, false, |_| false).0
+}
+
+/// Runs greedy peeling with a **stop callback**: `stop(units)` is invoked once per
+/// vertex removal (with `units = 1`) and peeling aborts as soon as it returns `true`.
+///
+/// The returned result is the best prefix seen *so far* — always a valid subset of the
+/// graph, just not necessarily the full peel's best.  The second component reports
+/// whether the peel was interrupted.  This is the interruption primitive the
+/// `dcs-core` engine layer builds its deadline/cancellation/budget support on.
+pub fn greedy_peeling_until<F: FnMut(u64) -> bool>(
+    g: &SignedGraph,
+    stop: F,
+) -> (PeelingResult, bool) {
+    let (result, _, interrupted) = peel_impl::<LazyHeapQueue, _>(g, false, stop);
+    (result, interrupted)
 }
 
 /// Runs greedy peeling and also returns the full removal trace.
 pub fn greedy_peeling_with_profile(g: &SignedGraph) -> (PeelingResult, PeelingProfile) {
-    let (res, profile) = peel_impl::<LazyHeapQueue>(g, true);
+    let (res, profile, _) = peel_impl::<LazyHeapQueue, _>(g, true, |_| false);
     (res, profile.expect("profile requested"))
 }
 
 /// Runs greedy peeling with the naive re-scan structure (ablation baseline only).
 pub fn greedy_peeling_rescan(g: &SignedGraph) -> PeelingResult {
-    peel_impl::<RescanQueue>(g, false).0
+    peel_impl::<RescanQueue, _>(g, false, |_| false).0
 }
 
 /// Runs greedy peeling with the segment-tree priority structure suggested by the paper.
 pub fn greedy_peeling_segment_tree(g: &SignedGraph) -> PeelingResult {
-    peel_impl::<crate::peel::SegmentTreeQueue>(g, false).0
+    peel_impl::<crate::peel::SegmentTreeQueue, _>(g, false, |_| false).0
 }
 
-fn peel_impl<Q: MinDegreeQueue>(
+fn peel_impl<Q: MinDegreeQueue, F: FnMut(u64) -> bool>(
     g: &SignedGraph,
     want_profile: bool,
-) -> (PeelingResult, Option<PeelingProfile>) {
+    mut stop: F,
+) -> (PeelingResult, Option<PeelingProfile>, bool) {
     let n = g.num_vertices();
     if n == 0 {
         return (
@@ -65,6 +81,7 @@ fn peel_impl<Q: MinDegreeQueue>(
                 average_degree: 0.0,
             },
             want_profile.then(PeelingProfile::default),
+            false,
         );
     }
 
@@ -83,7 +100,12 @@ fn peel_impl<Q: MinDegreeQueue>(
         densities.push(best_density);
     }
 
+    let mut interrupted = false;
     while alive_count > 1 {
+        if stop(1) {
+            interrupted = true;
+            break;
+        }
         let (v, _deg) = queue.pop_min().expect("queue not empty");
         alive[v as usize] = false;
         // Removing v removes every edge (v, u) with u alive: the degree-sum drops by
@@ -124,7 +146,7 @@ fn peel_impl<Q: MinDegreeQueue>(
             removal_order,
             densities,
         });
-        return (result, profile);
+        return (result, profile, interrupted);
     }
 
     // Reconstruct the best subset: the vertices not among the first (n - best_size)
@@ -147,7 +169,7 @@ fn peel_impl<Q: MinDegreeQueue>(
         removal_order,
         densities,
     });
-    (result, profile)
+    (result, profile, interrupted)
 }
 
 #[cfg(test)]
@@ -231,6 +253,32 @@ mod tests {
         let g = SignedGraph::empty(0);
         let res = greedy_peeling(&g);
         assert!(res.subset.is_empty());
+    }
+
+    #[test]
+    fn interruptible_peel_returns_best_so_far() {
+        let g = clique_with_tail();
+        // Never stopped: identical to the plain peel.
+        let (full, interrupted) = greedy_peeling_until(&g, |_| false);
+        assert!(!interrupted);
+        assert_eq!(full, greedy_peeling(&g));
+        // Stopped after a few removals: still a valid subset with a consistent density.
+        let mut budget = 3u64;
+        let (partial, interrupted) = greedy_peeling_until(&g, |units| {
+            budget = budget.saturating_sub(units);
+            budget == 0
+        });
+        assert!(interrupted);
+        assert!(!partial.subset.is_empty());
+        assert!(partial
+            .subset
+            .iter()
+            .all(|&v| (v as usize) < g.num_vertices()));
+        assert!((g.average_degree(&partial.subset) - partial.average_degree).abs() < 1e-9);
+        // Stopped immediately: the full vertex set (nothing peeled yet).
+        let (none, interrupted) = greedy_peeling_until(&g, |_| true);
+        assert!(interrupted);
+        assert_eq!(none.subset.len(), g.num_vertices());
     }
 
     #[test]

@@ -47,22 +47,45 @@ const BINARY_SEARCH_ROUNDS: usize = 64;
 /// Panics if the graph contains a negative edge weight — the reduction is only valid for
 /// non-negative weights (use the DCS algorithms for signed graphs).
 pub fn densest_subgraph_exact(g: &SignedGraph) -> DensestSubgraph {
+    densest_subgraph_exact_until(g, |_| false).0
+}
+
+/// [`densest_subgraph_exact`] with a **stop callback**: `stop(1)` is invoked before
+/// every binary-search round (each round is one max-flow computation) and the search
+/// aborts as soon as it returns `true`, returning the best subgraph certified so far.
+///
+/// The second component reports whether the search was interrupted.  Interruption
+/// granularity is one max-flow round — a single flow computation is never cut short.
+///
+/// # Panics
+///
+/// Panics if the graph contains a negative edge weight, like [`densest_subgraph_exact`].
+pub fn densest_subgraph_exact_until<F: FnMut(u64) -> bool>(
+    g: &SignedGraph,
+    mut stop: F,
+) -> (DensestSubgraph, bool) {
     assert!(
         g.num_negative_edges() == 0,
         "densest_subgraph_exact requires non-negative edge weights"
     );
     let n = g.num_vertices();
     if n == 0 {
-        return DensestSubgraph {
-            subset: Vec::new(),
-            average_degree: 0.0,
-        };
+        return (
+            DensestSubgraph {
+                subset: Vec::new(),
+                average_degree: 0.0,
+            },
+            false,
+        );
     }
     if g.num_edges() == 0 {
-        return DensestSubgraph {
-            subset: vec![0],
-            average_degree: 0.0,
-        };
+        return (
+            DensestSubgraph {
+                subset: vec![0],
+                average_degree: 0.0,
+            },
+            false,
+        );
     }
 
     let degrees: Vec<Weight> = (0..n).map(|v| g.weighted_degree(v as VertexId)).collect();
@@ -74,7 +97,12 @@ pub fn densest_subgraph_exact(g: &SignedGraph) -> DensestSubgraph {
     let mut hi: Weight = degrees.iter().cloned().fold(0.0, Weight::max);
     let mut best: Option<(Vec<VertexId>, Weight)> = None;
 
+    let mut interrupted = false;
     for _ in 0..BINARY_SEARCH_ROUNDS {
+        if stop(1) {
+            interrupted = true;
+            break;
+        }
         let guess = 0.5 * (lo + hi);
         let candidate = min_cut_candidate(g, &degrees, degree_sum, guess);
         match candidate {
@@ -94,7 +122,7 @@ pub fn densest_subgraph_exact(g: &SignedGraph) -> DensestSubgraph {
         }
     }
 
-    match best {
+    let result = match best {
         Some((mut subset, density)) => {
             subset.sort_unstable();
             DensestSubgraph {
@@ -104,13 +132,15 @@ pub fn densest_subgraph_exact(g: &SignedGraph) -> DensestSubgraph {
         }
         None => {
             // All guesses were infeasible, which can only happen if the graph is
-            // edgeless (handled above) — but return a safe default anyway.
+            // edgeless (handled above) or the search was interrupted before its first
+            // round — return a safe default.
             DensestSubgraph {
                 subset: vec![0],
                 average_degree: 0.0,
             }
         }
-    }
+    };
+    (result, interrupted)
 }
 
 /// For a density guess, returns the source side of the min cut (excluding `s`/`t`) if it
@@ -257,6 +287,31 @@ mod tests {
         assert_eq!(exact.subset, vec![0]);
         let exact = densest_subgraph_exact(&SignedGraph::empty(0));
         assert!(exact.subset.is_empty());
+    }
+
+    #[test]
+    fn interruptible_search_returns_best_so_far() {
+        let mut b = GraphBuilder::new(6);
+        for u in 0..4u32 {
+            for v in (u + 1)..4u32 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        b.add_edge(4, 5, 0.25);
+        let g = b.build();
+        // A couple of rounds are enough to certify *some* non-empty subgraph.
+        let mut rounds = 0u64;
+        let (partial, interrupted) = densest_subgraph_exact_until(&g, |_| {
+            rounds += 1;
+            rounds > 3
+        });
+        assert!(interrupted);
+        assert!(!partial.subset.is_empty());
+        assert!((g.average_degree(&partial.subset) - partial.average_degree).abs() < 1e-9);
+        // Uninterrupted: identical to the plain call.
+        let (full, interrupted) = densest_subgraph_exact_until(&g, |_| false);
+        assert!(!interrupted);
+        assert_eq!(full, densest_subgraph_exact(&g));
     }
 
     #[test]

@@ -130,6 +130,28 @@ impl Client {
         }
     }
 
+    /// Mines the current DCS with a wall-clock deadline in milliseconds: the
+    /// response is best-so-far with `"termination": "deadline"` when the
+    /// deadline expires before the solver converges.
+    pub fn mine_with_deadline(
+        &mut self,
+        name: &str,
+        deadline_ms: u64,
+    ) -> Result<Value, ServerError> {
+        self.request(json!({
+            "cmd": "mine",
+            "session": name,
+            "deadline_ms": deadline_ms,
+        }))
+    }
+
+    /// Cancels an in-flight job submitted with a `"job"` id (from any
+    /// connection).  The response's `cancelled` field reports whether the id
+    /// was found.
+    pub fn cancel(&mut self, job_id: &str) -> Result<Value, ServerError> {
+        self.request(json!({ "cmd": "cancel", "job": job_id }))
+    }
+
     /// Session counters.
     pub fn stats(&mut self, name: &str) -> Result<Value, ServerError> {
         self.request(json!({ "cmd": "stats", "session": name }))

@@ -6,6 +6,7 @@
 //! full, submission fails immediately with [`ServerError::Busy`] and the
 //! client sees a `busy` error instead of unbounded latency.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -13,14 +14,14 @@ use std::thread::JoinHandle;
 
 use dcs_core::dcsga::DcsgaConfig;
 use dcs_core::{
-    alpha_sweep, default_alpha_grid, mine_difference_seeded, top_k_affinity, top_k_average_degree,
-    ContrastReport, DensityMeasure,
+    alpha_sweep_in, default_alpha_grid, mine_difference_in, top_k_in, CancelToken, DensityMeasure,
+    SolveContext, Termination,
 };
 use dcs_graph::VertexId;
 use serde_json::{json, Value};
 
 use crate::error::ServerError;
-use crate::protocol::{alert_to_json, measure_token, report_to_json};
+use crate::protocol::{alert_to_json, measure_token, report_to_json, stats_to_json};
 use crate::session::SharedSession;
 
 /// Description of one mining job; doubles as the cache key.
@@ -70,7 +71,7 @@ impl JobSpec {
         }
     }
 
-    /// Executes the job against a session.
+    /// Executes the job against a session under a [`SolveContext`].
     ///
     /// The session lock is held only while snapshotting inputs and while
     /// storing the result — never while solving — so observers keep streaming
@@ -78,9 +79,19 @@ impl JobSpec {
     /// session's incrementally maintained difference graph: an unchanged
     /// session hands out the same graph pointer to every worker, and even a
     /// changed one only rebuilds the adjacency rows its updates dirtied.
-    pub fn execute(&self, session: &SharedSession) -> Result<Value, ServerError> {
+    ///
+    /// The context's deadline / budget / cancellation token bound the solve:
+    /// a tripped bound returns the best-so-far result with a non-`converged`
+    /// `termination` field instead of blocking a worker indefinitely.  Only
+    /// **converged** results enter the session cache — a truncated result is
+    /// never served to another client.
+    pub fn execute(
+        &self,
+        session: &SharedSession,
+        cx: &SolveContext,
+    ) -> Result<Value, ServerError> {
         // Snapshot under the lock.
-        let (key, version, body) = {
+        let (key, version, body, converged) = {
             let mut guard = session.lock().unwrap_or_else(PoisonError::into_inner);
             let default_measure = guard.monitor().config().measure;
             let key = self.cache_key(default_measure);
@@ -93,16 +104,18 @@ impl JobSpec {
             drop(guard);
 
             // Solve without holding the session lock.
-            let body = self.solve(snapshot, version)?;
-            (key, version, body)
+            let (body, termination) = self.solve(snapshot, version, cx)?;
+            (key, version, body, termination.is_converged())
         };
 
-        // Store for future identical queries at this version.
-        let mut guard = session.lock().unwrap_or_else(PoisonError::into_inner);
-        if guard.version() == version {
-            guard.cache_mut().store(key, version, body.clone());
+        // Store for future identical queries at this version — converged
+        // results only (a deadline/cancel/budget-truncated result is partial).
+        if converged {
+            let mut guard = session.lock().unwrap_or_else(PoisonError::into_inner);
+            if guard.version() == version {
+                guard.cache_mut().store(key, version, body.clone());
+            }
         }
-        drop(guard);
 
         let mut response = body;
         response["cached"] = json!(false);
@@ -138,7 +151,12 @@ impl JobSpec {
         }
     }
 
-    fn solve(&self, snapshot: Snapshot, version: u64) -> Result<Value, ServerError> {
+    fn solve(
+        &self,
+        snapshot: Snapshot,
+        version: u64,
+        cx: &SolveContext,
+    ) -> Result<(Value, Termination), ServerError> {
         match snapshot {
             Snapshot::Mine {
                 gd,
@@ -146,35 +164,41 @@ impl JobSpec {
                 observations,
                 seed,
             } => {
-                let alert = mine_difference_seeded(&gd, &config, observations, seed.as_deref());
-                Ok(json!({ "version": version, "result": alert_to_json(&alert) }))
+                let alert = mine_difference_in(&gd, &config, observations, seed.as_deref(), cx);
+                let termination = alert.stats.termination;
+                Ok((
+                    json!({
+                        "version": version,
+                        "result": alert_to_json(&alert),
+                        "termination": termination.as_str(),
+                    }),
+                    termination,
+                ))
             }
             Snapshot::TopK { gd, k, measure } => {
-                let mut results = Vec::new();
-                match measure {
-                    DensityMeasure::GraphAffinity => {
-                        for (rank, solution) in top_k_affinity(&gd, k, DcsgaConfig::default())
-                            .iter()
-                            .enumerate()
-                        {
-                            let report = ContrastReport::for_embedding(&gd, &solution.embedding);
-                            let mut value = report_to_json(&report);
-                            value["rank"] = json!(rank + 1);
-                            value["objective"] = json!(solution.affinity_difference);
-                            results.push(value);
-                        }
-                    }
-                    DensityMeasure::AverageDegree | DensityMeasure::TotalDegree => {
-                        for (rank, solution) in top_k_average_degree(&gd, k).iter().enumerate() {
-                            let report = ContrastReport::for_subset(&gd, &solution.subset);
-                            let mut value = report_to_json(&report);
-                            value["rank"] = json!(rank + 1);
-                            value["objective"] = json!(solution.density_difference);
-                            results.push(value);
-                        }
-                    }
-                }
-                Ok(json!({ "version": version, "results": results }))
+                // Measure dispatch lives in the engine (`MeasureSolver` inside
+                // `top_k_in`) — the server no longer hard-codes solver choice.
+                let outcome = top_k_in(&gd, k, measure, DcsgaConfig::default(), cx);
+                let results: Vec<Value> = outcome
+                    .solutions
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, solution)| {
+                        let mut value = report_to_json(&solution.report(&gd));
+                        value["rank"] = json!(rank + 1);
+                        value["objective"] = json!(solution.objective);
+                        value
+                    })
+                    .collect();
+                Ok((
+                    json!({
+                        "version": version,
+                        "results": results,
+                        "termination": outcome.termination.as_str(),
+                        "stats": stats_to_json(&outcome.stats),
+                    }),
+                    outcome.termination,
+                ))
             }
             Snapshot::Sweep {
                 g2,
@@ -182,8 +206,9 @@ impl JobSpec {
                 alphas,
                 measure,
             } => {
-                let points = alpha_sweep(&g2, &g1, &alphas, measure)?;
-                let rendered: Vec<Value> = points
+                let sweep = alpha_sweep_in(&g2, &g1, &alphas, measure, cx)?;
+                let rendered: Vec<Value> = sweep
+                    .points
                     .iter()
                     .map(|point| {
                         let mut value = report_to_json(&point.report);
@@ -192,7 +217,15 @@ impl JobSpec {
                         value
                     })
                     .collect();
-                Ok(json!({ "version": version, "points": rendered }))
+                Ok((
+                    json!({
+                        "version": version,
+                        "points": rendered,
+                        "termination": sweep.termination.as_str(),
+                        "stats": stats_to_json(&sweep.stats),
+                    }),
+                    sweep.termination,
+                ))
             }
         }
     }
@@ -280,15 +313,19 @@ impl WorkerPool {
         }
     }
 
-    /// Submits a mining job; fails with [`ServerError::Busy`] when the queue
-    /// is full.  On success, the returned receiver yields the job's result
-    /// exactly once.
+    /// Submits a mining job bounded by `cx`; fails with [`ServerError::Busy`]
+    /// when the queue is full.  On success, the returned receiver yields the
+    /// job's result exactly once.  The context's deadline is absolute, so time
+    /// spent waiting in the queue counts against the job's deadline — an
+    /// overloaded server answers "deadline, best-so-far" rather than holding
+    /// the client for queue time plus solve time.
     pub fn submit(
         &self,
         session: SharedSession,
         spec: JobSpec,
+        cx: SolveContext,
     ) -> Result<Receiver<Result<Value, ServerError>>, ServerError> {
-        self.submit_task(Box::new(move || spec.execute(&session)))
+        self.submit_task(Box::new(move || spec.execute(&session, &cx)))
     }
 
     /// Submits an arbitrary task (used for observes on cadence-mining
@@ -345,6 +382,67 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Cancellation tokens of in-flight jobs, keyed by the client-supplied job id.
+///
+/// A mining request may carry a `"job"` field; the connection registers the job's
+/// [`CancelToken`] here before submitting, so any *other* connection can abort it
+/// with the `cancel` command.  Entries are removed when the job completes.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    tokens: Mutex<HashMap<String, CancelToken>>,
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        JobTable::default()
+    }
+
+    /// Registers an in-flight job; fails when the id is already in use (ids are
+    /// client-chosen, so a duplicate is a client error, not a hash collision).
+    pub fn register(&self, id: &str, token: CancelToken) -> Result<(), ServerError> {
+        let mut tokens = self.tokens.lock().unwrap_or_else(PoisonError::into_inner);
+        if tokens.contains_key(id) {
+            return Err(ServerError::BadRequest(format!(
+                "job id {id:?} is already in flight"
+            )));
+        }
+        tokens.insert(id.to_string(), token);
+        Ok(())
+    }
+
+    /// Cancels a registered job; returns whether the id was found.
+    pub fn cancel(&self, id: &str) -> bool {
+        let tokens = self.tokens.lock().unwrap_or_else(PoisonError::into_inner);
+        match tokens.get(id) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a completed job's token.
+    pub fn remove(&self, id: &str) {
+        let mut tokens = self.tokens.lock().unwrap_or_else(PoisonError::into_inner);
+        tokens.remove(id);
+    }
+
+    /// Number of registered (named, in-flight) jobs.
+    pub fn len(&self) -> usize {
+        self.tokens
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no named job is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,16 +470,16 @@ mod tests {
         let session = shared_session(6);
         seed_triangle(&session);
         let spec = JobSpec::Mine { measure: None };
-        let first = spec.execute(&session).unwrap();
+        let first = spec.execute(&session, &SolveContext::unbounded()).unwrap();
         assert_eq!(first["cached"], false);
         assert_eq!(first["result"]["subset"], serde_json::json!([0, 1, 2]));
         assert_eq!(first["result"]["triggered"], true);
-        let second = spec.execute(&session).unwrap();
+        let second = spec.execute(&session, &SolveContext::unbounded()).unwrap();
         assert_eq!(second["cached"], true);
         assert_eq!(second["result"]["subset"], serde_json::json!([0, 1, 2]));
         // New observations invalidate the cache.
         session.lock().unwrap().observe(&[(3, 4, 1.0)]);
-        let third = spec.execute(&session).unwrap();
+        let third = spec.execute(&session, &SolveContext::unbounded()).unwrap();
         assert_eq!(third["cached"], false);
     }
 
@@ -397,14 +495,21 @@ mod tests {
             mine.cache_key(DensityMeasure::GraphAffinity),
             mine_degree.cache_key(DensityMeasure::GraphAffinity)
         );
-        mine.execute(&session).unwrap();
-        let degree = mine_degree.execute(&session).unwrap();
+        mine.execute(&session, &SolveContext::unbounded()).unwrap();
+        let degree = mine_degree
+            .execute(&session, &SolveContext::unbounded())
+            .unwrap();
         assert_eq!(degree["cached"], false);
         // But an explicit measure equal to the default shares the key.
         let explicit = JobSpec::Mine {
             measure: Some(DensityMeasure::GraphAffinity),
         };
-        assert_eq!(explicit.execute(&session).unwrap()["cached"], true);
+        assert_eq!(
+            explicit
+                .execute(&session, &SolveContext::unbounded())
+                .unwrap()["cached"],
+            true
+        );
     }
 
     #[test]
@@ -418,7 +523,7 @@ mod tests {
             k: 3,
             measure: None,
         }
-        .execute(&session)
+        .execute(&session, &SolveContext::unbounded())
         .unwrap();
         let results = topk["results"].as_array().unwrap();
         assert_eq!(results.len(), 2);
@@ -430,7 +535,7 @@ mod tests {
             alphas: Some(vec![0.0, 1.0]),
             measure: None,
         }
-        .execute(&session)
+        .execute(&session, &SolveContext::unbounded())
         .unwrap();
         let points = sweep["points"].as_array().unwrap();
         assert_eq!(points.len(), 2);
@@ -445,8 +550,12 @@ mod tests {
         seed_triangle(&session);
         let receivers: Vec<_> = (0..6)
             .map(|_| {
-                pool.submit(Arc::clone(&session), JobSpec::Mine { measure: None })
-                    .unwrap()
+                pool.submit(
+                    Arc::clone(&session),
+                    JobSpec::Mine { measure: None },
+                    SolveContext::unbounded(),
+                )
+                .unwrap()
             })
             .collect();
         let mut cached = 0;
@@ -477,7 +586,11 @@ mod tests {
         let mut receivers = Vec::new();
         let mut busy = 0usize;
         for _ in 0..3 {
-            match pool.submit(Arc::clone(&session), JobSpec::Mine { measure: None }) {
+            match pool.submit(
+                Arc::clone(&session),
+                JobSpec::Mine { measure: None },
+                SolveContext::unbounded(),
+            ) {
                 Ok(receiver) => receivers.push(receiver),
                 Err(ServerError::Busy) => busy += 1,
                 Err(other) => panic!("unexpected submit error: {other}"),

@@ -36,24 +36,47 @@
 //! | `create_session` | `session`, `vertices`, opt. `remine_every` (default 0), `alert_threshold` (default 0), `measure` (`"affinity"` \| `"degree"`, default affinity) | `session`, `vertices` |
 //! | `load_baseline`  | `session`, `edges: [[u, v, w], …]` — replaces the baseline and resets observations (the version advances, never resets) | `baseline_edges`, `version` |
 //! | `observe`        | `session`, `updates: [[u, v, delta], …]` — batched weight updates to the observed graph | `applied`, `ignored`, `version`, `alerts: [alert…]` |
-//! | `mine`           | `session`, opt. `measure` — mine the current DCS (runs on the worker pool) | `cached`, `version`, `result: alert` |
-//! | `topk`           | `session`, `k`, opt. `measure` — up to `k` vertex-disjoint contrast subgraphs | `cached`, `version`, `results: [group…]` |
-//! | `sweep`          | `session`, opt. `alphas: [f…]` (default grid), `measure` — α-sweep of `A2 − α·A1` | `cached`, `version`, `points: [point…]` |
+//! | `mine`           | `session`, opt. `measure`, *bounds* — mine the current DCS (runs on the worker pool) | `cached`, `version`, `termination`, `result: alert` |
+//! | `topk`           | `session`, `k`, opt. `measure`, *bounds* — up to `k` vertex-disjoint contrast subgraphs | `cached`, `version`, `termination`, `stats`, `results: [group…]` |
+//! | `sweep`          | `session`, opt. `alphas: [f…]` (default grid), `measure`, *bounds* — α-sweep of `A2 − α·A1` | `cached`, `version`, `termination`, `stats`, `points: [point…]` |
+//! | `cancel`         | `job` — cancel the in-flight job registered under that id (from any connection) | `cancelled: bool` (whether the id was found) |
 //! | `stats`          | `session`                                                  | `vertices`, `observations`, `version`, `observed_edges`, `baseline_edges`, `cache: {entries, hits, misses}` |
 //! | `list_sessions`  | —                                                          | `sessions: [name…]`            |
 //! | `drop_session`   | `session`                                                  | `dropped: true`                |
-//! | `server_stats`   | —                                                          | `sessions`, `worker_threads`, `queue_capacity`, `jobs_executed`, `jobs_rejected` |
+//! | `server_stats`   | —                                                          | `sessions`, `worker_threads`, `queue_capacity`, `jobs_executed`, `jobs_rejected`, `jobs_inflight_named` |
 //! | `shutdown`       | —                                                          | `shutting_down: true`          |
+//!
+//! Every mining command accepts the optional *bounds* fields
+//! `deadline_ms` (wall-clock deadline in milliseconds, measured from request
+//! receipt — queue time counts), `budget` (a solver-specific work budget) and
+//! `job` (a client-chosen id under which the job's cancellation token is
+//! registered for the `cancel` command).  A job whose bound trips returns the
+//! **best result found so far** with `"termination"` set to `"deadline"`,
+//! `"budget_exhausted"` or `"cancelled"` instead of `"converged"` — a worker
+//! can no longer be wedged indefinitely by one adversarial request, and a
+//! client disconnect cancels its in-flight job (best-effort).  Only converged
+//! results enter the per-session cache.
+//!
+//! Two caveats on disconnect detection, which reads a TCP FIN on the request
+//! stream: clients must keep their **write side open** while awaiting a
+//! mining response (a half-close — `shutdown(SHUT_WR)`, `nc -N`, closing the
+//! writer to signal end-of-input — is indistinguishable from abandonment and
+//! cancels the in-flight job), and unread pipelined bytes mask a later
+//! disconnect.  The *hard* anti-wedge guarantee is therefore
+//! [`ServerConfig::max_job_ms`] (default 5 minutes): every job runs under a
+//! server-imposed deadline no looser than that cap, client-supplied or not.
 //!
 //! An **alert** object is
 //! `{"triggered": bool, "density_difference": f, "observations": n,
 //!   "subset": [v…], "size": n, "average_degree_difference": f,
 //!   "affinity_difference": f, "edge_density_difference": f,
 //!   "total_degree_difference": f, "is_positive_clique": bool,
-//!   "is_connected": bool}`;
-//! a **group** (top-k) is the same report shape plus `"rank"` and
-//! `"objective"`; a **point** (sweep) is the report shape plus `"alpha"` and
-//! `"objective"`.
+//!   "is_connected": bool, "stats": stats}`;
+//! a **group** (top-k) is the report shape plus `"rank"` and `"objective"`;
+//! a **point** (sweep) is the report shape plus `"alpha"` and `"objective"`;
+//! a **stats** object is solver telemetry:
+//! `{"iterations": n, "candidates": n, "prunes": n, "wall_ms": f,
+//!   "termination": "converged"|"deadline"|"cancelled"|"budget_exhausted"}`.
 //!
 //! The mining commands (`mine`, `topk`, `sweep`) — and `observe` on sessions
 //! with `remine_every > 0`, since completing a period triggers a solve — are
@@ -99,8 +122,8 @@ mod session;
 pub use cache::ResultCache;
 pub use client::Client;
 pub use error::ServerError;
-pub use jobs::{JobSpec, WorkerPool};
-pub use protocol::{alert_to_json, parse_measure, report_to_json};
+pub use jobs::{JobSpec, JobTable, WorkerPool};
+pub use protocol::{alert_to_json, parse_measure, report_to_json, stats_to_json};
 pub use server::{Server, ServerHandle};
 pub use session::{Session, SessionRegistry, SessionStats};
 
@@ -116,6 +139,13 @@ pub struct ServerConfig {
     /// Maximum vertices accepted by `create_session` (guards the server
     /// against a single request allocating unbounded memory).
     pub max_vertices: usize,
+    /// Server-imposed cap on any single mining job's wall time, in
+    /// milliseconds (`None` disables it).  Applied as a deadline tighter than
+    /// any client-supplied `deadline_ms`, it is the hard guarantee that no
+    /// job — however adversarial — wedges a worker: cancel-on-disconnect is
+    /// best-effort (unread bytes on the socket mask the disconnect), this cap
+    /// is not.
+    pub max_job_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -126,6 +156,7 @@ impl Default for ServerConfig {
                 .unwrap_or(2),
             queue_capacity: 64,
             max_vertices: 50_000_000,
+            max_job_ms: Some(300_000),
         }
     }
 }

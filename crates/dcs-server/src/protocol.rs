@@ -2,7 +2,7 @@
 //!
 //! The schema itself is documented in the crate-level docs ([`crate`]).
 
-use dcs_core::{ContrastAlert, ContrastReport, DensityMeasure};
+use dcs_core::{ContrastAlert, ContrastReport, DensityMeasure, SolveStats};
 use dcs_graph::{VertexId, Weight};
 use serde_json::{json, Value};
 
@@ -52,7 +52,19 @@ pub fn alert_to_json(alert: &ContrastAlert) -> Value {
     value["triggered"] = json!(alert.triggered);
     value["density_difference"] = json!(alert.density_difference);
     value["observations"] = json!(alert.observations);
+    value["stats"] = stats_to_json(&alert.stats);
     value
+}
+
+/// Renders [`SolveStats`] as the protocol's stats shape.
+pub fn stats_to_json(stats: &SolveStats) -> Value {
+    json!({
+        "iterations": stats.iterations,
+        "candidates": stats.candidates,
+        "prunes": stats.prunes,
+        "wall_ms": stats.wall.as_secs_f64() * 1e3,
+        "termination": stats.termination.as_str(),
+    })
 }
 
 /// Extracts the required string field `name` from a request object.
@@ -84,6 +96,16 @@ pub fn optional_u64(request: &Value, name: &str, default: u64) -> Result<u64, Se
     match &request[name] {
         Value::Null => Ok(default),
         value => value.as_u64().ok_or_else(|| {
+            ServerError::BadRequest(format!("field {name:?} must be a non-negative integer"))
+        }),
+    }
+}
+
+/// Extracts an optional non-negative integer field with no default (`None` = absent).
+pub fn optional_u64_opt(request: &Value, name: &str) -> Result<Option<u64>, ServerError> {
+    match &request[name] {
+        Value::Null => Ok(None),
+        value => value.as_u64().map(Some).ok_or_else(|| {
             ServerError::BadRequest(format!("field {name:?} must be a non-negative integer"))
         }),
     }

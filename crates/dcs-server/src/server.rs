@@ -3,17 +3,19 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use dcs_core::{DensityMeasure, StreamingConfig};
+use dcs_core::{CancelToken, DensityMeasure, SolveContext, StreamingConfig};
 use serde_json::{json, Value};
 
 use crate::error::ServerError;
-use crate::jobs::{JobSpec, WorkerPool};
+use crate::jobs::{JobSpec, JobTable, WorkerPool};
 use crate::protocol::{
-    alert_to_json, error_response, ok_response, optional_f64, optional_u64, parse_alphas,
-    parse_measure, parse_triples, required_str, required_u64,
+    alert_to_json, error_response, ok_response, optional_f64, optional_u64, optional_u64_opt,
+    parse_alphas, parse_measure, parse_triples, required_str, required_u64,
 };
 use crate::session::SessionRegistry;
 use crate::ServerConfig;
@@ -28,6 +30,7 @@ pub struct Server {
 struct Shared {
     registry: SessionRegistry,
     pool: WorkerPool,
+    jobs: JobTable,
     config: ServerConfig,
     shutting_down: AtomicBool,
 }
@@ -61,6 +64,7 @@ impl Server {
         let shared = Arc::new(Shared {
             registry: SessionRegistry::new(),
             pool: WorkerPool::new(self.config.worker_threads, self.config.queue_capacity),
+            jobs: JobTable::new(),
             config: self.config,
             shutting_down: AtomicBool::new(false),
         });
@@ -151,7 +155,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 continue;
             }
         };
-        let response = match dispatch(&request, &shared) {
+        let response = match dispatch(&request, &shared, &writer) {
             Ok(body) => ok_response(&request, body),
             Err(error) => error_response(&request, &error),
         };
@@ -170,7 +174,7 @@ fn write_line(writer: &mut TcpStream, value: &Value) -> std::io::Result<()> {
     writer.write_all(text.as_bytes())
 }
 
-fn dispatch(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
+fn dispatch(request: &Value, shared: &Shared, stream: &TcpStream) -> Result<Value, ServerError> {
     let cmd = required_str(request, "cmd")?;
     match cmd {
         "ping" => Ok(json!({ "pong": true })),
@@ -180,6 +184,7 @@ fn dispatch(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
         "mine" => run_job(
             request,
             shared,
+            stream,
             JobSpec::Mine {
                 measure: parse_measure(request["measure"].as_str())?,
             },
@@ -187,6 +192,7 @@ fn dispatch(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
         "topk" => run_job(
             request,
             shared,
+            stream,
             JobSpec::TopK {
                 k: required_u64(request, "k")? as usize,
                 measure: parse_measure(request["measure"].as_str())?,
@@ -195,11 +201,16 @@ fn dispatch(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
         "sweep" => run_job(
             request,
             shared,
+            stream,
             JobSpec::Sweep {
                 alphas: parse_alphas(request)?,
                 measure: parse_measure(request["measure"].as_str())?,
             },
         ),
+        "cancel" => {
+            let id = required_str(request, "job")?;
+            Ok(json!({ "cancelled": shared.jobs.cancel(id) }))
+        }
         "stats" => stats(request, shared),
         "list_sessions" => Ok(json!({ "sessions": shared.registry.names() })),
         "drop_session" => {
@@ -213,6 +224,7 @@ fn dispatch(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
             "queue_capacity": shared.pool.capacity(),
             "jobs_executed": shared.pool.executed(),
             "jobs_rejected": shared.pool.rejected(),
+            "jobs_inflight_named": shared.jobs.len(),
         })),
         "shutdown" => {
             shared.shutting_down.store(true, Ordering::SeqCst);
@@ -320,11 +332,98 @@ fn stats(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
     }))
 }
 
-fn run_job(request: &Value, shared: &Shared, spec: JobSpec) -> Result<Value, ServerError> {
+fn run_job(
+    request: &Value,
+    shared: &Shared,
+    stream: &TcpStream,
+    spec: JobSpec,
+) -> Result<Value, ServerError> {
     let name = required_str(request, "session")?;
     let session = shared.registry.get(name)?;
-    let receiver = shared.pool.submit(session, spec)?;
-    receiver
-        .recv()
-        .map_err(|_| ServerError::Remote("worker pool shut down mid-job".into()))?
+
+    // Per-job bounds: an absolute deadline (queue time counts), a work budget,
+    // and a cancellation token reachable from other connections via the
+    // optional client-chosen `job` id.  The server's `max_job_ms` cap is a
+    // deadline of its own — the tighter of the two wins — so no job outlives
+    // it even when disconnect detection is defeated.
+    let token = CancelToken::new();
+    let mut cx = SolveContext::unbounded().with_cancel(&token);
+    let now = Instant::now();
+    let client_deadline =
+        optional_u64_opt(request, "deadline_ms")?.map(|ms| now + Duration::from_millis(ms));
+    let server_cap = shared
+        .config
+        .max_job_ms
+        .map(|ms| now + Duration::from_millis(ms));
+    if let Some(at) = client_deadline.into_iter().chain(server_cap).min() {
+        cx = cx.with_deadline_at(at);
+    }
+    if let Some(units) = optional_u64_opt(request, "budget")? {
+        cx = cx.with_budget(units);
+    }
+    let job_id = match request["job"].as_str() {
+        Some(id) => {
+            shared.jobs.register(id, token.clone())?;
+            Some(id.to_string())
+        }
+        None => None,
+    };
+
+    let outcome = shared
+        .pool
+        .submit(session, spec, cx)
+        .and_then(|receiver| wait_cancelling_on_disconnect(receiver, stream, &token));
+    if let Some(id) = &job_id {
+        shared.jobs.remove(id);
+    }
+    outcome
+}
+
+/// Waits for a job's reply while watching the client connection: if the peer
+/// disconnects mid-job, the job's [`CancelToken`] is cancelled so the worker
+/// returns (best-so-far, discarded) instead of mining for a client that is
+/// gone — one adversarial long job can no longer wedge a worker.
+fn wait_cancelling_on_disconnect(
+    receiver: Receiver<Result<Value, ServerError>>,
+    stream: &TcpStream,
+    token: &CancelToken,
+) -> Result<Value, ServerError> {
+    loop {
+        match receiver.recv_timeout(Duration::from_millis(50)) {
+            Ok(outcome) => return outcome,
+            Err(RecvTimeoutError::Timeout) => {
+                if connection_closed(stream) {
+                    token.cancel();
+                    // Keep waiting: the worker observes the token and replies
+                    // promptly; the response write will then fail and close
+                    // this connection thread.
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(ServerError::Remote("worker pool shut down mid-job".into()))
+            }
+        }
+    }
+}
+
+/// Non-destructive end-of-stream probe.  While a request is being served the
+/// client is not expected to send anything, so pipelined bytes simply report
+/// "still connected" — only a clean EOF (or a hard socket error) counts as a
+/// disconnect.  A half-close (`shutdown(SHUT_WR)` while still reading) is
+/// indistinguishable from abandonment at this layer and is treated as one;
+/// the protocol docs require clients to keep the write side open while a
+/// mining response is pending.
+fn connection_closed(stream: &TcpStream) -> bool {
+    let mut probe = [0u8; 1];
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let closed = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    closed
 }

@@ -50,6 +50,10 @@ pub mod prelude {
         difference_graph, difference_graph_with, mine_affinity_dcs, mine_average_degree_dcs,
         ContrastReport, DcsError, DiscreteRule, Embedding, WeightScheme,
     };
+    pub use dcs_core::{
+        CancelToken, ContrastSolver, EngineSolution, MeasureSolver, SolveContext, SolveStats,
+        Termination,
+    };
     pub use dcs_core::{StreamingConfig, StreamingDcs};
     pub use dcs_datasets::{GraphPair, Scale};
     pub use dcs_densest::{densest_subgraph_exact, greedy_peeling};
