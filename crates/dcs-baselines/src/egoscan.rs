@@ -188,7 +188,7 @@ impl EgoScan {
             }
         }
 
-        let subset = members.to_sorted_vec();
+        let subset = members.into_sorted_vec();
         let total_degree = gd.total_degree(&subset);
         EgoScanResult {
             subset,

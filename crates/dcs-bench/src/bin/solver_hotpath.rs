@@ -1,0 +1,441 @@
+//! Hot-path allocation benchmark of the solver workspaces and masked views.
+//!
+//! Measures, with a **counting global allocator** (every `alloc`/`realloc` call and
+//! its bytes are tallied — bench-binary only, the library crates never carry the
+//! instrumentation), how much heap churn one solve costs on four paths:
+//!
+//! * **mine** — a from-scratch `mine_difference_in` with no workspace: every solve
+//!   allocates its peel heaps, degree arrays and the materialised `G_{D+}`.  This is
+//!   the baseline the ≥2× reduction gate is measured against.
+//! * **re-mine** — the steady-state streaming path: `StreamingDcs::mine_now` with
+//!   the monitor's persistent `SolverWorkspace` warm.
+//! * **top-k** — per-round allocations of the masked-view `top_k_in` driver with a
+//!   warm shared workspace, against a from-scratch reference loop that clones the
+//!   working graph and compacts it with `remove_vertices_in_place` per round (the
+//!   pre-workspace driver shape).
+//! * **sweep** — per-grid-point allocations of `alpha_sweep_in` (template-based
+//!   in-place reweighting + shared workspace) against a cold loop building each α
+//!   through `scaled_difference_graph` and solving without a workspace.
+//!
+//! Output is a single JSON object written to `BENCH_hotpath.json` (and stdout).  In
+//! `--smoke` mode the binary **fails** (exit 1) unless the steady-state re-mine and
+//! top-k round paths allocate at most half of what the from-scratch solve does, and
+//! — when `--baseline <path>` points at a checked-in previous report — unless every
+//! gated allocation metric is within 10% of that baseline.  Timings (`ns_per_solve`)
+//! are reported for trend-watching but never gated: CI machines are too noisy.
+//!
+//! ```text
+//! cargo run --release -p dcs-bench --bin solver_hotpath -- [--smoke] \
+//!     [--baseline BENCH_hotpath.json] [--out BENCH_hotpath.json]
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use dcs_core::dcsga::DcsgaConfig;
+use dcs_core::{
+    mine_difference_in, scaled_difference_graph, top_k_in, ContrastSolver, DensityMeasure,
+    MeasureSolver, SharedWorkspace, SolveContext, StreamingConfig, StreamingDcs,
+};
+use dcs_graph::{GraphBuilder, SignedGraph, VertexId};
+use serde_json::{json, Value};
+
+/// Counts every allocation the process makes.  `realloc` counts as one allocation
+/// of the new size (growth of a reused buffer is real allocator traffic too).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Allocation + wall-clock tally of one measured closure.
+struct Measured {
+    allocs: u64,
+    bytes: u64,
+    nanos: u64,
+}
+
+fn measure<T>(f: impl FnOnce() -> T) -> (T, Measured) {
+    let allocs0 = ALLOCATIONS.load(Ordering::Relaxed);
+    let bytes0 = BYTES.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let value = f();
+    let nanos = start.elapsed().as_nanos() as u64;
+    (
+        value,
+        Measured {
+            allocs: ALLOCATIONS.load(Ordering::Relaxed) - allocs0,
+            bytes: BYTES.load(Ordering::Relaxed) - bytes0,
+            nanos,
+        },
+    )
+}
+
+/// Deterministic splitmix64 — keeps the workload identical across runs, which is
+/// what makes allocation counts comparable against a checked-in baseline.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn weight(&mut self) -> f64 {
+        1.0 + (self.next() % 1000) as f64 / 250.0
+    }
+}
+
+struct BenchConfig {
+    vertices: usize,
+    baseline_edges: usize,
+    repetitions: usize,
+    topk: usize,
+}
+
+fn build_baseline(config: &BenchConfig, rng: &mut Rng) -> SignedGraph {
+    let n = config.vertices;
+    let mut builder = GraphBuilder::new(n);
+    for v in 0..n {
+        builder.add_edge(v as VertexId, ((v + 1) % n) as VertexId, rng.weight());
+    }
+    while builder.num_edges() < config.baseline_edges {
+        let u = rng.below(n);
+        let v = rng.below(n);
+        if u != v {
+            builder.add_edge(u as VertexId, v as VertexId, rng.weight());
+        }
+    }
+    builder.build()
+}
+
+fn per(m: &Measured, count: usize) -> (f64, f64, f64) {
+    let count = count.max(1) as f64;
+    (
+        m.allocs as f64 / count,
+        m.bytes as f64 / count,
+        m.nanos as f64 / count,
+    )
+}
+
+fn path_json(label: &str, m: &Measured, count: usize) -> Value {
+    let (allocs, bytes, nanos) = per(m, count);
+    json!({
+        "path": label,
+        "allocs_per_solve": allocs,
+        "bytes_per_solve": bytes,
+        "ns_per_solve": nanos,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help") {
+        println!("usage: solver_hotpath [--smoke] [--baseline BENCH_hotpath.json] [--out PATH]");
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let baseline_path = flag_value("--baseline");
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    let config = if smoke {
+        BenchConfig {
+            vertices: 2_000,
+            baseline_edges: 20_000,
+            repetitions: 8,
+            topk: 6,
+        }
+    } else {
+        BenchConfig {
+            vertices: 10_000,
+            baseline_edges: 100_000,
+            repetitions: 12,
+            topk: 8,
+        }
+    };
+
+    // ---- Workload: a streaming monitor at production density (the average-degree
+    // measure exercises the DCSGreedy peel + G_{D+} + component hot path). --------
+    let mut rng = Rng(0x5eed);
+    let baseline = build_baseline(&config, &mut rng);
+    let streaming_config = StreamingConfig {
+        remine_every: 0,
+        alert_threshold: 0.0,
+        measure: DensityMeasure::AverageDegree,
+    };
+    let mut monitor = StreamingDcs::new(baseline.clone(), streaming_config).unwrap();
+    let baseline_edges: Vec<(VertexId, VertexId)> =
+        baseline.edges().map(|(u, v, _)| (u, v)).collect();
+    for &(u, v) in &baseline_edges {
+        monitor.observe(u, v, rng.weight());
+    }
+    let gd = monitor.difference_snapshot();
+
+    // ---- 1. From-scratch mine: no workspace, every buffer allocated per solve. ---
+    let (scratch_alert, scratch) = measure(|| {
+        let mut last = None;
+        for _ in 0..config.repetitions {
+            last = Some(mine_difference_in(
+                &gd,
+                &streaming_config,
+                monitor.observations(),
+                None,
+                &SolveContext::unbounded(),
+            ));
+        }
+        last.expect("at least one repetition")
+    });
+
+    // ---- 2. Steady-state re-mine: the monitor's persistent workspace, warm. ------
+    let _ = monitor.mine_now(); // warm the workspace and the seed
+    let churn: Vec<(VertexId, VertexId)> = (0..config.repetitions)
+        .map(|_| baseline_edges[rng.below(baseline_edges.len())])
+        .collect();
+    let mut remine_subset = Vec::new();
+    let mut remine = Measured {
+        allocs: 0,
+        bytes: 0,
+        nanos: 0,
+    };
+    for &(u, v) in &churn {
+        // Sparse churn between re-mines, applied outside the measured section —
+        // the gate is about the solve, not the observe (streaming_throughput
+        // covers the observe path).
+        monitor.observe(u, v, 0.25);
+        let (alert, m) = measure(|| monitor.mine_now());
+        remine.allocs += m.allocs;
+        remine.bytes += m.bytes;
+        remine.nanos += m.nanos;
+        remine_subset = alert.report.subset;
+    }
+    // Sanity: workspace reuse must not change the answer on the unchanged graph
+    // shape (the churn batches re-observe existing edges upward, so the mined core
+    // stays a valid subset).
+    assert!(
+        !remine_subset.is_empty() && !scratch_alert.report.subset.is_empty(),
+        "both paths must mine something"
+    );
+
+    // ---- 3. Top-k: masked views + shared workspace vs from-scratch rounds. -------
+    let solver = MeasureSolver::for_measure(DensityMeasure::AverageDegree);
+    let (reference_rounds, topk_scratch) = measure(|| {
+        // The pre-workspace driver shape: clone the working graph, solve with no
+        // workspace, compact the CSR in place after every round.
+        let mut remaining = (*gd).clone();
+        let mut rounds = 0usize;
+        while rounds < config.topk && remaining.num_positive_edges() > 0 {
+            let solution = solver.solve_seeded_in(&remaining, &[], &SolveContext::unbounded());
+            if solution.objective <= 0.0 || solution.subset.is_empty() {
+                break;
+            }
+            remaining.remove_vertices_in_place(&solution.subset);
+            rounds += 1;
+        }
+        rounds
+    });
+    let shared = SharedWorkspace::new();
+    let warm_cx = SolveContext::unbounded().with_workspace(&shared);
+    let _ = top_k_in(
+        &gd,
+        config.topk,
+        DensityMeasure::AverageDegree,
+        DcsgaConfig::default(),
+        &warm_cx,
+    ); // warm the shared workspace
+    let (steady_outcome, topk_steady) = measure(|| {
+        top_k_in(
+            &gd,
+            config.topk,
+            DensityMeasure::AverageDegree,
+            DcsgaConfig::default(),
+            &warm_cx,
+        )
+    });
+    let steady_rounds = steady_outcome.solutions.len();
+
+    // ---- 4. α-sweep: in-place reweighting + shared workspace vs cold rebuild. ----
+    let g2 = monitor.observed_graph();
+    let alphas: Vec<f64> = (0..=6).map(|i| i as f64 * 0.25).collect();
+    let (cold_points, sweep_cold) = measure(|| {
+        let mut points = 0usize;
+        for &alpha in &alphas {
+            let gd_alpha = scaled_difference_graph(&g2, &baseline, alpha).unwrap();
+            let solution = solver.solve_seeded_in(&gd_alpha, &[], &SolveContext::unbounded());
+            if !solution.subset.is_empty() {
+                points += 1;
+            }
+        }
+        points
+    });
+    let sweep_shared = SharedWorkspace::new();
+    let sweep_cx = SolveContext::unbounded().with_workspace(&sweep_shared);
+    let _ = dcs_core::alpha_sweep_in(
+        &g2,
+        &baseline,
+        &alphas,
+        DensityMeasure::AverageDegree,
+        &sweep_cx,
+    )
+    .unwrap(); // warm
+    let (sweep_outcome, sweep_steady) = measure(|| {
+        dcs_core::alpha_sweep_in(
+            &g2,
+            &baseline,
+            &alphas,
+            DensityMeasure::AverageDegree,
+            &sweep_cx,
+        )
+        .unwrap()
+    });
+
+    // ---- Report. -----------------------------------------------------------------
+    let (scratch_allocs, _, _) = per(&scratch, config.repetitions);
+    let (remine_allocs, _, _) = per(&remine, config.repetitions);
+    let (topk_scratch_allocs, _, _) = per(&topk_scratch, reference_rounds);
+    let (topk_steady_allocs, _, _) = per(&topk_steady, steady_rounds);
+    let (sweep_cold_allocs, _, _) = per(&sweep_cold, cold_points);
+    let (sweep_steady_allocs, _, _) = per(&sweep_steady, sweep_outcome.points.len());
+    let remine_ratio = scratch_allocs / remine_allocs.max(1.0);
+    let topk_ratio = topk_scratch_allocs / topk_steady_allocs.max(1.0);
+    let sweep_ratio = sweep_cold_allocs / sweep_steady_allocs.max(1.0);
+
+    let report = json!({
+        "bench": "solver_hotpath",
+        "mode": if smoke { "smoke" } else { "full" },
+        "graph": {
+            "vertices": config.vertices,
+            "baseline_edges": baseline.num_edges(),
+            "difference_edges": gd.num_edges(),
+        },
+        "repetitions": config.repetitions,
+        "mine": path_json("from_scratch", &scratch, config.repetitions),
+        "remine": {
+            "path": "steady_state_workspace",
+            "allocs_per_solve": remine_allocs,
+            "bytes_per_solve": per(&remine, config.repetitions).1,
+            "ns_per_solve": per(&remine, config.repetitions).2,
+            "allocs_reduction_vs_scratch": remine_ratio,
+        },
+        "topk": {
+            "k": config.topk,
+            "scratch_rounds": reference_rounds,
+            "steady_rounds": steady_rounds,
+            "scratch": path_json("clone_and_compact", &topk_scratch, reference_rounds),
+            "steady": path_json("masked_views_workspace", &topk_steady, steady_rounds),
+            "allocs_reduction_per_round": topk_ratio,
+        },
+        "sweep": {
+            "grid_points": alphas.len(),
+            "cold": path_json("rebuild_per_alpha", &sweep_cold, cold_points),
+            "steady": path_json("template_reweight_workspace", &sweep_steady, sweep_outcome.points.len()),
+            "allocs_reduction_per_point": sweep_ratio,
+        },
+    });
+    let rendered = serde_json::to_string_pretty(&report).unwrap();
+    println!("{rendered}");
+    if let Err(error) = std::fs::write(&out_path, format!("{rendered}\n")) {
+        eprintln!("warning: could not write {out_path}: {error}");
+    }
+
+    // ---- Gates. ------------------------------------------------------------------
+    let mut failed = false;
+    if remine_ratio < 2.0 {
+        eprintln!(
+            "FAIL: steady-state re-mine allocates {remine_allocs:.1}/solve vs \
+             {scratch_allocs:.1} from scratch ({remine_ratio:.2}x < 2x reduction)"
+        );
+        failed = true;
+    }
+    if topk_ratio < 2.0 {
+        eprintln!(
+            "FAIL: top-k steady rounds allocate {topk_steady_allocs:.1}/round vs \
+             {topk_scratch_allocs:.1} from scratch ({topk_ratio:.2}x < 2x reduction)"
+        );
+        failed = true;
+    }
+
+    // Regression gate against a checked-in baseline, allocation metrics only
+    // (allocation counts are deterministic for the fixed workload; timings are not).
+    if let Some(path) = baseline_path {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match serde_json::from_str::<Value>(&text) {
+                Ok(previous) => {
+                    let checks: [(&str, f64, &[&str]); 3] = [
+                        (
+                            "remine.allocs_per_solve",
+                            remine_allocs,
+                            &["remine", "allocs_per_solve"],
+                        ),
+                        (
+                            "topk.steady.allocs_per_solve",
+                            topk_steady_allocs,
+                            &["topk", "steady", "allocs_per_solve"],
+                        ),
+                        (
+                            "sweep.steady.allocs_per_solve",
+                            sweep_steady_allocs,
+                            &["sweep", "steady", "allocs_per_solve"],
+                        ),
+                    ];
+                    for (label, current, keys) in checks {
+                        let mut node = Some(&previous);
+                        for key in keys {
+                            node = node.and_then(|v| v.get(key));
+                        }
+                        let Some(reference) = node.and_then(|v| v.as_f64()) else {
+                            eprintln!("warning: baseline {path} lacks {label}; skipping");
+                            continue;
+                        };
+                        if reference > 0.0 && current > reference * 1.10 {
+                            eprintln!(
+                                "FAIL: {label} regressed: {current:.1} vs baseline \
+                                 {reference:.1} (>10%)"
+                            );
+                            failed = true;
+                        }
+                    }
+                }
+                Err(error) => eprintln!("warning: baseline {path} is not valid JSON: {error}"),
+            },
+            Err(_) => eprintln!("warning: baseline {path} not found; skipping regression gate"),
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

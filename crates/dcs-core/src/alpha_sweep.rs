@@ -21,7 +21,7 @@
 
 use dcs_graph::{SignedGraph, VertexId, Weight};
 
-use crate::diff::scaled_difference_graph;
+use crate::diff::{CsrBuffers, ScaledDifferenceTemplate};
 use crate::engine::{ContrastSolver, MeasureSolver, SolveContext, SolveStats, Termination};
 use crate::error::DcsError;
 use crate::solution::{ContrastReport, DensityMeasure};
@@ -61,6 +61,12 @@ pub struct AlphaSweep {
 /// graphs must be valid DCS inputs (same vertex set, non-negative weights); α values
 /// must be non-negative.  Each grid point's solve is warm-started from the previous
 /// point's support.
+///
+/// The α-scaled difference graph is **reweighted in place** per grid point: the
+/// merged edge structure is built once ([`ScaledDifferenceTemplate`]) and each α
+/// writes `w2 − α·w1` into the same recycled CSR buffers instead of rebuilding the
+/// graph through a [`dcs_graph::GraphBuilder`].  All grid points additionally share
+/// one [`crate::workspace::SolverWorkspace`] (the caller's, when `cx` carries one).
 pub fn alpha_sweep_in(
     g2: &SignedGraph,
     g1: &SignedGraph,
@@ -69,23 +75,38 @@ pub fn alpha_sweep_in(
     cx: &SolveContext,
 ) -> Result<AlphaSweep, DcsError> {
     let solver = MeasureSolver::for_measure(measure);
-    let plain = scaled_difference_graph(g2, g1, 1.0)?;
+    let cx = cx.ensure_workspace();
+    let template = ScaledDifferenceTemplate::new(g2, g1)?;
+    let plain = template.materialize(1.0);
     let mut points = Vec::with_capacity(alphas.len());
     let mut stats = SolveStats::default();
     let mut seed: Vec<VertexId> = Vec::new();
+    let mut buffers = CsrBuffers::default();
     for &alpha in alphas {
         if alpha < 0.0 || !alpha.is_finite() {
             return Err(DcsError::InvalidConfig(format!(
                 "alpha must be a non-negative finite number, got {alpha}"
             )));
         }
-        let gd = scaled_difference_graph(g2, g1, alpha)?;
+        let gd = template.materialize_with(alpha, buffers);
         let point_cx = cx.after_work(stats.iterations);
         let solution = solver.solve_seeded_in(&gd, &seed, &point_cx);
         let truncated = !solution.termination().is_converged();
         stats.absorb(&solution.stats);
         seed = solution.subset.clone();
-        let report = ContrastReport::for_subset(&plain, &solution.subset);
+        // Per-point reports go through the job's workspace scratch (the lock is
+        // taken after the solve returned, never across it).
+        let report = {
+            let mut ws = cx.workspace();
+            let crate::workspace::SolverWorkspace {
+                marks,
+                visited,
+                stack,
+                ..
+            } = &mut *ws;
+            ContrastReport::for_subset_scratch(&plain, &solution.subset, marks, visited, stack)
+        };
+        buffers = gd.into_raw_csr();
         points.push(AlphaPoint {
             alpha,
             subset: solution.subset,

@@ -12,8 +12,8 @@
 //! If the winning candidate is disconnected in `G_D`, it is replaced by its best
 //! connected component (justified by Property 1).
 
-use dcs_densest::charikar::{greedy_peeling, greedy_peeling_until};
-use dcs_graph::{components, SignedGraph, VertexId, Weight};
+use dcs_densest::charikar::{greedy_peeling, greedy_peeling_view_into};
+use dcs_graph::{components, GraphView, SignedGraph, VertexId, Weight};
 
 use crate::engine::{SolveContext, SolveStats};
 
@@ -94,17 +94,51 @@ impl DcsGreedy {
         seed: &[VertexId],
         cx: &SolveContext,
     ) -> (DcsadSolution, SolveStats) {
-        let n = gd.num_vertices();
-        assert!(n > 0, "the difference graph must have at least one vertex");
-        let mut meter = cx.meter();
+        self.solve_view_bounded(GraphView::full(gd), seed, cx)
+    }
 
-        // Case 1: no positive edges — any single vertex is optimal (density 0).
-        let max_edge = gd.max_weight_edge();
+    /// [`Self::solve_bounded`] on a masked [`GraphView`]: mines the alive-induced
+    /// difference graph without materialising it — the per-round entry point of the
+    /// top-k driver, which masks out previously mined subgraphs instead of rewriting
+    /// the CSR.  Scratch state (peel heaps, degree arrays) comes from the context's
+    /// [`crate::workspace::SolverWorkspace`] and is reused across calls.
+    ///
+    /// The view must not be positive-filtered (candidates are evaluated in the
+    /// signed graph); `G_{D+}` is reached internally through
+    /// [`GraphView::positive_part`], so it is never materialised either.
+    pub fn solve_view_bounded(
+        &self,
+        view: GraphView<'_>,
+        seed: &[VertexId],
+        cx: &SolveContext,
+    ) -> (DcsadSolution, SolveStats) {
+        debug_assert!(
+            !view.is_positive_only(),
+            "solve_view_bounded mines the signed difference graph"
+        );
+        let gd = view.graph();
+        let n = gd.num_vertices();
+        assert!(
+            view.alive_count() > 0,
+            "the difference graph must have at least one (alive) vertex"
+        );
+        let mut meter = cx.meter();
+        let mut ws = cx.workspace();
+        let crate::workspace::SolverWorkspace {
+            peel: peel_ws,
+            marks,
+            visited,
+            stack,
+            ..
+        } = &mut *ws;
+
+        // Case 1: no positive edges — any single alive vertex is optimal (density 0).
+        let max_edge = view.max_weight_edge();
         let has_positive = matches!(max_edge, Some((_, _, w)) if w > 0.0);
         if !has_positive {
             return (
                 DcsadSolution {
-                    subset: vec![0],
+                    subset: vec![view.first_alive().expect("alive vertex exists")],
                     density_difference: 0.0,
                     data_dependent_ratio: 1.0,
                     winner: CandidateKind::SingleVertex,
@@ -126,24 +160,31 @@ impl DcsGreedy {
 
         // Candidate B: greedy peel of G_D (interruptible; best prefix so far).
         let s1 = {
-            let (peel, _) = greedy_peeling_until(gd, |units| !meter.tick(units));
+            let (peel, _) = greedy_peeling_view_into(view, peel_ws, |units| !meter.tick(units));
             meter.note_candidates(1);
             peel.subset
         };
 
-        // Candidate C: greedy peel of G_{D+}; skipped entirely once a bound tripped.
+        // Candidate C: greedy peel of G_{D+} (a positive-filtered view — never
+        // materialised); skipped entirely once a bound tripped.
         let (s2, rho_gd_plus) = if meter.stopped() {
             (Vec::new(), 0.0)
         } else {
-            let gd_plus = gd.positive_part();
-            let (peel_plus, _) = greedy_peeling_until(&gd_plus, |units| !meter.tick(units));
+            let (peel_plus, _) =
+                greedy_peeling_view_into(view.positive_part(), peel_ws, |units| !meter.tick(units));
             meter.note_candidates(1);
             (peel_plus.subset, peel_plus.average_degree)
         };
 
-        // Candidate D (warm start): the seed support from a previous mine.
+        // Candidate D (warm start): the seed support from a previous mine.  Seeds
+        // from a slightly different (or less-masked) graph may reference dead
+        // vertices; they are dropped.
         let seed_candidate: Vec<VertexId> = {
-            let mut s: Vec<VertexId> = seed.iter().copied().filter(|&u| (u as usize) < n).collect();
+            let mut s: Vec<VertexId> = seed
+                .iter()
+                .copied()
+                .filter(|&u| (u as usize) < n && view.is_alive(u))
+                .collect();
             s.sort_unstable();
             s.dedup();
             s
@@ -152,10 +193,19 @@ impl DcsGreedy {
             meter.note_candidates(1);
         }
 
-        // Pick the candidate with the best density *in G_D*.
-        let mut best_subset = edge_candidate.clone();
-        let mut best_density = gd.average_degree(&edge_candidate);
+        // Pick the candidate with the best density *in G_D* (evaluated through the
+        // reused membership scratch; the winner is cloned exactly once).
+        let mut eval = |cand: &[VertexId]| -> Weight {
+            if cand.is_empty() {
+                return 0.0;
+            }
+            marks.reset_universe(n);
+            marks.insert_all(cand);
+            gd.total_degree_marked(marks) / cand.len() as Weight
+        };
+        let mut best_density = eval(&edge_candidate);
         let mut winner = CandidateKind::MaxWeightEdge;
+        let mut best_ref: &Vec<VertexId> = &edge_candidate;
         for (cand, kind) in [
             (&s1, CandidateKind::GreedyOnGd),
             (&s2, CandidateKind::GreedyOnGdPlus),
@@ -164,18 +214,24 @@ impl DcsGreedy {
             if cand.is_empty() {
                 continue;
             }
-            let density = gd.average_degree(cand);
+            let density = eval(cand);
             if density > best_density {
                 best_density = density;
-                best_subset = cand.clone();
+                best_ref = cand;
                 winner = kind;
             }
         }
+        let mut best_subset = best_ref.clone();
 
         // Refine to the best connected component if necessary (Property 1 / line 9).
+        // The common (connected) case is a scratch-buffer BFS; only a genuinely
+        // disconnected winner pays for the full component labelling.
         let mut refined_to_component = false;
-        let cc = components::connected_components_of(gd, &best_subset);
-        if cc.num_components > 1 {
+        marks.reset_universe(n);
+        marks.insert_all(&best_subset);
+        if !components::is_connected_scratch(gd, marks, visited, stack) {
+            let cc = components::connected_components_of(gd, &best_subset);
+            debug_assert!(cc.num_components > 1);
             refined_to_component = true;
             let mut best_cc: Option<(Vec<VertexId>, Weight)> = None;
             for group in cc.groups() {
@@ -271,10 +327,13 @@ mod tests {
     /// Brute-force DCSAD optimum for tiny graphs.
     fn brute_force(gd: &SignedGraph) -> (Vec<VertexId>, Weight) {
         let n = gd.num_vertices();
-        assert!(n <= 16);
+        // u64 masks: `1 << n` / `1 << v` on a u32 silently overflows for n >= 32.
+        debug_assert!(n < 64, "brute-force subset masks are u64");
+        assert!(n <= 16, "exponential brute force is for tiny graphs only");
         let mut best: (Vec<VertexId>, Weight) = (vec![0], 0.0);
-        for mask in 1u32..(1 << n) {
-            let subset: Vec<VertexId> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+        for mask in 1u64..(1u64 << n) {
+            let subset: Vec<VertexId> =
+                (0..n as u32).filter(|&v| mask & (1u64 << v) != 0).collect();
             let d = gd.average_degree(&subset);
             if d > best.1 {
                 best = (subset, d);

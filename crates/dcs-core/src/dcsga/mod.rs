@@ -25,7 +25,9 @@ mod refine;
 mod seacd;
 
 pub use coord_descent::{descend_to_local_kkt, CoordDescentOutcome};
-pub use newsea::{smart_initialization_order, NewSea, SmartInitStats};
+pub use newsea::{
+    smart_initialization_order, smart_initialization_order_view_into, NewSea, SmartInitStats,
+};
 pub use parallel::{parallel_newsea, parallel_sweep};
 pub use refine::refine;
 pub use seacd::{SeaCd, SeaCdRun, SeaCdSweep};

@@ -15,7 +15,7 @@
 //! observed loss of quality.
 
 use dcs_densest::Embedding;
-use dcs_graph::{core_decomposition, SignedGraph, VertexId, Weight};
+use dcs_graph::{core_decomposition_view, GraphView, SignedGraph, VertexId, Weight};
 
 use super::refine::refine;
 use super::seacd::SeaCd;
@@ -113,10 +113,30 @@ impl NewSea {
         seed: &[VertexId],
         cx: &SolveContext,
     ) -> (DcsgaSolution, SolveStats) {
-        let n = gd_plus.num_vertices();
+        self.solve_on_view_bounded(GraphView::full(gd_plus), seed, cx)
+    }
+
+    /// [`Self::solve_on_positive_part_bounded`] on a masked [`GraphView`] over an
+    /// already-materialised `G_{D+}` — the per-round entry point of the top-k
+    /// driver, which masks mined supports out instead of rewriting the CSR.
+    ///
+    /// The smart-initialisation bound, the SEACD runs and the refinement all operate
+    /// on the alive-induced subgraph.  The workspace carried by `cx` provides the
+    /// initialisation-order buffers, so steady-state sweeps do not re-allocate them.
+    pub fn solve_on_view_bounded(
+        &self,
+        view: GraphView<'_>,
+        seed: &[VertexId],
+        cx: &SolveContext,
+    ) -> (DcsgaSolution, SolveStats) {
+        debug_assert!(
+            !view.is_positive_only(),
+            "NewSEA mines a view over an already-positive working graph"
+        );
+        let n = view.num_vertices();
         let mut meter = cx.meter();
         let mut stats = SmartInitStats::default();
-        if n == 0 || gd_plus.num_edges() == 0 {
+        if view.alive_count() == 0 || !view.has_edge() {
             return (
                 DcsgaSolution {
                     embedding: Embedding::default(),
@@ -126,9 +146,16 @@ impl NewSea {
                 meter.finish(),
             );
         }
+        let gd_plus = view.graph();
 
-        // --- Smart-initialisation upper bounds (Theorem 6). -------------------------
-        let order = smart_initialization_order(gd_plus);
+        // --- Smart-initialisation upper bounds (Theorem 6), into reused buffers. -----
+        let mut ws = cx.workspace();
+        let crate::workspace::SolverWorkspace {
+            init_order: order,
+            max_incident,
+            ..
+        } = &mut *ws;
+        smart_initialization_order_view_into(view, order, max_incident);
 
         // --- Warm start: one run from the seed to establish a strong incumbent. ------
         let seacd = SeaCd::new(self.config);
@@ -137,12 +164,12 @@ impl NewSea {
         let seed_support: Vec<VertexId> = seed
             .iter()
             .copied()
-            .filter(|&u| (u as usize) < n && gd_plus.degree(u) > 0)
+            .filter(|&u| (u as usize) < n && view.is_alive(u) && view.degree(u) > 0)
             .collect();
         if !seed_support.is_empty() && !meter.stopped() {
             stats.seeded_runs += 1;
             meter.note_candidates(1);
-            let run = seacd.run_from_until(gd_plus, Embedding::uniform(&seed_support), |units| {
+            let run = seacd.run_on_view_until(view, Embedding::uniform(&seed_support), |units| {
                 !meter.tick(units)
             });
             stats.expansion_errors += run.expansion_errors;
@@ -155,7 +182,7 @@ impl NewSea {
         }
 
         // --- Sweep in descending µ_u order with the early-exit bound. ----------------
-        for &(u, mu) in &order {
+        for &(u, mu) in order.iter() {
             if mu <= best_objective {
                 let skipped = order.len() - stats.initializations_run;
                 stats.initializations_skipped += skipped;
@@ -168,7 +195,7 @@ impl NewSea {
             stats.initializations_run += 1;
             meter.note_candidates(1);
             let run =
-                seacd.run_from_until(gd_plus, Embedding::singleton(u), |units| !meter.tick(units));
+                seacd.run_on_view_until(view, Embedding::singleton(u), |units| !meter.tick(units));
             stats.expansion_errors += run.expansion_errors;
             let refined = refine(gd_plus, run.embedding, &self.config);
             let objective = refined.affinity(gd_plus);
@@ -194,10 +221,26 @@ impl NewSea {
 ///
 /// Exposed so the experiment harness can report how sharp the bound is.
 pub fn smart_initialization_order(gd_plus: &SignedGraph) -> Vec<(VertexId, Weight)> {
-    let n = gd_plus.num_vertices();
-    // Maximum incident edge weight per vertex.
-    let mut max_incident = vec![0.0 as Weight; n];
-    for (u, v, w) in gd_plus.edges() {
+    let mut order = Vec::new();
+    let mut max_incident = Vec::new();
+    smart_initialization_order_view_into(GraphView::full(gd_plus), &mut order, &mut max_incident);
+    order
+}
+
+/// [`smart_initialization_order`] over a masked [`GraphView`], writing into reused
+/// buffers: `order` receives the `(vertex, µ_u)` pairs (descending `µ_u`, alive
+/// non-isolated vertices only), `max_incident` is per-vertex scratch.  Neither buffer
+/// re-allocates in steady state.
+pub fn smart_initialization_order_view_into(
+    view: GraphView<'_>,
+    order: &mut Vec<(VertexId, Weight)>,
+    max_incident: &mut Vec<Weight>,
+) {
+    let n = view.num_vertices();
+    // Maximum incident surviving edge weight per vertex.
+    max_incident.clear();
+    max_incident.resize(n, 0.0);
+    for (u, v, w) in view.edges() {
         debug_assert!(w > 0.0, "G_D+ must only contain positive edges");
         if w > max_incident[u as usize] {
             max_incident[u as usize] = w;
@@ -208,14 +251,14 @@ pub fn smart_initialization_order(gd_plus: &SignedGraph) -> Vec<(VertexId, Weigh
     }
     // w_u = max over the ego net T_u of the maximum incident weight — an upper bound on
     // the heaviest edge with at least one endpoint in T_u.
-    let cores = core_decomposition(gd_plus);
-    let mut order: Vec<(VertexId, Weight)> = Vec::new();
-    for u in 0..n as VertexId {
-        if gd_plus.degree(u) == 0 {
+    let cores = core_decomposition_view(view);
+    order.clear();
+    for u in view.vertices() {
+        if view.degree(u) == 0 {
             continue;
         }
         let mut w_u = max_incident[u as usize];
-        for e in gd_plus.neighbors(u) {
+        for e in view.neighbors(u) {
             w_u = w_u.max(max_incident[e.neighbor as usize]);
         }
         let tau = cores.core[u as usize] as Weight;
@@ -223,7 +266,6 @@ pub fn smart_initialization_order(gd_plus: &SignedGraph) -> Vec<(VertexId, Weigh
         order.push((u, mu));
     }
     order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-    order
 }
 
 #[cfg(test)]

@@ -13,9 +13,9 @@
 //! the original SEA with its loose objective-improvement stopping rule.  Expansion errors
 //! are still counted defensively and reported.
 
-use dcs_densest::expansion::{expansion_candidates, expansion_step};
+use dcs_densest::expansion::{expansion_candidates_view, expansion_step};
 use dcs_densest::Embedding;
-use dcs_graph::{SignedGraph, VertexId, Weight};
+use dcs_graph::{GraphView, SignedGraph, VertexId, Weight};
 
 use super::coord_descent::descend_to_local_kkt;
 use super::refine::refine;
@@ -85,8 +85,32 @@ impl SeaCd {
         &self,
         g: &SignedGraph,
         init: Embedding,
+        stop: F,
+    ) -> SeaCdRun {
+        self.run_on_view_until(GraphView::full(g), init, stop)
+    }
+
+    /// [`Self::run_from_until`] on a masked [`GraphView`]: the run is confined to the
+    /// alive vertices (shrink support, expansion candidates and objective are all
+    /// those of the alive-induced subgraph) without materialising it.
+    ///
+    /// The view must not be positive-filtered — the shrink stage reads the underlying
+    /// graph's edges between supported vertices directly, so callers mining `G_{D+}`
+    /// pass a (masked) view over an already-materialised positive part, exactly as
+    /// the NewSEA and top-k drivers do.  The initial embedding's support must be
+    /// alive in the view.
+    pub fn run_on_view_until<F: FnMut(u64) -> bool>(
+        &self,
+        view: GraphView<'_>,
+        init: Embedding,
         mut stop: F,
     ) -> SeaCdRun {
+        debug_assert!(
+            !view.is_positive_only(),
+            "SEACD runs on an already-positive working graph"
+        );
+        debug_assert!(init.iter().all(|(u, _)| view.is_alive(u)));
+        let g = view.graph();
         let mut x = init;
         let mut rounds = 0usize;
         let mut cd_iterations = 0usize;
@@ -111,8 +135,8 @@ impl SeaCd {
             x = shrink.embedding;
             let interrupted = stop(shrink.iterations as u64 + 1);
 
-            // Expansion candidates Z = {i | ∇_i > λ}.
-            let z = expansion_candidates(g, &x, self.config.candidate_tolerance);
+            // Expansion candidates Z = {i | ∇_i > λ}; dead vertices never qualify.
+            let z = expansion_candidates_view(view, &x, self.config.candidate_tolerance);
             if interrupted || z.is_empty() || rounds >= self.config.max_rounds {
                 let objective = x.affinity(g);
                 return SeaCdRun {

@@ -9,7 +9,7 @@
 //!   integers so that a handful of extremely heavy edges cannot dominate the DCS, plus
 //!   the weight-clamping variant used for the Actor dataset.
 
-use dcs_graph::{GraphBuilder, SignedGraph, Weight};
+use dcs_graph::{GraphBuilder, SignedGraph, VertexId, Weight};
 
 use crate::error::DcsError;
 
@@ -136,6 +136,150 @@ pub fn difference_graph_with(
     Ok(gd)
 }
 
+/// Recycled CSR buffers handed back and forth between
+/// [`ScaledDifferenceTemplate::materialize_with`] and
+/// [`SignedGraph::into_raw_csr`], so a sweep re-uses one set of arrays for every α.
+pub type CsrBuffers = (Vec<usize>, Vec<VertexId>, Vec<Weight>);
+
+/// The merged edge structure of a graph pair, built **once**, from which the
+/// α-scaled difference graph `D = A2 − α·A1` can be materialised for any α without
+/// re-walking either input.
+///
+/// The α-sweep used to construct each grid point's difference graph through a fresh
+/// [`GraphBuilder`] (two full edge walks, bucket/sort/merge, five allocations); with
+/// the template, every α is one linear pass over the merged rows writing
+/// `w2 − α·w1` into recycled CSR buffers.  Entries whose scaled weight is exactly
+/// zero are dropped, matching [`scaled_difference_graph`] bit for bit.
+#[derive(Debug, Clone)]
+pub struct ScaledDifferenceTemplate {
+    /// `offsets[v]..offsets[v+1]` indexes the merged adjacency of vertex `v`.
+    offsets: Vec<usize>,
+    /// Merged neighbor ids (union of both graphs' rows, sorted).
+    neighbors: Vec<VertexId>,
+    /// `A2(v, neighbor)` per slot (0 where only `G1` has the edge).
+    w2: Vec<Weight>,
+    /// `A1(v, neighbor)` per slot (0 where only `G2` has the edge).
+    w1: Vec<Weight>,
+}
+
+impl ScaledDifferenceTemplate {
+    /// Merges the adjacency structures of `g2` and `g1` (validating them exactly like
+    /// [`difference_graph`]: same vertex count, non-negative weights).
+    pub fn new(g2: &SignedGraph, g1: &SignedGraph) -> Result<Self, DcsError> {
+        if g1.num_vertices() != g2.num_vertices() {
+            return Err(DcsError::VertexCountMismatch {
+                g1_vertices: g1.num_vertices(),
+                g2_vertices: g2.num_vertices(),
+            });
+        }
+        if g1.min_edge_weight().unwrap_or(0.0) < 0.0 {
+            return Err(DcsError::NegativeInputWeight { which: "G1" });
+        }
+        if g2.min_edge_weight().unwrap_or(0.0) < 0.0 {
+            return Err(DcsError::NegativeInputWeight { which: "G2" });
+        }
+        let n = g1.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::new();
+        let mut w2 = Vec::new();
+        let mut w1 = Vec::new();
+        for v in 0..n as VertexId {
+            let (n2, ws2) = g2.neighbor_slices(v);
+            let (n1, ws1) = g1.neighbor_slices(v);
+            debug_assert!(
+                n2.windows(2).all(|w| w[0] < w[1]),
+                "builder rows are sorted"
+            );
+            debug_assert!(
+                n1.windows(2).all(|w| w[0] < w[1]),
+                "builder rows are sorted"
+            );
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < n2.len() || j < n1.len() {
+                match (n2.get(i), n1.get(j)) {
+                    (Some(&a), Some(&b)) if a == b => {
+                        neighbors.push(a);
+                        w2.push(ws2[i]);
+                        w1.push(ws1[j]);
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(&a), Some(&b)) if a < b => {
+                        neighbors.push(a);
+                        w2.push(ws2[i]);
+                        w1.push(0.0);
+                        i += 1;
+                    }
+                    (Some(_), Some(&b)) => {
+                        neighbors.push(b);
+                        w2.push(0.0);
+                        w1.push(ws1[j]);
+                        j += 1;
+                    }
+                    (Some(&a), None) => {
+                        neighbors.push(a);
+                        w2.push(ws2[i]);
+                        w1.push(0.0);
+                        i += 1;
+                    }
+                    (None, Some(&b)) => {
+                        neighbors.push(b);
+                        w2.push(0.0);
+                        w1.push(ws1[j]);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                }
+            }
+            offsets.push(neighbors.len());
+        }
+        Ok(ScaledDifferenceTemplate {
+            offsets,
+            neighbors,
+            w2,
+            w1,
+        })
+    }
+
+    /// Number of vertices of the pair.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Materialises `D = A2 − α·A1` into the recycled `buffers`, returning the graph.
+    ///
+    /// Hand the previous grid point's graph back through
+    /// [`SignedGraph::into_raw_csr`] and the sweep allocates nothing after the first
+    /// α.  Zero-weight entries are dropped (both directions symmetrically), so the
+    /// result equals [`scaled_difference_graph`] exactly.
+    pub fn materialize_with(&self, alpha: Weight, buffers: CsrBuffers) -> SignedGraph {
+        let (mut offsets, mut neighbors, mut weights) = buffers;
+        offsets.clear();
+        neighbors.clear();
+        weights.clear();
+        let n = self.num_vertices();
+        offsets.reserve(n + 1);
+        offsets.push(0);
+        for v in 0..n {
+            for slot in self.offsets[v]..self.offsets[v + 1] {
+                let w = self.w2[slot] - alpha * self.w1[slot];
+                if w != 0.0 {
+                    neighbors.push(self.neighbors[slot]);
+                    weights.push(w);
+                }
+            }
+            offsets.push(neighbors.len());
+        }
+        SignedGraph::from_raw_csr(offsets, neighbors, weights)
+    }
+
+    /// [`Self::materialize_with`] into fresh buffers.
+    pub fn materialize(&self, alpha: Weight) -> SignedGraph {
+        self.materialize_with(alpha, CsrBuffers::default())
+    }
+}
+
 /// Clamps every edge weight of a (difference) graph to `[-max_abs, max_abs]`.
 ///
 /// Section III-D recommends down-weighting extremely heavy edges so that a single edge
@@ -235,6 +379,35 @@ mod tests {
         assert_eq!(gd.edge_weight(0, 1), Some(2.0)); // diff 6 -> +2
         assert_eq!(gd.edge_weight(1, 2), Some(-2.0)); // diff -9 -> -2
         assert_eq!(gd.edge_weight(2, 3), None); // diff 1 -> dropped
+    }
+
+    #[test]
+    fn template_matches_builder_path_for_every_alpha() {
+        let (g1, g2) = fig1_pair();
+        let template = ScaledDifferenceTemplate::new(&g2, &g1).unwrap();
+        assert_eq!(template.num_vertices(), 5);
+        let mut buffers = CsrBuffers::default();
+        // α = 1.0 hits exact zero differences on none of the Fig. 1 edges; add a grid
+        // point (2.5 for (2,4): 2 − 2.5·3 ≠ 0; but 1.0 for (2,3) etc.) plus the
+        // cancellation cases α = w2/w1.
+        for alpha in [0.0, 0.25, 2.0 / 3.0, 1.0, 2.5, 3.0] {
+            let via_template = template.materialize_with(alpha, buffers);
+            let via_builder = scaled_difference_graph(&g2, &g1, alpha).unwrap();
+            assert_eq!(via_template, via_builder, "alpha = {alpha}");
+            buffers = via_template.into_raw_csr();
+        }
+        // Exact zero-drop: at α = 5/2 the (2,3) edge (A2=5, A1=2) vanishes.
+        let gd = template.materialize(2.5);
+        assert_eq!(gd.edge_weight(2, 3), None);
+        assert_eq!(gd, scaled_difference_graph(&g2, &g1, 2.5).unwrap());
+        // Validation mirrors the builder path.
+        let mismatched = GraphBuilder::from_edges(3, vec![(0, 1, 1.0)]);
+        assert!(ScaledDifferenceTemplate::new(&g2, &mismatched).is_err());
+        let negative = GraphBuilder::from_edges(5, vec![(0, 1, -1.0)]);
+        assert!(matches!(
+            ScaledDifferenceTemplate::new(&g2, &negative),
+            Err(DcsError::NegativeInputWeight { which: "G1" })
+        ));
     }
 
     #[test]

@@ -41,11 +41,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dcs_graph::{SignedGraph, VertexId, Weight};
+use dcs_graph::{GraphView, SignedGraph, VertexId, Weight};
 
 use crate::dcsad::{DcsGreedy, DcsadSolution};
 use crate::dcsga::{DcsgaConfig, DcsgaSolution, NewSea, SeaCd};
 use crate::solution::{ContrastReport, DensityMeasure};
+use crate::workspace::{SharedWorkspace, WorkspaceGuard};
 
 /// Why a solve stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +130,7 @@ pub struct SolveContext {
     cancel: Option<CancelToken>,
     deadline: Option<Instant>,
     budget: Option<u64>,
+    workspace: Option<SharedWorkspace>,
 }
 
 impl SolveContext {
@@ -163,6 +165,43 @@ impl SolveContext {
     pub fn with_budget(mut self, units: u64) -> Self {
         self.budget = Some(units);
         self
+    }
+
+    /// Attaches a [`SharedWorkspace`]: every solve under this context reuses the
+    /// workspace's scratch buffers (degree arrays, lazy heaps, removal orders, the
+    /// max-flow arena) instead of allocating them.  The workspace never affects
+    /// results — only where the scratch memory comes from.
+    pub fn with_workspace(mut self, workspace: &SharedWorkspace) -> Self {
+        self.workspace = Some(workspace.clone());
+        self
+    }
+
+    /// Whether this context carries a shared workspace.
+    pub fn has_workspace(&self) -> bool {
+        self.workspace.is_some()
+    }
+
+    /// A clone of this context that is guaranteed to carry a workspace: drivers that
+    /// run many solves under one job (top-k rounds, α-sweep grid points) call this
+    /// once so all their solves share scratch buffers even when the caller did not
+    /// attach any.
+    pub fn ensure_workspace(&self) -> Self {
+        if self.workspace.is_some() {
+            self.clone()
+        } else {
+            self.clone().with_workspace(&SharedWorkspace::new())
+        }
+    }
+
+    /// The scratch workspace for one solve: a lock on the shared workspace when the
+    /// context carries one, a transient workspace otherwise.  Leaf solvers hold the
+    /// guard for the duration of the solve; drivers must not call this around solver
+    /// invocations (see the locking discipline in [`crate::workspace`]).
+    pub fn workspace(&self) -> WorkspaceGuard<'_> {
+        match &self.workspace {
+            Some(shared) => WorkspaceGuard::Shared(shared.lock()),
+            None => WorkspaceGuard::Owned(Box::default()),
+        }
     }
 
     /// Whether this context carries no bound at all.
@@ -366,9 +405,29 @@ impl EngineSolution {
     /// Full contrast statistics of the solution, evaluated on `gd`.  Affinity
     /// solutions are reported at their embedding, everything else at the subset.
     pub fn report(&self, gd: &SignedGraph) -> ContrastReport {
+        self.report_in(gd, &SolveContext::unbounded())
+    }
+
+    /// [`Self::report`] under a [`SolveContext`]: when the context carries a
+    /// workspace, the report's membership and connectivity scratch comes from it
+    /// instead of being allocated — the steady-state reporting path of the streaming
+    /// monitor and the serving layer.
+    pub fn report_in(&self, gd: &SignedGraph, cx: &SolveContext) -> ContrastReport {
+        let mut ws = cx.workspace();
+        let crate::workspace::SolverWorkspace {
+            marks,
+            visited,
+            stack,
+            ..
+        } = &mut *ws;
         match &self.detail {
-            SolverDetail::Dcsga(solution) => ContrastReport::for_embedding(gd, &solution.embedding),
-            _ => ContrastReport::for_subset(gd, &self.subset),
+            SolverDetail::Dcsga(solution) => {
+                let mut report =
+                    ContrastReport::for_subset_scratch(gd, &self.subset, marks, visited, stack);
+                report.affinity_difference = solution.embedding.affinity(gd);
+                report
+            }
+            _ => ContrastReport::for_subset_scratch(gd, &self.subset, marks, visited, stack),
         }
     }
 }
@@ -478,7 +537,11 @@ impl ContrastSolver for PeelSolver {
 
     fn solve_in(&self, gd: &SignedGraph, cx: &SolveContext) -> EngineSolution {
         let mut meter = cx.meter();
-        let (peel, _) = dcs_densest::greedy_peeling_until(gd, |units| !meter.tick(units));
+        let mut ws = cx.workspace();
+        let (peel, _) =
+            dcs_densest::greedy_peeling_view_into(GraphView::full(gd), &mut ws.peel, |units| {
+                !meter.tick(units)
+            });
         meter.note_candidates(1);
         EngineSolution {
             objective: peel.average_degree,
@@ -502,9 +565,15 @@ impl ContrastSolver for GoldbergSolver {
 
     fn solve_in(&self, gd: &SignedGraph, cx: &SolveContext) -> EngineSolution {
         let mut meter = cx.meter();
-        let gd_plus = gd.positive_part();
-        let (exact, _) =
-            dcs_densest::densest_subgraph_exact_until(&gd_plus, |units| !meter.tick(units));
+        let mut ws = cx.workspace();
+        // `G_{D+}` as a positive-filtered view: no materialised copy, and the flow
+        // arena is reused across the binary-search rounds (and across solves when
+        // the context carries a shared workspace).
+        let (exact, _) = dcs_densest::densest_subgraph_view_until(
+            GraphView::full(gd).positive_part(),
+            &mut ws.flow,
+            |units| !meter.tick(units),
+        );
         meter.note_candidates(1);
         EngineSolution {
             objective: gd.average_degree(&exact.subset),
@@ -551,37 +620,59 @@ impl MeasureSolver {
         }
     }
 
-    /// The working graph a peeling driver should iterate on: affinity mining peels
-    /// the positive part (Theorem 5), average-degree mining peels `G_D` itself.
-    pub fn prepare_working_graph(&self, gd: &SignedGraph) -> SignedGraph {
+    /// The working graph a peeling driver should expose through per-round views:
+    /// affinity mining works on the positive part (Theorem 5, materialised **once**
+    /// per job), average-degree mining works on `G_D` itself (borrowed — no copy at
+    /// all).
+    pub fn prepare_working_graph<'a>(
+        &self,
+        gd: &'a SignedGraph,
+    ) -> std::borrow::Cow<'a, SignedGraph> {
         match self {
-            MeasureSolver::AverageDegree(_) => gd.clone(),
-            MeasureSolver::Affinity(_) => gd.positive_part(),
+            MeasureSolver::AverageDegree(_) => std::borrow::Cow::Borrowed(gd),
+            MeasureSolver::Affinity(_) => std::borrow::Cow::Owned(gd.positive_part()),
         }
     }
 
-    /// Solves on a working graph produced by [`Self::prepare_working_graph`] — the
-    /// affinity solver skips re-filtering the positive part.
-    pub fn solve_working_seeded_in(
+    /// Solves on a masked view of a working graph produced by
+    /// [`Self::prepare_working_graph`] — the peeling drivers' per-round entry point.
+    /// The view replaces the old per-round `remove_vertices_in_place` CSR rewrite:
+    /// mined vertices are masked out in O(1) each and the CSR arrays never move.
+    pub fn solve_view_seeded_in(
         &self,
-        working: &SignedGraph,
+        view: GraphView<'_>,
         seed: &[VertexId],
         cx: &SolveContext,
     ) -> EngineSolution {
         match self {
-            MeasureSolver::AverageDegree(solver) => solver.solve_seeded_in(working, seed, cx),
+            MeasureSolver::AverageDegree(solver) => {
+                let (solution, stats) = solver.solve_view_bounded(view, seed, cx);
+                EngineSolution {
+                    subset: solution.subset.clone(),
+                    objective: solution.density_difference,
+                    detail: SolverDetail::Dcsad(solution),
+                    stats,
+                }
+            }
             MeasureSolver::Affinity(solver) => {
-                let (solution, stats) = solver.solve_on_positive_part_bounded(working, seed, cx);
+                let (solution, stats) = solver.solve_on_view_bounded(view, seed, cx);
                 dcsga_solution(solution, stats)
             }
         }
     }
 
-    /// Whether a peeling driver has any contrast left to mine on the working graph.
-    pub fn working_graph_exhausted(&self, working: &SignedGraph) -> bool {
+    /// Whether a peeling driver has any contrast left to mine on the view.
+    ///
+    /// This is a short-circuiting scan (it stops at the first surviving qualifying
+    /// edge, i.e. essentially O(1) while contrast remains); the terminating round
+    /// pays one full O(n + m) pass, which is still cheaper than the wasted solve it
+    /// avoids, and cheaper than maintaining a surviving-edge counter would be — that
+    /// would need a per-removal adjacency walk, exactly the per-round cost the
+    /// masked views eliminate.
+    pub fn view_exhausted(&self, view: GraphView<'_>) -> bool {
         match self {
-            MeasureSolver::AverageDegree(_) => working.num_positive_edges() == 0,
-            MeasureSolver::Affinity(_) => working.num_edges() == 0,
+            MeasureSolver::AverageDegree(_) => !view.has_positive_edge(),
+            MeasureSolver::Affinity(_) => !view.has_edge(),
         }
     }
 }
@@ -730,9 +821,41 @@ mod tests {
         let gd = triangle_and_pair();
         let working = affinity.prepare_working_graph(&gd);
         assert_eq!(working.num_negative_edges(), 0);
-        assert!(!affinity.working_graph_exhausted(&working));
-        let solution = affinity.solve_working_seeded_in(&working, &[], &SolveContext::unbounded());
+        let view = GraphView::full(&working);
+        assert!(!affinity.view_exhausted(view));
+        let solution = affinity.solve_view_seeded_in(view, &[], &SolveContext::unbounded());
         assert_eq!(solution.subset, vec![0, 1, 2]);
+        // Average-degree mining borrows G_D itself: no working-graph copy.
+        let working = degree.prepare_working_graph(&gd);
+        assert!(matches!(working, std::borrow::Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn workspace_reuse_is_transparent() {
+        let gd = triangle_and_pair();
+        let shared = crate::workspace::SharedWorkspace::new();
+        let warm_cx = SolveContext::unbounded().with_workspace(&shared);
+        assert!(warm_cx.has_workspace());
+        assert!(warm_cx.is_unbounded(), "a workspace is not a bound");
+        let cold_cx = SolveContext::unbounded();
+        for solver in [
+            &MeasureSolver::for_measure(DensityMeasure::AverageDegree) as &dyn ContrastSolver,
+            &MeasureSolver::for_measure(DensityMeasure::GraphAffinity),
+            &PeelSolver,
+            &GoldbergSolver,
+        ] {
+            let cold = solver.solve_in(&gd, &cold_cx);
+            // Repeated warm solves over one workspace: identical answers.
+            for _ in 0..3 {
+                let warm = solver.solve_in(&gd, &warm_cx);
+                assert_eq!(warm.subset, cold.subset, "{} diverged", solver.name());
+                assert_eq!(warm.objective, cold.objective);
+            }
+        }
+        // ensure_workspace attaches one exactly when missing.
+        assert!(cold_cx.ensure_workspace().has_workspace());
+        let kept = warm_cx.ensure_workspace();
+        assert!(kept.has_workspace());
     }
 
     #[test]

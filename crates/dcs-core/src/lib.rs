@@ -61,11 +61,12 @@ pub mod error;
 pub mod solution;
 pub mod streaming;
 pub mod topk;
+pub mod workspace;
 
 pub use alpha_sweep::{alpha_sweep, alpha_sweep_in, default_alpha_grid, AlphaPoint, AlphaSweep};
 pub use diff::{
     clamp_weights, damp_heavy_weights, difference_graph, difference_graph_with,
-    scaled_difference_graph, DiscreteRule, WeightScheme,
+    scaled_difference_graph, CsrBuffers, DiscreteRule, ScaledDifferenceTemplate, WeightScheme,
 };
 pub use engine::{
     CancelToken, ContrastSolver, EngineSolution, MeasureSolver, SolveContext, SolveStats,
@@ -78,6 +79,7 @@ pub use streaming::{
     StreamingConfig, StreamingDcs,
 };
 pub use topk::{top_k_affinity, top_k_average_degree, top_k_in, TopKOutcome};
+pub use workspace::{SharedWorkspace, SolverWorkspace, WorkspaceGuard};
 
 // Re-export the embedding type: it is part of this crate's public API surface
 // (DCSGA solutions are embeddings).

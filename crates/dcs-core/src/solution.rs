@@ -7,7 +7,7 @@
 //! and downstream users can print table rows with one call.
 
 use dcs_densest::Embedding;
-use dcs_graph::{components, SignedGraph, VertexId, Weight};
+use dcs_graph::{components, SignedGraph, VertexId, VertexSubset, Weight};
 
 /// The graph density measure under which a DCS was mined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,19 +57,52 @@ pub struct ContrastReport {
 impl ContrastReport {
     /// Builds the report for a plain vertex subset (used for DCSAD and baseline results).
     pub fn for_subset(gd: &SignedGraph, subset: &[VertexId]) -> Self {
+        Self::for_subset_scratch(
+            gd,
+            subset,
+            &mut VertexSubset::new(0),
+            &mut VertexSubset::new(0),
+            &mut Vec::new(),
+        )
+    }
+
+    /// [`Self::for_subset`] with caller-provided scratch buffers (membership marks,
+    /// connectivity visited set and traversal stack) — the allocation-lean variant
+    /// used with a [`crate::workspace::SolverWorkspace`] on the steady-state
+    /// reporting path.  One membership pass feeds every density metric: the total
+    /// degree `W_D(S)` determines the average degree (`/|S|`), the edge density
+    /// (`/|S|²`) and the affinity of the **uniform** embedding, which equals the edge
+    /// density exactly (`xᵀDx` at `x_u = 1/|S|` is `W_D(S)/|S|²` by definition).
+    pub fn for_subset_scratch(
+        gd: &SignedGraph,
+        subset: &[VertexId],
+        marks: &mut VertexSubset,
+        visited: &mut VertexSubset,
+        stack: &mut Vec<VertexId>,
+    ) -> Self {
         let mut sorted: Vec<VertexId> = subset.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        let uniform = Embedding::uniform(&sorted);
-        let affinity = uniform.affinity(gd);
+        marks.reset_universe(gd.num_vertices());
+        marks.insert_all(&sorted);
+        let size = sorted.len();
+        let total = gd.total_degree_marked(marks);
+        let (average, density) = if size == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                total / size as Weight,
+                total / (size as Weight * size as Weight),
+            )
+        };
         ContrastReport {
-            size: sorted.len(),
-            average_degree_difference: gd.average_degree(&sorted),
-            affinity_difference: affinity,
-            edge_density_difference: gd.edge_density(&sorted),
-            total_degree_difference: gd.total_degree(&sorted),
-            is_positive_clique: gd.is_positive_clique(&sorted),
-            is_connected: components::is_connected(gd, &sorted),
+            size,
+            average_degree_difference: average,
+            affinity_difference: density,
+            edge_density_difference: density,
+            total_degree_difference: total,
+            is_positive_clique: gd.is_positive_clique_marked(marks),
+            is_connected: components::is_connected_scratch(gd, marks, visited, stack),
             subset: sorted,
         }
     }

@@ -45,6 +45,7 @@ use rustc_hash::FxHashMap;
 use crate::engine::{ContrastSolver, MeasureSolver, SolveContext, SolveStats};
 use crate::error::DcsError;
 use crate::solution::{ContrastReport, DensityMeasure};
+use crate::workspace::SharedWorkspace;
 
 /// Configuration of a [`StreamingDcs`] monitor.
 #[derive(Debug, Clone, Copy)]
@@ -104,6 +105,11 @@ pub struct StreamingDcs {
     version: u64,
     /// Support of the last mined alert, used to warm-start the next mine.
     last_support: Option<Vec<VertexId>>,
+    /// Reusable solver scratch shared by every re-mine of this monitor, so the
+    /// steady-state cadence path stops allocating peel buffers per mine.  Clones of
+    /// the monitor share the workspace (solves serialise on its lock); contents are
+    /// pure scratch, so sharing never changes results.
+    workspace: SharedWorkspace,
 }
 
 /// Outcome of a batched observation ([`StreamingDcs::observe_batch`] /
@@ -144,6 +150,7 @@ impl StreamingDcs {
             updates_since_mine: 0,
             version: 0,
             last_support: None,
+            workspace: SharedWorkspace::new(),
         })
     }
 
@@ -340,7 +347,10 @@ impl StreamingDcs {
         self.updates_since_mine = 0;
         let gd = self.delta.snapshot();
         let seed = self.last_support.take();
-        let alert = mine_difference_seeded(&gd, &self.config, self.observations, seed.as_deref());
+        // Steady-state re-mines run with the monitor's persistent workspace: the
+        // peel buffers, heaps and removal orders of the previous mine are reused.
+        let cx = SolveContext::unbounded().with_workspace(&self.workspace);
+        let alert = mine_difference_in(&gd, &self.config, self.observations, seed.as_deref(), &cx);
         self.last_support = Some(alert.report.subset.clone());
         alert
     }
@@ -391,7 +401,7 @@ pub fn mine_difference_in(
 ) -> ContrastAlert {
     let solver = MeasureSolver::for_measure(config.measure);
     let solution = solver.solve_seeded_in(gd, seed.unwrap_or(&[]), cx);
-    let report = solution.report(gd);
+    let report = solution.report_in(gd, cx);
     ContrastAlert {
         triggered: solution.objective >= config.alert_threshold,
         density_difference: solution.objective,

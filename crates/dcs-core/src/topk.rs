@@ -13,8 +13,16 @@
 //! whole job), and the outcome carries aggregated [`SolveStats`] plus a
 //! [`Termination`] saying whether all `k` rounds completed.  The measure-specific
 //! entry points remain as thin unbounded wrappers.
+//!
+//! Per-round shrinking is **mask-based**: mined vertices are cleared from a
+//! [`VertexMask`] and the next round solves on a [`GraphView`] overlay — the CSR
+//! arrays of the working graph are built once per job (for average degree they are
+//! simply borrowed from the caller's `G_D`) and never rewritten, where the previous
+//! driver ran an `O(n + m)` [`SignedGraph::remove_vertices_in_place`] compaction per
+//! round.  All rounds share one [`crate::workspace::SolverWorkspace`], so steady-state
+//! rounds allocate almost nothing.
 
-use dcs_graph::SignedGraph;
+use dcs_graph::{GraphView, SignedGraph, VertexMask};
 
 use crate::dcsad::DcsadSolution;
 use crate::dcsga::{DcsgaConfig, DcsgaSolution};
@@ -39,11 +47,14 @@ pub struct TopKOutcome {
 /// Mines up to `k` vertex-disjoint contrast subgraphs under `measure`, bounded by
 /// `cx`.
 ///
-/// Solver dispatch goes through [`MeasureSolver`]; the working graph is peeled in
-/// place ([`SignedGraph::remove_vertices_in_place`]) — no per-round graph clone
-/// beyond the initial working copy.  Mining stops early when the remaining contrast
-/// is no longer positive, when `k` rounds have run, or when a bound of `cx` trips
-/// (the truncated round's best-so-far still counts when it has positive contrast).
+/// Solver dispatch goes through [`MeasureSolver`]; rounds shrink by masking mined
+/// vertices out of a [`VertexMask`] and solving the next round on a [`GraphView`] —
+/// no per-round CSR rewrite, and for the average-degree measure no working-graph
+/// copy at all.  Every round reuses one [`crate::workspace::SolverWorkspace`]
+/// (the caller's, when `cx` carries one).  Mining stops early when the remaining
+/// contrast is no longer positive, when `k` rounds have run, or when a bound of `cx`
+/// trips (the truncated round's best-so-far still counts when it has positive
+/// contrast).
 pub fn top_k_in(
     gd: &SignedGraph,
     k: usize,
@@ -52,20 +63,23 @@ pub fn top_k_in(
     cx: &SolveContext,
 ) -> TopKOutcome {
     let solver = MeasureSolver::with_config(measure, config);
-    let mut remaining = solver.prepare_working_graph(gd);
+    let cx = cx.ensure_workspace();
+    let working = solver.prepare_working_graph(gd);
+    let mut mask = VertexMask::full(working.num_vertices());
     let mut solutions: Vec<EngineSolution> = Vec::new();
     let mut stats = SolveStats::default();
     for _ in 0..k {
-        if solver.working_graph_exhausted(&remaining) {
+        let view = GraphView::masked(&working, &mask);
+        if solver.view_exhausted(view) {
             break;
         }
         let round_cx = cx.after_work(stats.iterations);
-        let solution = solver.solve_working_seeded_in(&remaining, &[], &round_cx);
+        let solution = solver.solve_view_seeded_in(view, &[], &round_cx);
         let round_termination = solution.termination();
         let keep = solution.objective > 0.0 && !solution.subset.is_empty();
         stats.absorb(&solution.stats);
         if keep {
-            remaining.remove_vertices_in_place(&solution.subset);
+            mask.remove_all(&solution.subset);
             solutions.push(solution);
         }
         if !round_termination.is_converged() || !keep {
@@ -113,7 +127,7 @@ pub fn top_k_average_degree(gd: &SignedGraph, k: usize) -> Vec<DcsadSolution> {
 /// removed.
 ///
 /// Thin [`SolveContext::unbounded`] wrapper over [`top_k_in`]; the positive part is
-/// materialised once and then peeled in place.
+/// materialised once and then shrunk round-by-round through masked views.
 pub fn top_k_affinity(gd: &SignedGraph, k: usize, config: DcsgaConfig) -> Vec<DcsgaSolution> {
     top_k_in(
         gd,

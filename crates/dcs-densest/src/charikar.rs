@@ -9,9 +9,9 @@
 //! guarantee exists — the DCSAD problem is `O(n^{1-ε})`-inapproximable — but the peel is
 //! still a useful candidate generator, which is exactly how `DCSGreedy` uses it.
 
-use dcs_graph::{SignedGraph, VertexId, Weight};
+use dcs_graph::{GraphView, SignedGraph, VertexId, Weight};
 
-use crate::peel::{LazyHeapQueue, MinDegreeQueue, RescanQueue};
+use crate::peel::{Entry, MinDegreeQueue, PeelWorkspace, RescanQueue};
 
 /// Result of a greedy peeling run.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +34,7 @@ pub struct PeelingProfile {
 
 /// Runs greedy peeling with the lazy-heap priority structure.
 pub fn greedy_peeling(g: &SignedGraph) -> PeelingResult {
-    peel_impl::<LazyHeapQueue, _>(g, false, |_| false).0
+    greedy_peeling_view_into(GraphView::full(g), &mut PeelWorkspace::new(), |_| false).0
 }
 
 /// Runs greedy peeling with a **stop callback**: `stop(units)` is invoked once per
@@ -48,14 +48,186 @@ pub fn greedy_peeling_until<F: FnMut(u64) -> bool>(
     g: &SignedGraph,
     stop: F,
 ) -> (PeelingResult, bool) {
-    let (result, _, interrupted) = peel_impl::<LazyHeapQueue, _>(g, false, stop);
-    (result, interrupted)
+    greedy_peeling_view_into(GraphView::full(g), &mut PeelWorkspace::new(), stop)
+}
+
+/// [`greedy_peeling_until`] on a [`GraphView`], writing all scratch state into a
+/// reusable [`PeelWorkspace`] — the allocation-lean hot path behind every other
+/// peeling entry point.
+///
+/// Peeling a view is peeling the **alive-induced** subgraph: dead vertices take no
+/// part (they are not counted in the density denominators and cannot appear in the
+/// result), exactly as if [`dcs_graph::SignedGraph::induced_subgraph`] had been
+/// materialised on the alive set — but with zero allocation beyond the workspace's
+/// first use, and with vertex ids unchanged.
+pub fn greedy_peeling_view_into<F: FnMut(u64) -> bool>(
+    view: GraphView<'_>,
+    ws: &mut PeelWorkspace,
+    stop: F,
+) -> (PeelingResult, bool) {
+    greedy_peeling_view_impl(view, ws, stop, None)
+}
+
+/// The one peel implementation behind [`greedy_peeling`], [`greedy_peeling_until`],
+/// [`greedy_peeling_view_into`] and [`greedy_peeling_with_profile`] (the ablation
+/// queue variants in [`crate::peel`] keep their own generic driver).  `profile`
+/// optionally records the removal order and per-step densities.
+fn greedy_peeling_view_impl<F: FnMut(u64) -> bool>(
+    view: GraphView<'_>,
+    ws: &mut PeelWorkspace,
+    mut stop: F,
+    mut profile: Option<&mut PeelingProfile>,
+) -> (PeelingResult, bool) {
+    let n = view.num_vertices();
+    let alive_at_start = view.alive_count();
+    if alive_at_start == 0 {
+        return (
+            PeelingResult {
+                subset: Vec::new(),
+                average_degree: 0.0,
+            },
+            false,
+        );
+    }
+    ws.reset(n);
+    // Two-pass initialisation: aliveness first, then degrees from the raw CSR rows
+    // with the `ws.alive` test standing in for the mask (identical filtering, one
+    // indirection less per edge).
+    for v in view.vertices() {
+        ws.alive[v as usize] = true;
+    }
+    let init_positive_only = view.is_positive_only();
+    let mut total_degree: Weight = 0.0;
+    for v in view.vertices() {
+        let (nbrs, nbr_weights) = view.graph().neighbor_slices(v);
+        let mut d: Weight = 0.0;
+        for (&u, &w) in nbrs.iter().zip(nbr_weights) {
+            if (init_positive_only && w <= 0.0) || !ws.alive[u as usize] {
+                continue;
+            }
+            d += w;
+        }
+        ws.degree[v as usize] = d;
+        ws.heap.push(Entry {
+            degree: d,
+            vertex: v,
+            version: 0,
+        });
+        total_degree += d;
+    }
+
+    let mut alive_count = alive_at_start;
+    let mut best_density = total_degree / alive_count as Weight;
+    let mut best_size = alive_count;
+    if let Some(p) = profile.as_deref_mut() {
+        p.densities.push(best_density);
+    }
+    let mut interrupted = false;
+    // The relax loop below iterates the raw CSR rows: `ws.alive` was initialised
+    // from the view's mask, so the alive test subsumes the mask test and the hottest
+    // pass of the peel pays no per-edge view indirection.  Only the sign filter (for
+    // positive-filtered views) remains.
+    let positive_only = view.is_positive_only();
+    let graph = view.graph();
+    while alive_count > 1 {
+        if stop(1) {
+            interrupted = true;
+            break;
+        }
+        // Lazy-heap pop: skip entries whose vertex was removed or re-prioritised.
+        let v = loop {
+            let entry = ws
+                .heap
+                .pop()
+                .expect("queue not empty while vertices remain");
+            let vi = entry.vertex as usize;
+            if ws.alive[vi] && entry.version == ws.version[vi] {
+                break entry.vertex;
+            }
+        };
+        ws.alive[v as usize] = false;
+        // Removing v removes every surviving edge (v, u): the degree-sum drops by
+        // twice the degree of v within the remaining subgraph.
+        let mut removed_weight = 0.0;
+        let (nbrs, nbr_weights) = graph.neighbor_slices(v);
+        for (&u, &w) in nbrs.iter().zip(nbr_weights) {
+            if positive_only && w <= 0.0 {
+                continue;
+            }
+            let ui = u as usize;
+            if ws.alive[ui] {
+                removed_weight += w;
+                ws.degree[ui] -= w;
+                ws.version[ui] += 1;
+                ws.heap.push(Entry {
+                    degree: ws.degree[ui],
+                    vertex: u,
+                    version: ws.version[ui],
+                });
+            }
+        }
+        total_degree -= 2.0 * removed_weight;
+        alive_count -= 1;
+        ws.removal_order.push(v);
+
+        let density = total_degree / alive_count as Weight;
+        if let Some(p) = profile.as_deref_mut() {
+            p.removal_order.push(v);
+            p.densities.push(density);
+        }
+        if density > best_density {
+            best_density = density;
+            best_size = alive_count;
+        }
+    }
+
+    // A single vertex has density 0 by convention; if every encountered prefix had
+    // negative density (possible on signed graphs) the best answer is the last
+    // surviving vertex alone.
+    if best_density < 0.0 {
+        let last = (0..n as VertexId)
+            .find(|&v| ws.alive[v as usize])
+            .expect("one vertex remains");
+        return (
+            PeelingResult {
+                subset: vec![last],
+                average_degree: 0.0,
+            },
+            interrupted,
+        );
+    }
+
+    // Reconstruct the best subset: the alive-at-start vertices not among the first
+    // (alive_at_start - best_size) removals.
+    let removed_prefix = alive_at_start - best_size;
+    for v in view.vertices() {
+        ws.in_best[v as usize] = true;
+    }
+    for &v in ws.removal_order.iter().take(removed_prefix) {
+        ws.in_best[v as usize] = false;
+    }
+    let mut subset: Vec<VertexId> = Vec::with_capacity(best_size);
+    subset.extend((0..n as VertexId).filter(|&v| ws.in_best[v as usize]));
+    debug_assert_eq!(subset.len(), best_size);
+    (
+        PeelingResult {
+            average_degree: best_density,
+            subset,
+        },
+        interrupted,
+    )
 }
 
 /// Runs greedy peeling and also returns the full removal trace.
 pub fn greedy_peeling_with_profile(g: &SignedGraph) -> (PeelingResult, PeelingProfile) {
-    let (res, profile, _) = peel_impl::<LazyHeapQueue, _>(g, true, |_| false);
-    (res, profile.expect("profile requested"))
+    let mut profile = PeelingProfile::default();
+    let (res, _) = greedy_peeling_view_impl(
+        GraphView::full(g),
+        &mut PeelWorkspace::new(),
+        |_| false,
+        Some(&mut profile),
+    );
+    (res, profile)
 }
 
 /// Runs greedy peeling with the naive re-scan structure (ablation baseline only).
@@ -282,6 +454,49 @@ mod tests {
     }
 
     #[test]
+    fn view_peel_equals_induced_subgraph_peel() {
+        use dcs_graph::{GraphView, VertexMask};
+        let g = clique_with_tail();
+        let mut ws = PeelWorkspace::new();
+
+        // Full view through a reused workspace: identical to the plain peel.
+        let full = greedy_peeling_view_into(GraphView::full(&g), &mut ws, |_| false).0;
+        assert_eq!(full, greedy_peeling(&g));
+
+        // Masked view: equals peeling the materialised induced subgraph (ids mapped
+        // back), with the workspace reused across both differently-shaped peels.
+        let removed = [1u32, 7];
+        let mut mask = VertexMask::full(g.num_vertices());
+        mask.remove_all(&removed);
+        let of_view = greedy_peeling_view_into(GraphView::masked(&g, &mask), &mut ws, |_| false).0;
+        let alive: Vec<u32> = mask.iter().collect();
+        let (induced, back) = g.induced_subgraph(&alive);
+        let of_induced = greedy_peeling(&induced);
+        let mapped: Vec<u32> = of_induced
+            .subset
+            .iter()
+            .map(|&v| back[v as usize])
+            .collect();
+        assert_eq!(of_view.subset, mapped);
+        assert!((of_view.average_degree - of_induced.average_degree).abs() < 1e-12);
+
+        // Positive view: equals peeling the materialised positive part.
+        let mut signed = clique_with_tail();
+        signed = {
+            let mut b = GraphBuilder::new(signed.num_vertices());
+            for (u, v, w) in signed.edges() {
+                b.add_edge(u, v, w);
+            }
+            b.add_edge(0, 9, -5.0);
+            b.build()
+        };
+        let positive =
+            greedy_peeling_view_into(GraphView::full(&signed).positive_part(), &mut ws, |_| false)
+                .0;
+        assert_eq!(positive, greedy_peeling(&signed.positive_part()));
+    }
+
+    #[test]
     fn two_approximation_on_positive_graphs() {
         // Random-ish small positive graph; compare against brute force.
         let mut b = GraphBuilder::new(8);
@@ -301,11 +516,14 @@ mod tests {
             b.add_edge(u, v, w);
         }
         let g = b.build();
-        // Brute force optimum
+        // Brute force optimum.  Masks are u64 (not u32): `1 << n` / `1 << v` on a
+        // 32-bit mask silently overflows for n >= 32, and exact-solver tests have
+        // legitimately grown past 8 vertices before.
         let n = g.num_vertices();
+        debug_assert!(n < 64, "brute-force subset masks are u64");
         let mut best = 0.0f64;
-        for mask in 1u32..(1 << n) {
-            let subset: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+        for mask in 1u64..(1u64 << n) {
+            let subset: Vec<u32> = (0..n as u32).filter(|&v| mask & (1u64 << v) != 0).collect();
             best = best.max(g.average_degree(&subset));
         }
         let res = greedy_peeling(&g);

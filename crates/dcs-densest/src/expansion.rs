@@ -28,7 +28,7 @@
 //! caller can detect them by comparing [`ExpansionOutcome::objective_after`] with
 //! [`ExpansionOutcome::objective_before`].
 
-use dcs_graph::{SignedGraph, VertexId};
+use dcs_graph::{GraphView, SignedGraph, VertexId};
 use rustc_hash::FxHashMap;
 
 use crate::simplex::Embedding;
@@ -129,23 +129,54 @@ pub fn expansion_step(g: &SignedGraph, x: &Embedding, expand_by: &[VertexId]) ->
 /// gradient on a non-negatively weighted graph, and cannot improve a KKT point on a
 /// signed graph either).
 pub fn expansion_candidates(g: &SignedGraph, x: &Embedding, tol: f64) -> Vec<VertexId> {
-    let lambda = 2.0 * x.affinity(g);
+    expansion_candidates_view(GraphView::full(g), x, tol)
+}
+
+/// [`expansion_candidates`] on a [`GraphView`]: dead vertices are never candidates
+/// and filtered edges do not contribute to gradients, so the set `Z` is exactly the
+/// one the materialised view would produce.  The embedding's support must be alive in
+/// the view (the solvers only ever seed alive vertices).
+pub fn expansion_candidates_view(view: GraphView<'_>, x: &Embedding, tol: f64) -> Vec<VertexId> {
+    let lambda = 2.0 * view_affinity(view, x);
     let mut seen: FxHashMap<VertexId, ()> = FxHashMap::default();
     let mut z = Vec::new();
     for (u, _) in x.iter() {
-        for e in g.neighbors(u) {
+        for e in view.neighbors(u) {
             let v = e.neighbor;
             if x.get(v) > 0.0 || seen.contains_key(&v) {
                 continue;
             }
             seen.insert(v, ());
-            if x.gradient_at(g, v) > lambda + tol {
+            if 2.0 * view_weighted_sum(view, x, v) > lambda + tol {
                 z.push(v);
             }
         }
     }
     z.sort_unstable();
     z
+}
+
+/// `(Ax)_u` over the view's surviving edges (identical to
+/// [`Embedding::weighted_sum_at`] on a full view, term for term).
+fn view_weighted_sum(view: GraphView<'_>, x: &Embedding, u: VertexId) -> f64 {
+    view.neighbors(u)
+        .filter_map(|e| {
+            let xv = x.get(e.neighbor);
+            if xv > 0.0 {
+                Some(e.weight * xv)
+            } else {
+                None
+            }
+        })
+        .sum()
+}
+
+/// `f(x) = xᵀAx` over the view's surviving edges (identical to
+/// [`Embedding::affinity`] on a full view).
+fn view_affinity(view: GraphView<'_>, x: &Embedding) -> f64 {
+    x.iter()
+        .map(|(u, xu)| xu * view_weighted_sum(view, x, u))
+        .sum()
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@
 //! the difference graph has negative weights (that is the whole point of Theorem 1), but
 //! it provides ground truth on `G_{D+}` for tests and an ablation baseline.
 
-use dcs_graph::{SignedGraph, VertexId, Weight};
+use dcs_graph::{GraphView, SignedGraph, VertexId, Weight};
 
 use crate::maxflow::FlowNetwork;
 
@@ -62,14 +62,31 @@ pub fn densest_subgraph_exact(g: &SignedGraph) -> DensestSubgraph {
 /// Panics if the graph contains a negative edge weight, like [`densest_subgraph_exact`].
 pub fn densest_subgraph_exact_until<F: FnMut(u64) -> bool>(
     g: &SignedGraph,
-    mut stop: F,
+    stop: F,
 ) -> (DensestSubgraph, bool) {
     assert!(
         g.num_negative_edges() == 0,
         "densest_subgraph_exact requires non-negative edge weights"
     );
-    let n = g.num_vertices();
-    if n == 0 {
+    densest_subgraph_view_until(GraphView::full(g), &mut FlowNetwork::new(0), stop)
+}
+
+/// [`densest_subgraph_exact_until`] on a [`GraphView`], building every min-cut
+/// instance into a reused [`FlowNetwork`] arena.
+///
+/// The view's surviving edges must be non-negative (a positive-filtered view
+/// guarantees this by construction; otherwise the routine panics on the first
+/// negative surviving edge).  Dead vertices take no part: they enter the flow
+/// network isolated and can never reach the source side of a cut.  The arena keeps
+/// its arc storage across the ~64 binary-search rounds *and* across solves, which is
+/// the allocation hot path of the exact comparator.
+pub fn densest_subgraph_view_until<F: FnMut(u64) -> bool>(
+    view: GraphView<'_>,
+    net: &mut FlowNetwork,
+    mut stop: F,
+) -> (DensestSubgraph, bool) {
+    let n = view.num_vertices();
+    if view.alive_count() == 0 {
         return (
             DensestSubgraph {
                 subset: Vec::new(),
@@ -78,17 +95,29 @@ pub fn densest_subgraph_exact_until<F: FnMut(u64) -> bool>(
             false,
         );
     }
-    if g.num_edges() == 0 {
+    let mut degrees: Vec<Weight> = vec![0.0; n];
+    let mut has_edge = false;
+    for v in view.vertices() {
+        let mut d = 0.0;
+        for e in view.neighbors(v) {
+            assert!(
+                e.weight >= 0.0,
+                "densest_subgraph_exact requires non-negative edge weights"
+            );
+            d += e.weight;
+            has_edge = true;
+        }
+        degrees[v as usize] = d;
+    }
+    if !has_edge {
         return (
             DensestSubgraph {
-                subset: vec![0],
+                subset: vec![view.first_alive().expect("alive vertex exists")],
                 average_degree: 0.0,
             },
             false,
         );
     }
-
-    let degrees: Vec<Weight> = (0..n).map(|v| g.weighted_degree(v as VertexId)).collect();
     let degree_sum: Weight = degrees.iter().sum();
 
     // The density (degree-sum convention) lies in [0, max over the peel]; the full-graph
@@ -98,16 +127,17 @@ pub fn densest_subgraph_exact_until<F: FnMut(u64) -> bool>(
     let mut best: Option<(Vec<VertexId>, Weight)> = None;
 
     let mut interrupted = false;
+    let mut marks = dcs_graph::VertexSubset::new(0);
     for _ in 0..BINARY_SEARCH_ROUNDS {
         if stop(1) {
             interrupted = true;
             break;
         }
         let guess = 0.5 * (lo + hi);
-        let candidate = min_cut_candidate(g, &degrees, degree_sum, guess);
+        let candidate = min_cut_candidate(view, net, &degrees, degree_sum, guess);
         match candidate {
             Some(subset) if !subset.is_empty() => {
-                let density = g.average_degree(&subset);
+                let density = view_average_degree(view, &subset, &mut marks);
                 if best.as_ref().map(|(_, d)| density > *d).unwrap_or(true) {
                     best = Some((subset, density));
                 }
@@ -135,7 +165,7 @@ pub fn densest_subgraph_exact_until<F: FnMut(u64) -> bool>(
             // edgeless (handled above) or the search was interrupted before its first
             // round — return a safe default.
             DensestSubgraph {
-                subset: vec![0],
+                subset: vec![view.first_alive().expect("alive vertex exists")],
                 average_degree: 0.0,
             }
         }
@@ -143,25 +173,50 @@ pub fn densest_subgraph_exact_until<F: FnMut(u64) -> bool>(
     (result, interrupted)
 }
 
+/// Average degree of `subset` over the view's surviving edges (degree-sum
+/// convention).  `marks` is reused scratch — one membership set serves all ~64
+/// binary-search rounds of a solve.
+fn view_average_degree(
+    view: GraphView<'_>,
+    subset: &[VertexId],
+    marks: &mut dcs_graph::VertexSubset,
+) -> Weight {
+    if subset.is_empty() {
+        return 0.0;
+    }
+    marks.reset_universe(view.num_vertices());
+    marks.insert_all(subset);
+    let mut sum = 0.0;
+    for &u in subset {
+        for e in view.neighbors(u) {
+            if marks.contains(e.neighbor) {
+                sum += e.weight;
+            }
+        }
+    }
+    sum / subset.len() as Weight
+}
+
 /// For a density guess, returns the source side of the min cut (excluding `s`/`t`) if it
 /// certifies a subgraph with average degree >= guess, otherwise `None`.
 fn min_cut_candidate(
-    g: &SignedGraph,
+    view: GraphView<'_>,
+    net: &mut FlowNetwork,
     degrees: &[Weight],
     degree_sum: Weight,
     guess: Weight,
 ) -> Option<Vec<VertexId>> {
-    let n = g.num_vertices();
+    let n = view.num_vertices();
     let source = n;
     let sink = n + 1;
-    let mut net = FlowNetwork::new(n + 2);
+    net.clear_and_resize(n + 2);
     for (v, &degree) in degrees.iter().enumerate() {
         net.add_edge(source, v, degree);
         net.add_edge(v, sink, guess); // 2g in the W(S)/(2|S|) formulation == g here:
                                       // with the degree-sum convention ρ(S) = W(S)/|S| where W counts each edge
                                       // twice, the classical construction's `2g` becomes exactly `guess`.
     }
-    for (u, v, w) in g.edges() {
+    for (u, v, w) in view.edges() {
         net.add_undirected_edge(u as usize, v as usize, w);
     }
     let cut = net.max_flow(source, sink);
@@ -188,10 +243,13 @@ mod tests {
 
     fn brute_force_densest(g: &SignedGraph) -> (Vec<VertexId>, Weight) {
         let n = g.num_vertices();
-        assert!(n <= 16);
+        // u64 masks: `1 << n` / `1 << v` on a u32 silently overflows for n >= 32.
+        debug_assert!(n < 64, "brute-force subset masks are u64");
+        assert!(n <= 16, "exponential brute force is for tiny graphs only");
         let mut best: (Vec<VertexId>, Weight) = (vec![0], 0.0);
-        for mask in 1u32..(1 << n) {
-            let subset: Vec<VertexId> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+        for mask in 1u64..(1u64 << n) {
+            let subset: Vec<VertexId> =
+                (0..n as u32).filter(|&v| mask & (1u64 << v) != 0).collect();
             let d = g.average_degree(&subset);
             if d > best.1 {
                 best = (subset, d);
@@ -312,6 +370,44 @@ mod tests {
         let (full, interrupted) = densest_subgraph_exact_until(&g, |_| false);
         assert!(!interrupted);
         assert_eq!(full, densest_subgraph_exact(&g));
+    }
+
+    #[test]
+    fn view_search_with_reused_arena_matches_exact() {
+        use dcs_graph::{GraphView, VertexMask};
+        let mut b = GraphBuilder::new(8);
+        for u in 0..4u32 {
+            for v in (u + 1)..4u32 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        b.add_edge(3, 4, 0.5);
+        b.add_edge(4, 5, 0.5);
+        b.add_edge(5, 6, -2.0); // filtered by the positive view
+        b.add_edge(6, 7, 3.5);
+        let g = b.build();
+        let mut net = FlowNetwork::new(0);
+
+        // Positive view == materialised positive part, arena reused across solves.
+        let (of_view, _) =
+            densest_subgraph_view_until(GraphView::full(&g).positive_part(), &mut net, |_| false);
+        assert_eq!(of_view, densest_subgraph_exact(&g.positive_part()));
+
+        // Masked positive view == induced-then-filtered materialisation (ids mapped).
+        let mut mask = VertexMask::full(8);
+        mask.remove_all(&[6, 7]);
+        let view = GraphView::masked(&g, &mask).positive_part();
+        let (masked, _) = densest_subgraph_view_until(view, &mut net, |_| false);
+        let alive: Vec<u32> = mask.iter().collect();
+        let (induced, back) = g.positive_part().induced_subgraph(&alive);
+        let of_induced = densest_subgraph_exact(&induced);
+        let mapped: Vec<u32> = of_induced
+            .subset
+            .iter()
+            .map(|&v| back[v as usize])
+            .collect();
+        assert_eq!(masked.subset, mapped);
+        assert!((masked.average_degree - of_induced.average_degree).abs() < 1e-9);
     }
 
     #[test]

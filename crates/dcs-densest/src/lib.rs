@@ -38,12 +38,16 @@ pub mod sea;
 pub mod simplex;
 
 pub use charikar::{
-    greedy_peeling, greedy_peeling_until, greedy_peeling_with_profile, PeelingProfile,
-    PeelingResult,
+    greedy_peeling, greedy_peeling_until, greedy_peeling_view_into, greedy_peeling_with_profile,
+    PeelingProfile, PeelingResult,
 };
 pub use expansion::{expansion_step, ExpansionOutcome};
-pub use goldberg::{densest_subgraph_exact, densest_subgraph_exact_until, DensestSubgraph};
+pub use goldberg::{
+    densest_subgraph_exact, densest_subgraph_exact_until, densest_subgraph_view_until,
+    DensestSubgraph,
+};
 pub use maxflow::FlowNetwork;
+pub use peel::PeelWorkspace;
 pub use quasi_clique::{greedy_quasi_clique, local_search_quasi_clique, QuasiCliqueResult};
 pub use replicator::{replicator_dynamics, ReplicatorStop};
 pub use sea::{OriginalSea, SeaConfig, SeaResult};

@@ -14,10 +14,10 @@ use dcs_graph::{VertexId, Weight};
 
 /// Heap entry: (current degree, vertex, version at insertion time).
 #[derive(Debug, Clone, Copy)]
-struct Entry {
-    degree: Weight,
-    vertex: VertexId,
-    version: u32,
+pub(crate) struct Entry {
+    pub(crate) degree: Weight,
+    pub(crate) vertex: VertexId,
+    pub(crate) version: u32,
 }
 
 impl PartialEq for Entry {
@@ -40,6 +40,46 @@ impl Ord for Entry {
 impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// Reusable scratch state of a greedy peel: the lazy heap, per-vertex degree /
+/// version / alive arrays, the removal order and the best-prefix marks.
+///
+/// A peel allocates all of this on first use and a **reused** workspace performs no
+/// heap allocation at all in steady state (the `BinaryHeap` and every `Vec` keep
+/// their capacity across internal resets).  One workspace serves any number of
+/// sequential peels of graphs of any size; it is the peel-shaped slice of
+/// `dcs_core`'s `SolverWorkspace`.
+#[derive(Debug, Clone, Default)]
+pub struct PeelWorkspace {
+    pub(crate) heap: BinaryHeap<Entry>,
+    pub(crate) degree: Vec<Weight>,
+    pub(crate) version: Vec<u32>,
+    pub(crate) alive: Vec<bool>,
+    pub(crate) removal_order: Vec<VertexId>,
+    pub(crate) in_best: Vec<bool>,
+}
+
+impl PeelWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        PeelWorkspace::default()
+    }
+
+    /// Clears every buffer and re-sizes the per-vertex arrays for a universe of `n`
+    /// vertices, keeping all allocated capacity.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.heap.clear();
+        self.degree.clear();
+        self.degree.resize(n, 0.0);
+        self.version.clear();
+        self.version.resize(n, 0);
+        self.alive.clear();
+        self.alive.resize(n, false);
+        self.removal_order.clear();
+        self.in_best.clear();
+        self.in_best.resize(n, false);
     }
 }
 

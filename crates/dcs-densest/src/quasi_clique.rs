@@ -178,7 +178,7 @@ pub fn local_search_quasi_clique(
         }
     }
 
-    QuasiCliqueResult::for_subset(g, members.to_sorted_vec(), alpha)
+    QuasiCliqueResult::for_subset(g, members.into_sorted_vec(), alpha)
 }
 
 #[cfg(test)]

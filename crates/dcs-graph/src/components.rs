@@ -88,6 +88,37 @@ pub fn is_connected(g: &SignedGraph, subset: &[VertexId]) -> bool {
     connected_components_of(g, subset).num_components == 1
 }
 
+/// [`is_connected`] with caller-provided membership and scratch buffers: `members`
+/// is the (pre-built) subset, `visited` and `stack` are reusable scratch.  Performs
+/// no allocation once the scratch has grown to the universe size — the connectivity
+/// check of the solver hot path.
+pub fn is_connected_scratch(
+    g: &SignedGraph,
+    members: &VertexSubset,
+    visited: &mut VertexSubset,
+    stack: &mut Vec<VertexId>,
+) -> bool {
+    if members.len() <= 1 {
+        return true;
+    }
+    visited.reset_universe(g.num_vertices());
+    stack.clear();
+    let start = *members.iter().next().expect("non-empty subset");
+    visited.insert(start);
+    stack.push(start);
+    let mut seen = 1usize;
+    while let Some(u) = stack.pop() {
+        for e in g.neighbors(u) {
+            let v = e.neighbor;
+            if members.contains(v) && visited.insert(v) {
+                seen += 1;
+                stack.push(v);
+            }
+        }
+    }
+    seen == members.len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +161,28 @@ mod tests {
         assert_eq!(cc.labels[0], cc.labels[2]);
         assert_eq!(cc.labels[3], cc.labels[4]);
         assert_ne!(cc.labels[0], cc.labels[3]);
+    }
+
+    #[test]
+    fn scratch_connectivity_matches_plain() {
+        let g = two_triangles();
+        let mut visited = VertexSubset::new(0);
+        let mut stack = Vec::new();
+        for subset in [
+            vec![0, 1, 2],
+            vec![0, 1, 3],
+            vec![6],
+            vec![],
+            vec![3, 4, 5, 6],
+            (0..7).collect::<Vec<_>>(),
+        ] {
+            let members = VertexSubset::from_slice(g.num_vertices(), &subset);
+            assert_eq!(
+                is_connected_scratch(&g, &members, &mut visited, &mut stack),
+                is_connected(&g, &subset),
+                "subset {subset:?}"
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! of `G_{D+}` containing `u`, where `τ_u` is the core number of `u`.  Core numbers are
 //! computed with the classical O(n + m) bucket peeling algorithm of Batagelj–Zaveršnik.
 
-use crate::{SignedGraph, VertexId};
+use crate::{GraphView, SignedGraph, VertexId};
 
 /// Result of a core decomposition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +119,89 @@ pub fn degeneracy(g: &SignedGraph) -> u32 {
     core_decomposition(g).degeneracy
 }
 
+/// Core numbers of the subgraph exposed by a [`GraphView`] — the alive-induced (and,
+/// for positive views, sign-filtered) skeleton — without materialising it.
+///
+/// Dead vertices get core number 0 and do not appear in the peel order; alive
+/// vertices get exactly the core number they would have in
+/// [`GraphView::materialize`]'s output.  On a full view this is identical to
+/// [`core_decomposition`].
+pub fn core_decomposition_view(view: GraphView<'_>) -> CoreDecomposition {
+    let n = view.num_vertices();
+    let alive: Vec<VertexId> = view.vertices().collect();
+    let mut core = vec![0u32; n];
+    if alive.is_empty() {
+        return CoreDecomposition {
+            core,
+            degeneracy: 0,
+            peel_order: Vec::new(),
+        };
+    }
+    let mut degree = vec![0usize; n];
+    let mut max_degree = 0usize;
+    for &v in &alive {
+        let d = view.degree(v);
+        degree[v as usize] = d;
+        max_degree = max_degree.max(d);
+    }
+
+    // Bucket sort the alive vertices by degree (same algorithm as the full-graph
+    // routine; dead vertices never enter the buckets and are filtered out of every
+    // adjacency walk by the view itself).
+    let m = alive.len();
+    let mut bin = vec![0usize; max_degree + 2];
+    for &v in &alive {
+        bin[degree[v as usize]] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut vert = vec![0 as VertexId; m];
+    let mut pos = vec![0usize; n];
+    {
+        let mut cursor = bin.clone();
+        for &v in &alive {
+            let d = degree[v as usize];
+            pos[v as usize] = cursor[d];
+            vert[cursor[d]] = v;
+            cursor[d] += 1;
+        }
+    }
+
+    let mut peel_order = Vec::with_capacity(m);
+    for i in 0..m {
+        let v = vert[i];
+        peel_order.push(v);
+        core[v as usize] = degree[v as usize] as u32;
+        for e in view.neighbors(v) {
+            let u = e.neighbor as usize;
+            if degree[u] > degree[v as usize] {
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u as VertexId != w {
+                    vert.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w as usize] = pu;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+
+    let degeneracy = core.iter().copied().max().unwrap_or(0);
+    CoreDecomposition {
+        core,
+        degeneracy,
+        peel_order,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +265,39 @@ mod tests {
         let cd = core_decomposition(&crate::SignedGraph::empty(3));
         assert_eq!(cd.core, vec![0, 0, 0]);
         assert_eq!(degeneracy(&crate::SignedGraph::empty(3)), 0);
+    }
+
+    #[test]
+    fn view_decomposition_matches_full_and_materialized() {
+        let mut b = GraphBuilder::new(8);
+        for u in 0..4u32 {
+            for v in (u + 1)..4u32 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        b.add_edge(3, 4, -2.0);
+        b.add_edge(4, 5, 1.0);
+        b.add_edge(6, 7, 1.0);
+        let g = b.build();
+
+        // Full view: identical to the direct routine, peel order included.
+        let full = core_decomposition_view(crate::GraphView::full(&g));
+        assert_eq!(full, core_decomposition(&g));
+
+        // Masked view: alive cores match the materialised alive-induced graph.
+        let mut mask = crate::VertexMask::full(8);
+        mask.remove_all(&[0, 6]);
+        let view = crate::GraphView::masked(&g, &mask);
+        let of_view = core_decomposition_view(view);
+        let of_materialized = core_decomposition(&view.materialize());
+        assert_eq!(of_view.core, of_materialized.core);
+        assert_eq!(of_view.degeneracy, of_materialized.degeneracy);
+        assert_eq!(of_view.peel_order.len(), 6);
+        assert_eq!(of_view.core[0], 0);
+
+        // Positive view: the negative bridge does not link 3 and 4.
+        let positive = core_decomposition_view(crate::GraphView::full(&g).positive_part());
+        assert_eq!(positive.core, core_decomposition(&g.positive_part()).core);
     }
 
     #[test]

@@ -65,6 +65,35 @@ impl SignedGraph {
         }
     }
 
+    /// Builds a graph directly from CSR arrays, recounting the edge statistics.
+    ///
+    /// The arrays must describe a consistent undirected graph: symmetric adjacency
+    /// (every edge stored in both endpoint rows), rows sorted ascending by neighbor,
+    /// non-zero weights, no self-loops.  This is the zero-copy constructor of callers
+    /// that maintain recycled CSR buffers (the α-sweep's in-place reweighting);
+    /// everything else should go through [`crate::GraphBuilder`].  Consistency is
+    /// checked with debug assertions only.
+    pub fn from_raw_csr(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        weights: Vec<Weight>,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty(), "offsets must have n + 1 entries");
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(
+            weights.iter().all(|&w| w != 0.0),
+            "zero weights are dropped"
+        );
+        SignedGraph::from_csr(offsets, neighbors, weights)
+    }
+
+    /// Decomposes the graph into its CSR arrays `(offsets, neighbors, weights)`, the
+    /// inverse of [`Self::from_raw_csr`].  Used to recycle buffers across rebuilds.
+    pub fn into_raw_csr(self) -> (Vec<usize>, Vec<VertexId>, Vec<Weight>) {
+        (self.offsets, self.neighbors, self.weights)
+    }
+
     /// Creates an empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
         SignedGraph {
@@ -313,16 +342,22 @@ impl SignedGraph {
     /// A subset of size 0 or 1 is considered a positive clique (it trivially has no
     /// negative edge and no missing edge).
     pub fn is_positive_clique(&self, subset: &[VertexId]) -> bool {
-        if subset.len() <= 1 {
+        let marks = VertexSubset::from_slice(self.num_vertices(), subset);
+        self.is_positive_clique_marked(&marks)
+    }
+
+    /// [`Self::is_positive_clique`] with a pre-built membership set (avoids
+    /// re-allocation in hot reporting loops).
+    pub fn is_positive_clique_marked(&self, subset: &VertexSubset) -> bool {
+        let k = subset.len();
+        if k <= 1 {
             return true;
         }
-        let marks = VertexSubset::from_slice(self.num_vertices(), subset);
-        let k = subset.len();
-        for &u in subset {
+        for &u in subset.iter() {
             let (nbrs, ws) = self.neighbor_slices(u);
             let mut pos_inside = 0usize;
             for (&v, &w) in nbrs.iter().zip(ws) {
-                if marks.contains(v) {
+                if subset.contains(v) {
                     if w <= 0.0 {
                         return false;
                     }

@@ -58,16 +58,22 @@ pub mod csr;
 pub mod delta;
 pub mod io;
 pub mod labels;
+pub mod mask;
 pub mod subset;
 pub mod traversal;
+pub mod view;
 
 pub use builder::{DuplicatePolicy, GraphBuilder};
-pub use components::{connected_components, connected_components_of, ComponentLabels};
-pub use cores::{core_decomposition, degeneracy, CoreDecomposition};
+pub use components::{
+    connected_components, connected_components_of, is_connected_scratch, ComponentLabels,
+};
+pub use cores::{core_decomposition, core_decomposition_view, degeneracy, CoreDecomposition};
 pub use csr::{EdgeRef, NeighborIter, SignedGraph};
 pub use delta::DeltaGraph;
 pub use labels::{LabeledGraphBuilder, VertexLabels};
+pub use mask::VertexMask;
 pub use subset::VertexSubset;
+pub use view::GraphView;
 
 /// Vertex identifier.
 ///
@@ -88,6 +94,8 @@ pub mod prelude {
     pub use crate::cores::core_decomposition;
     pub use crate::csr::SignedGraph;
     pub use crate::delta::DeltaGraph;
+    pub use crate::mask::VertexMask;
     pub use crate::subset::VertexSubset;
+    pub use crate::view::GraphView;
     pub use crate::{EdgeTriple, VertexId, Weight};
 }

@@ -1,0 +1,209 @@
+//! Compact alive-vertex bitsets for masked graph views.
+//!
+//! The top-k miner peels subgraph after subgraph out of one difference graph.  Before
+//! the masked-view engine this meant compacting the CSR arrays once per round
+//! ([`crate::SignedGraph::remove_vertices_in_place`]) — an `O(n + m)` rewrite whose
+//! only purpose was to make a handful of vertices disappear.  A [`VertexMask`] records
+//! the same information in one bit per vertex, so "removing" a mined subgraph is a few
+//! word stores and the CSR arrays are never touched; [`crate::GraphView`] then
+//! overlays the mask on the immutable graph.
+
+use crate::VertexId;
+
+/// A fixed-universe set of *alive* vertices, stored as a `u64`-word bitset.
+///
+/// Unlike [`crate::VertexSubset`] (which also keeps an insertion-ordered member list
+/// for O(|S|) iteration), a `VertexMask` is pure bits: O(1) membership flips with no
+/// side allocation, an exact popcount-maintained [`Self::len`], and word-at-a-time
+/// iteration.  It is the "which vertices still exist" half of a [`crate::GraphView`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexMask {
+    words: Vec<u64>,
+    universe: usize,
+    len: usize,
+}
+
+impl VertexMask {
+    /// A mask over `0..n` with **every** vertex alive.
+    pub fn full(n: usize) -> Self {
+        let mut mask = VertexMask {
+            words: Vec::new(),
+            universe: 0,
+            len: 0,
+        };
+        mask.reset_full(n);
+        mask
+    }
+
+    /// A mask over `0..n` with **no** vertex alive.
+    pub fn empty(n: usize) -> Self {
+        VertexMask {
+            words: vec![0; n.div_ceil(64)],
+            universe: n,
+            len: 0,
+        }
+    }
+
+    /// Re-initialises the mask to a full universe of size `n`, reusing the word
+    /// storage (the reset primitive of per-job driver loops).
+    pub fn reset_full(&mut self, n: usize) {
+        self.words.clear();
+        self.words.resize(n.div_ceil(64), u64::MAX);
+        // Clear the padding bits of the last word so popcounts stay exact.
+        let tail = n % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        self.universe = n;
+        self.len = n;
+    }
+
+    /// Size of the vertex universe.
+    #[inline]
+    pub fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of alive vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no vertex is alive.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `v` is alive.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        let v = v as usize;
+        debug_assert!(v < self.universe);
+        self.words[v / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Marks `v` alive; returns `true` if it was dead.
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        let v = v as usize;
+        debug_assert!(v < self.universe);
+        let bit = 1u64 << (v % 64);
+        let word = &mut self.words[v / 64];
+        if *word & bit != 0 {
+            false
+        } else {
+            *word |= bit;
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Marks `v` dead; returns `true` if it was alive.
+    pub fn remove(&mut self, v: VertexId) -> bool {
+        let v = v as usize;
+        debug_assert!(v < self.universe);
+        let bit = 1u64 << (v % 64);
+        let word = &mut self.words[v / 64];
+        if *word & bit == 0 {
+            false
+        } else {
+            *word &= !bit;
+            self.len -= 1;
+            true
+        }
+    }
+
+    /// Marks every vertex of `vertices` dead (duplicates and already-dead entries are
+    /// fine) — the per-round "peel this subgraph out" primitive of the top-k miner.
+    pub fn remove_all(&mut self, vertices: &[VertexId]) {
+        for &v in vertices {
+            self.remove(v);
+        }
+    }
+
+    /// The smallest alive vertex, or `None` when the mask is empty.
+    pub fn first(&self) -> Option<VertexId> {
+        for (i, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                return Some((i * 64 + word.trailing_zeros() as usize) as VertexId);
+            }
+        }
+        None
+    }
+
+    /// Iterates the alive vertices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &word)| {
+            let base = i * 64;
+            std::iter::successors(if word == 0 { None } else { Some(word) }, |w| {
+                let next = w & (w - 1);
+                if next == 0 {
+                    None
+                } else {
+                    Some(next)
+                }
+            })
+            .map(move |w| (base + w.trailing_zeros() as usize) as VertexId)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_empty_and_flips() {
+        let mut m = VertexMask::full(70);
+        assert_eq!(m.universe_size(), 70);
+        assert_eq!(m.len(), 70);
+        assert!(m.contains(0) && m.contains(69));
+        assert!(m.remove(69));
+        assert!(!m.remove(69));
+        assert_eq!(m.len(), 69);
+        assert!(m.insert(69));
+        assert!(!m.insert(69));
+        assert_eq!(m.len(), 70);
+
+        let e = VertexMask::empty(5);
+        assert!(e.is_empty());
+        assert!(!e.contains(3));
+        assert_eq!(e.first(), None);
+    }
+
+    #[test]
+    fn remove_all_and_iter_are_sorted() {
+        let mut m = VertexMask::full(130);
+        m.remove_all(&[0, 64, 65, 129, 64]);
+        assert_eq!(m.len(), 126);
+        let alive: Vec<VertexId> = m.iter().collect();
+        assert_eq!(alive.len(), 126);
+        assert!(alive.windows(2).all(|w| w[0] < w[1]));
+        assert!(!alive.contains(&64));
+        assert_eq!(m.first(), Some(1));
+    }
+
+    #[test]
+    fn reset_full_reuses_storage_and_clears_padding() {
+        let mut m = VertexMask::empty(10);
+        m.reset_full(65);
+        assert_eq!(m.len(), 65);
+        assert_eq!(m.iter().count(), 65);
+        m.reset_full(3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn exact_word_boundary() {
+        let m = VertexMask::full(64);
+        assert_eq!(m.len(), 64);
+        assert_eq!(m.iter().count(), 64);
+        let m = VertexMask::full(0);
+        assert!(m.is_empty());
+        assert_eq!(m.first(), None);
+    }
+}

@@ -34,10 +34,28 @@ impl VertexSubset {
     /// Creates a subset from a slice of vertex ids (duplicates are ignored).
     pub fn from_slice(n: usize, vertices: &[VertexId]) -> Self {
         let mut s = VertexSubset::new(n);
+        s.items.reserve(vertices.len());
         for &v in vertices {
             s.insert(v);
         }
         s
+    }
+
+    /// Re-initialises the subset to an **empty** set over a universe of `n` vertices,
+    /// keeping all allocated capacity — the scratch-reuse primitive of the solver
+    /// workspaces (a reused subset performs no allocation once its buffers have grown
+    /// to the largest universe seen).
+    pub fn reset_universe(&mut self, n: usize) {
+        self.clear();
+        self.member.resize(n, false);
+    }
+
+    /// Inserts every vertex of `vertices` (duplicates are ignored).
+    pub fn insert_all(&mut self, vertices: &[VertexId]) {
+        self.items.reserve(vertices.len());
+        for &v in vertices {
+            self.insert(v);
+        }
     }
 
     /// Size of the vertex universe.
@@ -108,10 +126,30 @@ impl VertexSubset {
     }
 
     /// Returns the members as a sorted `Vec`.
+    ///
+    /// This clones the member list; it is the right call only when the subset must
+    /// stay iterable while the snapshot is consumed (e.g. a removal pass over a
+    /// frozen ordering).  Solution normalisation should use [`Self::sorted_items`]
+    /// or [`Self::into_sorted_vec`], which sort in place without cloning.
     pub fn to_sorted_vec(&self) -> Vec<VertexId> {
         let mut v = self.items.clone();
         v.sort_unstable();
         v
+    }
+
+    /// Sorts the member list in place and returns it as a slice — the allocation-free
+    /// sorted accessor (iteration order is documented as arbitrary, so re-ordering the
+    /// internal list is observable only through this method's own guarantee).
+    pub fn sorted_items(&mut self) -> &[VertexId] {
+        self.items.sort_unstable();
+        &self.items
+    }
+
+    /// Consumes the subset and returns its members sorted ascending, without cloning —
+    /// the zero-copy solution-normalisation accessor.
+    pub fn into_sorted_vec(mut self) -> Vec<VertexId> {
+        self.items.sort_unstable();
+        self.items
     }
 }
 
@@ -153,6 +191,17 @@ mod tests {
     }
 
     #[test]
+    fn sorted_accessors_agree_and_avoid_cloning() {
+        let mut s = VertexSubset::from_slice(8, &[7, 2, 5, 0]);
+        assert_eq!(s.sorted_items(), &[0, 2, 5, 7]);
+        // The in-place sort is idempotent and membership is untouched.
+        assert_eq!(s.sorted_items(), &[0, 2, 5, 7]);
+        assert!(s.contains(5) && !s.contains(1));
+        assert_eq!(s.to_sorted_vec(), vec![0, 2, 5, 7]);
+        assert_eq!(s.into_sorted_vec(), vec![0, 2, 5, 7]);
+    }
+
+    #[test]
     fn full_and_clear() {
         let mut s = VertexSubset::full(4);
         assert_eq!(s.len(), 4);
@@ -168,6 +217,23 @@ mod tests {
         let s = VertexSubset::from_slice(6, &[5, 1, 5, 1, 2]);
         assert_eq!(s.len(), 3);
         assert_eq!(s.to_sorted_vec(), vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn reset_universe_reuses_buffers() {
+        let mut s = VertexSubset::from_slice(6, &[5, 1]);
+        s.reset_universe(10);
+        assert!(s.is_empty());
+        assert_eq!(s.universe_size(), 10);
+        assert!(!s.contains(5));
+        s.insert_all(&[9, 2, 9]);
+        assert_eq!(s.len(), 2);
+        // Shrinking drops the tail of the universe.
+        s.reset_universe(3);
+        assert_eq!(s.universe_size(), 3);
+        assert!(s.is_empty());
+        s.insert(2);
+        assert!(s.contains(2));
     }
 
     #[test]

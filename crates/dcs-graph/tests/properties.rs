@@ -189,3 +189,61 @@ proptest! {
         prop_assert!(std::sync::Arc::ptr_eq(&snap, &again));
     }
 }
+
+proptest! {
+    /// A masked view is exactly the in-place vertex removal it replaces: same edge
+    /// set, same degrees, same metrics — without touching the CSR arrays.
+    #[test]
+    fn masked_view_equals_in_place_removal(
+        g in arb_graph(),
+        removal in proptest::collection::vec(0u32..24, 0..12),
+    ) {
+        use dcs_graph::{GraphView, VertexMask};
+        let n = g.num_vertices();
+        let removal: Vec<u32> = removal.into_iter().filter(|&v| (v as usize) < n).collect();
+        let mut mask = VertexMask::full(n);
+        mask.remove_all(&removal);
+        let view = GraphView::masked(&g, &mask);
+        let mut reference = g.clone();
+        reference.remove_vertices_in_place(&removal);
+        prop_assert_eq!(view.materialize(), reference.clone());
+        prop_assert_eq!(view.edges().count(), reference.num_edges());
+        for v in view.vertices() {
+            prop_assert_eq!(view.degree(v), reference.degree(v));
+            let dv: f64 = view.weighted_degree(v);
+            prop_assert!((dv - reference.weighted_degree(v)).abs() < 1e-12);
+        }
+        // The positive filter composes: view == materialised positive part.
+        prop_assert_eq!(
+            view.positive_part().materialize(),
+            reference.positive_part()
+        );
+        // Mask bookkeeping is exact.
+        let mut unique = removal.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(mask.len(), n - unique.len());
+        prop_assert_eq!(mask.iter().count(), mask.len());
+    }
+
+    /// View-based core decomposition equals the decomposition of the materialised
+    /// view for the alive vertices.
+    #[test]
+    fn view_cores_match_materialized(
+        g in arb_graph(),
+        removal in proptest::collection::vec(0u32..24, 0..12),
+    ) {
+        use dcs_graph::{core_decomposition_view, GraphView, VertexMask};
+        let n = g.num_vertices();
+        let removal: Vec<u32> = removal.into_iter().filter(|&v| (v as usize) < n).collect();
+        let mut mask = VertexMask::full(n);
+        mask.remove_all(&removal);
+        let view = GraphView::masked(&g, &mask);
+        let of_view = core_decomposition_view(view);
+        let of_materialized = core_decomposition(&view.materialize());
+        for v in view.vertices() {
+            prop_assert_eq!(of_view.core[v as usize], of_materialized.core[v as usize]);
+        }
+        prop_assert_eq!(of_view.degeneracy, of_materialized.degeneracy);
+    }
+}

@@ -15,7 +15,7 @@ use std::thread::JoinHandle;
 use dcs_core::dcsga::DcsgaConfig;
 use dcs_core::{
     alpha_sweep_in, default_alpha_grid, mine_difference_in, top_k_in, CancelToken, DensityMeasure,
-    SolveContext, Termination,
+    SharedWorkspace, SolveContext, Termination,
 };
 use dcs_graph::VertexId;
 use serde_json::{json, Value};
@@ -184,7 +184,7 @@ impl JobSpec {
                     .iter()
                     .enumerate()
                     .map(|(rank, solution)| {
-                        let mut value = report_to_json(&solution.report(&gd));
+                        let mut value = report_to_json(&solution.report_in(&gd, cx));
                         value["rank"] = json!(rank + 1);
                         value["objective"] = json!(solution.objective);
                         value
@@ -259,7 +259,12 @@ enum Snapshot {
 }
 
 /// Any unit of work the pool can run (mining queries, cadence observes).
-pub type Task = Box<dyn FnOnce() -> Result<Value, ServerError> + Send + 'static>;
+///
+/// The argument is the executing **worker thread's** [`SharedWorkspace`]: each worker
+/// owns one workspace for its whole lifetime, so back-to-back jobs on a thread reuse
+/// the same solver scratch buffers (mining tasks thread it into their
+/// [`SolveContext`]; observe tasks ignore it).
+pub type Task = Box<dyn FnOnce(&SharedWorkspace) -> Result<Value, ServerError> + Send + 'static>;
 
 struct Job {
     task: Task,
@@ -288,18 +293,24 @@ impl WorkerPool {
             .map(|_| {
                 let receiver = Arc::clone(&receiver);
                 let executed = Arc::clone(&executed);
-                std::thread::spawn(move || loop {
-                    let job = {
-                        let guard = receiver.lock().unwrap_or_else(PoisonError::into_inner);
-                        guard.recv()
-                    };
-                    let Ok(job) = job else {
-                        break; // queue closed: pool is shutting down
-                    };
-                    let outcome = (job.task)();
-                    executed.fetch_add(1, Ordering::Relaxed);
-                    // A dropped reply receiver (client went away) is fine.
-                    let _ = job.reply.send(outcome);
+                std::thread::spawn(move || {
+                    // One solver workspace per worker, alive across jobs: the
+                    // steady-state serving path re-mines into the same scratch
+                    // buffers instead of allocating them per job.
+                    let workspace = SharedWorkspace::new();
+                    loop {
+                        let job = {
+                            let guard = receiver.lock().unwrap_or_else(PoisonError::into_inner);
+                            guard.recv()
+                        };
+                        let Ok(job) = job else {
+                            break; // queue closed: pool is shutting down
+                        };
+                        let outcome = (job.task)(&workspace);
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        // A dropped reply receiver (client went away) is fine.
+                        let _ = job.reply.send(outcome);
+                    }
                 })
             })
             .collect();
@@ -325,7 +336,9 @@ impl WorkerPool {
         spec: JobSpec,
         cx: SolveContext,
     ) -> Result<Receiver<Result<Value, ServerError>>, ServerError> {
-        self.submit_task(Box::new(move || spec.execute(&session, &cx)))
+        self.submit_task(Box::new(move |workspace| {
+            spec.execute(&session, &cx.with_workspace(workspace))
+        }))
     }
 
     /// Submits an arbitrary task (used for observes on cadence-mining

@@ -280,9 +280,9 @@ fn observe(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
         // this observe is CPU-bound: run it on the worker pool like any other
         // mining job (bounded queue → `busy` under overload) instead of on
         // the connection thread.
-        let receiver = shared
-            .pool
-            .submit_task(Box::new(move || Ok(apply_observe(&session, &updates))))?;
+        let receiver = shared.pool.submit_task(Box::new(move |_workspace| {
+            Ok(apply_observe(&session, &updates))
+        }))?;
         receiver
             .recv()
             .map_err(|_| ServerError::Remote("worker pool shut down mid-observe".into()))?
