@@ -2,11 +2,12 @@
 //!
 //! Measures, with a **counting global allocator** (every `alloc`/`realloc` call and
 //! its bytes are tallied — bench-binary only, the library crates never carry the
-//! instrumentation), how much heap churn one solve costs on four paths:
+//! instrumentation), how much heap churn one solve costs, for **both density
+//! measures**:
 //!
 //! * **mine** — a from-scratch `mine_difference_in` with no workspace: every solve
-//!   allocates its peel heaps, degree arrays and the materialised `G_{D+}`.  This is
-//!   the baseline the ≥2× reduction gate is measured against.
+//!   allocates its peel heaps, degree arrays and transient scratch.  This is the
+//!   baseline the ≥2× reduction gate is measured against.
 //! * **re-mine** — the steady-state streaming path: `StreamingDcs::mine_now` with
 //!   the monitor's persistent `SolverWorkspace` warm.
 //! * **top-k** — per-round allocations of the masked-view `top_k_in` driver with a
@@ -17,12 +18,18 @@
 //!   in-place reweighting + shared workspace) against a cold loop building each α
 //!   through `scaled_difference_graph` and solving without a workspace.
 //!
+//! The first two paths and the sweep are measured twice: under the **average
+//! degree** measure (DCSGreedy peel) and, in the `dcsga` section, under the **graph
+//! affinity** measure (NewSEA over the positive-filtered view, with the dense
+//! workspace-backed embedding arena warm in the steady state).
+//!
 //! Output is a single JSON object written to `BENCH_hotpath.json` (and stdout).  In
-//! `--smoke` mode the binary **fails** (exit 1) unless the steady-state re-mine and
-//! top-k round paths allocate at most half of what the from-scratch solve does, and
-//! — when `--baseline <path>` points at a checked-in previous report — unless every
-//! gated allocation metric is within 10% of that baseline.  Timings (`ns_per_solve`)
-//! are reported for trend-watching but never gated: CI machines are too noisy.
+//! `--smoke` mode the binary **fails** (exit 1) unless the steady-state re-mine
+//! (both measures) and top-k round paths allocate at most half of what the
+//! from-scratch solve does, and — when `--baseline <path>` points at a checked-in
+//! previous report — unless every gated allocation metric is within 10% of that
+//! baseline.  Timings (`ns_per_solve`) are reported for trend-watching but never
+//! gated: CI machines are too noisy.
 //!
 //! ```text
 //! cargo run --release -p dcs-bench --bin solver_hotpath -- [--smoke] \
@@ -322,6 +329,110 @@ fn main() {
         .unwrap()
     });
 
+    // ---- 5. DCSGA (graph affinity): from-scratch vs steady state + α-sweep. -----
+    // A smaller workload: NewSEA runs many local searches per solve, and the metrics
+    // are self-relative ratios, so the affinity section does not need the full
+    // average-degree scale to be meaningful.
+    let dcsga_scale = if smoke {
+        (600, 4_000, 6)
+    } else {
+        (1_500, 12_000, 8)
+    };
+    let (ga_vertices, ga_edges, ga_reps) = dcsga_scale;
+    let ga_bench = BenchConfig {
+        vertices: ga_vertices,
+        baseline_edges: ga_edges,
+        repetitions: ga_reps,
+        topk: 0,
+    };
+    let ga_baseline = build_baseline(&ga_bench, &mut rng);
+    let ga_streaming_config = StreamingConfig {
+        remine_every: 0,
+        alert_threshold: 0.0,
+        measure: DensityMeasure::GraphAffinity,
+    };
+    let mut ga_monitor = StreamingDcs::new(ga_baseline.clone(), ga_streaming_config).unwrap();
+    let ga_baseline_edges: Vec<(VertexId, VertexId)> =
+        ga_baseline.edges().map(|(u, v, _)| (u, v)).collect();
+    for &(u, v) in &ga_baseline_edges {
+        ga_monitor.observe(u, v, rng.weight());
+    }
+    let ga_gd = ga_monitor.difference_snapshot();
+
+    // From-scratch affinity mine: no workspace, transient dense arena per solve.
+    let (ga_scratch_alert, ga_scratch) = measure(|| {
+        let mut last = None;
+        for _ in 0..ga_bench.repetitions {
+            last = Some(mine_difference_in(
+                &ga_gd,
+                &ga_streaming_config,
+                ga_monitor.observations(),
+                None,
+                &SolveContext::unbounded(),
+            ));
+        }
+        last.expect("at least one repetition")
+    });
+
+    // Steady-state affinity re-mine: the monitor's dense embedding arena warm.
+    let _ = ga_monitor.mine_now();
+    let ga_churn: Vec<(VertexId, VertexId)> = (0..ga_bench.repetitions)
+        .map(|_| ga_baseline_edges[rng.below(ga_baseline_edges.len())])
+        .collect();
+    let mut ga_remine_subset = Vec::new();
+    let mut ga_remine = Measured {
+        allocs: 0,
+        bytes: 0,
+        nanos: 0,
+    };
+    for &(u, v) in &ga_churn {
+        ga_monitor.observe(u, v, 0.25);
+        let (alert, m) = measure(|| ga_monitor.mine_now());
+        ga_remine.allocs += m.allocs;
+        ga_remine.bytes += m.bytes;
+        ga_remine.nanos += m.nanos;
+        ga_remine_subset = alert.report.subset;
+    }
+    assert!(
+        !ga_remine_subset.is_empty() && !ga_scratch_alert.report.subset.is_empty(),
+        "both affinity paths must mine something"
+    );
+
+    // Affinity α-sweep: template + warm dense workspace vs per-α rebuild, cold.
+    let ga_g2 = ga_monitor.observed_graph();
+    let ga_solver = MeasureSolver::for_measure(DensityMeasure::GraphAffinity);
+    let (ga_cold_points, ga_sweep_cold) = measure(|| {
+        let mut points = 0usize;
+        for &alpha in &alphas {
+            let gd_alpha = scaled_difference_graph(&ga_g2, &ga_baseline, alpha).unwrap();
+            let solution = ga_solver.solve_seeded_in(&gd_alpha, &[], &SolveContext::unbounded());
+            if !solution.subset.is_empty() {
+                points += 1;
+            }
+        }
+        points
+    });
+    let ga_sweep_shared = SharedWorkspace::new();
+    let ga_sweep_cx = SolveContext::unbounded().with_workspace(&ga_sweep_shared);
+    let _ = dcs_core::alpha_sweep_in(
+        &ga_g2,
+        &ga_baseline,
+        &alphas,
+        DensityMeasure::GraphAffinity,
+        &ga_sweep_cx,
+    )
+    .unwrap(); // warm
+    let (ga_sweep_outcome, ga_sweep_steady) = measure(|| {
+        dcs_core::alpha_sweep_in(
+            &ga_g2,
+            &ga_baseline,
+            &alphas,
+            DensityMeasure::GraphAffinity,
+            &ga_sweep_cx,
+        )
+        .unwrap()
+    });
+
     // ---- Report. -----------------------------------------------------------------
     let (scratch_allocs, _, _) = per(&scratch, config.repetitions);
     let (remine_allocs, _, _) = per(&remine, config.repetitions);
@@ -329,9 +440,15 @@ fn main() {
     let (topk_steady_allocs, _, _) = per(&topk_steady, steady_rounds);
     let (sweep_cold_allocs, _, _) = per(&sweep_cold, cold_points);
     let (sweep_steady_allocs, _, _) = per(&sweep_steady, sweep_outcome.points.len());
+    let (ga_scratch_allocs, _, _) = per(&ga_scratch, ga_bench.repetitions);
+    let (ga_remine_allocs, _, _) = per(&ga_remine, ga_bench.repetitions);
+    let (ga_sweep_cold_allocs, _, _) = per(&ga_sweep_cold, ga_cold_points);
+    let (ga_sweep_steady_allocs, _, _) = per(&ga_sweep_steady, ga_sweep_outcome.points.len());
     let remine_ratio = scratch_allocs / remine_allocs.max(1.0);
     let topk_ratio = topk_scratch_allocs / topk_steady_allocs.max(1.0);
     let sweep_ratio = sweep_cold_allocs / sweep_steady_allocs.max(1.0);
+    let ga_remine_ratio = ga_scratch_allocs / ga_remine_allocs.max(1.0);
+    let ga_sweep_ratio = ga_sweep_cold_allocs / ga_sweep_steady_allocs.max(1.0);
 
     let report = json!({
         "bench": "solver_hotpath",
@@ -364,6 +481,32 @@ fn main() {
             "steady": path_json("template_reweight_workspace", &sweep_steady, sweep_outcome.points.len()),
             "allocs_reduction_per_point": sweep_ratio,
         },
+        "dcsga": {
+            "graph": {
+                "vertices": ga_bench.vertices,
+                "baseline_edges": ga_baseline.num_edges(),
+                "difference_edges": ga_gd.num_edges(),
+            },
+            "repetitions": ga_bench.repetitions,
+            "mine": path_json("from_scratch", &ga_scratch, ga_bench.repetitions),
+            "remine": {
+                "path": "steady_state_dense_arena",
+                "allocs_per_solve": ga_remine_allocs,
+                "bytes_per_solve": per(&ga_remine, ga_bench.repetitions).1,
+                "ns_per_solve": per(&ga_remine, ga_bench.repetitions).2,
+                "allocs_reduction_vs_scratch": ga_remine_ratio,
+            },
+            "sweep": {
+                "grid_points": alphas.len(),
+                "cold": path_json("rebuild_per_alpha", &ga_sweep_cold, ga_cold_points),
+                "steady": path_json(
+                    "template_reweight_dense_arena",
+                    &ga_sweep_steady,
+                    ga_sweep_outcome.points.len(),
+                ),
+                "allocs_reduction_per_point": ga_sweep_ratio,
+            },
+        },
     });
     let rendered = serde_json::to_string_pretty(&report).unwrap();
     println!("{rendered}");
@@ -387,6 +530,13 @@ fn main() {
         );
         failed = true;
     }
+    if ga_remine_ratio < 2.0 {
+        eprintln!(
+            "FAIL: DCSGA steady-state re-mine allocates {ga_remine_allocs:.1}/solve vs \
+             {ga_scratch_allocs:.1} from scratch ({ga_remine_ratio:.2}x < 2x reduction)"
+        );
+        failed = true;
+    }
 
     // Regression gate against a checked-in baseline, allocation metrics only
     // (allocation counts are deterministic for the fixed workload; timings are not).
@@ -394,7 +544,7 @@ fn main() {
         match std::fs::read_to_string(&path) {
             Ok(text) => match serde_json::from_str::<Value>(&text) {
                 Ok(previous) => {
-                    let checks: [(&str, f64, &[&str]); 3] = [
+                    let checks: [(&str, f64, &[&str]); 5] = [
                         (
                             "remine.allocs_per_solve",
                             remine_allocs,
@@ -409,6 +559,16 @@ fn main() {
                             "sweep.steady.allocs_per_solve",
                             sweep_steady_allocs,
                             &["sweep", "steady", "allocs_per_solve"],
+                        ),
+                        (
+                            "dcsga.remine.allocs_per_solve",
+                            ga_remine_allocs,
+                            &["dcsga", "remine", "allocs_per_solve"],
+                        ),
+                        (
+                            "dcsga.sweep.steady.allocs_per_solve",
+                            ga_sweep_steady_allocs,
+                            &["dcsga", "sweep", "steady", "allocs_per_solve"],
                         ),
                     ];
                     for (label, current, keys) in checks {

@@ -1,0 +1,397 @@
+//! Embedding storage arenas of the DCSGA kernels.
+//!
+//! Every DCSGA routine — the 2-coordinate-descent shrink, the SEA expansion, the
+//! Algorithm-4 refinement and the NewSEA sweep that drives them — is written **once**,
+//! generic over an [`EmbeddingArena`]: the storage of the working embedding `x`, the
+//! linear form `(Dx)_k` on the working support, the expansion direction `γ`, and the
+//! candidate-dedup marks.  Two implementations exist:
+//!
+//! * [`DenseArena`] — the canonical backend: a [`DenseEmbedding`] plus dense `f64`
+//!   arrays indexed by vertex id, membership tracked in [`VertexMask`] bitsets, all
+//!   owned by the [`crate::workspace::SolverWorkspace`].  Steady-state solves (server
+//!   jobs, streaming re-mines, top-k rounds, α-sweep grid points) allocate nothing.
+//! * [`HashArena`] — the `FxHashMap`-backed **reference**: fresh hash maps per stage,
+//!   exactly the allocation profile the dense arena replaces.  It exists for the
+//!   property tests, which assert dense solves are *bit-identical* to reference
+//!   solves — guaranteed structurally, because both arenas run the same monomorphised
+//!   kernel and every floating-point reduction iterates an explicitly sorted vertex
+//!   list rather than a storage-order-dependent map walk.
+//!
+//! [`KernelScratch`] carries the plain `Vec` buffers the kernels share (working
+//! support, candidate set, incumbent snapshot); it rides along whichever arena is in
+//! use.
+
+use dcs_densest::DenseEmbedding;
+use dcs_graph::{CoreScratch, GraphView, VertexId, VertexMask};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// The DCSGA scratch bundle owned by a [`crate::workspace::SolverWorkspace`]: the
+/// canonical dense arena, the kernels' `Vec` buffers, and the core-decomposition
+/// scratch of the smart-initialisation bound.  One bundle serves every affinity
+/// solve a workspace sees — SEACD restarts, NewSEA sweeps, top-k rounds, α-sweep
+/// grid points, and back-to-back server jobs.
+#[derive(Debug, Default)]
+pub struct DcsgaScratch {
+    /// The dense embedding arena (iterate, linear form, expansion direction, marks).
+    pub arena: DenseArena,
+    /// The kernels' shared list buffers (support, candidates, incumbent snapshot).
+    pub kernel: KernelScratch,
+    /// Core-number scratch of NewSEA's `µ_u` bound.
+    pub cores: CoreScratch,
+}
+
+/// Storage backend of the DCSGA kernels.  See the module docs.
+///
+/// The arena owns four named stores, each with its own lifecycle:
+/// `x` (the embedding, reset by [`Self::begin`]), `dx` (the linear form, scoped to
+/// one shrink via [`Self::dx_begin`]), `gamma` (the expansion direction, scoped to
+/// one expansion via [`Self::gamma_begin`]) and the candidate-dedup marks (scoped to
+/// one candidate scan via [`Self::marks_begin`]).
+pub trait EmbeddingArena {
+    /// Starts a fresh solve over an `n`-vertex universe: `x` becomes empty.
+    fn begin(&mut self, n: usize);
+    /// The value `x_v` (0 outside the support).
+    fn x(&self, v: VertexId) -> f64;
+    /// Sets `x_v`; non-positive values clear the entry.
+    fn set_x(&mut self, v: VertexId, value: f64);
+    /// Writes the support `{v | x_v > 0}` into `out`, sorted ascending.
+    fn support_into(&self, out: &mut Vec<VertexId>);
+    /// Scopes `dx` to the working support: every member's entry becomes 0.
+    fn dx_begin(&mut self, support: &[VertexId]);
+    /// The linear form `(Dx)_v`; only meaningful for working-support members.
+    fn dx(&self, v: VertexId) -> f64;
+    /// Adds `delta` to `(Dx)_v` **iff** `v` is in the working support.
+    fn dx_add(&mut self, v: VertexId, delta: f64);
+    /// Clears the expansion direction.
+    fn gamma_begin(&mut self);
+    /// Sets `γ_v`.
+    fn set_gamma(&mut self, v: VertexId, value: f64);
+    /// `γ_v`, or `None` when `v` got no value this expansion.
+    fn gamma(&self, v: VertexId) -> Option<f64>;
+    /// Clears the candidate-dedup marks.
+    fn marks_begin(&mut self);
+    /// Marks `v`; returns `true` when it was not yet marked.
+    fn mark(&mut self, v: VertexId) -> bool;
+}
+
+/// The dense, workspace-owned arena (canonical backend).  All buffers grow on first
+/// use and are reused afterwards; see [`EmbeddingArena`].
+#[derive(Debug, Default)]
+pub struct DenseArena {
+    /// The working embedding.
+    x: DenseEmbedding,
+    /// `(Dx)_v` per working-support member.
+    dx: Vec<f64>,
+    /// Working-support membership.
+    in_dx: VertexMask,
+    /// Working-support members (for O(|S|) resets).
+    dx_members: Vec<VertexId>,
+    /// `γ_v` per expansion candidate.
+    gamma: Vec<f64>,
+    /// Expansion-candidate membership.
+    in_gamma: VertexMask,
+    /// Expansion candidates (for O(|Z|) resets).
+    gamma_members: Vec<VertexId>,
+    /// Candidate-dedup marks.
+    marks: VertexMask,
+    /// Marked vertices (for O(marked) resets).
+    marked: Vec<VertexId>,
+}
+
+impl DenseArena {
+    fn ensure_universe(&mut self, n: usize) {
+        if self.dx.len() < n {
+            self.dx.resize(n, 0.0);
+            self.gamma.resize(n, 0.0);
+        }
+        if self.in_dx.universe_size() < n {
+            self.in_dx.reset_empty(n);
+            self.in_gamma.reset_empty(n);
+            self.marks.reset_empty(n);
+            self.dx_members.clear();
+            self.gamma_members.clear();
+            self.marked.clear();
+        }
+    }
+}
+
+impl EmbeddingArena for DenseArena {
+    fn begin(&mut self, n: usize) {
+        self.x.begin(n);
+        self.ensure_universe(n);
+    }
+
+    #[inline]
+    fn x(&self, v: VertexId) -> f64 {
+        self.x.get(v)
+    }
+
+    #[inline]
+    fn set_x(&mut self, v: VertexId, value: f64) {
+        self.x.set(v, value);
+    }
+
+    fn support_into(&self, out: &mut Vec<VertexId>) {
+        self.x.support_into(out);
+    }
+
+    fn dx_begin(&mut self, support: &[VertexId]) {
+        for &v in &self.dx_members {
+            self.in_dx.remove(v);
+        }
+        self.dx_members.clear();
+        self.dx_members.extend_from_slice(support);
+        for &v in support {
+            self.in_dx.insert(v);
+            self.dx[v as usize] = 0.0;
+        }
+    }
+
+    #[inline]
+    fn dx(&self, v: VertexId) -> f64 {
+        // Mirror the HashArena contract (which panics on a non-member): reading a
+        // stale slot outside the working support is always a kernel bug.
+        debug_assert!(
+            self.in_dx.contains(v),
+            "dx read outside the working support"
+        );
+        self.dx[v as usize]
+    }
+
+    #[inline]
+    fn dx_add(&mut self, v: VertexId, delta: f64) {
+        if self.in_dx.contains(v) {
+            self.dx[v as usize] += delta;
+        }
+    }
+
+    fn gamma_begin(&mut self) {
+        for &v in &self.gamma_members {
+            self.in_gamma.remove(v);
+        }
+        self.gamma_members.clear();
+    }
+
+    fn set_gamma(&mut self, v: VertexId, value: f64) {
+        if self.in_gamma.insert(v) {
+            self.gamma_members.push(v);
+        }
+        self.gamma[v as usize] = value;
+    }
+
+    #[inline]
+    fn gamma(&self, v: VertexId) -> Option<f64> {
+        if self.in_gamma.contains(v) {
+            Some(self.gamma[v as usize])
+        } else {
+            None
+        }
+    }
+
+    fn marks_begin(&mut self) {
+        for &v in &self.marked {
+            self.marks.remove(v);
+        }
+        self.marked.clear();
+    }
+
+    fn mark(&mut self, v: VertexId) -> bool {
+        if self.marks.insert(v) {
+            self.marked.push(v);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The `FxHashMap`-backed reference arena: every scope starts from a freshly
+/// allocated map, reproducing the pre-dense allocation profile.  See the module docs
+/// for why results are bit-identical to [`DenseArena`]'s.
+#[derive(Debug, Default)]
+pub struct HashArena {
+    x: FxHashMap<VertexId, f64>,
+    dx: FxHashMap<VertexId, f64>,
+    gamma: FxHashMap<VertexId, f64>,
+    marks: FxHashSet<VertexId>,
+}
+
+impl EmbeddingArena for HashArena {
+    fn begin(&mut self, _n: usize) {
+        self.x = FxHashMap::default();
+    }
+
+    #[inline]
+    fn x(&self, v: VertexId) -> f64 {
+        self.x.get(&v).copied().unwrap_or(0.0)
+    }
+
+    fn set_x(&mut self, v: VertexId, value: f64) {
+        if value > 0.0 {
+            self.x.insert(v, value);
+        } else {
+            self.x.remove(&v);
+        }
+    }
+
+    fn support_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend(self.x.keys().copied());
+        out.sort_unstable();
+    }
+
+    fn dx_begin(&mut self, support: &[VertexId]) {
+        self.dx = FxHashMap::default();
+        for &v in support {
+            self.dx.insert(v, 0.0);
+        }
+    }
+
+    #[inline]
+    fn dx(&self, v: VertexId) -> f64 {
+        self.dx[&v]
+    }
+
+    fn dx_add(&mut self, v: VertexId, delta: f64) {
+        if let Some(entry) = self.dx.get_mut(&v) {
+            *entry += delta;
+        }
+    }
+
+    fn gamma_begin(&mut self) {
+        self.gamma = FxHashMap::default();
+    }
+
+    fn set_gamma(&mut self, v: VertexId, value: f64) {
+        self.gamma.insert(v, value);
+    }
+
+    fn gamma(&self, v: VertexId) -> Option<f64> {
+        self.gamma.get(&v).copied()
+    }
+
+    fn marks_begin(&mut self) {
+        self.marks = FxHashSet::default();
+    }
+
+    fn mark(&mut self, v: VertexId) -> bool {
+        self.marks.insert(v)
+    }
+}
+
+/// Plain `Vec` buffers shared by the kernels, independent of the arena backend.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    /// Working support of the current shrink / refinement round.
+    pub support: Vec<VertexId>,
+    /// Expansion candidate set `Z`.
+    pub z: Vec<VertexId>,
+    /// Incumbent-best support snapshot of a sweep.
+    pub best_support: Vec<VertexId>,
+    /// Incumbent-best values snapshot, parallel to `best_support`.
+    pub best_values: Vec<f64>,
+    /// Deduplicated warm-start seed.
+    pub seed: Vec<VertexId>,
+}
+
+/// `f(x) = xᵀAx` over the view's surviving edges, reduced in ascending support
+/// order (the canonical summation order of every kernel).
+pub(super) fn affinity_in<A: EmbeddingArena>(
+    view: GraphView<'_>,
+    arena: &A,
+    support: &[VertexId],
+) -> f64 {
+    let mut total = 0.0;
+    for &u in support {
+        total += arena.x(u) * weighted_sum_in(view, arena, u);
+    }
+    total
+}
+
+/// `(Ax)_u` over the view's surviving edges.
+pub(super) fn weighted_sum_in<A: EmbeddingArena>(
+    view: GraphView<'_>,
+    arena: &A,
+    u: VertexId,
+) -> f64 {
+    let mut s = 0.0;
+    for e in view.neighbors(u) {
+        let xv = arena.x(e.neighbor);
+        if xv > 0.0 {
+            s += e.weight * xv;
+        }
+    }
+    s
+}
+
+/// Drops non-positive entries of `x` and rescales the rest to sum to 1 — the
+/// deterministic equivalent of rebuilding through `Embedding::from_weights`.
+/// Refreshes `support` to the resulting support set.
+pub(super) fn renormalize_in<A: EmbeddingArena>(arena: &mut A, support: &mut Vec<VertexId>) {
+    arena.support_into(support);
+    let total: f64 = support.iter().map(|&v| arena.x(v)).sum();
+    if total > 0.0 {
+        for &v in support.iter() {
+            let value = arena.x(v) / total;
+            arena.set_x(v, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<A: EmbeddingArena>(arena: &mut A) {
+        arena.begin(6);
+        arena.set_x(3, 0.5);
+        arena.set_x(1, 0.25);
+        arena.set_x(5, 0.25);
+        arena.set_x(5, 0.0); // dropped again
+        let mut support = Vec::new();
+        arena.support_into(&mut support);
+        assert_eq!(support, vec![1, 3]);
+
+        arena.dx_begin(&support);
+        arena.dx_add(1, 2.0);
+        arena.dx_add(4, 9.0); // not a member: ignored
+        assert_eq!(arena.dx(1), 2.0);
+        assert_eq!(arena.dx(3), 0.0);
+
+        arena.gamma_begin();
+        arena.set_gamma(2, -0.5);
+        assert_eq!(arena.gamma(2), Some(-0.5));
+        assert_eq!(arena.gamma(1), None);
+
+        arena.marks_begin();
+        assert!(arena.mark(4));
+        assert!(!arena.mark(4));
+
+        // A second solve starts clean.
+        arena.begin(6);
+        arena.support_into(&mut support);
+        assert!(support.is_empty());
+        arena.marks_begin();
+        assert!(arena.mark(4));
+        arena.gamma_begin();
+        assert_eq!(arena.gamma(2), None);
+    }
+
+    #[test]
+    fn dense_and_hash_arenas_agree() {
+        exercise(&mut DenseArena::default());
+        exercise(&mut HashArena::default());
+    }
+
+    #[test]
+    fn dense_arena_grows_universe() {
+        let mut arena = DenseArena::default();
+        arena.begin(2);
+        arena.set_x(1, 1.0);
+        arena.begin(100);
+        arena.set_x(99, 1.0);
+        let mut support = Vec::new();
+        arena.support_into(&mut support);
+        assert_eq!(support, vec![99]);
+    }
+}

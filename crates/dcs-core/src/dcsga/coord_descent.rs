@@ -7,10 +7,18 @@
 //! this works for matrices with **negative** entries and is guaranteed to converge to a
 //! local KKT point on the working support `S` (the objective is non-decreasing and the
 //! iterate stays on the simplex).
+//!
+//! The inner loop is generic over an [`super::arena::EmbeddingArena`]: the canonical
+//! dense arena keeps `x` and the linear form `(Dx)_k` in workspace-owned arrays
+//! (zero allocations in steady state, where the old implementation built two
+//! `FxHashMap`s per call), and every edge read goes through a [`GraphView`], so the
+//! same kernel serves the signed `G_D`, a materialised `G_{D+}`, and the
+//! positive-filtered / masked overlays of the NewSEA and top-k drivers.
 
 use dcs_densest::Embedding;
-use dcs_graph::{SignedGraph, VertexId, Weight};
-use rustc_hash::FxHashMap;
+use dcs_graph::{GraphView, SignedGraph, VertexId, Weight};
+
+use super::arena::{DenseArena, EmbeddingArena, KernelScratch};
 
 /// Outcome of a 2-coordinate-descent run.
 #[derive(Debug, Clone)]
@@ -27,48 +35,38 @@ pub struct CoordDescentOutcome {
     pub converged: bool,
 }
 
-/// Runs 2-coordinate descent restricted to the working support `support` (the set `S` of
-/// the paper's *local* KKT conditions, Eq. 10).  Vertices outside `support` keep value 0;
-/// vertices inside `support` may gain or lose mass (including dropping to 0).
-///
-/// * `x0` — starting embedding; its support must be contained in `support`.
-/// * `epsilon` — stop when
-///   `max_{k∈S, x_k<1} ∇_k f − min_{k∈S, x_k>0} ∇_k f ≤ epsilon`.
-/// * `max_iterations` — hard iteration cap.
-pub fn descend_to_local_kkt(
-    g: &SignedGraph,
-    x0: &Embedding,
+/// Outcome of the in-arena shrink: the iterate itself stays in the arena.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct DescendOutcome {
+    /// Final objective `f_D(x)` (computed before renormalisation).
+    pub objective: f64,
+    /// Number of coordinate updates performed.
+    pub iterations: usize,
+    /// Final KKT gap on the working support.
+    pub kkt_gap: f64,
+    /// Whether the gap criterion was met.
+    pub converged: bool,
+}
+
+/// The arena-resident 2-coordinate descent: shrinks the arena's embedding to a local
+/// KKT point on `support` over the view's surviving edges.  `support` must be sorted
+/// and deduplicated and contain the embedding's support.
+pub(super) fn descend_in<A: EmbeddingArena>(
+    view: GraphView<'_>,
+    arena: &mut A,
     support: &[VertexId],
     epsilon: f64,
     max_iterations: usize,
-) -> CoordDescentOutcome {
-    let mut support: Vec<VertexId> = support.to_vec();
-    support.sort_unstable();
-    support.dedup();
-    debug_assert!(
-        x0.support()
-            .iter()
-            .all(|v| support.binary_search(v).is_ok()),
-        "the initial support must be contained in the working support"
-    );
-
-    // Working state: x values and the linear form (Dx)_k for every k in the support.
-    let mut x: FxHashMap<VertexId, f64> = FxHashMap::default();
-    for &v in &support {
-        x.insert(v, x0.get(v));
-    }
-    let mut dx: FxHashMap<VertexId, f64> = FxHashMap::default();
-    for &v in &support {
-        dx.insert(v, 0.0);
-    }
-    for (&u, &xu) in &x {
+) -> DescendOutcome {
+    // Initialise the linear form (Dx)_k for every k in the working support.
+    arena.dx_begin(support);
+    for &u in support {
+        let xu = arena.x(u);
         if xu == 0.0 {
             continue;
         }
-        for e in g.neighbors(u) {
-            if let Some(entry) = dx.get_mut(&e.neighbor) {
-                *entry += e.weight * xu;
-            }
+        for e in view.neighbors(u) {
+            arena.dx_add(e.neighbor, e.weight * xu);
         }
     }
 
@@ -80,9 +78,9 @@ pub fn descend_to_local_kkt(
         // Pick i = argmax over k ∈ S with x_k < 1, j = argmin over k ∈ S with x_k > 0.
         let mut best_i: Option<(VertexId, f64)> = None;
         let mut best_j: Option<(VertexId, f64)> = None;
-        for &k in &support {
-            let grad = 2.0 * dx[&k];
-            let xk = x[&k];
+        for &k in support {
+            let grad = 2.0 * arena.dx(k);
+            let xk = arena.x(k);
             if xk < 1.0 {
                 match best_i {
                     None => best_i = Some((k, grad)),
@@ -126,12 +124,12 @@ pub fn descend_to_local_kkt(
         iterations += 1;
 
         // Closed-form solution of Eq. 9 for the pair (i, j).
-        let xi = x[&i];
-        let xj = x[&j];
+        let xi = arena.x(i);
+        let xj = arena.x(j);
         let c = xi + xj;
-        let dij = g.edge_weight(i, j).unwrap_or(0.0);
-        let bi = dx[&i] - dij * xj;
-        let bj = dx[&j] - dij * xi;
+        let dij = view.edge_weight(i, j).unwrap_or(0.0);
+        let bi = arena.dx(i) - dij * xj;
+        let bj = arena.dx(j) - dij * xi;
 
         let new_xi = if dij == 0.0 {
             // Linear in x_i: move all mass to the endpoint with the larger coefficient.
@@ -143,22 +141,22 @@ pub fn descend_to_local_kkt(
                 xi
             }
         } else {
-            // g(x_i) = −dij·x_i² + B·x_i + const with B = dij·C + b_i − b_j.
+            // g(x_i) = −dij·x_i² + B·x_i + const with B = dij·C + b_i − b_j; the best
+            // of the endpoints {0, C} and (for concave g) the interior stationary
+            // point r, later candidates winning ties.
             let b_coef = dij * c + bi - bj;
             let r = b_coef / (2.0 * dij);
             let eval = |t: f64| -dij * t * t + b_coef * t;
-            let mut candidates = vec![0.0, c];
-            if dij > 0.0 && r >= 0.0 && r <= c {
-                candidates.push(r);
+            let mut best_t = 0.0;
+            let mut best_val = eval(0.0);
+            if eval(c) >= best_val {
+                best_t = c;
+                best_val = eval(c);
             }
-            candidates
-                .into_iter()
-                .max_by(|a, b| {
-                    eval(*a)
-                        .partial_cmp(&eval(*b))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .unwrap_or(xi)
+            if dij > 0.0 && r >= 0.0 && r <= c && eval(r) >= best_val {
+                best_t = r;
+            }
+            best_t
         };
         let new_xj = c - new_xi;
         let delta_i = new_xi - xi;
@@ -168,34 +166,83 @@ pub fn descend_to_local_kkt(
             converged = true;
             break;
         }
-        x.insert(i, new_xi);
-        x.insert(j, new_xj);
+        arena.set_x(i, new_xi);
+        arena.set_x(j, new_xj);
         // Update the linear forms of the support neighbours of i and j.
         if delta_i != 0.0 {
-            for e in g.neighbors(i) {
-                if let Some(entry) = dx.get_mut(&e.neighbor) {
-                    *entry += e.weight * delta_i;
-                }
+            for e in view.neighbors(i) {
+                arena.dx_add(e.neighbor, e.weight * delta_i);
             }
         }
         if delta_j != 0.0 {
-            for e in g.neighbors(j) {
-                if let Some(entry) = dx.get_mut(&e.neighbor) {
-                    *entry += e.weight * delta_j;
-                }
+            for e in view.neighbors(j) {
+                arena.dx_add(e.neighbor, e.weight * delta_j);
             }
         }
     }
 
-    // Assemble the outcome.  f(x) = Σ_k x_k (Dx)_k.
-    let objective: f64 = x.iter().map(|(k, &xk)| xk * dx[k]).sum();
-    let embedding = Embedding::from_weights(x.into_iter().filter(|&(_, v)| v > 0.0));
-    CoordDescentOutcome {
+    // f(x) = Σ_k x_k (Dx)_k, reduced in ascending support order.
+    let mut objective = 0.0;
+    for &k in support {
+        objective += arena.x(k) * arena.dx(k);
+    }
+    DescendOutcome {
         objective,
-        embedding,
         iterations,
         kkt_gap,
         converged,
+    }
+}
+
+/// Runs 2-coordinate descent restricted to the working support `support` (the set `S` of
+/// the paper's *local* KKT conditions, Eq. 10).  Vertices outside `support` keep value 0;
+/// vertices inside `support` may gain or lose mass (including dropping to 0).
+///
+/// * `x0` — starting embedding; its support must be contained in `support`.
+/// * `epsilon` — stop when
+///   `max_{k∈S, x_k<1} ∇_k f − min_{k∈S, x_k>0} ∇_k f ≤ epsilon`.
+/// * `max_iterations` — hard iteration cap.
+///
+/// This is the standalone entry point (a transient [`DenseArena`] per call); the
+/// solvers run the same kernel on their workspace-owned arena instead.
+pub fn descend_to_local_kkt(
+    g: &SignedGraph,
+    x0: &Embedding,
+    support: &[VertexId],
+    epsilon: f64,
+    max_iterations: usize,
+) -> CoordDescentOutcome {
+    let mut support: Vec<VertexId> = support.to_vec();
+    support.sort_unstable();
+    support.dedup();
+    debug_assert!(
+        x0.support()
+            .iter()
+            .all(|v| support.binary_search(v).is_ok()),
+        "the initial support must be contained in the working support"
+    );
+
+    let mut arena = DenseArena::default();
+    arena.begin(g.num_vertices());
+    for (v, value) in x0.iter() {
+        arena.set_x(v, value);
+    }
+    let out = descend_in(
+        GraphView::full(g),
+        &mut arena,
+        &support,
+        epsilon,
+        max_iterations,
+    );
+    let mut scratch = KernelScratch::default();
+    arena.support_into(&mut scratch.support);
+    let embedding = Embedding::from_weights(scratch.support.iter().map(|&v| (v, arena.x(v))));
+    CoordDescentOutcome {
+        objective: out.objective,
+        embedding,
+        iterations: out.iterations,
+        kkt_gap: out.kkt_gap,
+        converged: out.converged,
     }
 }
 
@@ -300,5 +347,35 @@ mod tests {
         let g = k4();
         let out = descend_to_local_kkt(&g, &Embedding::singleton(0), &[0, 1, 2, 3], 0.0, 3);
         assert!(out.iterations <= 3);
+    }
+
+    #[test]
+    fn positive_view_hides_negative_edges_from_the_shrink() {
+        // On the positive-filtered view the negative edges to vertex 2 vanish, so the
+        // shrink treats {0,1,2} like a path-less pair plus an isolated vertex.
+        let g = GraphBuilder::from_edges(3, vec![(0, 1, 4.0), (1, 2, -3.0), (0, 2, -3.0)]);
+        let mut arena = DenseArena::default();
+        arena.begin(3);
+        let share = 1.0 / 3.0;
+        for v in 0..3u32 {
+            arena.set_x(v, share);
+        }
+        let out = descend_in(
+            GraphView::full(&g).positive_part(),
+            &mut arena,
+            &[0, 1, 2],
+            1e-10,
+            100_000,
+        );
+        assert!(out.converged);
+        // Identical to descending on the materialised positive part.
+        let reference = descend_to_local_kkt(
+            &g.positive_part(),
+            &Embedding::uniform(&[0, 1, 2]),
+            &[0, 1, 2],
+            1e-10,
+            100_000,
+        );
+        assert_eq!(out.objective, reference.objective);
     }
 }

@@ -15,18 +15,25 @@
 //! oracle for downstream users.
 
 use dcs_densest::Embedding;
-use dcs_graph::{SignedGraph, VertexId};
+use dcs_graph::{GraphView, SignedGraph, VertexId};
 
 /// The (global) KKT violation of `x`: the amount by which the most violating vertex
 /// breaks the conditions above, i.e.
 /// `max( max_u |∇_u − λ| over supported u , max_u (∇_u − λ)⁺ over unsupported u )`
 /// with `λ = 2 f(x)`.  A true KKT point has violation 0.
 pub fn kkt_violation(g: &SignedGraph, x: &Embedding) -> f64 {
-    let lambda = 2.0 * x.affinity(g);
+    kkt_violation_view(GraphView::full(g), x)
+}
+
+/// [`kkt_violation`] over a [`GraphView`]: the conditions are those of the filtered
+/// subgraph (dead vertices are outside the problem, filtered edges contribute no
+/// gradient), so a view-based solve can be certified without materialising the view.
+pub fn kkt_violation_view(view: GraphView<'_>, x: &Embedding) -> f64 {
+    let lambda = 2.0 * x.affinity_view(view);
     let mut violation: f64 = 0.0;
     // Supported vertices: gradient must equal λ.
     for (u, _) in x.iter() {
-        let grad = x.gradient_at(g, u);
+        let grad = 2.0 * x.weighted_sum_at_view(view, u);
         violation = violation.max((grad - lambda).abs());
     }
     // Unsupported vertices: gradient must not exceed λ.  Only neighbours of the support
@@ -34,17 +41,17 @@ pub fn kkt_violation(g: &SignedGraph, x: &Embedding) -> f64 {
     // only if λ < 0 (then every vertex with ∇ = 0 > λ violates — check once).
     let mut checked_zero = false;
     for (u, _) in x.iter() {
-        for e in g.neighbors(u) {
+        for e in view.neighbors(u) {
             let v = e.neighbor;
             if x.get(v) > 0.0 {
                 continue;
             }
-            let grad = x.gradient_at(g, v);
+            let grad = 2.0 * x.weighted_sum_at_view(view, v);
             violation = violation.max((grad - lambda).max(0.0));
             checked_zero = true;
         }
     }
-    if lambda < 0.0 && (!checked_zero || x.support_size() < g.num_vertices()) {
+    if lambda < 0.0 && (!checked_zero || x.support_size() < view.alive_count()) {
         // Some vertex outside the support has gradient 0 > λ.
         violation = violation.max(-lambda);
     }
@@ -56,13 +63,23 @@ pub fn is_kkt_point(g: &SignedGraph, x: &Embedding, eps: f64) -> bool {
     kkt_violation(g, x) <= eps
 }
 
+/// [`is_kkt_point`] over a [`GraphView`].
+pub fn is_kkt_point_view(view: GraphView<'_>, x: &Embedding, eps: f64) -> bool {
+    kkt_violation_view(view, x) <= eps
+}
+
 /// The local KKT gap of Eq. 11 restricted to the working set `support`:
 /// `max_{k∈S, x_k<1} ∇_k f(x) − min_{k∈S, x_k>0} ∇_k f(x)` (clamped at 0).
 pub fn local_kkt_gap(g: &SignedGraph, x: &Embedding, support: &[VertexId]) -> f64 {
+    local_kkt_gap_view(GraphView::full(g), x, support)
+}
+
+/// [`local_kkt_gap`] over a [`GraphView`].
+pub fn local_kkt_gap_view(view: GraphView<'_>, x: &Embedding, support: &[VertexId]) -> f64 {
     let mut max_grad = f64::NEG_INFINITY;
     let mut min_grad = f64::INFINITY;
     for &k in support {
-        let grad = x.gradient_at(g, k);
+        let grad = 2.0 * x.weighted_sum_at_view(view, k);
         let xk = x.get(k);
         if xk < 1.0 {
             max_grad = max_grad.max(grad);

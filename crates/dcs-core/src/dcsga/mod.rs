@@ -14,9 +14,25 @@
 //!   early-exit bound `µ_u = τ_u·w_u/(τ_u+1)` (Theorem 6).
 //!
 //! All three solvers operate on `G_{D+}` internally (Theorem 5 shows an optimal solution
-//! is always a positive clique of `G_D`, i.e. a clique of `G_{D+}`), which is also how
-//! the paper runs its experiments.
+//! is always a positive clique of `G_D`, i.e. a clique of `G_{D+}`) — as a
+//! **positive-filtered [`dcs_graph::GraphView`]** of the signed difference graph,
+//! never as a materialised copy.
+//!
+//! ## Dense workspace-backed embeddings
+//!
+//! Every kernel in this module runs on an [`arena::EmbeddingArena`]: the working
+//! embedding `x`, the shrink's linear form `(Dx)_k`, the expansion direction `γ` and
+//! the candidate-dedup marks are indexed, dense arrays
+//! ([`dcs_densest::DenseEmbedding`] + `Vec<f64>` + [`dcs_graph::VertexMask`]) owned
+//! by the [`crate::SolverWorkspace`] and reused across SEACD restarts, top-k rounds,
+//! α-sweep grid points and server jobs — where the original implementation built
+//! fresh `FxHashMap`s per stage.  That reference implementation survives as
+//! [`arena::HashArena`] behind [`NewSea::solve_seeded_reference`]: both backends run
+//! the same monomorphised kernels with every floating-point reduction in explicit
+//! ascending-vertex order, so dense solves are **bit-identical** to reference solves
+//! (property-tested in `dcsga_dense_properties.rs`).
 
+pub mod arena;
 pub mod coord_descent;
 pub mod kkt;
 mod newsea;
@@ -24,12 +40,14 @@ mod parallel;
 mod refine;
 mod seacd;
 
+pub use arena::DcsgaScratch;
 pub use coord_descent::{descend_to_local_kkt, CoordDescentOutcome};
 pub use newsea::{
-    smart_initialization_order, smart_initialization_order_view_into, NewSea, SmartInitStats,
+    smart_initialization_order, smart_initialization_order_in,
+    smart_initialization_order_view_into, NewSea, SmartInitStats,
 };
 pub use parallel::{parallel_newsea, parallel_sweep};
-pub use refine::refine;
+pub use refine::{refine, refine_with_workspace};
 pub use seacd::{SeaCd, SeaCdRun, SeaCdSweep};
 
 use dcs_densest::Embedding;

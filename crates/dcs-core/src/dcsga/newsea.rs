@@ -13,17 +13,27 @@
 //! descending `µ_u` order and stops as soon as `µ_u` cannot beat the best solution found
 //! so far.  In the paper this prunes 1–3 orders of magnitude of initialisations with no
 //! observed loss of quality.
+//!
+//! The canonical path is **view-based and dense**: [`NewSea::solve_on_view_bounded`]
+//! takes any [`GraphView`] of the signed `G_D` and mines its positive-filtered
+//! overlay directly — `G_{D+}` is never materialised, and the whole sweep (core
+//! numbers, µ ordering, every SEACD run and refinement) lives in the workspace's
+//! dense embedding arena, so steady-state solves allocate nothing but the returned
+//! solution.  [`NewSea::solve_seeded_reference`] retains the `FxHashMap`-backed
+//! arena as the property-test oracle: it runs the *same* kernels over hash storage,
+//! so dense solves are bit-identical to reference solves by construction.
 
 use dcs_densest::Embedding;
-use dcs_graph::{core_decomposition_view, GraphView, SignedGraph, VertexId, Weight};
+use dcs_graph::{core_numbers_view_into, CoreScratch, GraphView, SignedGraph, VertexId, Weight};
 
-use super::refine::refine;
-use super::seacd::SeaCd;
+use super::arena::{affinity_in, EmbeddingArena, HashArena, KernelScratch};
+use super::refine::refine_in;
+use super::seacd::{run_arena, snapshot_best};
 use super::{DcsgaConfig, DcsgaSolution};
-use crate::engine::{SolveContext, SolveStats};
+use crate::engine::{SolveContext, SolveStats, WorkMeter};
 
 /// Statistics of a smart-initialisation sweep.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SmartInitStats {
     /// Number of initialisations actually run (SEACD + refinement invocations).
     pub initializations_run: usize,
@@ -55,9 +65,9 @@ impl NewSea {
 
     /// Mines the DCS with respect to graph affinity from the difference graph `gd`.
     ///
-    /// Internally the solver works on `G_{D+}` (justified by Theorem 5) and returns a
-    /// positive-clique solution.  If `G_D` has no positive edge the optimum is 0 and an
-    /// empty embedding is returned.
+    /// Internally the solver works on the positive-filtered view of `gd` (justified
+    /// by Theorem 5) and returns a positive-clique solution.  If `G_D` has no
+    /// positive edge the optimum is 0 and an empty embedding is returned.
     pub fn solve(&self, gd: &SignedGraph) -> DcsgaSolution {
         self.solve_seeded(gd, &[])
     }
@@ -70,17 +80,18 @@ impl NewSea {
     /// vertices that are out of range or isolated in `G_{D+}` are dropped; an empty
     /// seed reduces to [`Self::solve`].
     pub fn solve_seeded(&self, gd: &SignedGraph, seed: &[VertexId]) -> DcsgaSolution {
-        let gd_plus = gd.positive_part();
-        self.solve_on_positive_part_seeded(&gd_plus, seed)
+        self.solve_bounded(gd, seed, &SolveContext::unbounded()).0
     }
 
-    /// Same as [`Self::solve`] but takes `G_{D+}` directly (avoids re-filtering when the
-    /// caller already has the positive part around).
+    /// Same as [`Self::solve`] but takes a materialised `G_{D+}` directly — a legacy
+    /// wrapper kept for callers that already hold the positive part; the canonical
+    /// path mines the positive-filtered view of `G_D` without building it.
     pub fn solve_on_positive_part(&self, gd_plus: &SignedGraph) -> DcsgaSolution {
         self.solve_on_positive_part_seeded(gd_plus, &[])
     }
 
-    /// [`Self::solve_seeded`] on an already-materialised `G_{D+}`.
+    /// [`Self::solve_seeded`] on an already-materialised `G_{D+}` (legacy wrapper;
+    /// the positive filter is a no-op on it).
     pub fn solve_on_positive_part_seeded(
         &self,
         gd_plus: &SignedGraph,
@@ -90,23 +101,19 @@ impl NewSea {
             .0
     }
 
-    /// [`Self::solve_seeded`] under a [`SolveContext`]: builds `G_{D+}` and runs the
-    /// bounded sweep.
+    /// [`Self::solve_seeded`] under a [`SolveContext`]: mines the positive-filtered
+    /// view of `gd` under the context's bounds and workspace.
     pub fn solve_bounded(
         &self,
         gd: &SignedGraph,
         seed: &[VertexId],
         cx: &SolveContext,
     ) -> (DcsgaSolution, SolveStats) {
-        let gd_plus = gd.positive_part();
-        self.solve_on_positive_part_bounded(&gd_plus, seed, cx)
+        self.solve_on_view_bounded(GraphView::full(gd), seed, cx)
     }
 
-    /// The µ_u-ordered sweep under a [`SolveContext`]: the context is checked before
-    /// every initialisation and after every SEACD shrink round (work units are
-    /// coordinate-descent iterations), so a deadline, cancellation or exhausted
-    /// budget returns the best incumbent found so far.  Theorem-6 early-exit prunes
-    /// are reported through both [`SmartInitStats`] and [`SolveStats::prunes`].
+    /// [`Self::solve_on_positive_part_seeded`] under a [`SolveContext`] (legacy
+    /// wrapper over the view path).
     pub fn solve_on_positive_part_bounded(
         &self,
         gd_plus: &SignedGraph,
@@ -116,103 +123,172 @@ impl NewSea {
         self.solve_on_view_bounded(GraphView::full(gd_plus), seed, cx)
     }
 
-    /// [`Self::solve_on_positive_part_bounded`] on a masked [`GraphView`] over an
-    /// already-materialised `G_{D+}` — the per-round entry point of the top-k
-    /// driver, which masks mined supports out instead of rewriting the CSR.
+    /// The canonical NewSEA entry point: the µ_u-ordered sweep over the
+    /// **positive-filtered overlay** of `view`, under a [`SolveContext`].
     ///
-    /// The smart-initialisation bound, the SEACD runs and the refinement all operate
-    /// on the alive-induced subgraph.  The workspace carried by `cx` provides the
-    /// initialisation-order buffers, so steady-state sweeps do not re-allocate them.
+    /// `view` is a view of the signed difference graph (masked by the top-k driver,
+    /// full everywhere else); the solver adds the positive filter itself, so
+    /// `G_{D+}` is never materialised and affinity jobs never copy the CSR.  The
+    /// context is checked before every initialisation and after every SEACD shrink
+    /// round (work units are coordinate-descent iterations), so a deadline,
+    /// cancellation or exhausted budget returns the best incumbent found so far.
+    /// Theorem-6 early-exit prunes are reported through both [`SmartInitStats`] and
+    /// [`SolveStats::prunes`].  All scratch state — the µ ordering, core numbers,
+    /// and the dense embedding arena shared with SEACD, the KKT shrink and the
+    /// refinement — lives in the context's workspace.
     pub fn solve_on_view_bounded(
         &self,
         view: GraphView<'_>,
         seed: &[VertexId],
         cx: &SolveContext,
     ) -> (DcsgaSolution, SolveStats) {
-        debug_assert!(
-            !view.is_positive_only(),
-            "NewSEA mines a view over an already-positive working graph"
-        );
-        let n = view.num_vertices();
         let mut meter = cx.meter();
-        let mut stats = SmartInitStats::default();
-        if view.alive_count() == 0 || !view.has_edge() {
-            return (
-                DcsgaSolution {
-                    embedding: Embedding::default(),
-                    affinity_difference: 0.0,
-                    stats,
-                },
-                meter.finish(),
-            );
-        }
-        let gd_plus = view.graph();
-
-        // --- Smart-initialisation upper bounds (Theorem 6), into reused buffers. -----
         let mut ws = cx.workspace();
         let crate::workspace::SolverWorkspace {
-            init_order: order,
+            init_order,
             max_incident,
+            dcsga,
             ..
         } = &mut *ws;
-        smart_initialization_order_view_into(view, order, max_incident);
+        let solution = sweep_in(
+            &self.config,
+            view,
+            seed,
+            &mut meter,
+            init_order,
+            max_incident,
+            &mut dcsga.cores,
+            &mut dcsga.arena,
+            &mut dcsga.kernel,
+        );
+        (solution, meter.finish())
+    }
 
-        // --- Warm start: one run from the seed to establish a strong incumbent. ------
-        let seacd = SeaCd::new(self.config);
-        let mut best = Embedding::default();
-        let mut best_objective: Weight = 0.0;
-        let seed_support: Vec<VertexId> = seed
+    /// The `FxHashMap`-backed **reference solve**: identical sweep, hash-arena
+    /// storage, fresh buffers per call.  Kept as the oracle the property tests
+    /// compare the dense workspace path against (results are bit-identical by
+    /// construction — both run the same kernels); not a serving path.
+    pub fn solve_seeded_reference(&self, gd: &SignedGraph, seed: &[VertexId]) -> DcsgaSolution {
+        let cx = SolveContext::unbounded();
+        let mut meter = cx.meter();
+        let mut order = Vec::new();
+        let mut max_incident = Vec::new();
+        let mut cores = CoreScratch::default();
+        let mut arena = HashArena::default();
+        let mut kernel = KernelScratch::default();
+        sweep_in(
+            &self.config,
+            GraphView::full(gd),
+            seed,
+            &mut meter,
+            &mut order,
+            &mut max_incident,
+            &mut cores,
+            &mut arena,
+            &mut kernel,
+        )
+    }
+}
+
+/// The generic µ_u-ordered sweep shared by the dense (canonical) and hash
+/// (reference) arenas.  `view` is the signed-graph view; the positive filter is
+/// applied here.
+#[allow(clippy::too_many_arguments)]
+fn sweep_in<A: EmbeddingArena>(
+    config: &DcsgaConfig,
+    view: GraphView<'_>,
+    seed: &[VertexId],
+    meter: &mut WorkMeter,
+    order: &mut Vec<(VertexId, Weight)>,
+    max_incident: &mut Vec<Weight>,
+    cores: &mut CoreScratch,
+    arena: &mut A,
+    kernel: &mut KernelScratch,
+) -> DcsgaSolution {
+    let pview = view.positive_part();
+    let n = pview.num_vertices();
+    let mut stats = SmartInitStats::default();
+    if pview.alive_count() == 0 || !pview.has_edge() {
+        return DcsgaSolution {
+            embedding: Embedding::default(),
+            affinity_difference: 0.0,
+            stats,
+        };
+    }
+
+    // --- Smart-initialisation upper bounds (Theorem 6), into reused buffers. -----
+    smart_initialization_order_in(pview, order, max_incident, cores);
+
+    // --- Warm start: one run from the seed to establish a strong incumbent. ------
+    let mut best_objective: Weight = 0.0;
+    kernel.best_support.clear();
+    kernel.best_values.clear();
+    kernel.seed.clear();
+    kernel.seed.extend(
+        seed.iter()
+            .copied()
+            .filter(|&u| (u as usize) < n && pview.is_alive(u) && pview.degree(u) > 0),
+    );
+    kernel.seed.sort_unstable();
+    kernel.seed.dedup();
+    if !kernel.seed.is_empty() && !meter.stopped() {
+        stats.seeded_runs += 1;
+        meter.note_candidates(1);
+        arena.begin(n);
+        let share = 1.0 / kernel.seed.len() as f64;
+        for i in 0..kernel.seed.len() {
+            let u = kernel.seed[i];
+            arena.set_x(u, share);
+        }
+        let run = run_arena(pview, config, arena, kernel, |units| !meter.tick(units));
+        stats.expansion_errors += run.expansion_errors;
+        refine_in(pview, config, arena, kernel);
+        arena.support_into(&mut kernel.support);
+        let objective = affinity_in(pview, arena, &kernel.support);
+        if objective > best_objective {
+            best_objective = objective;
+            snapshot_best(arena, kernel);
+        }
+    }
+
+    // --- Sweep in descending µ_u order with the early-exit bound. ----------------
+    for i in 0..order.len() {
+        let (u, mu) = order[i];
+        if mu <= best_objective {
+            let skipped = order.len() - stats.initializations_run;
+            stats.initializations_skipped += skipped;
+            meter.note_prunes(skipped as u64);
+            break;
+        }
+        if meter.stopped() {
+            break;
+        }
+        stats.initializations_run += 1;
+        meter.note_candidates(1);
+        arena.begin(n);
+        arena.set_x(u, 1.0);
+        let run = run_arena(pview, config, arena, kernel, |units| !meter.tick(units));
+        stats.expansion_errors += run.expansion_errors;
+        refine_in(pview, config, arena, kernel);
+        arena.support_into(&mut kernel.support);
+        let objective = affinity_in(pview, arena, &kernel.support);
+        if objective > best_objective {
+            best_objective = objective;
+            snapshot_best(arena, kernel);
+        }
+    }
+
+    let embedding = Embedding::from_weights(
+        kernel
+            .best_support
             .iter()
             .copied()
-            .filter(|&u| (u as usize) < n && view.is_alive(u) && view.degree(u) > 0)
-            .collect();
-        if !seed_support.is_empty() && !meter.stopped() {
-            stats.seeded_runs += 1;
-            meter.note_candidates(1);
-            let run = seacd.run_on_view_until(view, Embedding::uniform(&seed_support), |units| {
-                !meter.tick(units)
-            });
-            stats.expansion_errors += run.expansion_errors;
-            let refined = refine(gd_plus, run.embedding, &self.config);
-            let objective = refined.affinity(gd_plus);
-            if objective > best_objective {
-                best_objective = objective;
-                best = refined;
-            }
-        }
-
-        // --- Sweep in descending µ_u order with the early-exit bound. ----------------
-        for &(u, mu) in order.iter() {
-            if mu <= best_objective {
-                let skipped = order.len() - stats.initializations_run;
-                stats.initializations_skipped += skipped;
-                meter.note_prunes(skipped as u64);
-                break;
-            }
-            if meter.stopped() {
-                break;
-            }
-            stats.initializations_run += 1;
-            meter.note_candidates(1);
-            let run =
-                seacd.run_on_view_until(view, Embedding::singleton(u), |units| !meter.tick(units));
-            stats.expansion_errors += run.expansion_errors;
-            let refined = refine(gd_plus, run.embedding, &self.config);
-            let objective = refined.affinity(gd_plus);
-            if objective > best_objective {
-                best_objective = objective;
-                best = refined;
-            }
-        }
-
-        (
-            DcsgaSolution {
-                embedding: best,
-                affinity_difference: best_objective,
-                stats,
-            },
-            meter.finish(),
-        )
+            .zip(kernel.best_values.iter().copied()),
+    );
+    DcsgaSolution {
+        embedding,
+        affinity_difference: best_objective,
+        stats,
     }
 }
 
@@ -227,14 +303,30 @@ pub fn smart_initialization_order(gd_plus: &SignedGraph) -> Vec<(VertexId, Weigh
     order
 }
 
-/// [`smart_initialization_order`] over a masked [`GraphView`], writing into reused
+/// [`smart_initialization_order`] over a [`GraphView`], writing into reused
 /// buffers: `order` receives the `(vertex, µ_u)` pairs (descending `µ_u`, alive
-/// non-isolated vertices only), `max_incident` is per-vertex scratch.  Neither buffer
-/// re-allocates in steady state.
+/// non-isolated vertices only), `max_incident` is per-vertex scratch.  The core
+/// decomposition is still allocated per call; the solvers use
+/// [`smart_initialization_order_in`] with workspace-owned [`CoreScratch`].
 pub fn smart_initialization_order_view_into(
     view: GraphView<'_>,
     order: &mut Vec<(VertexId, Weight)>,
     max_incident: &mut Vec<Weight>,
+) {
+    let mut cores = CoreScratch::default();
+    smart_initialization_order_in(view, order, max_incident, &mut cores);
+}
+
+/// [`smart_initialization_order_view_into`] with caller-owned core-decomposition
+/// scratch: nothing allocates in steady state.  The view is usually the
+/// positive-filtered overlay of `G_D`; on an unfiltered view the bound's `w_u`
+/// input would see negative weights, which Theorem 6 does not cover, so callers
+/// must pass a positive (or positively-weighted) view.
+pub fn smart_initialization_order_in(
+    view: GraphView<'_>,
+    order: &mut Vec<(VertexId, Weight)>,
+    max_incident: &mut Vec<Weight>,
+    cores: &mut CoreScratch,
 ) {
     let n = view.num_vertices();
     // Maximum incident surviving edge weight per vertex.
@@ -251,7 +343,7 @@ pub fn smart_initialization_order_view_into(
     }
     // w_u = max over the ego net T_u of the maximum incident weight — an upper bound on
     // the heaviest edge with at least one endpoint in T_u.
-    let cores = core_decomposition_view(view);
+    core_numbers_view_into(view, cores);
     order.clear();
     for u in view.vertices() {
         if view.degree(u) == 0 {
@@ -265,13 +357,15 @@ pub fn smart_initialization_order_view_into(
         let mu = tau * w_u / (tau + 1.0);
         order.push((u, mu));
     }
-    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    // Unstable sort: deterministic for a fixed input and allocation-free, unlike the
+    // stable sort (which buffers half the slice per call).
+    order.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dcsga::SeaCd;
+    use crate::dcsga::{refine, SeaCd};
     use dcs_graph::GraphBuilder;
 
     /// A heavy 4-clique (weight 3), a lighter 5-clique (weight 1) and some noise edges.
@@ -393,5 +487,32 @@ mod tests {
         let sol = NewSea::default().solve(&gd);
         assert!((sol.affinity_difference - 0.75).abs() < 1e-4);
         assert_eq!(sol.support().len(), 4);
+    }
+
+    #[test]
+    fn reference_solve_matches_canonical_exactly() {
+        let gd = two_cliques();
+        for seed in [&[][..], &[0, 1, 2, 3][..], &[5, 6][..]] {
+            let dense = NewSea::default().solve_seeded(&gd, seed);
+            let reference = NewSea::default().solve_seeded_reference(&gd, seed);
+            assert_eq!(dense.support(), reference.support());
+            assert_eq!(
+                dense.affinity_difference.to_bits(),
+                reference.affinity_difference.to_bits()
+            );
+            assert_eq!(dense.stats, reference.stats);
+        }
+    }
+
+    #[test]
+    fn view_solve_equals_materialized_positive_part() {
+        let gd = two_cliques();
+        let via_view = NewSea::default().solve(&gd);
+        let via_materialized = NewSea::default().solve_on_positive_part(&gd.positive_part());
+        assert_eq!(via_view.support(), via_materialized.support());
+        assert_eq!(
+            via_view.affinity_difference.to_bits(),
+            via_materialized.affinity_difference.to_bits()
+        );
     }
 }

@@ -18,13 +18,14 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dcs_densest::Embedding;
-use dcs_graph::{SignedGraph, Weight};
+use dcs_graph::{GraphView, SignedGraph, Weight};
 use parking_lot::Mutex;
 
 use super::newsea::{smart_initialization_order, SmartInitStats};
-use super::refine::refine;
+use super::refine::{refine, refine_with_workspace};
 use super::seacd::{SeaCd, SeaCdSweep};
 use super::{DcsgaConfig, DcsgaSolution};
+use crate::workspace::SolverWorkspace;
 
 /// Shared best-so-far state of a parallel sweep.
 struct SharedBest {
@@ -91,14 +92,18 @@ pub fn parallel_sweep(
         for _ in 0..threads {
             scope.spawn(|_| {
                 let solver = SeaCd::new(config);
+                // One dense workspace per worker, reused across its initialisations.
+                let mut ws = SolverWorkspace::new();
+                let view = GraphView::full(gd_plus);
                 loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&u) = candidates.get(index) else {
                         break;
                     };
-                    let run = solver.run_from_vertex(gd_plus, u);
+                    let run =
+                        solver.run_on_view_in(view, Embedding::singleton(u), &mut ws, |_| false);
                     errors.fetch_add(run.expansion_errors, Ordering::Relaxed);
-                    let refined = refine(gd_plus, run.embedding, &config);
+                    let refined = refine_with_workspace(gd_plus, run.embedding, &config, &mut ws);
                     let objective = refined.affinity(gd_plus);
                     shared.offer(objective, &refined);
                     if collect_all {
@@ -159,6 +164,9 @@ pub fn parallel_newsea(gd: &SignedGraph, config: DcsgaConfig, threads: usize) ->
         for _ in 0..threads {
             scope.spawn(|_| {
                 let solver = SeaCd::new(config);
+                // One dense workspace per worker, reused across its initialisations.
+                let mut ws = SolverWorkspace::new();
+                let view = GraphView::full(&gd_plus);
                 loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(u, mu)) = order.get(index) else {
@@ -170,9 +178,10 @@ pub fn parallel_newsea(gd: &SignedGraph, config: DcsgaConfig, threads: usize) ->
                         break;
                     }
                     run_count.fetch_add(1, Ordering::Relaxed);
-                    let run = solver.run_from_vertex(&gd_plus, u);
+                    let run =
+                        solver.run_on_view_in(view, Embedding::singleton(u), &mut ws, |_| false);
                     errors.fetch_add(run.expansion_errors, Ordering::Relaxed);
-                    let refined = refine(&gd_plus, run.embedding, &config);
+                    let refined = refine_with_workspace(&gd_plus, run.embedding, &config, &mut ws);
                     shared.offer(refined.affinity(&gd_plus), &refined);
                 }
             });

@@ -12,74 +12,158 @@
 //!
 //! The support shrinks by at least one vertex per round, so the loop terminates with a
 //! positive-clique solution whose objective is at least the input's.
+//!
+//! Like the shrink and expansion stages, the refinement loop ([`refine_in`]) runs in
+//! an [`EmbeddingArena`](super::arena::EmbeddingArena) over a [`GraphView`]: no
+//! embedding clones for the two mass-transfer candidates, no materialised `G_{D+}`.
 
 use dcs_densest::Embedding;
-use dcs_graph::{SignedGraph, VertexId};
+use dcs_graph::{GraphView, SignedGraph, VertexId};
 
-use super::coord_descent::descend_to_local_kkt;
+use super::arena::{renormalize_in, DenseArena, EmbeddingArena, KernelScratch};
+use super::coord_descent::descend_in;
 use super::DcsgaConfig;
 
-/// Refines `x` into a positive-clique solution of `g` with objective ≥ `f(x)`.
-///
-/// `g` is typically `G_{D+}` (then "positive clique" simply means clique), but the
-/// routine also accepts the signed `G_D` and treats non-positive edges like missing ones,
-/// exactly as in the constructive proof of Theorem 5.
-pub fn refine(g: &SignedGraph, x: Embedding, config: &DcsgaConfig) -> Embedding {
-    let mut y = x;
+/// The arena-resident Algorithm 4: refines the arena's embedding into a
+/// positive-clique solution of the view with objective ≥ the input's.
+pub(super) fn refine_in<A: EmbeddingArena>(
+    view: GraphView<'_>,
+    config: &DcsgaConfig,
+    arena: &mut A,
+    scratch: &mut KernelScratch,
+) {
     loop {
-        let support = y.support();
-        if support.len() <= 1 {
-            return y;
+        arena.support_into(&mut scratch.support);
+        if scratch.support.len() <= 1 {
+            return;
         }
-        let Some((u, v)) = find_non_clique_pair(g, &support) else {
-            return y; // already a positive clique
+        let Some((u, v)) = find_non_clique_pair(view, &scratch.support) else {
+            return; // already a positive clique
         };
 
-        // Transfer the pair's mass to the better endpoint.
-        let yu = y.get(u);
-        let yv = y.get(v);
-        let c = yu + yv;
-        let keep_u = {
-            let mut a = y.clone();
-            a.set(u, c);
-            a.set(v, 0.0);
-            a
-        };
-        let keep_v = {
-            let mut b = y.clone();
-            b.set(u, 0.0);
-            b.set(v, c);
-            b
-        };
-        y = if keep_u.affinity(g) >= keep_v.affinity(g) {
-            keep_u
+        // Transfer the pair's mass to the better endpoint: evaluate both options
+        // without cloning the embedding.
+        let c = arena.x(u) + arena.x(v);
+        let keep_u = affinity_overridden(view, arena, &scratch.support, u, c, v);
+        let keep_v = affinity_overridden(view, arena, &scratch.support, v, c, u);
+        if keep_u >= keep_v {
+            arena.set_x(u, c);
+            arena.set_x(v, 0.0);
         } else {
-            keep_v
-        };
+            arena.set_x(v, c);
+            arena.set_x(u, 0.0);
+        }
 
         // Re-descend to a local KKT point on the reduced support.
-        let support = y.support();
-        if support.is_empty() {
-            return y;
+        arena.support_into(&mut scratch.support);
+        if scratch.support.is_empty() {
+            return;
         }
-        let eps = config.kkt_eps_factor / support.len() as f64;
-        let out = descend_to_local_kkt(g, &y, &support, eps, config.max_cd_iterations);
-        y = out.embedding;
+        let eps = config.kkt_eps_factor / scratch.support.len() as f64;
+        descend_in(view, arena, &scratch.support, eps, config.max_cd_iterations);
+        renormalize_in(arena, &mut scratch.support);
     }
 }
 
-/// Finds a pair of supported vertices whose edge is missing or has non-positive weight,
-/// or `None` if the support induces a positive clique.
-fn find_non_clique_pair(g: &SignedGraph, support: &[VertexId]) -> Option<(VertexId, VertexId)> {
+/// `f(x')` where `x'` equals the arena's embedding with `x'_boosted = c` and
+/// `skipped` removed — the objective of one mass-transfer candidate, computed in
+/// ascending support order without materialising `x'`.
+fn affinity_overridden<A: EmbeddingArena>(
+    view: GraphView<'_>,
+    arena: &A,
+    support: &[VertexId],
+    boosted: VertexId,
+    c: f64,
+    skipped: VertexId,
+) -> f64 {
+    let value = |k: VertexId| {
+        if k == boosted {
+            c
+        } else if k == skipped {
+            0.0
+        } else {
+            arena.x(k)
+        }
+    };
+    let mut total = 0.0;
+    for &k in support {
+        if k == skipped {
+            continue;
+        }
+        let xk = value(k);
+        if xk == 0.0 {
+            continue;
+        }
+        let mut row = 0.0;
+        for e in view.neighbors(k) {
+            let xnb = value(e.neighbor);
+            if xnb > 0.0 {
+                row += e.weight * xnb;
+            }
+        }
+        total += xk * row;
+    }
+    total
+}
+
+/// Finds a pair of supported vertices whose view edge is missing or has non-positive
+/// weight, or `None` if the support induces a positive clique.
+fn find_non_clique_pair(view: GraphView<'_>, support: &[VertexId]) -> Option<(VertexId, VertexId)> {
     for (idx, &u) in support.iter().enumerate() {
         for &v in &support[idx + 1..] {
-            match g.edge_weight(u, v) {
+            match view.edge_weight(u, v) {
                 Some(w) if w > 0.0 => {}
                 _ => return Some((u, v)),
             }
         }
     }
     None
+}
+
+/// Refines `x` into a positive-clique solution of `g` with objective ≥ `f(x)`.
+///
+/// `g` is typically `G_{D+}` (then "positive clique" simply means clique), but the
+/// routine also accepts the signed `G_D` and treats non-positive edges like missing ones,
+/// exactly as in the constructive proof of Theorem 5.  This standalone entry builds a
+/// transient arena per call; batch loops should go through [`refine_with_workspace`].
+pub fn refine(g: &SignedGraph, x: Embedding, config: &DcsgaConfig) -> Embedding {
+    let mut arena = DenseArena::default();
+    let mut scratch = KernelScratch::default();
+    refine_loaded(GraphView::full(g), x, config, &mut arena, &mut scratch)
+}
+
+/// [`refine`] against a caller-owned [`crate::workspace::SolverWorkspace`]: repeated
+/// refinements (the parallel sweep workers, the census harness) reuse the dense
+/// arena instead of allocating one per call.
+pub fn refine_with_workspace(
+    g: &SignedGraph,
+    x: Embedding,
+    config: &DcsgaConfig,
+    ws: &mut crate::workspace::SolverWorkspace,
+) -> Embedding {
+    let dcsga = &mut ws.dcsga;
+    refine_loaded(
+        GraphView::full(g),
+        x,
+        config,
+        &mut dcsga.arena,
+        &mut dcsga.kernel,
+    )
+}
+
+fn refine_loaded<A: EmbeddingArena>(
+    view: GraphView<'_>,
+    x: Embedding,
+    config: &DcsgaConfig,
+    arena: &mut A,
+    scratch: &mut KernelScratch,
+) -> Embedding {
+    arena.begin(view.num_vertices());
+    for (v, value) in x.iter() {
+        arena.set_x(v, value);
+    }
+    refine_in(view, config, arena, scratch);
+    super::seacd::export_embedding(arena, scratch)
 }
 
 #[cfg(test)]
@@ -164,5 +248,24 @@ mod tests {
         assert_eq!(y.support(), vec![0, 1]);
         assert!(y.affinity(&g) >= before - 1e-9);
         assert!((y.affinity(&g) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn positive_view_refine_matches_materialized() {
+        // Refining over a positive-filtered view of the signed graph equals refining
+        // over the materialised positive part.
+        let g = GraphBuilder::from_edges(4, vec![(0, 1, 2.0), (1, 2, 2.0), (0, 2, -1.0)]);
+        let x = Embedding::uniform(&[0, 1, 2]);
+        let mut arena = DenseArena::default();
+        let mut scratch = KernelScratch::default();
+        let via_view = refine_loaded(
+            GraphView::full(&g).positive_part(),
+            x.clone(),
+            &config(),
+            &mut arena,
+            &mut scratch,
+        );
+        let via_materialized = refine(&g.positive_part(), x, &config());
+        assert_eq!(via_view.support(), via_materialized.support());
     }
 }

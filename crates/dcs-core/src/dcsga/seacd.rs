@@ -12,15 +12,23 @@
 //! tolerance), the expansion step is guaranteed not to decrease the objective — unlike
 //! the original SEA with its loose objective-improvement stopping rule.  Expansion errors
 //! are still counted defensively and reported.
+//!
+//! The whole run lives in an [`EmbeddingArena`](super::arena::EmbeddingArena): the
+//! iterate, the shrink's linear form, the expansion direction `γ` and the candidate
+//! dedup marks are all arena state, and every edge read goes through a
+//! [`GraphView`] — including **positive-filtered** views, so mining `G_{D+}` no
+//! longer requires materialising it.  The sparse [`Embedding`] appears only at the
+//! public entry points.
 
-use dcs_densest::expansion::{expansion_candidates_view, expansion_step};
 use dcs_densest::Embedding;
 use dcs_graph::{GraphView, SignedGraph, VertexId, Weight};
 
-use super::coord_descent::descend_to_local_kkt;
-use super::refine::refine;
+use super::arena::{affinity_in, renormalize_in, weighted_sum_in, EmbeddingArena, KernelScratch};
+use super::coord_descent::descend_in;
+use super::refine::refine_in;
 use super::{DcsgaConfig, DcsgaSolution, SmartInitStats};
 use crate::engine::{SolveContext, SolveStats};
+use crate::workspace::SolverWorkspace;
 
 /// Result of one SEACD run (a single initialisation).
 #[derive(Debug, Clone)]
@@ -51,6 +59,173 @@ pub struct SeaCdSweep {
     pub expansion_errors: usize,
     /// Every per-initialisation solution, kept only when requested (clique census).
     pub all_solutions: Vec<Embedding>,
+}
+
+/// The in-arena counterpart of [`SeaCdRun`]: the final iterate stays in the arena.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct RunOutcome {
+    /// Final objective `f_D(x)`.
+    pub objective: f64,
+    /// Number of shrink+expansion rounds.
+    pub rounds: usize,
+    /// Total 2-coordinate-descent iterations.
+    pub cd_iterations: usize,
+    /// Expansion steps that decreased the objective.
+    pub expansion_errors: usize,
+}
+
+/// Gathers the expansion candidate set `Z = {i | ∇_i f(x) > λ + tol}` into
+/// `scratch.z` (sorted ascending), looking only at view-surviving neighbours of the
+/// support in `scratch.support`.
+fn expansion_candidates_arena<A: EmbeddingArena>(
+    view: GraphView<'_>,
+    arena: &mut A,
+    scratch: &mut KernelScratch,
+    tol: f64,
+) {
+    let lambda = 2.0 * affinity_in(view, arena, &scratch.support);
+    arena.marks_begin();
+    scratch.z.clear();
+    for i in 0..scratch.support.len() {
+        let u = scratch.support[i];
+        for e in view.neighbors(u) {
+            let v = e.neighbor;
+            if arena.x(v) > 0.0 || !arena.mark(v) {
+                continue;
+            }
+            if 2.0 * weighted_sum_in(view, arena, v) > lambda + tol {
+                scratch.z.push(v);
+            }
+        }
+    }
+    scratch.z.sort_unstable();
+}
+
+/// One SEA expansion step by the candidate set `scratch.z` (Appendix A of the paper):
+/// moves mass from the support onto `Z` along `b`, with the closed-form optimal step
+/// `τ`.  Returns `(objective_before, objective_after)`; the iterate is updated (and
+/// renormalised) in the arena, `scratch.support` is refreshed.
+fn expansion_step_arena<A: EmbeddingArena>(
+    view: GraphView<'_>,
+    arena: &mut A,
+    scratch: &mut KernelScratch,
+) -> (f64, f64) {
+    let before = affinity_in(view, arena, &scratch.support);
+    // γ_i = (Dx)_i − f(x) for i ∈ Z (candidates are unsupported by construction).
+    arena.gamma_begin();
+    for i in 0..scratch.z.len() {
+        let v = scratch.z[i];
+        let gamma = weighted_sum_in(view, arena, v) - before;
+        arena.set_gamma(v, gamma);
+    }
+    let s: f64 = scratch
+        .z
+        .iter()
+        .map(|&v| arena.gamma(v).unwrap_or(0.0))
+        .sum();
+    if s <= 0.0 {
+        return (before, before);
+    }
+    let zeta: f64 = scratch
+        .z
+        .iter()
+        .map(|&v| {
+            let g = arena.gamma(v).unwrap_or(0.0);
+            g * g
+        })
+        .sum();
+    // ω = Σ_{i,j∈Z} γ_i γ_j D(i,j): iterate the view adjacency of Z members.
+    let mut omega = 0.0;
+    for &i in &scratch.z {
+        let gi = arena.gamma(i).unwrap_or(0.0);
+        for e in view.neighbors(i) {
+            if let Some(gj) = arena.gamma(e.neighbor) {
+                omega += gi * gj * e.weight;
+            }
+        }
+    }
+    let a = before * s * s + 2.0 * s * zeta - omega;
+    let tau = if a <= 0.0 {
+        1.0 / s
+    } else {
+        (1.0 / s).min(zeta / a)
+    };
+
+    // Apply x ← x + τ·b and renormalise.
+    let shrink_factor = 1.0 - tau * s;
+    for i in 0..scratch.support.len() {
+        let v = scratch.support[i];
+        let value = arena.x(v) * shrink_factor;
+        arena.set_x(v, value);
+    }
+    for i in 0..scratch.z.len() {
+        let v = scratch.z[i];
+        let value = tau * arena.gamma(v).unwrap_or(0.0);
+        arena.set_x(v, value);
+    }
+    renormalize_in(arena, &mut scratch.support);
+    let after = affinity_in(view, arena, &scratch.support);
+    (before, after)
+}
+
+/// The arena-resident SEACD run: shrink–expand from the arena's current embedding
+/// until a KKT point (or `stop`) is reached.  The final iterate stays in the arena.
+pub(super) fn run_arena<A: EmbeddingArena, F: FnMut(u64) -> bool>(
+    view: GraphView<'_>,
+    config: &DcsgaConfig,
+    arena: &mut A,
+    scratch: &mut KernelScratch,
+    mut stop: F,
+) -> RunOutcome {
+    let mut rounds = 0usize;
+    let mut cd_iterations = 0usize;
+    let mut expansion_errors = 0usize;
+
+    loop {
+        rounds += 1;
+        // Shrink: 2-coordinate descent to a local KKT point on the current support.
+        arena.support_into(&mut scratch.support);
+        if scratch.support.is_empty() {
+            return RunOutcome {
+                objective: 0.0,
+                rounds,
+                cd_iterations,
+                expansion_errors,
+            };
+        }
+        let eps = config.kkt_eps_factor / scratch.support.len() as f64;
+        let shrink = descend_in(view, arena, &scratch.support, eps, config.max_cd_iterations);
+        cd_iterations += shrink.iterations;
+        // The support may have shrunk (coordinates dropping to 0); renormalise the
+        // survivors exactly like the sparse path's `Embedding::from_weights` did.
+        renormalize_in(arena, &mut scratch.support);
+        let interrupted = stop(shrink.iterations as u64 + 1);
+
+        // Expansion candidates Z = {i | ∇_i > λ}; dead / filtered vertices never
+        // qualify because every gradient is read through the view.
+        expansion_candidates_arena(view, arena, scratch, config.candidate_tolerance);
+        if interrupted || scratch.z.is_empty() || rounds >= config.max_rounds {
+            let objective = affinity_in(view, arena, &scratch.support);
+            return RunOutcome {
+                objective,
+                rounds,
+                cd_iterations,
+                expansion_errors,
+            };
+        }
+        let (before, after) = expansion_step_arena(view, arena, scratch);
+        if after < before - 1e-12 {
+            expansion_errors += 1;
+        }
+        // Drop numerical dust and renormalise, mirroring `Embedding::prune(1e-12)`.
+        for i in 0..scratch.support.len() {
+            let v = scratch.support[i];
+            if arena.x(v) < 1e-12 {
+                arena.set_x(v, 0.0);
+            }
+        }
+        renormalize_in(arena, &mut scratch.support);
+    }
 }
 
 /// The SEACD solver (Algorithm 3).
@@ -90,87 +265,77 @@ impl SeaCd {
         self.run_on_view_until(GraphView::full(g), init, stop)
     }
 
-    /// [`Self::run_from_until`] on a masked [`GraphView`]: the run is confined to the
-    /// alive vertices (shrink support, expansion candidates and objective are all
-    /// those of the alive-induced subgraph) without materialising it.
+    /// [`Self::run_from_until`] on a [`GraphView`]: the run is confined to the
+    /// alive vertices and surviving edges (shrink support, expansion candidates and
+    /// objective are all those of the filtered subgraph) without materialising it.
+    /// Positive-filtered views are fully supported — this is how the canonical
+    /// NewSEA path mines `G_{D+}` straight off the signed `G_D`.
     ///
-    /// The view must not be positive-filtered — the shrink stage reads the underlying
-    /// graph's edges between supported vertices directly, so callers mining `G_{D+}`
-    /// pass a (masked) view over an already-materialised positive part, exactly as
-    /// the NewSEA and top-k drivers do.  The initial embedding's support must be
-    /// alive in the view.
+    /// The initial embedding's support must be alive in the view.  This standalone
+    /// entry builds a transient workspace per call; batch sweeps should reuse one
+    /// through [`Self::run_on_view_in`].
     pub fn run_on_view_until<F: FnMut(u64) -> bool>(
         &self,
         view: GraphView<'_>,
         init: Embedding,
-        mut stop: F,
+        stop: F,
     ) -> SeaCdRun {
-        debug_assert!(
-            !view.is_positive_only(),
-            "SEACD runs on an already-positive working graph"
-        );
+        let mut ws = SolverWorkspace::new();
+        self.run_on_view_in(view, init, &mut ws, stop)
+    }
+
+    /// [`Self::run_on_view_until`] against a caller-owned [`SolverWorkspace`]: the
+    /// run borrows the workspace's dense embedding arena, so repeated runs (the
+    /// parallel sweep workers, the census harness) allocate nothing in steady state.
+    pub fn run_on_view_in<F: FnMut(u64) -> bool>(
+        &self,
+        view: GraphView<'_>,
+        init: Embedding,
+        ws: &mut SolverWorkspace,
+        stop: F,
+    ) -> SeaCdRun {
         debug_assert!(init.iter().all(|(u, _)| view.is_alive(u)));
-        let g = view.graph();
-        let mut x = init;
-        let mut rounds = 0usize;
-        let mut cd_iterations = 0usize;
-        let mut expansion_errors = 0usize;
-
-        loop {
-            rounds += 1;
-            // Shrink: 2-coordinate descent to a local KKT point on the current support.
-            let support = x.support();
-            if support.is_empty() {
-                return SeaCdRun {
-                    embedding: x,
-                    objective: 0.0,
-                    rounds,
-                    cd_iterations,
-                    expansion_errors,
-                };
-            }
-            let eps = self.config.kkt_eps_factor / support.len() as f64;
-            let shrink = descend_to_local_kkt(g, &x, &support, eps, self.config.max_cd_iterations);
-            cd_iterations += shrink.iterations;
-            x = shrink.embedding;
-            let interrupted = stop(shrink.iterations as u64 + 1);
-
-            // Expansion candidates Z = {i | ∇_i > λ}; dead vertices never qualify.
-            let z = expansion_candidates_view(view, &x, self.config.candidate_tolerance);
-            if interrupted || z.is_empty() || rounds >= self.config.max_rounds {
-                let objective = x.affinity(g);
-                return SeaCdRun {
-                    embedding: x,
-                    objective,
-                    rounds,
-                    cd_iterations,
-                    expansion_errors,
-                };
-            }
-            let out = expansion_step(g, &x, &z);
-            if out.is_error() {
-                expansion_errors += 1;
-            }
-            x = out.embedding;
-            x.prune(1e-12);
+        let dcsga = &mut ws.dcsga;
+        dcsga.arena.begin(view.num_vertices());
+        for (v, value) in init.iter() {
+            dcsga.arena.set_x(v, value);
+        }
+        let out = run_arena(
+            view,
+            &self.config,
+            &mut dcsga.arena,
+            &mut dcsga.kernel,
+            stop,
+        );
+        let embedding = export_embedding(&dcsga.arena, &mut dcsga.kernel);
+        SeaCdRun {
+            embedding,
+            objective: out.objective,
+            rounds: out.rounds,
+            cd_iterations: out.cd_iterations,
+            expansion_errors: out.expansion_errors,
         }
     }
 
     /// The `SEACD+Refine` comparator under a [`SolveContext`]: one initialisation per
     /// non-isolated vertex of `G_{D+}` (no smart-initialisation pruning), each refined
     /// by Algorithm 4, returning the best and stopping early when a bound trips.
+    /// `G_{D+}` is a positive-filtered view of `gd` — never materialised.
     pub fn solve_bounded(
         &self,
         gd: &SignedGraph,
         cx: &SolveContext,
     ) -> (DcsgaSolution, SolveStats) {
-        let gd_plus = gd.positive_part();
+        let pview = GraphView::full(gd).positive_part();
         let mut meter = cx.meter();
+        let mut ws = cx.workspace();
+        let dcsga = &mut ws.dcsga;
         let mut stats = SmartInitStats::default();
-        let mut best = Embedding::default();
         let mut best_objective = 0.0;
-        for u in 0..gd_plus.num_vertices() as VertexId {
-            if gd_plus.degree(u) == 0 {
+        dcsga.kernel.best_support.clear();
+        dcsga.kernel.best_values.clear();
+        for u in pview.vertices() {
+            if pview.degree(u) == 0 {
                 continue;
             }
             if meter.stopped() {
@@ -178,20 +343,35 @@ impl SeaCd {
             }
             stats.initializations_run += 1;
             meter.note_candidates(1);
-            let run = self.run_from_until(&gd_plus, Embedding::singleton(u), |units| {
-                !meter.tick(units)
-            });
+            dcsga.arena.begin(pview.num_vertices());
+            dcsga.arena.set_x(u, 1.0);
+            let run = run_arena(
+                pview,
+                &self.config,
+                &mut dcsga.arena,
+                &mut dcsga.kernel,
+                |units| !meter.tick(units),
+            );
             stats.expansion_errors += run.expansion_errors;
-            let refined = refine(&gd_plus, run.embedding, &self.config);
-            let objective = refined.affinity(&gd_plus);
+            refine_in(pview, &self.config, &mut dcsga.arena, &mut dcsga.kernel);
+            dcsga.arena.support_into(&mut dcsga.kernel.support);
+            let objective = affinity_in(pview, &dcsga.arena, &dcsga.kernel.support);
             if objective > best_objective {
                 best_objective = objective;
-                best = refined;
+                snapshot_best(&dcsga.arena, &mut dcsga.kernel);
             }
         }
+        let embedding = Embedding::from_weights(
+            dcsga
+                .kernel
+                .best_support
+                .iter()
+                .copied()
+                .zip(dcsga.kernel.best_values.iter().copied()),
+        );
         (
             DcsgaSolution {
-                embedding: best,
+                embedding,
                 affinity_difference: best_objective,
                 stats,
             },
@@ -223,6 +403,8 @@ impl SeaCd {
     {
         let n = g.num_vertices();
         let limit = limit.unwrap_or(n).min(n);
+        let view = GraphView::full(g);
+        let mut ws = SolverWorkspace::new();
         let mut best = Embedding::default();
         let mut best_objective = 0.0;
         let mut expansion_errors = 0usize;
@@ -233,7 +415,7 @@ impl SeaCd {
                 continue;
             }
             initializations += 1;
-            let run = self.run_from_vertex(g, u);
+            let run = self.run_on_view_in(view, Embedding::singleton(u), &mut ws, |_| false);
             expansion_errors += run.expansion_errors;
             let refined = refine_with(g, run.embedding);
             let objective = refined.affinity(g);
@@ -253,6 +435,27 @@ impl SeaCd {
             all_solutions,
         }
     }
+}
+
+/// Snapshots the arena's current support/values into the scratch's incumbent buffers.
+pub(super) fn snapshot_best<A: EmbeddingArena>(arena: &A, scratch: &mut KernelScratch) {
+    scratch.best_support.clear();
+    scratch.best_values.clear();
+    for i in 0..scratch.support.len() {
+        let v = scratch.support[i];
+        scratch.best_support.push(v);
+        scratch.best_values.push(arena.x(v));
+    }
+}
+
+/// Exports the arena's current embedding as a sparse [`Embedding`] (ascending
+/// insertion order, so both arena backends produce bit-identical results).
+pub(super) fn export_embedding<A: EmbeddingArena>(
+    arena: &A,
+    scratch: &mut KernelScratch,
+) -> Embedding {
+    arena.support_into(&mut scratch.support);
+    Embedding::from_weights(scratch.support.iter().map(|&v| (v, arena.x(v))))
 }
 
 #[cfg(test)]
@@ -338,5 +541,23 @@ mod tests {
         // vertex 4 is isolated and outside the limit anyway; vertices 0..3 minus none.
         assert_eq!(sweep.initializations, 3);
         assert!(sweep.best_objective > 0.0);
+    }
+
+    #[test]
+    fn positive_view_run_matches_materialized_positive_part() {
+        let g =
+            GraphBuilder::from_edges(4, vec![(0, 1, 2.0), (1, 2, 2.0), (0, 2, 2.0), (2, 3, -5.0)]);
+        let on_view = SeaCd::default().run_on_view_until(
+            GraphView::full(&g).positive_part(),
+            Embedding::singleton(2),
+            |_| false,
+        );
+        let on_materialized = SeaCd::default().run_from_vertex(&g.positive_part(), 2);
+        assert_eq!(
+            on_view.embedding.support(),
+            on_materialized.embedding.support()
+        );
+        assert_eq!(on_view.objective, on_materialized.objective);
+        assert_eq!(on_view.rounds, on_materialized.rounds);
     }
 }

@@ -620,18 +620,18 @@ impl MeasureSolver {
         }
     }
 
-    /// The working graph a peeling driver should expose through per-round views:
-    /// affinity mining works on the positive part (Theorem 5, materialised **once**
-    /// per job), average-degree mining works on `G_D` itself (borrowed — no copy at
-    /// all).
+    /// The working graph a peeling driver should expose through per-round views.
+    ///
+    /// Both measures now borrow `G_D` outright: average-degree mining always worked
+    /// on the signed graph, and affinity mining applies Theorem 5's restriction to
+    /// `G_{D+}` as a positive-filtered view inside [`crate::dcsga::NewSea`] — the
+    /// positive part is never materialised, so affinity jobs never copy the CSR.
+    /// The `Cow` signature is kept for API stability.
     pub fn prepare_working_graph<'a>(
         &self,
         gd: &'a SignedGraph,
     ) -> std::borrow::Cow<'a, SignedGraph> {
-        match self {
-            MeasureSolver::AverageDegree(_) => std::borrow::Cow::Borrowed(gd),
-            MeasureSolver::Affinity(_) => std::borrow::Cow::Owned(gd.positive_part()),
-        }
+        std::borrow::Cow::Borrowed(gd)
     }
 
     /// Solves on a masked view of a working graph produced by
@@ -670,10 +670,9 @@ impl MeasureSolver {
     /// would need a per-removal adjacency walk, exactly the per-round cost the
     /// masked views eliminate.
     pub fn view_exhausted(&self, view: GraphView<'_>) -> bool {
-        match self {
-            MeasureSolver::AverageDegree(_) => !view.has_positive_edge(),
-            MeasureSolver::Affinity(_) => !view.has_edge(),
-        }
+        // Both measures mine positive contrast: the working graph is the signed
+        // `G_D` for either, and an all-non-positive remainder is exhausted.
+        !view.has_positive_edge()
     }
 }
 
@@ -819,15 +818,20 @@ mod tests {
         assert_eq!(affinity.measure(), DensityMeasure::GraphAffinity);
 
         let gd = triangle_and_pair();
+        // Both measures borrow G_D outright: no working-graph copy — the affinity
+        // solver positive-filters through the view itself.
         let working = affinity.prepare_working_graph(&gd);
-        assert_eq!(working.num_negative_edges(), 0);
+        assert!(matches!(working, std::borrow::Cow::Borrowed(_)));
         let view = GraphView::full(&working);
         assert!(!affinity.view_exhausted(view));
         let solution = affinity.solve_view_seeded_in(view, &[], &SolveContext::unbounded());
         assert_eq!(solution.subset, vec![0, 1, 2]);
-        // Average-degree mining borrows G_D itself: no working-graph copy.
         let working = degree.prepare_working_graph(&gd);
         assert!(matches!(working, std::borrow::Cow::Borrowed(_)));
+        // A graph whose only remaining edges are negative is exhausted for both.
+        let spent = GraphBuilder::from_edges(3, vec![(0, 1, -1.0)]);
+        assert!(affinity.view_exhausted(GraphView::full(&spent)));
+        assert!(degree.view_exhausted(GraphView::full(&spent)));
     }
 
     #[test]

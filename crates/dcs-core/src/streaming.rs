@@ -106,9 +106,11 @@ pub struct StreamingDcs {
     /// Support of the last mined alert, used to warm-start the next mine.
     last_support: Option<Vec<VertexId>>,
     /// Reusable solver scratch shared by every re-mine of this monitor, so the
-    /// steady-state cadence path stops allocating peel buffers per mine.  Clones of
-    /// the monitor share the workspace (solves serialise on its lock); contents are
-    /// pure scratch, so sharing never changes results.
+    /// steady-state cadence path stops allocating per mine — peel buffers for the
+    /// average-degree measure, the dense DCSGA embedding arena (and `µ_u`
+    /// order/core scratch) for the affinity measure.  Clones of the monitor share
+    /// the workspace (solves serialise on its lock); contents are pure scratch, so
+    /// sharing never changes results.
     workspace: SharedWorkspace,
 }
 

@@ -16,11 +16,13 @@
 //!
 //! Per-round shrinking is **mask-based**: mined vertices are cleared from a
 //! [`VertexMask`] and the next round solves on a [`GraphView`] overlay — the CSR
-//! arrays of the working graph are built once per job (for average degree they are
-//! simply borrowed from the caller's `G_D`) and never rewritten, where the previous
-//! driver ran an `O(n + m)` [`SignedGraph::remove_vertices_in_place`] compaction per
-//! round.  All rounds share one [`crate::workspace::SolverWorkspace`], so steady-state
-//! rounds allocate almost nothing.
+//! arrays of the caller's `G_D` are borrowed for **both measures** (the affinity
+//! solver applies Theorem 5's `G_{D+}` restriction as a positive filter on the view,
+//! so the positive part is never materialised) and never rewritten, where the
+//! previous driver ran an `O(n + m)` [`SignedGraph::remove_vertices_in_place`]
+//! compaction per round.  All rounds share one
+//! [`crate::workspace::SolverWorkspace`] — including the dense DCSGA embedding
+//! arena — so steady-state rounds allocate almost nothing.
 
 use dcs_graph::{GraphView, SignedGraph, VertexMask};
 
@@ -126,8 +128,9 @@ pub fn top_k_average_degree(gd: &SignedGraph, k: usize) -> Vec<DcsadSolution> {
 /// [`crate::dcsga::NewSea`] on the difference graph with previously reported supports
 /// removed.
 ///
-/// Thin [`SolveContext::unbounded`] wrapper over [`top_k_in`]; the positive part is
-/// materialised once and then shrunk round-by-round through masked views.
+/// Thin [`SolveContext::unbounded`] wrapper over [`top_k_in`]; rounds shrink `G_D`
+/// through masked views and the solver positive-filters them in place — the
+/// positive part is never materialised.
 pub fn top_k_affinity(gd: &SignedGraph, k: usize, config: DcsgaConfig) -> Vec<DcsgaSolution> {
     top_k_in(
         gd,

@@ -2,7 +2,8 @@
 //!
 //! Every solve used to allocate its working buffers from scratch: degree arrays and
 //! a fresh lazy heap per greedy peel, a whole flow network per Goldberg binary-search
-//! round, smart-initialisation order vectors per NewSEA sweep.  For a one-off batch
+//! round, smart-initialisation order vectors per NewSEA sweep, and `FxHashMap`-backed
+//! embeddings per SEACD shrink, expansion and refinement stage.  For a one-off batch
 //! mine that is noise; for the steady-state paths — the streaming monitor's cadence
 //! re-mines, the top-k driver's per-round solves, the α-sweep's grid points, the
 //! mining server's back-to-back jobs — it is the dominant allocation source.
@@ -23,6 +24,8 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use dcs_densest::{FlowNetwork, PeelWorkspace};
 use dcs_graph::{VertexId, VertexSubset, Weight};
+
+use crate::dcsga::DcsgaScratch;
 
 /// The reusable scratch state of one solver thread.
 ///
@@ -45,6 +48,9 @@ pub struct SolverWorkspace {
     pub visited: VertexSubset,
     /// Traversal stack of the connectivity checks.
     pub stack: Vec<VertexId>,
+    /// Dense DCSGA scratch: the embedding arena of the SEACD / refinement / NewSEA
+    /// kernels, their list buffers, and the core-number scratch of the `µ_u` bound.
+    pub dcsga: DcsgaScratch,
 }
 
 impl Default for SolverWorkspace {
@@ -57,6 +63,7 @@ impl Default for SolverWorkspace {
             marks: VertexSubset::new(0),
             visited: VertexSubset::new(0),
             stack: Vec::new(),
+            dcsga: DcsgaScratch::default(),
         }
     }
 }

@@ -137,7 +137,7 @@ pub fn expansion_candidates(g: &SignedGraph, x: &Embedding, tol: f64) -> Vec<Ver
 /// one the materialised view would produce.  The embedding's support must be alive in
 /// the view (the solvers only ever seed alive vertices).
 pub fn expansion_candidates_view(view: GraphView<'_>, x: &Embedding, tol: f64) -> Vec<VertexId> {
-    let lambda = 2.0 * view_affinity(view, x);
+    let lambda = 2.0 * x.affinity_view(view);
     let mut seen: FxHashMap<VertexId, ()> = FxHashMap::default();
     let mut z = Vec::new();
     for (u, _) in x.iter() {
@@ -147,36 +147,13 @@ pub fn expansion_candidates_view(view: GraphView<'_>, x: &Embedding, tol: f64) -
                 continue;
             }
             seen.insert(v, ());
-            if 2.0 * view_weighted_sum(view, x, v) > lambda + tol {
+            if 2.0 * x.weighted_sum_at_view(view, v) > lambda + tol {
                 z.push(v);
             }
         }
     }
     z.sort_unstable();
     z
-}
-
-/// `(Ax)_u` over the view's surviving edges (identical to
-/// [`Embedding::weighted_sum_at`] on a full view, term for term).
-fn view_weighted_sum(view: GraphView<'_>, x: &Embedding, u: VertexId) -> f64 {
-    view.neighbors(u)
-        .filter_map(|e| {
-            let xv = x.get(e.neighbor);
-            if xv > 0.0 {
-                Some(e.weight * xv)
-            } else {
-                None
-            }
-        })
-        .sum()
-}
-
-/// `f(x) = xᵀAx` over the view's surviving edges (identical to
-/// [`Embedding::affinity`] on a full view).
-fn view_affinity(view: GraphView<'_>, x: &Embedding) -> f64 {
-    x.iter()
-        .map(|(u, xu)| xu * view_weighted_sum(view, x, u))
-        .sum()
 }
 
 #[cfg(test)]

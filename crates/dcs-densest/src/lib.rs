@@ -51,4 +51,4 @@ pub use peel::PeelWorkspace;
 pub use quasi_clique::{greedy_quasi_clique, local_search_quasi_clique, QuasiCliqueResult};
 pub use replicator::{replicator_dynamics, ReplicatorStop};
 pub use sea::{OriginalSea, SeaConfig, SeaResult};
-pub use simplex::Embedding;
+pub use simplex::{DenseEmbedding, Embedding};

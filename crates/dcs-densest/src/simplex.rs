@@ -12,7 +12,7 @@
 
 use rustc_hash::FxHashMap;
 
-use dcs_graph::{SignedGraph, VertexId, Weight};
+use dcs_graph::{GraphView, SignedGraph, VertexId, Weight};
 
 /// A sparse embedding on the standard simplex `Δn`.
 ///
@@ -132,6 +132,27 @@ impl Embedding {
         s
     }
 
+    /// [`Self::affinity`] over a [`GraphView`]'s surviving edges: term for term the
+    /// affinity on the view's materialisation.  Shared by the expansion candidates
+    /// of the SEA solvers and the view-based KKT oracle.
+    pub fn affinity_view(&self, view: GraphView<'_>) -> Weight {
+        self.values
+            .iter()
+            .map(|(&u, &xu)| xu * self.weighted_sum_at_view(view, u))
+            .sum()
+    }
+
+    /// [`Self::weighted_sum_at`] over a [`GraphView`]'s surviving edges.
+    pub fn weighted_sum_at_view(&self, view: GraphView<'_>, u: VertexId) -> Weight {
+        let mut s = 0.0;
+        for e in view.neighbors(u) {
+            if let Some(&xv) = self.values.get(&e.neighbor) {
+                s += e.weight * xv;
+            }
+        }
+        s
+    }
+
     /// Sets `x_u` to `value` (removing the entry when `value <= 0`) **without**
     /// renormalising.  Callers are responsible for keeping the simplex invariant; the
     /// iterative algorithms move mass between coordinates so the sum is conserved.
@@ -169,6 +190,77 @@ impl Embedding {
     /// Edge density `W(S_x)/|S_x|²` of the support set in `graph`.
     pub fn support_edge_density(&self, graph: &SignedGraph) -> Weight {
         graph.edge_density(&self.support())
+    }
+}
+
+/// A **dense, indexed** simplex embedding used as reusable solver scratch.
+///
+/// Where [`Embedding`] stores only the non-zero entries in an `FxHashMap` (the right
+/// shape for *results*, whose supports are small), the iterative DCSGA kernels touch
+/// their working embedding on every coordinate-descent step — and a fresh hash map
+/// per solve is exactly the allocation the steady-state serving paths want to avoid.
+/// A `DenseEmbedding` keeps one `f64` slot per vertex of the universe plus a
+/// *touched list* of slots that may be non-zero, so
+///
+/// * reads and writes are direct array indexing,
+/// * [`DenseEmbedding::begin`] resets in `O(|touched|)` (not `O(n)`), and
+/// * re-solving on a same-sized universe allocates nothing.
+///
+/// Invariant: every slot outside `touched` holds `0.0`.  The touched list may
+/// contain duplicates and zero-valued slots (a coordinate that gained and then lost
+/// its mass); [`DenseEmbedding::support_into`] filters and sorts.  Solver
+/// boundaries convert to and from the sparse [`Embedding`] by iterating one
+/// representation and writing the other ([`DenseEmbedding::set`] /
+/// [`Embedding::from_weights`] over the sorted support).
+#[derive(Debug, Clone, Default)]
+pub struct DenseEmbedding {
+    values: Vec<f64>,
+    touched: Vec<VertexId>,
+}
+
+impl DenseEmbedding {
+    /// Resets to the empty embedding over an `n`-vertex universe, reusing storage.
+    pub fn begin(&mut self, n: usize) {
+        for &v in &self.touched {
+            self.values[v as usize] = 0.0;
+        }
+        self.touched.clear();
+        if self.values.len() < n {
+            self.values.resize(n, 0.0);
+        }
+    }
+
+    /// The value `x_u` (0 outside the support).
+    #[inline]
+    pub fn get(&self, u: VertexId) -> f64 {
+        self.values[u as usize]
+    }
+
+    /// Sets `x_u` (non-positive values clear the slot), mirroring [`Embedding::set`].
+    #[inline]
+    pub fn set(&mut self, u: VertexId, value: f64) {
+        let slot = &mut self.values[u as usize];
+        if value > 0.0 {
+            if *slot == 0.0 {
+                self.touched.push(u);
+            }
+            *slot = value;
+        } else {
+            *slot = 0.0;
+        }
+    }
+
+    /// Writes the support set `{u | x_u > 0}` into `out`, sorted ascending.
+    pub fn support_into(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend(
+            self.touched
+                .iter()
+                .copied()
+                .filter(|&v| self.values[v as usize] > 0.0),
+        );
+        out.sort_unstable();
+        out.dedup();
     }
 }
 
@@ -263,6 +355,33 @@ mod tests {
         let x = Embedding::uniform(&[0, 1, 2]);
         assert!((x.support_average_degree(&g) - 2.0).abs() < 1e-12);
         assert!((x.support_edge_density(&g) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_embedding_set_support_and_reset() {
+        let mut dense = DenseEmbedding::default();
+        dense.begin(5);
+        dense.set(3, 2.0);
+        dense.set(1, 2.0);
+        dense.set(1, 0.0); // dropped again
+        dense.set(4, 6.0);
+        let mut support = Vec::new();
+        dense.support_into(&mut support);
+        assert_eq!(support, vec![3, 4]);
+        assert_eq!(dense.get(1), 0.0);
+        // begin() clears every previously touched slot.
+        dense.begin(5);
+        dense.set(0, 0.5);
+        dense.set(2, 0.5);
+        dense.support_into(&mut support);
+        assert_eq!(support, vec![0, 2]);
+        assert_eq!(dense.get(3), 0.0);
+        assert_eq!(dense.get(4), 0.0);
+        // A re-gained slot does not duplicate in the support.
+        dense.set(0, 0.0);
+        dense.set(0, 0.5);
+        dense.support_into(&mut support);
+        assert_eq!(support, vec![0, 2]);
     }
 
     #[test]

@@ -127,78 +127,106 @@ pub fn degeneracy(g: &SignedGraph) -> u32 {
 /// [`GraphView::materialize`]'s output.  On a full view this is identical to
 /// [`core_decomposition`].
 pub fn core_decomposition_view(view: GraphView<'_>) -> CoreDecomposition {
-    let n = view.num_vertices();
-    let alive: Vec<VertexId> = view.vertices().collect();
-    let mut core = vec![0u32; n];
-    if alive.is_empty() {
-        return CoreDecomposition {
-            core,
-            degeneracy: 0,
-            peel_order: Vec::new(),
-        };
+    let mut scratch = CoreScratch::default();
+    core_numbers_view_into(view, &mut scratch);
+    let degeneracy = scratch.core.iter().copied().max().unwrap_or(0);
+    CoreDecomposition {
+        core: scratch.core,
+        degeneracy,
+        peel_order: scratch.peel_order,
     }
-    let mut degree = vec![0usize; n];
+}
+
+/// Reusable buffers of [`core_numbers_view_into`].
+///
+/// The output lands in [`CoreScratch::core`] / [`CoreScratch::peel_order`]; every
+/// other field is internal bucket-sort scratch.  Re-running on graphs of the same
+/// vertex count allocates nothing — this is the per-solve core-number seeding of
+/// NewSEA's smart-initialisation bound, kept inside the solver workspace.
+#[derive(Debug, Clone, Default)]
+pub struct CoreScratch {
+    /// `core[v]` after a run: the core number of `v` (0 for dead vertices).
+    pub core: Vec<u32>,
+    /// The peel order of the last run (alive vertices, non-decreasing core number).
+    pub peel_order: Vec<VertexId>,
+    degree: Vec<usize>,
+    bin: Vec<usize>,
+    cursor: Vec<usize>,
+    vert: Vec<VertexId>,
+    pos: Vec<usize>,
+    alive: Vec<VertexId>,
+}
+
+/// [`core_decomposition_view`] into reusable buffers: computes the core numbers and
+/// peel order of the view's alive-induced (and sign-filtered) skeleton without
+/// allocating in steady state.  Results are identical to the allocating routine.
+pub fn core_numbers_view_into(view: GraphView<'_>, s: &mut CoreScratch) {
+    let n = view.num_vertices();
+    s.core.clear();
+    s.core.resize(n, 0);
+    s.peel_order.clear();
+    s.alive.clear();
+    s.alive.extend(view.vertices());
+    if s.alive.is_empty() {
+        return;
+    }
+    s.degree.clear();
+    s.degree.resize(n, 0);
     let mut max_degree = 0usize;
-    for &v in &alive {
+    for &v in &s.alive {
         let d = view.degree(v);
-        degree[v as usize] = d;
+        s.degree[v as usize] = d;
         max_degree = max_degree.max(d);
     }
 
     // Bucket sort the alive vertices by degree (same algorithm as the full-graph
     // routine; dead vertices never enter the buckets and are filtered out of every
     // adjacency walk by the view itself).
-    let m = alive.len();
-    let mut bin = vec![0usize; max_degree + 2];
-    for &v in &alive {
-        bin[degree[v as usize]] += 1;
+    let m = s.alive.len();
+    s.bin.clear();
+    s.bin.resize(max_degree + 2, 0);
+    for &v in &s.alive {
+        s.bin[s.degree[v as usize]] += 1;
     }
     let mut start = 0usize;
-    for b in bin.iter_mut() {
+    for b in s.bin.iter_mut() {
         let count = *b;
         *b = start;
         start += count;
     }
-    let mut vert = vec![0 as VertexId; m];
-    let mut pos = vec![0usize; n];
-    {
-        let mut cursor = bin.clone();
-        for &v in &alive {
-            let d = degree[v as usize];
-            pos[v as usize] = cursor[d];
-            vert[cursor[d]] = v;
-            cursor[d] += 1;
-        }
+    s.vert.clear();
+    s.vert.resize(m, 0);
+    s.pos.clear();
+    s.pos.resize(n, 0);
+    s.cursor.clear();
+    s.cursor.extend_from_slice(&s.bin);
+    for &v in &s.alive {
+        let d = s.degree[v as usize];
+        s.pos[v as usize] = s.cursor[d];
+        s.vert[s.cursor[d]] = v;
+        s.cursor[d] += 1;
     }
 
-    let mut peel_order = Vec::with_capacity(m);
     for i in 0..m {
-        let v = vert[i];
-        peel_order.push(v);
-        core[v as usize] = degree[v as usize] as u32;
+        let v = s.vert[i];
+        s.peel_order.push(v);
+        s.core[v as usize] = s.degree[v as usize] as u32;
         for e in view.neighbors(v) {
             let u = e.neighbor as usize;
-            if degree[u] > degree[v as usize] {
-                let du = degree[u];
-                let pu = pos[u];
-                let pw = bin[du];
-                let w = vert[pw];
+            if s.degree[u] > s.degree[v as usize] {
+                let du = s.degree[u];
+                let pu = s.pos[u];
+                let pw = s.bin[du];
+                let w = s.vert[pw];
                 if u as VertexId != w {
-                    vert.swap(pu, pw);
-                    pos[u] = pw;
-                    pos[w as usize] = pu;
+                    s.vert.swap(pu, pw);
+                    s.pos[u] = pw;
+                    s.pos[w as usize] = pu;
                 }
-                bin[du] += 1;
-                degree[u] -= 1;
+                s.bin[du] += 1;
+                s.degree[u] -= 1;
             }
         }
-    }
-
-    let degeneracy = core.iter().copied().max().unwrap_or(0);
-    CoreDecomposition {
-        core,
-        degeneracy,
-        peel_order,
     }
 }
 

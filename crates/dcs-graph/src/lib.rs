@@ -67,7 +67,10 @@ pub use builder::{DuplicatePolicy, GraphBuilder};
 pub use components::{
     connected_components, connected_components_of, is_connected_scratch, ComponentLabels,
 };
-pub use cores::{core_decomposition, core_decomposition_view, degeneracy, CoreDecomposition};
+pub use cores::{
+    core_decomposition, core_decomposition_view, core_numbers_view_into, degeneracy,
+    CoreDecomposition, CoreScratch,
+};
 pub use csr::{EdgeRef, NeighborIter, SignedGraph};
 pub use delta::DeltaGraph;
 pub use labels::{LabeledGraphBuilder, VertexLabels};

@@ -16,7 +16,7 @@ use crate::VertexId;
 /// for O(|S|) iteration), a `VertexMask` is pure bits: O(1) membership flips with no
 /// side allocation, an exact popcount-maintained [`Self::len`], and word-at-a-time
 /// iteration.  It is the "which vertices still exist" half of a [`crate::GraphView`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct VertexMask {
     words: Vec<u64>,
     universe: usize,
@@ -58,6 +58,16 @@ impl VertexMask {
         }
         self.universe = n;
         self.len = n;
+    }
+
+    /// Re-initialises the mask to an empty universe of size `n`, reusing the word
+    /// storage — the reset primitive of per-solve scratch sets (expansion candidate
+    /// dedup marks, working-support membership).
+    pub fn reset_empty(&mut self, n: usize) {
+        self.words.clear();
+        self.words.resize(n.div_ceil(64), 0);
+        self.universe = n;
+        self.len = 0;
     }
 
     /// Size of the vertex universe.

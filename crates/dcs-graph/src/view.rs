@@ -139,6 +139,20 @@ impl<'a> GraphView<'a> {
         self.neighbors(v).count()
     }
 
+    /// The weight of the surviving edge `(u, v)`, or `None` when the edge is absent
+    /// from the underlying graph, filtered by the positive-only flag, or incident to
+    /// a dead vertex — exactly [`SignedGraph::edge_weight`] on
+    /// [`Self::materialize`]'s output.
+    pub fn edge_weight(self, u: VertexId, v: VertexId) -> Option<Weight> {
+        if !self.is_alive(u) || !self.is_alive(v) {
+            return None;
+        }
+        match self.graph.edge_weight(u, v) {
+            Some(w) if !self.positive_only || w > 0.0 => Some(w),
+            _ => None,
+        }
+    }
+
     /// Iterates every surviving undirected edge `(u, v, w)` once, with `u < v` and
     /// both endpoints alive.
     pub fn edges(self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + 'a {

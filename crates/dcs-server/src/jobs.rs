@@ -262,8 +262,10 @@ enum Snapshot {
 ///
 /// The argument is the executing **worker thread's** [`SharedWorkspace`]: each worker
 /// owns one workspace for its whole lifetime, so back-to-back jobs on a thread reuse
-/// the same solver scratch buffers (mining tasks thread it into their
-/// [`SolveContext`]; observe tasks ignore it).
+/// the same solver scratch buffers — peel heaps and the flow arena for average-degree
+/// jobs, the dense DCSGA embedding arena for affinity jobs, which also mine the
+/// snapshot's positive part as a filtered view instead of copying the CSR (mining
+/// tasks thread the workspace into their [`SolveContext`]; observe tasks ignore it).
 pub type Task = Box<dyn FnOnce(&SharedWorkspace) -> Result<Value, ServerError> + Send + 'static>;
 
 struct Job {
