@@ -13,6 +13,11 @@
 //! * **cached** — the same call on an unchanged version: returns the previous
 //!   `Arc` pointer-equal, which is what repeated mining jobs at one version pay.
 //!
+//! Two overhead sections follow the snapshot timings: the unified solver
+//! engine's unbounded wrapper vs a direct solver call, and the `dcs-obs` phase
+//! tracer enabled vs instrumented-but-disabled (the production default); in
+//! `--smoke` mode both must stay within 5% (plus sub-millisecond slack).
+//!
 //! Output is a single JSON object, so CI can run it as a smoke step and archive
 //! the numbers.
 //!
@@ -197,6 +202,41 @@ fn main() {
     };
     let engine_stats = engine_stats.expect("at least one engine round");
 
+    // --- Tracing overhead: the solver phase spans (dcs-obs) sit on every hot
+    // path, so the instrumented-but-disabled state is the production default.
+    // Interleave solves with the tracer off and on and compare medians: the
+    // enabled tracer must stay within 5% of the disabled path.
+    dcs_obs::trace::set_enabled(false);
+    dcs_obs::trace::clear();
+    let mut trace_off_ms = Vec::with_capacity(rounds);
+    let mut trace_on_ms = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        dcs_obs::trace::set_enabled(false);
+        let start = Instant::now();
+        let plain = solver.solve(&gd);
+        trace_off_ms.push(start.elapsed().as_secs_f64() * 1e3);
+
+        dcs_obs::trace::set_enabled(true);
+        let start = Instant::now();
+        let traced = solver.solve(&gd);
+        trace_on_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        dcs_obs::trace::set_enabled(false);
+
+        assert_eq!(traced.subset, plain.subset, "tracing changed the result");
+    }
+    let (trace_events, trace_dropped) = dcs_obs::trace::take_timeline_with_drops();
+    assert!(
+        !trace_events.is_empty(),
+        "enabled tracer recorded no solver phase spans"
+    );
+    let trace_off_median = median_ms(&mut trace_off_ms);
+    let trace_on_median = median_ms(&mut trace_on_ms);
+    let trace_overhead = if trace_off_median > 0.0 {
+        trace_on_median / trace_off_median - 1.0
+    } else {
+        0.0
+    };
+
     let delta = mean_ms(&delta_ms);
     let scratch = mean_ms(&scratch_ms);
     let cached = mean_ms(&cached_ms);
@@ -225,6 +265,14 @@ fn main() {
                 "termination": engine_stats.termination.as_str(),
             },
         },
+        "tracing": {
+            "solver": "dcs-greedy",
+            "disabled_ms_median": trace_off_median,
+            "enabled_ms_median": trace_on_median,
+            "overhead_fraction": trace_overhead,
+            "events_recorded": trace_events.len(),
+            "events_dropped": trace_dropped,
+        },
     });
     println!("{}", serde_json::to_string_pretty(&report).unwrap());
 
@@ -242,6 +290,16 @@ fn main() {
             "warning: engine wrapper overhead {:.1}% exceeds the 5% bound \
              (direct {direct_median:.3} ms, engine {engine_median:.3} ms)",
             overhead * 100.0
+        );
+        std::process::exit(1);
+    }
+    // ... and the enabled phase tracer must stay within 5% of the
+    // instrumented-but-disabled production default (same absolute slack).
+    if smoke && trace_overhead > 0.05 && trace_on_median - trace_off_median > 0.2 {
+        eprintln!(
+            "warning: phase-tracer overhead {:.1}% exceeds the 5% bound \
+             (disabled {trace_off_median:.3} ms, enabled {trace_on_median:.3} ms)",
+            trace_overhead * 100.0
         );
         std::process::exit(1);
     }

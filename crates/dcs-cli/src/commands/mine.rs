@@ -10,12 +10,12 @@ use serde_json::json;
 use crate::args::{parse_args, ArgSpec, ParsedArgs};
 use crate::error::CliError;
 use crate::input::{MiningOptions, PairInput};
-use crate::output::{json_to_string, render_report, report_to_json};
+use crate::output::{json_to_string, render_report, report_to_json, TraceGuard};
 
 /// Usage string shown by `dcs help`.
 pub const USAGE: &str = "dcs mine <G1.edges> <G2.edges> [--measure degree|affinity|both] [--numeric] \
 [--scheme weighted|discrete|scaled] [--alpha X] [--direction emerging|disappearing|both] [--clamp X] \
-[--timeout SECS] [--budget N] [--json]";
+[--timeout SECS] [--budget N] [--trace-json FILE] [--json]";
 
 /// Which density measure(s) to mine under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +54,7 @@ fn spec() -> ArgSpec {
             "clamp",
             "timeout",
             "budget",
+            "trace-json",
         ],
         &["numeric", "json"],
     )
@@ -86,6 +87,7 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
         })?,
     };
 
+    let tracing = TraceGuard::new(args.option("trace-json"));
     let mut out = String::new();
     let mut json_results = Vec::new();
     // The deadline is naturally job-wide (absolute instant); splitting the budget
@@ -146,6 +148,7 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
         }
     }
 
+    out.push_str(&tracing.finish()?);
     if args.flag("json") {
         out.push_str(&json_to_string(&json!({ "results": json_results })));
     }
@@ -259,6 +262,31 @@ mod tests {
             run(&strings(&[&p1, &p2, "--budget", "lots"])),
             Err(CliError::InvalidValue { .. })
         ));
+    }
+
+    #[test]
+    fn trace_json_dumps_a_solver_phase_timeline() {
+        let _serial = crate::output::trace_test_lock();
+        let (p1, p2) = write_pair("dcs_cli_mine_trace");
+        let trace_path = std::env::temp_dir()
+            .join("dcs_cli_mine_trace")
+            .join("trace.json");
+        let trace_str = trace_path.to_string_lossy().into_owned();
+        let out = run(&strings(&[&p1, &p2, "--trace-json", &trace_str])).unwrap();
+        assert!(out.contains("trace timeline"));
+
+        let value: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let events = value["events"].as_array().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e["phase"].as_str().unwrap())
+            .collect();
+        // Both solver families ran: greedy peeling and the NewSEA µ_u sweep.
+        assert!(phases.contains(&"peel"), "phases: {phases:?}");
+        assert!(phases.contains(&"mu_sweep"), "phases: {phases:?}");
+        // The guard switched tracing back off after the run.
+        assert!(!dcs_obs::trace::enabled());
     }
 
     #[test]

@@ -12,16 +12,16 @@ use serde_json::json;
 use crate::args::{parse_args, ArgSpec, ParsedArgs};
 use crate::error::CliError;
 use crate::input::{MiningOptions, PairInput};
-use crate::output::{json_to_string, report_to_json};
+use crate::output::{json_to_string, report_to_json, TraceGuard};
 
 /// Usage string shown by `dcs help`.
 pub const USAGE: &str =
     "dcs sweep <G1.edges> <G2.edges> [--alphas a,b,c] [--measure degree|affinity] \
-[--numeric] [--timeout SECS] [--budget N] [--json]";
+[--numeric] [--timeout SECS] [--budget N] [--trace-json FILE] [--json]";
 
 fn spec() -> ArgSpec {
     ArgSpec::new(
-        &["alphas", "measure", "timeout", "budget"],
+        &["alphas", "measure", "timeout", "budget", "trace-json"],
         &["numeric", "json"],
     )
 }
@@ -60,6 +60,7 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
         }
     };
 
+    let tracing = TraceGuard::new(args.option("trace-json"));
     let sweep = alpha_sweep_in(&pair.g2, &pair.g1, &alphas, measure, &cx)?;
 
     let mut out = String::new();
@@ -100,6 +101,7 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
         json_points.push(value);
     }
 
+    out.push_str(&tracing.finish()?);
     if args.flag("json") {
         out.push_str(&json_to_string(&json!({
             "points": json_points,

@@ -12,12 +12,12 @@ use serde_json::json;
 use crate::args::{parse_args, ArgSpec, ParsedArgs};
 use crate::error::CliError;
 use crate::input::{MiningOptions, PairInput};
-use crate::output::{json_to_string, render_report, report_to_json};
+use crate::output::{json_to_string, render_report, report_to_json, TraceGuard};
 
 /// Usage string shown by `dcs help`.
 pub const USAGE: &str = "dcs topk <G1.edges> <G2.edges> [--k N] [--measure degree|affinity] [--numeric] \
 [--scheme weighted|discrete|scaled] [--alpha X] [--direction emerging|disappearing|both] [--clamp X] \
-[--timeout SECS] [--budget N] [--json]";
+[--timeout SECS] [--budget N] [--trace-json FILE] [--json]";
 
 fn spec() -> ArgSpec {
     ArgSpec::new(
@@ -30,6 +30,7 @@ fn spec() -> ArgSpec {
             "clamp",
             "timeout",
             "budget",
+            "trace-json",
         ],
         &["numeric", "json"],
     )
@@ -53,6 +54,7 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
         }
     };
 
+    let tracing = TraceGuard::new(args.option("trace-json"));
     let mut out = String::new();
     let mut json_results = Vec::new();
     let mut job_stats = SolveStats::default();
@@ -97,6 +99,7 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
         }
     }
 
+    out.push_str(&tracing.finish()?);
     if args.flag("json") {
         out.push_str(&json_to_string(&json!({
             "results": json_results,

@@ -42,7 +42,10 @@ pub fn usage() -> String {
          Every command accepts exactly the options shown above.\n\
          Edge lists are `label label [weight]` per line; `--numeric` reads integer vertex ids.\n\
          Mining commands accept `--timeout SECS` and `--budget N`: a tripped bound returns\n\
-         the best result found so far instead of running to convergence.\n\
+         the best result found so far instead of running to convergence, and\n\
+         `--trace-json FILE` dumps a solver phase timeline (peel, flow, CD shrink/expand,\n\
+         µ_u sweep, …) as JSON.  `dcs stats --connect HOST:PORT` reads a running server's\n\
+         observability surface (queue, latency percentiles, cache hit rate).\n\
          The serve/client protocol is documented in the `dcs-server` crate docs.\n",
         commands::stats::USAGE,
         commands::mine::USAGE,

@@ -5,7 +5,60 @@
 //! for the terminal and `serde_json::Value`s for `--json` output.
 
 use dcs_core::ContrastReport;
+use dcs_obs::trace;
 use serde_json::{json, Value};
+
+use crate::error::CliError;
+
+/// Enables solver phase tracing for the duration of a mining run
+/// (`--trace-json FILE`) and dumps the collected timeline when finished.
+///
+/// Constructed with `None` it is a complete no-op, so the subcommands can
+/// create one unconditionally.  Call [`TraceGuard::finish`] on the success
+/// path to write the timeline file; if an error return skips `finish`, the
+/// `Drop` impl still disables tracing and discards the partial timeline so a
+/// failed run never leaves the process-global tracer enabled.
+#[derive(Debug)]
+pub struct TraceGuard {
+    path: Option<String>,
+}
+
+impl TraceGuard {
+    /// Starts tracing if a timeline path was requested.
+    pub fn new(path: Option<&str>) -> TraceGuard {
+        if path.is_some() {
+            trace::clear();
+            trace::set_enabled(true);
+        }
+        TraceGuard {
+            path: path.map(str::to_string),
+        }
+    }
+
+    /// Stops tracing, writes the timeline JSON to the requested file, and
+    /// returns a status line for the terminal (empty without `--trace-json`).
+    pub fn finish(mut self) -> Result<String, CliError> {
+        let Some(path) = self.path.take() else {
+            return Ok(String::new());
+        };
+        trace::set_enabled(false);
+        let (events, dropped) = trace::take_timeline_with_drops();
+        std::fs::write(&path, trace::timeline_json(&events, dropped))?;
+        Ok(format!(
+            "trace timeline ({} events) written to {path}\n",
+            events.len()
+        ))
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if self.path.take().is_some() {
+            trace::set_enabled(false);
+            trace::clear();
+        }
+    }
+}
 
 /// Renders a titled key/value block with aligned values.
 pub fn render_block(title: &str, entries: &[(&str, String)]) -> String {
@@ -88,6 +141,15 @@ pub fn json_to_string(value: &Value) -> String {
     text
 }
 
+/// Serializes tests that toggle the process-global tracer (the CLI test
+/// binary runs modules in parallel threads).
+#[cfg(test)]
+pub(crate) fn trace_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +184,37 @@ mod tests {
         let r = report();
         let text = render_report("t", &r, &[]);
         assert!(text.contains("(empty)"));
+    }
+
+    #[test]
+    fn trace_guard_writes_a_timeline_and_disables_tracing() {
+        let _serial = trace_test_lock();
+        let dir = std::env::temp_dir().join("dcs_cli_trace_guard");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("timeline.json");
+        let path_str = path.to_string_lossy().into_owned();
+
+        let guard = TraceGuard::new(Some(&path_str));
+        assert!(trace::enabled());
+        drop(trace::span(trace::Phase::Peel));
+        let line = guard.finish().unwrap();
+        assert!(!trace::enabled());
+        assert!(line.contains(&path_str));
+        let value: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(value["events"].as_array().unwrap().len(), 1);
+        assert_eq!(value["events"][0]["phase"], "peel");
+        assert_eq!(value["dropped"], 0);
+
+        // Without a path the guard is inert and `finish` prints nothing.
+        let inert = TraceGuard::new(None);
+        assert!(!trace::enabled());
+        assert_eq!(inert.finish().unwrap(), "");
+
+        // A dropped (unfinished) guard still disables tracing and clears the
+        // partial timeline.
+        drop(TraceGuard::new(Some(&path_str)));
+        assert!(!trace::enabled());
+        assert!(trace::take_timeline().is_empty());
     }
 
     #[test]

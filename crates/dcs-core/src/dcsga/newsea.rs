@@ -252,6 +252,7 @@ fn sweep_in<A: EmbeddingArena>(
     }
 
     // --- Sweep in descending µ_u order with the early-exit bound. ----------------
+    let mut sweep_span = dcs_obs::trace::span(dcs_obs::trace::Phase::MuSweep);
     for i in 0..order.len() {
         let (u, mu) = order[i];
         if mu <= best_objective {
@@ -277,6 +278,8 @@ fn sweep_in<A: EmbeddingArena>(
             snapshot_best(arena, kernel);
         }
     }
+    sweep_span.set_units(stats.initializations_run as u64);
+    drop(sweep_span);
 
     let embedding = Embedding::from_weights(
         kernel

@@ -32,6 +32,7 @@ pub(super) fn refine_in<A: EmbeddingArena>(
     arena: &mut A,
     scratch: &mut KernelScratch,
 ) {
+    let mut refine_span = dcs_obs::trace::span(dcs_obs::trace::Phase::Refine);
     loop {
         arena.support_into(&mut scratch.support);
         if scratch.support.len() <= 1 {
@@ -40,6 +41,7 @@ pub(super) fn refine_in<A: EmbeddingArena>(
         let Some((u, v)) = find_non_clique_pair(view, &scratch.support) else {
             return; // already a positive clique
         };
+        refine_span.add_units(1);
 
         // Transfer the pair's mass to the better endpoint: evaluate both options
         // without cloning the embedding.

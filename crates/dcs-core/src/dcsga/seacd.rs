@@ -194,7 +194,10 @@ pub(super) fn run_arena<A: EmbeddingArena, F: FnMut(u64) -> bool>(
             };
         }
         let eps = config.kkt_eps_factor / scratch.support.len() as f64;
+        let mut shrink_span = dcs_obs::trace::span(dcs_obs::trace::Phase::CdShrink);
         let shrink = descend_in(view, arena, &scratch.support, eps, config.max_cd_iterations);
+        shrink_span.set_units(shrink.iterations as u64);
+        drop(shrink_span);
         cd_iterations += shrink.iterations;
         // The support may have shrunk (coordinates dropping to 0); renormalise the
         // survivors exactly like the sparse path's `Embedding::from_weights` did.
@@ -213,7 +216,10 @@ pub(super) fn run_arena<A: EmbeddingArena, F: FnMut(u64) -> bool>(
                 expansion_errors,
             };
         }
+        let mut expand_span = dcs_obs::trace::span(dcs_obs::trace::Phase::CdExpand);
+        expand_span.set_units(scratch.z.len() as u64);
         let (before, after) = expansion_step_arena(view, arena, scratch);
+        drop(expand_span);
         if after < before - 1e-12 {
             expansion_errors += 1;
         }

@@ -878,19 +878,48 @@ mod tests {
     #[test]
     fn stats_absorb_aggregates_and_keeps_first_failure() {
         let mut total = SolveStats::default();
+        let converged_first = SolveStats {
+            iterations: 2,
+            candidates: 1,
+            wall: Duration::from_millis(3),
+            ..Default::default()
+        };
+        total.absorb(&converged_first);
+        // Converged rounds leave the aggregate converged.
+        assert_eq!(total.termination, Termination::Converged);
+        assert_eq!(total.wall, Duration::from_millis(3));
+
         let truncated = SolveStats {
             iterations: 10,
+            prunes: 4,
+            wall: Duration::from_millis(7),
             termination: Termination::Deadline,
             ..Default::default()
         };
         total.absorb(&truncated);
         assert_eq!(total.termination, Termination::Deadline);
+
+        // A later failure does not displace the first one, and a later
+        // converged round does not reset it; counters and wall time keep
+        // adding throughout.
+        let cancelled = SolveStats {
+            iterations: 3,
+            wall: Duration::from_millis(5),
+            termination: Termination::Cancelled,
+            ..Default::default()
+        };
+        total.absorb(&cancelled);
+        assert_eq!(total.termination, Termination::Deadline);
         let converged = SolveStats {
             iterations: 5,
+            wall: Duration::from_millis(1),
             ..Default::default()
         };
         total.absorb(&converged);
-        assert_eq!(total.iterations, 15);
+        assert_eq!(total.iterations, 20);
+        assert_eq!(total.candidates, 1);
+        assert_eq!(total.prunes, 4);
+        assert_eq!(total.wall, Duration::from_millis(16));
         assert_eq!(total.termination, Termination::Deadline);
     }
 }

@@ -89,6 +89,7 @@ fn greedy_peeling_view_impl<F: FnMut(u64) -> bool>(
             false,
         );
     }
+    let mut peel_span = dcs_obs::trace::span(dcs_obs::trace::Phase::Peel);
     ws.reset(n);
     // Two-pass initialisation: aliveness first, then degrees from the raw CSR rows
     // with the `ws.alive` test standing in for the mask (identical filtering, one
@@ -180,6 +181,7 @@ fn greedy_peeling_view_impl<F: FnMut(u64) -> bool>(
             best_size = alive_count;
         }
     }
+    peel_span.set_units((alive_at_start - alive_count) as u64);
 
     // A single vertex has density 0 by convention; if every encountered prefix had
     // negative density (possible on signed graphs) the best answer is the last

@@ -128,11 +128,13 @@ pub fn densest_subgraph_view_until<F: FnMut(u64) -> bool>(
 
     let mut interrupted = false;
     let mut marks = dcs_graph::VertexSubset::new(0);
+    let mut flow_span = dcs_obs::trace::span(dcs_obs::trace::Phase::Flow);
     for _ in 0..BINARY_SEARCH_ROUNDS {
         if stop(1) {
             interrupted = true;
             break;
         }
+        flow_span.add_units(1);
         let guess = 0.5 * (lo + hi);
         let candidate = min_cut_candidate(view, net, &degrees, degree_sum, guess);
         match candidate {

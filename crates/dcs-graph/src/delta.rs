@@ -199,6 +199,8 @@ impl DeltaGraph {
                 return Arc::clone(snap);
             }
         }
+        let mut rebuild_span = dcs_obs::trace::span(dcs_obs::trace::Phase::SnapshotRebuild);
+        rebuild_span.set_units(self.dirty_list.len() as u64);
         let n = self.num_vertices();
         let prev = self.cached.take().map(|(_, snap)| snap);
         let mut offsets = Vec::with_capacity(n + 1);

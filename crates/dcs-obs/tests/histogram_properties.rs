@@ -1,0 +1,91 @@
+//! Property-based tests of histogram snapshots: merging is order-independent
+//! (commutative and associative) and never loses a recorded sample.
+
+use dcs_obs::metrics::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let histogram = Histogram::new();
+    for &value in values {
+        histogram.record(value);
+    }
+    histogram.snapshot()
+}
+
+fn merged(parts: &[HistogramSnapshot]) -> HistogramSnapshot {
+    let mut total = HistogramSnapshot::default();
+    for part in parts {
+        total.merge(part);
+    }
+    total
+}
+
+proptest! {
+    /// Merging per-shard snapshots in any order yields the same totals as
+    /// recording every sample into one histogram.
+    #[test]
+    fn merge_is_order_independent_and_preserves_count(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000_000, 0..40),
+            0..6,
+        ),
+        seed in 0u64..1000,
+    ) {
+        let snapshots: Vec<HistogramSnapshot> =
+            shards.iter().map(|shard| snapshot_of(shard)).collect();
+
+        // A deterministic shuffle of the merge order derived from `seed`.
+        let mut shuffled = snapshots.clone();
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state as usize) % (i + 1));
+        }
+
+        let forward = merged(&snapshots);
+        let reordered = merged(&shuffled);
+        prop_assert_eq!(&forward, &reordered);
+
+        // And identical to recording everything into a single histogram.
+        let all: Vec<u64> = shards.iter().flatten().copied().collect();
+        let single = snapshot_of(&all);
+        prop_assert_eq!(&forward, &single);
+
+        // Total count and sum are preserved exactly.
+        prop_assert_eq!(forward.count, all.len() as u64);
+        prop_assert_eq!(forward.sum, all.iter().sum::<u64>());
+        prop_assert_eq!(forward.max, all.iter().copied().max().unwrap_or(0));
+
+        // Quantiles of a merged snapshot stay within the recorded range's
+        // bucket resolution: never below the true p0, never above the max.
+        if !all.is_empty() {
+            prop_assert!(forward.p50() <= forward.max);
+            prop_assert!(forward.p99() <= forward.max);
+            prop_assert!(forward.p50() <= forward.p95());
+            prop_assert!(forward.p95() <= forward.p99());
+        }
+    }
+
+    /// Merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..u64::MAX / 2, 0..30),
+        b in proptest::collection::vec(0u64..u64::MAX / 2, 0..30),
+        c in proptest::collection::vec(0u64..u64::MAX / 2, 0..30),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+}

@@ -16,6 +16,7 @@ pub struct ResultCache {
     entries: HashMap<String, (u64, Value)>,
     hits: u64,
     misses: u64,
+    evictions: u64,
     capacity: usize,
 }
 
@@ -33,6 +34,7 @@ impl ResultCache {
             entries: HashMap::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
             capacity: capacity.max(1),
         }
     }
@@ -54,11 +56,13 @@ impl ResultCache {
     /// Stores a result computed at `version` under `key`.
     pub fn store(&mut self, key: String, version: u64, value: Value) {
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            let before = self.entries.len();
             // Evict entries stale relative to the version being stored.
             self.entries.retain(|_, (v, _)| *v == version);
             if self.entries.len() >= self.capacity {
                 self.entries.clear();
             }
+            self.evictions += (before - self.entries.len()) as u64;
         }
         self.entries.insert(key, (version, value));
     }
@@ -86,6 +90,12 @@ impl ResultCache {
     /// Total lookups that required computing.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries removed by capacity pressure so far.  `clear()` (baseline
+    /// replacement) is invalidation, not eviction, and is not counted here.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -125,10 +135,12 @@ mod tests {
             cache.store(format!("old-{i}"), 1, json!(i));
         }
         assert_eq!(cache.len(), 4);
+        assert_eq!(cache.evictions(), 0);
         // Storing at a newer version evicts the stale generation.
         cache.store("new".into(), 2, json!("fresh"));
         assert!(cache.len() <= 4);
         assert_eq!(cache.lookup("new", 2), Some(json!("fresh")));
+        assert_eq!(cache.evictions(), 4);
         // Same-version overflow falls back to a full clear but still stores.
         let mut same = ResultCache::with_capacity(2);
         same.store("a".into(), 7, json!(1));
@@ -136,6 +148,10 @@ mod tests {
         same.store("c".into(), 7, json!(3));
         assert!(same.len() <= 2);
         assert_eq!(same.lookup("c", 7), Some(json!(3)));
+        assert_eq!(same.evictions(), 2);
+        // clear() is invalidation, not eviction.
+        same.clear();
+        assert_eq!(same.evictions(), 2);
     }
 
     #[test]

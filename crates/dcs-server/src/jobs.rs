@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use dcs_core::dcsga::DcsgaConfig;
 use dcs_core::{
@@ -18,6 +19,8 @@ use dcs_core::{
     SharedWorkspace, SolveContext, Termination,
 };
 use dcs_graph::VertexId;
+use dcs_obs::metrics::{Gauge, Histogram, HistogramSnapshot};
+use dcs_obs::trace;
 use serde_json::{json, Value};
 
 use crate::error::ServerError;
@@ -49,6 +52,26 @@ pub enum JobSpec {
 }
 
 impl JobSpec {
+    /// Stable lowercase token naming the job kind (`"mine"` / `"topk"` /
+    /// `"sweep"`) — the label latency metrics are aggregated under.
+    pub fn kind_token(&self) -> &'static str {
+        match self {
+            JobSpec::Mine { .. } => "mine",
+            JobSpec::TopK { .. } => "topk",
+            JobSpec::Sweep { .. } => "sweep",
+        }
+    }
+
+    /// The measure this job will solve with, given the session's default.
+    pub fn resolved_measure(&self, default_measure: DensityMeasure) -> DensityMeasure {
+        let measure = match self {
+            JobSpec::Mine { measure } => measure,
+            JobSpec::TopK { measure, .. } => measure,
+            JobSpec::Sweep { measure, .. } => measure,
+        };
+        measure.unwrap_or(default_measure)
+    }
+
     /// The cache key of this job given the session's default measure.  Two
     /// requests with the same key against the same graph version are
     /// interchangeable.
@@ -271,6 +294,10 @@ pub type Task = Box<dyn FnOnce(&SharedWorkspace) -> Result<Value, ServerError> +
 struct Job {
     task: Task,
     reply: SyncSender<Result<Value, ServerError>>,
+    /// When the job entered the queue — the worker that dequeues it records
+    /// the wait into the pool's queue-wait histogram (and, when tracing is
+    /// enabled, a [`trace::Phase::QueueWait`] event).
+    enqueued: Instant,
 }
 
 /// A fixed set of worker threads draining a bounded job queue.
@@ -281,6 +308,12 @@ pub struct WorkerPool {
     rejected: AtomicU64,
     threads: usize,
     capacity: usize,
+    /// Jobs accepted but not yet picked up by a worker.
+    queued: Arc<Gauge>,
+    /// Jobs currently executing on a worker.
+    inflight: Arc<Gauge>,
+    /// Time jobs spent waiting in the queue, in microseconds.
+    queue_wait_us: Arc<Histogram>,
 }
 
 impl WorkerPool {
@@ -291,10 +324,16 @@ impl WorkerPool {
         let (sender, receiver) = sync_channel::<Job>(capacity);
         let receiver = Arc::new(Mutex::new(receiver));
         let executed = Arc::new(AtomicU64::new(0));
+        let queued = Arc::new(Gauge::new());
+        let inflight = Arc::new(Gauge::new());
+        let queue_wait_us = Arc::new(Histogram::new());
         let workers = (0..threads)
             .map(|_| {
                 let receiver = Arc::clone(&receiver);
                 let executed = Arc::clone(&executed);
+                let queued = Arc::clone(&queued);
+                let inflight = Arc::clone(&inflight);
+                let queue_wait_us = Arc::clone(&queue_wait_us);
                 std::thread::spawn(move || {
                     // One solver workspace per worker, alive across jobs: the
                     // steady-state serving path re-mines into the same scratch
@@ -308,8 +347,14 @@ impl WorkerPool {
                         let Ok(job) = job else {
                             break; // queue closed: pool is shutting down
                         };
+                        queued.dec();
+                        inflight.inc();
+                        let wait = job.enqueued.elapsed();
+                        queue_wait_us.record_duration(wait);
+                        trace::record(trace::Phase::QueueWait, job.enqueued, wait, 1);
                         let outcome = (job.task)(&workspace);
                         executed.fetch_add(1, Ordering::Relaxed);
+                        inflight.dec();
                         // A dropped reply receiver (client went away) is fine.
                         let _ = job.reply.send(outcome);
                     }
@@ -323,6 +368,9 @@ impl WorkerPool {
             rejected: AtomicU64::new(0),
             threads,
             capacity,
+            queued,
+            inflight,
+            queue_wait_us,
         }
     }
 
@@ -351,11 +399,20 @@ impl WorkerPool {
         task: Task,
     ) -> Result<Receiver<Result<Value, ServerError>>, ServerError> {
         let (reply, receiver) = sync_channel(1);
-        let job = Job { task, reply };
+        let job = Job {
+            task,
+            reply,
+            enqueued: Instant::now(),
+        };
         let sender = self.sender.as_ref().ok_or(ServerError::Busy)?;
+        // Count the job as queued *before* try_send: a worker may dequeue it
+        // (and decrement) before try_send even returns, and a gauge that dips
+        // negative transiently is worse than one that over-reports by one.
+        self.queued.inc();
         match sender.try_send(job) {
             Ok(()) => Ok(receiver),
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.queued.dec();
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(ServerError::Busy)
             }
@@ -380,6 +437,22 @@ impl WorkerPool {
     /// Jobs rejected because the queue was full.
     pub fn rejected(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Jobs accepted but not yet picked up by a worker.  Racy by nature (a
+    /// point-in-time gauge); may transiently over-report by one per worker.
+    pub fn queue_depth(&self) -> i64 {
+        self.queued.get().max(0)
+    }
+
+    /// Jobs currently executing on workers.
+    pub fn inflight(&self) -> i64 {
+        self.inflight.get().max(0)
+    }
+
+    /// Snapshot of the queue-wait distribution (microseconds).
+    pub fn queue_wait_snapshot(&self) -> HistogramSnapshot {
+        self.queue_wait_us.snapshot()
     }
 
     /// Closes the queue and joins every worker.

@@ -40,7 +40,7 @@
 //! | `topk`           | `session`, `k`, opt. `measure`, *bounds* — up to `k` vertex-disjoint contrast subgraphs | `cached`, `version`, `termination`, `stats`, `results: [group…]` |
 //! | `sweep`          | `session`, opt. `alphas: [f…]` (default grid), `measure`, *bounds* — α-sweep of `A2 − α·A1` | `cached`, `version`, `termination`, `stats`, `points: [point…]` |
 //! | `cancel`         | `job` — cancel the in-flight job registered under that id (from any connection) | `cancelled: bool` (whether the id was found) |
-//! | `stats`          | `session`                                                  | `vertices`, `observations`, `version`, `observed_edges`, `baseline_edges`, `cache: {entries, hits, misses}` |
+//! | `stats`          | opt. `session` — with one, that session's counters; without, the server-wide observability payload | per-session: `vertices`, `observations`, `version`, `observed_edges`, `baseline_edges`, `cache: {entries, hits, misses, evictions}`; server-wide: see below |
 //! | `list_sessions`  | —                                                          | `sessions: [name…]`            |
 //! | `drop_session`   | `session`                                                  | `dropped: true`                |
 //! | `server_stats`   | —                                                          | `sessions`, `worker_threads`, `queue_capacity`, `jobs_executed`, `jobs_rejected`, `jobs_inflight_named` |
@@ -65,6 +65,35 @@
 //! disconnect.  The *hard* anti-wedge guarantee is therefore
 //! [`ServerConfig::max_job_ms`] (default 5 minutes): every job runs under a
 //! server-imposed deadline no looser than that cap, client-supplied or not.
+//!
+//! ## The server-wide `stats` payload
+//!
+//! A `stats` request **without** a `session` field returns the server's
+//! observability surface, assembled from lock-free instrumentation
+//! (`dcs-obs`) on the dispatch, worker-pool and job paths plus a brief
+//! walk of the session registry:
+//!
+//! * `uptime_ms`, `sessions`, `requests: {total, errors}`;
+//! * `queue: {depth, inflight, capacity, workers, executed, rejected,
+//!   wait_us}` — the bounded job queue right now, lifetime execute/reject
+//!   counts, and the queue-wait latency summary;
+//! * `jobs: {completed, cached, inflight_named, wall_us_by_kind,
+//!   wall_us_by_measure}` — client-observed wall time (queue wait + solve)
+//!   of solved jobs, as one latency summary per kind (`mine` / `topk` /
+//!   `sweep`) and per measure (`affinity` / `degree`); cache hits are counted
+//!   in `cached` but excluded from the latency histograms;
+//! * `terminations: {converged, deadline, cancelled, budget_exhausted}` —
+//!   how solved jobs ended;
+//! * `cache: {entries, hits, misses, evictions, hit_rate}` — aggregated over
+//!   every session's result cache;
+//! * `observes: {batches, updates, per_sec}` — observe throughput since the
+//!   server started.
+//!
+//! Every **latency summary** is
+//! `{"count": n, "mean_us": f, "p50_us": n, "p95_us": n, "p99_us": n,
+//!   "max_us": n}`, sourced from fixed-bucket log-scale histograms — the
+//! quantiles have ≤2× relative error by construction and `count`/`mean_us`/
+//! `max_us` are exact.
 //!
 //! An **alert** object is
 //! `{"triggered": bool, "density_difference": f, "observations": n,
@@ -115,6 +144,7 @@ mod cache;
 mod client;
 mod error;
 mod jobs;
+mod metrics;
 mod protocol;
 mod server;
 mod session;
@@ -123,6 +153,7 @@ pub use cache::ResultCache;
 pub use client::Client;
 pub use error::ServerError;
 pub use jobs::{JobSpec, JobTable, WorkerPool};
+pub use metrics::{histogram_summary, ServerMetrics};
 pub use protocol::{alert_to_json, parse_measure, report_to_json, stats_to_json};
 pub use server::{Server, ServerHandle};
 pub use session::{Session, SessionRegistry, SessionStats};

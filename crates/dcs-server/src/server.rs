@@ -13,6 +13,7 @@ use serde_json::{json, Value};
 
 use crate::error::ServerError;
 use crate::jobs::{JobSpec, JobTable, WorkerPool};
+use crate::metrics::ServerMetrics;
 use crate::protocol::{
     alert_to_json, error_response, ok_response, optional_f64, optional_u64, optional_u64_opt,
     parse_alphas, parse_measure, parse_triples, required_str, required_u64,
@@ -32,6 +33,7 @@ struct Shared {
     pool: WorkerPool,
     jobs: JobTable,
     config: ServerConfig,
+    metrics: ServerMetrics,
     shutting_down: AtomicBool,
 }
 
@@ -66,6 +68,7 @@ impl Server {
             pool: WorkerPool::new(self.config.worker_threads, self.config.queue_capacity),
             jobs: JobTable::new(),
             config: self.config,
+            metrics: ServerMetrics::new(),
             shutting_down: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
@@ -155,9 +158,13 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 continue;
             }
         };
+        shared.metrics.note_request();
         let response = match dispatch(&request, &shared, &writer) {
             Ok(body) => ok_response(&request, body),
-            Err(error) => error_response(&request, &error),
+            Err(error) => {
+                shared.metrics.note_error();
+                error_response(&request, &error)
+            }
         };
         if write_line(&mut writer, &response).is_err() {
             break;
@@ -275,7 +282,7 @@ fn observe(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         guard.monitor().config().remine_every > 0
     };
-    if cadence_mining {
+    let outcome = if cadence_mining {
         // Completing a re-mining period solves inside `Session::observe`, so
         // this observe is CPU-bound: run it on the worker pool like any other
         // mining job (bounded queue → `busy` under overload) instead of on
@@ -289,7 +296,13 @@ fn observe(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
     } else {
         // No mining can trigger: apply inline, keeping streaming cheap.
         Ok(apply_observe(&session, &updates))
+    };
+    if let Ok(body) = &outcome {
+        shared
+            .metrics
+            .note_observe(body["applied"].as_u64().unwrap_or(0));
     }
+    outcome
 }
 
 fn apply_observe(
@@ -312,7 +325,13 @@ fn apply_observe(
 }
 
 fn stats(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
-    let name = required_str(request, "session")?;
+    // Without a `session` field, `stats` reports the server-wide
+    // observability payload; with one, the session's counters as before.
+    let Some(name) = request["session"].as_str() else {
+        return Ok(shared
+            .metrics
+            .render(&shared.pool, &shared.jobs, &shared.registry));
+    };
     let session = shared.registry.get(name)?;
     let guard = session
         .lock()
@@ -328,6 +347,7 @@ fn stats(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
             "entries": stats.cache_entries,
             "hits": stats.cache_hits,
             "misses": stats.cache_misses,
+            "evictions": stats.cache_evictions,
         },
     }))
 }
@@ -340,6 +360,12 @@ fn run_job(
 ) -> Result<Value, ServerError> {
     let name = required_str(request, "session")?;
     let session = shared.registry.get(name)?;
+    let measure = {
+        let guard = session
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        spec.resolved_measure(guard.monitor().config().measure)
+    };
 
     // Per-job bounds: an absolute deadline (queue time counts), a work budget,
     // and a cancellation token reachable from other connections via the
@@ -369,12 +395,24 @@ fn run_job(
         None => None,
     };
 
+    let kind = spec.kind_token();
     let outcome = shared
         .pool
         .submit(session, spec, cx)
         .and_then(|receiver| wait_cancelling_on_disconnect(receiver, stream, &token));
     if let Some(id) = &job_id {
         shared.jobs.remove(id);
+    }
+    if let Ok(body) = &outcome {
+        // Wall time as the client saw it: queue wait plus solve.  Cache hits
+        // are counted but excluded from the latency histograms.
+        shared.metrics.record_job(
+            kind,
+            crate::protocol::measure_token(measure),
+            now.elapsed(),
+            body["termination"].as_str(),
+            body["cached"].as_bool().unwrap_or(false),
+        );
     }
     outcome
 }

@@ -41,6 +41,8 @@ pub struct SessionStats {
     pub cache_hits: u64,
     /// Cache misses so far.
     pub cache_misses: u64,
+    /// Cache entries removed by capacity pressure so far.
+    pub cache_evictions: u64,
 }
 
 impl Session {
@@ -118,6 +120,7 @@ impl Session {
             cache_entries: self.cache.len(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
         }
     }
 }
@@ -176,6 +179,16 @@ impl SessionRegistry {
     /// The session names, sorted.
     pub fn names(&self) -> Vec<String> {
         lock(&self.sessions).keys().cloned().collect()
+    }
+
+    /// Handles to every live session, sorted by name.  Used by the server-wide
+    /// `stats` surface to aggregate per-session counters; callers lock each
+    /// session briefly, never while holding the registry lock.
+    pub fn sessions(&self) -> Vec<(String, SharedSession)> {
+        lock(&self.sessions)
+            .iter()
+            .map(|(name, session)| (name.clone(), Arc::clone(session)))
+            .collect()
     }
 
     /// Number of live sessions.

@@ -217,9 +217,13 @@ fn session_management_and_errors_over_the_wire() {
         .unwrap();
     assert_eq!(response["id"], "req-7");
 
-    // Malformed JSON gets an error line back instead of a dropped connection.
-    let err = client.request(json!({ "cmd": "stats" }));
-    assert!(err.is_err(), "stats without session must fail");
+    // `stats` without a session returns the server-wide payload; with an
+    // unknown session it still fails.
+    let server_stats = client.request(json!({ "cmd": "stats" })).unwrap();
+    assert_eq!(server_stats["sessions"], 1);
+    assert!(server_stats["queue"]["capacity"].as_u64().unwrap() > 0);
+    let err = client.request(json!({ "cmd": "stats", "session": "nope" }));
+    assert!(err.is_err(), "stats on an unknown session must fail");
     assert!(client.ping().is_ok(), "connection survives errors");
 
     client.shutdown().unwrap();
