@@ -1,0 +1,258 @@
+//! Offline shim for `crossbeam-deque`: the work-stealing deque triple
+//! ([`Worker`] / [`Stealer`] / [`Injector`]) with the upstream API shape.
+//!
+//! The real crate uses lock-free Chase–Lev deques; this shim uses a
+//! `Mutex<VecDeque>` per queue.  That is slower under heavy contention but
+//! observationally identical: `pop` takes from the worker's own end, `steal`
+//! takes from the opposite end, and the [`Steal`] enum distinguishes an empty
+//! queue from a lost race (the shim never loses races, so `Retry` is never
+//! returned — callers must still handle it to stay source-compatible with the
+//! real crate).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried (never produced by this
+    /// shim, kept for API compatibility).
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if the attempt succeeded.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(task) => Some(task),
+            _ => None,
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Whether a task was stolen.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// Whether the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Fifo,
+    Lifo,
+}
+
+/// A worker-owned queue: the owner pushes and pops locally, other threads
+/// steal through [`Stealer`] handles from the opposite end.
+#[derive(Debug)]
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// A FIFO worker queue: `pop` takes the oldest task (the same end steals
+    /// come from, so local order matches global order).
+    pub fn new_fifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+            flavor: Flavor::Fifo,
+        }
+    }
+
+    /// A LIFO worker queue: `pop` takes the most recently pushed task while
+    /// steals still take the oldest.
+    pub fn new_lifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+            flavor: Flavor::Lifo,
+        }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.inner.lock().expect("deque poisoned").push_back(task);
+    }
+
+    /// Pops a task from the owner's end (per the queue's flavor).
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.inner.lock().expect("deque poisoned");
+        match self.flavor {
+            Flavor::Fifo => q.pop_front(),
+            Flavor::Lifo => q.pop_back(),
+        }
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("deque poisoned").is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque poisoned").len()
+    }
+
+    /// Creates a new stealer handle onto this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A handle other threads use to steal from a [`Worker`]'s queue.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task from the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().expect("deque poisoned").pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("deque poisoned").is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque poisoned").len()
+    }
+}
+
+/// A shared FIFO injector queue: any thread pushes, any thread steals.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task onto the queue.
+    pub fn push(&self, task: T) {
+        self.inner
+            .lock()
+            .expect("injector poisoned")
+            .push_back(task);
+    }
+
+    /// Steals the oldest task from the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().expect("injector poisoned").pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("injector poisoned").is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("injector poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_pop_and_steal_take_the_oldest() {
+        let w: Worker<u32> = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(3));
+        assert!(s.steal().is_empty());
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn lifo_pop_takes_newest_but_steal_takes_oldest() {
+        let w: Worker<u32> = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+    }
+
+    #[test]
+    fn injector_is_fifo_and_shared() {
+        let inj: Injector<u32> = Injector::new();
+        inj.push(7);
+        inj.push(8);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal().success(), Some(7));
+        assert_eq!(inj.steal().success(), Some(8));
+        assert!(inj.steal().is_empty());
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn stealers_work_across_threads() {
+        let w: Worker<usize> = Worker::new_fifo();
+        for i in 0..100 {
+            w.push(i);
+        }
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let total = &total;
+                scope.spawn(move || {
+                    while let Some(v) = s.steal().success() {
+                        total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            total.load(std::sync::atomic::Ordering::Relaxed),
+            99 * 100 / 2
+        );
+        assert!(w.is_empty());
+    }
+}

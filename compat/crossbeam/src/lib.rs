@@ -1,11 +1,17 @@
 //! Offline shim for the `crossbeam` crate.
 //!
-//! Only the scoped-thread API used by this workspace is provided
-//! ([`scope`] + [`Scope::spawn`]), implemented on top of `std::thread::scope`
-//! (stable since Rust 1.63).  One behavioural difference: a panicking child
-//! thread propagates its panic when the scope joins instead of being captured
-//! into the returned `Result`, so callers' `.expect(...)` never observes `Err`
-//! — acceptable for the workspace, which only uses the panic path to abort.
+//! Two pieces of the upstream API are provided:
+//!
+//! * the scoped-thread API ([`scope`] + [`Scope::spawn`]), implemented on top
+//!   of `std::thread::scope` (stable since Rust 1.63).  One behavioural
+//!   difference: a panicking child thread propagates its panic when the scope
+//!   joins instead of being captured into the returned `Result`, so callers'
+//!   `.expect(...)` never observes `Err` — acceptable for the workspace,
+//!   which only uses the panic path to abort;
+//! * the work-stealing deques of `crossbeam-deque` (the [`deque`] module:
+//!   `Worker` / `Stealer` / `Injector` / `Steal`), mutex-backed.
+
+pub mod deque;
 
 use std::thread;
 

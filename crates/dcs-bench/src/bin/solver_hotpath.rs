@@ -163,13 +163,232 @@ fn path_json(label: &str, m: &Measured, count: usize) -> Value {
     })
 }
 
+/// The `--large` section: million-edge-scale wall-clock comparison of the
+/// sequential (`--threads 1`) and parallel (`--threads 4`) solve paths, with
+/// **bit-identity** asserted on every objective and support set.  The ≥2×
+/// speedup gate and the >10% wall-clock regression gate (vs a checked-in
+/// baseline carrying a `large` section) are enforced only on machines with at
+/// least 4 cores — on smaller machines the section still runs (so the
+/// bit-identity checks always execute) and the gates are recorded as skipped.
+fn run_large_section(smoke: bool, baseline: Option<&Value>) -> (Value, bool) {
+    use dcs_datasets::large::{generate, LargeConfig};
+
+    let config = if smoke {
+        LargeConfig {
+            vertices: 20_000,
+            edges: 200_000,
+            group_sizes: vec![24, 16],
+            ..LargeConfig::benchmark()
+        }
+    } else {
+        LargeConfig::benchmark()
+    };
+    let repetitions = if smoke { 2 } else { 3 };
+    eprintln!(
+        "large: generating {} vertices / {} target background edges ...",
+        config.vertices, config.edges
+    );
+    let pair = generate(&config);
+    let gd = dcs_core::difference_graph(&pair.g2, &pair.g1).unwrap();
+
+    let streaming_config = StreamingConfig {
+        remine_every: 0,
+        alert_threshold: 0.0,
+        measure: DensityMeasure::AverageDegree,
+    };
+    let ws1 = SharedWorkspace::new();
+    let ws4 = SharedWorkspace::new();
+    let cx1 = SolveContext::unbounded()
+        .with_workspace(&ws1)
+        .with_threads(1);
+    let cx4 = SolveContext::unbounded()
+        .with_workspace(&ws4)
+        .with_threads(4);
+    let mine =
+        |cx: &SolveContext| mine_difference_in(&gd, &streaming_config, repetitions, None, cx);
+
+    // Warm both workspaces outside the measured window.
+    let warm1 = mine(&cx1);
+    let warm4 = mine(&cx4);
+    assert_eq!(
+        warm1.report.subset, warm4.report.subset,
+        "parallel mine must find the identical support"
+    );
+
+    let (alert1, remine1) = measure(|| {
+        let mut last = None;
+        for _ in 0..repetitions {
+            last = Some(mine(&cx1));
+        }
+        last.expect("at least one repetition")
+    });
+    let (alert4, remine4) = measure(|| {
+        let mut last = None;
+        for _ in 0..repetitions {
+            last = Some(mine(&cx4));
+        }
+        last.expect("at least one repetition")
+    });
+    assert_eq!(alert1.report.subset, alert4.report.subset);
+    assert_eq!(
+        alert1.report.average_degree_difference.to_bits(),
+        alert4.report.average_degree_difference.to_bits(),
+        "parallel mine must be bit-identical"
+    );
+    assert!(!alert1.report.subset.is_empty(), "large mine found nothing");
+
+    let k = pair.planted.len() + 2;
+    let topk = |cx: &SolveContext| {
+        top_k_in(
+            &gd,
+            k,
+            DensityMeasure::AverageDegree,
+            DcsgaConfig::default(),
+            cx,
+        )
+    };
+    let _ = topk(&cx1); // warm
+    let _ = topk(&cx4);
+    let (outcome1, topk1) = measure(|| topk(&cx1));
+    let (outcome4, topk4) = measure(|| topk(&cx4));
+    assert_eq!(outcome1.solutions.len(), outcome4.solutions.len());
+    for (a, b) in outcome1.solutions.iter().zip(&outcome4.solutions) {
+        assert_eq!(a.subset, b.subset, "top-k supports must match per rank");
+        assert_eq!(
+            a.objective.to_bits(),
+            b.objective.to_bits(),
+            "top-k objectives must be bit-identical"
+        );
+    }
+
+    let remine_speedup = remine1.nanos as f64 / remine4.nanos.max(1) as f64;
+    let topk_speedup = topk1.nanos as f64 / topk4.nanos.max(1) as f64;
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // The ≥2x speedup gate is defined at full large-graph scale on a 4-core
+    // machine; the smoke config's smaller graph exercises the same code paths
+    // (and always enforces bit-identity) without binding the perf contract.
+    let speedup_gate = cores >= 4 && !smoke;
+    // Wall-clock baselines only transfer between runs of the same shape: the
+    // same smoke/full workload on a machine with the same core count.  Absolute
+    // nanoseconds from a differently-sized box gate nothing but noise.
+    let baseline_large = baseline.and_then(|v| v.get("large"));
+    let baseline_comparable = baseline_large
+        .and_then(|l| l.get("cores"))
+        .and_then(Value::as_u64)
+        == Some(cores as u64)
+        && baseline_large
+            .and_then(|l| l.get("graph"))
+            .and_then(|g| g.get("vertices"))
+            .and_then(Value::as_u64)
+            == Some(config.vertices as u64);
+    let wall_gate = cores >= 4 && baseline_comparable;
+
+    let mut failed = false;
+    if speedup_gate {
+        if remine_speedup < 2.0 {
+            eprintln!(
+                "FAIL: large re-mine speedup {remine_speedup:.2}x < 2x on {cores} cores \
+                 (threads 1: {} ns, threads 4: {} ns)",
+                remine1.nanos / repetitions as u64,
+                remine4.nanos / repetitions as u64
+            );
+            failed = true;
+        }
+        if topk_speedup < 2.0 {
+            eprintln!("FAIL: large top-k speedup {topk_speedup:.2}x < 2x on {cores} cores");
+            failed = true;
+        }
+    } else {
+        eprintln!(
+            "large: speedup gate skipped ({}); bit-identity checks still enforced",
+            if cores < 4 {
+                format!("{cores} cores < 4")
+            } else {
+                "smoke mode".to_string()
+            }
+        );
+    }
+    if wall_gate {
+        // Wall-clock regression gate vs the checked-in baseline's large section.
+        let checks: [(&str, f64, &[&str]); 2] = [
+            (
+                "large.remine.threads4.ns_per_solve",
+                remine4.nanos as f64 / repetitions as f64,
+                &["large", "remine", "threads4", "ns_per_solve"],
+            ),
+            (
+                "large.topk.threads4.ns_per_solve",
+                topk4.nanos as f64,
+                &["large", "topk", "threads4", "ns_per_solve"],
+            ),
+        ];
+        for (label, current, keys) in checks {
+            let mut node = baseline;
+            for key in keys {
+                node = node.and_then(|v| v.get(key));
+            }
+            let Some(reference) = node.and_then(Value::as_f64) else {
+                eprintln!("warning: baseline lacks {label}; skipping wall regression gate");
+                continue;
+            };
+            if reference > 0.0 && current > reference * 1.10 {
+                eprintln!(
+                    "FAIL: {label} regressed: {current:.0} ns vs baseline {reference:.0} ns (>10%)"
+                );
+                failed = true;
+            }
+        }
+    } else {
+        eprintln!(
+            "large: wall-regression gate skipped ({})",
+            if cores < 4 {
+                format!("{cores} cores < 4")
+            } else {
+                "baseline from a different workload or core count".to_string()
+            }
+        );
+    }
+
+    let section = json!({
+        "graph": {
+            "vertices": config.vertices,
+            "difference_edges": gd.num_edges(),
+        },
+        "repetitions": repetitions,
+        "cores": cores,
+        "gates": {
+            "speedup": if speedup_gate { "enforced" } else { "skipped" },
+            "wall_regression": if wall_gate { "enforced" } else { "skipped" },
+        },
+        "bit_identical": true,
+        "remine": {
+            "threads1": { "ns_per_solve": remine1.nanos as f64 / repetitions as f64 },
+            "threads4": { "ns_per_solve": remine4.nanos as f64 / repetitions as f64 },
+            "speedup": remine_speedup,
+        },
+        "topk": {
+            "k": k,
+            "rounds": outcome1.solutions.len(),
+            "threads1": { "ns_per_solve": topk1.nanos },
+            "threads4": { "ns_per_solve": topk4.nanos },
+            "speedup": topk_speedup,
+        },
+    });
+    (section, failed)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help") {
-        println!("usage: solver_hotpath [--smoke] [--baseline BENCH_hotpath.json] [--out PATH]");
+        println!(
+            "usage: solver_hotpath [--smoke] [--large] [--baseline BENCH_hotpath.json] [--out PATH]"
+        );
         return;
     }
     let smoke = args.iter().any(|a| a == "--smoke");
+    let large = args.iter().any(|a| a == "--large");
     let flag_value = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -178,6 +397,22 @@ fn main() {
     };
     let baseline_path = flag_value("--baseline");
     let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let baseline_json: Option<Value> =
+        baseline_path
+            .as_ref()
+            .and_then(|path| match std::fs::read_to_string(path) {
+                Ok(text) => match serde_json::from_str::<Value>(&text) {
+                    Ok(previous) => Some(previous),
+                    Err(error) => {
+                        eprintln!("warning: baseline {path} is not valid JSON: {error}");
+                        None
+                    }
+                },
+                Err(_) => {
+                    eprintln!("warning: baseline {path} not found; skipping regression gate");
+                    None
+                }
+            });
 
     let config = if smoke {
         BenchConfig {
@@ -433,6 +668,9 @@ fn main() {
         .unwrap()
     });
 
+    // ---- 6. Large-graph parallelism (opt-in: --large). ---------------------------
+    let large_section = large.then(|| run_large_section(smoke, baseline_json.as_ref()));
+
     // ---- Report. -----------------------------------------------------------------
     let (scratch_allocs, _, _) = per(&scratch, config.repetitions);
     let (remine_allocs, _, _) = per(&remine, config.repetitions);
@@ -508,6 +746,10 @@ fn main() {
             },
         },
     });
+    let mut report = report;
+    if let Some((section, _)) = &large_section {
+        report["large"] = section.clone();
+    }
     let rendered = serde_json::to_string_pretty(&report).unwrap();
     println!("{rendered}");
     if let Err(error) = std::fs::write(&out_path, format!("{rendered}\n")) {
@@ -515,7 +757,7 @@ fn main() {
     }
 
     // ---- Gates. ------------------------------------------------------------------
-    let mut failed = false;
+    let mut failed = large_section.as_ref().is_some_and(|(_, f)| *f);
     if remine_ratio < 2.0 {
         eprintln!(
             "FAIL: steady-state re-mine allocates {remine_allocs:.1}/solve vs \
@@ -540,58 +782,51 @@ fn main() {
 
     // Regression gate against a checked-in baseline, allocation metrics only
     // (allocation counts are deterministic for the fixed workload; timings are not).
-    if let Some(path) = baseline_path {
-        match std::fs::read_to_string(&path) {
-            Ok(text) => match serde_json::from_str::<Value>(&text) {
-                Ok(previous) => {
-                    let checks: [(&str, f64, &[&str]); 5] = [
-                        (
-                            "remine.allocs_per_solve",
-                            remine_allocs,
-                            &["remine", "allocs_per_solve"],
-                        ),
-                        (
-                            "topk.steady.allocs_per_solve",
-                            topk_steady_allocs,
-                            &["topk", "steady", "allocs_per_solve"],
-                        ),
-                        (
-                            "sweep.steady.allocs_per_solve",
-                            sweep_steady_allocs,
-                            &["sweep", "steady", "allocs_per_solve"],
-                        ),
-                        (
-                            "dcsga.remine.allocs_per_solve",
-                            ga_remine_allocs,
-                            &["dcsga", "remine", "allocs_per_solve"],
-                        ),
-                        (
-                            "dcsga.sweep.steady.allocs_per_solve",
-                            ga_sweep_steady_allocs,
-                            &["dcsga", "sweep", "steady", "allocs_per_solve"],
-                        ),
-                    ];
-                    for (label, current, keys) in checks {
-                        let mut node = Some(&previous);
-                        for key in keys {
-                            node = node.and_then(|v| v.get(key));
-                        }
-                        let Some(reference) = node.and_then(|v| v.as_f64()) else {
-                            eprintln!("warning: baseline {path} lacks {label}; skipping");
-                            continue;
-                        };
-                        if reference > 0.0 && current > reference * 1.10 {
-                            eprintln!(
-                                "FAIL: {label} regressed: {current:.1} vs baseline \
-                                 {reference:.1} (>10%)"
-                            );
-                            failed = true;
-                        }
-                    }
-                }
-                Err(error) => eprintln!("warning: baseline {path} is not valid JSON: {error}"),
-            },
-            Err(_) => eprintln!("warning: baseline {path} not found; skipping regression gate"),
+    if let Some(previous) = &baseline_json {
+        let path = baseline_path.as_deref().unwrap_or("baseline");
+        let checks: [(&str, f64, &[&str]); 5] = [
+            (
+                "remine.allocs_per_solve",
+                remine_allocs,
+                &["remine", "allocs_per_solve"],
+            ),
+            (
+                "topk.steady.allocs_per_solve",
+                topk_steady_allocs,
+                &["topk", "steady", "allocs_per_solve"],
+            ),
+            (
+                "sweep.steady.allocs_per_solve",
+                sweep_steady_allocs,
+                &["sweep", "steady", "allocs_per_solve"],
+            ),
+            (
+                "dcsga.remine.allocs_per_solve",
+                ga_remine_allocs,
+                &["dcsga", "remine", "allocs_per_solve"],
+            ),
+            (
+                "dcsga.sweep.steady.allocs_per_solve",
+                ga_sweep_steady_allocs,
+                &["dcsga", "sweep", "steady", "allocs_per_solve"],
+            ),
+        ];
+        for (label, current, keys) in checks {
+            let mut node = Some(previous);
+            for key in keys {
+                node = node.and_then(|v| v.get(key));
+            }
+            let Some(reference) = node.and_then(|v| v.as_f64()) else {
+                eprintln!("warning: baseline {path} lacks {label}; skipping");
+                continue;
+            };
+            if reference > 0.0 && current > reference * 1.10 {
+                eprintln!(
+                    "FAIL: {label} regressed: {current:.1} vs baseline \
+                     {reference:.1} (>10%)"
+                );
+                failed = true;
+            }
         }
     }
 

@@ -15,7 +15,7 @@ use crate::output::{json_to_string, render_report, report_to_json, TraceGuard};
 /// Usage string shown by `dcs help`.
 pub const USAGE: &str = "dcs mine <G1.edges> <G2.edges> [--measure degree|affinity|both] [--numeric] \
 [--scheme weighted|discrete|scaled] [--alpha X] [--direction emerging|disappearing|both] [--clamp X] \
-[--timeout SECS] [--budget N] [--trace-json FILE] [--json]";
+[--timeout SECS] [--budget N] [--threads N] [--trace-json FILE] [--json]";
 
 /// Which density measure(s) to mine under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +54,7 @@ fn spec() -> ArgSpec {
             "clamp",
             "timeout",
             "budget",
+            "threads",
             "trace-json",
         ],
         &["numeric", "json"],

@@ -6,11 +6,10 @@ use crate::args::{parse_args, ArgSpec};
 use crate::error::CliError;
 
 /// Usage string shown by `dcs help`.
-pub const USAGE: &str =
-    "dcs serve [--addr HOST:PORT] [--threads N] [--queue N] (runs until a shutdown command)";
+pub const USAGE: &str = "dcs serve [--addr HOST:PORT] [--threads N] [--solver-threads N] [--queue N] (runs until a shutdown command)";
 
 fn spec() -> ArgSpec {
-    ArgSpec::new(&["addr", "threads", "queue"], &[])
+    ArgSpec::new(&["addr", "threads", "solver-threads", "queue"], &[])
 }
 
 /// Parses the options, binds the listener and starts the accept loop.
@@ -22,6 +21,8 @@ fn start_server(raw_args: &[String]) -> Result<(dcs_server::ServerHandle, Server
     let defaults = ServerConfig::default();
     let config = ServerConfig {
         worker_threads: args.parse_option("threads", defaults.worker_threads)?,
+        // 0 (the default) inherits the DCS_SOLVER_THREADS environment default.
+        solver_threads: args.parse_option("solver-threads", defaults.solver_threads)?,
         queue_capacity: args.parse_option("queue", defaults.queue_capacity)?,
         ..defaults
     };

@@ -17,11 +17,18 @@ use crate::output::{json_to_string, report_to_json, TraceGuard};
 /// Usage string shown by `dcs help`.
 pub const USAGE: &str =
     "dcs sweep <G1.edges> <G2.edges> [--alphas a,b,c] [--measure degree|affinity] \
-[--numeric] [--timeout SECS] [--budget N] [--trace-json FILE] [--json]";
+[--numeric] [--timeout SECS] [--budget N] [--threads N] [--trace-json FILE] [--json]";
 
 fn spec() -> ArgSpec {
     ArgSpec::new(
-        &["alphas", "measure", "timeout", "budget", "trace-json"],
+        &[
+            "alphas",
+            "measure",
+            "timeout",
+            "budget",
+            "threads",
+            "trace-json",
+        ],
         &["numeric", "json"],
     )
 }

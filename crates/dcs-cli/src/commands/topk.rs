@@ -17,7 +17,7 @@ use crate::output::{json_to_string, render_report, report_to_json, TraceGuard};
 /// Usage string shown by `dcs help`.
 pub const USAGE: &str = "dcs topk <G1.edges> <G2.edges> [--k N] [--measure degree|affinity] [--numeric] \
 [--scheme weighted|discrete|scaled] [--alpha X] [--direction emerging|disappearing|both] [--clamp X] \
-[--timeout SECS] [--budget N] [--trace-json FILE] [--json]";
+[--timeout SECS] [--budget N] [--threads N] [--trace-json FILE] [--json]";
 
 fn spec() -> ArgSpec {
     ArgSpec::new(
@@ -30,6 +30,7 @@ fn spec() -> ArgSpec {
             "clamp",
             "timeout",
             "budget",
+            "threads",
             "trace-json",
         ],
         &["numeric", "json"],

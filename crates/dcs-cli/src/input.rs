@@ -150,10 +150,19 @@ impl MiningOptions {
     }
 
     /// Interprets the shared solver-bound options `--timeout SECONDS` (wall-clock
-    /// deadline) and `--budget UNITS` (solver-specific work budget) into a
-    /// [`SolveContext`].  With neither flag the context is unbounded.
+    /// deadline), `--budget UNITS` (solver-specific work budget) and
+    /// `--threads N` (intra-solve parallelism for peeling and KKT scans; 0 or
+    /// absent inherits the `DCS_SOLVER_THREADS` environment default) into a
+    /// [`SolveContext`].  With no flags the context is unbounded.
     pub fn solve_context(args: &ParsedArgs) -> Result<SolveContext, CliError> {
         let mut cx = SolveContext::unbounded();
+        if let Some(raw) = args.option("threads") {
+            let threads: usize = raw.parse().map_err(|_| CliError::InvalidValue {
+                option: "threads".to_string(),
+                value: raw.to_string(),
+            })?;
+            cx = cx.with_threads(threads);
+        }
         if let Some(raw) = args.option("timeout") {
             let seconds: f64 = raw.parse().map_err(|_| CliError::InvalidValue {
                 option: "timeout".to_string(),

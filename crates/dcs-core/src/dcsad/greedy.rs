@@ -12,7 +12,8 @@
 //! If the winning candidate is disconnected in `G_D`, it is replaced by its best
 //! connected component (justified by Property 1).
 
-use dcs_densest::charikar::{greedy_peeling, greedy_peeling_view_into};
+use dcs_densest::charikar::greedy_peeling;
+use dcs_densest::greedy_peeling_view_auto;
 use dcs_graph::{components, GraphView, SignedGraph, VertexId, Weight};
 
 use crate::engine::{SolveContext, SolveStats};
@@ -123,9 +124,11 @@ impl DcsGreedy {
             "the difference graph must have at least one (alive) vertex"
         );
         let mut meter = cx.meter();
+        let threads = cx.threads();
         let mut ws = cx.workspace();
         let crate::workspace::SolverWorkspace {
             peel: peel_ws,
+            par_peel: par_ws,
             marks,
             visited,
             stack,
@@ -160,7 +163,9 @@ impl DcsGreedy {
 
         // Candidate B: greedy peel of G_D (interruptible; best prefix so far).
         let s1 = {
-            let (peel, _) = greedy_peeling_view_into(view, peel_ws, |units| !meter.tick(units));
+            let (peel, _) = greedy_peeling_view_auto(view, peel_ws, par_ws, threads, |units| {
+                !meter.tick(units)
+            });
             meter.note_candidates(1);
             peel.subset
         };
@@ -171,7 +176,9 @@ impl DcsGreedy {
             (Vec::new(), 0.0)
         } else {
             let (peel_plus, _) =
-                greedy_peeling_view_into(view.positive_part(), peel_ws, |units| !meter.tick(units));
+                greedy_peeling_view_auto(view.positive_part(), peel_ws, par_ws, threads, |units| {
+                    !meter.tick(units)
+                });
             meter.note_candidates(1);
             (peel_plus.subset, peel_plus.average_degree)
         };

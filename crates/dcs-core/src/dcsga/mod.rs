@@ -43,7 +43,7 @@ mod seacd;
 pub use arena::DcsgaScratch;
 pub use coord_descent::{descend_to_local_kkt, CoordDescentOutcome};
 pub use newsea::{
-    smart_initialization_order, smart_initialization_order_in,
+    smart_initialization_order, smart_initialization_order_in, smart_initialization_order_par_in,
     smart_initialization_order_view_into, NewSea, SmartInitStats,
 };
 pub use parallel::{parallel_newsea, parallel_sweep};

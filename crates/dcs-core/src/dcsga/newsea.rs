@@ -143,6 +143,7 @@ impl NewSea {
         cx: &SolveContext,
     ) -> (DcsgaSolution, SolveStats) {
         let mut meter = cx.meter();
+        let threads = cx.threads();
         let mut ws = cx.workspace();
         let crate::workspace::SolverWorkspace {
             init_order,
@@ -160,6 +161,7 @@ impl NewSea {
             &mut dcsga.cores,
             &mut dcsga.arena,
             &mut dcsga.kernel,
+            threads,
         );
         (solution, meter.finish())
     }
@@ -186,9 +188,15 @@ impl NewSea {
             &mut cores,
             &mut arena,
             &mut kernel,
+            1,
         )
     }
 }
+
+/// Below this many alive vertices the µ_u ordering runs sequentially even under a
+/// multi-thread budget: the scans are memory-bound and thread spawn overhead would
+/// dominate.  Bit-identity makes the dispatch unobservable in results.
+const PAR_INIT_MIN_VERTICES: usize = 2048;
 
 /// The generic µ_u-ordered sweep shared by the dense (canonical) and hash
 /// (reference) arenas.  `view` is the signed-graph view; the positive filter is
@@ -204,6 +212,7 @@ fn sweep_in<A: EmbeddingArena>(
     cores: &mut CoreScratch,
     arena: &mut A,
     kernel: &mut KernelScratch,
+    threads: usize,
 ) -> DcsgaSolution {
     let pview = view.positive_part();
     let n = pview.num_vertices();
@@ -217,7 +226,11 @@ fn sweep_in<A: EmbeddingArena>(
     }
 
     // --- Smart-initialisation upper bounds (Theorem 6), into reused buffers. -----
-    smart_initialization_order_in(pview, order, max_incident, cores);
+    if threads > 1 && pview.alive_count() >= PAR_INIT_MIN_VERTICES {
+        smart_initialization_order_par_in(pview, order, max_incident, cores, threads);
+    } else {
+        smart_initialization_order_in(pview, order, max_incident, cores);
+    }
 
     // --- Warm start: one run from the seed to establish a strong incumbent. ------
     let mut best_objective: Weight = 0.0;
@@ -362,6 +375,93 @@ pub fn smart_initialization_order_in(
     }
     // Unstable sort: deterministic for a fixed input and allocation-free, unlike the
     // stable sort (which buffers half the slice per call).
+    order.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+/// [`smart_initialization_order_in`] with the two vertex scans fanned out over
+/// `threads` workers on disjoint ranges.
+///
+/// **Bit-identical to the sequential order.** The per-vertex maximum incident weight
+/// is a `max` over the vertex's surviving row (edge visibility is symmetric, so the
+/// row holds exactly the edges the sequential edge sweep credits to the vertex, and
+/// `max` is reorder-safe); the `(u, µ_u)` pairs are produced per range and
+/// concatenated in ascending range order, reproducing the sequential push order, so
+/// the final deterministic sort sees an identical input slice.  The integer core
+/// decomposition stays sequential (it is inherently ordered and cheap relative to
+/// the weight scans).
+pub fn smart_initialization_order_par_in(
+    view: GraphView<'_>,
+    order: &mut Vec<(VertexId, Weight)>,
+    max_incident: &mut Vec<Weight>,
+    cores: &mut CoreScratch,
+    threads: usize,
+) {
+    if threads <= 1 {
+        return smart_initialization_order_in(view, order, max_incident, cores);
+    }
+    let n = view.num_vertices();
+    core_numbers_view_into(view, cores);
+    max_incident.clear();
+    max_incident.resize(n, 0.0);
+    let chunk = n.div_ceil(threads).max(1);
+
+    // Phase 1: per-vertex maximum incident weight, written to disjoint ranges.
+    std::thread::scope(|scope| {
+        for (t, slots) in max_incident.chunks_mut(chunk).enumerate() {
+            let base = t * chunk;
+            scope.spawn(move || {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    let u = (base + i) as VertexId;
+                    if !view.is_alive(u) {
+                        continue;
+                    }
+                    for e in view.neighbors(u) {
+                        debug_assert!(e.weight > 0.0, "G_D+ must only contain positive edges");
+                        if e.weight > *slot {
+                            *slot = e.weight;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Phase 2: per-range `(u, µ_u)` lists, concatenated in ascending range order.
+    let max_incident_ref: &[Weight] = max_incident;
+    let core_ref: &[u32] = &cores.core;
+    let per_range: Vec<Vec<(VertexId, Weight)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let v0 = (t * chunk).min(n);
+                    let v1 = ((t + 1) * chunk).min(n);
+                    let mut pairs = Vec::new();
+                    for u in v0..v1 {
+                        let u = u as VertexId;
+                        if !view.is_alive(u) || view.degree(u) == 0 {
+                            continue;
+                        }
+                        let mut w_u = max_incident_ref[u as usize];
+                        for e in view.neighbors(u) {
+                            w_u = w_u.max(max_incident_ref[e.neighbor as usize]);
+                        }
+                        let tau = core_ref[u as usize] as Weight;
+                        pairs.push((u, tau * w_u / (tau + 1.0)));
+                    }
+                    pairs
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("µ_u scan worker panicked"))
+            .collect()
+    });
+
+    order.clear();
+    for pairs in per_range {
+        order.extend(pairs);
+    }
     order.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 }
 

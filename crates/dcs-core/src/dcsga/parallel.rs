@@ -18,7 +18,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dcs_densest::Embedding;
-use dcs_graph::{GraphView, SignedGraph, Weight};
+use dcs_graph::{GraphView, SignedGraph, VertexId, Weight};
 use parking_lot::Mutex;
 
 use super::newsea::{smart_initialization_order, SmartInitStats};
@@ -27,31 +27,53 @@ use super::seacd::{SeaCd, SeaCdSweep};
 use super::{DcsgaConfig, DcsgaSolution};
 use crate::workspace::SolverWorkspace;
 
-/// Shared best-so-far state of a parallel sweep.
+/// Shared best-so-far state of a parallel sweep: `(objective, seed vertex of the
+/// winning initialisation, embedding)`.
 struct SharedBest {
-    objective_and_embedding: Mutex<(Weight, Embedding)>,
+    best: Mutex<(Weight, VertexId, Embedding)>,
 }
+
+/// Sentinel seed of the initial empty incumbent: a real offer never ties against it
+/// (the incumbent must first be beaten on the objective, exactly as before).
+const UNSEEDED: VertexId = VertexId::MAX;
 
 impl SharedBest {
     fn new() -> Self {
         SharedBest {
-            objective_and_embedding: Mutex::new((0.0, Embedding::default())),
+            best: Mutex::new((0.0, UNSEEDED, Embedding::default())),
         }
     }
 
     fn objective(&self) -> Weight {
-        self.objective_and_embedding.lock().0
+        self.best.lock().0
     }
 
-    fn offer(&self, objective: Weight, embedding: &Embedding) {
-        let mut guard = self.objective_and_embedding.lock();
-        if objective > guard.0 {
-            *guard = (objective, embedding.clone());
+    /// Whether `(objective, seed)` replaces the incumbent: strictly better objective,
+    /// or an exact objective tie broken towards the **lowest seed vertex** — so the
+    /// winning embedding is deterministic under any scheduling and thread count.
+    fn wins(objective: Weight, seed: VertexId, incumbent: &(Weight, VertexId, Embedding)) -> bool {
+        objective > incumbent.0
+            || (incumbent.1 != UNSEEDED && objective == incumbent.0 && seed < incumbent.1)
+    }
+
+    /// Offers the solution of the initialisation seeded at `seed`.  Losing offers
+    /// never clone: the embedding is cloned outside the lock only after a first
+    /// check says the offer currently wins, and installed only if it still wins on
+    /// the re-check (another worker may have improved the incumbent in between).
+    fn offer(&self, objective: Weight, seed: VertexId, embedding: &Embedding) {
+        if !Self::wins(objective, seed, &self.best.lock()) {
+            return;
+        }
+        let owned = embedding.clone();
+        let mut guard = self.best.lock();
+        if Self::wins(objective, seed, &guard) {
+            *guard = (objective, seed, owned);
         }
     }
 
     fn into_best(self) -> (Weight, Embedding) {
-        self.objective_and_embedding.into_inner()
+        let (objective, _, embedding) = self.best.into_inner();
+        (objective, embedding)
     }
 }
 
@@ -105,7 +127,7 @@ pub fn parallel_sweep(
                     errors.fetch_add(run.expansion_errors, Ordering::Relaxed);
                     let refined = refine_with_workspace(gd_plus, run.embedding, &config, &mut ws);
                     let objective = refined.affinity(gd_plus);
-                    shared.offer(objective, &refined);
+                    shared.offer(objective, u, &refined);
                     if collect_all {
                         *per_candidate[index].lock() = Some(refined);
                     }
@@ -182,7 +204,7 @@ pub fn parallel_newsea(gd: &SignedGraph, config: DcsgaConfig, threads: usize) ->
                         solver.run_on_view_in(view, Embedding::singleton(u), &mut ws, |_| false);
                     errors.fetch_add(run.expansion_errors, Ordering::Relaxed);
                     let refined = refine_with_workspace(&gd_plus, run.embedding, &config, &mut ws);
-                    shared.offer(refined.affinity(&gd_plus), &refined);
+                    shared.offer(refined.affinity(&gd_plus), u, &refined);
                 }
             });
         }

@@ -131,6 +131,21 @@ pub struct SolveContext {
     deadline: Option<Instant>,
     budget: Option<u64>,
     workspace: Option<SharedWorkspace>,
+    threads: Option<usize>,
+}
+
+/// Reads the process-wide default solver thread count from the
+/// `DCS_SOLVER_THREADS` environment variable once (clamped to at least 1;
+/// unset, empty or unparsable values mean 1 = sequential).
+fn default_solver_threads() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("DCS_SOLVER_THREADS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1)
+    })
 }
 
 impl SolveContext {
@@ -174,6 +189,24 @@ impl SolveContext {
     pub fn with_workspace(mut self, workspace: &SharedWorkspace) -> Self {
         self.workspace = Some(workspace.clone());
         self
+    }
+
+    /// Sets the intra-solve parallelism budget: the number of worker threads
+    /// the solver kernels (parallel peeling, the KKT/µ_u range scans) may use.
+    /// `1` forces the sequential reference paths; higher values are safe on any
+    /// machine because every parallel kernel is **bit-identical** to its
+    /// sequential counterpart.  `0` restores the default (the
+    /// `DCS_SOLVER_THREADS` environment variable, else 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 { None } else { Some(threads) };
+        self
+    }
+
+    /// The effective parallelism budget of this context (≥ 1): the explicit
+    /// [`Self::with_threads`] value, else the process-wide `DCS_SOLVER_THREADS`
+    /// default, else 1.
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(default_solver_threads)
     }
 
     /// Whether this context carries a shared workspace.
@@ -538,10 +571,15 @@ impl ContrastSolver for PeelSolver {
     fn solve_in(&self, gd: &SignedGraph, cx: &SolveContext) -> EngineSolution {
         let mut meter = cx.meter();
         let mut ws = cx.workspace();
-        let (peel, _) =
-            dcs_densest::greedy_peeling_view_into(GraphView::full(gd), &mut ws.peel, |units| {
-                !meter.tick(units)
-            });
+        let threads = cx.threads();
+        let ws = &mut *ws;
+        let (peel, _) = dcs_densest::greedy_peeling_view_auto(
+            GraphView::full(gd),
+            &mut ws.peel,
+            &mut ws.par_peel,
+            threads,
+            |units| !meter.tick(units),
+        );
         meter.note_candidates(1);
         EngineSolution {
             objective: peel.average_degree,

@@ -22,7 +22,7 @@
 
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use dcs_densest::{FlowNetwork, PeelWorkspace};
+use dcs_densest::{FlowNetwork, ParallelPeelWorkspace, PeelWorkspace};
 use dcs_graph::{VertexId, VertexSubset, Weight};
 
 use crate::dcsga::DcsgaScratch;
@@ -36,6 +36,9 @@ use crate::dcsga::DcsgaScratch;
 pub struct SolverWorkspace {
     /// Greedy-peel scratch (lazy heap, degree/version/alive arrays, removal order).
     pub peel: PeelWorkspace,
+    /// Parallel-peel scratch (shared atomics, per-range scan slots, dirty heap)
+    /// used when the context carries a parallelism budget above 1.
+    pub par_peel: ParallelPeelWorkspace,
     /// Max-flow arena of the Goldberg exact solver.
     pub flow: FlowNetwork,
     /// NewSEA smart-initialisation order `(vertex, µ_u)`, sorted descending.
@@ -57,6 +60,7 @@ impl Default for SolverWorkspace {
     fn default() -> Self {
         SolverWorkspace {
             peel: PeelWorkspace::new(),
+            par_peel: ParallelPeelWorkspace::new(),
             flow: FlowNetwork::new(0),
             init_order: Vec::new(),
             max_incident: Vec::new(),

@@ -1,0 +1,130 @@
+//! Property-based tests of the parallel oracle kernels against their sequential
+//! twins — the contract the parallel solvers rest on is **bit-identity**, not
+//! approximate agreement:
+//!
+//! * [`kkt_violation_view_par`] == [`kkt_violation_view`] to the last bit across
+//!   randomized signed graphs, embeddings, and thread counts {1, 2, 4};
+//! * [`local_kkt_gap_view_par`] == [`local_kkt_gap_view`] likewise;
+//! * `expansion_candidates_view_par` returns exactly the sequential candidate set
+//!   `Z`, in the same (ascending) order;
+//! * the parallel NewSEA µ_u sweep ([`smart_initialization_order_par_in`]) produces
+//!   the same `(vertex, µ_u)` order as [`smart_initialization_order_in`], with the
+//!   core/order/scratch buffers reused across thread counts (the risky part: stale
+//!   per-vertex maxima leaking between sweeps).
+
+use dcs_core::dcsga::kkt::{
+    kkt_violation_view, kkt_violation_view_par, local_kkt_gap_view, local_kkt_gap_view_par,
+};
+use dcs_core::dcsga::{smart_initialization_order_in, smart_initialization_order_par_in};
+use dcs_core::Embedding;
+use dcs_densest::{expansion_candidates_view, expansion_candidates_view_par};
+use dcs_graph::{CoreScratch, GraphBuilder, GraphView, SignedGraph, VertexId, Weight};
+use proptest::prelude::*;
+
+/// Strategy: a random signed graph over `n <= 40` vertices plus an embedding
+/// supported on a random vertex subset with random positive weights.
+fn arb_graph_and_embedding() -> impl Strategy<Value = (SignedGraph, Embedding)> {
+    (4usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, -6.0f64..6.0);
+        let weight = (0..n as u32, 0.05f64..1.0);
+        (
+            Just(n),
+            proptest::collection::vec(edge, 0..140),
+            proptest::collection::vec(weight, 1..10),
+        )
+            .prop_map(|(n, edges, weights)| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v, w) in edges {
+                    if u != v && w != 0.0 {
+                        b.add_edge(u, v, w);
+                    }
+                }
+                let mut x = Embedding::from_weights(weights);
+                x.normalize();
+                (b.build(), x)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The global KKT oracle: parallel range scans merge to the exact sequential
+    /// violation, on the full signed view and the positive-filtered overlay.
+    #[test]
+    fn kkt_violation_par_is_bit_identical((g, x) in arb_graph_and_embedding()) {
+        for view in [GraphView::full(&g), GraphView::full(&g).positive_part()] {
+            let seq = kkt_violation_view(view, &x);
+            for threads in [1usize, 2, 4] {
+                let par = kkt_violation_view_par(view, &x, threads);
+                assert_eq!(
+                    seq.to_bits(), par.to_bits(),
+                    "threads={}: {} vs {}", threads, seq, par
+                );
+            }
+        }
+    }
+
+    /// The local KKT gap over the working set: per-range max/min extrema merge to
+    /// the sequential gap bit for bit.
+    #[test]
+    fn local_kkt_gap_par_is_bit_identical((g, x) in arb_graph_and_embedding()) {
+        let support: Vec<VertexId> = x.support();
+        for view in [GraphView::full(&g), GraphView::full(&g).positive_part()] {
+            let seq = local_kkt_gap_view(view, &x, &support);
+            for threads in [1usize, 2, 4] {
+                let par = local_kkt_gap_view_par(view, &x, &support, threads);
+                assert_eq!(
+                    seq.to_bits(), par.to_bits(),
+                    "threads={}: {} vs {}", threads, seq, par
+                );
+            }
+        }
+    }
+
+    /// The expansion candidate set `Z`: the parallel whole-range scan keeps exactly
+    /// the vertices the sequential adjacency walk finds, already sorted.
+    #[test]
+    fn expansion_candidates_par_is_identical(
+        (g, x) in arb_graph_and_embedding(),
+        tol in prop_oneof![Just(0.0f64), Just(1e-9), Just(0.1)],
+    ) {
+        for view in [GraphView::full(&g), GraphView::full(&g).positive_part()] {
+            let seq = expansion_candidates_view(view, &x, tol);
+            for threads in [1usize, 2, 4] {
+                let par = expansion_candidates_view_par(view, &x, tol, threads);
+                assert_eq!(&seq, &par, "threads={}", threads);
+            }
+        }
+    }
+
+    /// The NewSEA smart-initialisation µ_u sweep: identical `(vertex, µ_u)` pairs in
+    /// identical order, with all four scratch buffers reused across thread counts.
+    #[test]
+    fn smart_init_order_par_is_bit_identical((g, _x) in arb_graph_and_embedding()) {
+        let view = GraphView::full(&g).positive_part();
+
+        let mut seq_order: Vec<(VertexId, Weight)> = Vec::new();
+        let mut seq_incident: Vec<Weight> = Vec::new();
+        let mut seq_cores = CoreScratch::default();
+        smart_initialization_order_in(view, &mut seq_order, &mut seq_incident, &mut seq_cores);
+
+        let mut par_order: Vec<(VertexId, Weight)> = Vec::new();
+        let mut par_incident: Vec<Weight> = Vec::new();
+        let mut par_cores = CoreScratch::default();
+        for threads in [1usize, 2, 4] {
+            smart_initialization_order_par_in(
+                view, &mut par_order, &mut par_incident, &mut par_cores, threads,
+            );
+            assert_eq!(seq_order.len(), par_order.len(), "threads={}", threads);
+            for (i, (s, p)) in seq_order.iter().zip(&par_order).enumerate() {
+                assert_eq!(s.0, p.0, "threads={} rank={}", threads, i);
+                assert_eq!(
+                    s.1.to_bits(), p.1.to_bits(),
+                    "threads={} rank={} vertex={}: {} vs {}", threads, i, s.0, s.1, p.1
+                );
+            }
+            assert_eq!(&seq_incident, &par_incident, "threads={}", threads);
+        }
+    }
+}

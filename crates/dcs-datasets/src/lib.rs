@@ -36,6 +36,7 @@ pub mod coauthor;
 pub mod collab;
 pub mod conflict;
 pub mod keywords;
+pub mod large;
 pub mod planted;
 pub mod random;
 pub mod recovery;
@@ -48,6 +49,7 @@ pub use coauthor::CoauthorConfig;
 pub use collab::CollabConfig;
 pub use conflict::ConflictConfig;
 pub use keywords::{KeywordConfig, TopicSpec};
+pub use large::LargeConfig;
 pub use recovery::{best_match, jaccard, RecoveryReport};
 pub use social_interest::SocialInterestConfig;
 pub use stats::DiffStats;

@@ -13,6 +13,13 @@ use dcs_graph::{GraphView, SignedGraph, VertexId, Weight};
 
 use crate::peel::{Entry, MinDegreeQueue, PeelWorkspace, RescanQueue};
 
+/// Granularity (in vertices) of the partial sums used to fold the initial
+/// total degree.  Float addition is not associative, so the sequential and
+/// parallel peels both accumulate per-chunk sums over ascending vertex ids and
+/// fold them in ascending chunk order; parallel worker ranges are chunk-aligned,
+/// making the two inits **bit-identical** by construction.
+pub(crate) const DEGREE_CHUNK: usize = 64;
+
 /// Result of a greedy peeling run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PeelingResult {
@@ -98,7 +105,10 @@ fn greedy_peeling_view_impl<F: FnMut(u64) -> bool>(
         ws.alive[v as usize] = true;
     }
     let init_positive_only = view.is_positive_only();
-    let mut total_degree: Weight = 0.0;
+    // Chunked total-degree accumulation (see `DEGREE_CHUNK`): per-chunk sums in
+    // ascending vertex order, folded in ascending chunk order — the same float
+    // operations, in the same order, as the chunk-aligned parallel init.
+    ws.chunk_sums.resize(n.div_ceil(DEGREE_CHUNK), 0.0);
     for v in view.vertices() {
         let (nbrs, nbr_weights) = view.graph().neighbor_slices(v);
         let mut d: Weight = 0.0;
@@ -114,7 +124,11 @@ fn greedy_peeling_view_impl<F: FnMut(u64) -> bool>(
             vertex: v,
             version: 0,
         });
-        total_degree += d;
+        ws.chunk_sums[v as usize / DEGREE_CHUNK] += d;
+    }
+    let mut total_degree: Weight = 0.0;
+    for &chunk in ws.chunk_sums.iter() {
+        total_degree += chunk;
     }
 
     let mut alive_count = alive_at_start;
@@ -183,6 +197,28 @@ fn greedy_peeling_view_impl<F: FnMut(u64) -> bool>(
     }
     peel_span.set_units((alive_at_start - alive_count) as u64);
 
+    finish_peel(
+        view,
+        ws,
+        best_density,
+        best_size,
+        alive_at_start,
+        interrupted,
+    )
+}
+
+/// The common tail of the sequential and parallel peels: the negative-density
+/// fallback (last survivor alone, found through `ws.alive`) and the best-prefix
+/// reconstruction from `ws.removal_order` / `ws.in_best`.
+pub(crate) fn finish_peel(
+    view: GraphView<'_>,
+    ws: &mut PeelWorkspace,
+    best_density: Weight,
+    best_size: usize,
+    alive_at_start: usize,
+    interrupted: bool,
+) -> (PeelingResult, bool) {
+    let n = view.num_vertices();
     // A single vertex has density 0 by convention; if every encountered prefix had
     // negative density (possible on signed graphs) the best answer is the last
     // surviving vertex alone.

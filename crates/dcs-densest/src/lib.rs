@@ -31,6 +31,7 @@ pub mod charikar;
 pub mod expansion;
 pub mod goldberg;
 pub mod maxflow;
+pub mod parallel_peel;
 pub mod peel;
 pub mod quasi_clique;
 pub mod replicator;
@@ -41,12 +42,19 @@ pub use charikar::{
     greedy_peeling, greedy_peeling_until, greedy_peeling_view_into, greedy_peeling_with_profile,
     PeelingProfile, PeelingResult,
 };
-pub use expansion::{expansion_step, ExpansionOutcome};
+pub use expansion::{
+    expansion_candidates, expansion_candidates_view, expansion_candidates_view_par, expansion_step,
+    ExpansionOutcome,
+};
 pub use goldberg::{
     densest_subgraph_exact, densest_subgraph_exact_until, densest_subgraph_view_until,
     DensestSubgraph,
 };
 pub use maxflow::FlowNetwork;
+pub use parallel_peel::{
+    greedy_peeling_parallel_view_into, greedy_peeling_view_auto, ParallelPeelWorkspace,
+    PARALLEL_PEEL_THRESHOLD,
+};
 pub use peel::PeelWorkspace;
 pub use quasi_clique::{greedy_quasi_clique, local_search_quasi_clique, QuasiCliqueResult};
 pub use replicator::{replicator_dynamics, ReplicatorStop};

@@ -59,6 +59,11 @@ pub struct PeelWorkspace {
     pub(crate) alive: Vec<bool>,
     pub(crate) removal_order: Vec<VertexId>,
     pub(crate) in_best: Vec<bool>,
+    /// Per-chunk partial sums of the initial degrees (see
+    /// [`crate::charikar::DEGREE_CHUNK`]): the total degree is folded from these
+    /// in ascending chunk order so the sequential and parallel peels perform the
+    /// exact same float additions.
+    pub(crate) chunk_sums: Vec<Weight>,
 }
 
 impl PeelWorkspace {
@@ -80,6 +85,14 @@ impl PeelWorkspace {
         self.removal_order.clear();
         self.in_best.clear();
         self.in_best.resize(n, false);
+        self.chunk_sums.clear();
+    }
+
+    /// The vertices removed by the most recent peel, in removal order.  The
+    /// sequential and parallel peels produce the exact same sequence — this is
+    /// the surface the bit-identity property tests compare.
+    pub fn removal_order(&self) -> &[VertexId] {
+        &self.removal_order
     }
 }
 

@@ -1,0 +1,181 @@
+//! Property-based tests of the parallel bucket peel against the sequential peel,
+//! through the crate's **exported** API (the in-module tests in `parallel_peel.rs`
+//! cover the internals; these pin the public contract):
+//!
+//! * [`greedy_peeling_parallel_view_into`] is **bit-identical** to
+//!   [`greedy_peeling_view_into`] — same best subset, same `average_degree` down to
+//!   the last bit, and the same vertex-by-vertex removal order — across randomized
+//!   signed graphs, full / masked / positive-filtered views, thread counts
+//!   {1, 2, 4}, and per-range batch sizes;
+//! * both workspaces are **reused** across every case of a run (the risky part:
+//!   stale buckets, degrees, or removal orders leaking between peels);
+//! * interruption (`stop` budgets) trips at the same removal count on both paths;
+//! * [`greedy_peeling_view_auto`] dispatches below [`PARALLEL_PEEL_THRESHOLD`]
+//!   without changing results.
+
+use dcs_densest::{
+    greedy_peeling_parallel_view_into, greedy_peeling_view_auto, greedy_peeling_view_into,
+    ParallelPeelWorkspace, PeelWorkspace, PARALLEL_PEEL_THRESHOLD,
+};
+use dcs_graph::{GraphBuilder, GraphView, SignedGraph, VertexMask};
+use proptest::prelude::*;
+
+/// Strategy: a random signed graph over `n <= 48` vertices (signed weights so the
+/// positive-filtered view differs from the full one).
+fn arb_graph() -> impl Strategy<Value = SignedGraph> {
+    (4usize..48).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, -8.0f64..8.0);
+        (Just(n), proptest::collection::vec(edge, 0..160)).prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                if u != v && w != 0.0 {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// Peels `view` sequentially and in parallel with the given knobs, asserting full
+/// bit-identity.  The workspaces come from the caller so reuse is exercised.
+fn assert_peel_identical(
+    view: GraphView<'_>,
+    threads: usize,
+    batch: usize,
+    seq_ws: &mut PeelWorkspace,
+    par_seq_ws: &mut PeelWorkspace,
+    par_ws: &mut ParallelPeelWorkspace,
+) {
+    let (seq, seq_hit) = greedy_peeling_view_into(view, seq_ws, |_| false);
+    par_ws.set_batch_per_range(batch);
+    let (par, par_hit) =
+        greedy_peeling_parallel_view_into(view, par_seq_ws, par_ws, threads, |_| false);
+
+    assert_eq!(seq.subset, par.subset, "threads={threads} batch={batch}");
+    assert_eq!(
+        seq.average_degree.to_bits(),
+        par.average_degree.to_bits(),
+        "threads={threads} batch={batch}: {} vs {}",
+        seq.average_degree,
+        par.average_degree
+    );
+    assert_eq!(
+        seq_ws.removal_order(),
+        par_seq_ws.removal_order(),
+        "threads={threads} batch={batch}"
+    );
+    assert_eq!(seq_hit, par_hit);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel peel == sequential peel on the full view, bit for bit, for every
+    /// thread count and batch size, with all three workspaces reused across knobs.
+    #[test]
+    fn parallel_peel_matches_sequential_on_full_views(g in arb_graph()) {
+        let mut seq_ws = PeelWorkspace::default();
+        let mut par_seq_ws = PeelWorkspace::default();
+        let mut par_ws = ParallelPeelWorkspace::default();
+        for threads in [1usize, 2, 4] {
+            for batch in [1usize, 3, 64] {
+                assert_peel_identical(
+                    GraphView::full(&g), threads, batch,
+                    &mut seq_ws, &mut par_seq_ws, &mut par_ws,
+                );
+            }
+        }
+    }
+
+    /// The same identity on the positive-filtered overlay (the view the affinity
+    /// solvers actually peel) and on a masked view with vertices knocked out.
+    #[test]
+    fn parallel_peel_matches_sequential_on_filtered_views(
+        g in arb_graph(),
+        holes in proptest::collection::vec(0u32..48, 0..12),
+    ) {
+        let mut seq_ws = PeelWorkspace::default();
+        let mut par_seq_ws = PeelWorkspace::default();
+        let mut par_ws = ParallelPeelWorkspace::default();
+
+        assert_peel_identical(
+            GraphView::full(&g).positive_part(), 4, 8,
+            &mut seq_ws, &mut par_seq_ws, &mut par_ws,
+        );
+
+        let mut mask = VertexMask::full(g.num_vertices());
+        for v in holes {
+            if (v as usize) < g.num_vertices() {
+                mask.remove(v);
+            }
+        }
+        assert_peel_identical(
+            GraphView::masked(&g, &mask), 2, 1,
+            &mut seq_ws, &mut par_seq_ws, &mut par_ws,
+        );
+        assert_peel_identical(
+            GraphView::masked(&g, &mask).positive_part(), 4, 64,
+            &mut seq_ws, &mut par_seq_ws, &mut par_ws,
+        );
+    }
+
+    /// A `stop` budget interrupts both paths after the same number of removals and
+    /// both report the interruption; the best-so-far prefix is still identical.
+    #[test]
+    fn interruption_trips_identically(g in arb_graph(), budget in 1u64..24) {
+        let mut seq_ws = PeelWorkspace::default();
+        let mut par_seq_ws = PeelWorkspace::default();
+        let mut par_ws = ParallelPeelWorkspace::default();
+        let view = GraphView::full(&g);
+
+        let (seq, seq_hit) = greedy_peeling_view_into(view, &mut seq_ws, |used| used >= budget);
+        let (par, par_hit) =
+            greedy_peeling_parallel_view_into(view, &mut par_seq_ws, &mut par_ws, 4, |used| {
+                used >= budget
+            });
+
+        prop_assert_eq!(seq_hit, par_hit);
+        prop_assert_eq!(seq.subset, par.subset);
+        prop_assert_eq!(seq.average_degree.to_bits(), par.average_degree.to_bits());
+        prop_assert_eq!(seq_ws.removal_order(), par_seq_ws.removal_order());
+    }
+}
+
+/// `greedy_peeling_view_auto` on small graphs (every proptest graph is far below
+/// [`PARALLEL_PEEL_THRESHOLD`]) must take the sequential path yet stay identical —
+/// and must accept the same reused workspaces.
+#[test]
+fn auto_dispatch_is_transparent_below_the_threshold() {
+    let mut b = GraphBuilder::new(64);
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..400 {
+        let u = (next() % 64) as u32;
+        let v = (next() % 64) as u32;
+        let w = (next() % 1000) as f64 / 100.0 - 3.0;
+        if u != v && w != 0.0 {
+            b.add_edge(u, v, w);
+        }
+    }
+    let g = b.build();
+    assert!(g.num_vertices() < PARALLEL_PEEL_THRESHOLD);
+
+    let mut seq_ws = PeelWorkspace::default();
+    let mut auto_seq_ws = PeelWorkspace::default();
+    let mut par_ws = ParallelPeelWorkspace::default();
+    let view = GraphView::full(&g);
+    let (seq, _) = greedy_peeling_view_into(view, &mut seq_ws, |_| false);
+    for threads in [1usize, 2, 4] {
+        let (auto, _) =
+            greedy_peeling_view_auto(view, &mut auto_seq_ws, &mut par_ws, threads, |_| false);
+        assert_eq!(seq.subset, auto.subset);
+        assert_eq!(seq.average_degree.to_bits(), auto.average_degree.to_bits());
+        assert_eq!(seq_ws.removal_order(), auto_seq_ws.removal_order());
+    }
+}

@@ -1,17 +1,31 @@
-//! Mining jobs and the fixed worker-thread pool that executes them.
+//! Mining jobs and the work-stealing worker pool that executes them.
 //!
 //! Mining is CPU-bound, so connection threads never solve anything themselves:
 //! they submit a [`JobSpec`] and block on the job's reply channel.  The pool
-//! has a fixed number of workers and a **bounded** queue — when the queue is
-//! full, submission fails immediately with [`ServerError::Busy`] and the
-//! client sees a `busy` error instead of unbounded latency.
+//! has a fixed number of workers and a **bounded** admission count — when too
+//! many jobs are pending, submission fails immediately with
+//! [`ServerError::Busy`] and the client sees a `busy` error instead of
+//! unbounded latency.
+//!
+//! Scheduling is **work-stealing with snapshot batching**: mining jobs park in
+//! a per-session pending list, and the worker that claims a session drains its
+//! whole list in *one* session-lock pass — every claimed job sees the same
+//! graph version and shares the same `Arc<SignedGraph>` snapshot handles.
+//! Jobs with the same cache key are **coalesced** into one group solved once
+//! (followers are answered with the leader's result, marked
+//! `"coalesced": true`); distinct groups beyond the first are pushed onto the
+//! claiming worker's deque, where idle workers steal them.  Batch sizes,
+//! steal counts and coalesced-job counts are exported through the pool's
+//! accessors into the server's `stats` payload.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as WorkerDeque};
 
 use dcs_core::dcsga::DcsgaConfig;
 use dcs_core::{
@@ -291,132 +305,263 @@ enum Snapshot {
 /// tasks thread the workspace into their [`SolveContext`]; observe tasks ignore it).
 pub type Task = Box<dyn FnOnce(&SharedWorkspace) -> Result<Value, ServerError> + Send + 'static>;
 
-struct Job {
-    task: Task,
-    reply: SyncSender<Result<Value, ServerError>>,
-    /// When the job entered the queue — the worker that dequeues it records
-    /// the wait into the pool's queue-wait histogram (and, when tracing is
-    /// enabled, a [`trace::Phase::QueueWait`] event).
+/// A reply slot of one submitted job.
+type Reply = SyncSender<Result<Value, ServerError>>;
+
+/// A mining job waiting in its session's pending list.
+struct MiningJob {
+    session: SharedSession,
+    spec: JobSpec,
+    cx: SolveContext,
+    reply: Reply,
+    /// When the job was accepted — the claiming worker records the wait into
+    /// the pool's queue-wait histogram (and, when tracing is enabled, a
+    /// [`trace::Phase::QueueWait`] event).
     enqueued: Instant,
 }
 
-/// A fixed set of worker threads draining a bounded job queue.
+/// An opaque task (cadence observes) — unbatchable, runs as-is.
+struct OpaqueJob {
+    task: Task,
+    reply: Reply,
+    enqueued: Instant,
+}
+
+/// A coalesced group snapshotted under the session lock and ready to solve.
+/// Groups beyond the first of a claim are pushed onto the claiming worker's
+/// deque, where idle workers steal them — the snapshot travels with the
+/// ticket, so the thief never touches the session lock before solving.
+struct ReadyGroup {
+    session: SharedSession,
+    spec: JobSpec,
+    key: String,
+    version: u64,
+    snapshot: Snapshot,
+    /// The leader's context: the whole group solves under its bounds.
+    cx: SolveContext,
+    /// Reply slots in arrival order; the first is the leader, the rest are
+    /// answered with the leader's result marked `"coalesced": true`.
+    members: Vec<Reply>,
+}
+
+/// A unit of scheduling in the pool's deques.
+enum Ticket {
+    /// "Session `key` has pending mining jobs" — the claiming worker drains
+    /// them all in one lock pass.  Later tickets for an already-drained
+    /// session are no-ops.
+    Session(usize),
+    /// A snapshotted group ready to solve (stealable).
+    Group(Box<ReadyGroup>),
+    /// An opaque task.
+    Opaque(OpaqueJob),
+}
+
+/// State shared between the pool handle and its workers.
+struct PoolShared {
+    /// Global FIFO all submissions enter; workers take from it when their own
+    /// deque is empty, and steal from each other when it is empty too.
+    injector: Injector<Ticket>,
+    stealers: Vec<Stealer<Ticket>>,
+    /// Pending mining jobs per session (keyed by `Arc` pointer identity).
+    pending_mining: Mutex<HashMap<usize, Vec<MiningJob>>>,
+    /// Jobs accepted but not yet claimed by a worker — the admission counter.
+    pending: AtomicUsize,
+    /// Parking lot: a generation counter bumped on every submission, so idle
+    /// workers sleep instead of spinning and wake promptly on new work.
+    park: (Mutex<u64>, Condvar),
+    shutdown: AtomicBool,
+    executed: AtomicU64,
+    steals: AtomicU64,
+    coalesced: AtomicU64,
+    queued: Gauge,
+    inflight: Gauge,
+    queue_wait_us: Histogram,
+    /// Jobs per executed solve group (1 = no coalescing happened).
+    batch_size: Histogram,
+}
+
+impl PoolShared {
+    fn generation(&self) -> u64 {
+        *self.park.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wake(&self) {
+        let mut generation = self.park.0.lock().unwrap_or_else(PoisonError::into_inner);
+        *generation = generation.wrapping_add(1);
+        self.park.1.notify_all();
+    }
+
+    /// Sleeps until the generation moves past `seen` (or a short timeout, as
+    /// a lost-wakeup backstop).
+    fn park(&self, seen: u64) {
+        let guard = self.park.0.lock().unwrap_or_else(PoisonError::into_inner);
+        if *guard != seen {
+            return;
+        }
+        let _ = self
+            .park
+            .1
+            .wait_timeout(guard, Duration::from_millis(50))
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+
+    /// Counts one job as dequeued and records its queue wait.
+    fn note_claimed(&self, enqueued: Instant) {
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+        self.queued.dec();
+        self.inflight.inc();
+        let wait = enqueued.elapsed();
+        self.queue_wait_us.record_duration(wait);
+        trace::record(trace::Phase::QueueWait, enqueued, wait, 1);
+    }
+
+    /// Replies to one claimed job and closes its inflight accounting.
+    fn finish(&self, reply: Reply, outcome: Result<Value, ServerError>) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.inflight.dec();
+        // A dropped reply receiver (client went away) is fine.
+        let _ = reply.send(outcome);
+    }
+}
+
+/// A fixed set of work-stealing worker threads behind a bounded admission
+/// count, with same-session mining jobs batched onto shared snapshots.
 pub struct WorkerPool {
-    sender: Option<SyncSender<Job>>,
+    shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
-    executed: Arc<AtomicU64>,
     rejected: AtomicU64,
     threads: usize,
     capacity: usize,
-    /// Jobs accepted but not yet picked up by a worker.
-    queued: Arc<Gauge>,
-    /// Jobs currently executing on a worker.
-    inflight: Arc<Gauge>,
-    /// Time jobs spent waiting in the queue, in microseconds.
-    queue_wait_us: Arc<Histogram>,
 }
 
 impl WorkerPool {
-    /// Spawns `threads` workers behind a queue of `capacity` pending jobs.
+    /// Spawns `threads` workers admitting up to `capacity` pending jobs.
     pub fn new(threads: usize, capacity: usize) -> Self {
         let threads = threads.max(1);
         let capacity = capacity.max(1);
-        let (sender, receiver) = sync_channel::<Job>(capacity);
-        let receiver = Arc::new(Mutex::new(receiver));
-        let executed = Arc::new(AtomicU64::new(0));
-        let queued = Arc::new(Gauge::new());
-        let inflight = Arc::new(Gauge::new());
-        let queue_wait_us = Arc::new(Histogram::new());
-        let workers = (0..threads)
-            .map(|_| {
-                let receiver = Arc::clone(&receiver);
-                let executed = Arc::clone(&executed);
-                let queued = Arc::clone(&queued);
-                let inflight = Arc::clone(&inflight);
-                let queue_wait_us = Arc::clone(&queue_wait_us);
-                std::thread::spawn(move || {
-                    // One solver workspace per worker, alive across jobs: the
-                    // steady-state serving path re-mines into the same scratch
-                    // buffers instead of allocating them per job.
-                    let workspace = SharedWorkspace::new();
-                    loop {
-                        let job = {
-                            let guard = receiver.lock().unwrap_or_else(PoisonError::into_inner);
-                            guard.recv()
-                        };
-                        let Ok(job) = job else {
-                            break; // queue closed: pool is shutting down
-                        };
-                        queued.dec();
-                        inflight.inc();
-                        let wait = job.enqueued.elapsed();
-                        queue_wait_us.record_duration(wait);
-                        trace::record(trace::Phase::QueueWait, job.enqueued, wait, 1);
-                        let outcome = (job.task)(&workspace);
-                        executed.fetch_add(1, Ordering::Relaxed);
-                        inflight.dec();
-                        // A dropped reply receiver (client went away) is fine.
-                        let _ = job.reply.send(outcome);
-                    }
-                })
+        let deques: Vec<WorkerDeque<Ticket>> =
+            (0..threads).map(|_| WorkerDeque::new_fifo()).collect();
+        let stealers: Vec<Stealer<Ticket>> = deques.iter().map(WorkerDeque::stealer).collect();
+        let shared = Arc::new(PoolShared {
+            injector: Injector::new(),
+            stealers,
+            pending_mining: Mutex::new(HashMap::new()),
+            pending: AtomicUsize::new(0),
+            park: (Mutex::new(0), Condvar::new()),
+            shutdown: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            queued: Gauge::new(),
+            inflight: Gauge::new(),
+            queue_wait_us: Histogram::new(),
+            batch_size: Histogram::new(),
+        });
+        let workers = deques
+            .into_iter()
+            .enumerate()
+            .map(|(index, deque)| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, &deque, index))
             })
             .collect();
         WorkerPool {
-            sender: Some(sender),
+            shared,
             workers,
-            executed,
             rejected: AtomicU64::new(0),
             threads,
             capacity,
-            queued,
-            inflight,
-            queue_wait_us,
         }
     }
 
+    /// Bounded admission: rejects with [`ServerError::Busy`] when `capacity`
+    /// jobs are already pending (accepted but unclaimed) or the pool is
+    /// shutting down.
+    fn admit(&self) -> Result<(), ServerError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::Busy);
+        }
+        let mut current = self.shared.pending.load(Ordering::Relaxed);
+        loop {
+            if current >= self.capacity {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServerError::Busy);
+            }
+            match self.shared.pending.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+        self.shared.queued.inc();
+        Ok(())
+    }
+
     /// Submits a mining job bounded by `cx`; fails with [`ServerError::Busy`]
-    /// when the queue is full.  On success, the returned receiver yields the
-    /// job's result exactly once.  The context's deadline is absolute, so time
-    /// spent waiting in the queue counts against the job's deadline — an
-    /// overloaded server answers "deadline, best-so-far" rather than holding
-    /// the client for queue time plus solve time.
+    /// when too many jobs are pending.  On success, the returned receiver
+    /// yields the job's result exactly once.  The context's deadline is
+    /// absolute, so time spent waiting in the queue counts against the job's
+    /// deadline — an overloaded server answers "deadline, best-so-far" rather
+    /// than holding the client for queue time plus solve time.
+    ///
+    /// Jobs against the same session are **batched**: the worker that claims
+    /// them drains every pending job for that session in one session-lock
+    /// pass, so all of them share one graph version and one set of
+    /// `Arc<SignedGraph>` snapshots.  Jobs with the same cache key are solved
+    /// once; the followers receive the leader's result with
+    /// `"coalesced": true`.
     pub fn submit(
         &self,
         session: SharedSession,
         spec: JobSpec,
         cx: SolveContext,
     ) -> Result<Receiver<Result<Value, ServerError>>, ServerError> {
-        self.submit_task(Box::new(move |workspace| {
-            spec.execute(&session, &cx.with_workspace(workspace))
-        }))
+        self.admit()?;
+        let (reply, receiver) = sync_channel(1);
+        let key = Arc::as_ptr(&session) as usize;
+        let job = MiningJob {
+            session,
+            spec,
+            cx,
+            reply,
+            enqueued: Instant::now(),
+        };
+        self.shared
+            .pending_mining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key)
+            .or_default()
+            .push(job);
+        // The ticket is pushed after the job is visible in the map, so every
+        // ticket's job is claimable by the time the ticket is.
+        self.shared.injector.push(Ticket::Session(key));
+        self.shared.wake();
+        Ok(receiver)
     }
 
     /// Submits an arbitrary task (used for observes on cadence-mining
     /// sessions, which can trigger a solve and therefore must not run on
-    /// connection threads).  Same bounded-queue semantics as [`Self::submit`].
+    /// connection threads).  Same bounded-admission semantics as
+    /// [`Self::submit`]; opaque tasks are never batched.
     pub fn submit_task(
         &self,
         task: Task,
     ) -> Result<Receiver<Result<Value, ServerError>>, ServerError> {
+        self.admit()?;
         let (reply, receiver) = sync_channel(1);
-        let job = Job {
+        self.shared.injector.push(Ticket::Opaque(OpaqueJob {
             task,
             reply,
             enqueued: Instant::now(),
-        };
-        let sender = self.sender.as_ref().ok_or(ServerError::Busy)?;
-        // Count the job as queued *before* try_send: a worker may dequeue it
-        // (and decrement) before try_send even returns, and a gauge that dips
-        // negative transiently is worse than one that over-reports by one.
-        self.queued.inc();
-        match sender.try_send(job) {
-            Ok(()) => Ok(receiver),
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.queued.dec();
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(ServerError::Busy)
-            }
-        }
+        }));
+        self.shared.wake();
+        Ok(receiver)
     }
 
     /// Number of worker threads.
@@ -424,40 +569,62 @@ impl WorkerPool {
         self.threads
     }
 
-    /// Queue capacity.
+    /// Pending-job capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Jobs executed so far.
+    /// Jobs executed so far (each coalesced follower counts as one job).
     pub fn executed(&self) -> u64 {
-        self.executed.load(Ordering::Relaxed)
+        self.shared.executed.load(Ordering::Relaxed)
     }
 
-    /// Jobs rejected because the queue was full.
+    /// Jobs rejected because too many were pending.
     pub fn rejected(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
     }
 
-    /// Jobs accepted but not yet picked up by a worker.  Racy by nature (a
+    /// Jobs accepted but not yet claimed by a worker.  Racy by nature (a
     /// point-in-time gauge); may transiently over-report by one per worker.
     pub fn queue_depth(&self) -> i64 {
-        self.queued.get().max(0)
+        self.shared.queued.get().max(0)
     }
 
-    /// Jobs currently executing on workers.
+    /// Jobs claimed by workers and not yet answered (members of a group that
+    /// is queued for stealing count as in flight).
     pub fn inflight(&self) -> i64 {
-        self.inflight.get().max(0)
+        self.shared.inflight.get().max(0)
     }
 
     /// Snapshot of the queue-wait distribution (microseconds).
     pub fn queue_wait_snapshot(&self) -> HistogramSnapshot {
-        self.queue_wait_us.snapshot()
+        self.queue_wait_us_snapshot()
     }
 
-    /// Closes the queue and joins every worker.
+    fn queue_wait_us_snapshot(&self) -> HistogramSnapshot {
+        self.shared.queue_wait_us.snapshot()
+    }
+
+    /// Snapshot of the batch-size distribution: jobs answered per executed
+    /// solve group (1 = no coalescing).
+    pub fn batch_size_snapshot(&self) -> HistogramSnapshot {
+        self.shared.batch_size.snapshot()
+    }
+
+    /// Tickets a worker obtained by stealing from another worker's deque.
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Jobs answered from another job's solve (batch followers).
+    pub fn coalesced(&self) -> u64 {
+        self.shared.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Stops admissions, drains the remaining work and joins every worker.
     pub fn shutdown(&mut self) {
-        self.sender = None; // dropping the sender unblocks recv()
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -467,6 +634,186 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// One worker thread: drain the local deque, then the injector, then steal;
+/// park when everything is empty.  On shutdown the loop exits only once no
+/// work is findable, so accepted jobs are drained, not dropped.
+fn worker_loop(shared: &Arc<PoolShared>, deque: &WorkerDeque<Ticket>, index: usize) {
+    // One solver workspace per worker, alive across jobs: the steady-state
+    // serving path re-mines into the same scratch buffers instead of
+    // allocating them per job.
+    let workspace = SharedWorkspace::new();
+    loop {
+        // Read the generation *before* scanning, so a submission racing the
+        // scan bumps it and the park below returns immediately.
+        let generation = shared.generation();
+        match find_ticket(shared, deque, index) {
+            Some(ticket) => process_ticket(shared, deque, ticket, &workspace),
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                shared.park(generation);
+            }
+        }
+    }
+}
+
+/// Local deque first (FIFO), then the shared injector, then stealing from the
+/// other workers' deques (counted into the steal telemetry).
+fn find_ticket(shared: &PoolShared, deque: &WorkerDeque<Ticket>, index: usize) -> Option<Ticket> {
+    if let Some(ticket) = deque.pop() {
+        return Some(ticket);
+    }
+    if let Steal::Success(ticket) = shared.injector.steal() {
+        return Some(ticket);
+    }
+    for (other, stealer) in shared.stealers.iter().enumerate() {
+        if other == index {
+            continue;
+        }
+        if let Steal::Success(ticket) = stealer.steal() {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+            return Some(ticket);
+        }
+    }
+    None
+}
+
+fn process_ticket(
+    shared: &Arc<PoolShared>,
+    deque: &WorkerDeque<Ticket>,
+    ticket: Ticket,
+    workspace: &SharedWorkspace,
+) {
+    match ticket {
+        Ticket::Session(key) => claim_session(shared, deque, key, workspace),
+        Ticket::Group(group) => solve_group(shared, *group, workspace),
+        Ticket::Opaque(job) => {
+            shared.note_claimed(job.enqueued);
+            let outcome = (job.task)(workspace);
+            shared.finish(job.reply, outcome);
+        }
+    }
+}
+
+/// Drains every pending mining job of `key`'s session and serves the batch:
+/// one session-lock pass answers cache hits and snapshots one [`ReadyGroup`]
+/// per distinct cache key (all sharing the lock pass's graph version and
+/// `Arc` snapshot handles).  The first group is solved on this worker; the
+/// rest go onto its deque for other workers to steal.
+fn claim_session(
+    shared: &Arc<PoolShared>,
+    deque: &WorkerDeque<Ticket>,
+    key: usize,
+    workspace: &SharedWorkspace,
+) {
+    let jobs = shared
+        .pending_mining
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .remove(&key);
+    let Some(jobs) = jobs else {
+        return; // an earlier ticket already drained this session
+    };
+    if jobs.is_empty() {
+        return;
+    }
+    for job in &jobs {
+        shared.note_claimed(job.enqueued);
+    }
+
+    let session = Arc::clone(&jobs[0].session);
+    let mut groups: Vec<Box<ReadyGroup>> = Vec::new();
+    {
+        let mut guard = session.lock().unwrap_or_else(PoisonError::into_inner);
+        let default_measure = guard.monitor().config().measure;
+        let version = guard.version();
+        for job in jobs {
+            let cache_key = job.spec.cache_key(default_measure);
+            if let Some(mut hit) = guard.cache_mut().lookup(&cache_key, version) {
+                hit["cached"] = json!(true);
+                shared.finish(job.reply, Ok(hit));
+                continue;
+            }
+            if let Some(group) = groups.iter_mut().find(|g| g.key == cache_key) {
+                group.members.push(job.reply);
+            } else {
+                let snapshot = job.spec.snapshot(&mut guard);
+                groups.push(Box::new(ReadyGroup {
+                    session: Arc::clone(&session),
+                    spec: job.spec,
+                    key: cache_key,
+                    version,
+                    snapshot,
+                    cx: job.cx,
+                    members: vec![job.reply],
+                }));
+            }
+        }
+    }
+
+    let mut groups = groups.into_iter();
+    let first = groups.next();
+    let mut pushed = false;
+    for extra in groups {
+        deque.push(Ticket::Group(extra));
+        pushed = true;
+    }
+    if pushed {
+        shared.wake(); // idle workers can steal the extra groups
+    }
+    if let Some(group) = first {
+        solve_group(shared, *group, workspace);
+    }
+}
+
+/// Solves one coalesced group: one solve under the leader's context, one
+/// cache store (converged results at an unchanged version only), one reply
+/// per member — followers marked `"coalesced": true`.
+fn solve_group(shared: &PoolShared, group: ReadyGroup, workspace: &SharedWorkspace) {
+    let ReadyGroup {
+        session,
+        spec,
+        key,
+        version,
+        snapshot,
+        cx,
+        members,
+    } = group;
+    shared.batch_size.record(members.len() as u64);
+    match spec.solve(snapshot, version, &cx.with_workspace(workspace)) {
+        Ok((body, termination)) => {
+            if termination.is_converged() {
+                let mut guard = session.lock().unwrap_or_else(PoisonError::into_inner);
+                if guard.version() == version {
+                    guard.cache_mut().store(key, version, body.clone());
+                }
+            }
+            for (position, reply) in members.into_iter().enumerate() {
+                let mut response = body.clone();
+                response["cached"] = json!(false);
+                if position > 0 {
+                    response["coalesced"] = json!(true);
+                    shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                }
+                shared.finish(reply, Ok(response));
+            }
+        }
+        Err(error) => {
+            // `ServerError` is not `Clone`: the leader gets the error itself,
+            // followers a rendered copy.
+            let message = error.to_string();
+            let mut members = members.into_iter();
+            if let Some(leader) = members.next() {
+                shared.finish(leader, Err(error));
+            }
+            for reply in members {
+                shared.finish(reply, Err(ServerError::Remote(message.clone())));
+            }
+        }
     }
 }
 
@@ -646,18 +993,65 @@ mod tests {
                 .unwrap()
             })
             .collect();
-        let mut cached = 0;
+        let mut shared = 0;
         for receiver in receivers {
             let value = receiver.recv().unwrap().unwrap();
             assert_eq!(value["result"]["subset"], serde_json::json!([0, 1, 2]));
-            if value["cached"] == true {
-                cached += 1;
+            // Identical jobs are answered either from the cache or from a
+            // coalesced batch — exactly one of the six pays for a solve.
+            if value["cached"] == true || value["coalesced"] == true {
+                shared += 1;
             }
         }
-        assert!(cached >= 4, "later identical jobs come from the cache");
+        assert!(shared >= 4, "later identical jobs share the first solve");
         assert_eq!(pool.executed(), 6);
         assert_eq!(pool.threads(), 2);
         assert_eq!(pool.capacity(), 8);
+    }
+
+    #[test]
+    fn same_version_jobs_coalesce_into_one_batch() {
+        // One worker.  The first job blocks the worker on the session lock
+        // (held by the test); three more identical jobs pile up behind it.
+        // A budget of 0 units keeps every result non-converged, so nothing
+        // enters the cache and the pile-up must be answered by coalescing —
+        // one solve, followers marked "coalesced".
+        let pool = WorkerPool::new(1, 16);
+        let session = shared_session(6);
+        seed_triangle(&session);
+        let cx = || SolveContext::unbounded().with_budget(0);
+        let guard = session.lock().unwrap();
+        let first = pool
+            .submit(Arc::clone(&session), JobSpec::Mine { measure: None }, cx())
+            .unwrap();
+        // Give the worker time to claim the first job and block on the lock.
+        std::thread::sleep(Duration::from_millis(100));
+        let rest: Vec<_> = (0..3)
+            .map(|_| {
+                pool.submit(Arc::clone(&session), JobSpec::Mine { measure: None }, cx())
+                    .unwrap()
+            })
+            .collect();
+        drop(guard);
+        let value = first.recv().unwrap().unwrap();
+        assert_eq!(value["cached"], false);
+        let mut coalesced = 0;
+        for receiver in rest {
+            let value = receiver.recv().unwrap().unwrap();
+            assert_eq!(value["cached"], false, "budget-0 results must not cache");
+            if value["coalesced"] == true {
+                coalesced += 1;
+            }
+        }
+        assert!(
+            coalesced >= 2,
+            "piled-up identical jobs must share one solve, got {coalesced}"
+        );
+        assert_eq!(pool.coalesced(), coalesced as u64);
+        let batches = pool.batch_size_snapshot();
+        assert!(batches.count >= 1, "batch sizes must be recorded");
+        assert!(batches.max >= 3, "the pile-up forms a batch of at least 3");
+        assert_eq!(pool.executed(), 4);
     }
 
     #[test]

@@ -43,7 +43,7 @@
 //! | `stats`          | opt. `session` — with one, that session's counters; without, the server-wide observability payload | per-session: `vertices`, `observations`, `version`, `observed_edges`, `baseline_edges`, `cache: {entries, hits, misses, evictions}`; server-wide: see below |
 //! | `list_sessions`  | —                                                          | `sessions: [name…]`            |
 //! | `drop_session`   | `session`                                                  | `dropped: true`                |
-//! | `server_stats`   | —                                                          | `sessions`, `worker_threads`, `queue_capacity`, `jobs_executed`, `jobs_rejected`, `jobs_inflight_named` |
+//! | `server_stats`   | —                                                          | `sessions`, `worker_threads`, `solver_threads`, `queue_capacity`, `jobs_executed`, `jobs_rejected`, `jobs_inflight_named` |
 //! | `shutdown`       | —                                                          | `shutting_down: true`          |
 //!
 //! Every mining command accepts the optional *bounds* fields
@@ -77,6 +77,11 @@
 //! * `queue: {depth, inflight, capacity, workers, executed, rejected,
 //!   wait_us}` — the bounded job queue right now, lifetime execute/reject
 //!   counts, and the queue-wait latency summary;
+//! * `batching: {solves, size_mean, size_p50, size_p95, size_p99, size_max,
+//!   coalesced, steals}` — snapshot-batch telemetry: how many solve groups
+//!   ran, the distribution of jobs answered per group (1 = no coalescing),
+//!   how many jobs were answered as followers of another job's solve, and how
+//!   many work items idle workers stole from busy workers' deques;
 //! * `jobs: {completed, cached, inflight_named, wall_us_by_kind,
 //!   wall_us_by_measure}` — client-observed wall time (queue wait + solve)
 //!   of solved jobs, as one latency summary per kind (`mine` / `topk` /
@@ -109,10 +114,28 @@
 //!
 //! The mining commands (`mine`, `topk`, `sweep`) — and `observe` on sessions
 //! with `remine_every > 0`, since completing a period triggers a solve — are
-//! executed by the worker pool; when the bounded queue is full the server
+//! executed by the worker pool; when too many jobs are pending the server
 //! answers `{"ok": false, "error": "server busy: job queue full"}`
 //! immediately rather than queueing unboundedly.  All other commands are
 //! handled inline by the connection thread.
+//!
+//! ## Snapshot batching and coalescing
+//!
+//! The worker pool is **work-stealing** and **snapshot-batched**: the worker
+//! that claims a session's pending mining jobs drains *all* of them in one
+//! session-lock pass, so every job in the batch sees the same graph version
+//! and shares `Arc` handles to one snapshot of the difference graph.  Within
+//! a batch, jobs with the same cache key (same command, parameters and
+//! measure) are **coalesced** — solved once, with every duplicate answered
+//! from the one solve.  Coalesced followers carry `"coalesced": true` next to
+//! `"cached": false` in their response; the leader and un-duplicated jobs
+//! carry neither.  Distinct-key groups beyond the first are pushed onto the
+//! claiming worker's deque where idle workers steal them, so a batch of
+//! different commands still fans out across the pool.  Batch sizes, coalesced
+//! counts and steal counts are exported under `batching` in the server-wide
+//! `stats` payload.  Intra-solve parallelism (how many threads one solve may
+//! use for peeling and KKT scans) is configured separately via
+//! [`ServerConfig::solver_threads`].
 //!
 //! ## Example
 //!
@@ -177,6 +200,13 @@ pub struct ServerConfig {
     /// best-effort (unread bytes on the socket mask the disconnect), this cap
     /// is not.
     pub max_job_ms: Option<u64>,
+    /// Intra-solve parallelism: the number of threads each mining job may use
+    /// *inside* a single solve (parallel peeling, parallel KKT scans).  `0`
+    /// (the default) inherits the process-wide `DCS_SOLVER_THREADS`
+    /// environment default (itself defaulting to 1).  Distinct from
+    /// [`ServerConfig::worker_threads`], which controls how many jobs run
+    /// concurrently.
+    pub solver_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -188,6 +218,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             max_vertices: 50_000_000,
             max_job_ms: Some(300_000),
+            solver_threads: 0,
         }
     }
 }

@@ -177,6 +177,7 @@ impl ServerMetrics {
                 .collect(),
         );
 
+        let batch_sizes = pool.batch_size_snapshot();
         let observe_batches = self.observe_batches.get();
         let observes_per_sec = if uptime_ms > 0 {
             observe_batches as f64 * 1e3 / uptime_ms as f64
@@ -196,6 +197,16 @@ impl ServerMetrics {
                 "executed": pool.executed(),
                 "rejected": pool.rejected(),
                 "wait_us": histogram_summary(&pool.queue_wait_snapshot()),
+            },
+            "batching": {
+                "solves": batch_sizes.count,
+                "size_mean": batch_sizes.mean(),
+                "size_p50": batch_sizes.p50(),
+                "size_p95": batch_sizes.p95(),
+                "size_p99": batch_sizes.p99(),
+                "size_max": batch_sizes.max,
+                "coalesced": pool.coalesced(),
+                "steals": pool.steals(),
             },
             "jobs": {
                 "completed": self.jobs_completed.get(),
@@ -282,6 +293,9 @@ mod tests {
         assert_eq!(stats["queue"]["capacity"], 1);
         assert_eq!(stats["queue"]["workers"], 1);
         assert_eq!(stats["cache"]["hit_rate"], 0.0);
+        assert_eq!(stats["batching"]["solves"], 0);
+        assert_eq!(stats["batching"]["coalesced"], 0);
+        assert_eq!(stats["batching"]["steals"], 0);
     }
 
     #[test]

@@ -228,6 +228,7 @@ fn dispatch(request: &Value, shared: &Shared, stream: &TcpStream) -> Result<Valu
         "server_stats" => Ok(json!({
             "sessions": shared.registry.len(),
             "worker_threads": shared.pool.threads(),
+            "solver_threads": shared.config.solver_threads,
             "queue_capacity": shared.pool.capacity(),
             "jobs_executed": shared.pool.executed(),
             "jobs_rejected": shared.pool.rejected(),
@@ -373,7 +374,9 @@ fn run_job(
     // deadline of its own — the tighter of the two wins — so no job outlives
     // it even when disconnect detection is defeated.
     let token = CancelToken::new();
-    let mut cx = SolveContext::unbounded().with_cancel(&token);
+    let mut cx = SolveContext::unbounded()
+        .with_cancel(&token)
+        .with_threads(shared.config.solver_threads);
     let now = Instant::now();
     let client_deadline =
         optional_u64_opt(request, "deadline_ms")?.map(|ms| now + Duration::from_millis(ms));

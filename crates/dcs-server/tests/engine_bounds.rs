@@ -12,6 +12,7 @@ fn spawn(worker_threads: usize) -> (ServerHandle, String) {
         queue_capacity: 8,
         max_vertices: 1_000_000,
         max_job_ms: Some(300_000),
+        ..ServerConfig::default()
     };
     let handle = Server::bind("127.0.0.1:0", config).unwrap().start();
     let addr = handle.local_addr().to_string();
@@ -115,6 +116,7 @@ fn server_job_cap_applies_without_a_client_deadline() {
         queue_capacity: 4,
         max_vertices: 1_000_000,
         max_job_ms: Some(0),
+        ..ServerConfig::default()
     };
     let handle = Server::bind("127.0.0.1:0", config).unwrap().start();
     let addr = handle.local_addr().to_string();
