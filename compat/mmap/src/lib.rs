@@ -1,0 +1,384 @@
+//! Offline shim for read-only memory-mapped file IO.
+//!
+//! The build environment has no access to crates.io, so the small slice of
+//! `memmap2`-style functionality the workspace needs is hand-rolled here: a
+//! read-only [`Mmap`] over a file (raw `mmap`/`munmap` externs on unix, a
+//! read-into-`Vec` fallback everywhere else and whenever the syscall fails),
+//! and [`ArcSlice`], a cheaply clonable typed view into an `Arc<Mmap>` that
+//! lets zero-copy consumers hand out `&[u32]` / `&[f64]` / `&[usize]` slices
+//! over the mapped bytes without copying them.
+//!
+//! This crate is the **only** place in the workspace that contains `unsafe`
+//! code for file mapping; every consumer (notably `dcs-graph`, which is
+//! `#![forbid(unsafe_code)]`) works through the safe API below.
+//!
+//! ## Soundness caveat (shared with every mmap wrapper)
+//!
+//! A mapping reflects the file as the kernel sees it: if another process
+//! truncates or rewrites the file while it is mapped, the contents behind a
+//! previously returned slice can change (or, on truncation, fault).  Callers
+//! that need tamper *detection* should checksum the mapped bytes; callers
+//! that need full isolation should use [`Mmap::read`], which copies the file
+//! into an owned buffer up front.
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::sync::Arc;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    /// `(void *)-1`, the error sentinel returned by `mmap`.
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> i32;
+    }
+}
+
+/// A read-only view of an entire file: memory-mapped when the platform and
+/// the kernel cooperate, an owned in-memory copy otherwise.  Which one you
+/// got is reported by [`Mmap::is_mapped`]; the byte-level API is identical.
+pub struct Mmap {
+    inner: Inner,
+}
+
+enum Inner {
+    #[cfg(unix)]
+    Mapped(MappedRegion),
+    Owned(Vec<u8>),
+}
+
+#[cfg(unix)]
+struct MappedRegion {
+    ptr: *const u8,
+    len: usize,
+}
+
+// The region is read-only (PROT_READ, MAP_PRIVATE) and owned uniquely by this
+// struct until munmap in Drop, so moving it across threads is fine.
+#[cfg(unix)]
+unsafe impl Send for MappedRegion {}
+#[cfg(unix)]
+unsafe impl Sync for MappedRegion {}
+
+#[cfg(unix)]
+impl Drop for MappedRegion {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len came from a successful mmap call and are unmapped
+        // exactly once.
+        unsafe {
+            sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+        }
+    }
+}
+
+impl Mmap {
+    /// Maps `file` read-only.  Falls back to [`Mmap::read`] when mapping is
+    /// unsupported (non-unix targets, empty files) or the syscall fails, so
+    /// this never errors merely because mmap is unavailable.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(Mmap {
+                inner: Inner::Owned(Vec::new()),
+            });
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: a fresh read-only private mapping of a file descriptor
+            // we hold open; the result is checked against MAP_FAILED before
+            // use and unmapped exactly once in Drop.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr != sys::MAP_FAILED && !ptr.is_null() {
+                return Ok(Mmap {
+                    inner: Inner::Mapped(MappedRegion {
+                        ptr: ptr as *const u8,
+                        len,
+                    }),
+                });
+            }
+        }
+        Self::read_known_len(file, len)
+    }
+
+    /// Reads the whole file into an owned buffer behind the same API — the
+    /// portability/testing fallback, and the right choice when the file may
+    /// be modified while open.
+    pub fn read(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to read"))?;
+        Self::read_known_len(file, len)
+    }
+
+    fn read_known_len(file: &File, len: usize) -> io::Result<Mmap> {
+        let mut bytes = Vec::with_capacity(len);
+        let mut reader = file;
+        reader.seek(SeekFrom::Start(0))?;
+        reader.take(len as u64).read_to_end(&mut bytes)?;
+        Ok(Mmap {
+            inner: Inner::Owned(bytes),
+        })
+    }
+
+    /// Wraps an in-memory buffer behind the `Mmap` API (used by tests and by
+    /// writers that verify what they just produced).
+    pub fn from_vec(bytes: Vec<u8>) -> Mmap {
+        Mmap {
+            inner: Inner::Owned(bytes),
+        }
+    }
+
+    /// The full contents as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            // SAFETY: ptr/len describe a live PROT_READ mapping held until
+            // Drop.
+            Inner::Mapped(region) => unsafe { std::slice::from_raw_parts(region.ptr, region.len) },
+            Inner::Owned(bytes) => bytes,
+        }
+    }
+
+    /// Length of the file in bytes.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped(region) => region.len,
+            Inner::Owned(bytes) => bytes.len(),
+        }
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when the contents are an actual kernel mapping (zero-copy),
+    /// `false` when they were read into an owned buffer.
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped(_) => true,
+            Inner::Owned(_) => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// Plain-old-data element types that may alias raw mapped bytes: every bit
+/// pattern of `Self` is a valid value and the type has no padding or
+/// pointers.  Sealed — the soundness of [`ArcSlice`] rests on this list.
+pub trait Pod: sealed::Sealed + Copy + 'static {}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {
+        $(impl sealed::Sealed for $t {}
+          impl Pod for $t {})*
+    };
+}
+
+// f32/f64 are included deliberately: every bit pattern (NaNs included) is a
+// valid float value, so reinterpreting bytes cannot produce UB — semantic
+// validation (finiteness etc.) is the consumer's job.
+impl_pod!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A cheaply clonable, `'static` typed slice view into an [`Arc<Mmap>`].
+///
+/// Cloning bumps the `Arc`; the underlying mapping lives as long as any view
+/// into it.  Construction checks bounds and alignment, so `Deref` is
+/// infallible.
+pub struct ArcSlice<T: Pod> {
+    /// Keeps the mapping alive; never read through directly.
+    _owner: Arc<Mmap>,
+    ptr: *const T,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: the view is read-only plain data kept alive by the Arc'd owner.
+unsafe impl<T: Pod> Send for ArcSlice<T> {}
+unsafe impl<T: Pod> Sync for ArcSlice<T> {}
+
+impl<T: Pod> ArcSlice<T> {
+    /// A typed view of `len` elements starting `byte_offset` bytes into
+    /// `owner`.  Returns `None` if the range leaves the file or the start is
+    /// not aligned for `T`.  Elements are reinterpreted in **native** byte
+    /// order — callers on disk formats must gate on endianness themselves.
+    pub fn new(owner: Arc<Mmap>, byte_offset: usize, len: usize) -> Option<ArcSlice<T>> {
+        let byte_len = len.checked_mul(std::mem::size_of::<T>())?;
+        let end = byte_offset.checked_add(byte_len)?;
+        if end > owner.len() {
+            return None;
+        }
+        let base = owner.as_bytes().as_ptr();
+        // SAFETY: byte_offset <= owner.len() was just checked, so the add
+        // stays inside (one past) the allocation.
+        let start = unsafe { base.add(byte_offset) };
+        if len > 0 && !(start as usize).is_multiple_of(std::mem::align_of::<T>()) {
+            return None;
+        }
+        let ptr = if len == 0 {
+            std::ptr::NonNull::<T>::dangling().as_ptr() as *const T
+        } else {
+            start as *const T
+        };
+        Some(ArcSlice {
+            _owner: owner,
+            ptr,
+            len,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Number of elements in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T: Pod> Deref for ArcSlice<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        // SAFETY: construction checked bounds and alignment, the owner is
+        // kept alive by the Arc, and T: Pod means any byte pattern is valid.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl<T: Pod> Clone for ArcSlice<T> {
+    fn clone(&self) -> Self {
+        ArcSlice {
+            _owner: Arc::clone(&self._owner),
+            ptr: self.ptr,
+            len: self.len,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for ArcSlice<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("mmap_shim_{name}_{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn map_and_read_agree() {
+        let data: Vec<u8> = (0..=255).collect();
+        let path = temp_file("agree", &data);
+        let f = File::open(&path).unwrap();
+        let mapped = Mmap::map(&f).unwrap();
+        let read = Mmap::read(&f).unwrap();
+        assert_eq!(mapped.as_bytes(), &data[..]);
+        assert_eq!(read.as_bytes(), &data[..]);
+        assert!(!read.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_map_is_zero_copy() {
+        let path = temp_file("zero_copy", &[7u8; 4096]);
+        let f = File::open(&path).unwrap();
+        let mapped = Mmap::map(&f).unwrap();
+        assert!(mapped.is_mapped());
+        assert_eq!(mapped.len(), 4096);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_bytes() {
+        let path = temp_file("empty", &[]);
+        let f = File::open(&path).unwrap();
+        let mapped = Mmap::map(&f).unwrap();
+        assert!(mapped.is_empty());
+        assert!(!mapped.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn arc_slice_views_typed_data() {
+        let mut bytes = Vec::new();
+        for v in [1u64, 2, 3, 4] {
+            bytes.extend_from_slice(&v.to_ne_bytes());
+        }
+        let owner = Arc::new(Mmap::from_vec(bytes));
+        let slice: ArcSlice<u64> = ArcSlice::new(Arc::clone(&owner), 0, 4).unwrap();
+        assert_eq!(&*slice, &[1, 2, 3, 4]);
+        let tail: ArcSlice<u64> = ArcSlice::new(Arc::clone(&owner), 8, 3).unwrap();
+        assert_eq!(&*tail, &[2, 3, 4]);
+        let clone = tail.clone();
+        assert_eq!(&*clone, &*tail);
+    }
+
+    #[test]
+    fn arc_slice_rejects_out_of_bounds_and_misalignment() {
+        let owner = Arc::new(Mmap::from_vec(vec![0u8; 64]));
+        assert!(ArcSlice::<u64>::new(Arc::clone(&owner), 0, 9).is_none());
+        assert!(ArcSlice::<u64>::new(Arc::clone(&owner), 60, 1).is_none());
+        assert!(ArcSlice::<u64>::new(Arc::clone(&owner), 3, 1).is_none());
+        assert!(ArcSlice::<u64>::new(Arc::clone(&owner), usize::MAX, 1).is_none());
+        let empty = ArcSlice::<u64>::new(owner, 64, 0).unwrap();
+        assert!(empty.is_empty());
+    }
+}

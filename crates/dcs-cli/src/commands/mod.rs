@@ -10,6 +10,8 @@
 //! * [`compare`] — DCS vs EgoScan vs quasi-clique side by side (Tables VIII/IX style),
 //! * [`census`] — positive-clique census of the difference graph (Table V / Fig. 3 style),
 //! * [`generate`] — write a synthetic benchmark graph pair (with ground truth) to disk,
+//! * [`pack`] — convert a text edge list into a zero-copy binary graph pack,
+//! * [`pack_info`] — inspect (and optionally fully verify) a graph pack,
 //! * [`serve`] — run the long-lived NDJSON contrast-mining server (`dcs-server`),
 //! * [`client`] — send requests to a running server.
 
@@ -18,6 +20,8 @@ pub mod client;
 pub mod compare;
 pub mod generate;
 pub mod mine;
+pub mod pack;
+pub mod pack_info;
 pub mod serve;
 pub mod stats;
 pub mod sweep;

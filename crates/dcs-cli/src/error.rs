@@ -25,6 +25,8 @@ pub enum CliError {
     },
     /// Reading or parsing an edge-list file failed.
     Graph(IoError),
+    /// Opening or decoding a binary graph pack failed.
+    Pack(dcs_graph::PackError),
     /// The DCS library rejected the input (mismatched vertex sets, negative weights, …).
     Dcs(DcsError),
     /// Writing an output file failed.
@@ -49,6 +51,7 @@ impl std::fmt::Display for CliError {
                 write!(f, "invalid value {value:?} for --{option}")
             }
             CliError::Graph(e) => write!(f, "cannot load graph: {e}"),
+            CliError::Pack(e) => write!(f, "cannot load graph pack: {e}"),
             CliError::Dcs(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "I/O error: {e}"),
         }
@@ -59,6 +62,7 @@ impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CliError::Graph(e) => Some(e),
+            CliError::Pack(e) => Some(e),
             CliError::Dcs(e) => Some(e),
             CliError::Io(e) => Some(e),
             _ => None,
@@ -75,6 +79,12 @@ impl From<IoError> for CliError {
 impl From<DcsError> for CliError {
     fn from(e: DcsError) -> Self {
         CliError::Dcs(e)
+    }
+}
+
+impl From<dcs_graph::PackError> for CliError {
+    fn from(e: dcs_graph::PackError) -> Self {
+        CliError::Pack(e)
     }
 }
 

@@ -28,28 +28,74 @@ pub struct PairInput {
 }
 
 impl PairInput {
-    /// Loads a pair of edge-list files.
+    /// Loads a pair of graph files, each either a text edge list or a binary
+    /// graph pack (auto-detected by the pack magic bytes — see
+    /// [`dcs_graph::pack`]).
     ///
-    /// By default the endpoints are treated as string labels interned into a shared
-    /// table; with `numeric` they are parsed as integer vertex ids directly.
+    /// Text endpoints are treated as string labels interned into a shared
+    /// table by default; with `numeric` they are parsed as integer vertex ids
+    /// directly.  Packs are always id-addressed, so as soon as either input
+    /// is a pack the whole pair is loaded numerically (a pack written from
+    /// one graph of a pair shares its numbering with the other by
+    /// construction).  When both inputs are packs carrying identical
+    /// vertex-name tables, the names are used for rendering.
     pub fn load<P: AsRef<Path>>(path1: P, path2: P, numeric: bool) -> Result<Self, CliError> {
-        if numeric {
-            let g1 = graph_io::read_edge_list_file(path1)?;
-            let g2 = graph_io::read_edge_list_file(path2)?;
-            let (g1, g2) = align_vertex_counts(&g1, &g2);
-            Ok(PairInput {
-                g1,
-                g2,
-                labels: None,
-            })
-        } else {
-            let (g1, g2, labels) = read_labeled_graph_pair_files(path1, path2)?;
-            Ok(PairInput {
-                g1,
-                g2,
-                labels: Some(labels),
-            })
+        // An unreadable file sniffs as "not a pack" so the edge-list loader
+        // reports the I/O problem with its usual error shape.
+        let pack1 = dcs_graph::pack::file_is_pack(&path1).unwrap_or(false);
+        let pack2 = dcs_graph::pack::file_is_pack(&path2).unwrap_or(false);
+        if !pack1 && !pack2 {
+            return if numeric {
+                let g1 = graph_io::read_edge_list_file(path1)?;
+                let g2 = graph_io::read_edge_list_file(path2)?;
+                let (g1, g2) = align_vertex_counts(&g1, &g2);
+                Ok(PairInput {
+                    g1,
+                    g2,
+                    labels: None,
+                })
+            } else {
+                let (g1, g2, labels) = read_labeled_graph_pair_files(path1, path2)?;
+                Ok(PairInput {
+                    g1,
+                    g2,
+                    labels: Some(labels),
+                })
+            };
         }
+        let (g1, names1) = Self::load_side(path1, pack1)?;
+        let (g2, names2) = Self::load_side(path2, pack2)?;
+        let labels = match (names1, names2) {
+            (Some(a), Some(b)) if a == b => Self::labels_from_names(&a),
+            _ => None,
+        };
+        let (g1, g2) = align_vertex_counts(&g1, &g2);
+        Ok(PairInput { g1, g2, labels })
+    }
+
+    /// Loads one side of a mixed pair: a pack (with its optional name table)
+    /// or a numeric edge list.
+    fn load_side<P: AsRef<Path>>(
+        path: P,
+        is_pack: bool,
+    ) -> Result<(SignedGraph, Option<Vec<String>>), CliError> {
+        if is_pack {
+            let pack = dcs_graph::GraphPack::open(path)?;
+            let names = pack.read_names()?;
+            Ok((pack.to_graph()?, names))
+        } else {
+            Ok((graph_io::read_edge_list_file(path)?, None))
+        }
+    }
+
+    /// Builds a label table from a pack name table; `None` when the names are
+    /// not unique (interning would misalign ids).
+    fn labels_from_names(names: &[String]) -> Option<VertexLabels> {
+        let mut labels = VertexLabels::new();
+        for name in names {
+            labels.intern(name);
+        }
+        (labels.len() == names.len()).then_some(labels)
     }
 
     /// Renders a vertex subset using labels when available, ids otherwise.
@@ -248,6 +294,41 @@ mod tests {
         assert!(pair.labels.is_none());
         assert_eq!(pair.g1.num_vertices(), 3); // aligned to the larger graph
         assert_eq!(pair.render_vertices(&[2]), vec!["2".to_string()]);
+    }
+
+    #[test]
+    fn loads_pack_pairs_and_mixed_pairs() {
+        let dir = std::env::temp_dir().join("dcs_cli_input_pack");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text1 = dir.join("g1.edges");
+        let text2 = dir.join("g2.edges");
+        std::fs::write(&text1, "0 1 1\n1 2 2\n").unwrap();
+        std::fs::write(&text2, "0 1 4\n0 2 3\n1 2 3\n").unwrap();
+        let text_pair = PairInput::load(&text1, &text2, true).unwrap();
+
+        let pack1 = dir.join("g1.pack");
+        let pack2 = dir.join("g2.pack");
+        dcs_datasets::PackWriter::write_graph(&text_pair.g1, &pack1).unwrap();
+        dcs_datasets::PackWriter::write_graph(&text_pair.g2, &pack2).unwrap();
+
+        // Both packs: same graphs as the text pair, no labels without names.
+        let pack_pair = PairInput::load(&pack1, &pack2, false).unwrap();
+        assert_eq!(pack_pair.g1, text_pair.g1);
+        assert_eq!(pack_pair.g2, text_pair.g2);
+        assert!(pack_pair.labels.is_none());
+
+        // Mixed pack + text: the text side falls back to numeric parsing.
+        let mixed = PairInput::load(&pack1, &text2, false).unwrap();
+        assert_eq!(mixed.g1, text_pair.g1);
+        assert_eq!(mixed.g2, text_pair.g2);
+
+        // Packs with identical name tables surface them as labels.
+        let names: Vec<String> = ["ann", "bob", "cat"].map(String::from).to_vec();
+        dcs_datasets::PackWriter::write_graph_with_names(&text_pair.g1, &names, &pack1).unwrap();
+        dcs_datasets::PackWriter::write_graph_with_names(&text_pair.g2, &names, &pack2).unwrap();
+        let named = PairInput::load(&pack1, &pack2, false).unwrap();
+        assert_eq!(named.render_vertices(&[0, 2]), vec!["ann", "cat"]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -11,13 +11,18 @@
 //! dcs compare  <G1.edges> <G2.edges> ...   DCS vs EgoScan vs quasi-clique side by side
 //! dcs census   <G1.edges> <G2.edges> ...   positive-clique census of the difference graph
 //! dcs generate <dataset> --out <dir> ...   synthetic benchmark pairs with ground truth
+//! dcs pack     <EDGES> --out <PACK> ...    convert an edge list to a zero-copy graph pack
+//! dcs pack-info <PACK> [--verify]          inspect (and optionally verify) a graph pack
 //! dcs serve    [--addr H:P] ...            run the NDJSON contrast-mining server
 //! dcs client   <H:P> [REQUEST] ...         send requests to a running server
 //! ```
 //!
 //! Edge lists are `label label [weight]` per line by default (`--numeric` switches to
 //! integer vertex ids); both graphs are interned into a shared vertex numbering so that
-//! the difference graph is well defined.  The library surface of this crate is
+//! the difference graph is well defined.  Mining commands also accept binary graph
+//! packs (written by `dcs pack` or `dcs-datasets`) anywhere an edge list is expected —
+//! the format is auto-detected per file and packs are memory-mapped instead of
+//! parsed.  The library surface of this crate is
 //! [`run`], which maps raw arguments to the text a command prints — the binary in
 //! `main.rs` is a thin wrapper, and tests call [`run`] directly.
 
@@ -37,7 +42,7 @@ pub fn usage() -> String {
     format!(
         "dcs — density contrast subgraph mining\n\
          \n\
-         Usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n\
+         Usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n\
          \n\
          Every command accepts exactly the options shown above.\n\
          Edge lists are `label label [weight]` per line; `--numeric` reads integer vertex ids.\n\
@@ -54,6 +59,8 @@ pub fn usage() -> String {
         commands::compare::USAGE,
         commands::census::USAGE,
         commands::generate::USAGE,
+        commands::pack::USAGE,
+        commands::pack_info::USAGE,
         commands::serve::USAGE,
         commands::client::USAGE,
     )
@@ -74,6 +81,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "compare" => commands::compare::run(rest),
         "census" => commands::census::run(rest),
         "generate" => commands::generate::run(rest),
+        "pack" => commands::pack::run(rest),
+        "pack-info" => commands::pack_info::run(rest),
         "serve" => commands::serve::run(rest),
         "client" => commands::client::run(rest),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -93,7 +102,17 @@ mod tests {
     fn help_lists_every_command() {
         let text = run(&strings(&["help"])).unwrap();
         for command in [
-            "stats", "mine", "topk", "sweep", "compare", "census", "generate", "serve", "client",
+            "stats",
+            "mine",
+            "topk",
+            "sweep",
+            "compare",
+            "census",
+            "generate",
+            "pack",
+            "pack-info",
+            "serve",
+            "client",
         ] {
             assert!(text.contains(command), "usage mentions {command}");
         }

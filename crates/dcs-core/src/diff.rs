@@ -271,7 +271,10 @@ impl ScaledDifferenceTemplate {
             }
             offsets.push(neighbors.len());
         }
-        SignedGraph::from_raw_csr(offsets, neighbors, weights)
+        // Invariants hold by construction (the template rows are sorted and
+        // symmetric, zero weights are skipped above), so the validating
+        // `from_raw_csr` scan would be pure overhead on this α-sweep hot path.
+        SignedGraph::from_raw_csr_unchecked(offsets, neighbors, weights)
     }
 
     /// [`Self::materialize_with`] into fresh buffers.

@@ -18,6 +18,9 @@ pub enum DcsError {
     },
     /// A configuration parameter was invalid (e.g. a non-positive tolerance).
     InvalidConfig(String),
+    /// An input graph decoded from untrusted bytes (an edge-list payload, a
+    /// memory-mapped pack) violated a CSR representation invariant.
+    CorruptGraph(dcs_graph::CorruptGraph),
 }
 
 impl std::fmt::Display for DcsError {
@@ -34,11 +37,25 @@ impl std::fmt::Display for DcsError {
                 write!(f, "input graph {which} must have non-negative edge weights")
             }
             DcsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DcsError::CorruptGraph(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for DcsError {}
+impl std::error::Error for DcsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DcsError::CorruptGraph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dcs_graph::CorruptGraph> for DcsError {
+    fn from(e: dcs_graph::CorruptGraph) -> Self {
+        DcsError::CorruptGraph(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -37,6 +37,7 @@ pub mod collab;
 pub mod conflict;
 pub mod keywords;
 pub mod large;
+pub mod pack;
 pub mod planted;
 pub mod random;
 pub mod recovery;
@@ -50,6 +51,7 @@ pub use collab::CollabConfig;
 pub use conflict::ConflictConfig;
 pub use keywords::{KeywordConfig, TopicSpec};
 pub use large::LargeConfig;
+pub use pack::{PackSummary, PackWriter, StreamingPackWriter};
 pub use recovery::{best_match, jaccard, RecoveryReport};
 pub use social_interest::SocialInterestConfig;
 pub use stats::DiffStats;
@@ -68,7 +70,7 @@ pub enum GroupKind {
 }
 
 /// A planted ground-truth group.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlantedGroup {
     /// Human-readable name ("emerging-0", "conflicting", …).
     pub name: String,

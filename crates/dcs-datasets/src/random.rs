@@ -31,6 +31,26 @@ pub fn chung_lu_edges<R: Rng>(
     m_target: usize,
     rng: &mut R,
 ) -> Vec<(VertexId, VertexId)> {
+    let mut out = Vec::with_capacity(m_target);
+    chung_lu_stream(weights, m_target, rng, |u, v| out.push((u, v)));
+    out
+}
+
+/// Streaming form of [`chung_lu_edges`]: calls `sink` once per accepted edge
+/// instead of collecting a vector, and returns the number of edges emitted.
+///
+/// Draws from `rng` and the emission order are identical to
+/// [`chung_lu_edges`], so replaying the same seeded rng through either entry
+/// point produces the same edge sequence — which is what lets the streaming
+/// pack generator in [`crate::large`] reproduce `generate()`'s graphs without
+/// materialising an edge list.  The internal dedup set is sampling state
+/// (Chung–Lu without replacement), not an intermediate edge copy.
+pub fn chung_lu_stream<R: Rng>(
+    weights: &[f64],
+    m_target: usize,
+    rng: &mut R,
+    mut sink: impl FnMut(VertexId, VertexId),
+) -> usize {
     let n = weights.len();
     assert!(n >= 2, "need at least two vertices");
     // Cumulative distribution for endpoint sampling.
@@ -47,10 +67,10 @@ pub fn chung_lu_edges<R: Rng>(
     };
 
     let mut edges: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
-    let mut out = Vec::with_capacity(m_target);
+    let mut emitted = 0usize;
     let max_attempts = m_target.saturating_mul(8).max(64);
     let mut attempts = 0;
-    while out.len() < m_target && attempts < max_attempts {
+    while emitted < m_target && attempts < max_attempts {
         attempts += 1;
         let mut u = sample_vertex(rng);
         let mut v = sample_vertex(rng);
@@ -64,10 +84,11 @@ pub fn chung_lu_edges<R: Rng>(
             continue;
         }
         if edges.insert((u, v)) {
-            out.push((u, v));
+            emitted += 1;
+            sink(u, v);
         }
     }
-    out
+    emitted
 }
 
 /// Samples a collaboration-count style weight: `1 + Geometric(p)` (mean `1/p`), the

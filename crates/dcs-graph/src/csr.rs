@@ -1,6 +1,215 @@
 //! Compressed-sparse-row storage for signed, weighted, undirected graphs.
 
+use crate::column::CsrColumn;
 use crate::{VertexId, VertexSubset, Weight};
+
+/// Why a CSR triple was rejected as structurally invalid.
+///
+/// Produced by [`SignedGraph::from_raw_csr`] (and by the pack reader in
+/// [`crate::pack`]) when untrusted input — a file, a network payload, a
+/// memory-mapped pack — fails the representation invariants.  Every variant
+/// names the first offending location so corrupt inputs are diagnosable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CorruptGraph {
+    /// The offsets array was empty (it must have `n + 1` entries).
+    EmptyOffsets,
+    /// `offsets[0]` was not zero.
+    NonzeroFirstOffset {
+        /// The value found at `offsets[0]`.
+        first: usize,
+    },
+    /// `offsets[vertex + 1] < offsets[vertex]` — rows must be monotone.
+    NonMonotoneOffsets {
+        /// The first vertex whose row range runs backwards.
+        vertex: usize,
+    },
+    /// The final offset does not equal the adjacency length.
+    OffsetEndMismatch {
+        /// `offsets[n]` as stored.
+        last: usize,
+        /// Actual number of adjacency entries.
+        entries: usize,
+    },
+    /// `neighbors` and `weights` have different lengths.
+    LengthMismatch {
+        /// Length of the neighbor array.
+        neighbors: usize,
+        /// Length of the weight array.
+        weights: usize,
+    },
+    /// The adjacency length is odd — impossible when every undirected edge
+    /// is stored in both endpoint rows.
+    OddEntryCount {
+        /// The adjacency length found.
+        entries: usize,
+    },
+    /// A neighbor id is `>= n`.
+    TargetOutOfRange {
+        /// The vertex whose row contains the bad target.
+        vertex: usize,
+        /// The out-of-range neighbor id.
+        target: VertexId,
+    },
+    /// A vertex lists itself as a neighbor (self-loops are not allowed).
+    SelfLoop {
+        /// The offending vertex.
+        vertex: usize,
+    },
+    /// A row is not strictly ascending by neighbor id (unsorted, or a
+    /// duplicate edge).
+    UnsortedRow {
+        /// The first vertex whose row violates the ordering.
+        vertex: usize,
+    },
+    /// An edge weight is NaN or infinite.
+    NonFiniteWeight {
+        /// The vertex whose row contains the weight.
+        vertex: usize,
+    },
+    /// An edge weight is exactly zero (zero-weight edges are dropped, never
+    /// stored).
+    ZeroWeight {
+        /// The vertex whose row contains the weight.
+        vertex: usize,
+    },
+}
+
+impl std::fmt::Display for CorruptGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorruptGraph::EmptyOffsets => {
+                write!(f, "corrupt graph: offsets array is empty")
+            }
+            CorruptGraph::NonzeroFirstOffset { first } => {
+                write!(f, "corrupt graph: offsets[0] = {first}, expected 0")
+            }
+            CorruptGraph::NonMonotoneOffsets { vertex } => {
+                write!(f, "corrupt graph: offsets decrease at vertex {vertex}")
+            }
+            CorruptGraph::OffsetEndMismatch { last, entries } => write!(
+                f,
+                "corrupt graph: final offset {last} != {entries} adjacency entries"
+            ),
+            CorruptGraph::LengthMismatch { neighbors, weights } => write!(
+                f,
+                "corrupt graph: {neighbors} neighbors vs {weights} weights"
+            ),
+            CorruptGraph::OddEntryCount { entries } => write!(
+                f,
+                "corrupt graph: odd adjacency length {entries} (undirected edges are stored twice)"
+            ),
+            CorruptGraph::TargetOutOfRange { vertex, target } => write!(
+                f,
+                "corrupt graph: vertex {vertex} has out-of-range neighbor {target}"
+            ),
+            CorruptGraph::SelfLoop { vertex } => {
+                write!(f, "corrupt graph: self-loop at vertex {vertex}")
+            }
+            CorruptGraph::UnsortedRow { vertex } => write!(
+                f,
+                "corrupt graph: adjacency row of vertex {vertex} is not strictly sorted"
+            ),
+            CorruptGraph::NonFiniteWeight { vertex } => write!(
+                f,
+                "corrupt graph: non-finite edge weight in row of vertex {vertex}"
+            ),
+            CorruptGraph::ZeroWeight { vertex } => write!(
+                f,
+                "corrupt graph: zero edge weight in row of vertex {vertex}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CorruptGraph {}
+
+/// Validates a CSR triple against every representation invariant of
+/// [`SignedGraph`] and returns the `(positive, negative)` **entry** counts
+/// (directed, i.e. twice the undirected edge counts).
+///
+/// Checks: `n + 1` offsets starting at 0, monotone, ending at the adjacency
+/// length; parallel neighbor/weight arrays of even length; neighbor ids in
+/// range, no self-loops, rows strictly ascending; weights finite and
+/// non-zero.  Performs no allocation — safe to run over memory-mapped
+/// sections without touching the heap.  Adjacency *symmetry* (each edge
+/// present in both endpoint rows) is not checked here; packs cross-check it
+/// via their section checksums and writers construct it by construction.
+pub(crate) fn validate_csr(
+    offsets: &[usize],
+    neighbors: &[VertexId],
+    weights: &[Weight],
+) -> Result<(usize, usize), CorruptGraph> {
+    let (&last, _) = offsets.split_last().ok_or(CorruptGraph::EmptyOffsets)?;
+    if offsets[0] != 0 {
+        return Err(CorruptGraph::NonzeroFirstOffset { first: offsets[0] });
+    }
+    if neighbors.len() != weights.len() {
+        return Err(CorruptGraph::LengthMismatch {
+            neighbors: neighbors.len(),
+            weights: weights.len(),
+        });
+    }
+    if last != neighbors.len() {
+        return Err(CorruptGraph::OffsetEndMismatch {
+            last,
+            entries: neighbors.len(),
+        });
+    }
+    if !neighbors.len().is_multiple_of(2) {
+        return Err(CorruptGraph::OddEntryCount {
+            entries: neighbors.len(),
+        });
+    }
+    let n = offsets.len() - 1;
+    let mut positive = 0usize;
+    let mut negative = 0usize;
+    for v in 0..n {
+        let start = offsets[v];
+        let end = offsets[v + 1];
+        if end < start {
+            return Err(CorruptGraph::NonMonotoneOffsets { vertex: v });
+        }
+        // Monotonicity plus the final-offset check bounds every row, but an
+        // interior offset past the end would still slice out of range before
+        // the *pairwise* check reaches the decreasing step, so bound it here.
+        if end > neighbors.len() {
+            return Err(CorruptGraph::NonMonotoneOffsets { vertex: v });
+        }
+        let mut prev: Option<VertexId> = None;
+        for &t in &neighbors[start..end] {
+            if (t as usize) >= n {
+                return Err(CorruptGraph::TargetOutOfRange {
+                    vertex: v,
+                    target: t,
+                });
+            }
+            if (t as usize) == v {
+                return Err(CorruptGraph::SelfLoop { vertex: v });
+            }
+            if let Some(p) = prev {
+                if t <= p {
+                    return Err(CorruptGraph::UnsortedRow { vertex: v });
+                }
+            }
+            prev = Some(t);
+        }
+        for &w in &weights[start..end] {
+            if !w.is_finite() {
+                return Err(CorruptGraph::NonFiniteWeight { vertex: v });
+            }
+            if w == 0.0 {
+                return Err(CorruptGraph::ZeroWeight { vertex: v });
+            }
+            if w > 0.0 {
+                positive += 1;
+            } else {
+                negative += 1;
+            }
+        }
+    }
+    Ok((positive, negative))
+}
 
 /// A reference to one endpoint of an undirected edge, as seen from a fixed source vertex.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,11 +233,11 @@ pub struct EdgeRef {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SignedGraph {
     /// `offsets[v]..offsets[v+1]` indexes `neighbors`/`weights` for vertex `v`.
-    offsets: Vec<usize>,
+    offsets: CsrColumn<usize>,
     /// Flattened adjacency: neighbor ids.
-    neighbors: Vec<VertexId>,
+    neighbors: CsrColumn<VertexId>,
     /// Flattened adjacency: edge weights, parallel to `neighbors`.
-    weights: Vec<Weight>,
+    weights: CsrColumn<Weight>,
     /// Number of undirected edges (each counted once).
     num_edges: usize,
     /// Number of undirected edges with strictly positive weight.
@@ -56,24 +265,87 @@ impl SignedGraph {
             "undirected edges stored twice"
         );
         SignedGraph {
-            offsets,
-            neighbors,
-            weights,
+            offsets: offsets.into(),
+            neighbors: neighbors.into(),
+            weights: weights.into(),
             num_edges: (num_pos + num_neg) / 2,
             num_positive_edges: num_pos / 2,
             num_negative_edges: num_neg / 2,
         }
     }
 
-    /// Builds a graph directly from CSR arrays, recounting the edge statistics.
+    /// Assembles a graph from pre-validated CSR columns and directed
+    /// positive/negative entry counts — the zero-copy entry point of the
+    /// pack reader ([`crate::pack`]).  Callers must have run
+    /// [`validate_csr`] over the column contents first.
+    pub(crate) fn from_columns(
+        offsets: CsrColumn<usize>,
+        neighbors: CsrColumn<VertexId>,
+        weights: CsrColumn<Weight>,
+        positive_entries: usize,
+        negative_entries: usize,
+    ) -> Self {
+        debug_assert_eq!(neighbors.len(), weights.len());
+        debug_assert_eq!(positive_entries + negative_entries, neighbors.len());
+        SignedGraph {
+            offsets,
+            neighbors,
+            weights,
+            num_edges: (positive_entries + negative_entries) / 2,
+            num_positive_edges: positive_entries / 2,
+            num_negative_edges: negative_entries / 2,
+        }
+    }
+
+    /// Whether any CSR column aliases memory-mapped pack storage rather than
+    /// an owned heap allocation (see [`crate::pack`]).  Reported in serving
+    /// stats; mutation transparently copies mapped columns out first.
+    pub fn is_pack_backed(&self) -> bool {
+        self.offsets.is_mapped() || self.neighbors.is_mapped() || self.weights.is_mapped()
+    }
+
+    /// Builds a graph from **untrusted** CSR arrays, validating every
+    /// representation invariant.
     ///
-    /// The arrays must describe a consistent undirected graph: symmetric adjacency
-    /// (every edge stored in both endpoint rows), rows sorted ascending by neighbor,
-    /// non-zero weights, no self-loops.  This is the zero-copy constructor of callers
-    /// that maintain recycled CSR buffers (the α-sweep's in-place reweighting);
-    /// everything else should go through [`crate::GraphBuilder`].  Consistency is
-    /// checked with debug assertions only.
+    /// The arrays must describe a consistent undirected graph: `n + 1`
+    /// monotone offsets starting at zero and ending at the adjacency length,
+    /// parallel neighbor/weight arrays of even length, in-range neighbor ids,
+    /// no self-loops, rows strictly ascending by neighbor, weights finite and
+    /// non-zero.  Violations return [`CorruptGraph`] instead of risking
+    /// out-of-bounds panics deep inside a solver — this is the required entry
+    /// point for bytes read from disk or the network (memory-mapped packs go
+    /// through the same validation in [`crate::pack`]).
+    ///
+    /// Adjacency symmetry (each undirected edge stored in both endpoint
+    /// rows) is **not** verified — an asymmetric input yields a graph whose
+    /// edge counts are halved entry counts, never unsoundness.  Trusted
+    /// callers that maintain the invariants by construction should use
+    /// [`Self::from_raw_csr_unchecked`], which skips the O(n + m) scan.
     pub fn from_raw_csr(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        weights: Vec<Weight>,
+    ) -> Result<Self, CorruptGraph> {
+        let (positive, negative) = validate_csr(&offsets, &neighbors, &weights)?;
+        Ok(SignedGraph {
+            offsets: offsets.into(),
+            neighbors: neighbors.into(),
+            weights: weights.into(),
+            num_edges: (positive + negative) / 2,
+            num_positive_edges: positive / 2,
+            num_negative_edges: negative / 2,
+        })
+    }
+
+    /// Builds a graph directly from CSR arrays, recounting the edge
+    /// statistics but skipping invariant validation (debug assertions only).
+    ///
+    /// This is the zero-cost constructor of callers that maintain recycled
+    /// CSR buffers whose invariants hold by construction (the α-sweep's
+    /// in-place reweighting); untrusted input must go through
+    /// [`Self::from_raw_csr`] instead, and everything else through
+    /// [`crate::GraphBuilder`].
+    pub fn from_raw_csr_unchecked(
         offsets: Vec<usize>,
         neighbors: Vec<VertexId>,
         weights: Vec<Weight>,
@@ -90,16 +362,21 @@ impl SignedGraph {
 
     /// Decomposes the graph into its CSR arrays `(offsets, neighbors, weights)`, the
     /// inverse of [`Self::from_raw_csr`].  Used to recycle buffers across rebuilds.
+    /// Pack-backed columns are copied into owned `Vec`s here.
     pub fn into_raw_csr(self) -> (Vec<usize>, Vec<VertexId>, Vec<Weight>) {
-        (self.offsets, self.neighbors, self.weights)
+        (
+            self.offsets.into_vec(),
+            self.neighbors.into_vec(),
+            self.weights.into_vec(),
+        )
     }
 
     /// Creates an empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
         SignedGraph {
-            offsets: vec![0; n + 1],
-            neighbors: Vec::new(),
-            weights: Vec::new(),
+            offsets: vec![0; n + 1].into(),
+            neighbors: Vec::new().into(),
+            weights: Vec::new().into(),
             num_edges: 0,
             num_positive_edges: 0,
             num_negative_edges: 0,
@@ -431,7 +708,7 @@ impl SignedGraph {
     /// difference graph into the Disappearing one and vice versa).
     pub fn negated(&self) -> SignedGraph {
         let mut g = self.clone();
-        for w in &mut g.weights {
+        for w in g.weights.make_mut() {
             *w = -*w;
         }
         std::mem::swap(&mut g.num_positive_edges, &mut g.num_negative_edges);
@@ -465,31 +742,36 @@ impl SignedGraph {
         if vertices.is_empty() {
             return;
         }
-        let exclude = VertexSubset::from_slice(self.num_vertices(), vertices);
         let n = self.num_vertices();
-        let mut old_start = self.offsets[0];
+        let exclude = VertexSubset::from_slice(n, vertices);
+        // Pack-backed columns are copied out once here (copy-on-write); the
+        // compaction below then runs in place as before.
+        let offsets = self.offsets.make_mut();
+        let neighbors = self.neighbors.make_mut();
+        let weights = self.weights.make_mut();
+        let mut old_start = offsets[0];
         let mut write = 0usize;
         for v in 0..n {
-            let old_end = self.offsets[v + 1];
+            let old_end = offsets[v + 1];
             if !exclude.contains(v as VertexId) {
                 // `write` never overtakes the read cursor, so rows can be
                 // compacted front-to-back within the same buffers.
                 for read in old_start..old_end {
-                    let neighbor = self.neighbors[read];
+                    let neighbor = neighbors[read];
                     if !exclude.contains(neighbor) {
-                        self.neighbors[write] = neighbor;
-                        self.weights[write] = self.weights[read];
+                        neighbors[write] = neighbor;
+                        weights[write] = weights[read];
                         write += 1;
                     }
                 }
             }
-            self.offsets[v + 1] = write;
+            offsets[v + 1] = write;
             old_start = old_end;
         }
-        self.neighbors.truncate(write);
-        self.weights.truncate(write);
-        let num_pos = self.weights.iter().filter(|w| **w > 0.0).count();
-        let num_neg = self.weights.len() - num_pos;
+        neighbors.truncate(write);
+        weights.truncate(write);
+        let num_pos = weights.iter().filter(|w| **w > 0.0).count();
+        let num_neg = weights.len() - num_pos;
         self.num_positive_edges = num_pos / 2;
         self.num_negative_edges = num_neg / 2;
         self.num_edges = self.num_positive_edges + self.num_negative_edges;

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+mod column;
 pub mod components;
 pub mod cores;
 pub mod csr;
@@ -59,6 +60,7 @@ pub mod delta;
 pub mod io;
 pub mod labels;
 pub mod mask;
+pub mod pack;
 pub mod subset;
 pub mod traversal;
 pub mod view;
@@ -71,10 +73,11 @@ pub use cores::{
     core_decomposition, core_decomposition_view, core_numbers_view_into, degeneracy,
     CoreDecomposition, CoreScratch,
 };
-pub use csr::{EdgeRef, NeighborIter, SignedGraph};
+pub use csr::{CorruptGraph, EdgeRef, NeighborIter, SignedGraph};
 pub use delta::DeltaGraph;
 pub use labels::{LabeledGraphBuilder, VertexLabels};
 pub use mask::VertexMask;
+pub use pack::{GraphPack, PackError};
 pub use subset::VertexSubset;
 pub use view::GraphView;
 

@@ -76,6 +76,25 @@ impl Client {
         self.request(request)
     }
 
+    /// Creates a session whose baseline is a graph-pack file on the
+    /// **server's** filesystem (the path travels over the wire, not the
+    /// bytes).  `options` may carry the same fields as [`Self::create_session`].
+    pub fn create_session_from_pack(
+        &mut self,
+        name: &str,
+        pack_path: &str,
+        options: Value,
+    ) -> Result<Value, ServerError> {
+        let mut request = options;
+        if !matches!(request, Value::Object(_)) {
+            request = json!({});
+        }
+        request["cmd"] = json!("create_session");
+        request["session"] = json!(name);
+        request["pack"] = json!(pack_path);
+        self.request(request)
+    }
+
     /// Replaces the session's baseline graph.
     pub fn load_baseline(
         &mut self,

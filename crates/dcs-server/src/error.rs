@@ -13,6 +13,8 @@ pub enum ServerError {
     Busy,
     /// The underlying mining library rejected the input.
     Dcs(dcs_core::DcsError),
+    /// Opening or decoding a binary graph pack failed.
+    Pack(dcs_graph::PackError),
     /// A socket-level failure.
     Io(std::io::Error),
     /// The peer answered with `ok: false` (client side).
@@ -29,6 +31,7 @@ impl std::fmt::Display for ServerError {
             ServerError::SessionExists(name) => write!(f, "session {name:?} already exists"),
             ServerError::Busy => write!(f, "server busy: job queue full"),
             ServerError::Dcs(e) => write!(f, "{e}"),
+            ServerError::Pack(e) => write!(f, "cannot load graph pack: {e}"),
             ServerError::Io(e) => write!(f, "I/O error: {e}"),
             ServerError::Remote(msg) => write!(f, "server error: {msg}"),
             ServerError::ConnectionClosed => write!(f, "connection closed"),
@@ -40,6 +43,7 @@ impl std::error::Error for ServerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServerError::Dcs(e) => Some(e),
+            ServerError::Pack(e) => Some(e),
             ServerError::Io(e) => Some(e),
             _ => None,
         }
@@ -55,6 +59,12 @@ impl From<dcs_core::DcsError> for ServerError {
 impl From<std::io::Error> for ServerError {
     fn from(e: std::io::Error) -> Self {
         ServerError::Io(e)
+    }
+}
+
+impl From<dcs_graph::PackError> for ServerError {
+    fn from(e: dcs_graph::PackError) -> Self {
+        ServerError::Pack(e)
     }
 }
 

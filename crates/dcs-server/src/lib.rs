@@ -33,14 +33,14 @@
 //! | `cmd`            | request fields                                             | response fields (besides `ok`) |
 //! |------------------|------------------------------------------------------------|--------------------------------|
 //! | `ping`           | —                                                          | `pong: true`                   |
-//! | `create_session` | `session`, `vertices`, opt. `remine_every` (default 0), `alert_threshold` (default 0), `measure` (`"affinity"` \| `"degree"`, default affinity) | `session`, `vertices` |
+//! | `create_session` | `session`, `vertices` *or* `pack` (a graph-pack path on the server's filesystem; `vertices` becomes optional and is cross-checked against the pack header when given), opt. `remine_every` (default 0), `alert_threshold` (default 0), `measure` (`"affinity"` \| `"degree"`, default affinity) | `session`, `vertices`, `backing: "memory"\|"pack"` |
 //! | `load_baseline`  | `session`, `edges: [[u, v, w], …]` — replaces the baseline and resets observations (the version advances, never resets) | `baseline_edges`, `version` |
 //! | `observe`        | `session`, `updates: [[u, v, delta], …]` — batched weight updates to the observed graph | `applied`, `ignored`, `version`, `alerts: [alert…]` |
 //! | `mine`           | `session`, opt. `measure`, *bounds* — mine the current DCS (runs on the worker pool) | `cached`, `version`, `termination`, `result: alert` |
 //! | `topk`           | `session`, `k`, opt. `measure`, *bounds* — up to `k` vertex-disjoint contrast subgraphs | `cached`, `version`, `termination`, `stats`, `results: [group…]` |
 //! | `sweep`          | `session`, opt. `alphas: [f…]` (default grid), `measure`, *bounds* — α-sweep of `A2 − α·A1` | `cached`, `version`, `termination`, `stats`, `points: [point…]` |
 //! | `cancel`         | `job` — cancel the in-flight job registered under that id (from any connection) | `cancelled: bool` (whether the id was found) |
-//! | `stats`          | opt. `session` — with one, that session's counters; without, the server-wide observability payload | per-session: `vertices`, `observations`, `version`, `observed_edges`, `baseline_edges`, `cache: {entries, hits, misses, evictions}`; server-wide: see below |
+//! | `stats`          | opt. `session` — with one, that session's counters; without, the server-wide observability payload | per-session: `vertices`, `observations`, `version`, `observed_edges`, `baseline_edges`, `backing: "memory"\|"pack"`, `pack_open_ms` (open + decode wall time; `null` for memory-backed), `cache: {entries, hits, misses, evictions}`; server-wide: see below |
 //! | `list_sessions`  | —                                                          | `sessions: [name…]`            |
 //! | `drop_session`   | `session`                                                  | `dropped: true`                |
 //! | `server_stats`   | —                                                          | `sessions`, `worker_threads`, `solver_threads`, `queue_capacity`, `jobs_executed`, `jobs_rejected`, `jobs_inflight_named` |
@@ -56,6 +56,18 @@
 //! can no longer be wedged indefinitely by one adversarial request, and a
 //! client disconnect cancels its in-flight job (best-effort).  Only converged
 //! results enter the per-session cache.
+//!
+//! ## Pack-backed sessions
+//!
+//! A `create_session` carrying a `pack` field opens a binary **graph pack**
+//! (the zero-copy CSR format of `dcs_graph::pack`, written by `dcs pack` or
+//! `dcs-datasets`) from the server's filesystem as the session baseline.
+//! The file is memory-mapped where the platform allows, and its CSR arrays
+//! back the baseline graph directly — no edge-list upload, no
+//! graph rebuild.  Per-session `stats` report `backing: "pack"` and the
+//! open + decode wall time as `pack_open_ms`; a later `load_baseline`
+//! replaces the baseline from protocol edges and reverts the session to
+//! `backing: "memory"`.
 //!
 //! Two caveats on disconnect detection, which reads a TCP FIN on the request
 //! stream: clients must keep their **write side open** while awaiting a

@@ -244,13 +244,6 @@ fn dispatch(request: &Value, shared: &Shared, stream: &TcpStream) -> Result<Valu
 
 fn create_session(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
     let name = required_str(request, "session")?;
-    let vertices = required_u64(request, "vertices")? as usize;
-    if vertices == 0 || vertices > shared.config.max_vertices {
-        return Err(ServerError::BadRequest(format!(
-            "vertices must be in 1..={}",
-            shared.config.max_vertices
-        )));
-    }
     let measure =
         parse_measure(request["measure"].as_str())?.unwrap_or(DensityMeasure::GraphAffinity);
     let config = StreamingConfig {
@@ -258,8 +251,29 @@ fn create_session(request: &Value, shared: &Shared) -> Result<Value, ServerError
         alert_threshold: optional_f64(request, "alert_threshold", 0.0)?,
         measure,
     };
+    // With a "pack" field the baseline comes from a graph-pack file on the
+    // server's filesystem and the vertex count comes from the pack header —
+    // "vertices" becomes optional and, when present, is cross-checked.
+    if let Some(path) = request["pack"].as_str() {
+        let declared = optional_u64_opt(request, "vertices")?.map(|v| v as usize);
+        let vertices = shared.registry.create_from_pack(
+            name,
+            path,
+            config,
+            shared.config.max_vertices,
+            declared,
+        )?;
+        return Ok(json!({ "session": name, "vertices": vertices, "backing": "pack" }));
+    }
+    let vertices = required_u64(request, "vertices")? as usize;
+    if vertices == 0 || vertices > shared.config.max_vertices {
+        return Err(ServerError::BadRequest(format!(
+            "vertices must be in 1..={}",
+            shared.config.max_vertices
+        )));
+    }
     shared.registry.create(name, vertices, config)?;
-    Ok(json!({ "session": name, "vertices": vertices }))
+    Ok(json!({ "session": name, "vertices": vertices, "backing": "memory" }))
 }
 
 fn load_baseline(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
@@ -344,6 +358,8 @@ fn stats(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
         "version": stats.version,
         "observed_edges": stats.observed_edges,
         "baseline_edges": stats.baseline_edges,
+        "backing": stats.backing,
+        "pack_open_ms": stats.pack_open_ms,
         "cache": {
             "entries": stats.cache_entries,
             "hits": stats.cache_hits,

@@ -20,6 +20,11 @@ pub struct Session {
     /// `load_baseline` could match versions with the fresh graph and poison
     /// the result cache.
     version_base: u64,
+    /// How the current baseline entered the session: `"memory"` (built from
+    /// protocol edge lists) or `"pack"` (opened from a graph-pack file).
+    backing: &'static str,
+    /// Wall time of the pack open + decode, when `backing == "pack"`.
+    pack_open_ms: Option<f64>,
 }
 
 /// A snapshot of a session's counters (the `stats` command).
@@ -43,6 +48,10 @@ pub struct SessionStats {
     pub cache_misses: u64,
     /// Cache entries removed by capacity pressure so far.
     pub cache_evictions: u64,
+    /// How the current baseline is backed: `"memory"` or `"pack"`.
+    pub backing: &'static str,
+    /// Wall time spent opening + decoding the pack, for pack-backed sessions.
+    pub pack_open_ms: Option<f64>,
 }
 
 impl Session {
@@ -53,6 +62,39 @@ impl Session {
             monitor,
             cache: ResultCache::new(),
             version_base: 0,
+            backing: "memory",
+            pack_open_ms: None,
+        })
+    }
+
+    /// Creates a session whose baseline is a graph pack opened (memory-mapped
+    /// when the platform allows) from `path` — no edge-list upload, no
+    /// `GraphBuilder` pass: the pack's CSR arrays *are* the baseline snapshot.
+    ///
+    /// `max_vertices` guards the server the same way `create_session` does
+    /// for explicit vertex counts; the check runs against the pack header
+    /// before the graph is decoded.
+    pub fn from_pack(
+        path: &str,
+        config: StreamingConfig,
+        max_vertices: usize,
+    ) -> Result<Self, ServerError> {
+        let start = std::time::Instant::now();
+        let pack = dcs_graph::GraphPack::open(path)?;
+        if pack.vertices() == 0 || pack.vertices() > max_vertices {
+            return Err(ServerError::BadRequest(format!(
+                "pack has {} vertices, accepted range is 1..={max_vertices}",
+                pack.vertices()
+            )));
+        }
+        let baseline = pack.to_graph().map_err(ServerError::Pack)?;
+        let monitor = StreamingDcs::new(baseline, config)?;
+        Ok(Session {
+            monitor,
+            cache: ResultCache::new(),
+            version_base: 0,
+            backing: "pack",
+            pack_open_ms: Some(start.elapsed().as_secs_f64() * 1e3),
         })
     }
 
@@ -76,6 +118,9 @@ impl Session {
         self.monitor = StreamingDcs::new(baseline, *self.monitor.config())?;
         self.version_base = next_base;
         self.cache.clear();
+        // The pack file no longer backs the live baseline.
+        self.backing = "memory";
+        self.pack_open_ms = None;
         Ok(loaded)
     }
 
@@ -121,6 +166,8 @@ impl Session {
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_evictions: self.cache.evictions(),
+            backing: self.backing,
+            pack_open_ms: self.pack_open_ms,
         }
     }
 }
@@ -158,6 +205,34 @@ impl SessionRegistry {
         }
         sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
         Ok(())
+    }
+
+    /// Creates a pack-backed session; fails if the name is taken, or if
+    /// `expected_vertices` is given and disagrees with the pack header.
+    /// Returns the vertex count read from the pack.
+    pub fn create_from_pack(
+        &self,
+        name: &str,
+        path: &str,
+        config: StreamingConfig,
+        max_vertices: usize,
+        expected_vertices: Option<usize>,
+    ) -> Result<usize, ServerError> {
+        let session = Session::from_pack(path, config, max_vertices)?;
+        let vertices = session.monitor().num_vertices();
+        if let Some(expected) = expected_vertices {
+            if expected != vertices {
+                return Err(ServerError::BadRequest(format!(
+                    "request declares {expected} vertices but the pack has {vertices}"
+                )));
+            }
+        }
+        let mut sessions = lock(&self.sessions);
+        if sessions.contains_key(name) {
+            return Err(ServerError::SessionExists(name.to_string()));
+        }
+        sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
+        Ok(vertices)
     }
 
     /// Looks up a session by name.
@@ -260,6 +335,40 @@ mod tests {
         assert_eq!(stats.observed_edges, 2);
         assert_eq!(stats.baseline_edges, 2);
         assert_eq!(stats.cache_entries, 0);
+    }
+
+    #[test]
+    fn pack_backed_sessions_report_their_backing() {
+        let path = std::env::temp_dir().join(format!(
+            "dcs_server_session_pack_{}.pack",
+            std::process::id()
+        ));
+        let g = dcs_graph::GraphBuilder::from_edges(6, vec![(0, 1, 2.0), (2, 3, 1.0)]);
+        dcs_datasets::PackWriter::write_graph(&g, &path).unwrap();
+
+        let mut session = Session::from_pack(path.to_str().unwrap(), config(), 1_000).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.backing, "pack");
+        assert_eq!(stats.vertices, 6);
+        assert_eq!(stats.baseline_edges, 2);
+        assert!(stats.pack_open_ms.is_some());
+
+        // The pack graph is the baseline snapshot: observations diff against it.
+        let outcome = session.observe(&[(0, 1, 5.0)]);
+        assert_eq!(outcome.applied, 1);
+
+        // Replacing the baseline from the protocol drops the pack backing.
+        session.load_baseline(&[(0, 1, 1.0)]).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.backing, "memory");
+        assert!(stats.pack_open_ms.is_none());
+
+        // Vertex-count guard reads the header.
+        assert!(matches!(
+            Session::from_pack(path.to_str().unwrap(), config(), 3),
+            Err(ServerError::BadRequest(_))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

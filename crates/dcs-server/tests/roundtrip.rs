@@ -156,6 +156,85 @@ fn topk_sweep_and_stats_over_the_wire() {
 }
 
 #[test]
+fn pack_backed_sessions_over_the_wire() {
+    // The same baseline ring, once as a pack file and once uploaded as
+    // protocol edges: both sessions must mine the same contrast subgraph,
+    // and the pack session must report its backing in stats.
+    let ring: Vec<(u32, u32, f64)> = (0..32u32).map(|v| (v, (v + 1) % 32, 1.0)).collect();
+    let mut builder = dcs_graph::GraphBuilder::new(32);
+    builder.add_edges(ring.iter().copied());
+    let baseline = builder.build();
+    let pack_path =
+        std::env::temp_dir().join(format!("dcs_server_roundtrip_{}.pack", std::process::id()));
+    dcs_datasets::PackWriter::write_graph(&baseline, &pack_path).unwrap();
+
+    let handle = start_server();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let created = client
+        .create_session_from_pack(
+            "packed",
+            pack_path.to_str().unwrap(),
+            json!({ "measure": "affinity" }),
+        )
+        .unwrap();
+    assert_eq!(created["vertices"], 32);
+    assert_eq!(created["backing"], "pack");
+
+    client
+        .create_session("memory", 32, json!({ "measure": "affinity" }))
+        .unwrap();
+    client.load_baseline("memory", &ring).unwrap();
+
+    let hot = [(3u32, 4u32, 6.0f64), (4, 5, 6.0), (3, 5, 6.0)];
+    client.observe("packed", &hot).unwrap();
+    client.observe("memory", &hot).unwrap();
+
+    let from_pack = client.mine("packed").unwrap();
+    let from_memory = client.mine("memory").unwrap();
+    assert_eq!(from_pack["result"]["subset"], json!([3, 4, 5]));
+    assert_eq!(
+        from_pack["result"]["subset"],
+        from_memory["result"]["subset"]
+    );
+    assert_eq!(
+        from_pack["result"]["affinity_difference"],
+        from_memory["result"]["affinity_difference"]
+    );
+
+    let stats = client.stats("packed").unwrap();
+    assert_eq!(stats["backing"], "pack");
+    assert_eq!(stats["baseline_edges"], 32);
+    assert!(stats["pack_open_ms"].as_f64().unwrap() >= 0.0);
+    assert_eq!(client.stats("memory").unwrap()["backing"], "memory");
+    assert_eq!(client.stats("memory").unwrap()["pack_open_ms"], json!(null));
+
+    // Declared vertex counts are cross-checked against the pack header.
+    assert!(matches!(
+        client.request(json!({
+            "cmd": "create_session",
+            "session": "mismatch",
+            "pack": pack_path.to_str().unwrap(),
+            "vertices": 7,
+        })),
+        Err(ServerError::Remote(_))
+    ));
+    // A missing pack file is a clean error, not a wedged session.
+    assert!(matches!(
+        client.create_session_from_pack("ghost", "/nonexistent.pack", json!({})),
+        Err(ServerError::Remote(_))
+    ));
+    assert_eq!(
+        client.list_sessions().unwrap()["sessions"],
+        json!(["memory", "packed"])
+    );
+
+    client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_file(&pack_path).ok();
+}
+
+#[test]
 fn observe_with_cadence_raises_alerts_over_the_wire() {
     let handle = start_server();
     let mut client = Client::connect(handle.local_addr()).unwrap();
