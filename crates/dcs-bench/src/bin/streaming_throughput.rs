@@ -18,19 +18,32 @@
 //! tracer enabled vs instrumented-but-disabled (the production default); in
 //! `--smoke` mode both must stay within 5% (plus sub-millisecond slack).
 //!
+//! A final `server_scaling` section measures the serving tier end to end:
+//! an in-process `dcs-server` under 1/16/128/512 concurrent connections
+//! (1/16 in `--smoke` mode), each streaming observes into its own session
+//! while a separate connection mines, reporting aggregate observes/sec and
+//! p99 mine latency per level.  These numbers are informational — wall-clock
+//! throughput is machine-dependent, so nothing gates on them.
+//!
+//! `--soak` runs only a connection-churn soak: a few hundred connections
+//! open, create/drop sessions, and vanish in waves against one in-process
+//! server, and the process's file-descriptor count must return to its
+//! starting neighborhood afterwards (the event loops leak no sockets).
+//!
 //! Output is a single JSON object, so CI can run it as a smoke step and archive
 //! the numbers.
 //!
 //! ```text
-//! cargo run --release -p dcs-bench --bin streaming_throughput -- [--smoke]
+//! cargo run --release -p dcs-bench --bin streaming_throughput -- [--smoke | --soak]
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dcs_core::dcsad::DcsGreedy;
 use dcs_core::{ContrastSolver, DensityMeasure, SolveContext, StreamingConfig, StreamingDcs};
 use dcs_graph::{GraphBuilder, SignedGraph, VertexId};
-use serde_json::json;
+use dcs_server::{Client, Server, ServerConfig};
+use serde_json::{json, Value};
 
 struct BenchConfig {
     vertices: usize,
@@ -92,11 +105,196 @@ fn median_ms(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Counts this process's open file descriptors (`None` where /proc is
+/// unavailable — the soak then reports without gating).
+fn open_fds() -> Option<usize> {
+    std::fs::read_dir("/proc/self/fd")
+        .ok()
+        .map(|entries| entries.count())
+}
+
+/// One scaling level: `connections` clients stream observes into private
+/// sessions for `duration` while a miner connection alternates
+/// observe + mine on its own session.  Returns the level's report.
+fn scaling_level(addr: std::net::SocketAddr, connections: usize, duration: Duration) -> Value {
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let observers: Vec<std::thread::JoinHandle<u64>> = (0..connections)
+        .map(|index| {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect observer");
+                let session = format!("scale-{connections}-{index}");
+                client
+                    .create_session(&session, 64, json!({}))
+                    .expect("create session");
+                let mut batches = 0u64;
+                let mut tick = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let base = (tick % 56) as u32;
+                    let updates: Vec<(u32, u32, f64)> = (0..8)
+                        .map(|i| (base + i, base + i + 1, 1.0 + (tick % 7) as f64))
+                        .collect();
+                    client.observe(&session, &updates).expect("observe");
+                    batches += 1;
+                    tick += 1;
+                }
+                batches
+            })
+        })
+        .collect();
+
+    // The miner shares the server with the observers but not a session:
+    // its latency shows what mining costs while the observe stream runs.
+    let mut miner = Client::connect(addr).expect("connect miner");
+    let session = format!("scale-miner-{connections}");
+    miner
+        .create_session(&session, 64, json!({}))
+        .expect("create miner session");
+    let mut mine_ms: Vec<f64> = Vec::new();
+    let started = Instant::now();
+    let mut tick = 0u64;
+    while started.elapsed() < duration {
+        let base = (tick % 56) as u32;
+        miner
+            .observe(&session, &[(base, base + 1, 2.0 + (tick % 5) as f64)])
+            .expect("miner observe");
+        let start = Instant::now();
+        miner.mine(&session).expect("mine");
+        mine_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        tick += 1;
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total_batches: u64 = observers
+        .into_iter()
+        .map(|t| t.join().expect("observer thread"))
+        .sum();
+
+    let elapsed = started.elapsed().as_secs_f64();
+    mine_ms.sort_by(f64::total_cmp);
+    let p99 = if mine_ms.is_empty() {
+        0.0
+    } else {
+        mine_ms[(mine_ms.len() - 1).min(mine_ms.len() * 99 / 100)]
+    };
+    json!({
+        "connections": connections,
+        "observe_batches": total_batches,
+        "observes_per_sec": total_batches as f64 * 8.0 / elapsed,
+        "mines": mine_ms.len(),
+        "mine_ms_p50": if mine_ms.is_empty() { 0.0 } else { mine_ms[mine_ms.len() / 2] },
+        "mine_ms_p99": p99,
+    })
+}
+
+/// End-to-end serving-tier scaling: one in-process server, increasing
+/// connection counts.
+fn server_scaling(smoke: bool) -> Value {
+    let handle = Server::bind("127.0.0.1:0", ServerConfig::default())
+        .expect("bind scaling server")
+        .start();
+    let addr = handle.local_addr();
+    let levels: &[usize] = if smoke { &[1, 16] } else { &[1, 16, 128, 512] };
+    let duration = if smoke {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(2)
+    };
+    let reports: Vec<Value> = levels
+        .iter()
+        .map(|&connections| scaling_level(addr, connections, duration))
+        .collect();
+    handle.shutdown();
+    handle.join();
+    json!({ "levels": reports })
+}
+
+/// Connection-churn soak: waves of connections create sessions, stream a
+/// little, drop their sessions and disconnect; afterwards the process must
+/// hold roughly as many file descriptors as before (no socket leaks in the
+/// event loops).  Exits nonzero on a leak.
+fn run_soak() {
+    let fd_before = open_fds();
+    let handle = Server::bind("127.0.0.1:0", ServerConfig::default())
+        .expect("bind soak server")
+        .start();
+    let addr = handle.local_addr();
+
+    const WAVES: usize = 6;
+    const WAVE_SIZE: usize = 50;
+    for wave in 0..WAVES {
+        let mut clients: Vec<Client> = (0..WAVE_SIZE)
+            .map(|_| Client::connect(addr).expect("connect"))
+            .collect();
+        for (index, client) in clients.iter_mut().enumerate() {
+            let session = format!("soak-{wave}-{index}");
+            client
+                .create_session(&session, 32, json!({}))
+                .expect("create");
+            client
+                .observe(&session, &[(0, 1, 2.0), (1, 2, 1.5)])
+                .expect("observe");
+            client
+                .request(json!({ "cmd": "drop_session", "session": session }))
+                .expect("drop");
+        }
+        // Half the wave says goodbye cleanly, half just vanishes.
+        for (index, client) in clients.iter_mut().enumerate() {
+            if index % 2 == 0 {
+                let _ = client.ping();
+            }
+        }
+        drop(clients);
+    }
+
+    // The server must still be fully responsive after the churn.
+    let mut survivor = Client::connect(addr).expect("connect after churn");
+    survivor.ping().expect("ping after churn");
+    drop(survivor);
+    handle.shutdown();
+    handle.join();
+
+    // The event loops close sockets on hangup, but the kernel and the loops
+    // need a beat after the last drop; poll briefly before judging.
+    let allowance = 20usize;
+    let mut fd_after = open_fds();
+    if let (Some(before), Some(_)) = (fd_before, fd_after) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            fd_after = open_fds();
+            match fd_after {
+                Some(after) if after <= before + allowance => break,
+                _ if Instant::now() >= deadline => break,
+                _ => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+    }
+    let report = json!({
+        "bench": "server_soak",
+        "waves": WAVES,
+        "wave_size": WAVE_SIZE,
+        "connections": WAVES * WAVE_SIZE,
+        "fd_before": fd_before,
+        "fd_after": fd_after,
+        "fd_allowance": allowance,
+    });
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    if let (Some(before), Some(after)) = (fd_before, fd_after) {
+        if after > before + allowance {
+            eprintln!("warning: fd count grew from {before} to {after} — socket leak");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     if args.iter().any(|a| a == "--help") {
-        println!("usage: streaming_throughput [--smoke]");
+        println!("usage: streaming_throughput [--smoke | --soak]");
+        return;
+    }
+    if args.iter().any(|a| a == "--soak") {
+        run_soak();
         return;
     }
     let config = if smoke {
@@ -237,6 +435,10 @@ fn main() {
         0.0
     };
 
+    // --- Serving-tier scaling: observes/sec and mine latency against a real
+    // in-process server at increasing connection counts (informational).
+    let scaling = server_scaling(smoke);
+
     let delta = mean_ms(&delta_ms);
     let scratch = mean_ms(&scratch_ms);
     let cached = mean_ms(&cached_ms);
@@ -273,6 +475,7 @@ fn main() {
             "events_recorded": trace_events.len(),
             "events_dropped": trace_dropped,
         },
+        "server_scaling": scaling,
     });
     println!("{}", serde_json::to_string_pretty(&report).unwrap());
 

@@ -6,10 +6,13 @@ use crate::args::{parse_args, ArgSpec};
 use crate::error::CliError;
 
 /// Usage string shown by `dcs help`.
-pub const USAGE: &str = "dcs serve [--addr HOST:PORT] [--threads N] [--solver-threads N] [--queue N] (runs until a shutdown command)";
+pub const USAGE: &str = "dcs serve [--addr HOST:PORT] [--threads N] [--solver-threads N] [--io-threads N] [--queue N] (runs until a shutdown command)";
 
 fn spec() -> ArgSpec {
-    ArgSpec::new(&["addr", "threads", "solver-threads", "queue"], &[])
+    ArgSpec::new(
+        &["addr", "threads", "solver-threads", "io-threads", "queue"],
+        &[],
+    )
 }
 
 /// Parses the options, binds the listener and starts the accept loop.
@@ -23,6 +26,8 @@ fn start_server(raw_args: &[String]) -> Result<(dcs_server::ServerHandle, Server
         worker_threads: args.parse_option("threads", defaults.worker_threads)?,
         // 0 (the default) inherits the DCS_SOLVER_THREADS environment default.
         solver_threads: args.parse_option("solver-threads", defaults.solver_threads)?,
+        // 0 (the default) inherits the DCS_IO_THREADS environment default.
+        io_threads: args.parse_option("io-threads", defaults.io_threads)?,
         queue_capacity: args.parse_option("queue", defaults.queue_capacity)?,
         ..defaults
     };
@@ -55,9 +60,10 @@ fn serve_until_shutdown(handle: dcs_server::ServerHandle) -> String {
 pub fn run(raw_args: &[String]) -> Result<String, CliError> {
     let (handle, config) = start_server(raw_args)?;
     println!(
-        "dcs-server listening on {} ({} worker threads, queue {})",
+        "dcs-server listening on {} ({} worker threads, {} io threads, queue {})",
         handle.local_addr(),
         config.worker_threads,
+        config.resolved_io_threads(),
         config.queue_capacity
     );
     Ok(serve_until_shutdown(handle))
@@ -99,11 +105,15 @@ mod tests {
             "127.0.0.1:0",
             "--threads",
             "2",
+            "--io-threads",
+            "2",
             "--queue",
             "4",
         ]))
         .expect("bind ephemeral port");
         assert_eq!(config.worker_threads, 2);
+        assert_eq!(config.io_threads, 2);
+        assert_eq!(config.resolved_io_threads(), 2);
         assert_eq!(config.queue_capacity, 4);
         let addr = handle.local_addr();
         let server_thread = std::thread::spawn(move || serve_until_shutdown(handle));

@@ -239,9 +239,57 @@ fn render_server_stats(addr: &str, payload: &Value) -> String {
                 ),
             ),
             ("queue wait", latency_line(&payload["queue"]["wait_us"])),
+            (
+                "io events",
+                format!(
+                    "accepts {} / reads {} / writes {} ({} threads, {})",
+                    u64_at(payload, &["io", "accepts"]),
+                    u64_at(payload, &["io", "read_events"]),
+                    u64_at(payload, &["io", "write_events"]),
+                    u64_at(payload, &["io", "threads"]),
+                    payload["io"]["backend"].as_str().unwrap_or("?")
+                ),
+            ),
+            (
+                "connections open",
+                format!(
+                    "{} (of {} opened)",
+                    u64_at(payload, &["io", "connections_open"]),
+                    u64_at(payload, &["io", "connections_opened"])
+                ),
+            ),
+            ("load shed", u64_at(payload, &["io", "shed"]).to_string()),
         ],
     );
     out.push('\n');
+
+    if let Some(shards) = payload["shards"].as_array() {
+        let rows: Vec<(String, String)> = shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                (
+                    format!("shard {index}"),
+                    format!(
+                        "{} sessions, cache {:.1}% ({}/{}), mailbox {} pending (hw {}, shed {})",
+                        u64_at(shard, &["sessions"]),
+                        shard["cache"]["hit_rate"].as_f64().unwrap_or(0.0) * 100.0,
+                        u64_at(shard, &["cache", "hits"]),
+                        u64_at(shard, &["cache", "misses"]),
+                        u64_at(shard, &["mailbox", "pending"]),
+                        u64_at(shard, &["mailbox", "high_water"]),
+                        u64_at(shard, &["mailbox", "shed"])
+                    ),
+                )
+            })
+            .collect();
+        let refs: Vec<(&str, String)> = rows
+            .iter()
+            .map(|(label, text)| (label.as_str(), text.clone()))
+            .collect();
+        out.push_str(&render_block("Registry shards", &refs));
+        out.push('\n');
+    }
 
     let mut latency_rows: Vec<(&str, String)> = Vec::new();
     for kind in ["mine", "topk", "sweep"] {
@@ -347,6 +395,9 @@ mod tests {
         assert!(completed.ends_with("2 (1)"), "line: {completed:?}");
         assert!(out.contains("cache hit rate"));
         assert!(out.contains("Job wall time"));
+        assert!(out.contains("io events"));
+        assert!(out.contains("Registry shards"));
+        assert!(out.contains("load shed"));
 
         let session_out = run(&strings(&["--connect", &addr, "--session", "s"])).unwrap();
         assert!(session_out.contains("Session s"));

@@ -29,15 +29,20 @@
 //! interruption behaviour of the `stop` callback are all bit-identical — the
 //! property the `parallel_peel_properties` suite pins down.
 //!
-//! Threads are **scoped per peel call** (workers persist across rounds inside
-//! one call, coordinated by a [`Barrier`]); the shared per-vertex state lives
-//! in atomics written only while the other side is parked at the barrier, so
-//! the module needs no `unsafe`.
+//! Workers are **persistent**: the workspace holds a [`taskcrew::WorkerCrew`]
+//! spawned on first parallel peel and reused across every subsequent round
+//! *and* every subsequent solve, so a peel round costs one condvar broadcast
+//! instead of two thread spawns.  The shared per-vertex state lives in
+//! atomics written only while the other side is parked in the crew's round
+//! barrier, so this module needs no `unsafe` (the lifetime erasure lives in
+//! the `taskcrew` shim).
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering as MemOrd};
-use std::sync::{Barrier, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering as MemOrd};
+use std::sync::Mutex;
+
+use taskcrew::WorkerCrew;
 
 use dcs_graph::{GraphView, SignedGraph, VertexId, Weight};
 
@@ -50,10 +55,6 @@ pub const PARALLEL_PEEL_THRESHOLD: usize = 4096;
 
 /// Default number of smallest keys each worker range contributes per scan round.
 const DEFAULT_BATCH_PER_RANGE: usize = 128;
-
-const PHASE_INIT: u8 = 0;
-const PHASE_SCAN: u8 = 1;
-const PHASE_EXIT: u8 = 2;
 
 /// The ascending `(degree, vertex)` key order, with the exact tie rule of the
 /// sequential heap's [`Entry`] (`partial_cmp` collapsed to `Equal`, then vertex
@@ -110,6 +111,9 @@ pub struct ParallelPeelWorkspace {
     batch: Vec<Entry>,
     dirty: BinaryHeap<Entry>,
     batch_per_range: usize,
+    /// Persistent workers, spawned on the first parallel peel and reused for
+    /// every later round/solve; re-spawned only if the thread count changes.
+    crew: Option<WorkerCrew>,
 }
 
 impl Clone for ParallelPeelWorkspace {
@@ -291,8 +295,9 @@ pub fn greedy_peeling_parallel_view_into<F: FnMut(u64) -> bool>(
     let graph = view.graph();
     let batch_per_range = par.effective_batch();
 
-    let barrier = Barrier::new(threads + 1);
-    let phase = AtomicU8::new(PHASE_INIT);
+    if par.crew.as_ref().map(WorkerCrew::threads) != Some(threads) {
+        par.crew = Some(WorkerCrew::new(threads));
+    }
     let ParallelPeelWorkspace {
         degree_bits,
         version,
@@ -300,40 +305,19 @@ pub fn greedy_peeling_parallel_view_into<F: FnMut(u64) -> bool>(
         slots,
         batch,
         dirty,
+        crew,
         ..
     } = par;
+    let crew = crew.as_ref().expect("crew ensured above");
     let (degree_bits, version, alive) = (&degree_bits[..], &version[..], &alive[..]);
+    let slots = &slots[..];
 
-    let (alive_count, best_density, best_size, interrupted) = std::thread::scope(|scope| {
-        for slot in slots.iter() {
-            let (barrier, phase) = (&barrier, &phase);
-            scope.spawn(move || loop {
-                barrier.wait();
-                match phase.load(MemOrd::Acquire) {
-                    PHASE_EXIT => break,
-                    p => {
-                        let mut slot = slot.lock().expect("slot poisoned");
-                        if p == PHASE_INIT {
-                            init_range(
-                                &mut slot,
-                                graph,
-                                positive_only,
-                                degree_bits,
-                                version,
-                                alive,
-                            );
-                        } else {
-                            scan_range(&mut slot, batch_per_range, degree_bits, version, alive);
-                        }
-                    }
-                }
-                barrier.wait();
-            });
-        }
-
-        // ---- coordinator: init ----
-        barrier.wait();
-        barrier.wait();
+    let (alive_count, best_density, best_size, interrupted) = {
+        // ---- init round ----
+        crew.broadcast(&|i| {
+            let mut slot = slots[i].lock().expect("slot poisoned");
+            init_range(&mut slot, graph, positive_only, degree_bits, version, alive);
+        });
         let mut total_degree: Weight = 0.0;
         for slot in slots.iter() {
             let slot = slot.lock().expect("slot poisoned");
@@ -348,9 +332,10 @@ pub fn greedy_peeling_parallel_view_into<F: FnMut(u64) -> bool>(
 
         // ---- scan/commit rounds ----
         'outer: while alive_count > 1 {
-            phase.store(PHASE_SCAN, MemOrd::Release);
-            barrier.wait();
-            barrier.wait();
+            crew.broadcast(&|i| {
+                let mut slot = slots[i].lock().expect("slot poisoned");
+                scan_range(&mut slot, batch_per_range, degree_bits, version, alive);
+            });
             batch.clear();
             dirty.clear();
             let mut bound: Option<(Weight, VertexId)> = None;
@@ -455,10 +440,8 @@ pub fn greedy_peeling_parallel_view_into<F: FnMut(u64) -> bool>(
             }
         }
 
-        phase.store(PHASE_EXIT, MemOrd::Release);
-        barrier.wait();
         (alive_count, best_density, best_size, interrupted)
-    });
+    };
     peel_span.set_units((alive_at_start - alive_count) as u64);
 
     // The shared tail reads `ws.alive` for the negative-density fallback: sync

@@ -11,6 +11,11 @@ pub enum ServerError {
     SessionExists(String),
     /// The mining-job queue is full.
     Busy,
+    /// The server shed the request under load; retry after the hinted delay.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The underlying mining library rejected the input.
     Dcs(dcs_core::DcsError),
     /// Opening or decoding a binary graph pack failed.
@@ -30,6 +35,7 @@ impl std::fmt::Display for ServerError {
             ServerError::UnknownSession(name) => write!(f, "unknown session {name:?}"),
             ServerError::SessionExists(name) => write!(f, "session {name:?} already exists"),
             ServerError::Busy => write!(f, "server busy: job queue full"),
+            ServerError::Overloaded { .. } => write!(f, "overloaded"),
             ServerError::Dcs(e) => write!(f, "{e}"),
             ServerError::Pack(e) => write!(f, "cannot load graph pack: {e}"),
             ServerError::Io(e) => write!(f, "I/O error: {e}"),
@@ -81,6 +87,10 @@ mod tests {
             .to_string()
             .contains("x"));
         assert!(ServerError::Busy.to_string().contains("busy"));
+        assert_eq!(
+            ServerError::Overloaded { retry_after_ms: 50 }.to_string(),
+            "overloaded"
+        );
         assert!(ServerError::ConnectionClosed.to_string().contains("closed"));
     }
 }

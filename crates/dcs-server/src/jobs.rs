@@ -1,11 +1,14 @@
 //! Mining jobs and the work-stealing worker pool that executes them.
 //!
-//! Mining is CPU-bound, so connection threads never solve anything themselves:
-//! they submit a [`JobSpec`] and block on the job's reply channel.  The pool
-//! has a fixed number of workers and a **bounded** admission count — when too
-//! many jobs are pending, submission fails immediately with
-//! [`ServerError::Busy`] and the client sees a `busy` error instead of
-//! unbounded latency.
+//! Mining is CPU-bound, so I/O threads never solve anything themselves: they
+//! submit a [`JobSpec`] and either block on the job's reply channel
+//! ([`WorkerPool::submit`], used by blocking callers and unit tests) or hand
+//! the pool a completion callback ([`WorkerPool::submit_with`], the serving
+//! tier's nonblocking path — the callback renders the response on the worker
+//! thread and posts it back to the owning event loop).  The pool has a fixed
+//! number of workers and a **bounded** admission count — when too many jobs
+//! are pending, submission fails immediately with [`ServerError::Busy`] and
+//! the caller decides how to shed the load.
 //!
 //! Scheduling is **work-stealing with snapshot batching**: mining jobs park in
 //! a per-session pending list, and the worker that claims a session drains its
@@ -305,8 +308,19 @@ enum Snapshot {
 /// tasks thread the workspace into their [`SolveContext`]; observe tasks ignore it).
 pub type Task = Box<dyn FnOnce(&SharedWorkspace) -> Result<Value, ServerError> + Send + 'static>;
 
-/// A reply slot of one submitted job.
-type Reply = SyncSender<Result<Value, ServerError>>;
+/// A completion callback invoked with the job's outcome on a worker thread.
+///
+/// The nonblocking counterpart of a reply channel: the serving tier's I/O
+/// threads must never block on `recv`, so they hand the pool a callback that
+/// renders the response and posts it back to the owning event loop.
+pub type Completion = Box<dyn FnOnce(Result<Value, ServerError>) + Send + 'static>;
+
+/// A reply slot of one submitted job: a synchronous channel (blocking
+/// callers) or a completion callback (the event-loop path).
+enum Reply {
+    Channel(SyncSender<Result<Value, ServerError>>),
+    Callback(Completion),
+}
 
 /// A mining job waiting in its session's pending list.
 struct MiningJob {
@@ -362,8 +376,12 @@ struct PoolShared {
     /// deque is empty, and steal from each other when it is empty too.
     injector: Injector<Ticket>,
     stealers: Vec<Stealer<Ticket>>,
-    /// Pending mining jobs per session (keyed by `Arc` pointer identity).
-    pending_mining: Mutex<HashMap<usize, Vec<MiningJob>>>,
+    /// Pending mining jobs per session (keyed by `Arc` pointer identity),
+    /// sharded so submissions from many I/O threads do not serialize on one
+    /// map lock.  `pending_depths[i]` mirrors shard `i`'s queued job count
+    /// for the `stats` surface.
+    pending_mining: Vec<Mutex<HashMap<usize, Vec<MiningJob>>>>,
+    pending_depths: Vec<AtomicUsize>,
     /// Jobs accepted but not yet claimed by a worker — the admission counter.
     pending: AtomicUsize,
     /// Parking lot: a generation counter bumped on every submission, so idle
@@ -381,6 +399,14 @@ struct PoolShared {
 }
 
 impl PoolShared {
+    /// The pending-map shard of a session key.  Fibonacci multiplicative hash
+    /// over the `Arc` address: the low bits are allocator-aligned zeros, so
+    /// take the high bits of the product.
+    fn mining_shard(&self, key: usize) -> usize {
+        let hash = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48;
+        (hash % self.pending_mining.len() as u64) as usize
+    }
+
     fn generation(&self) -> u64 {
         *self.park.0.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -419,8 +445,13 @@ impl PoolShared {
     fn finish(&self, reply: Reply, outcome: Result<Value, ServerError>) {
         self.executed.fetch_add(1, Ordering::Relaxed);
         self.inflight.dec();
-        // A dropped reply receiver (client went away) is fine.
-        let _ = reply.send(outcome);
+        match reply {
+            // A dropped reply receiver (client went away) is fine.
+            Reply::Channel(sender) => {
+                let _ = sender.send(outcome);
+            }
+            Reply::Callback(done) => done(outcome),
+        }
     }
 }
 
@@ -445,7 +476,8 @@ impl WorkerPool {
         let shared = Arc::new(PoolShared {
             injector: Injector::new(),
             stealers,
-            pending_mining: Mutex::new(HashMap::new()),
+            pending_mining: (0..threads).map(|_| Mutex::new(HashMap::new())).collect(),
+            pending_depths: (0..threads).map(|_| AtomicUsize::new(0)).collect(),
             pending: AtomicUsize::new(0),
             park: (Mutex::new(0), Condvar::new()),
             shutdown: AtomicBool::new(false),
@@ -521,8 +553,34 @@ impl WorkerPool {
         spec: JobSpec,
         cx: SolveContext,
     ) -> Result<Receiver<Result<Value, ServerError>>, ServerError> {
-        self.admit()?;
         let (reply, receiver) = sync_channel(1);
+        self.submit_reply(session, spec, cx, Reply::Channel(reply))?;
+        Ok(receiver)
+    }
+
+    /// Nonblocking variant of [`Self::submit`]: instead of a reply channel,
+    /// `done` runs with the job's outcome **on the worker thread** that
+    /// finishes it.  The serving tier's event loops use this to stay off
+    /// blocking `recv` calls — the completion renders the response and posts
+    /// it back to the connection's I/O thread.
+    pub fn submit_with(
+        &self,
+        session: SharedSession,
+        spec: JobSpec,
+        cx: SolveContext,
+        done: Completion,
+    ) -> Result<(), ServerError> {
+        self.submit_reply(session, spec, cx, Reply::Callback(done))
+    }
+
+    fn submit_reply(
+        &self,
+        session: SharedSession,
+        spec: JobSpec,
+        cx: SolveContext,
+        reply: Reply,
+    ) -> Result<(), ServerError> {
+        self.admit()?;
         let key = Arc::as_ptr(&session) as usize;
         let job = MiningJob {
             session,
@@ -531,37 +589,49 @@ impl WorkerPool {
             reply,
             enqueued: Instant::now(),
         };
-        self.shared
-            .pending_mining
+        let shard = self.shared.mining_shard(key);
+        self.shared.pending_mining[shard]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .entry(key)
             .or_default()
             .push(job);
+        self.shared.pending_depths[shard].fetch_add(1, Ordering::Relaxed);
         // The ticket is pushed after the job is visible in the map, so every
         // ticket's job is claimable by the time the ticket is.
         self.shared.injector.push(Ticket::Session(key));
         self.shared.wake();
-        Ok(receiver)
+        Ok(())
     }
 
     /// Submits an arbitrary task (used for observes on cadence-mining
     /// sessions, which can trigger a solve and therefore must not run on
-    /// connection threads).  Same bounded-admission semantics as
-    /// [`Self::submit`]; opaque tasks are never batched.
+    /// I/O threads).  Same bounded-admission semantics as [`Self::submit`];
+    /// opaque tasks are never batched.
     pub fn submit_task(
         &self,
         task: Task,
     ) -> Result<Receiver<Result<Value, ServerError>>, ServerError> {
-        self.admit()?;
         let (reply, receiver) = sync_channel(1);
+        self.submit_task_reply(task, Reply::Channel(reply))?;
+        Ok(receiver)
+    }
+
+    /// Nonblocking variant of [`Self::submit_task`] with a completion
+    /// callback instead of a reply channel.
+    pub fn submit_task_with(&self, task: Task, done: Completion) -> Result<(), ServerError> {
+        self.submit_task_reply(task, Reply::Callback(done))
+    }
+
+    fn submit_task_reply(&self, task: Task, reply: Reply) -> Result<(), ServerError> {
+        self.admit()?;
         self.shared.injector.push(Ticket::Opaque(OpaqueJob {
             task,
             reply,
             enqueued: Instant::now(),
         }));
         self.shared.wake();
-        Ok(receiver)
+        Ok(())
     }
 
     /// Number of worker threads.
@@ -619,6 +689,17 @@ impl WorkerPool {
     /// Jobs answered from another job's solve (batch followers).
     pub fn coalesced(&self) -> u64 {
         self.shared.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time pending mining jobs per internal session shard (the
+    /// shard count equals the worker thread count).  Exposed through the
+    /// server-wide `stats` surface as `queue.shard_depths`.
+    pub fn shard_depths(&self) -> Vec<usize> {
+        self.shared
+            .pending_depths
+            .iter()
+            .map(|depth| depth.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Stops admissions, drains the remaining work and joins every worker.
@@ -710,8 +791,8 @@ fn claim_session(
     key: usize,
     workspace: &SharedWorkspace,
 ) {
-    let jobs = shared
-        .pending_mining
+    let shard = shared.mining_shard(key);
+    let jobs = shared.pending_mining[shard]
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .remove(&key);
@@ -721,6 +802,7 @@ fn claim_session(
     if jobs.is_empty() {
         return;
     }
+    shared.pending_depths[shard].fetch_sub(jobs.len(), Ordering::Relaxed);
     for job in &jobs {
         shared.note_claimed(job.enqueued);
     }
@@ -1051,6 +1133,47 @@ mod tests {
         let batches = pool.batch_size_snapshot();
         assert!(batches.count >= 1, "batch sizes must be recorded");
         assert!(batches.max >= 3, "the pile-up forms a batch of at least 3");
+        assert_eq!(pool.executed(), 4);
+    }
+
+    #[test]
+    fn callback_submissions_complete_without_a_channel() {
+        let pool = WorkerPool::new(2, 8);
+        let session = shared_session(6);
+        seed_triangle(&session);
+        let (tx, rx) = std::sync::mpsc::channel();
+        for _ in 0..3 {
+            let tx = tx.clone();
+            pool.submit_with(
+                Arc::clone(&session),
+                JobSpec::Mine { measure: None },
+                SolveContext::unbounded(),
+                Box::new(move |outcome| {
+                    let value = outcome.unwrap();
+                    tx.send(value["result"]["subset"].clone()).unwrap();
+                }),
+            )
+            .unwrap();
+        }
+        for _ in 0..3 {
+            let subset = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(subset, serde_json::json!([0, 1, 2]));
+        }
+        // Opaque-task callbacks run too.
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit_task_with(
+            Box::new(|_| Ok(json!({"done": true}))),
+            Box::new(move |outcome| tx.send(outcome.unwrap()).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap()["done"],
+            true
+        );
+        // The sharded pending maps drained back to empty.
+        let depths = pool.shard_depths();
+        assert_eq!(depths.len(), pool.threads());
+        assert_eq!(depths.iter().sum::<usize>(), 0);
         assert_eq!(pool.executed(), 4);
     }
 

@@ -12,10 +12,17 @@
 //!   difference graph), and a monotone **graph version** bumped only by
 //!   updates that actually change the graph; mining jobs receive
 //!   `Arc<SignedGraph>` snapshot handles — no per-job graph clones, and an
-//!   unchanged session hands every worker the same pointer-equal snapshot;
+//!   unchanged session hands every worker the same pointer-equal snapshot.
+//!   The registry is **sharded** by session-name hash so concurrent
+//!   create/get/drop traffic on different sessions does not serialize on one
+//!   lock;
 //! * a fixed-size [`WorkerPool`] with a bounded job queue, so many clients
 //!   can mine concurrently without oversubscribing cores (excess load is
-//!   rejected with a `busy` error instead of piling up);
+//!   shed with a structured `overloaded` error instead of piling up);
+//! * a **nonblocking serving tier**: a small fixed set of I/O threads run
+//!   readiness event loops (epoll on Linux, `poll(2)` elsewhere) over the
+//!   connections an accept thread deals out to them — see *Serving
+//!   architecture* below;
 //! * a per-session **result cache** keyed by `(graph version, job spec)` —
 //!   repeated queries against an unchanged graph are answered without
 //!   re-mining and marked `"cached": true`;
@@ -43,7 +50,7 @@
 //! | `stats`          | opt. `session` — with one, that session's counters; without, the server-wide observability payload | per-session: `vertices`, `observations`, `version`, `observed_edges`, `baseline_edges`, `backing: "memory"\|"pack"`, `pack_open_ms` (open + decode wall time; `null` for memory-backed), `cache: {entries, hits, misses, evictions}`; server-wide: see below |
 //! | `list_sessions`  | —                                                          | `sessions: [name…]`            |
 //! | `drop_session`   | `session`                                                  | `dropped: true`                |
-//! | `server_stats`   | —                                                          | `sessions`, `worker_threads`, `solver_threads`, `queue_capacity`, `jobs_executed`, `jobs_rejected`, `jobs_inflight_named` |
+//! | `server_stats`   | —                                                          | `sessions`, `worker_threads`, `solver_threads`, `io_threads`, `queue_capacity`, `jobs_executed`, `jobs_rejected`, `jobs_inflight_named` |
 //! | `shutdown`       | —                                                          | `shutting_down: true`          |
 //!
 //! Every mining command accepts the optional *bounds* fields
@@ -69,14 +76,46 @@
 //! replaces the baseline from protocol edges and reverts the session to
 //! `backing: "memory"`.
 //!
-//! Two caveats on disconnect detection, which reads a TCP FIN on the request
-//! stream: clients must keep their **write side open** while awaiting a
-//! mining response (a half-close — `shutdown(SHUT_WR)`, `nc -N`, closing the
-//! writer to signal end-of-input — is indistinguishable from abandonment and
-//! cancels the in-flight job), and unread pipelined bytes mask a later
-//! disconnect.  The *hard* anti-wedge guarantee is therefore
-//! [`ServerConfig::max_job_ms`] (default 5 minutes): every job runs under a
-//! server-imposed deadline no looser than that cap, client-supplied or not.
+//! One caveat on disconnect detection, which observes EOF / hangup on the
+//! request stream: clients must keep their **write side open** while awaiting
+//! a mining response (a half-close — `shutdown(SHUT_WR)`, `nc -N`, closing
+//! the writer to signal end-of-input — is indistinguishable from abandonment
+//! and cancels the in-flight job; the response, carrying the best result
+//! found so far, is still written if the read side of the peer survives).
+//! The *hard* anti-wedge guarantee is [`ServerConfig::max_job_ms`] (default
+//! 5 minutes): every job runs under a server-imposed deadline no looser than
+//! that cap, client-supplied or not.
+//!
+//! ## Serving architecture
+//!
+//! Connections are not one-thread-each.  A blocking accept thread hands
+//! fresh sockets round-robin to [`ServerConfig::io_threads`] I/O threads
+//! (default: up to 4); each runs a **readiness event loop** — epoll on
+//! Linux, portable `poll(2)` elsewhere — over the connections it owns:
+//!
+//! * requests are framed **incrementally**: partial reads accumulate until a
+//!   newline completes a request, so a slow or trickling sender never holds
+//!   a thread;
+//! * per connection, requests dispatch **one at a time** (responses stay in
+//!   request order) while different connections progress independently;
+//! * cheap commands run inline on the I/O thread; mining commands (and
+//!   observes that can trigger a solve) are handed to the worker pool with a
+//!   **completion callback** that renders the response and posts it back to
+//!   the owning event loop — I/O threads never block on a solve or a reply
+//!   channel;
+//! * responses are **write-buffered** with backpressure: past a high-water
+//!   mark of unflushed output the loop stops reading (and therefore parsing
+//!   and dispatching) from that connection until the peer drains it, without
+//!   stalling any other connection.
+//!
+//! **Admission control** is end to end.  The worker pool's bounded queue and
+//! each session's bounded **observe mailbox** ([`ServerConfig::observe_mailbox`])
+//! shed excess load immediately with
+//! `{"ok": false, "error": "overloaded", "retry_after_ms": n}` — the hint
+//! scales with queue depth so well-behaved clients back off harder as
+//! pressure rises.  Shed counts, per-shard queue depths, mailbox high-water
+//! marks and accept/read/write event counters are all exported in the
+//! server-wide `stats` payload (the `io` and `shards` blocks below).
 //!
 //! ## The server-wide `stats` payload
 //!
@@ -104,7 +143,17 @@
 //! * `cache: {entries, hits, misses, evictions, hit_rate}` — aggregated over
 //!   every session's result cache;
 //! * `observes: {batches, updates, per_sec}` — observe throughput since the
-//!   server started.
+//!   server started;
+//! * `queue.shard_depths: [n…]` — pending mining jobs per pool shard;
+//! * `io: {threads, backend, accepts, read_events, write_events,
+//!   connections_opened, connections_open, shed}` — the serving tier:
+//!   event-loop backend (`"epoll"` / `"poll"`), accepted connections,
+//!   readiness events handled, and how many requests were answered
+//!   `overloaded`;
+//! * `shards: [{sessions, cache: {hits, misses, hit_rate},
+//!   mailbox: {pending, high_water, shed}}…]` — one entry per registry
+//!   shard: its session count, its result-cache hit rate (the `cache` block
+//!   above is the aggregate), and its observe-mailbox pressure.
 //!
 //! Every **latency summary** is
 //! `{"count": n, "mean_us": f, "p50_us": n, "p95_us": n, "p99_us": n,
@@ -127,9 +176,9 @@
 //! The mining commands (`mine`, `topk`, `sweep`) — and `observe` on sessions
 //! with `remine_every > 0`, since completing a period triggers a solve — are
 //! executed by the worker pool; when too many jobs are pending the server
-//! answers `{"ok": false, "error": "server busy: job queue full"}`
+//! answers `{"ok": false, "error": "overloaded", "retry_after_ms": n}`
 //! immediately rather than queueing unboundedly.  All other commands are
-//! handled inline by the connection thread.
+//! handled inline by the I/O threads.
 //!
 //! ## Snapshot batching and coalescing
 //!
@@ -187,11 +236,11 @@ mod session;
 pub use cache::ResultCache;
 pub use client::Client;
 pub use error::ServerError;
-pub use jobs::{JobSpec, JobTable, WorkerPool};
+pub use jobs::{Completion, JobSpec, JobTable, WorkerPool};
 pub use metrics::{histogram_summary, ServerMetrics};
 pub use protocol::{alert_to_json, parse_measure, report_to_json, stats_to_json};
 pub use server::{Server, ServerHandle};
-pub use session::{Session, SessionRegistry, SessionStats};
+pub use session::{ObserveMailbox, Session, SessionRegistry, SessionStats, ShardStats};
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -219,6 +268,41 @@ pub struct ServerConfig {
     /// [`ServerConfig::worker_threads`], which controls how many jobs run
     /// concurrently.
     pub solver_threads: usize,
+    /// Number of I/O threads running readiness event loops over the accepted
+    /// connections.  `0` (the default) reads the `DCS_IO_THREADS` environment
+    /// variable, itself defaulting to the machine's available parallelism
+    /// capped at 4 — I/O threads multiplex many connections each and almost
+    /// never need to scale with cores the way workers do.
+    pub io_threads: usize,
+    /// Per-session bound on pooled observes in flight (cadence-mining
+    /// sessions only — plain observes are applied inline and never queue).
+    /// A session at its bound sheds further observes with `overloaded`
+    /// rather than letting one hot stream starve the pool.  Clamped to at
+    /// least 1.
+    pub observe_mailbox: usize,
+}
+
+impl ServerConfig {
+    /// The effective I/O thread count: the configured value, or — when 0 —
+    /// the `DCS_IO_THREADS` environment variable, or — when unset or
+    /// unparsable — available parallelism capped at 4.  Always at least 1.
+    pub fn resolved_io_threads(&self) -> usize {
+        let configured = if self.io_threads > 0 {
+            self.io_threads
+        } else {
+            std::env::var("DCS_IO_THREADS")
+                .ok()
+                .and_then(|raw| raw.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                        .min(4)
+                })
+        };
+        configured.max(1)
+    }
 }
 
 impl Default for ServerConfig {
@@ -231,6 +315,8 @@ impl Default for ServerConfig {
             max_vertices: 50_000_000,
             max_job_ms: Some(300_000),
             solver_threads: 0,
+            io_threads: 0,
+            observe_mailbox: 1024,
         }
     }
 }

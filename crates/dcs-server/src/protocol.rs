@@ -176,8 +176,14 @@ pub fn ok_response(request: &Value, mut body: Value) -> Value {
 }
 
 /// Builds a failure response from an error, echoing the request's `id`.
+///
+/// Load-shed errors ([`ServerError::Overloaded`]) additionally carry a
+/// `retry_after_ms` backoff hint so well-behaved clients can pace retries.
 pub fn error_response(request: &Value, error: &ServerError) -> Value {
     let mut body = json!({ "ok": false, "error": error.to_string() });
+    if let ServerError::Overloaded { retry_after_ms } = error {
+        body["retry_after_ms"] = json!(retry_after_ms);
+    }
     echo_id(request, &mut body);
     body
 }
@@ -255,5 +261,18 @@ mod tests {
         // Without an id nothing is echoed.
         let quiet = ok_response(&json!({"cmd": "ping"}), json!({}));
         assert!(quiet["id"].is_null());
+    }
+
+    #[test]
+    fn overloaded_responses_carry_a_retry_hint() {
+        let request = json!({"cmd": "observe", "id": "req-9"});
+        let shed = error_response(&request, &ServerError::Overloaded { retry_after_ms: 75 });
+        assert_eq!(shed["ok"], false);
+        assert_eq!(shed["error"], "overloaded");
+        assert_eq!(shed["retry_after_ms"], 75);
+        assert_eq!(shed["id"], "req-9");
+        // Only load-shed errors carry the hint.
+        let busy = error_response(&request, &ServerError::Busy);
+        assert!(busy["retry_after_ms"].is_null());
     }
 }

@@ -1,14 +1,34 @@
-//! The TCP server: accept loop, per-connection NDJSON handling, dispatch.
+//! The TCP serving tier: readiness event loops, per-connection NDJSON state
+//! machines, dispatch, and admission control.
+//!
+//! Connections are **not** one-thread-each.  A blocking accept thread hands
+//! fresh sockets round-robin to a small fixed set of I/O threads; each I/O
+//! thread runs a readiness event loop (epoll on Linux, `poll(2)` elsewhere —
+//! the [`netpoll`] shim) over the connections it owns.  Requests are framed
+//! incrementally from partial reads, dispatched serially per connection (one
+//! in-flight job each, preserving response order), and CPU-bound work goes to
+//! the worker pool with a completion callback that posts the rendered
+//! response back to the owning event loop — an I/O thread never blocks on a
+//! socket, a lock held across a solve, or a reply channel.
+//!
+//! Admission control runs end to end: the pool's bounded queue and each
+//! session's observe mailbox shed excess load with a structured
+//! `{"error": "overloaded", "retry_after_ms": N}` reply, and a connection
+//! whose peer stops reading is write-backpressured (the loop stops reading —
+//! and therefore parsing and dispatching — until its write buffer drains)
+//! without stalling any other connection.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError};
-use std::sync::Arc;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dcs_core::{CancelToken, DensityMeasure, SolveContext, StreamingConfig};
+use netpoll::{Event, Interest, Poller, Waker};
 use serde_json::{json, Value};
 
 use crate::error::ServerError;
@@ -18,13 +38,79 @@ use crate::protocol::{
     alert_to_json, error_response, ok_response, optional_f64, optional_u64, optional_u64_opt,
     parse_alphas, parse_measure, parse_triples, required_str, required_u64,
 };
-use crate::session::SessionRegistry;
+use crate::session::{Session, SessionRegistry, SharedSession};
 use crate::ServerConfig;
+
+/// Token the event loop's self-pipe waker is registered under (never a valid
+/// connection slot).
+const WAKER_TOKEN: usize = usize::MAX;
+
+/// Stop dispatching (and reading) for a connection once this much unflushed
+/// response data has accumulated — the peer is not keeping up.
+const HIGH_WATER: usize = 256 * 1024;
+
+/// Resume a write-throttled connection once its backlog drains below this.
+const LOW_WATER: usize = 64 * 1024;
+
+/// Bytes per `read(2)` pass.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Stop reading a socket once this many parsed-but-undispatched requests are
+/// queued for it (requests dispatch one at a time per connection, so a
+/// pipelining flood would otherwise buffer unboundedly in memory).
+const MAX_PIPELINE: usize = 128;
+
+/// After shutdown, how long the event loops keep flushing connections that
+/// have no job in flight before force-closing what remains.
+const SHUTDOWN_DRAIN_CAP: Duration = Duration::from_secs(5);
 
 /// A bound but not yet running mining server.
 pub struct Server {
     listener: TcpListener,
     config: ServerConfig,
+}
+
+/// Per-server I/O event counters (the `io` block of the `stats` payload).
+#[derive(Default)]
+struct IoStats {
+    accepts: AtomicU64,
+    read_events: AtomicU64,
+    write_events: AtomicU64,
+    opened: AtomicU64,
+    closed: AtomicU64,
+    /// Requests answered with `overloaded` (queue full or mailbox full).
+    shed: AtomicU64,
+}
+
+/// Mailbox and waker of one I/O event loop: the accept thread posts new
+/// connections here, pool-worker completions post finished responses.
+struct IoShared {
+    inbox: Mutex<Vec<IoMsg>>,
+    waker: Waker,
+}
+
+impl IoShared {
+    fn post(&self, msg: IoMsg) {
+        self.inbox
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(msg);
+        self.waker.wake();
+    }
+}
+
+/// Work delivered to an I/O thread through its inbox.
+enum IoMsg {
+    /// A freshly accepted (already nonblocking) connection to adopt.
+    Conn(TcpStream),
+    /// A pooled job finished: deliver `line` to `slot` if it still holds
+    /// connection `conn_id` (slots are reused; stale deliveries are dropped —
+    /// the job's accounting already happened in its completion callback).
+    JobDone {
+        slot: usize,
+        conn_id: u64,
+        line: String,
+    },
 }
 
 /// Shared state of a running server.
@@ -35,12 +121,24 @@ struct Shared {
     config: ServerConfig,
     metrics: ServerMetrics,
     shutting_down: AtomicBool,
+    io: Vec<Arc<IoShared>>,
+    io_stats: IoStats,
+    io_backend: &'static str,
+}
+
+impl Shared {
+    fn wake_io(&self) {
+        for io in &self.io {
+            io.waker.wake();
+        }
+    }
 }
 
 /// Handle to a running server: address, shutdown, join.
 pub struct ServerHandle {
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    io_handles: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
 }
 
@@ -60,9 +158,23 @@ impl Server {
             .expect("bound listener has an address")
     }
 
-    /// Starts the accept loop on a background thread and returns the handle.
+    /// Starts the accept thread and the I/O event loops and returns the
+    /// handle.
     pub fn start(self) -> ServerHandle {
         let addr = self.local_addr();
+        let io_threads = self.config.resolved_io_threads();
+        let mut pollers = Vec::with_capacity(io_threads);
+        let mut io = Vec::with_capacity(io_threads);
+        for _ in 0..io_threads {
+            let poller = Poller::new().expect("open readiness poller");
+            let waker = Waker::new(&poller, WAKER_TOKEN).expect("open event-loop waker");
+            io.push(Arc::new(IoShared {
+                inbox: Mutex::new(Vec::new()),
+                waker,
+            }));
+            pollers.push(poller);
+        }
+        let io_backend = pollers[0].backend_name();
         let shared = Arc::new(Shared {
             registry: SessionRegistry::new(),
             pool: WorkerPool::new(self.config.worker_threads, self.config.queue_capacity),
@@ -70,22 +182,48 @@ impl Server {
             config: self.config,
             metrics: ServerMetrics::new(),
             shutting_down: AtomicBool::new(false),
+            io: io.clone(),
+            io_stats: IoStats::default(),
+            io_backend,
         });
+        let io_handles = pollers
+            .into_iter()
+            .zip(io)
+            .enumerate()
+            .map(|(index, (poller, io))| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dcs-io-{index}"))
+                    .spawn(move || IoLoop::new(poller, io, shared).run())
+                    .expect("spawn I/O thread")
+            })
+            .collect();
         let accept_shared = Arc::clone(&shared);
         let listener = self.listener;
         let accept_thread = std::thread::spawn(move || {
+            let mut next = 0usize;
             for stream in listener.incoming() {
                 if accept_shared.shutting_down.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                let connection_shared = Arc::clone(&accept_shared);
-                std::thread::spawn(move || handle_connection(stream, connection_shared));
+                accept_shared
+                    .io_stats
+                    .accepts
+                    .fetch_add(1, Ordering::Relaxed);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                // Round-robin connections over the event loops.
+                let target = &accept_shared.io[next % accept_shared.io.len()];
+                next = next.wrapping_add(1);
+                target.post(IoMsg::Conn(stream));
             }
         });
         ServerHandle {
             addr,
             accept_thread: Some(accept_thread),
+            io_handles,
             shared,
         }
     }
@@ -103,20 +241,29 @@ impl ServerHandle {
     }
 
     /// Requests shutdown from the handle side (equivalent to the protocol's
-    /// `shutdown` command) and wakes the accept loop.
+    /// `shutdown` command) and wakes the accept loop and the event loops.
     pub fn shutdown(&self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.wake_io();
         // Wake the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
     }
 
-    /// Waits for the accept loop to exit.  Connections that are mid-request
-    /// drain naturally; idle keep-alive connections are not force-closed.
+    /// Waits for the accept thread and the I/O threads to exit.  Connections
+    /// with a job in flight or unflushed output drain first (bounded by a
+    /// short grace period once jobs are done); idle connections are closed.
     pub fn join(mut self) {
-        // Always wake the acceptor: the shutdown flag may have been set by a
-        // protocol `shutdown` command while the loop is blocked in accept().
-        self.shutdown();
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.wake_io();
+        let _ = TcpStream::connect(self.addr);
         if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        for thread in self.io_handles.drain(..) {
             let _ = thread.join();
         }
     }
@@ -124,122 +271,759 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shared.shutting_down.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(thread) = self.accept_thread.take() {
-            let _ = thread.join();
+        self.stop();
+    }
+}
+
+fn lock_session(session: &SharedSession) -> MutexGuard<'_, Session> {
+    session.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn render_line(value: &Value) -> String {
+    let mut text = serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string());
+    text.push('\n');
+    text
+}
+
+/// A job's cancellation handle while its response is pending.
+struct Inflight {
+    cancel: Option<CancelToken>,
+}
+
+/// How a request left the dispatch layer.
+enum Dispatch {
+    /// Answered synchronously (inline commands and submission errors).
+    Done(Result<Value, ServerError>),
+    /// Submitted to the worker pool; the rendered response arrives later as
+    /// an [`IoMsg::JobDone`].
+    Pooled { cancel: Option<CancelToken> },
+}
+
+/// One connection's state machine.
+struct Conn {
+    /// Monotone per event loop; guards slot reuse against stale `JobDone`s.
+    id: u64,
+    stream: TcpStream,
+    fd: RawFd,
+    /// Unparsed request bytes (at most one partial line after parsing).
+    read_buf: Vec<u8>,
+    /// Offset into `read_buf` the newline scan resumes from.
+    scan_from: usize,
+    /// Parsed requests waiting to dispatch (one at a time).
+    lines: VecDeque<String>,
+    /// Rendered responses not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    awaiting: Option<Inflight>,
+    eof: bool,
+    dead: bool,
+    /// Write-backpressured: trips at [`HIGH_WATER`], clears at [`LOW_WATER`].
+    throttled: bool,
+    registered: bool,
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(id: u64, stream: TcpStream, fd: RawFd) -> Conn {
+        Conn {
+            id,
+            stream,
+            fd,
+            read_buf: Vec::new(),
+            scan_from: 0,
+            lines: VecDeque::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            awaiting: None,
+            eof: false,
+            dead: false,
+            throttled: false,
+            registered: true,
+            interest: Interest::READABLE,
+        }
+    }
+
+    fn unflushed(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    fn update_throttle(&mut self) {
+        if !self.throttled && self.unflushed() >= HIGH_WATER {
+            self.throttled = true;
+        } else if self.throttled && self.unflushed() <= LOW_WATER {
+            self.throttled = false;
+        }
+    }
+
+    /// Splits complete lines out of `read_buf` (incremental: the scan resumes
+    /// where the last one stopped, so a slowly arriving giant line is not
+    /// rescanned from the start on every read).
+    fn parse_lines(&mut self) {
+        let mut start = 0usize;
+        let mut index = self.scan_from;
+        while index < self.read_buf.len() {
+            if self.read_buf[index] == b'\n' {
+                let line = String::from_utf8_lossy(&self.read_buf[start..index]).into_owned();
+                self.lines.push_back(line);
+                start = index + 1;
+            }
+            index += 1;
+        }
+        if start > 0 {
+            self.read_buf.drain(..start);
+        }
+        self.scan_from = self.read_buf.len();
+    }
+
+    /// Drains readable bytes (bounded per event so one firehose connection
+    /// cannot starve the loop; level-triggered polling re-reports leftovers).
+    fn fill_read(&mut self) {
+        if self.eof || self.dead || self.throttled || self.lines.len() >= MAX_PIPELINE {
+            return;
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        for _ in 0..16 {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Writes as much buffered output as the socket accepts right now.
+    fn flush(&mut self) {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        } else if self.write_pos > LOW_WATER {
+            // Compact occasionally so a long-lived throttled connection does
+            // not keep already-sent bytes around.
+            self.write_buf.drain(..self.write_pos);
+            self.write_pos = 0;
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let Ok(peer) = stream.peer_addr() else { return };
-    let _ = peer; // kept for symmetry; per-connection logging hooks go here
-    let reader = BufReader::new(match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    });
-    let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+/// Registration change a pump decided on (applied outside the borrow).
+enum RegAction {
+    Keep,
+    Register(RawFd, Interest),
+    Modify(RawFd, Interest),
+    Deregister(RawFd),
+}
+
+/// One I/O thread's event loop over the connections it owns.
+struct IoLoop {
+    poller: Poller,
+    io: Arc<IoShared>,
+    shared: Arc<Shared>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_conn_id: u64,
+}
+
+impl IoLoop {
+    fn new(poller: Poller, io: Arc<IoShared>, shared: Arc<Shared>) -> IoLoop {
+        IoLoop {
+            poller,
+            io,
+            shared,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_conn_id: 1,
         }
-        let request: Value = match serde_json::from_str(&line) {
+    }
+
+    fn live(&self) -> usize {
+        self.conns.iter().flatten().count()
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut drain_started: Option<Instant> = None;
+        loop {
+            let shutting = self.shared.shutting_down.load(Ordering::SeqCst);
+            if shutting {
+                self.shutdown_sweep();
+                if self.live() == 0 {
+                    break;
+                }
+                // Connections still waiting on a pooled job get unlimited
+                // time (the pool always answers); pure write-draining gets a
+                // bounded grace period.
+                let busy = self
+                    .conns
+                    .iter()
+                    .flatten()
+                    .any(|conn| conn.awaiting.is_some() || !conn.lines.is_empty());
+                if busy {
+                    drain_started = None;
+                } else {
+                    let started = *drain_started.get_or_insert_with(Instant::now);
+                    if started.elapsed() > SHUTDOWN_DRAIN_CAP {
+                        break;
+                    }
+                }
+            }
+            let timeout = if shutting {
+                Duration::from_millis(25)
+            } else {
+                Duration::from_millis(500)
+            };
+            let _ = self.poller.wait(&mut events, Some(timeout));
+            for &event in &events {
+                if event.token == WAKER_TOKEN {
+                    self.io.waker.drain();
+                    continue;
+                }
+                self.on_event(event);
+            }
+            let msgs =
+                std::mem::take(&mut *self.io.inbox.lock().unwrap_or_else(PoisonError::into_inner));
+            for msg in msgs {
+                match msg {
+                    IoMsg::Conn(stream) => self.adopt(stream),
+                    IoMsg::JobDone {
+                        slot,
+                        conn_id,
+                        line,
+                    } => self.job_done(slot, conn_id, line),
+                }
+            }
+        }
+        for slot in 0..self.conns.len() {
+            self.close(slot);
+        }
+    }
+
+    /// Closes connections that have nothing pending (shutdown path).
+    fn shutdown_sweep(&mut self) {
+        for slot in 0..self.conns.len() {
+            let idle = matches!(
+                &self.conns[slot],
+                Some(conn)
+                    if conn.awaiting.is_none() && conn.lines.is_empty() && conn.unflushed() == 0
+            );
+            if idle {
+                self.close(slot);
+            }
+        }
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        let fd = stream.as_raw_fd();
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        if self.poller.register(fd, slot, Interest::READABLE).is_err() {
+            self.free.push(slot);
+            return; // dropping the stream closes the socket
+        }
+        let id = self.next_conn_id;
+        self.next_conn_id += 1;
+        self.shared.io_stats.opened.fetch_add(1, Ordering::Relaxed);
+        self.conns[slot] = Some(Conn::new(id, stream, fd));
+        self.pump(slot);
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            if let Some(inflight) = &conn.awaiting {
+                if let Some(token) = &inflight.cancel {
+                    token.cancel();
+                }
+            }
+            if conn.registered {
+                // Remove before the stream drops: the poll(2) backend must
+                // not watch a closed fd.
+                let _ = self.poller.deregister(conn.fd);
+            }
+            self.shared.io_stats.closed.fetch_add(1, Ordering::Relaxed);
+            self.free.push(slot);
+        }
+    }
+
+    fn on_event(&mut self, event: Event) {
+        let Some(conn) = self.conns.get_mut(event.token).and_then(Option::as_mut) else {
+            return; // closed earlier in this batch
+        };
+        if event.readable || event.hangup {
+            self.shared
+                .io_stats
+                .read_events
+                .fetch_add(1, Ordering::Relaxed);
+            conn.fill_read();
+        }
+        if event.writable {
+            self.shared
+                .io_stats
+                .write_events
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if event.hangup && !conn.eof {
+            // Hard hangup (reset / error) without a clean EOF: no more bytes
+            // will arrive.
+            conn.eof = true;
+        }
+        self.pump(slot_of(event));
+    }
+
+    fn job_done(&mut self, slot: usize, conn_id: u64, line: String) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.id != conn_id {
+            return; // slot reused since the job was submitted
+        }
+        conn.awaiting = None;
+        conn.write_buf.extend_from_slice(line.as_bytes());
+        self.pump(slot);
+    }
+
+    /// Advances a connection's state machine: parse → dispatch → flush →
+    /// lifecycle/interest bookkeeping.  Everything that changes a
+    /// connection's state funnels through here.
+    fn pump(&mut self, slot: usize) {
+        {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            conn.parse_lines();
+            if conn.eof && !conn.read_buf.is_empty() {
+                // `BufRead::lines` parity: a final unterminated line still
+                // parses once the stream ends.
+                let line = String::from_utf8_lossy(&conn.read_buf).into_owned();
+                conn.read_buf.clear();
+                conn.scan_from = 0;
+                conn.lines.push_back(line);
+            }
+        }
+        // Serialized dispatch: one in-flight job per connection preserves
+        // response ordering; write backpressure pauses the whole pipeline.
+        loop {
+            let line = {
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    return;
+                };
+                conn.update_throttle();
+                if conn.dead || conn.awaiting.is_some() || conn.throttled {
+                    break;
+                }
+                match conn.lines.pop_front() {
+                    Some(line) => line,
+                    None => break,
+                }
+            };
+            let conn_id = match self.conns[slot].as_ref() {
+                Some(conn) => conn.id,
+                None => return,
+            };
+            self.handle_line(slot, conn_id, line);
+        }
+        let action = {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            conn.flush();
+            conn.update_throttle();
+            if conn.eof {
+                if let Some(inflight) = &conn.awaiting {
+                    // The peer is gone (or half-closed); stop mining for it.
+                    // The worker still answers promptly with best-so-far,
+                    // which flushes if the write side survives (half-close).
+                    if let Some(token) = &inflight.cancel {
+                        token.cancel();
+                    }
+                }
+            }
+            let drained = conn.awaiting.is_none() && conn.lines.is_empty() && conn.unflushed() == 0;
+            if conn.dead || (conn.eof && drained) {
+                None // close below
+            } else {
+                let shutting = self.shared.shutting_down.load(Ordering::SeqCst);
+                let desired = Interest {
+                    readable: !conn.eof
+                        && !conn.throttled
+                        && conn.lines.len() < MAX_PIPELINE
+                        && !shutting,
+                    writable: conn.unflushed() > 0,
+                };
+                let action = if conn.eof && !desired.readable && !desired.writable {
+                    // Nothing to watch; progress arrives via JobDone only.
+                    // Deregistering also stops a half-closed peer's
+                    // level-triggered hangup reports from spinning the loop.
+                    if conn.registered {
+                        conn.registered = false;
+                        RegAction::Deregister(conn.fd)
+                    } else {
+                        RegAction::Keep
+                    }
+                } else if !conn.registered {
+                    conn.registered = true;
+                    conn.interest = desired;
+                    RegAction::Register(conn.fd, desired)
+                } else if desired != conn.interest {
+                    conn.interest = desired;
+                    RegAction::Modify(conn.fd, desired)
+                } else {
+                    RegAction::Keep
+                };
+                Some(action)
+            }
+        };
+        match action {
+            None => self.close(slot),
+            Some(RegAction::Keep) => {}
+            Some(RegAction::Deregister(fd)) => {
+                let _ = self.poller.deregister(fd);
+            }
+            Some(RegAction::Register(fd, interest)) => {
+                if self.poller.register(fd, slot, interest).is_err() {
+                    self.close(slot);
+                }
+            }
+            Some(RegAction::Modify(fd, interest)) => {
+                if self.poller.modify(fd, slot, interest).is_err() {
+                    self.close(slot);
+                }
+            }
+        }
+    }
+
+    fn queue_response(&mut self, slot: usize, response: &Value) {
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+            conn.write_buf
+                .extend_from_slice(render_line(response).as_bytes());
+        }
+    }
+
+    fn handle_line(&mut self, slot: usize, conn_id: u64, line: String) {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return;
+        }
+        let request: Value = match serde_json::from_str(trimmed) {
             Ok(value) => value,
             Err(e) => {
                 let response = error_response(
                     &Value::Null,
                     &ServerError::BadRequest(format!("invalid JSON: {e}")),
                 );
-                if write_line(&mut writer, &response).is_err() {
-                    break;
+                self.queue_response(slot, &response);
+                return;
+            }
+        };
+        self.shared.metrics.note_request();
+        match self.dispatch(slot, conn_id, &request) {
+            Dispatch::Done(Ok(body)) => {
+                let response = ok_response(&request, body);
+                self.queue_response(slot, &response);
+            }
+            Dispatch::Done(Err(error)) => {
+                self.shared.metrics.note_error();
+                let response = error_response(&request, &error);
+                self.queue_response(slot, &response);
+            }
+            Dispatch::Pooled { cancel } => {
+                if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                    conn.awaiting = Some(Inflight { cancel });
                 }
-                continue;
             }
+        }
+    }
+
+    fn dispatch(&mut self, slot: usize, conn_id: u64, request: &Value) -> Dispatch {
+        let shared = &self.shared;
+        let cmd = match required_str(request, "cmd") {
+            Ok(cmd) => cmd,
+            Err(error) => return Dispatch::Done(Err(error)),
         };
-        shared.metrics.note_request();
-        let response = match dispatch(&request, &shared, &writer) {
-            Ok(body) => ok_response(&request, body),
+        match cmd {
+            "ping" => Dispatch::Done(Ok(json!({ "pong": true }))),
+            "create_session" => Dispatch::Done(create_session(request, shared)),
+            "load_baseline" => Dispatch::Done(load_baseline(request, shared)),
+            "observe" => match self.observe(slot, conn_id, request) {
+                Ok(dispatch) => dispatch,
+                Err(error) => Dispatch::Done(Err(error)),
+            },
+            "mine" | "topk" | "sweep" => {
+                let spec = match build_spec(cmd, request) {
+                    Ok(spec) => spec,
+                    Err(error) => return Dispatch::Done(Err(error)),
+                };
+                match self.start_job(slot, conn_id, request, spec) {
+                    Ok(dispatch) => dispatch,
+                    Err(error) => Dispatch::Done(Err(error)),
+                }
+            }
+            "cancel" => Dispatch::Done(
+                required_str(request, "job")
+                    .map(|id| json!({ "cancelled": shared.jobs.cancel(id) })),
+            ),
+            "stats" => Dispatch::Done(stats(request, shared)),
+            "list_sessions" => Dispatch::Done(Ok(json!({ "sessions": shared.registry.names() }))),
+            "drop_session" => Dispatch::Done(
+                required_str(request, "session")
+                    .and_then(|name| shared.registry.drop_session(name))
+                    .map(|()| json!({ "dropped": true })),
+            ),
+            "server_stats" => Dispatch::Done(Ok(json!({
+                "sessions": shared.registry.len(),
+                "worker_threads": shared.pool.threads(),
+                "solver_threads": shared.config.solver_threads,
+                "io_threads": shared.io.len(),
+                "queue_capacity": shared.pool.capacity(),
+                "jobs_executed": shared.pool.executed(),
+                "jobs_rejected": shared.pool.rejected(),
+                "jobs_inflight_named": shared.jobs.len(),
+            }))),
+            "shutdown" => {
+                shared.shutting_down.store(true, Ordering::SeqCst);
+                shared.wake_io();
+                Dispatch::Done(Ok(json!({ "shutting_down": true })))
+            }
+            other => Dispatch::Done(Err(ServerError::BadRequest(format!(
+                "unknown cmd {other:?}"
+            )))),
+        }
+    }
+
+    /// Converts a pool-level `Busy` into the wire-level load-shed reply and
+    /// counts the shed.
+    fn overloaded(&self) -> ServerError {
+        self.shared.io_stats.shed.fetch_add(1, Ordering::Relaxed);
+        let capacity = self.shared.pool.capacity().max(1) as u64;
+        let depth = (self.shared.pool.queue_depth().max(0) as u64).min(capacity);
+        ServerError::Overloaded {
+            retry_after_ms: 25 + 175 * depth / capacity,
+        }
+    }
+
+    /// Dispatches an `observe`: inline for plain sessions, pooled (behind the
+    /// session's mailbox) for cadence-mining sessions whose observes can
+    /// trigger a solve.
+    fn observe(
+        &mut self,
+        slot: usize,
+        conn_id: u64,
+        request: &Value,
+    ) -> Result<Dispatch, ServerError> {
+        let name = required_str(request, "session")?;
+        let updates = parse_triples(request, "updates")?;
+        let session = self.shared.registry.get(name)?;
+        let (cadence_mining, mailbox) = {
+            let guard = lock_session(&session);
+            (
+                guard.monitor().config().remine_every > 0,
+                Arc::clone(guard.mailbox()),
+            )
+        };
+        if !cadence_mining {
+            // No mining can trigger: apply inline, keeping streaming cheap.
+            let body = apply_observe(&session, &updates);
+            self.shared
+                .metrics
+                .note_observe(body["applied"].as_u64().unwrap_or(0));
+            return Ok(Dispatch::Done(Ok(body)));
+        }
+        // Completing a re-mining period solves inside `Session::observe`, so
+        // this observe is CPU-bound: run it on the worker pool, bounded both
+        // by the pool queue and by the session's observe mailbox.
+        if !mailbox.try_enter(self.shared.config.observe_mailbox.max(1)) {
+            return Err(self.overloaded());
+        }
+        let completion = {
+            let shared = Arc::clone(&self.shared);
+            let io = Arc::clone(&self.io);
+            let request = request.clone();
+            let mailbox = Arc::clone(&mailbox);
+            Box::new(move |outcome: Result<Value, ServerError>| {
+                mailbox.exit();
+                let response = match outcome {
+                    Ok(body) => {
+                        shared
+                            .metrics
+                            .note_observe(body["applied"].as_u64().unwrap_or(0));
+                        ok_response(&request, body)
+                    }
+                    Err(error) => {
+                        shared.metrics.note_error();
+                        error_response(&request, &error)
+                    }
+                };
+                io.post(IoMsg::JobDone {
+                    slot,
+                    conn_id,
+                    line: render_line(&response),
+                });
+            })
+        };
+        let task_session = Arc::clone(&session);
+        let submitted = self.shared.pool.submit_task_with(
+            Box::new(move |_workspace| Ok(apply_observe(&task_session, &updates))),
+            completion,
+        );
+        match submitted {
+            Ok(()) => Ok(Dispatch::Pooled { cancel: None }),
             Err(error) => {
-                shared.metrics.note_error();
-                error_response(&request, &error)
+                mailbox.exit();
+                match error {
+                    ServerError::Busy => Err(self.overloaded()),
+                    other => Err(other),
+                }
             }
+        }
+    }
+
+    /// Submits a mining job with the same per-job bounds as before: an
+    /// absolute deadline (queue time counts), a work budget, and a
+    /// cancellation token reachable from other connections via the optional
+    /// client-chosen `job` id.  The server's `max_job_ms` cap is a deadline
+    /// of its own — the tighter of the two wins.
+    fn start_job(
+        &mut self,
+        slot: usize,
+        conn_id: u64,
+        request: &Value,
+        spec: JobSpec,
+    ) -> Result<Dispatch, ServerError> {
+        let shared = &self.shared;
+        let name = required_str(request, "session")?;
+        let session = shared.registry.get(name)?;
+        let measure = {
+            let guard = lock_session(&session);
+            spec.resolved_measure(guard.monitor().config().measure)
         };
-        if write_line(&mut writer, &response).is_err() {
-            break;
+
+        let token = CancelToken::new();
+        let mut cx = SolveContext::unbounded()
+            .with_cancel(&token)
+            .with_threads(shared.config.solver_threads);
+        let now = Instant::now();
+        let client_deadline =
+            optional_u64_opt(request, "deadline_ms")?.map(|ms| now + Duration::from_millis(ms));
+        let server_cap = shared
+            .config
+            .max_job_ms
+            .map(|ms| now + Duration::from_millis(ms));
+        if let Some(at) = client_deadline.into_iter().chain(server_cap).min() {
+            cx = cx.with_deadline_at(at);
         }
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            break;
+        if let Some(units) = optional_u64_opt(request, "budget")? {
+            cx = cx.with_budget(units);
+        }
+        let job_id = match request["job"].as_str() {
+            Some(id) => {
+                shared.jobs.register(id, token.clone())?;
+                Some(id.to_string())
+            }
+            None => None,
+        };
+
+        let kind = spec.kind_token();
+        let measure = crate::protocol::measure_token(measure);
+        let completion = {
+            let shared = Arc::clone(&self.shared);
+            let io = Arc::clone(&self.io);
+            let request = request.clone();
+            let job_id = job_id.clone();
+            Box::new(move |outcome: Result<Value, ServerError>| {
+                if let Some(id) = &job_id {
+                    shared.jobs.remove(id);
+                }
+                let response = match outcome {
+                    Ok(body) => {
+                        // Wall time as the client saw it: queue wait plus
+                        // solve.  Cache hits are counted but excluded from
+                        // the latency histograms.
+                        shared.metrics.record_job(
+                            kind,
+                            measure,
+                            now.elapsed(),
+                            body["termination"].as_str(),
+                            body["cached"].as_bool().unwrap_or(false),
+                        );
+                        ok_response(&request, body)
+                    }
+                    Err(error) => {
+                        shared.metrics.note_error();
+                        error_response(&request, &error)
+                    }
+                };
+                io.post(IoMsg::JobDone {
+                    slot,
+                    conn_id,
+                    line: render_line(&response),
+                });
+            })
+        };
+        match shared.pool.submit_with(session, spec, cx, completion) {
+            Ok(()) => Ok(Dispatch::Pooled {
+                cancel: Some(token),
+            }),
+            Err(error) => {
+                if let Some(id) = &job_id {
+                    shared.jobs.remove(id);
+                }
+                match error {
+                    ServerError::Busy => Err(self.overloaded()),
+                    other => Err(other),
+                }
+            }
         }
     }
 }
 
-fn write_line(writer: &mut TcpStream, value: &Value) -> std::io::Result<()> {
-    let mut text = serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string());
-    text.push('\n');
-    writer.write_all(text.as_bytes())
+fn slot_of(event: Event) -> usize {
+    event.token
 }
 
-fn dispatch(request: &Value, shared: &Shared, stream: &TcpStream) -> Result<Value, ServerError> {
-    let cmd = required_str(request, "cmd")?;
-    match cmd {
-        "ping" => Ok(json!({ "pong": true })),
-        "create_session" => create_session(request, shared),
-        "load_baseline" => load_baseline(request, shared),
-        "observe" => observe(request, shared),
-        "mine" => run_job(
-            request,
-            shared,
-            stream,
-            JobSpec::Mine {
-                measure: parse_measure(request["measure"].as_str())?,
-            },
-        ),
-        "topk" => run_job(
-            request,
-            shared,
-            stream,
-            JobSpec::TopK {
-                k: required_u64(request, "k")? as usize,
-                measure: parse_measure(request["measure"].as_str())?,
-            },
-        ),
-        "sweep" => run_job(
-            request,
-            shared,
-            stream,
-            JobSpec::Sweep {
-                alphas: parse_alphas(request)?,
-                measure: parse_measure(request["measure"].as_str())?,
-            },
-        ),
-        "cancel" => {
-            let id = required_str(request, "job")?;
-            Ok(json!({ "cancelled": shared.jobs.cancel(id) }))
-        }
-        "stats" => stats(request, shared),
-        "list_sessions" => Ok(json!({ "sessions": shared.registry.names() })),
-        "drop_session" => {
-            let name = required_str(request, "session")?;
-            shared.registry.drop_session(name)?;
-            Ok(json!({ "dropped": true }))
-        }
-        "server_stats" => Ok(json!({
-            "sessions": shared.registry.len(),
-            "worker_threads": shared.pool.threads(),
-            "solver_threads": shared.config.solver_threads,
-            "queue_capacity": shared.pool.capacity(),
-            "jobs_executed": shared.pool.executed(),
-            "jobs_rejected": shared.pool.rejected(),
-            "jobs_inflight_named": shared.jobs.len(),
-        })),
-        "shutdown" => {
-            shared.shutting_down.store(true, Ordering::SeqCst);
-            Ok(json!({ "shutting_down": true }))
-        }
-        other => Err(ServerError::BadRequest(format!("unknown cmd {other:?}"))),
-    }
+fn build_spec(cmd: &str, request: &Value) -> Result<JobSpec, ServerError> {
+    let measure = parse_measure(request["measure"].as_str())?;
+    Ok(match cmd {
+        "mine" => JobSpec::Mine { measure },
+        "topk" => JobSpec::TopK {
+            k: required_u64(request, "k")? as usize,
+            measure,
+        },
+        _ => JobSpec::Sweep {
+            alphas: parse_alphas(request)?,
+            measure,
+        },
+    })
 }
 
 fn create_session(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
@@ -280,53 +1064,16 @@ fn load_baseline(request: &Value, shared: &Shared) -> Result<Value, ServerError>
     let name = required_str(request, "session")?;
     let edges = parse_triples(request, "edges")?;
     let session = shared.registry.get(name)?;
-    let mut guard = session
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut guard = lock_session(&session);
     let loaded = guard.load_baseline(&edges)?;
     Ok(json!({ "baseline_edges": loaded, "version": guard.version() }))
 }
 
-fn observe(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
-    let name = required_str(request, "session")?;
-    let updates = parse_triples(request, "updates")?;
-    let session = shared.registry.get(name)?;
-    let cadence_mining = {
-        let guard = session
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        guard.monitor().config().remine_every > 0
-    };
-    let outcome = if cadence_mining {
-        // Completing a re-mining period solves inside `Session::observe`, so
-        // this observe is CPU-bound: run it on the worker pool like any other
-        // mining job (bounded queue → `busy` under overload) instead of on
-        // the connection thread.
-        let receiver = shared.pool.submit_task(Box::new(move |_workspace| {
-            Ok(apply_observe(&session, &updates))
-        }))?;
-        receiver
-            .recv()
-            .map_err(|_| ServerError::Remote("worker pool shut down mid-observe".into()))?
-    } else {
-        // No mining can trigger: apply inline, keeping streaming cheap.
-        Ok(apply_observe(&session, &updates))
-    };
-    if let Ok(body) = &outcome {
-        shared
-            .metrics
-            .note_observe(body["applied"].as_u64().unwrap_or(0));
-    }
-    outcome
-}
-
 fn apply_observe(
-    session: &crate::session::SharedSession,
+    session: &SharedSession,
     updates: &[(dcs_graph::VertexId, dcs_graph::VertexId, dcs_graph::Weight)],
 ) -> Value {
-    let mut guard = session
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut guard = lock_session(session);
     let outcome = guard.observe(updates);
     let version = guard.version();
     drop(guard);
@@ -343,14 +1090,49 @@ fn stats(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
     // Without a `session` field, `stats` reports the server-wide
     // observability payload; with one, the session's counters as before.
     let Some(name) = request["session"].as_str() else {
-        return Ok(shared
+        let mut payload = shared
             .metrics
-            .render(&shared.pool, &shared.jobs, &shared.registry));
+            .render(&shared.pool, &shared.jobs, &shared.registry);
+        payload["queue"]["shard_depths"] = json!(shared.pool.shard_depths());
+        let io = &shared.io_stats;
+        let opened = io.opened.load(Ordering::Relaxed);
+        let closed = io.closed.load(Ordering::Relaxed);
+        payload["io"] = json!({
+            "threads": shared.io.len(),
+            "backend": shared.io_backend,
+            "accepts": io.accepts.load(Ordering::Relaxed),
+            "read_events": io.read_events.load(Ordering::Relaxed),
+            "write_events": io.write_events.load(Ordering::Relaxed),
+            "connections_opened": opened,
+            "connections_open": opened.saturating_sub(closed),
+            "shed": io.shed.load(Ordering::Relaxed),
+        });
+        payload["shards"] = Value::Array(
+            shared
+                .registry
+                .shard_stats()
+                .iter()
+                .map(|shard| {
+                    json!({
+                        "sessions": shard.sessions,
+                        "cache": {
+                            "hits": shard.cache_hits,
+                            "misses": shard.cache_misses,
+                            "hit_rate": shard.cache_hit_rate(),
+                        },
+                        "mailbox": {
+                            "pending": shard.mailbox_pending,
+                            "high_water": shard.mailbox_high_water,
+                            "shed": shard.mailbox_shed,
+                        },
+                    })
+                })
+                .collect(),
+        );
+        return Ok(payload);
     };
     let session = shared.registry.get(name)?;
-    let guard = session
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let guard = lock_session(&session);
     let stats = guard.stats();
     Ok(json!({
         "vertices": stats.vertices,
@@ -367,120 +1149,4 @@ fn stats(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
             "evictions": stats.cache_evictions,
         },
     }))
-}
-
-fn run_job(
-    request: &Value,
-    shared: &Shared,
-    stream: &TcpStream,
-    spec: JobSpec,
-) -> Result<Value, ServerError> {
-    let name = required_str(request, "session")?;
-    let session = shared.registry.get(name)?;
-    let measure = {
-        let guard = session
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        spec.resolved_measure(guard.monitor().config().measure)
-    };
-
-    // Per-job bounds: an absolute deadline (queue time counts), a work budget,
-    // and a cancellation token reachable from other connections via the
-    // optional client-chosen `job` id.  The server's `max_job_ms` cap is a
-    // deadline of its own — the tighter of the two wins — so no job outlives
-    // it even when disconnect detection is defeated.
-    let token = CancelToken::new();
-    let mut cx = SolveContext::unbounded()
-        .with_cancel(&token)
-        .with_threads(shared.config.solver_threads);
-    let now = Instant::now();
-    let client_deadline =
-        optional_u64_opt(request, "deadline_ms")?.map(|ms| now + Duration::from_millis(ms));
-    let server_cap = shared
-        .config
-        .max_job_ms
-        .map(|ms| now + Duration::from_millis(ms));
-    if let Some(at) = client_deadline.into_iter().chain(server_cap).min() {
-        cx = cx.with_deadline_at(at);
-    }
-    if let Some(units) = optional_u64_opt(request, "budget")? {
-        cx = cx.with_budget(units);
-    }
-    let job_id = match request["job"].as_str() {
-        Some(id) => {
-            shared.jobs.register(id, token.clone())?;
-            Some(id.to_string())
-        }
-        None => None,
-    };
-
-    let kind = spec.kind_token();
-    let outcome = shared
-        .pool
-        .submit(session, spec, cx)
-        .and_then(|receiver| wait_cancelling_on_disconnect(receiver, stream, &token));
-    if let Some(id) = &job_id {
-        shared.jobs.remove(id);
-    }
-    if let Ok(body) = &outcome {
-        // Wall time as the client saw it: queue wait plus solve.  Cache hits
-        // are counted but excluded from the latency histograms.
-        shared.metrics.record_job(
-            kind,
-            crate::protocol::measure_token(measure),
-            now.elapsed(),
-            body["termination"].as_str(),
-            body["cached"].as_bool().unwrap_or(false),
-        );
-    }
-    outcome
-}
-
-/// Waits for a job's reply while watching the client connection: if the peer
-/// disconnects mid-job, the job's [`CancelToken`] is cancelled so the worker
-/// returns (best-so-far, discarded) instead of mining for a client that is
-/// gone — one adversarial long job can no longer wedge a worker.
-fn wait_cancelling_on_disconnect(
-    receiver: Receiver<Result<Value, ServerError>>,
-    stream: &TcpStream,
-    token: &CancelToken,
-) -> Result<Value, ServerError> {
-    loop {
-        match receiver.recv_timeout(Duration::from_millis(50)) {
-            Ok(outcome) => return outcome,
-            Err(RecvTimeoutError::Timeout) => {
-                if connection_closed(stream) {
-                    token.cancel();
-                    // Keep waiting: the worker observes the token and replies
-                    // promptly; the response write will then fail and close
-                    // this connection thread.
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                return Err(ServerError::Remote("worker pool shut down mid-job".into()))
-            }
-        }
-    }
-}
-
-/// Non-destructive end-of-stream probe.  While a request is being served the
-/// client is not expected to send anything, so pipelined bytes simply report
-/// "still connected" — only a clean EOF (or a hard socket error) counts as a
-/// disconnect.  A half-close (`shutdown(SHUT_WR)` while still reading) is
-/// indistinguishable from abandonment at this layer and is treated as one;
-/// the protocol docs require clients to keep the write side open while a
-/// mining response is pending.
-fn connection_closed(stream: &TcpStream) -> bool {
-    let mut probe = [0u8; 1];
-    if stream.set_nonblocking(true).is_err() {
-        return false;
-    }
-    let closed = match stream.peek(&mut probe) {
-        Ok(0) => true,
-        Ok(_) => false,
-        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
-        Err(_) => true,
-    };
-    let _ = stream.set_nonblocking(false);
-    closed
 }

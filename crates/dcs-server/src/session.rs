@@ -1,7 +1,14 @@
 //! Named mining sessions and the registry that owns them.
+//!
+//! The registry is **sharded**: session names hash (FNV-1a) onto independent
+//! `RwLock`-protected maps so lookups from many I/O threads never serialize
+//! on one global lock.  Aggregating calls (`names`, `sessions`, `len`) walk
+//! the shards; the public API is identical to the single-map registry it
+//! replaced.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 use dcs_core::{BatchOutcome, StreamingConfig, StreamingDcs};
 use dcs_graph::{GraphBuilder, SignedGraph, VertexId, Weight};
@@ -9,11 +16,75 @@ use dcs_graph::{GraphBuilder, SignedGraph, VertexId, Weight};
 use crate::cache::ResultCache;
 use crate::error::ServerError;
 
+/// Admission counters for one session's pooled (cadence) observes.
+///
+/// The mailbox bounds how many observe batches a session may have queued in
+/// the worker pool at once: a flood of observes against one session sheds
+/// with `overloaded` instead of monopolizing the shared job queue.  Counters
+/// are plain atomics — entering and leaving the mailbox is on the observe
+/// hot path.
+#[derive(Debug, Default)]
+pub struct ObserveMailbox {
+    pending: AtomicUsize,
+    high_water: AtomicUsize,
+    shed: AtomicU64,
+}
+
+impl ObserveMailbox {
+    /// Tries to reserve a mailbox slot.  Returns `false` (and counts a shed)
+    /// when `capacity` observes are already pending for this session.
+    pub fn try_enter(&self, capacity: usize) -> bool {
+        let mut pending = self.pending.load(Ordering::Relaxed);
+        loop {
+            if pending >= capacity {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match self.pending.compare_exchange_weak(
+                pending,
+                pending + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.high_water.fetch_max(pending + 1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => pending = seen,
+            }
+        }
+    }
+
+    /// Releases a slot reserved by [`ObserveMailbox::try_enter`] (called from
+    /// the job's completion, whether it succeeded or errored).
+    pub fn exit(&self) {
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Observe batches currently queued.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Highest queue depth seen since the session was created.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Observe batches refused because the mailbox was full.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
 /// One monitored baseline/observed graph pair plus its result cache.
 #[derive(Debug)]
 pub struct Session {
     monitor: StreamingDcs,
     cache: ResultCache,
+    /// Admission counters for pooled observes.  Shared (`Arc`) so the wire
+    /// layer can enter/exit the mailbox without holding the session mutex.
+    mailbox: Arc<ObserveMailbox>,
     /// Added to the monitor's per-observation counter so the session version
     /// stays **monotone across baseline reloads** (the rebuilt monitor starts
     /// again at 0).  Without this, a mining job snapshotted before a
@@ -61,6 +132,7 @@ impl Session {
         Ok(Session {
             monitor,
             cache: ResultCache::new(),
+            mailbox: Arc::new(ObserveMailbox::default()),
             version_base: 0,
             backing: "memory",
             pack_open_ms: None,
@@ -92,6 +164,7 @@ impl Session {
         Ok(Session {
             monitor,
             cache: ResultCache::new(),
+            mailbox: Arc::new(ObserveMailbox::default()),
             version_base: 0,
             backing: "pack",
             pack_open_ms: Some(start.elapsed().as_secs_f64() * 1e3),
@@ -154,6 +227,11 @@ impl Session {
         &mut self.cache
     }
 
+    /// The session's observe-admission mailbox.
+    pub fn mailbox(&self) -> &Arc<ObserveMailbox> {
+        &self.mailbox
+    }
+
     /// Counter snapshot for the `stats` command.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
@@ -179,16 +257,87 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Thread-safe registry of named sessions.
-#[derive(Debug, Default)]
+fn read_shard<T>(shard: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    shard.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_shard<T>(shard: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    shard.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Aggregated counters of one registry shard, reported by the server-wide
+/// `stats` command (`shards` array).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardStats {
+    /// Sessions living on this shard.
+    pub sessions: usize,
+    /// Result-cache hits summed over the shard's sessions.
+    pub cache_hits: u64,
+    /// Result-cache misses summed over the shard's sessions.
+    pub cache_misses: u64,
+    /// Observe batches currently queued across the shard's sessions.
+    pub mailbox_pending: usize,
+    /// Highest per-session mailbox depth seen on this shard.
+    pub mailbox_high_water: usize,
+    /// Observe batches shed (mailbox full) across the shard's sessions.
+    pub mailbox_shed: u64,
+}
+
+impl ShardStats {
+    /// Fraction of cache lookups on this shard that hit (0 when idle).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Thread-safe registry of named sessions, sharded by name hash.
+#[derive(Debug)]
 pub struct SessionRegistry {
-    sessions: Mutex<BTreeMap<String, SharedSession>>,
+    shards: Vec<RwLock<BTreeMap<String, SharedSession>>>,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        SessionRegistry::new()
+    }
 }
 
 impl SessionRegistry {
-    /// An empty registry.
+    /// An empty registry with one shard per available core.
     pub fn new() -> Self {
-        SessionRegistry::default()
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        SessionRegistry::with_shards(shards)
+    }
+
+    /// An empty registry with an explicit shard count (clamped to ≥ 1).
+    pub fn with_shards(shards: usize) -> Self {
+        SessionRegistry {
+            shards: (0..shards.max(1))
+                .map(|_| RwLock::new(BTreeMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards the registry spreads sessions over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a session name lives on (FNV-1a over the name bytes).
+    fn shard_for(&self, name: &str) -> &RwLock<BTreeMap<String, SharedSession>> {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(hash % self.shards.len() as u64) as usize]
     }
 
     /// Creates a session; fails if the name is taken.
@@ -199,7 +348,7 @@ impl SessionRegistry {
         config: StreamingConfig,
     ) -> Result<(), ServerError> {
         let session = Session::new(vertices, config)?;
-        let mut sessions = lock(&self.sessions);
+        let mut sessions = write_shard(self.shard_for(name));
         if sessions.contains_key(name) {
             return Err(ServerError::SessionExists(name.to_string()));
         }
@@ -227,7 +376,7 @@ impl SessionRegistry {
                 )));
             }
         }
-        let mut sessions = lock(&self.sessions);
+        let mut sessions = write_shard(self.shard_for(name));
         if sessions.contains_key(name) {
             return Err(ServerError::SessionExists(name.to_string()));
         }
@@ -237,7 +386,7 @@ impl SessionRegistry {
 
     /// Looks up a session by name.
     pub fn get(&self, name: &str) -> Result<SharedSession, ServerError> {
-        lock(&self.sessions)
+        read_shard(self.shard_for(name))
             .get(name)
             .cloned()
             .ok_or_else(|| ServerError::UnknownSession(name.to_string()))
@@ -245,7 +394,7 @@ impl SessionRegistry {
 
     /// Removes a session by name.
     pub fn drop_session(&self, name: &str) -> Result<(), ServerError> {
-        lock(&self.sessions)
+        write_shard(self.shard_for(name))
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| ServerError::UnknownSession(name.to_string()))
@@ -253,27 +402,74 @@ impl SessionRegistry {
 
     /// The session names, sorted.
     pub fn names(&self) -> Vec<String> {
-        lock(&self.sessions).keys().cloned().collect()
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|shard| read_shard(shard).keys().cloned().collect::<Vec<_>>())
+            .collect();
+        names.sort();
+        names
     }
 
     /// Handles to every live session, sorted by name.  Used by the server-wide
     /// `stats` surface to aggregate per-session counters; callers lock each
-    /// session briefly, never while holding the registry lock.
+    /// session briefly, never while holding a shard lock.
     pub fn sessions(&self) -> Vec<(String, SharedSession)> {
-        lock(&self.sessions)
+        let mut sessions: Vec<(String, SharedSession)> = self
+            .shards
             .iter()
-            .map(|(name, session)| (name.clone(), Arc::clone(session)))
-            .collect()
+            .flat_map(|shard| {
+                read_shard(shard)
+                    .iter()
+                    .map(|(name, session)| (name.clone(), Arc::clone(session)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        sessions.sort_by(|a, b| a.0.cmp(&b.0));
+        sessions
     }
 
     /// Number of live sessions.
     pub fn len(&self) -> usize {
-        lock(&self.sessions).len()
+        self.shards
+            .iter()
+            .map(|shard| read_shard(shard).len())
+            .sum()
     }
 
     /// Whether the registry has no sessions.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Per-shard counter aggregates for the server-wide `stats` surface:
+    /// session counts, result-cache hit/miss totals, and observe-mailbox
+    /// pressure.  Shard handles are cloned out before the per-session locks
+    /// are taken, so stats collection never blocks shard writers.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let handles: Vec<SharedSession> =
+                    read_shard(shard).values().map(Arc::clone).collect();
+                let mut stats = ShardStats {
+                    sessions: handles.len(),
+                    ..ShardStats::default()
+                };
+                for handle in handles {
+                    let session = lock(&handle);
+                    let mailbox = Arc::clone(session.mailbox());
+                    let counters = session.stats();
+                    drop(session);
+                    stats.cache_hits += counters.cache_hits;
+                    stats.cache_misses += counters.cache_misses;
+                    stats.mailbox_pending += mailbox.pending();
+                    stats.mailbox_high_water = stats.mailbox_high_water.max(mailbox.high_water());
+                    stats.mailbox_shed += mailbox.shed();
+                }
+                stats
+            })
+            .collect()
     }
 }
 
@@ -393,6 +589,45 @@ mod tests {
             &third,
             &session.monitor_mut().difference_snapshot()
         ));
+    }
+
+    #[test]
+    fn sharded_registry_spreads_and_aggregates() {
+        let registry = SessionRegistry::with_shards(4);
+        assert_eq!(registry.shard_count(), 4);
+        for i in 0..12 {
+            registry.create(&format!("s{i}"), 4, config()).unwrap();
+        }
+        assert_eq!(registry.len(), 12);
+        let names = registry.names();
+        assert_eq!(names.len(), 12);
+        assert!(names.windows(2).all(|w| w[0] < w[1]), "names stay sorted");
+        // Aggregated shard stats see every session exactly once.
+        let shards = registry.shard_stats();
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards.iter().map(|s| s.sessions).sum::<usize>(), 12);
+        // The hash actually spreads: 12 sessions cannot all share one shard.
+        assert!(shards.iter().filter(|s| s.sessions > 0).count() > 1);
+        registry.drop_session("s3").unwrap();
+        assert_eq!(registry.len(), 11);
+        assert_eq!(registry.sessions().len(), 11);
+    }
+
+    #[test]
+    fn observe_mailbox_bounds_and_counts() {
+        let mailbox = ObserveMailbox::default();
+        assert!(mailbox.try_enter(2));
+        assert!(mailbox.try_enter(2));
+        assert!(!mailbox.try_enter(2), "third entry exceeds capacity");
+        assert_eq!(mailbox.pending(), 2);
+        assert_eq!(mailbox.high_water(), 2);
+        assert_eq!(mailbox.shed(), 1);
+        mailbox.exit();
+        assert!(mailbox.try_enter(2), "slot frees on exit");
+        mailbox.exit();
+        mailbox.exit();
+        assert_eq!(mailbox.pending(), 0);
+        assert_eq!(mailbox.high_water(), 2, "high water is sticky");
     }
 
     #[test]
