@@ -208,6 +208,65 @@ fn server_scaling(smoke: bool) -> Value {
     json!({ "levels": reports })
 }
 
+/// Durable-vs-ephemeral observe throughput: one server with a data
+/// directory hosts one ephemeral and one durable session (default
+/// group-commit WAL sync), and the same observe stream is timed against
+/// each.  The durable session pays a buffered WAL append per batch — the
+/// fsync happens on the group-commit timer off the request path — so its
+/// throughput must stay within 2× of ephemeral (gated in `--smoke` mode).
+fn durability(smoke: bool) -> Value {
+    let data_dir =
+        std::env::temp_dir().join(format!("dcs_bench_durability_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    std::fs::create_dir_all(&data_dir).expect("create bench data dir");
+    let handle = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            data_dir: Some(data_dir.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind durability server")
+    .start();
+    let mut client = Client::connect(handle.local_addr()).expect("connect durability client");
+    client
+        .create_session("bench-ephemeral", 64, json!({}))
+        .expect("create ephemeral session");
+    client
+        .create_session("bench-durable", 64, json!({ "durable": true }))
+        .expect("create durable session");
+
+    let batches = if smoke { 300 } else { 3_000 };
+    let mut time_session = |session: &str| {
+        let start = Instant::now();
+        for tick in 0..batches {
+            let base = (tick % 56) as u32;
+            let updates: Vec<(u32, u32, f64)> = (0..8)
+                .map(|i| (base + i, base + i + 1, 1.0 + (tick % 7) as f64))
+                .collect();
+            client.observe(session, &updates).expect("observe");
+        }
+        batches as f64 * 8.0 / start.elapsed().as_secs_f64()
+    };
+    // Warm both paths once so neither pays first-request costs in the timing.
+    time_session("bench-ephemeral");
+    time_session("bench-durable");
+    let ephemeral_rate = time_session("bench-ephemeral");
+    let durable_rate = time_session("bench-durable");
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&data_dir);
+    json!({
+        "observe_batches": batches,
+        "batch_size": 8,
+        "wal_sync": "group",
+        "ephemeral_observes_per_sec": ephemeral_rate,
+        "durable_observes_per_sec": durable_rate,
+        "durable_over_ephemeral": if ephemeral_rate > 0.0 { durable_rate / ephemeral_rate } else { 0.0 },
+    })
+}
+
 /// Connection-churn soak: waves of connections create sessions, stream a
 /// little, drop their sessions and disconnect; afterwards the process must
 /// hold roughly as many file descriptors as before (no socket leaks in the
@@ -439,6 +498,10 @@ fn main() {
     // in-process server at increasing connection counts (informational).
     let scaling = server_scaling(smoke);
 
+    // --- Durability tax: observe throughput with a per-session WAL (default
+    // group commit) vs an ephemeral session on the same server.
+    let durability_report = durability(smoke);
+
     let delta = mean_ms(&delta_ms);
     let scratch = mean_ms(&scratch_ms);
     let cached = mean_ms(&cached_ms);
@@ -476,6 +539,7 @@ fn main() {
             "events_dropped": trace_dropped,
         },
         "server_scaling": scaling,
+        "durability": durability_report,
     });
     println!("{}", serde_json::to_string_pretty(&report).unwrap());
 
@@ -503,6 +567,19 @@ fn main() {
             "warning: phase-tracer overhead {:.1}% exceeds the 5% bound \
              (disabled {trace_off_median:.3} ms, enabled {trace_on_median:.3} ms)",
             trace_overhead * 100.0
+        );
+        std::process::exit(1);
+    }
+    // ... and durable observes must stay within 2× of ephemeral at the
+    // default group-commit sync (the WAL append is buffered; the fsync is
+    // off the request path).
+    let durable_ratio = durability_report["durable_over_ephemeral"]
+        .as_f64()
+        .unwrap_or(0.0);
+    if smoke && durable_ratio < 0.5 {
+        eprintln!(
+            "warning: durable observe throughput is {:.2}x ephemeral — below the 0.5x bound",
+            durable_ratio
         );
         std::process::exit(1);
     }

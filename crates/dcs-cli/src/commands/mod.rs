@@ -13,7 +13,8 @@
 //! * [`pack`] — convert a text edge list into a zero-copy binary graph pack,
 //! * [`pack_info`] — inspect (and optionally fully verify) a graph pack,
 //! * [`serve`] — run the long-lived NDJSON contrast-mining server (`dcs-server`),
-//! * [`client`] — send requests to a running server.
+//! * [`client`] — send requests to a running server,
+//! * [`sessions`] — inspect durable sessions under a server data directory.
 
 pub mod census;
 pub mod client;
@@ -23,6 +24,7 @@ pub mod mine;
 pub mod pack;
 pub mod pack_info;
 pub mod serve;
+pub mod sessions;
 pub mod stats;
 pub mod sweep;
 pub mod topk;

@@ -1,16 +1,24 @@
 //! `dcs serve` — run the NDJSON contrast-mining server.
 
-use dcs_server::{Server, ServerConfig};
+use dcs_server::{Server, ServerConfig, WalSync};
 
 use crate::args::{parse_args, ArgSpec};
 use crate::error::CliError;
 
 /// Usage string shown by `dcs help`.
-pub const USAGE: &str = "dcs serve [--addr HOST:PORT] [--threads N] [--solver-threads N] [--io-threads N] [--queue N] (runs until a shutdown command)";
+pub const USAGE: &str = "dcs serve [--addr HOST:PORT] [--threads N] [--solver-threads N] [--io-threads N] [--queue N] [--data-dir DIR] [--wal-sync always|group|none] (runs until a shutdown command)";
 
 fn spec() -> ArgSpec {
     ArgSpec::new(
-        &["addr", "threads", "solver-threads", "io-threads", "queue"],
+        &[
+            "addr",
+            "threads",
+            "solver-threads",
+            "io-threads",
+            "queue",
+            "data-dir",
+            "wal-sync",
+        ],
         &[],
     )
 }
@@ -22,6 +30,13 @@ fn start_server(raw_args: &[String]) -> Result<(dcs_server::ServerHandle, Server
     let args = parse_args(raw_args, &spec())?;
     let addr = args.option("addr").unwrap_or("127.0.0.1:7878").to_string();
     let defaults = ServerConfig::default();
+    let wal_sync = match args.option("wal-sync") {
+        None => defaults.wal_sync,
+        Some(raw) => raw.parse::<WalSync>().map_err(|_| CliError::InvalidValue {
+            option: "wal-sync".to_string(),
+            value: raw.to_string(),
+        })?,
+    };
     let config = ServerConfig {
         worker_threads: args.parse_option("threads", defaults.worker_threads)?,
         // 0 (the default) inherits the DCS_SOLVER_THREADS environment default.
@@ -29,6 +44,8 @@ fn start_server(raw_args: &[String]) -> Result<(dcs_server::ServerHandle, Server
         // 0 (the default) inherits the DCS_IO_THREADS environment default.
         io_threads: args.parse_option("io-threads", defaults.io_threads)?,
         queue_capacity: args.parse_option("queue", defaults.queue_capacity)?,
+        data_dir: args.option("data-dir").map(std::path::PathBuf::from),
+        wal_sync,
         ..defaults
     };
     if config.worker_threads == 0 || config.queue_capacity == 0 {
@@ -92,6 +109,10 @@ mod tests {
             run(&strings(&["--bogus"])),
             Err(CliError::UnknownArgument(_))
         ));
+        assert!(matches!(
+            run(&strings(&["--wal-sync", "sometimes"])),
+            Err(CliError::InvalidValue { .. })
+        ));
         // Unbindable address.
         assert!(run(&strings(&["--addr", "256.256.256.256:1"])).is_err());
     }
@@ -130,5 +151,42 @@ mod tests {
 
         let summary = server_thread.join().unwrap();
         assert!(summary.contains("shut down"));
+    }
+
+    #[test]
+    fn data_dir_makes_sessions_survive_restart() {
+        let data_dir =
+            std::env::temp_dir().join(format!("dcs_cli_serve_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let serve_args = || {
+            strings(&[
+                "--addr",
+                "127.0.0.1:0",
+                "--data-dir",
+                data_dir.to_str().unwrap(),
+                "--wal-sync",
+                "always",
+            ])
+        };
+
+        let (handle, config) = start_server(&serve_args()).expect("bind with data dir");
+        assert_eq!(config.data_dir.as_deref(), Some(data_dir.as_path()));
+        let mut client = Client::connect(handle.local_addr()).expect("server is up");
+        client
+            .create_session("d", 4, serde_json::json!({ "durable": true }))
+            .unwrap();
+        let observed = client.observe("d", &[(0, 1, 2.0), (1, 2, 1.0)]).unwrap();
+        let version = observed["version"].as_u64().unwrap();
+        client.shutdown().unwrap();
+        handle.join();
+
+        let (handle, _) = start_server(&serve_args()).expect("rebind with data dir");
+        let mut client = Client::connect(handle.local_addr()).expect("server is back");
+        let stats = client.stats("d").unwrap();
+        assert_eq!(stats["version"].as_u64(), Some(version));
+        assert_eq!(stats["durable"], true);
+        client.shutdown().unwrap();
+        handle.join();
+        let _ = std::fs::remove_dir_all(&data_dir);
     }
 }

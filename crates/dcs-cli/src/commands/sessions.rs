@@ -1,0 +1,107 @@
+//! `dcs sessions` — inspect the durable sessions under a server data
+//! directory without starting (or touching) a server.
+//!
+//! The listing is a dry run: torn WAL tails and corrupt checkpoints are
+//! detected (a session whose recovery would fail reports `recoverable: no`)
+//! but nothing on disk is repaired or truncated — only `dcs serve --data-dir`
+//! and the durable `create_session` path mutate session directories.
+
+use dcs_server::durable;
+
+use crate::args::{parse_args, ArgSpec};
+use crate::error::CliError;
+
+/// Usage string shown by `dcs help`.
+pub const USAGE: &str =
+    "dcs sessions --data-dir DIR (lists durable sessions and their recoverable versions)";
+
+fn spec() -> ArgSpec {
+    ArgSpec::new(&["data-dir"], &[])
+}
+
+/// Runs the subcommand and returns the text to print.
+pub fn run(raw_args: &[String]) -> Result<String, CliError> {
+    let args = parse_args(raw_args, &spec())?;
+    let data_dir = args
+        .option("data-dir")
+        .ok_or_else(|| CliError::MissingPositional("--data-dir DIR".to_string()))?;
+    let summaries = durable::inspect_data_dir(std::path::Path::new(data_dir))
+        .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?;
+    let mut out = String::new();
+    out.push_str(&format!("data dir: {data_dir}\n"));
+    if summaries.is_empty() {
+        out.push_str("no durable sessions\n");
+        return Ok(out);
+    }
+    out.push_str(&format!("sessions: {}\n", summaries.len()));
+    for s in &summaries {
+        out.push_str(&format!(
+            "  {:<24} vertices {:>8}  measure {:<8}  remine_every {:>5}  checkpoint {:<8}  wal {} segment(s), {} byte(s)  recoverable: {}\n",
+            s.name,
+            s.vertices,
+            s.measure,
+            s.remine_every,
+            s.checkpoint_generation
+                .map(|g| format!("v{g}"))
+                .unwrap_or_else(|| "none".to_string()),
+            s.wal_segments,
+            s.wal_bytes,
+            s.recovered_version
+                .map(|v| format!("yes (version {v})"))
+                .unwrap_or_else(|| "no".to_string()),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::{DensityMeasure, StreamingConfig};
+    use dcs_server::WalSync;
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_data_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dcs_cli_sessions_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn requires_a_data_dir() {
+        assert!(matches!(run(&[]), Err(CliError::MissingPositional(_))));
+    }
+
+    #[test]
+    fn lists_durable_sessions_without_repairing() {
+        let data_dir = temp_data_dir("list");
+        let config = StreamingConfig {
+            remine_every: 2,
+            alert_threshold: 0.5,
+            measure: DensityMeasure::GraphAffinity,
+        };
+        let mut session =
+            durable::create_durable_session(&data_dir, "checked out", 8, config, WalSync::Group)
+                .unwrap();
+        session.observe(&[(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+        let version = session.version();
+        drop(session);
+
+        let out = run(&strings(&["--data-dir", data_dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("sessions: 1"));
+        assert!(out.contains("checked out"));
+        assert!(out.contains(&format!("yes (version {version})")));
+
+        // An empty data dir is not an error.
+        let empty = temp_data_dir("empty");
+        let out = run(&strings(&["--data-dir", empty.to_str().unwrap()])).unwrap();
+        assert!(out.contains("no durable sessions"));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let _ = std::fs::remove_dir_all(&empty);
+    }
+}

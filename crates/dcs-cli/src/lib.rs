@@ -15,6 +15,7 @@
 //! dcs pack-info <PACK> [--verify]          inspect (and optionally verify) a graph pack
 //! dcs serve    [--addr H:P] ...            run the NDJSON contrast-mining server
 //! dcs client   <H:P> [REQUEST] ...         send requests to a running server
+//! dcs sessions --data-dir DIR              list durable sessions in a data directory
 //! ```
 //!
 //! Edge lists are `label label [weight]` per line by default (`--numeric` switches to
@@ -42,7 +43,7 @@ pub fn usage() -> String {
     format!(
         "dcs — density contrast subgraph mining\n\
          \n\
-         Usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n\
+         Usage:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n\
          \n\
          Every command accepts exactly the options shown above.\n\
          Edge lists are `label label [weight]` per line; `--numeric` reads integer vertex ids.\n\
@@ -63,6 +64,7 @@ pub fn usage() -> String {
         commands::pack_info::USAGE,
         commands::serve::USAGE,
         commands::client::USAGE,
+        commands::sessions::USAGE,
     )
 }
 
@@ -85,6 +87,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "pack-info" => commands::pack_info::run(rest),
         "serve" => commands::serve::run(rest),
         "client" => commands::client::run(rest),
+        "sessions" => commands::sessions::run(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -113,6 +116,7 @@ mod tests {
             "pack-info",
             "serve",
             "client",
+            "sessions",
         ] {
             assert!(text.contains(command), "usage mentions {command}");
         }

@@ -229,6 +229,48 @@ impl StreamingDcs {
         self.observed.len()
     }
 
+    /// Observations applied since the last mine — how far into the current
+    /// re-mining period the monitor is.  Checkpointing code persists this so
+    /// a restored monitor fires its next cadence mine at the same
+    /// observation a never-interrupted one would.
+    pub fn updates_since_mine(&self) -> usize {
+        self.updates_since_mine
+    }
+
+    /// The current observed weights as `(u, v, weight)` triples with `u < v`,
+    /// in ascending `(u, v)` order — the deterministic iteration checkpoint
+    /// writers need (hash-map order would make checkpoint bytes
+    /// run-dependent).
+    pub fn observed_edges_sorted(&self) -> Vec<(VertexId, VertexId, Weight)> {
+        let mut edges: Vec<(VertexId, VertexId, Weight)> = self
+            .observed
+            .iter()
+            .map(|(&(u, v), &w)| (u, v, w))
+            .collect();
+        edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        edges
+    }
+
+    /// Restores the streaming counters and warm-start seed of a monitor that
+    /// was just rebuilt from persisted state ([`Self::with_initial_observation`]
+    /// leaves them at zero).  This is the checkpoint-recovery hook: the graph
+    /// state is reconstructed through the ordinary constructors (so every
+    /// invariant check still runs), then the counters are stamped back so the
+    /// recovered monitor is indistinguishable — version, observation count,
+    /// cadence phase, warm-start seed — from one that never stopped.
+    pub fn restore_counters(
+        &mut self,
+        version: u64,
+        observations: usize,
+        updates_since_mine: usize,
+        last_support: Option<Vec<VertexId>>,
+    ) {
+        self.version = version;
+        self.observations = observations;
+        self.updates_since_mine = updates_since_mine;
+        self.last_support = last_support;
+    }
+
     /// Adds `delta` to the observed weight of the edge `(u, v)`.
     ///
     /// Observed weights are clamped at zero from below — `G2` is an ordinary
@@ -707,6 +749,48 @@ mod tests {
         let hot = monitor.mine_now();
         assert!(hot.triggered);
         assert_eq!(hot.report.subset, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn restored_counters_reproduce_an_uninterrupted_monitor() {
+        // Drive a control monitor, then rebuild a twin from its observable
+        // state the way checkpoint recovery does: observed graph through
+        // with_initial_observation, counters through restore_counters.
+        let mut control = StreamingDcs::new(baseline(8), affinity_config(3, 0.0)).unwrap();
+        control.apply_batch(vec![(0, 1, 9.0), (0, 2, 9.0), (1, 2, 9.0), (4, 5, 1.0)]);
+
+        let observed = control.observed_graph();
+        let mut recovered =
+            StreamingDcs::with_initial_observation(baseline(8), &observed, affinity_config(3, 0.0))
+                .unwrap();
+        recovered.restore_counters(
+            control.version(),
+            control.observations(),
+            control.updates_since_mine(),
+            control.last_support().map(|s| s.to_vec()),
+        );
+        assert_eq!(recovered.version(), control.version());
+        assert_eq!(recovered.observations(), control.observations());
+        assert_eq!(recovered.updates_since_mine(), control.updates_since_mine());
+        assert_eq!(
+            *recovered.difference_snapshot(),
+            *control.difference_snapshot()
+        );
+        // Both fire the cadence mine on the same observation with the same
+        // outcome, and the next observe after that behaves identically.
+        let a = recovered.observe(6, 7, 2.0);
+        let b = control.observe(6, 7, 2.0);
+        assert_eq!(a.is_some(), b.is_some());
+        if let (Some(a), Some(b)) = (a, b) {
+            assert_eq!(a.report.subset, b.report.subset);
+            assert_eq!(a.observations, b.observations);
+        }
+        assert_eq!(recovered.last_support(), control.last_support());
+        // Sorted observed edges are deterministic and match.
+        assert_eq!(
+            recovered.observed_edges_sorted(),
+            control.observed_edges_sorted()
+        );
     }
 
     #[test]

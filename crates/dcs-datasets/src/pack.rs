@@ -27,8 +27,8 @@
 //! | 24     | 8    | `m` — number of undirected edges |
 //! | 32     | 8    | `m⁺` — edges with positive weight |
 //! | 40     | 8    | `m⁻` — edges with negative weight (`m = m⁺ + m⁻`) |
-//! | 48     | 8    | flags (bit 0: names section present) |
-//! | 56     | 8    | section count (3, or 4 with names) |
+//! | 48     | 8    | flags (bit 0: names section present; bit 1: session-metadata section present) |
+//! | 56     | 8    | section count (3 plus one per flag bit set) |
 //! | 64     | 8    | FNV-1a/64 checksum of bytes `0..64` |
 //!
 //! ## Section table (at offset 72)
@@ -48,6 +48,7 @@
 //! | 2    | targets | `2m × u32` neighbor ids, each row strictly ascending |
 //! | 3    | weights | `2m × f64` IEEE-754 bit patterns, parallel to targets; finite, non-zero |
 //! | 4    | names   | optional: `n ×` (`u32` byte length + UTF-8 bytes), concatenated |
+//! | 5    | session | optional: opaque session-metadata bytes (streaming-session checkpoints; encoding owned by `dcs-server`) |
 //!
 //! Every undirected edge appears in both endpoint rows with bit-identical
 //! weight; self-loops are forbidden.  These are exactly the invariants
@@ -77,8 +78,8 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
 use dcs_graph::pack::{
-    pack_checksum, FLAG_HAS_NAMES, FORMAT_VERSION, HEADER_LEN, KIND_NAMES, KIND_OFFSETS,
-    KIND_TARGETS, KIND_WEIGHTS, MAGIC, SECTION_ENTRY_LEN,
+    pack_checksum, FLAG_HAS_NAMES, FLAG_HAS_SESSION, FORMAT_VERSION, HEADER_LEN, KIND_NAMES,
+    KIND_OFFSETS, KIND_SESSION, KIND_TARGETS, KIND_WEIGHTS, MAGIC, SECTION_ENTRY_LEN,
 };
 use dcs_graph::{SignedGraph, VertexId};
 
@@ -123,7 +124,7 @@ pub struct PackWriter;
 impl PackWriter {
     /// Writes `graph` as a pack at `path` (no names section).
     pub fn write_graph(graph: &SignedGraph, path: impl AsRef<Path>) -> io::Result<PackSummary> {
-        Self::write(graph, None, path)
+        Self::write(graph, None, None, path)
     }
 
     /// Writes `graph` with a vertex-name section (`names.len()` must equal
@@ -133,12 +134,25 @@ impl PackWriter {
         names: &[String],
         path: impl AsRef<Path>,
     ) -> io::Result<PackSummary> {
-        Self::write(graph, Some(names), path)
+        Self::write(graph, Some(names), None, path)
+    }
+
+    /// Writes `graph` with an opaque session-metadata section (kind 5) —
+    /// the entry point streaming-session checkpoints use: the observed
+    /// difference state rides in the CSR sections and the session counters
+    /// ride in `session`, so one pack is a complete, checksummed checkpoint.
+    pub fn write_graph_with_session(
+        graph: &SignedGraph,
+        session: &[u8],
+        path: impl AsRef<Path>,
+    ) -> io::Result<PackSummary> {
+        Self::write(graph, None, Some(session), path)
     }
 
     fn write(
         graph: &SignedGraph,
         names: Option<&[String]>,
+        session: Option<&[u8]>,
         path: impl AsRef<Path>,
     ) -> io::Result<PackSummary> {
         let n = graph.num_vertices();
@@ -156,6 +170,7 @@ impl PackWriter {
             graph.num_positive_edges(),
             graph.num_negative_edges(),
             names,
+            session,
             &mut |sink| {
                 let mut cumulative = 0u64;
                 sink(&cumulative.to_le_bytes());
@@ -199,6 +214,7 @@ fn emit(
     positive_edges: usize,
     negative_edges: usize,
     names: Option<&[String]>,
+    session: Option<&[u8]>,
     emit_offsets: SectionEmitter,
     emit_targets: SectionEmitter,
     emit_weights: SectionEmitter,
@@ -216,6 +232,11 @@ fn emit(
                 sink(&(name.len() as u32).to_le_bytes());
                 sink(name.as_bytes());
             }
+        }
+    };
+    let mut emit_session = |sink: &mut dyn FnMut(&[u8])| {
+        if let Some(bytes) = session {
+            sink(bytes);
         }
     };
 
@@ -239,6 +260,9 @@ fn emit(
     if let (Some(len), Some(checksum)) = (names_len, names_checksum) {
         section_dims.push((KIND_NAMES, len, checksum));
     }
+    if let Some(bytes) = session {
+        section_dims.push((KIND_SESSION, bytes.len(), pack_checksum(bytes)));
+    }
     let section_count = section_dims.len();
     let table_end = HEADER_LEN + section_count * SECTION_ENTRY_LEN + 8;
     let mut cursor = table_end;
@@ -258,7 +282,12 @@ fn emit(
         edges as u64,
         positive_edges as u64,
         negative_edges as u64,
-        if names.is_some() { FLAG_HAS_NAMES } else { 0 },
+        if names.is_some() { FLAG_HAS_NAMES } else { 0 }
+            | if session.is_some() {
+                FLAG_HAS_SESSION
+            } else {
+                0
+            },
         section_count as u64,
     ] {
         header.extend_from_slice(&field.to_le_bytes());
@@ -281,7 +310,15 @@ fn emit(
     writer.write_all(&table)?;
     writer.write_all(&table_checksum.to_le_bytes())?;
     let mut written = table_end;
-    let emitters: [SectionEmitter; 4] = [emit_offsets, emit_targets, emit_weights, &mut emit_names];
+    // Emitters in section order — the optional sections only join the list
+    // when present, so the zip below stays positionally exact.
+    let mut emitters: Vec<SectionEmitter> = vec![emit_offsets, emit_targets, emit_weights];
+    if names.is_some() {
+        emitters.push(&mut emit_names);
+    }
+    if session.is_some() {
+        emitters.push(&mut emit_session);
+    }
     for ((_, offset, len, _), emitter) in sections.iter().zip(emitters) {
         while written < *offset {
             writer.write_all(&[0])?;
@@ -466,6 +503,7 @@ impl StreamingPackWriter {
             positive_entries / 2,
             negative_entries / 2,
             None,
+            None,
             &mut |sink| {
                 for &o in &offsets {
                     sink(&(o as u64).to_le_bytes());
@@ -529,6 +567,21 @@ mod tests {
         assert!(pack.has_names());
         pack.verify().unwrap();
         assert_eq!(pack.read_names().unwrap().unwrap(), names);
+        assert_eq!(pack.to_graph().unwrap(), g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn session_section_roundtrips() {
+        let g = sample_graph();
+        let meta = b"{\"version\":7,\"observations\":3}";
+        let path = temp_path("session");
+        PackWriter::write_graph_with_session(&g, meta, &path).unwrap();
+        let pack = GraphPack::open(&path).unwrap();
+        assert!(pack.has_session());
+        assert!(!pack.has_names());
+        pack.verify().unwrap();
+        assert_eq!(pack.session_bytes().unwrap(), meta);
         assert_eq!(pack.to_graph().unwrap(), g);
         std::fs::remove_file(&path).ok();
     }

@@ -23,6 +23,8 @@
 //!               zero padding in between:
 //!               kind 1  offsets  (n+1) × u64        kind 2  targets  2m × u32
 //!               kind 3  weights  2m × f64 (IEEE bits)  kind 4  names  (optional)
+//!               kind 5  session metadata (optional, opaque bytes — see
+//!                       `dcs-server`'s checkpoint encoding)
 //! ```
 //!
 //! [`GraphPack::open`] reads and verifies **O(header)** bytes eagerly (magic,
@@ -69,9 +71,15 @@ pub const KIND_TARGETS: u64 = 2;
 pub const KIND_WEIGHTS: u64 = 3;
 /// Section kind: optional vertex names, `n × (u32 length + UTF-8 bytes)`.
 pub const KIND_NAMES: u64 = 4;
+/// Section kind: optional opaque session metadata (streaming-session
+/// checkpoints: version counters, measure, warm-start support — encoded by
+/// `dcs-server`, carried here so a checkpoint is one self-contained pack).
+pub const KIND_SESSION: u64 = 5;
 
 /// Header flag bit: a names section is present.
 pub const FLAG_HAS_NAMES: u64 = 1;
+/// Header flag bit: a session-metadata section is present.
+pub const FLAG_HAS_SESSION: u64 = 2;
 
 /// FNV-1a/64 over `bytes` — the checksum used throughout the pack format.
 ///
@@ -191,6 +199,7 @@ fn kind_name(kind: u64) -> &'static str {
         KIND_TARGETS => "targets",
         KIND_WEIGHTS => "weights",
         KIND_NAMES => "names",
+        KIND_SESSION => "session",
         _ => "unknown",
     }
 }
@@ -275,7 +284,8 @@ impl GraphPack {
                 "vertex count {vertices} exceeds the 32-bit id space"
             )));
         }
-        let expected_sections: u64 = if flags & FLAG_HAS_NAMES != 0 { 4 } else { 3 };
+        let expected_sections: u64 =
+            3 + u64::from(flags & FLAG_HAS_NAMES != 0) + u64::from(flags & FLAG_HAS_SESSION != 0);
         if section_count != expected_sections {
             return Err(PackError::Layout(format!(
                 "section count {section_count}, expected {expected_sections}"
@@ -304,7 +314,7 @@ impl GraphPack {
             let offset = to_usize(read_u64(bytes, base + 8), "section offset")?;
             let len = to_usize(read_u64(bytes, base + 16), "section length")?;
             let checksum = read_u64(bytes, base + 24);
-            if !(KIND_OFFSETS..=KIND_NAMES).contains(&kind) || kind <= prev_kind {
+            if !(KIND_OFFSETS..=KIND_SESSION).contains(&kind) || kind <= prev_kind {
                 return Err(PackError::Layout(format!(
                     "unexpected section kind {kind} at table index {i}"
                 )));
@@ -428,6 +438,20 @@ impl GraphPack {
     /// Whether the pack carries a vertex-name section.
     pub fn has_names(&self) -> bool {
         self.flags & FLAG_HAS_NAMES != 0
+    }
+
+    /// Whether the pack carries a session-metadata section (streaming-session
+    /// checkpoints written by `dcs-server`).
+    pub fn has_session(&self) -> bool {
+        self.flags & FLAG_HAS_SESSION != 0
+    }
+
+    /// The raw bytes of the optional session-metadata section, `None` when
+    /// the pack carries none.  The encoding of the payload belongs to the
+    /// writer (`dcs-server`'s checkpointer); the pack layer treats it as
+    /// opaque, checksummed bytes.
+    pub fn session_bytes(&self) -> Option<&[u8]> {
+        self.section(KIND_SESSION).map(|s| self.section_bytes(s))
     }
 
     /// The parsed section table, in file order.
@@ -651,6 +675,16 @@ mod tests {
         weights: &[f64],
         names: Option<&[&str]>,
     ) -> Vec<u8> {
+        build_pack_bytes_with_session(offsets, targets, weights, names, None)
+    }
+
+    pub(crate) fn build_pack_bytes_with_session(
+        offsets: &[u64],
+        targets: &[u32],
+        weights: &[f64],
+        names: Option<&[&str]>,
+        session: Option<&[u8]>,
+    ) -> Vec<u8> {
         let n = offsets.len() - 1;
         let entries = targets.len();
         let pos = weights.iter().filter(|w| **w > 0.0).count();
@@ -682,8 +716,14 @@ mod tests {
             (KIND_TARGETS, targets_bytes),
             (KIND_WEIGHTS, weights_bytes),
         ];
+        let mut flags = 0u64;
         if let Some(b) = names_bytes {
+            flags |= FLAG_HAS_NAMES;
             payloads.push((KIND_NAMES, b));
+        }
+        if let Some(b) = session {
+            flags |= FLAG_HAS_SESSION;
+            payloads.push((KIND_SESSION, b.to_vec()));
         }
 
         let section_count = payloads.len();
@@ -696,11 +736,7 @@ mod tests {
             (entries / 2) as u64,
             (pos / 2) as u64,
             (neg / 2) as u64,
-            if section_count == 4 {
-                FLAG_HAS_NAMES
-            } else {
-                0
-            },
+            flags,
             section_count as u64,
         ] {
             file.extend_from_slice(&field.to_le_bytes());
@@ -787,6 +823,43 @@ mod tests {
             pack.read_names().unwrap().unwrap(),
             vec!["alice".to_string(), "bob".to_string()]
         );
+    }
+
+    #[test]
+    fn session_section_roundtrip() {
+        let meta = b"{\"version\":42,\"measure\":\"affinity\"}";
+        let bytes = build_pack_bytes_with_session(
+            &[0, 1, 2],
+            &[1, 0],
+            &[2.5, 2.5],
+            Some(&["alice", "bob"]),
+            Some(meta),
+        );
+        let pack = open_bytes(bytes).unwrap();
+        assert!(pack.has_names());
+        assert!(pack.has_session());
+        pack.verify().unwrap();
+        assert_eq!(pack.session_bytes().unwrap(), meta);
+        assert_eq!(pack.to_graph().unwrap().num_edges(), 1);
+        // Without the flag, no session bytes are reported.
+        let plain = open_bytes(fig1_pack_bytes()).unwrap();
+        assert!(!plain.has_session());
+        assert!(plain.session_bytes().is_none());
+    }
+
+    #[test]
+    fn session_flag_without_section_is_rejected() {
+        // Set FLAG_HAS_SESSION on a 3-section pack and re-stamp the header
+        // checksum: the section-count cross-check must reject it.
+        let mut bytes = fig1_pack_bytes();
+        let flags = u64::from_le_bytes(bytes[48..56].try_into().unwrap()) | FLAG_HAS_SESSION;
+        bytes[48..56].copy_from_slice(&flags.to_le_bytes());
+        let fixed = pack_checksum(&bytes[..HEADER_LEN - 8]);
+        bytes[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&fixed.to_le_bytes());
+        assert!(matches!(
+            open_bytes(bytes).err(),
+            Some(PackError::Layout(_))
+        ));
     }
 
     #[test]

@@ -97,6 +97,14 @@ impl ResultCache {
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
+
+    /// The live cache keys, sorted.  Checkpoints record them (metadata only —
+    /// cached values are recomputed, never persisted).
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.entries.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
 }
 
 #[cfg(test)]

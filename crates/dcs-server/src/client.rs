@@ -1,4 +1,10 @@
 //! A blocking NDJSON client for the mining server.
+//!
+//! The modern surface is typed: build a [`crate::Request`] (or let
+//! [`Client::session`] build one for you) and [`Client::send`] it.  The
+//! historical string-and-`Value` helpers remain as thin wrappers so existing
+//! callers keep compiling, but new code should prefer
+//! [`Client::session`] / [`SessionHandle`].
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -7,6 +13,7 @@ use dcs_graph::{VertexId, Weight};
 use serde_json::{json, Value};
 
 use crate::error::ServerError;
+use crate::protocol::{CreateSessionRequest, JobBounds, Request};
 
 /// A blocking client speaking the server's NDJSON protocol over one TCP
 /// connection.  All helpers return the full response object after checking
@@ -28,6 +35,9 @@ impl Client {
     }
 
     /// Sends one request object and waits for its response line.
+    ///
+    /// This is the raw escape hatch; prefer [`Client::send`] with a typed
+    /// [`Request`] where one exists.
     pub fn request(&mut self, request: Value) -> Result<Value, ServerError> {
         let mut text = serde_json::to_string(&request)
             .map_err(|e| ServerError::BadRequest(format!("unserializable request: {e}")))?;
@@ -52,14 +62,34 @@ impl Client {
         }
     }
 
+    /// Sends a typed request and waits for its response object.
+    pub fn send(&mut self, request: &Request) -> Result<Value, ServerError> {
+        self.request(request.to_value())
+    }
+
+    /// A handle that scopes protocol commands to one named session:
+    /// `client.session("s").observe(&updates)` instead of hand-building the
+    /// wire object.  The handle borrows the client (one in-flight request per
+    /// connection) and is free to construct — no round trip happens until a
+    /// method is called.
+    pub fn session<'a>(&'a mut self, name: &str) -> SessionHandle<'a> {
+        SessionHandle {
+            client: self,
+            name: name.to_string(),
+        }
+    }
+
     /// `ping` round trip.
     pub fn ping(&mut self) -> Result<Value, ServerError> {
-        self.request(json!({ "cmd": "ping" }))
+        self.send(&Request::Ping)
     }
 
     /// Creates a session; `options` may carry `remine_every`,
-    /// `alert_threshold` and `measure` (any other fields are ignored by the
-    /// server).
+    /// `alert_threshold`, `measure` and `durable` (any other fields are
+    /// ignored by the server).
+    ///
+    /// Deprecated: prefer [`Client::create`] with a typed
+    /// [`CreateSessionRequest`].
     pub fn create_session(
         &mut self,
         name: &str,
@@ -79,6 +109,9 @@ impl Client {
     /// Creates a session whose baseline is a graph-pack file on the
     /// **server's** filesystem (the path travels over the wire, not the
     /// bytes).  `options` may carry the same fields as [`Self::create_session`].
+    ///
+    /// Deprecated: prefer [`Client::create`] with a typed
+    /// [`CreateSessionRequest`].
     pub fn create_session_from_pack(
         &mut self,
         name: &str,
@@ -95,108 +128,217 @@ impl Client {
         self.request(request)
     }
 
+    /// Creates a session from a typed [`CreateSessionRequest`].
+    pub fn create(&mut self, create: CreateSessionRequest) -> Result<Value, ServerError> {
+        self.send(&Request::CreateSession(create))
+    }
+
     /// Replaces the session's baseline graph.
+    ///
+    /// Deprecated: prefer [`SessionHandle::load_baseline`] via
+    /// [`Client::session`].
     pub fn load_baseline(
         &mut self,
         name: &str,
         edges: &[(VertexId, VertexId, Weight)],
     ) -> Result<Value, ServerError> {
-        self.request(json!({
-            "cmd": "load_baseline",
-            "session": name,
-            "edges": triples_to_json(edges),
-        }))
+        self.session(name).load_baseline(edges)
     }
 
     /// Streams a batch of weight updates into the observed graph.
+    ///
+    /// Deprecated: prefer [`SessionHandle::observe`] via [`Client::session`].
     pub fn observe(
         &mut self,
         name: &str,
         updates: &[(VertexId, VertexId, Weight)],
     ) -> Result<Value, ServerError> {
-        self.request(json!({
-            "cmd": "observe",
-            "session": name,
-            "updates": triples_to_json(updates),
-        }))
+        self.session(name).observe(updates)
     }
 
     /// Mines the current DCS under the session's configured measure.
+    ///
+    /// Deprecated: prefer [`SessionHandle::mine`] via [`Client::session`].
     pub fn mine(&mut self, name: &str) -> Result<Value, ServerError> {
-        self.request(json!({ "cmd": "mine", "session": name }))
+        self.session(name).mine()
     }
 
     /// Mines the current DCS under an explicit measure (`"affinity"` or
     /// `"degree"`).
+    ///
+    /// Deprecated: prefer [`SessionHandle::mine_with`] via
+    /// [`Client::session`].
     pub fn mine_with_measure(&mut self, name: &str, measure: &str) -> Result<Value, ServerError> {
         self.request(json!({ "cmd": "mine", "session": name, "measure": measure }))
     }
 
     /// Mines up to `k` vertex-disjoint contrast subgraphs.
+    ///
+    /// Deprecated: prefer [`SessionHandle::topk`] via [`Client::session`].
     pub fn topk(&mut self, name: &str, k: usize) -> Result<Value, ServerError> {
-        self.request(json!({ "cmd": "topk", "session": name, "k": k }))
+        self.session(name).topk(k)
     }
 
     /// Runs an α-sweep; `alphas = None` uses the server's default grid.
+    ///
+    /// Deprecated: prefer [`SessionHandle::sweep`] via [`Client::session`].
     pub fn sweep(&mut self, name: &str, alphas: Option<&[f64]>) -> Result<Value, ServerError> {
-        match alphas {
-            None => self.request(json!({ "cmd": "sweep", "session": name })),
-            Some(grid) => self.request(json!({
-                "cmd": "sweep",
-                "session": name,
-                "alphas": grid.to_vec(),
-            })),
-        }
+        self.session(name).sweep(alphas)
     }
 
     /// Mines the current DCS with a wall-clock deadline in milliseconds: the
     /// response is best-so-far with `"termination": "deadline"` when the
     /// deadline expires before the solver converges.
+    ///
+    /// Deprecated: prefer [`SessionHandle::mine_bounded`] via
+    /// [`Client::session`].
     pub fn mine_with_deadline(
         &mut self,
         name: &str,
         deadline_ms: u64,
     ) -> Result<Value, ServerError> {
-        self.request(json!({
-            "cmd": "mine",
-            "session": name,
-            "deadline_ms": deadline_ms,
-        }))
+        self.session(name).mine_bounded(JobBounds {
+            deadline_ms: Some(deadline_ms),
+            ..JobBounds::default()
+        })
     }
 
     /// Cancels an in-flight job submitted with a `"job"` id (from any
     /// connection).  The response's `cancelled` field reports whether the id
     /// was found.
     pub fn cancel(&mut self, job_id: &str) -> Result<Value, ServerError> {
-        self.request(json!({ "cmd": "cancel", "job": job_id }))
+        self.send(&Request::Cancel {
+            job: job_id.to_string(),
+        })
     }
 
     /// Session counters.
+    ///
+    /// Deprecated: prefer [`SessionHandle::stats`] via [`Client::session`].
     pub fn stats(&mut self, name: &str) -> Result<Value, ServerError> {
-        self.request(json!({ "cmd": "stats", "session": name }))
+        self.session(name).stats()
     }
 
     /// Names of live sessions.
     pub fn list_sessions(&mut self) -> Result<Value, ServerError> {
-        self.request(json!({ "cmd": "list_sessions" }))
+        self.send(&Request::ListSessions)
     }
 
     /// Drops a session.
+    ///
+    /// Deprecated: prefer [`SessionHandle::drop_session`] via
+    /// [`Client::session`].
     pub fn drop_session(&mut self, name: &str) -> Result<Value, ServerError> {
-        self.request(json!({ "cmd": "drop_session", "session": name }))
+        self.session(name).drop_session()
     }
 
     /// Server-wide counters.
     pub fn server_stats(&mut self) -> Result<Value, ServerError> {
-        self.request(json!({ "cmd": "server_stats" }))
+        self.send(&Request::ServerStats)
     }
 
     /// Asks the server to shut down.
     pub fn shutdown(&mut self) -> Result<Value, ServerError> {
-        self.request(json!({ "cmd": "shutdown" }))
+        self.send(&Request::Shutdown)
     }
 }
 
-fn triples_to_json(triples: &[(VertexId, VertexId, Weight)]) -> Value {
-    Value::Array(triples.iter().map(|&(u, v, w)| json!([u, v, w])).collect())
+/// Protocol commands scoped to one named session, from [`Client::session`].
+///
+/// Each method is one round trip on the underlying client connection and
+/// returns the full response object.
+pub struct SessionHandle<'a> {
+    client: &'a mut Client,
+    name: String,
+}
+
+impl SessionHandle<'_> {
+    /// The session name this handle addresses.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replaces the session's baseline graph.
+    pub fn load_baseline(
+        &mut self,
+        edges: &[(VertexId, VertexId, Weight)],
+    ) -> Result<Value, ServerError> {
+        self.client.send(&Request::LoadBaseline {
+            session: self.name.clone(),
+            edges: edges.to_vec(),
+        })
+    }
+
+    /// Streams a batch of weight updates into the observed graph.
+    pub fn observe(
+        &mut self,
+        updates: &[(VertexId, VertexId, Weight)],
+    ) -> Result<Value, ServerError> {
+        self.client.send(&Request::Observe {
+            session: self.name.clone(),
+            updates: updates.to_vec(),
+        })
+    }
+
+    /// Mines the current DCS under the session's configured measure.
+    pub fn mine(&mut self) -> Result<Value, ServerError> {
+        self.mine_bounded(JobBounds::default())
+    }
+
+    /// Mines under per-job bounds (deadline, budget, cancellable job id).
+    pub fn mine_bounded(&mut self, bounds: JobBounds) -> Result<Value, ServerError> {
+        self.client.send(&Request::Mine {
+            session: self.name.clone(),
+            measure: None,
+            bounds,
+        })
+    }
+
+    /// Mines under an explicit measure override.
+    pub fn mine_with(
+        &mut self,
+        measure: dcs_core::DensityMeasure,
+        bounds: JobBounds,
+    ) -> Result<Value, ServerError> {
+        self.client.send(&Request::Mine {
+            session: self.name.clone(),
+            measure: Some(measure),
+            bounds,
+        })
+    }
+
+    /// Mines up to `k` vertex-disjoint contrast subgraphs.
+    pub fn topk(&mut self, k: usize) -> Result<Value, ServerError> {
+        self.client.send(&Request::TopK {
+            session: self.name.clone(),
+            k,
+            measure: None,
+            bounds: JobBounds::default(),
+        })
+    }
+
+    /// Runs an α-sweep; `alphas = None` uses the server's default grid.
+    pub fn sweep(&mut self, alphas: Option<&[f64]>) -> Result<Value, ServerError> {
+        self.client.send(&Request::Sweep {
+            session: self.name.clone(),
+            alphas: alphas.map(<[f64]>::to_vec),
+            bounds: JobBounds::default(),
+            measure: None,
+        })
+    }
+
+    /// Session counters.
+    pub fn stats(&mut self) -> Result<Value, ServerError> {
+        self.client.send(&Request::Stats {
+            session: Some(self.name.clone()),
+        })
+    }
+
+    /// Drops the session on the server (the handle stays usable only for
+    /// creating it again).
+    pub fn drop_session(&mut self) -> Result<Value, ServerError> {
+        self.client.send(&Request::DropSession {
+            session: self.name.clone(),
+        })
+    }
 }

@@ -20,6 +20,11 @@ pub enum ServerError {
     Dcs(dcs_core::DcsError),
     /// Opening or decoding a binary graph pack failed.
     Pack(dcs_graph::PackError),
+    /// The client declared a protocol version this server does not speak.
+    UnsupportedProto {
+        /// The `"proto"` value the client sent.
+        requested: u64,
+    },
     /// A socket-level failure.
     Io(std::io::Error),
     /// The peer answered with `ok: false` (client side).
@@ -38,6 +43,11 @@ impl std::fmt::Display for ServerError {
             ServerError::Overloaded { .. } => write!(f, "overloaded"),
             ServerError::Dcs(e) => write!(f, "{e}"),
             ServerError::Pack(e) => write!(f, "cannot load graph pack: {e}"),
+            ServerError::UnsupportedProto { requested } => write!(
+                f,
+                "unsupported proto {requested} (server speaks proto {})",
+                crate::protocol::PROTO_VERSION
+            ),
             ServerError::Io(e) => write!(f, "I/O error: {e}"),
             ServerError::Remote(msg) => write!(f, "server error: {msg}"),
             ServerError::ConnectionClosed => write!(f, "connection closed"),
@@ -92,5 +102,9 @@ mod tests {
             "overloaded"
         );
         assert!(ServerError::ConnectionClosed.to_string().contains("closed"));
+        assert_eq!(
+            ServerError::UnsupportedProto { requested: 9 }.to_string(),
+            "unsupported proto 9 (server speaks proto 1)"
+        );
     }
 }

@@ -979,7 +979,8 @@ mod tests {
         session
             .lock()
             .unwrap()
-            .observe(&[(0, 1, 4.0), (0, 2, 4.0), (1, 2, 4.0), (3, 4, 0.5)]);
+            .observe(&[(0, 1, 4.0), (0, 2, 4.0), (1, 2, 4.0), (3, 4, 0.5)])
+            .unwrap();
     }
 
     #[test]
@@ -995,7 +996,7 @@ mod tests {
         assert_eq!(second["cached"], true);
         assert_eq!(second["result"]["subset"], serde_json::json!([0, 1, 2]));
         // New observations invalidate the cache.
-        session.lock().unwrap().observe(&[(3, 4, 1.0)]);
+        session.lock().unwrap().observe(&[(3, 4, 1.0)]).unwrap();
         let third = spec.execute(&session, &SolveContext::unbounded()).unwrap();
         assert_eq!(third["cached"], false);
     }
@@ -1035,7 +1036,8 @@ mod tests {
         session
             .lock()
             .unwrap()
-            .observe(&[(0, 1, 6.0), (0, 2, 6.0), (1, 2, 6.0), (4, 5, 3.0)]);
+            .observe(&[(0, 1, 6.0), (0, 2, 6.0), (1, 2, 6.0), (4, 5, 3.0)])
+            .unwrap();
         let topk = JobSpec::TopK {
             k: 3,
             measure: None,

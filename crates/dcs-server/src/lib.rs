@@ -33,21 +33,35 @@
 //!
 //! One request per line, one response per line, both JSON objects (NDJSON).
 //! Every request carries a `"cmd"` field; every response carries
-//! `"ok": true|false`, and failed responses carry `"error": "<message>"`.
+//! `"ok": true|false` and `"proto": 1` (the protocol version this server
+//! speaks), and failed responses carry `"error": "<message>"`.
 //! If a request has an `"id"` field it is echoed verbatim in the response so
 //! pipelined clients can match responses to requests.
+//!
+//! A request may declare its own `"proto"`: the server accepts (and echoes,
+//! like every response) version 1 and rejects anything else with the
+//! structured error `unsupported proto N (server speaks proto 1)` — the
+//! hook future wire or on-disk format bumps will negotiate through.
+//! Requests without `"proto"` are treated as version 1.
+//!
+//! In-process, the protocol is a **typed layer**: [`Request`] and
+//! [`Response`] enums (tagged on `"cmd"`) round-trip to the wire shapes
+//! above via `Request::from_value` / `Request::to_value` and
+//! `Response::into_body`.  The server's dispatcher and the [`Client`] both
+//! speak the typed layer; raw `serde_json::Value` remains the wire truth,
+//! and unknown-command / missing-field error strings are stable.
 //!
 //! | `cmd`            | request fields                                             | response fields (besides `ok`) |
 //! |------------------|------------------------------------------------------------|--------------------------------|
 //! | `ping`           | —                                                          | `pong: true`                   |
-//! | `create_session` | `session`, `vertices` *or* `pack` (a graph-pack path on the server's filesystem; `vertices` becomes optional and is cross-checked against the pack header when given), opt. `remine_every` (default 0), `alert_threshold` (default 0), `measure` (`"affinity"` \| `"degree"`, default affinity) | `session`, `vertices`, `backing: "memory"\|"pack"` |
+//! | `create_session` | `session`, `vertices` *or* `pack` (a graph-pack path on the server's filesystem; `vertices` becomes optional and is cross-checked against the pack header when given), opt. `remine_every` (default 0), `alert_threshold` (default 0), `measure` (`"affinity"` \| `"degree"`, default affinity), `durable: true` (requires a server `--data-dir`; recovers the named session's directory when one exists) | `session`, `vertices`, `backing: "memory"\|"pack"`; durable creates add `durable: true`, `recovered: bool` |
 //! | `load_baseline`  | `session`, `edges: [[u, v, w], …]` — replaces the baseline and resets observations (the version advances, never resets) | `baseline_edges`, `version` |
 //! | `observe`        | `session`, `updates: [[u, v, delta], …]` — batched weight updates to the observed graph | `applied`, `ignored`, `version`, `alerts: [alert…]` |
 //! | `mine`           | `session`, opt. `measure`, *bounds* — mine the current DCS (runs on the worker pool) | `cached`, `version`, `termination`, `result: alert` |
 //! | `topk`           | `session`, `k`, opt. `measure`, *bounds* — up to `k` vertex-disjoint contrast subgraphs | `cached`, `version`, `termination`, `stats`, `results: [group…]` |
 //! | `sweep`          | `session`, opt. `alphas: [f…]` (default grid), `measure`, *bounds* — α-sweep of `A2 − α·A1` | `cached`, `version`, `termination`, `stats`, `points: [point…]` |
 //! | `cancel`         | `job` — cancel the in-flight job registered under that id (from any connection) | `cancelled: bool` (whether the id was found) |
-//! | `stats`          | opt. `session` — with one, that session's counters; without, the server-wide observability payload | per-session: `vertices`, `observations`, `version`, `observed_edges`, `baseline_edges`, `backing: "memory"\|"pack"`, `pack_open_ms` (open + decode wall time; `null` for memory-backed), `cache: {entries, hits, misses, evictions}`; server-wide: see below |
+//! | `stats`          | opt. `session` — with one, that session's counters; without, the server-wide observability payload | per-session: `vertices`, `observations`, `version`, `observed_edges`, `baseline_edges`, `backing: "memory"\|"pack"`, `pack_open_ms` (open + decode wall time; `null` for memory-backed), `cache: {entries, hits, misses, evictions}`, `durable: bool`; server-wide: see below |
 //! | `list_sessions`  | —                                                          | `sessions: [name…]`            |
 //! | `drop_session`   | `session`                                                  | `dropped: true`                |
 //! | `server_stats`   | —                                                          | `sessions`, `worker_threads`, `solver_threads`, `io_threads`, `queue_capacity`, `jobs_executed`, `jobs_rejected`, `jobs_inflight_named` |
@@ -85,6 +99,26 @@
 //! The *hard* anti-wedge guarantee is [`ServerConfig::max_job_ms`] (default
 //! 5 minutes): every job runs under a server-imposed deadline no looser than
 //! that cap, client-supplied or not.
+//!
+//! ## Durability
+//!
+//! A server started with a **data directory** ([`ServerConfig::data_dir`],
+//! `dcs serve --data-dir`) can host **durable sessions**: `create_session`
+//! with `"durable": true` gives the session a per-session **write-ahead
+//! log** of accepted observe batches plus periodic pack-format
+//! **checkpoints**, and the server **recovers** every session directory it
+//! finds under the data dir at start.  A recovered session is
+//! observation-for-observation identical to one that never stopped — same
+//! version counter, same difference snapshot, same warm-start support.
+//! See the [`durable`] module docs for the on-disk layout (`session.json`,
+//! `wal-<G>.ndjson`, `ckpt-<G>.dcspack`, `baseline-<B>.dcspack`), the
+//! recovery procedure (newest valid checkpoint + WAL tail replay, with
+//! torn-tail truncation and corrupt-checkpoint generation fallback) and
+//! the sync modes ([`WalSync`]: `always` / `group` / `none`;
+//! [`ServerConfig::group_commit_ms`] sets the group-commit interval,
+//! [`ServerConfig::checkpoint_every`] the checkpoint trigger).  Ephemeral
+//! sessions on the same server pay nothing.  `dcs sessions --data-dir`
+//! inspects a data directory offline.
 //!
 //! ## Serving architecture
 //!
@@ -226,6 +260,7 @@
 
 mod cache;
 mod client;
+pub mod durable;
 mod error;
 mod jobs;
 mod metrics;
@@ -234,11 +269,15 @@ mod server;
 mod session;
 
 pub use cache::ResultCache;
-pub use client::Client;
+pub use client::{Client, SessionHandle};
+pub use durable::WalSync;
 pub use error::ServerError;
 pub use jobs::{Completion, JobSpec, JobTable, WorkerPool};
 pub use metrics::{histogram_summary, ServerMetrics};
-pub use protocol::{alert_to_json, parse_measure, report_to_json, stats_to_json};
+pub use protocol::{
+    alert_to_json, parse_measure, report_to_json, stats_to_json, CreateSessionRequest, JobBounds,
+    Request, Response, PROTO_VERSION,
+};
 pub use server::{Server, ServerHandle};
 pub use session::{ObserveMailbox, Session, SessionRegistry, SessionStats, ShardStats};
 
@@ -280,6 +319,21 @@ pub struct ServerConfig {
     /// rather than letting one hot stream starve the pool.  Clamped to at
     /// least 1.
     pub observe_mailbox: usize,
+    /// Directory holding durable session state (`serve --data-dir`).  `None`
+    /// (the default) disables durability: `create_session` requests carrying
+    /// `"durable": true` are rejected.  When set, the server recovers every
+    /// session directory found under it at start.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// When durable sessions' write-ahead logs reach stable storage — see
+    /// [`WalSync`].  Defaults to group commit.
+    pub wal_sync: WalSync,
+    /// Interval of the background durability thread, in milliseconds: each
+    /// tick `fsync`s group-committed WAL bytes and checks the checkpoint
+    /// trigger.  Clamped to at least 1.  Default 25.
+    pub group_commit_ms: u64,
+    /// Checkpoint after this many WAL records accumulate in a session's live
+    /// segment (0 disables automatic checkpoints).  Default 256.
+    pub checkpoint_every: u64,
 }
 
 impl ServerConfig {
@@ -317,6 +371,10 @@ impl Default for ServerConfig {
             solver_threads: 0,
             io_threads: 0,
             observe_mailbox: 1024,
+            data_dir: None,
+            wal_sync: WalSync::default(),
+            group_commit_ms: 25,
+            checkpoint_every: 256,
         }
     }
 }

@@ -31,12 +31,12 @@ use dcs_core::{CancelToken, DensityMeasure, SolveContext, StreamingConfig};
 use netpoll::{Event, Interest, Poller, Waker};
 use serde_json::{json, Value};
 
+use crate::durable;
 use crate::error::ServerError;
 use crate::jobs::{JobSpec, JobTable, WorkerPool};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    alert_to_json, error_response, ok_response, optional_f64, optional_u64, optional_u64_opt,
-    parse_alphas, parse_measure, parse_triples, required_str, required_u64,
+    alert_to_json, error_response, ok_response, CreateSessionRequest, JobBounds, Request, Response,
 };
 use crate::session::{Session, SessionRegistry, SharedSession};
 use crate::ServerConfig;
@@ -139,6 +139,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
     io_handles: Vec<JoinHandle<()>>,
+    durable_thread: Option<JoinHandle<()>>,
     shared: Arc<Shared>,
 }
 
@@ -186,6 +187,45 @@ impl Server {
             io_stats: IoStats::default(),
             io_backend,
         });
+        // Recover durable sessions before serving a single request: a client
+        // reconnecting right after a restart must see its sessions.
+        if let Some(data_dir) = shared.config.data_dir.clone() {
+            let _ = std::fs::create_dir_all(&data_dir);
+            for (name, session) in durable::recover_data_dir(&data_dir, shared.config.wal_sync) {
+                if let Err(e) = shared.registry.insert(&name, session) {
+                    eprintln!("dcs-server: cannot register recovered session {name:?}: {e}");
+                }
+            }
+        }
+        // The durability thread: every group-commit interval it fsyncs each
+        // durable session's WAL and checkpoints segments past the trigger.
+        let durable_thread = shared.config.data_dir.as_ref().map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dcs-durable".into())
+                .spawn(move || {
+                    let interval = Duration::from_millis(shared.config.group_commit_ms.max(1));
+                    loop {
+                        // Read the flag first so a final flush always runs
+                        // after shutdown is requested.
+                        let shutting = shared.shutting_down.load(Ordering::SeqCst);
+                        for (name, session) in shared.registry.sessions() {
+                            let mut guard = lock_session(&session);
+                            if let Err(e) = guard.durable_tick(shared.config.checkpoint_every) {
+                                drop(guard);
+                                eprintln!(
+                                    "dcs-server: durability tick failed for session {name:?}: {e}"
+                                );
+                            }
+                        }
+                        if shutting {
+                            break;
+                        }
+                        std::thread::park_timeout(interval);
+                    }
+                })
+                .expect("spawn durability thread")
+        });
         let io_handles = pollers
             .into_iter()
             .zip(io)
@@ -224,6 +264,7 @@ impl Server {
             addr,
             accept_thread: Some(accept_thread),
             io_handles,
+            durable_thread,
             shared,
         }
     }
@@ -264,6 +305,10 @@ impl ServerHandle {
             let _ = thread.join();
         }
         for thread in self.io_handles.drain(..) {
+            let _ = thread.join();
+        }
+        if let Some(thread) = self.durable_thread.take() {
+            thread.thread().unpark();
             let _ = thread.join();
         }
     }
@@ -766,41 +811,72 @@ impl IoLoop {
     }
 
     fn dispatch(&mut self, slot: usize, conn_id: u64, request: &Value) -> Dispatch {
-        let shared = &self.shared;
-        let cmd = match required_str(request, "cmd") {
-            Ok(cmd) => cmd,
+        let typed = match Request::from_value(request) {
+            Ok(typed) => typed,
             Err(error) => return Dispatch::Done(Err(error)),
         };
-        match cmd {
-            "ping" => Dispatch::Done(Ok(json!({ "pong": true }))),
-            "create_session" => Dispatch::Done(create_session(request, shared)),
-            "load_baseline" => Dispatch::Done(load_baseline(request, shared)),
-            "observe" => match self.observe(slot, conn_id, request) {
-                Ok(dispatch) => dispatch,
-                Err(error) => Dispatch::Done(Err(error)),
-            },
-            "mine" | "topk" | "sweep" => {
-                let spec = match build_spec(cmd, request) {
-                    Ok(spec) => spec,
-                    Err(error) => return Dispatch::Done(Err(error)),
-                };
-                match self.start_job(slot, conn_id, request, spec) {
+        let shared = &self.shared;
+        match typed {
+            Request::Ping => Dispatch::Done(Ok(Response::Pong.into_body())),
+            Request::CreateSession(create) => Dispatch::Done(create_session(create, shared)),
+            Request::LoadBaseline { session, edges } => {
+                Dispatch::Done(load_baseline(&session, &edges, shared))
+            }
+            Request::Observe { session, updates } => {
+                match self.observe(slot, conn_id, request, &session, updates) {
                     Ok(dispatch) => dispatch,
                     Err(error) => Dispatch::Done(Err(error)),
                 }
             }
-            "cancel" => Dispatch::Done(
-                required_str(request, "job")
-                    .map(|id| json!({ "cancelled": shared.jobs.cancel(id) })),
+            Request::Mine {
+                session,
+                measure,
+                bounds,
+            } => self.job(
+                slot,
+                conn_id,
+                request,
+                &session,
+                JobSpec::Mine { measure },
+                &bounds,
             ),
-            "stats" => Dispatch::Done(stats(request, shared)),
-            "list_sessions" => Dispatch::Done(Ok(json!({ "sessions": shared.registry.names() }))),
-            "drop_session" => Dispatch::Done(
-                required_str(request, "session")
-                    .and_then(|name| shared.registry.drop_session(name))
-                    .map(|()| json!({ "dropped": true })),
+            Request::TopK {
+                session,
+                k,
+                measure,
+                bounds,
+            } => self.job(
+                slot,
+                conn_id,
+                request,
+                &session,
+                JobSpec::TopK { k, measure },
+                &bounds,
             ),
-            "server_stats" => Dispatch::Done(Ok(json!({
+            Request::Sweep {
+                session,
+                alphas,
+                measure,
+                bounds,
+            } => self.job(
+                slot,
+                conn_id,
+                request,
+                &session,
+                JobSpec::Sweep { alphas, measure },
+                &bounds,
+            ),
+            Request::Cancel { job } => Dispatch::Done(Ok(Response::Cancelled {
+                cancelled: shared.jobs.cancel(&job),
+            }
+            .into_body())),
+            Request::Stats { session } => Dispatch::Done(stats(session.as_deref(), shared)),
+            Request::ListSessions => Dispatch::Done(Ok(Response::SessionList {
+                sessions: shared.registry.names(),
+            }
+            .into_body())),
+            Request::DropSession { session } => Dispatch::Done(drop_session(&session, shared)),
+            Request::ServerStats => Dispatch::Done(Ok(json!({
                 "sessions": shared.registry.len(),
                 "worker_threads": shared.pool.threads(),
                 "solver_threads": shared.config.solver_threads,
@@ -810,14 +886,28 @@ impl IoLoop {
                 "jobs_rejected": shared.pool.rejected(),
                 "jobs_inflight_named": shared.jobs.len(),
             }))),
-            "shutdown" => {
+            Request::Shutdown => {
                 shared.shutting_down.store(true, Ordering::SeqCst);
                 shared.wake_io();
-                Dispatch::Done(Ok(json!({ "shutting_down": true })))
+                Dispatch::Done(Ok(Response::ShuttingDown.into_body()))
             }
-            other => Dispatch::Done(Err(ServerError::BadRequest(format!(
-                "unknown cmd {other:?}"
-            )))),
+        }
+    }
+
+    /// Flattens a mining-job submission into the dispatch result.
+    #[allow(clippy::too_many_arguments)]
+    fn job(
+        &mut self,
+        slot: usize,
+        conn_id: u64,
+        request: &Value,
+        name: &str,
+        spec: JobSpec,
+        bounds: &JobBounds,
+    ) -> Dispatch {
+        match self.start_job(slot, conn_id, request, name, spec, bounds) {
+            Ok(dispatch) => dispatch,
+            Err(error) => Dispatch::Done(Err(error)),
         }
     }
 
@@ -840,9 +930,9 @@ impl IoLoop {
         slot: usize,
         conn_id: u64,
         request: &Value,
+        name: &str,
+        updates: Vec<(dcs_graph::VertexId, dcs_graph::VertexId, dcs_graph::Weight)>,
     ) -> Result<Dispatch, ServerError> {
-        let name = required_str(request, "session")?;
-        let updates = parse_triples(request, "updates")?;
         let session = self.shared.registry.get(name)?;
         let (cadence_mining, mailbox) = {
             let guard = lock_session(&session);
@@ -853,7 +943,7 @@ impl IoLoop {
         };
         if !cadence_mining {
             // No mining can trigger: apply inline, keeping streaming cheap.
-            let body = apply_observe(&session, &updates);
+            let body = apply_observe(&session, &updates)?;
             self.shared
                 .metrics
                 .note_observe(body["applied"].as_u64().unwrap_or(0));
@@ -893,7 +983,7 @@ impl IoLoop {
         };
         let task_session = Arc::clone(&session);
         let submitted = self.shared.pool.submit_task_with(
-            Box::new(move |_workspace| Ok(apply_observe(&task_session, &updates))),
+            Box::new(move |_workspace| apply_observe(&task_session, &updates)),
             completion,
         );
         match submitted {
@@ -913,15 +1003,17 @@ impl IoLoop {
     /// cancellation token reachable from other connections via the optional
     /// client-chosen `job` id.  The server's `max_job_ms` cap is a deadline
     /// of its own — the tighter of the two wins.
+    #[allow(clippy::too_many_arguments)]
     fn start_job(
         &mut self,
         slot: usize,
         conn_id: u64,
         request: &Value,
+        name: &str,
         spec: JobSpec,
+        bounds: &JobBounds,
     ) -> Result<Dispatch, ServerError> {
         let shared = &self.shared;
-        let name = required_str(request, "session")?;
         let session = shared.registry.get(name)?;
         let measure = {
             let guard = lock_session(&session);
@@ -933,8 +1025,7 @@ impl IoLoop {
             .with_cancel(&token)
             .with_threads(shared.config.solver_threads);
         let now = Instant::now();
-        let client_deadline =
-            optional_u64_opt(request, "deadline_ms")?.map(|ms| now + Duration::from_millis(ms));
+        let client_deadline = bounds.deadline_ms.map(|ms| now + Duration::from_millis(ms));
         let server_cap = shared
             .config
             .max_job_ms
@@ -942,13 +1033,13 @@ impl IoLoop {
         if let Some(at) = client_deadline.into_iter().chain(server_cap).min() {
             cx = cx.with_deadline_at(at);
         }
-        if let Some(units) = optional_u64_opt(request, "budget")? {
+        if let Some(units) = bounds.budget {
             cx = cx.with_budget(units);
         }
-        let job_id = match request["job"].as_str() {
+        let job_id = match &bounds.job {
             Some(id) => {
                 shared.jobs.register(id, token.clone())?;
-                Some(id.to_string())
+                Some(id.clone())
             }
             None => None,
         };
@@ -1011,85 +1102,177 @@ fn slot_of(event: Event) -> usize {
     event.token
 }
 
-fn build_spec(cmd: &str, request: &Value) -> Result<JobSpec, ServerError> {
-    let measure = parse_measure(request["measure"].as_str())?;
-    Ok(match cmd {
-        "mine" => JobSpec::Mine { measure },
-        "topk" => JobSpec::TopK {
-            k: required_u64(request, "k")? as usize,
-            measure,
-        },
-        _ => JobSpec::Sweep {
-            alphas: parse_alphas(request)?,
-            measure,
-        },
-    })
-}
-
-fn create_session(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
-    let name = required_str(request, "session")?;
-    let measure =
-        parse_measure(request["measure"].as_str())?.unwrap_or(DensityMeasure::GraphAffinity);
+fn create_session(create: CreateSessionRequest, shared: &Shared) -> Result<Value, ServerError> {
     let config = StreamingConfig {
-        remine_every: optional_u64(request, "remine_every", 0)? as usize,
-        alert_threshold: optional_f64(request, "alert_threshold", 0.0)?,
-        measure,
+        remine_every: create.remine_every as usize,
+        alert_threshold: create.alert_threshold,
+        measure: create.measure.unwrap_or(DensityMeasure::GraphAffinity),
     };
+    if create.durable {
+        return create_durable(create, config, shared);
+    }
     // With a "pack" field the baseline comes from a graph-pack file on the
     // server's filesystem and the vertex count comes from the pack header —
     // "vertices" becomes optional and, when present, is cross-checked.
-    if let Some(path) = request["pack"].as_str() {
-        let declared = optional_u64_opt(request, "vertices")?.map(|v| v as usize);
+    if let Some(path) = &create.pack {
+        let declared = create.vertices.map(|v| v as usize);
         let vertices = shared.registry.create_from_pack(
-            name,
+            &create.session,
             path,
             config,
             shared.config.max_vertices,
             declared,
         )?;
-        return Ok(json!({ "session": name, "vertices": vertices, "backing": "pack" }));
+        return Ok(Response::SessionCreated {
+            session: create.session,
+            vertices,
+            backing: "pack",
+            durable: None,
+        }
+        .into_body());
     }
-    let vertices = required_u64(request, "vertices")? as usize;
+    let vertices = create.vertices.unwrap_or(0) as usize;
     if vertices == 0 || vertices > shared.config.max_vertices {
         return Err(ServerError::BadRequest(format!(
             "vertices must be in 1..={}",
             shared.config.max_vertices
         )));
     }
-    shared.registry.create(name, vertices, config)?;
-    Ok(json!({ "session": name, "vertices": vertices, "backing": "memory" }))
+    shared.registry.create(&create.session, vertices, config)?;
+    Ok(Response::SessionCreated {
+        session: create.session,
+        vertices,
+        backing: "memory",
+        durable: None,
+    }
+    .into_body())
 }
 
-fn load_baseline(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
-    let name = required_str(request, "session")?;
-    let edges = parse_triples(request, "edges")?;
+/// Creates (or recovers) a durable session under the server's data
+/// directory.  An existing on-disk session directory for the name is
+/// recovered in place — checkpoint load plus WAL replay — rather than
+/// treated as a conflict, so `create_session {"durable": true}` doubles as
+/// the recover-on-demand entry point.
+fn create_durable(
+    create: CreateSessionRequest,
+    config: StreamingConfig,
+    shared: &Shared,
+) -> Result<Value, ServerError> {
+    let Some(data_dir) = &shared.config.data_dir else {
+        return Err(ServerError::BadRequest(
+            "durable sessions require a server data directory (serve --data-dir)".into(),
+        ));
+    };
+    if shared.registry.get(&create.session).is_ok() {
+        return Err(ServerError::SessionExists(create.session));
+    }
+    let dir = data_dir.join(durable::encode_session_dir(&create.session));
+    if durable::is_session_dir(&dir) {
+        let (_, session) = durable::open_session_dir(&dir, shared.config.wal_sync)?;
+        let stats = session.stats();
+        let (vertices, backing) = (stats.vertices, stats.backing);
+        shared.registry.insert(&create.session, session)?;
+        return Ok(Response::SessionCreated {
+            session: create.session,
+            vertices,
+            backing,
+            durable: Some(true),
+        }
+        .into_body());
+    }
+    let (mut session, vertices, backing) = if let Some(path) = &create.pack {
+        let session = Session::from_pack(path, config, shared.config.max_vertices)?;
+        let vertices = session.stats().vertices;
+        if let Some(declared) = create.vertices {
+            if declared as usize != vertices {
+                return Err(ServerError::BadRequest(format!(
+                    "request declares {declared} vertices but the pack has {vertices}"
+                )));
+            }
+        }
+        (session, vertices, "pack")
+    } else {
+        let vertices = create.vertices.unwrap_or(0) as usize;
+        if vertices == 0 || vertices > shared.config.max_vertices {
+            return Err(ServerError::BadRequest(format!(
+                "vertices must be in 1..={}",
+                shared.config.max_vertices
+            )));
+        }
+        (Session::new(vertices, config)?, vertices, "memory")
+    };
+    let record = durable::CreationRecord {
+        name: create.session.clone(),
+        vertices,
+        remine_every: config.remine_every,
+        alert_threshold: config.alert_threshold,
+        measure: config.measure,
+        pack: create.pack.clone(),
+    };
+    session.attach_durable(durable::create_session_dir(
+        data_dir,
+        &record,
+        shared.config.wal_sync,
+    )?);
+    shared.registry.insert(&create.session, session)?;
+    Ok(Response::SessionCreated {
+        session: create.session,
+        vertices,
+        backing,
+        durable: Some(false),
+    }
+    .into_body())
+}
+
+/// Drops a session; a durable session's on-disk state is deleted with it
+/// (drop is an explicit client decision, not a crash).
+fn drop_session(name: &str, shared: &Shared) -> Result<Value, ServerError> {
+    let session = shared.registry.get(name)?;
+    shared.registry.drop_session(name)?;
+    let durable = lock_session(&session).take_durable();
+    if let Some(durable) = durable {
+        let _ = std::fs::remove_dir_all(&durable.dir);
+    }
+    Ok(Response::SessionDropped.into_body())
+}
+
+fn load_baseline(
+    name: &str,
+    edges: &[(dcs_graph::VertexId, dcs_graph::VertexId, dcs_graph::Weight)],
+    shared: &Shared,
+) -> Result<Value, ServerError> {
     let session = shared.registry.get(name)?;
     let mut guard = lock_session(&session);
-    let loaded = guard.load_baseline(&edges)?;
-    Ok(json!({ "baseline_edges": loaded, "version": guard.version() }))
+    let loaded = guard.load_baseline(edges)?;
+    Ok(Response::BaselineLoaded {
+        baseline_edges: loaded,
+        version: guard.version(),
+    }
+    .into_body())
 }
 
 fn apply_observe(
     session: &SharedSession,
     updates: &[(dcs_graph::VertexId, dcs_graph::VertexId, dcs_graph::Weight)],
-) -> Value {
+) -> Result<Value, ServerError> {
     let mut guard = lock_session(session);
-    let outcome = guard.observe(updates);
+    let outcome = guard.observe(updates)?;
     let version = guard.version();
     drop(guard);
     let alerts: Vec<Value> = outcome.alerts.iter().map(alert_to_json).collect();
-    json!({
-        "applied": outcome.applied,
-        "ignored": outcome.ignored,
-        "version": version,
-        "alerts": alerts,
-    })
+    Ok(Response::Observed {
+        applied: outcome.applied,
+        ignored: outcome.ignored,
+        version,
+        alerts,
+    }
+    .into_body())
 }
 
-fn stats(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
+fn stats(name: Option<&str>, shared: &Shared) -> Result<Value, ServerError> {
     // Without a `session` field, `stats` reports the server-wide
     // observability payload; with one, the session's counters as before.
-    let Some(name) = request["session"].as_str() else {
+    let Some(name) = name else {
         let mut payload = shared
             .metrics
             .render(&shared.pool, &shared.jobs, &shared.registry);
@@ -1148,5 +1331,6 @@ fn stats(request: &Value, shared: &Shared) -> Result<Value, ServerError> {
             "misses": stats.cache_misses,
             "evictions": stats.cache_evictions,
         },
+        "durable": stats.durable,
     }))
 }

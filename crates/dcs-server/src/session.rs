@@ -14,6 +14,7 @@ use dcs_core::{BatchOutcome, StreamingConfig, StreamingDcs};
 use dcs_graph::{GraphBuilder, SignedGraph, VertexId, Weight};
 
 use crate::cache::ResultCache;
+use crate::durable::{CheckpointState, DurableSession};
 use crate::error::ServerError;
 
 /// Admission counters for one session's pooled (cadence) observes.
@@ -96,6 +97,11 @@ pub struct Session {
     backing: &'static str,
     /// Wall time of the pack open + decode, when `backing == "pack"`.
     pack_open_ms: Option<f64>,
+    /// The durable half, for sessions created with `"durable": true`:
+    /// write-ahead log plus checkpoint directory.  `None` for ephemeral
+    /// sessions — the observe hot path pays nothing for durability it did
+    /// not ask for.
+    durable: Option<DurableSession>,
 }
 
 /// A snapshot of a session's counters (the `stats` command).
@@ -123,6 +129,8 @@ pub struct SessionStats {
     pub backing: &'static str,
     /// Wall time spent opening + decoding the pack, for pack-backed sessions.
     pub pack_open_ms: Option<f64>,
+    /// Whether the session writes a WAL and checkpoints (survives restarts).
+    pub durable: bool,
 }
 
 impl Session {
@@ -136,6 +144,7 @@ impl Session {
             version_base: 0,
             backing: "memory",
             pack_open_ms: None,
+            durable: None,
         })
     }
 
@@ -168,7 +177,97 @@ impl Session {
             version_base: 0,
             backing: "pack",
             pack_open_ms: Some(start.elapsed().as_secs_f64() * 1e3),
+            durable: None,
         })
+    }
+
+    /// Rebuilds a session from recovered state (see [`crate::durable`]): the
+    /// monitor already holds the checkpointed + replayed observations.
+    pub(crate) fn from_recovered(
+        monitor: StreamingDcs,
+        version_base: u64,
+        backing: &'static str,
+        pack_open_ms: Option<f64>,
+        durable: DurableSession,
+    ) -> Self {
+        Session {
+            monitor,
+            cache: ResultCache::new(),
+            mailbox: Arc::new(ObserveMailbox::default()),
+            version_base,
+            backing,
+            pack_open_ms,
+            durable: Some(durable),
+        }
+    }
+
+    /// Attaches the durable half to a freshly created session.
+    pub(crate) fn attach_durable(&mut self, durable: DurableSession) {
+        self.durable = Some(durable);
+    }
+
+    /// Detaches and returns the durable half (used when dropping a durable
+    /// session so its directory can be removed after the registry forgets it).
+    pub(crate) fn take_durable(&mut self) -> Option<DurableSession> {
+        self.durable.take()
+    }
+
+    /// Whether the session writes a WAL and checkpoints.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Fault injection for the crash-recovery tests: after `limit` total WAL
+    /// bytes, the next append tears (writes a prefix and fails).  No effect
+    /// on ephemeral sessions.
+    #[doc(hidden)]
+    pub fn wal_fault_after_bytes(&mut self, limit: Option<u64>) {
+        if let Some(durable) = &mut self.durable {
+            durable.set_fault_after(limit);
+        }
+    }
+
+    /// Flushes group-committed WAL bytes and, when the live segment has
+    /// accumulated `checkpoint_every` records (0 disables the trigger),
+    /// writes a checkpoint.  Called by the server's durability thread on the
+    /// group-commit interval; a no-op for ephemeral sessions.
+    pub(crate) fn durable_tick(&mut self, checkpoint_every: u64) -> Result<(), ServerError> {
+        let due = match &mut self.durable {
+            None => return Ok(()),
+            Some(durable) => {
+                durable.flush()?;
+                checkpoint_every > 0 && durable.wal_records() >= checkpoint_every
+            }
+        };
+        if due {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint now: the observed graph as a pack with a
+    /// session-metadata section, then rotates the WAL.  Returns `false`
+    /// (without touching the disk) for ephemeral sessions.
+    pub fn checkpoint(&mut self) -> Result<bool, ServerError> {
+        let state = match &self.durable {
+            None => return Ok(false),
+            Some(_) => CheckpointState {
+                monitor_version: self.monitor.version(),
+                version_base: self.version_base,
+                observations: self.monitor.observations(),
+                updates_since_mine: self.monitor.updates_since_mine(),
+                last_support: self.monitor.last_support().map(|s| s.to_vec()),
+                observed: self.monitor.observed_edges_sorted(),
+                vertices: self.monitor.num_vertices(),
+                config: *self.monitor.config(),
+                cache_keys: self.cache.keys(),
+            },
+        };
+        self.durable
+            .as_mut()
+            .expect("checked above")
+            .checkpoint(&state)?;
+        Ok(true)
     }
 
     /// Replaces the baseline graph, resetting observations and clearing the
@@ -194,12 +293,36 @@ impl Session {
         // The pack file no longer backs the live baseline.
         self.backing = "memory";
         self.pack_open_ms = None;
+        if let Some(durable) = &mut self.durable {
+            durable.log_baseline(next_base, self.monitor.baseline())?;
+        }
         Ok(loaded)
     }
 
-    /// Applies a batch of observations.
-    pub fn observe(&mut self, updates: &[(VertexId, VertexId, Weight)]) -> BatchOutcome {
-        self.monitor.apply_batch(updates.iter().copied())
+    /// Applies a batch of observations.  For durable sessions the accepted
+    /// batch is appended to the WAL before the outcome is returned — an
+    /// errored observe is **not** acknowledged and recovery is not required
+    /// to reproduce it.  Batches that apply nothing leave the version (and
+    /// the WAL) untouched.
+    pub fn observe(
+        &mut self,
+        updates: &[(VertexId, VertexId, Weight)],
+    ) -> Result<BatchOutcome, ServerError> {
+        if let Some(durable) = &self.durable {
+            if durable.is_poisoned() {
+                return Err(ServerError::Io(std::io::Error::other(
+                    "session WAL previously failed; the session is read-only until recovered",
+                )));
+            }
+        }
+        let outcome = self.monitor.apply_batch(updates.iter().copied());
+        if outcome.applied > 0 {
+            if let Some(durable) = &mut self.durable {
+                let version = self.version_base + self.monitor.version();
+                durable.append_observe(version, updates)?;
+            }
+        }
+        Ok(outcome)
     }
 
     /// The session's graph version: monotone over both observations and
@@ -246,6 +369,7 @@ impl Session {
             cache_evictions: self.cache.evictions(),
             backing: self.backing,
             pack_open_ms: self.pack_open_ms,
+            durable: self.durable.is_some(),
         }
     }
 }
@@ -340,6 +464,18 @@ impl SessionRegistry {
         &self.shards[(hash % self.shards.len() as u64) as usize]
     }
 
+    /// Inserts an already-built session (the durable create/recovery paths
+    /// construct sessions before registering them); fails if the name is
+    /// taken.
+    pub(crate) fn insert(&self, name: &str, session: Session) -> Result<(), ServerError> {
+        let mut sessions = write_shard(self.shard_for(name));
+        if sessions.contains_key(name) {
+            return Err(ServerError::SessionExists(name.to_string()));
+        }
+        sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
+        Ok(())
+    }
+
     /// Creates a session; fails if the name is taken.
     pub fn create(
         &self,
@@ -348,12 +484,7 @@ impl SessionRegistry {
         config: StreamingConfig,
     ) -> Result<(), ServerError> {
         let session = Session::new(vertices, config)?;
-        let mut sessions = write_shard(self.shard_for(name));
-        if sessions.contains_key(name) {
-            return Err(ServerError::SessionExists(name.to_string()));
-        }
-        sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
-        Ok(())
+        self.insert(name, session)
     }
 
     /// Creates a pack-backed session; fails if the name is taken, or if
@@ -376,11 +507,7 @@ impl SessionRegistry {
                 )));
             }
         }
-        let mut sessions = write_shard(self.shard_for(name));
-        if sessions.contains_key(name) {
-            return Err(ServerError::SessionExists(name.to_string()));
-        }
-        sessions.insert(name.to_string(), Arc::new(Mutex::new(session)));
+        self.insert(name, session)?;
         Ok(vertices)
     }
 
@@ -519,7 +646,9 @@ mod tests {
             .unwrap();
         assert_eq!(loaded, 2); // self-loop and out-of-range edges are dropped
 
-        let outcome = session.observe(&[(0, 1, 3.0), (1, 2, 2.0), (7, 8, 1.0)]);
+        let outcome = session
+            .observe(&[(0, 1, 3.0), (1, 2, 2.0), (7, 8, 1.0)])
+            .unwrap();
         assert_eq!(outcome.applied, 2);
         assert_eq!(outcome.ignored, 1);
 
@@ -550,7 +679,7 @@ mod tests {
         assert!(stats.pack_open_ms.is_some());
 
         // The pack graph is the baseline snapshot: observations diff against it.
-        let outcome = session.observe(&[(0, 1, 5.0)]);
+        let outcome = session.observe(&[(0, 1, 5.0)]).unwrap();
         assert_eq!(outcome.applied, 1);
 
         // Replacing the baseline from the protocol drops the pack backing.
@@ -571,18 +700,18 @@ mod tests {
     fn snapshots_at_an_unchanged_version_share_one_graph() {
         let mut session = Session::new(8, config()).unwrap();
         session.load_baseline(&[(0, 1, 1.0), (2, 3, 2.0)]).unwrap();
-        session.observe(&[(0, 1, 3.0), (4, 5, 1.0)]);
+        session.observe(&[(0, 1, 3.0), (4, 5, 1.0)]).unwrap();
         // Two jobs snapshotting the same version receive the same Arc — the
         // serving layer never materialises a graph copy per job.
         let first = session.monitor_mut().difference_snapshot();
         let second = session.monitor_mut().difference_snapshot();
         assert!(Arc::ptr_eq(&first, &second));
         // An applied observation moves the version and the snapshot.
-        session.observe(&[(4, 5, 1.0)]);
+        session.observe(&[(4, 5, 1.0)]).unwrap();
         let third = session.monitor_mut().difference_snapshot();
         assert!(!Arc::ptr_eq(&first, &third));
         // An ignored batch (no-ops only) does not.
-        let outcome = session.observe(&[(4, 5, 0.0), (6, 6, 1.0)]);
+        let outcome = session.observe(&[(4, 5, 0.0), (6, 6, 1.0)]).unwrap();
         assert_eq!(outcome.applied, 0);
         assert_eq!(outcome.ignored, 2);
         assert!(Arc::ptr_eq(
@@ -633,7 +762,7 @@ mod tests {
     #[test]
     fn load_baseline_advances_version_and_clears_cache() {
         let mut session = Session::new(4, config()).unwrap();
-        session.observe(&[(0, 1, 2.0)]);
+        session.observe(&[(0, 1, 2.0)]).unwrap();
         session.cache_mut().store(
             "mine|affinity".into(),
             1,
@@ -650,7 +779,7 @@ mod tests {
         // Another reload keeps advancing.
         session.load_baseline(&[]).unwrap();
         assert_eq!(session.version(), 3);
-        session.observe(&[(0, 1, 1.0)]);
+        session.observe(&[(0, 1, 1.0)]).unwrap();
         assert_eq!(session.version(), 4);
     }
 }
